@@ -1,0 +1,214 @@
+//! A precomputed β lookup table for speed-agnostic runtimes (§3.6).
+//!
+//! The paper's §3.6 punchline is that the optimal switch threshold only
+//! needs the matrix size and the processor count. A production runtime
+//! would not run a golden-section minimization per kernel launch; it would
+//! ship a small table of `β_hom(p, n)` and interpolate. This module is
+//! that table: log-spaced grid over `(p, n)`, bilinear interpolation in
+//! `(log p, log n)` — because β varies smoothly on log axes — and the
+//! tests bound the interpolation error against direct optimization.
+
+use crate::homogeneous::{beta_homogeneous_matmul, beta_homogeneous_outer};
+
+/// Which kernel the table is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableKernel {
+    /// Outer product (`e^{−β}·n²` threshold).
+    Outer,
+    /// Matrix multiplication (`e^{−β}·n³` threshold).
+    Matmul,
+}
+
+/// Precomputed `β_hom` values over a log-spaced `(p, n)` grid.
+#[derive(Clone, Debug)]
+pub struct BetaTable {
+    kernel: TableKernel,
+    ps: Vec<usize>,
+    ns: Vec<usize>,
+    /// `values[i][j]` = β for `(ps[i], ns[j])`.
+    values: Vec<Vec<f64>>,
+}
+
+/// Log-spaced integer grid from `lo` to `hi` with `points` entries.
+fn log_grid(lo: usize, hi: usize, points: usize) -> Vec<usize> {
+    assert!(points >= 2 && hi > lo && lo >= 1);
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let mut out: Vec<usize> = (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1) as f64;
+            (llo + t * (lhi - llo)).exp().round() as usize
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+impl BetaTable {
+    /// Builds the table for `p ∈ [p_lo, p_hi]`, `n ∈ [n_lo, n_hi]` with
+    /// `points` grid lines per axis. Building runs `points²` optimizations
+    /// (milliseconds each); lookups afterwards are O(log points).
+    pub fn build(
+        kernel: TableKernel,
+        (p_lo, p_hi): (usize, usize),
+        (n_lo, n_hi): (usize, usize),
+        points: usize,
+    ) -> Self {
+        let ps = log_grid(p_lo, p_hi, points);
+        let ns = log_grid(n_lo, n_hi, points);
+        let values = ps
+            .iter()
+            .map(|&p| {
+                ns.iter()
+                    .map(|&n| match kernel {
+                        TableKernel::Outer => beta_homogeneous_outer(p, n),
+                        TableKernel::Matmul => beta_homogeneous_matmul(p, n),
+                    })
+                    .collect()
+            })
+            .collect();
+        BetaTable {
+            kernel,
+            ps,
+            ns,
+            values,
+        }
+    }
+
+    /// The paper's parameter domain: `p ∈ [10, 1000]`, `n ∈ [10, 1000]`.
+    pub fn paper_domain(kernel: TableKernel) -> Self {
+        Self::build(kernel, (10, 1000), (10, 1000), 9)
+    }
+
+    /// Which kernel this table serves.
+    pub fn kernel(&self) -> TableKernel {
+        self.kernel
+    }
+
+    /// Index of the grid cell containing `v` on `axis` (clamped).
+    fn bracket(axis: &[usize], v: f64) -> (usize, f64) {
+        let lv = v.ln();
+        if lv <= (axis[0] as f64).ln() {
+            return (0, 0.0);
+        }
+        let last = axis.len() - 1;
+        if lv >= (axis[last] as f64).ln() {
+            return (last - 1, 1.0);
+        }
+        for i in 0..last {
+            let a = (axis[i] as f64).ln();
+            let b = (axis[i + 1] as f64).ln();
+            if lv <= b {
+                return (i, (lv - a) / (b - a));
+            }
+        }
+        unreachable!("v bracketed by the clamps above")
+    }
+
+    /// Interpolated β for `(p, n)`; clamps outside the built domain.
+    pub fn lookup(&self, p: usize, n: usize) -> f64 {
+        assert!(p >= 1 && n >= 1);
+        let (i, tp) = Self::bracket(&self.ps, p as f64);
+        let (j, tn) = Self::bracket(&self.ns, n as f64);
+        let v00 = self.values[i][j];
+        let v01 = self.values[i][j + 1];
+        let v10 = self.values[i + 1][j];
+        let v11 = self.values[i + 1][j + 1];
+        let top = v00 * (1.0 - tn) + v01 * tn;
+        let bot = v10 * (1.0 - tn) + v11 * tn;
+        top * (1.0 - tp) + bot * tp
+    }
+
+    /// The switch threshold in remaining tasks for `(p, n)`.
+    pub fn threshold(&self, p: usize, n: usize) -> usize {
+        let beta = self.lookup(p, n);
+        let total = match self.kernel {
+            TableKernel::Outer => (n * n) as f64,
+            TableKernel::Matmul => (n * n * n) as f64,
+        };
+        ((-beta).exp() * total).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_grid_shape() {
+        let g = log_grid(10, 1000, 5);
+        assert_eq!(g.first(), Some(&10));
+        assert_eq!(g.last(), Some(&1000));
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn lookup_exact_on_grid_points() {
+        let t = BetaTable::build(TableKernel::Outer, (10, 1000), (10, 1000), 5);
+        for &p in &t.ps.clone() {
+            for &n in &t.ns.clone() {
+                let direct = beta_homogeneous_outer(p, n);
+                let table = t.lookup(p, n);
+                assert!(
+                    (direct - table).abs() < 1e-6,
+                    "grid point ({p}, {n}): {table} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_error_is_small_off_grid() {
+        let t = BetaTable::paper_domain(TableKernel::Outer);
+        for &(p, n) in &[(17usize, 70usize), (55, 240), (140, 900), (700, 33)] {
+            let direct = beta_homogeneous_outer(p, n);
+            let table = t.lookup(p, n);
+            // The β landscape is flat near its optimum, so a small absolute
+            // error is as harmless as a small relative one.
+            let err = (direct - table).abs();
+            assert!(
+                err / direct < 0.07 || err < 0.1,
+                "({p}, {n}): table {table:.3} vs direct {direct:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_table_works_too() {
+        let t = BetaTable::build(TableKernel::Matmul, (20, 400), (10, 200), 6);
+        let direct = beta_homogeneous_matmul(100, 40);
+        let table = t.lookup(100, 40);
+        assert!(
+            (direct - table).abs() / direct < 0.05,
+            "table {table:.3} vs direct {direct:.3}"
+        );
+        assert_eq!(t.kernel(), TableKernel::Matmul);
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let t = BetaTable::build(TableKernel::Outer, (10, 100), (10, 100), 4);
+        let inside = t.lookup(100, 100);
+        let outside = t.lookup(5000, 5000);
+        // Clamped lookups return the corner value, never extrapolate wild.
+        assert!((outside - inside).abs() < 1.0);
+        assert!(outside.is_finite());
+    }
+
+    #[test]
+    fn threshold_matches_beta() {
+        let t = BetaTable::build(TableKernel::Outer, (10, 100), (50, 200), 4);
+        let beta = t.lookup(20, 100);
+        assert_eq!(
+            t.threshold(20, 100),
+            ((-beta).exp() * 10_000.0).floor() as usize
+        );
+    }
+
+    #[test]
+    fn beta_monotone_in_n_along_table() {
+        let t = BetaTable::paper_domain(TableKernel::Outer);
+        let b_small = t.lookup(50, 20);
+        let b_large = t.lookup(50, 900);
+        assert!(b_large > b_small);
+    }
+}

@@ -1,0 +1,68 @@
+//! The ODE-based analytic model of the dynamic strategies (paper §3.3 and
+//! §4.2) and the β-threshold optimizer built on it.
+//!
+//! # What the model says
+//!
+//! Fix a processor `P_k` with relative speed `rs_k` and let `x` be the
+//! fraction of input blocks it knows. Modelling the randomized discrete
+//! process by its mean-field ODE gives, for the **outer product**:
+//!
+//! * `g_k(x) = (1 − x²)^{α_k}` with `α_k = (Σ_{i≠k} s_i)/s_k` — the fraction
+//!   of tasks still unprocessed in the part of the grid `P_k` does not fully
+//!   know (Lemma 1);
+//! * `t_k(x)·Σs_i = n²·(1 − (1 − x²)^{α_k+1})` — the elapsed time when `P_k`
+//!   knows a fraction `x` (Lemma 2);
+//! * switching to the random phase when `x_k² = β·rs_k − (β²/2)·rs_k²`
+//!   makes the switch instant `t = (n²/Σs_i)(1 − e^{−β})` identical across
+//!   processors at first order (Lemma 3), leaving `e^{−β}·n²` tasks for
+//!   phase 2.
+//!
+//! The communication ratio (to the lower bound `2n·Σ√rs`) as a function of
+//! `β` then has a phase-1 and a phase-2 term; minimizing it in `β` yields
+//! the switch-over threshold. The **matrix multiplication** model is the
+//! cube analogue (`1 − x³`, switch at `x_k³ = β·rs_k − (β²/2)·rs_k²`,
+//! `e^{−β}·n³` remaining tasks, lower bound `3n²·Σrs^{2/3}`).
+//!
+//! # Paper typos corrected here (see DESIGN.md §2)
+//!
+//! Re-deriving from the lemmas' own proofs:
+//!
+//! 1. Lemma 4's phase-1 ratio is `√β − (β^{3/2}/4)·Σrs^{3/2}/Σ√rs`
+//!    (the printed `+` contradicts the proof's
+//!    `Σ√(β·rs_k)(1 − β·rs_k/4)·n`);
+//! 2. Theorem 6's phase-2 term scales with `e^{−β}·n`, not `e^{−β}·n²`
+//!    (consistency with Lemma 5 after normalizing by `LB = 2nΣ√rs`);
+//! 3. the matmul phase-1 correction term carries coefficient `1/3`, not 3
+//!    (from `x_k² = (β·rs_k)^{2/3}(1 − β·rs_k/3)`).
+//!
+//! With these corrections the homogeneous optimum for `p = 20`, `n = 100`
+//! lands at `β ≈ 4.15` (paper: `β_hom = 4.1705`) and for matmul
+//! `p = 100`, `n = 40` at `β ≈ 2.88` (paper: 2.92) — the printed variants
+//! do not reproduce either number.
+//!
+//! # First-order vs exact evaluation
+//!
+//! Each model is offered in two flavours:
+//!
+//! * [`outer::OuterAnalysis::ratio_first_order`] — the paper's corrected
+//!   closed form, linearized in `rs_k`;
+//! * [`outer::OuterAnalysis::ratio`] — the same model without the
+//!   first-order expansion: the switch point solves Lemma 2/8 exactly
+//!   (`x_k² = 1 − e^{−β·rs_k}`, of which the paper's
+//!   `β·rs_k − (β²/2)rs_k²` is the Taylor expansion), and the per-task
+//!   phase-2 cost is kept exact (`2/(1+x_k)` for the outer product,
+//!   `3(1+x)/(1+x+x²)` for matmul). This is what the figure "Analysis"
+//!   series use; both flavours agree to `O(1/p)`.
+
+pub mod beta_table;
+pub mod homogeneous;
+pub mod matmul;
+pub mod ode;
+pub mod optimize;
+pub mod outer;
+
+pub use beta_table::{BetaTable, TableKernel};
+pub use homogeneous::{beta_homogeneous_matmul, beta_homogeneous_outer};
+pub use matmul::MatmulAnalysis;
+pub use optimize::minimize_unimodal;
+pub use outer::OuterAnalysis;

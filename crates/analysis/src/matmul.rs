@@ -1,0 +1,280 @@
+//! Analytic model of `DynamicMatrix2Phases` (paper §4.2).
+
+use crate::optimize::minimize_unimodal;
+use crate::outer::BETA_RANGE;
+use hetsched_platform::Platform;
+
+/// The matrix-multiplication analytic model for one concrete platform and
+/// problem size. Mirrors [`OuterAnalysis`](crate::OuterAnalysis) with the
+/// cube geometry: knowledge fraction `x` controls `(1 − x³)` residues,
+/// switch at `x_k³ = β·rs_k − (β²/2)·rs_k²`, lower bound `3n²·Σrs^{2/3}`.
+#[derive(Clone, Debug)]
+pub struct MatmulAnalysis {
+    rs: Vec<f64>,
+    n: usize,
+    /// `Σ rs^{2/3}`.
+    s23: f64,
+    /// `Σ rs^{5/3}`.
+    s53: f64,
+}
+
+impl MatmulAnalysis {
+    /// Model for a concrete platform.
+    pub fn new(platform: &Platform, n: usize) -> Self {
+        Self::from_relative_speeds(platform.relative_speeds(), n)
+    }
+
+    /// Model from relative speeds directly.
+    pub fn from_relative_speeds(rs: Vec<f64>, n: usize) -> Self {
+        assert!(!rs.is_empty());
+        let sum: f64 = rs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "relative speeds must sum to 1");
+        let s23 = rs.iter().map(|r| r.powf(2.0 / 3.0)).sum();
+        let s53 = rs.iter().map(|r| r.powf(5.0 / 3.0)).sum();
+        MatmulAnalysis { rs, n, s23, s53 }
+    }
+
+    /// Model for `p` homogeneous processors.
+    pub fn homogeneous(p: usize, n: usize) -> Self {
+        Self::from_relative_speeds(vec![1.0 / p as f64; p], n)
+    }
+
+    /// Blocks per dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of processors in the model.
+    pub fn p(&self) -> usize {
+        self.rs.len()
+    }
+
+    /// Lemma 7: fraction of the non-brick domain unprocessed when a
+    /// processor of exponent `alpha` knows index sets of fractional size
+    /// `x`.
+    pub fn g(x: f64, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&x));
+        (1.0 - x * x * x).powf(alpha)
+    }
+
+    /// Lemma 8 (normalized): `t_k(x)·Σs_i / n³ = 1 − (1−x³)^{α_k+1}`.
+    pub fn t_fraction(x: f64, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&x));
+        1.0 - (1.0 - x * x * x).powf(alpha + 1.0)
+    }
+
+    /// Inverse of Lemma 8: the knowledge fraction at normalized time
+    /// `τ = t·Σs_i / n³`: `x = (1 − (1−τ)^{1/(α+1)})^{1/3}`.
+    pub fn x_at_time(tau: f64, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&tau));
+        (1.0 - (1.0 - tau).powf(1.0 / (alpha + 1.0))).cbrt()
+    }
+
+    /// The switch point: solving Lemma 8 exactly at
+    /// `t·Σs_i = n³(1 − e^{−β})` gives `x_k³ = 1 − e^{−β·rs_k}`; the
+    /// paper's `x_k³ = β·rs_k − (β²/2)·rs_k²` is its second-order Taylor
+    /// expansion (see the outer-product analogue for why the exact form is
+    /// preferred: monotone in β, always in `[0, 1]`).
+    pub fn switch_x(&self, k: usize, beta: f64) -> f64 {
+        let rs = self.rs[k];
+        (1.0 - (-beta * rs).exp()).cbrt()
+    }
+
+    /// The paper's second-order switch point, clamped to `[0, 1]`.
+    pub fn switch_x_second_order(&self, k: usize, beta: f64) -> f64 {
+        let rs = self.rs[k];
+        let x3 = (beta * rs - 0.5 * beta * beta * rs * rs).clamp(0.0, 1.0);
+        x3.cbrt()
+    }
+
+    /// Phase-1 communication ratio (to `LB = 3n²·Σrs^{2/3}`), exact in
+    /// `x_k`: each processor has received `3·x_k²·n²` blocks by the switch.
+    pub fn phase1_ratio(&self, beta: f64) -> f64 {
+        let sum_x2: f64 = (0..self.rs.len())
+            .map(|k| {
+                let x = self.switch_x(k, beta);
+                x * x
+            })
+            .sum();
+        sum_x2 / self.s23
+    }
+
+    /// Phase-2 communication ratio, exact per-task cost. Conditioned on a
+    /// task being unprocessed, the expected number of missing blocks for a
+    /// worker knowing a fraction `x` of each index set is
+    /// `3(1+x)/(1+x+x²)` (which linearizes to `3(1−x²)`). `e^{−β}·n³`
+    /// tasks remain; worker `k` handles a share `rs_k`.
+    pub fn phase2_ratio(&self, beta: f64) -> f64 {
+        let weighted: f64 = (0..self.rs.len())
+            .map(|k| {
+                let x = self.switch_x(k, beta);
+                self.rs[k] * (1.0 + x) / (1.0 + x + x * x)
+            })
+            .sum();
+        (-beta).exp() * self.n as f64 * weighted / self.s23
+    }
+
+    /// Total communication ratio as a function of β (exact form; the
+    /// figure "Analysis" curves plot this).
+    pub fn ratio(&self, beta: f64) -> f64 {
+        self.phase1_ratio(beta) + self.phase2_ratio(beta)
+    }
+
+    /// The corrected first-order closed form (§4.2 with the middle-term
+    /// coefficient fixed to 1/3 — see crate docs):
+    ///
+    /// ```text
+    /// β^{2/3} − (β^{5/3}/3)·Σrs^{5/3}/Σrs^{2/3}
+    ///        + e^{−β}·n·(1 − β^{2/3}·Σrs^{5/3})/Σrs^{2/3}
+    /// ```
+    pub fn ratio_first_order(&self, beta: f64) -> f64 {
+        let n = self.n as f64;
+        beta.powf(2.0 / 3.0) - beta.powf(5.0 / 3.0) / 3.0 * self.s53 / self.s23
+            + (-beta).exp() * n * (1.0 - beta.powf(2.0 / 3.0) * self.s53) / self.s23
+    }
+
+    /// Minimizes [`ratio`](Self::ratio) over [`BETA_RANGE`].
+    pub fn optimal_beta(&self) -> (f64, f64) {
+        minimize_unimodal(|b| self.ratio(b), BETA_RANGE.0, BETA_RANGE.1, 1e-6)
+    }
+
+    /// Minimizes the first-order form instead (paper-faithful variant).
+    pub fn optimal_beta_first_order(&self) -> (f64, f64) {
+        minimize_unimodal(
+            |b| self.ratio_first_order(b),
+            BETA_RANGE.0,
+            BETA_RANGE.1,
+            1e-6,
+        )
+    }
+
+    /// Predicted absolute communication volume (blocks) at parameter β.
+    pub fn predicted_volume(&self, beta: f64) -> f64 {
+        self.ratio(beta) * 3.0 * (self.n * self.n) as f64 * self.s23
+    }
+
+    /// Number of tasks predicted to remain when phase 2 starts.
+    pub fn phase2_tasks(&self, beta: f64) -> f64 {
+        (-beta).exp() * (self.n * self.n * self.n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::rk4;
+    use hetsched_platform::SpeedDistribution;
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn g_matches_its_ode() {
+        let alpha = 99.0; // p = 100 homogeneous
+        let ode = |x: f64, g: f64| -3.0 * x * x * alpha / (1.0 - x * x * x) * g;
+        for &x in &[0.05, 0.15, 0.3] {
+            let num = rk4(ode, 0.0, 1.0, x, 4000);
+            assert!((num - MatmulAnalysis::g(x, alpha)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn homogeneous_beta_matches_paper_4_3() {
+        // §4.3 / Fig. 11: for p = 100, n = 40 the analysis optimum is
+        // β = 2.95 (2.92 for the homogeneous approximation), with minimum
+        // normalized communication ≈ 2.4.
+        let model = MatmulAnalysis::homogeneous(100, 40);
+        let (beta_fo, _) = model.optimal_beta_first_order();
+        assert!(
+            (beta_fo - 2.92).abs() < 0.2,
+            "first-order β_hom = {beta_fo}, paper says ≈2.92"
+        );
+        let (beta, ratio) = model.optimal_beta();
+        assert!((2.3..3.6).contains(&beta), "exact-form β = {beta}");
+        assert!((2.0..2.8).contains(&ratio), "ratio at optimum = {ratio}");
+    }
+
+    #[test]
+    fn exact_and_first_order_agree_for_moderate_p() {
+        let model = MatmulAnalysis::homogeneous(200, 100);
+        for &b in &[2.0, 3.0, 5.0] {
+            let e = model.ratio(b);
+            let f = model.ratio_first_order(b);
+            assert!(
+                (e - f).abs() / e < 0.05,
+                "β={b}: exact {e} vs first-order {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_beta_close_to_homogeneous() {
+        let n = 40;
+        let hom = MatmulAnalysis::homogeneous(100, n).optimal_beta().0;
+        for seed in 0..5u64 {
+            let pf = Platform::sample(
+                100,
+                &SpeedDistribution::paper_default(),
+                &mut rng_for(seed, 4),
+            );
+            let het = MatmulAnalysis::new(&pf, n).optimal_beta().0;
+            assert!(
+                (het - hom).abs() / hom < 0.10,
+                "seed {seed}: β_het = {het} vs β_hom = {hom}"
+            );
+        }
+    }
+
+    #[test]
+    fn switch_x_values() {
+        let model = MatmulAnalysis::homogeneous(100, 40);
+        let x = model.switch_x(0, 2.92);
+        // Exact: x³ = 1 − e^{−0.0292}.
+        assert!((x.powi(3) - (1.0 - (-0.0292f64).exp())).abs() < 1e-12);
+        // Second-order Taylor agrees closely at β·rs = 0.0292.
+        let x2 = model.switch_x_second_order(0, 2.92);
+        assert!((x - x2).abs() / x < 1e-4);
+        assert!((0.0..=1.0).contains(&model.switch_x(0, 200.0)));
+    }
+
+    #[test]
+    fn x_at_time_inverts_t_fraction() {
+        for &alpha in &[4.0, 49.0] {
+            for i in 1..10 {
+                let x = i as f64 / 10.0;
+                let tau = MatmulAnalysis::t_fraction(x, alpha);
+                if tau > 1.0 - 1e-9 {
+                    continue; // saturated: not invertible in f64
+                }
+                let back = MatmulAnalysis::x_at_time(tau, alpha);
+                assert!((back - x).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn small_beta_pays_in_phase2() {
+        let model = MatmulAnalysis::homogeneous(100, 40);
+        assert!(model.ratio(0.3) > model.ratio(2.9) * 1.5);
+    }
+
+    #[test]
+    fn large_beta_approaches_pure_dynamic_cost() {
+        // ratio(β) → β^{2/3}·(1 − …) as the end game vanishes.
+        let model = MatmulAnalysis::homogeneous(100, 40);
+        let r = model.ratio(10.0);
+        assert!((r - 10.0f64.powf(2.0 / 3.0)).abs() < 0.4, "got {r}");
+    }
+
+    #[test]
+    fn t_fraction_boundaries() {
+        assert_eq!(MatmulAnalysis::t_fraction(0.0, 50.0), 0.0);
+        assert!((MatmulAnalysis::t_fraction(1.0, 50.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_volume_consistent_with_ratio() {
+        let pf = Platform::from_speeds(vec![20.0, 80.0]);
+        let model = MatmulAnalysis::new(&pf, 30);
+        let lb = hetsched_platform::matmul_lower_bound(30, &pf);
+        assert!((model.predicted_volume(3.0) - model.ratio(3.0) * lb).abs() < 1e-9);
+    }
+}

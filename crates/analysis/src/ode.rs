@@ -1,0 +1,122 @@
+//! A small fixed-step RK4 integrator.
+//!
+//! The paper derives the closed forms `g(x) = (1−x²)^α` and
+//! `g(x) = (1−x³)^α` by solving separable ODEs analytically. We keep a
+//! numerical integrator in the library for two reasons: it cross-validates
+//! the closed forms (unit + property tests), and it lets the analysis
+//! module be extended to task shapes whose mean-field ODE has no closed
+//! solution.
+
+/// Integrates `y' = f(x, y)` from `(x0, y0)` to `x1` with classic RK4 and
+/// `steps` fixed steps. Returns `y(x1)`.
+pub fn rk4<F: Fn(f64, f64) -> f64>(f: F, x0: f64, y0: f64, x1: f64, steps: usize) -> f64 {
+    assert!(steps > 0);
+    let h = (x1 - x0) / steps as f64;
+    let mut x = x0;
+    let mut y = y0;
+    for _ in 0..steps {
+        let k1 = f(x, y);
+        let k2 = f(x + 0.5 * h, y + 0.5 * h * k1);
+        let k3 = f(x + 0.5 * h, y + 0.5 * h * k2);
+        let k4 = f(x + h, y + h * k3);
+        y += (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+        x += h;
+    }
+    y
+}
+
+/// Integrates and returns the whole trajectory at `steps + 1` sample
+/// points (inclusive of both ends).
+pub fn rk4_trajectory<F: Fn(f64, f64) -> f64>(
+    f: F,
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    steps: usize,
+) -> Vec<(f64, f64)> {
+    assert!(steps > 0);
+    let h = (x1 - x0) / steps as f64;
+    let mut out = Vec::with_capacity(steps + 1);
+    let mut x = x0;
+    let mut y = y0;
+    out.push((x, y));
+    for _ in 0..steps {
+        let k1 = f(x, y);
+        let k2 = f(x + 0.5 * h, y + 0.5 * h * k1);
+        let k3 = f(x + 0.5 * h, y + 0.5 * h * k2);
+        let k4 = f(x + h, y + h * k3);
+        y += (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+        x += h;
+        out.push((x, y));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_decay() {
+        // y' = −y, y(0) = 1 → y(1) = e^{−1}.
+        let y = rk4(|_, y| -y, 0.0, 1.0, 1.0, 100);
+        assert!((y - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_growth() {
+        // y' = 2x → y(3) = 9 from y(0)=0 (RK4 is exact on polynomials ≤ 3).
+        let y = rk4(|x, _| 2.0 * x, 0.0, 0.0, 3.0, 10);
+        assert!((y - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_g_ode_matches_closed_form() {
+        // g'/g = −2xα/(1−x²), g(0)=1 → g(x) = (1−x²)^α.
+        for &alpha in &[0.5, 1.0, 5.0, 19.0] {
+            let f = |x: f64, g: f64| -2.0 * x * alpha / (1.0 - x * x) * g;
+            for &x_end in &[0.1, 0.3, 0.6] {
+                let num = rk4(f, 0.0, 1.0, x_end, 2000);
+                let exact = (1.0 - x_end * x_end).powf(alpha);
+                assert!(
+                    (num - exact).abs() < 1e-6,
+                    "α={alpha}, x={x_end}: {num} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_g_ode_matches_closed_form() {
+        // g'/g = −3x²α/(1−x³), g(0)=1 → g(x) = (1−x³)^α.
+        for &alpha in &[1.0, 9.0, 99.0] {
+            let f = |x: f64, g: f64| -3.0 * x * x * alpha / (1.0 - x * x * x) * g;
+            for &x_end in &[0.1, 0.25, 0.5] {
+                let num = rk4(f, 0.0, 1.0, x_end, 2000);
+                let exact = (1.0 - x_end.powi(3)).powf(alpha);
+                assert!(
+                    (num - exact).abs() < 1e-6,
+                    "α={alpha}, x={x_end}: {num} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_endpoints() {
+        let traj = rk4_trajectory(|_, y| -y, 0.0, 1.0, 2.0, 50);
+        assert_eq!(traj.len(), 51);
+        assert_eq!(traj[0], (0.0, 1.0));
+        let (x_end, y_end) = traj[50];
+        assert!((x_end - 2.0).abs() < 1e-12);
+        assert!((y_end - (-2.0f64).exp()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn trajectory_last_matches_scalar() {
+        let f = |x: f64, y: f64| x * y;
+        let scalar = rk4(f, 0.0, 1.0, 1.5, 64);
+        let traj = rk4_trajectory(f, 0.0, 1.0, 1.5, 64);
+        assert_eq!(traj.last().unwrap().1, scalar);
+    }
+}

@@ -1,0 +1,116 @@
+//! Scalar minimization: coarse grid bracketing + golden-section refinement.
+//!
+//! The β-ratio curves are smooth and unimodal on the domain of interest but
+//! can be very flat near the optimum (the paper's Fig. 6 plateau), so we
+//! first grid-scan to bracket the global minimum and then refine with
+//! golden-section search inside the bracket.
+
+/// Golden ratio conjugate.
+const INV_PHI: f64 = 0.618_033_988_749_894_8;
+
+/// Minimizes `f` on `[lo, hi]`. Returns `(argmin, min)`.
+///
+/// `f` must be continuous; unimodality is only needed *within one grid
+/// cell* thanks to the bracketing scan, which makes the routine robust to
+/// mild multi-modality away from the optimum.
+pub fn minimize_unimodal<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> (f64, f64) {
+    assert!(hi > lo, "empty interval [{lo}, {hi}]");
+    assert!(tol > 0.0);
+
+    // 1. Coarse scan.
+    const GRID: usize = 64;
+    let step = (hi - lo) / GRID as f64;
+    let mut best_i = 0usize;
+    let mut best_v = f64::INFINITY;
+    for i in 0..=GRID {
+        let x = lo + step * i as f64;
+        let v = f(x);
+        if v < best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let mut a = lo + step * best_i.saturating_sub(1) as f64;
+    let mut b = (lo + step * (best_i + 1) as f64).min(hi);
+
+    // 2. Golden-section refinement.
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a) > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let (x, v) = minimize_unimodal(|x| (x - 3.0) * (x - 3.0) + 1.0, 0.0, 10.0, 1e-9);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn boundary_minimum_left() {
+        let (x, _) = minimize_unimodal(|x| x, 2.0, 5.0, 1e-9);
+        assert!((x - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_minimum_right() {
+        let (x, _) = minimize_unimodal(|x| -x, 2.0, 5.0, 1e-9);
+        assert!((x - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_plateau_still_converges() {
+        // f is constant on [3,4]; any answer in the plateau is acceptable.
+        let f = |x: f64| (x - 3.0).max(0.0).powi(2) * ((x - 4.0).max(0.0)).signum().max(0.0);
+        let (x, v) = minimize_unimodal(f, 0.0, 10.0, 1e-6);
+        assert!(v <= 1e-9);
+        assert!((0.0..=10.0).contains(&x));
+    }
+
+    #[test]
+    fn grid_bracketing_escapes_local_min() {
+        // Shallow local minimum at x=1, global at x=7.
+        let f = |x: f64| {
+            let local = (x - 1.0).powi(2) + 0.5;
+            let global = (x - 7.0).powi(2) * 0.5;
+            local.min(global)
+        };
+        let (x, _) = minimize_unimodal(f, 0.0, 10.0, 1e-8);
+        assert!((x - 7.0).abs() < 1e-4, "found {x}");
+    }
+
+    #[test]
+    fn paper_like_curve() {
+        // √β + c·e^{-β}·n shape: analytic optimum at β = ln(2·c·n·√β)...
+        // just check d/dβ vanishes numerically at the reported argmin.
+        let n = 100.0;
+        let c = 0.25;
+        let f = |b: f64| b.sqrt() + c * (-b).exp() * n;
+        let (x, _) = minimize_unimodal(f, 0.25, 16.0, 1e-10);
+        let h = 1e-6;
+        let deriv = (f(x + h) - f(x - h)) / (2.0 * h);
+        assert!(deriv.abs() < 1e-4, "derivative at optimum: {deriv}");
+    }
+}

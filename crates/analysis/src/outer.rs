@@ -1,0 +1,368 @@
+//! Analytic model of `DynamicOuter2Phases` (paper §3.3).
+
+use crate::optimize::minimize_unimodal;
+use hetsched_platform::{Platform, ProcId};
+
+/// Domain of β considered by the optimizer. The paper observes optima in
+/// `[1, 6.2]` across its whole parameter sweep; the wider interval guards
+/// unusual configurations.
+pub const BETA_RANGE: (f64, f64) = (0.25, 16.0);
+
+/// The outer-product analytic model for one concrete platform and problem
+/// size.
+///
+/// # Examples
+///
+/// Pick the two-phase threshold for a platform (paper §3.3/§3.6):
+///
+/// ```
+/// use hetsched_analysis::OuterAnalysis;
+///
+/// // 20 homogeneous workers, 100×100 block tasks — the paper's Fig. 6
+/// // setting, where it reports β_hom = 4.17.
+/// let model = OuterAnalysis::homogeneous(20, 100);
+/// let (beta, predicted_ratio) = model.optimal_beta();
+/// assert!((3.5..5.0).contains(&beta));
+/// assert!(predicted_ratio < 2.5);
+/// // Switch to the random phase when e^{−β}·n² tasks remain:
+/// let threshold = model.phase2_tasks(beta) as usize;
+/// assert!(threshold < 200);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OuterAnalysis {
+    /// Relative speeds `rs_k` (sum to 1).
+    rs: Vec<f64>,
+    /// Blocks per vector.
+    n: usize,
+    /// `Σ rs^{1/2}` — the lower-bound power sum.
+    s12: f64,
+    /// `Σ rs^{3/2}` — the correction power sum.
+    s32: f64,
+}
+
+impl OuterAnalysis {
+    /// Model for a concrete platform.
+    pub fn new(platform: &Platform, n: usize) -> Self {
+        Self::from_relative_speeds(platform.relative_speeds(), n)
+    }
+
+    /// Model from relative speeds directly.
+    pub fn from_relative_speeds(rs: Vec<f64>, n: usize) -> Self {
+        assert!(!rs.is_empty());
+        let sum: f64 = rs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "relative speeds must sum to 1");
+        let s12 = rs.iter().map(|r| r.sqrt()).sum();
+        let s32 = rs.iter().map(|r| r.powf(1.5)).sum();
+        OuterAnalysis { rs, n, s12, s32 }
+    }
+
+    /// Model for `p` homogeneous processors (the §3.6 speed-agnostic
+    /// approximation).
+    pub fn homogeneous(p: usize, n: usize) -> Self {
+        Self::from_relative_speeds(vec![1.0 / p as f64; p], n)
+    }
+
+    /// Blocks per vector.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of processors in the model.
+    pub fn p(&self) -> usize {
+        self.rs.len()
+    }
+
+    /// Lemma 1: fraction of the "L"-shape unprocessed when a processor of
+    /// exponent `alpha` knows a fraction `x` of each vector.
+    pub fn g(x: f64, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&x));
+        (1.0 - x * x).powf(alpha)
+    }
+
+    /// Lemma 2 (normalized): `t_k(x)·Σs_i / n²  =  1 − (1−x²)^{α_k+1}`.
+    pub fn t_fraction(x: f64, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&x));
+        1.0 - (1.0 - x * x).powf(alpha + 1.0)
+    }
+
+    /// Inverse of Lemma 2: the knowledge fraction `x` a processor of
+    /// exponent `alpha` has reached when the *normalized* time
+    /// `τ = t·Σs_i / n²` has elapsed: `x = √(1 − (1−τ)^{1/(α+1)})`.
+    pub fn x_at_time(tau: f64, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&tau));
+        (1.0 - (1.0 - tau).powf(1.0 / (alpha + 1.0))).sqrt()
+    }
+
+    /// The switch point: the fraction `x_k` of blocks processor `k` knows
+    /// when phase 1 ends at `t·Σs_i = n²(1 − e^{−β})`.
+    ///
+    /// Solving Lemma 2 exactly: `(1−x_k²)^{α_k+1} = e^{−β}` with
+    /// `α_k + 1 = 1/rs_k`, hence `x_k² = 1 − e^{−β·rs_k}`. The paper's
+    /// `x_k² = β·rs_k − (β²/2)·rs_k²` (Lemma 3) is the second-order Taylor
+    /// expansion of this; the exact form is monotone in β and stays in
+    /// `[0, 1]` for every β, which the expansion does not.
+    pub fn switch_x(&self, k: usize, beta: f64) -> f64 {
+        let rs = self.rs[k];
+        (1.0 - (-beta * rs).exp()).sqrt()
+    }
+
+    /// The paper's second-order switch point (Lemma 3), clamped to `[0, 1]`.
+    /// Kept for comparison with [`switch_x`](Self::switch_x); agrees to
+    /// `O((β·rs)³)`.
+    pub fn switch_x_second_order(&self, k: usize, beta: f64) -> f64 {
+        let rs = self.rs[k];
+        let x2 = (beta * rs - 0.5 * beta * beta * rs * rs).clamp(0.0, 1.0);
+        x2.sqrt()
+    }
+
+    /// Phase-1 communication ratio (to `LB = 2n·Σ√rs`), exact in `x_k`:
+    /// every processor has received `2·x_k·n` blocks by the switch.
+    pub fn phase1_ratio(&self, beta: f64) -> f64 {
+        let sum_x: f64 = (0..self.rs.len()).map(|k| self.switch_x(k, beta)).sum();
+        sum_x / self.s12
+    }
+
+    /// Phase-2 communication ratio, exact per-task cost: `e^{−β}·n²` tasks
+    /// remain, processor `k` handles a share `rs_k` of them at
+    /// `2/(1+x_k)` blocks per task.
+    pub fn phase2_ratio(&self, beta: f64) -> f64 {
+        let weighted: f64 = (0..self.rs.len())
+            .map(|k| self.rs[k] / (1.0 + self.switch_x(k, beta)))
+            .sum();
+        (-beta).exp() * self.n as f64 * weighted / self.s12
+    }
+
+    /// Total communication ratio as a function of β — the quantity
+    /// Theorem 6 bounds, evaluated without first-order expansion. This is
+    /// what the figure "Analysis" curves plot.
+    pub fn ratio(&self, beta: f64) -> f64 {
+        self.phase1_ratio(beta) + self.phase2_ratio(beta)
+    }
+
+    /// The corrected first-order closed form of Theorem 6
+    /// (see crate docs for the two corrected typos):
+    ///
+    /// ```text
+    /// √β − (β^{3/2}/4)·Σrs^{3/2}/Σ√rs + e^{−β}·n·(1 − √β·Σrs^{3/2})/Σ√rs
+    /// ```
+    pub fn ratio_first_order(&self, beta: f64) -> f64 {
+        let n = self.n as f64;
+        beta.sqrt() - beta.powf(1.5) / 4.0 * self.s32 / self.s12
+            + (-beta).exp() * n * (1.0 - beta.sqrt() * self.s32) / self.s12
+    }
+
+    /// Minimizes [`ratio`](Self::ratio) over [`BETA_RANGE`].
+    /// Returns `(β*, ratio(β*))`.
+    pub fn optimal_beta(&self) -> (f64, f64) {
+        minimize_unimodal(|b| self.ratio(b), BETA_RANGE.0, BETA_RANGE.1, 1e-6)
+    }
+
+    /// Minimizes the first-order form instead (paper-faithful variant).
+    pub fn optimal_beta_first_order(&self) -> (f64, f64) {
+        minimize_unimodal(
+            |b| self.ratio_first_order(b),
+            BETA_RANGE.0,
+            BETA_RANGE.1,
+            1e-6,
+        )
+    }
+
+    /// Predicted *absolute* communication volume (in blocks) at parameter β.
+    pub fn predicted_volume(&self, beta: f64) -> f64 {
+        self.ratio(beta) * 2.0 * self.n as f64 * self.s12
+    }
+
+    /// Predicted volume received by processor `k` during phase 1.
+    pub fn predicted_phase1_volume_for(&self, platform: &Platform, k: ProcId, beta: f64) -> f64 {
+        debug_assert_eq!(platform.len(), self.rs.len());
+        2.0 * self.n as f64 * self.switch_x(k.idx(), beta)
+    }
+
+    /// Number of tasks predicted to remain when phase 2 starts.
+    pub fn phase2_tasks(&self, beta: f64) -> f64 {
+        (-beta).exp() * (self.n * self.n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::rk4;
+    use hetsched_platform::SpeedDistribution;
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn g_matches_its_ode() {
+        // The closed form used everywhere is the solution of the mean-field
+        // ODE; integrate the ODE numerically and compare.
+        let alpha = 19.0; // p = 20 homogeneous
+        let ode = |x: f64, g: f64| -2.0 * x * alpha / (1.0 - x * x) * g;
+        for &x in &[0.05, 0.2, 0.4] {
+            let num = rk4(ode, 0.0, 1.0, x, 4000);
+            assert!((num - OuterAnalysis::g(x, alpha)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn g_boundary_values() {
+        assert_eq!(OuterAnalysis::g(0.0, 7.0), 1.0);
+        assert!(OuterAnalysis::g(1.0, 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_fraction_monotone_increasing() {
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let t = OuterAnalysis::t_fraction(x, 10.0);
+            assert!(t > prev);
+            prev = t;
+        }
+        assert_eq!(OuterAnalysis::t_fraction(0.0, 10.0), 0.0);
+        assert!((OuterAnalysis::t_fraction(1.0, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_beta_matches_paper_3_6() {
+        // §3.6 / Fig. 6: β_hom = 4.1705 for p = 20, n = 100 (first-order
+        // form). Our exact form lands nearby; both must be in the paper's
+        // "domain of interest" 3 ≤ β ≤ 6 with the first-order optimum
+        // within 0.15 of the published value.
+        let model = OuterAnalysis::homogeneous(20, 100);
+        let (beta_fo, _) = model.optimal_beta_first_order();
+        assert!(
+            (beta_fo - 4.1705).abs() < 0.15,
+            "first-order β_hom = {beta_fo}, paper says 4.1705"
+        );
+        let (beta, ratio) = model.optimal_beta();
+        assert!((3.0..6.0).contains(&beta), "exact-form β = {beta}");
+        // Fig. 6's minimum normalized communication is ≈ 2.1–2.4.
+        assert!((1.8..2.6).contains(&ratio), "ratio at optimum = {ratio}");
+    }
+
+    #[test]
+    fn exact_and_first_order_agree_for_moderate_p() {
+        let model = OuterAnalysis::homogeneous(100, 500);
+        for &b in &[2.0, 4.0, 6.0] {
+            let e = model.ratio(b);
+            let f = model.ratio_first_order(b);
+            assert!(
+                (e - f).abs() / e < 0.05,
+                "β={b}: exact {e} vs first-order {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_increases_with_sqrt_beta_for_large_beta() {
+        // Once the end game is negligible, ratio ≈ √β·(1 − small).
+        let model = OuterAnalysis::homogeneous(50, 100);
+        let r10 = model.ratio(10.0);
+        let r14 = model.ratio(14.0);
+        assert!(r14 > r10);
+        assert!((r10 - 10.0f64.sqrt()).abs() < 0.4);
+    }
+
+    #[test]
+    fn small_beta_pays_in_phase2() {
+        // β → 0 leaves nearly all n² tasks to the random phase: ratio blows
+        // up roughly like n/Σ√rs.
+        let model = OuterAnalysis::homogeneous(20, 100);
+        assert!(model.ratio(0.25) > model.ratio(4.0) * 1.5);
+    }
+
+    #[test]
+    fn heterogeneous_beta_close_to_homogeneous() {
+        // §3.6's headline observation: the optimal β barely depends on the
+        // speed distribution. Deviation over random draws should be small.
+        let n = 100;
+        let hom = OuterAnalysis::homogeneous(20, n).optimal_beta().0;
+        for seed in 0..5u64 {
+            let pf = Platform::sample(
+                20,
+                &SpeedDistribution::paper_default(),
+                &mut rng_for(seed, 3),
+            );
+            let het = OuterAnalysis::new(&pf, n).optimal_beta().0;
+            assert!(
+                (het - hom).abs() / hom < 0.10,
+                "seed {seed}: β_het = {het} vs β_hom = {hom}"
+            );
+        }
+    }
+
+    #[test]
+    fn switch_x_exact_form() {
+        let model = OuterAnalysis::homogeneous(20, 100);
+        let x = model.switch_x(0, 4.0);
+        // x² = 1 − e^{−4/20}.
+        assert!((x * x - (1.0 - (-0.2f64).exp())).abs() < 1e-12);
+        // Saturates at 1 and stays valid for absurd β.
+        let x_big = model.switch_x(0, 1000.0);
+        assert!((0.0..=1.0).contains(&x_big));
+        assert!(x_big > 0.99999);
+    }
+
+    #[test]
+    fn switch_x_second_order_is_taylor_of_exact() {
+        let model = OuterAnalysis::homogeneous(100, 100);
+        for &b in &[1.0, 3.0, 6.0] {
+            let exact = model.switch_x(0, b);
+            let second = model.switch_x_second_order(0, b);
+            // β·rs ≤ 0.06 here: agreement to O((β·rs)³) ≈ 1e-4 relative.
+            assert!(
+                (exact - second).abs() / exact < 1e-3,
+                "β={b}: {exact} vs {second}"
+            );
+        }
+        // Second-order x² = 4/20 − 8/400 = 0.18 at β=4, p=20.
+        let m20 = OuterAnalysis::homogeneous(20, 100);
+        assert!((m20.switch_x_second_order(0, 4.0) - 0.18f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_at_time_inverts_t_fraction() {
+        for &alpha in &[1.0, 9.0, 99.0] {
+            for i in 1..10 {
+                let x = i as f64 / 10.0;
+                let tau = OuterAnalysis::t_fraction(x, alpha);
+                // Skip the saturated regime: for large α the closed form
+                // reaches τ = 1 within f64 precision and cannot invert.
+                if tau > 1.0 - 1e-9 {
+                    continue;
+                }
+                let back = OuterAnalysis::x_at_time(tau, alpha);
+                // powf at large α loses a few ulps; 1e-6 is plenty.
+                assert!((back - x).abs() < 1e-6, "α={alpha}, x={x}: got {back}");
+            }
+        }
+        assert_eq!(OuterAnalysis::x_at_time(0.0, 5.0), 0.0);
+        assert!((OuterAnalysis::x_at_time(1.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_x_monotone_in_beta() {
+        let model = OuterAnalysis::homogeneous(10, 100);
+        let mut prev = 0.0;
+        for i in 1..80 {
+            let x = model.switch_x(0, i as f64 * 0.25);
+            assert!(x > prev, "x not monotone at β = {}", i as f64 * 0.25);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn phase2_task_count() {
+        let model = OuterAnalysis::homogeneous(10, 100);
+        assert!((model.phase2_tasks(4.0) - (-4.0f64).exp() * 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_volume_consistent_with_ratio() {
+        let pf = Platform::from_speeds(vec![10.0, 30.0, 60.0]);
+        let model = OuterAnalysis::new(&pf, 50);
+        let lb = hetsched_platform::outer_lower_bound(50, &pf);
+        let beta = 3.0;
+        assert!((model.predicted_volume(beta) - model.ratio(beta) * lb).abs() < 1e-9);
+    }
+}

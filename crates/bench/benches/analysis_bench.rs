@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the analytic model: β optimization must be
+//! cheap enough to run inside a scheduler's startup path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched_analysis::ode::rk4;
+use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
+use hetsched_platform::{Platform, SpeedDistribution};
+use hetsched_util::rng::rng_for;
+use std::hint::black_box;
+
+fn bench_beta_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beta_optimization");
+    for p in [20usize, 100, 1000] {
+        let pf = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(1, 0));
+        group.bench_with_input(BenchmarkId::new("outer", p), &pf, |b, pf| {
+            let model = OuterAnalysis::new(pf, 100);
+            b.iter(|| black_box(model.optimal_beta()))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul", p), &pf, |b, pf| {
+            let model = MatmulAnalysis::new(pf, 100);
+            b.iter(|| black_box(model.optimal_beta()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ratio_evaluation(c: &mut Criterion) {
+    let pf = Platform::sample(100, &SpeedDistribution::paper_default(), &mut rng_for(2, 0));
+    let model = OuterAnalysis::new(&pf, 100);
+    c.bench_function("outer_ratio_single_eval", |b| {
+        b.iter(|| black_box(model.ratio(black_box(4.17))))
+    });
+}
+
+fn bench_ode_integration(c: &mut Criterion) {
+    // The RK4 cross-check used by the test suite.
+    c.bench_function("rk4_g_ode_2000_steps", |b| {
+        let alpha = 19.0;
+        b.iter(|| {
+            black_box(rk4(
+                |x, g| -2.0 * x * alpha / (1.0 - x * x) * g,
+                0.0,
+                1.0,
+                black_box(0.4),
+                2000,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_beta_optimization,
+    bench_ratio_evaluation,
+    bench_ode_integration
+);
+criterion_main!(benches);

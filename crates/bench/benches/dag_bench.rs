@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the DAG extension: graph generation and
+//! policy-driven simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched_dag::{cholesky_graph, qr_graph, simulate, Policy};
+use hetsched_platform::{Platform, SpeedDistribution};
+use hetsched_util::rng::rng_for;
+use std::hint::black_box;
+
+fn bench_graph_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_generation");
+    for t in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("cholesky", t), &t, |b, &t| {
+            b.iter(|| black_box(cholesky_graph(t).len()))
+        });
+    }
+    group.bench_function(BenchmarkId::new("qr", 24), |b| {
+        b.iter(|| black_box(qr_graph(24).len()))
+    });
+    group.finish();
+}
+
+fn bench_simulation_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_simulation");
+    group.sample_size(10);
+    let graph = cholesky_graph(24);
+    let pf = Platform::sample(16, &SpeedDistribution::paper_default(), &mut rng_for(1, 0));
+    for policy in [Policy::Random, Policy::DataAware, Policy::DataAwareCp] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                let r = simulate(&graph, &pf, policy, &mut rng_for(2, 0));
+                black_box(r.total_blocks)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_generation, bench_simulation_policies);
+criterion_main!(benches);

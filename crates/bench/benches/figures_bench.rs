@@ -1,0 +1,43 @@
+//! One Criterion benchmark per figure of the paper: each iteration
+//! regenerates the figure's full data set in quick mode (same code path as
+//! the paper-scale `figures` binary, reduced sizes).
+//!
+//! Fig. 3 is a schematic in the paper (no data), so it has no bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsched_core::extensions::{self, ALL_EXTENSIONS};
+use hetsched_core::figures::{by_id, FigOpts, ALL_FIGURES};
+use std::hint::black_box;
+
+fn bench_every_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+    let opts = FigOpts::quick();
+    for id in ALL_FIGURES {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let fig = by_id(id, &opts).expect("known figure id");
+                black_box(fig.series.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_every_extension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions_quick");
+    group.sample_size(10);
+    let opts = FigOpts::quick();
+    for id in ALL_EXTENSIONS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let fig = extensions::by_id(id, &opts).expect("known extension id");
+                black_box(fig.series.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_every_figure, bench_every_extension);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Regenerates the data behind every figure of the paper.
+//!
+//! ```text
+//! figures [--quick] [--trials T] [--seed S] [--csv DIR] [all | fig1 fig2 …]
+//! ```
+//!
+//! Prints each figure as an aligned table and, with `--csv DIR`, writes
+//! long-form CSV (`figure,series,x,mean,std_dev`) to `DIR/<id>.csv`.
+//! Figure 3 of the paper is a schematic with no data; it is intentionally
+//! absent.
+
+use hetsched_core::extensions::{self, ALL_EXTENSIONS};
+use hetsched_core::figures::{by_id, FigOpts, ALL_FIGURES};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = FigOpts::paper();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let q = FigOpts::quick();
+                opts.quick = true;
+                opts.trials = q.trials;
+                opts.hetero_trials = q.hetero_trials;
+            }
+            "--trials" => {
+                let t = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--trials needs a number"));
+                opts.trials = t;
+                opts.hetero_trials = opts.hetero_trials.max(t);
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--csv" => {
+                csv_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--csv needs a directory"))
+                        .clone(),
+                );
+            }
+            "all" => {
+                ids.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+                ids.extend(ALL_EXTENSIONS.iter().map(|s| s.to_string()));
+            }
+            other if other.starts_with("fig") || other.starts_with("ext") => {
+                ids.push(other.to_string())
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+
+    for id in &ids {
+        let start = Instant::now();
+        let Some(fig) = by_id(id, &opts).or_else(|| extensions::by_id(id, &opts)) else {
+            eprintln!("unknown figure id: {id} (fig3 is a schematic, no data)");
+            continue;
+        };
+        println!("{}", fig.to_table());
+        eprintln!("[{} regenerated in {:.1?}]", id, start.elapsed());
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{id}.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv file");
+            f.write_all(fig.to_csv().as_bytes()).expect("write csv");
+            eprintln!("[wrote {path}]");
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: figures [--quick] [--trials T] [--seed S] [--csv DIR] \
+         [all | fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 extA extB extC]"
+    );
+    std::process::exit(2)
+}

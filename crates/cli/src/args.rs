@@ -1,0 +1,177 @@
+//! A small flag parser: `--key value`, `--flag`, and positionals.
+//!
+//! The approved dependency list has no CLI crate; the surface we need —
+//! typed lookups with defaults and good error messages — is ~100 lines.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: flags (`--key value` / bare `--switch`) plus
+/// positionals, in order.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+    positionals: Vec<String>,
+}
+
+/// A bare `--switch` (no value) is stored with this marker.
+const SWITCH: &str = "\u{1}";
+
+impl Args {
+    /// Parses a raw argument list. Values never start with `--` (write
+    /// `--delta -- -1` is unsupported; none of our values are negative).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("stray `--`".into());
+                }
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        if out.flags.insert(key.to_string(), v).is_some() {
+                            return Err(format!("duplicate flag --{key}"));
+                        }
+                    }
+                    _ => {
+                        if out.flags.insert(key.to_string(), SWITCH.into()).is_some() {
+                            return Err(format!("duplicate flag --{key}"));
+                        }
+                        out.switches.push(key.to_string());
+                    }
+                }
+            } else {
+                out.positionals.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// True if `--key` appeared without a value.
+    pub fn switch(&self, key: &str) -> bool {
+        self.flags.get(key).map(|v| v == SWITCH).unwrap_or(false)
+    }
+
+    /// String value of `--key`, if present (and not a bare switch).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .get(key)
+            .map(|s| s.as_str())
+            .filter(|s| *s != SWITCH)
+    }
+
+    /// Typed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Required typed value.
+    #[allow(dead_code)] // part of the parser's surface; exercised in tests
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let v = self.get(key).ok_or(format!("missing required --{key}"))?;
+        v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}"))
+    }
+
+    /// Comma-separated `f64` list.
+    pub fn get_f64_list(&self, key: &str) -> Result<Option<Vec<f64>>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("--{key}: bad number {s:?}"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .map(Some),
+        }
+    }
+
+    /// Rejects unknown flags (call after reading all expected ones).
+    pub fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown flag --{k} (expected one of: {})",
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).expect("parse")
+    }
+
+    #[test]
+    fn flags_values_positionals() {
+        // Note the grammar: a bare switch must be followed by another flag
+        // or the end of the line ("--quick extra" would read `extra` as
+        // the switch's value).
+        let a = parse("simulate extra --kernel outer --trials 10 --quick");
+        assert_eq!(a.positionals(), &["simulate", "extra"]);
+        assert_eq!(a.get("kernel"), Some("outer"));
+        assert_eq!(a.get_or("trials", 0usize).unwrap(), 10);
+        assert!(a.switch("quick"));
+        assert!(!a.switch("kernel"));
+        assert_eq!(a.get("quick"), None, "switches have no value");
+    }
+
+    #[test]
+    fn defaults_and_requires() {
+        let a = parse("x --n 50");
+        assert_eq!(a.get_or("n", 7usize).unwrap(), 50);
+        assert_eq!(a.get_or("p", 7usize).unwrap(), 7);
+        assert!(a.require::<usize>("missing").is_err());
+        assert!(a.get_or::<usize>("n", 0).is_ok());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Args::parse(["--".to_string()]).is_err());
+        assert!(Args::parse(["--a".into(), "1".into(), "--a".into(), "2".into()]).is_err());
+        let a = parse("x --n abc");
+        assert!(a.get_or("n", 1usize).is_err());
+    }
+
+    #[test]
+    fn f64_lists() {
+        let a = parse("x --speeds 10,20.5,70");
+        assert_eq!(
+            a.get_f64_list("speeds").unwrap().unwrap(),
+            vec![10.0, 20.5, 70.0]
+        );
+        assert!(parse("x").get_f64_list("speeds").unwrap().is_none());
+        assert!(parse("x --speeds 1,oops").get_f64_list("speeds").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detection() {
+        let a = parse("x --good 1 --bad 2");
+        assert!(a.ensure_known(&["good"]).is_err());
+        assert!(a.ensure_known(&["good", "bad"]).is_ok());
+    }
+}

@@ -1,0 +1,419 @@
+//! The CLI's subcommands. Each returns its output as a `String` so the
+//! unit tests can assert on it; `main` just prints.
+
+use crate::args::Args;
+use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
+use hetsched_core::{run_trials, BetaChoice, ExperimentConfig, Kernel, Strategy};
+use hetsched_dag::{cholesky_graph, qr_graph, simulate, Policy};
+use hetsched_partition::optimal_column_partition;
+use hetsched_platform::{Platform, Scenario, SpeedDistribution};
+use hetsched_util::rng::rng_for;
+use std::fmt::Write as _;
+
+/// Top-level dispatch.
+pub fn run(argv: Vec<String>) -> Result<String, String> {
+    let args = Args::parse(argv)?;
+    let Some(cmd) = args.positionals().first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "simulate" => simulate_cmd(&args),
+        "analyze" => analyze_cmd(&args),
+        "partition" => partition_cmd(&args),
+        "dag" => dag_cmd(&args),
+        "figures" => figures_cmd(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// Help text.
+pub fn usage() -> String {
+    "\
+hetsched — dynamic scheduling strategies on heterogeneous platforms
+(Beaumont & Marchal, HPDC 2014, reproduced in Rust)
+
+USAGE: hetsched <command> [flags]
+
+COMMANDS
+  simulate   run one strategy and report communication/makespan
+             --kernel outer|matmul (outer)   --n BLOCKS (100)
+             --p WORKERS (20)                --strategy random|sorted|dynamic|two-phase|static (two-phase)
+             --beta analytic|homogeneous|FLOAT (analytic)
+             --trials N (10)                 --seed S (0xC0FFEE)
+             --scenario unif.1|unif.2|set.3|set.5|dyn.5|dyn.20
+             --speeds S1,S2,…                (fixed platform; overrides --p)
+  analyze    query the analytic model (β*, threshold, ratio landscape)
+             --kernel outer|matmul (outer)   --n BLOCKS (100)
+             --p WORKERS (20)                --speeds S1,S2,…
+  partition  static square partition for given speeds (7/4-approximation)
+             --speeds S1,S2,… (required)     --n BLOCKS (optional grid)
+  dag        schedule a tiled factorization DAG
+             --kernel cholesky|qr (cholesky) --t TILES (16)
+             --p WORKERS (8)                 --policy random|data-aware|cp|critical-path (data-aware)
+             --seed S (1)
+  figures    regenerate paper figures / extension experiments
+             positional ids (fig1 … fig11, extA … extD) --quick --trials N --seed S
+  help       this text
+"
+    .to_string()
+}
+
+fn parse_strategy(args: &Args) -> Result<Strategy, String> {
+    let beta = args.get("beta").unwrap_or("analytic");
+    let choice = match beta {
+        "analytic" => BetaChoice::Analytic,
+        "homogeneous" | "hom" => BetaChoice::Homogeneous,
+        v => BetaChoice::Fixed(
+            v.parse()
+                .map_err(|_| format!("--beta: expected analytic|homogeneous|FLOAT, got {v:?}"))?,
+        ),
+    };
+    match args.get("strategy").unwrap_or("two-phase") {
+        "random" => Ok(Strategy::Random),
+        "sorted" => Ok(Strategy::Sorted),
+        "dynamic" => Ok(Strategy::Dynamic),
+        "two-phase" | "2phase" | "two_phase" => Ok(Strategy::TwoPhase(choice)),
+        "static" => Ok(Strategy::Static),
+        other => Err(format!(
+            "--strategy: expected random|sorted|dynamic|two-phase|static, got {other:?}"
+        )),
+    }
+}
+
+fn parse_scenario(name: &str) -> Result<Scenario, String> {
+    Scenario::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or(format!(
+            "--scenario: expected one of unif.1, unif.2, set.3, set.5, dyn.5, dyn.20; got {name:?}"
+        ))
+}
+
+fn simulate_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&[
+        "kernel", "n", "p", "strategy", "beta", "trials", "seed", "scenario", "speeds",
+    ])?;
+    let n: usize = args.get_or("n", 100)?;
+    let kernel = match args.get("kernel").unwrap_or("outer") {
+        "outer" => Kernel::Outer { n },
+        "matmul" => Kernel::Matmul { n },
+        other => return Err(format!("--kernel: expected outer|matmul, got {other:?}")),
+    };
+    let strategy = parse_strategy(args)?;
+    let trials: usize = args.get_or("trials", 10)?;
+    let seed: u64 = args.get_or("seed", 0xC0FFEE)?;
+
+    let mut cfg = ExperimentConfig {
+        kernel,
+        strategy,
+        processors: args.get_or("p", 20)?,
+        ..Default::default()
+    };
+    if let Some(name) = args.get("scenario") {
+        let sc = parse_scenario(name)?;
+        cfg.distribution = sc.distribution();
+        cfg.speed_model = sc.speed_model();
+    }
+    if let Some(speeds) = args.get_f64_list("speeds")? {
+        cfg.processors = speeds.len();
+        cfg.platform = Some(Platform::from_speeds(speeds));
+    }
+    cfg.validate()?;
+
+    let sum = run_trials(&cfg, trials, seed);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} on {:?}, p = {}, {} tasks, {} trials",
+        strategy.label(kernel),
+        kernel,
+        cfg.processors,
+        kernel.total_tasks(),
+        trials
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "normalized communication : {:.3} ± {:.3}  (1.0 = lower bound)",
+        sum.normalized_comm.mean(),
+        sum.normalized_comm.std_dev()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "total blocks shipped     : {:.0} ± {:.0}",
+        sum.total_blocks.mean(),
+        sum.total_blocks.std_dev()
+    )
+    .unwrap();
+    writeln!(out, "simulated makespan       : {:.3}", sum.makespan.mean()).unwrap();
+    if sum.beta_used.count() > 0 {
+        writeln!(out, "β used                   : {:.4}", sum.beta_used.mean()).unwrap();
+    }
+    Ok(out)
+}
+
+fn analyze_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["kernel", "n", "p", "speeds"])?;
+    let n: usize = args.get_or("n", 100)?;
+    let p: usize = args.get_or("p", 20)?;
+    let rs: Vec<f64> = match args.get_f64_list("speeds")? {
+        Some(speeds) => Platform::from_speeds(speeds).relative_speeds(),
+        None => vec![1.0 / p as f64; p],
+    };
+    let pp = rs.len();
+
+    let mut out = String::new();
+    let (kernel_name, beta, ratio, threshold, curve): (_, f64, f64, usize, Vec<(f64, f64)>) =
+        match args.get("kernel").unwrap_or("outer") {
+            "outer" => {
+                let m = OuterAnalysis::from_relative_speeds(rs, n);
+                let (b, r) = m.optimal_beta();
+                let th = m.phase2_tasks(b) as usize;
+                let curve = (2..=16)
+                    .map(|i| {
+                        let beta = i as f64 * 0.5;
+                        (beta, m.ratio(beta))
+                    })
+                    .collect();
+                ("outer product", b, r, th, curve)
+            }
+            "matmul" => {
+                let m = MatmulAnalysis::from_relative_speeds(rs, n);
+                let (b, r) = m.optimal_beta();
+                let th = m.phase2_tasks(b) as usize;
+                let curve = (2..=16)
+                    .map(|i| {
+                        let beta = i as f64 * 0.5;
+                        (beta, m.ratio(beta))
+                    })
+                    .collect();
+                ("matrix multiplication", b, r, th, curve)
+            }
+            other => return Err(format!("--kernel: expected outer|matmul, got {other:?}")),
+        };
+
+    writeln!(out, "analytic model: {kernel_name}, p = {pp}, n = {n}").unwrap();
+    writeln!(out, "optimal β                : {beta:.4}").unwrap();
+    writeln!(out, "predicted comm ratio     : {ratio:.4}  (1.0 = lower bound)").unwrap();
+    writeln!(out, "switch when tasks remain : {threshold}").unwrap();
+    writeln!(out, "\n{:>6}  {:>10}", "β", "ratio").unwrap();
+    for (b, r) in curve {
+        writeln!(out, "{b:>6.1}  {r:>10.4}").unwrap();
+    }
+    Ok(out)
+}
+
+fn partition_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["speeds", "n"])?;
+    let speeds = args
+        .get_f64_list("speeds")?
+        .ok_or("partition needs --speeds S1,S2,…")?;
+    let platform = Platform::from_speeds(speeds);
+    let areas = platform.relative_speeds();
+    let part = optimal_column_partition(&areas);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "column partition: {} rectangles in {} columns",
+        part.rects.len(),
+        part.columns
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "half-perimeter cost {:.4}, lower bound {:.4}, ratio {:.4} (≤ 1.75 guaranteed)",
+        part.cost,
+        hetsched_partition::ColumnPartition::lower_bound(&areas),
+        part.approximation_ratio(&areas)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "\n{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "owner", "x", "y", "w", "h"
+    )
+    .unwrap();
+    for r in &part.rects {
+        writeln!(
+            out,
+            "{:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            r.owner, r.x, r.y, r.w, r.h
+        )
+        .unwrap();
+    }
+    if let Some(n) = args.get("n") {
+        let n: usize = n.parse().map_err(|_| "--n: bad number")?;
+        let grid = hetsched_partition::GridPartition::from_continuous(&part, n);
+        writeln!(
+            out,
+            "\non the {n}×{n} block grid: {} tasks, {} blocks of static communication",
+            grid.total_tasks(),
+            grid.total_comm()
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn dag_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["kernel", "t", "p", "policy", "seed"])?;
+    let t: usize = args.get_or("t", 16)?;
+    let p: usize = args.get_or("p", 8)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let graph = match args.get("kernel").unwrap_or("cholesky") {
+        "cholesky" => cholesky_graph(t),
+        "qr" => qr_graph(t),
+        other => return Err(format!("--kernel: expected cholesky|qr, got {other:?}")),
+    };
+    let policy = match args.get("policy").unwrap_or("data-aware") {
+        "random" => Policy::Random,
+        "data-aware" | "dataaware" => Policy::DataAware,
+        "cp" | "data-aware-cp" => Policy::DataAwareCp,
+        "critical-path" => Policy::CriticalPath,
+        other => {
+            return Err(format!(
+                "--policy: expected random|data-aware|cp|critical-path, got {other:?}"
+            ))
+        }
+    };
+    let platform = Platform::sample(
+        p,
+        &SpeedDistribution::paper_default(),
+        &mut rng_for(seed, 0),
+    );
+    let r = simulate(&graph, &platform, policy, &mut rng_for(seed, 1));
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} on {t}×{t} tiles: {} tasks, critical path {:.2}",
+        policy.label(),
+        graph.len(),
+        graph.critical_path()
+    )
+    .unwrap();
+    writeln!(out, "blocks shipped  : {} ({:.2}/task)", r.total_blocks, r.comm_per_task()).unwrap();
+    writeln!(
+        out,
+        "makespan        : {:.4} ({:.3}× the max(work, CP) bound)",
+        r.makespan,
+        r.makespan_ratio(&graph, &platform)
+    )
+    .unwrap();
+    writeln!(out, "tasks per worker: {:?}", r.tasks_per_worker).unwrap();
+    Ok(out)
+}
+
+fn figures_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["quick", "trials", "seed"])?;
+    let mut opts = hetsched_core::figures::FigOpts::paper();
+    if args.switch("quick") {
+        opts = hetsched_core::figures::FigOpts::quick();
+    }
+    opts.trials = args.get_or("trials", opts.trials)?;
+    opts.seed = args.get_or("seed", opts.seed)?;
+
+    let ids: Vec<&String> = args.positionals().iter().skip(1).collect();
+    if ids.is_empty() {
+        return Err("figures: give at least one id (fig1 … fig11, extA … extD)".into());
+    }
+    let mut out = String::new();
+    for id in ids {
+        let fig = hetsched_core::figures::by_id(id, &opts)
+            .or_else(|| hetsched_core::extensions::by_id(id, &opts))
+            .ok_or(format!("unknown figure id {id:?} (fig3 is a schematic)"))?;
+        out.push_str(&fig.to_table());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, String> {
+        run(s.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_str("help").unwrap().contains("USAGE"));
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(run(vec![]).is_err());
+    }
+
+    #[test]
+    fn simulate_outer_two_phase() {
+        let out = run_str("simulate --n 30 --p 5 --trials 3 --seed 7").unwrap();
+        assert!(out.contains("DynamicOuter2Phases"), "{out}");
+        assert!(out.contains("normalized communication"));
+        assert!(out.contains("β used"));
+    }
+
+    #[test]
+    fn simulate_with_explicit_speeds_and_static() {
+        let out =
+            run_str("simulate --strategy static --speeds 10,20,70 --n 40 --trials 2").unwrap();
+        assert!(out.contains("StaticOuter"), "{out}");
+    }
+
+    #[test]
+    fn simulate_scenario_and_matmul() {
+        let out = run_str(
+            "simulate --kernel matmul --n 10 --p 4 --strategy dynamic --trials 2 --scenario dyn.5",
+        )
+        .unwrap();
+        assert!(out.contains("DynamicMatrix"), "{out}");
+        assert!(run_str("simulate --scenario nope").is_err());
+        assert!(run_str("simulate --kernel cube").is_err());
+        assert!(run_str("simulate --strategy static --kernel matmul --n 8 --p 2").is_err());
+    }
+
+    #[test]
+    fn analyze_outputs_beta() {
+        let out = run_str("analyze --n 100 --p 20").unwrap();
+        assert!(out.contains("optimal β"), "{out}");
+        // β for (20, 100) is ≈ 4.37; check the digits appear.
+        assert!(out.contains("4.3") || out.contains("4.4"), "{out}");
+        let mm = run_str("analyze --kernel matmul --n 40 --p 100").unwrap();
+        assert!(mm.contains("matrix multiplication"));
+    }
+
+    #[test]
+    fn partition_outputs_rects() {
+        let out = run_str("partition --speeds 25,25,25,25 --n 10").unwrap();
+        assert!(out.contains("4 rectangles in 2 columns"), "{out}");
+        assert!(out.contains("ratio 1.0000"), "{out}");
+        assert!(out.contains("100 tasks"));
+        assert!(run_str("partition").is_err());
+    }
+
+    #[test]
+    fn dag_runs() {
+        let out = run_str("dag --t 6 --p 3 --policy cp").unwrap();
+        assert!(out.contains("DataAwareCpDag"), "{out}");
+        assert!(out.contains("blocks shipped"));
+        let qr = run_str("dag --kernel qr --t 4 --p 2 --policy random").unwrap();
+        assert!(qr.contains("RandomDag"));
+        assert!(run_str("dag --policy nope").is_err());
+    }
+
+    #[test]
+    fn figures_quick() {
+        let out = run_str("figures fig1 --quick --trials 2").unwrap();
+        assert!(out.contains("fig1"), "{out}");
+        assert!(run_str("figures").is_err());
+        assert!(run_str("figures fig3 --quick").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(run_str("simulate --bogus 3").is_err());
+        assert!(run_str("analyze --whatever yes").is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! `hetsched` — the command-line face of the workspace.
+//!
+//! See `hetsched help` (or [`commands::usage`]) for the command reference.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(argv) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

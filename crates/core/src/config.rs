@@ -1,0 +1,242 @@
+//! Declarative experiment configuration.
+
+use hetsched_platform::{Platform, SpeedDistribution, SpeedModel};
+
+/// Which kernel to schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Outer product of two vectors of `n` blocks (`n²` tasks).
+    Outer { n: usize },
+    /// Multiplication of two `n × n`-block matrices (`n³` tasks).
+    Matmul { n: usize },
+}
+
+impl Kernel {
+    /// Blocks per dimension.
+    pub fn n(&self) -> usize {
+        match *self {
+            Kernel::Outer { n } | Kernel::Matmul { n } => n,
+        }
+    }
+
+    /// Total number of elementary tasks.
+    pub fn total_tasks(&self) -> usize {
+        match *self {
+            Kernel::Outer { n } => n * n,
+            Kernel::Matmul { n } => n * n * n,
+        }
+    }
+
+    /// Communication lower bound on `platform`, in blocks.
+    pub fn lower_bound(&self, platform: &Platform) -> f64 {
+        match *self {
+            Kernel::Outer { n } => hetsched_platform::outer_lower_bound(n, platform),
+            Kernel::Matmul { n } => hetsched_platform::matmul_lower_bound(n, platform),
+        }
+    }
+}
+
+/// How the two-phase strategies pick their switch-over threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BetaChoice {
+    /// Minimize the analytic ratio for the *actual* platform draw.
+    Analytic,
+    /// Minimize the analytic ratio for a homogeneous platform with the same
+    /// `p` and `n` (§3.6 — the speed-agnostic choice a runtime would make).
+    Homogeneous,
+    /// Use this β directly (`threshold = e^{−β}·task-count`).
+    Fixed(f64),
+    /// Process this fraction of the tasks in phase 1 (Fig. 2's x-axis).
+    Phase1Fraction(f64),
+}
+
+/// Scheduling strategy, orthogonal to the kernel (except `Static`, which
+/// only exists for the outer product).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Strategy {
+    /// `RandomOuter` / `RandomMatrix`.
+    Random,
+    /// `SortedOuter` / `SortedMatrix`.
+    Sorted,
+    /// `DynamicOuter` / `DynamicMatrix`.
+    Dynamic,
+    /// `DynamicOuter2Phases` / `DynamicMatrix2Phases`.
+    TwoPhase(BetaChoice),
+    /// `StaticOuter`: the speed-aware 7/4-approximation square partition
+    /// (the paper's reference \[2\], used here as a measured comparison
+    /// basis). Outer product only; the partition is computed from the
+    /// run's platform speeds — i.e. it assumes *perfect* speed knowledge.
+    Static,
+}
+
+impl Strategy {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self, kernel: Kernel) -> &'static str {
+        match (self, kernel) {
+            (Strategy::Random, Kernel::Outer { .. }) => "RandomOuter",
+            (Strategy::Sorted, Kernel::Outer { .. }) => "SortedOuter",
+            (Strategy::Dynamic, Kernel::Outer { .. }) => "DynamicOuter",
+            (Strategy::TwoPhase(_), Kernel::Outer { .. }) => "DynamicOuter2Phases",
+            (Strategy::Random, Kernel::Matmul { .. }) => "RandomMatrix",
+            (Strategy::Sorted, Kernel::Matmul { .. }) => "SortedMatrix",
+            (Strategy::Dynamic, Kernel::Matmul { .. }) => "DynamicMatrix",
+            (Strategy::TwoPhase(_), Kernel::Matmul { .. }) => "DynamicMatrix2Phases",
+            (Strategy::Static, Kernel::Outer { .. }) => "StaticOuter",
+            (Strategy::Static, Kernel::Matmul { .. }) => "StaticOuter(unsupported)",
+        }
+    }
+}
+
+/// A complete, seedable experiment description.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Kernel and problem size.
+    pub kernel: Kernel,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Number of workers.
+    pub processors: usize,
+    /// How base speeds are drawn (ignored when `platform` is set).
+    pub distribution: SpeedDistribution,
+    /// Run-time speed behaviour (fixed or `dyn.*` jitter).
+    pub speed_model: SpeedModel,
+    /// Optional fixed platform, for sweeps that must hold the speed draw
+    /// constant across configurations (Figs. 2, 6, 11). When `None`, each
+    /// trial draws a fresh platform from `distribution`.
+    pub platform: Option<Platform>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            kernel: Kernel::Outer { n: 100 },
+            strategy: Strategy::TwoPhase(BetaChoice::Analytic),
+            processors: 20,
+            distribution: SpeedDistribution::paper_default(),
+            speed_model: SpeedModel::Fixed,
+            platform: None,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Validates internal consistency; called by the runner.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.processors == 0 {
+            return Err("experiment needs at least one processor".into());
+        }
+        if self.kernel.n() == 0 {
+            return Err("kernel needs at least one block".into());
+        }
+        if let Some(pf) = &self.platform {
+            if pf.len() != self.processors {
+                return Err(format!(
+                    "fixed platform has {} processors, config says {}",
+                    pf.len(),
+                    self.processors
+                ));
+            }
+        }
+        if let Strategy::TwoPhase(BetaChoice::Fixed(b)) = self.strategy {
+            if !b.is_finite() || b < 0.0 {
+                return Err(format!("invalid fixed β: {b}"));
+            }
+        }
+        if let Strategy::TwoPhase(BetaChoice::Phase1Fraction(f)) = self.strategy {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("phase-1 fraction {f} outside [0, 1]"));
+            }
+        }
+        if matches!(
+            (self.strategy, self.kernel),
+            (Strategy::Static, Kernel::Matmul { .. })
+        ) {
+            return Err("Static partitioning is implemented for the outer product only".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_task_counts() {
+        assert_eq!(Kernel::Outer { n: 100 }.total_tasks(), 10_000);
+        assert_eq!(Kernel::Matmul { n: 40 }.total_tasks(), 64_000);
+        assert_eq!(Kernel::Matmul { n: 100 }.total_tasks(), 1_000_000);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let o = Kernel::Outer { n: 1 };
+        let m = Kernel::Matmul { n: 1 };
+        assert_eq!(Strategy::Random.label(o), "RandomOuter");
+        assert_eq!(Strategy::Sorted.label(m), "SortedMatrix");
+        assert_eq!(
+            Strategy::TwoPhase(BetaChoice::Analytic).label(o),
+            "DynamicOuter2Phases"
+        );
+        assert_eq!(Strategy::Dynamic.label(m), "DynamicMatrix");
+    }
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ExperimentConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn static_matmul_rejected() {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Matmul { n: 4 },
+            strategy: Strategy::Static,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let ok = ExperimentConfig {
+            strategy: Strategy::Static,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let cfg = ExperimentConfig {
+            processors: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        let cfg = ExperimentConfig {
+            strategy: Strategy::TwoPhase(BetaChoice::Fixed(-1.0)),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        let cfg = ExperimentConfig {
+            strategy: Strategy::TwoPhase(BetaChoice::Phase1Fraction(1.5)),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ExperimentConfig {
+            platform: Some(Platform::homogeneous(3)),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "platform size mismatch");
+        cfg.processors = 3;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn lower_bound_dispatch() {
+        let pf = Platform::homogeneous(4);
+        assert!(
+            (Kernel::Outer { n: 10 }.lower_bound(&pf) - 2.0 * 10.0 * 2.0).abs() < 1e-9
+        );
+        let expected = 3.0 * 100.0 * 4.0 * 0.25f64.powf(2.0 / 3.0);
+        assert!((Kernel::Matmul { n: 10 }.lower_bound(&pf) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment orchestration for the `hetsched` workspace.
+//!
+//! This crate turns the kernels, strategies, platform models and analytic
+//! models of the lower-level crates into *experiments*:
+//!
+//! * [`config`] — declarative experiment descriptions
+//!   ([`ExperimentConfig`]: kernel, strategy, platform recipe);
+//! * [`runner`] — seeded single runs ([`run_once`]) and parallel
+//!   multi-trial campaigns ([`run_trials`], crossbeam-scoped threads, one
+//!   derived RNG stream per trial);
+//! * [`figures`] — one function per figure of the paper, returning the
+//!   plotted data series (means and standard deviations over trials,
+//!   normalized by the communication lower bound);
+//! * [`extensions`] — measured experiments beyond the paper: the static
+//!   7/4-partition trade-off, the `dyn.*` model ablation, and the
+//!   analysis-flavour comparison;
+//! * [`series`] — the figure data model and its CSV rendering.
+//!
+//! Everything is deterministic given the master seed: platform draws,
+//! scheduler decisions and trial parallelism all derive independent
+//! `SplitMix64` streams from it.
+
+pub mod config;
+pub mod extensions;
+pub mod figures;
+pub mod runner;
+pub mod series;
+
+pub use config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
+pub use runner::{run_once, run_trials, RunResult, TrialSummary};
+pub use series::{FigureData, Point, Series};

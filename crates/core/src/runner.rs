@@ -1,0 +1,381 @@
+//! Seeded experiment execution: single runs and parallel trial campaigns.
+
+use crate::config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
+use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
+use hetsched_matmul::{DynamicMatrix, DynamicMatrix2Phases, RandomMatrix, SortedMatrix};
+use hetsched_outer::{DynamicOuter, DynamicOuter2Phases, RandomOuter, SortedOuter};
+use hetsched_platform::Platform;
+use hetsched_util::rng::{derive_seed, rng_for};
+use hetsched_util::OnlineStats;
+
+/// RNG stream ids, so the platform draw and the scheduling run are
+/// independent for a given trial seed.
+const STREAM_PLATFORM: u64 = 0x11;
+const STREAM_RUN: u64 = 0x22;
+
+/// Outcome of a single seeded run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Total blocks shipped.
+    pub total_blocks: u64,
+    /// Total blocks divided by the kernel's lower bound on this platform.
+    pub normalized_comm: f64,
+    /// Simulated completion time.
+    pub makespan: f64,
+    /// The lower bound used for normalization.
+    pub lower_bound: f64,
+    /// β actually used, if the strategy was two-phase with a β-derived
+    /// threshold.
+    pub beta_used: Option<f64>,
+    /// `(phase1_blocks, phase2_blocks, phase1_tasks, phase2_tasks)` for
+    /// two-phase strategies.
+    pub phase_split: Option<(u64, u64, usize, usize)>,
+    /// Tasks computed per worker.
+    pub tasks_per_proc: Vec<u64>,
+    /// Blocks received per worker.
+    pub blocks_per_proc: Vec<u64>,
+    /// The platform the run used (drawn or fixed).
+    pub platform: Platform,
+}
+
+/// Aggregate over a trial campaign.
+#[derive(Clone, Debug)]
+pub struct TrialSummary {
+    /// Normalized communication volume across trials.
+    pub normalized_comm: OnlineStats,
+    /// Raw block totals across trials.
+    pub total_blocks: OnlineStats,
+    /// Makespans across trials.
+    pub makespan: OnlineStats,
+    /// β values used across trials (empty stats for non-two-phase runs).
+    pub beta_used: OnlineStats,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+/// The platform a given `(config, seed)` pair will run on — the fixed one
+/// if the config carries it, otherwise the seeded draw [`run_once`] would
+/// make. Lets analysis curves be computed on exactly the platforms the
+/// simulation used.
+pub fn platform_for(cfg: &ExperimentConfig, seed: u64) -> Platform {
+    match &cfg.platform {
+        Some(pf) => pf.clone(),
+        None => Platform::sample(
+            cfg.processors,
+            &cfg.distribution,
+            &mut rng_for(seed, STREAM_PLATFORM),
+        ),
+    }
+}
+
+/// Seed of trial `i` in a [`run_trials`] campaign with master `seed`.
+pub fn trial_seed(seed: u64, i: usize) -> u64 {
+    derive_seed(seed, i as u64)
+}
+
+/// Runs one seeded experiment.
+///
+/// The platform is drawn from the config's distribution using one derived
+/// stream (unless a fixed platform is supplied) and the scheduling run uses
+/// another, so e.g. sweeping β with the same seed holds everything else
+/// constant.
+pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
+    cfg.validate().expect("invalid experiment config");
+    let platform = platform_for(cfg, seed);
+    let n = cfg.kernel.n();
+    let p = cfg.processors;
+    let lb = cfg.kernel.lower_bound(&platform);
+    let mut rng = rng_for(seed, STREAM_RUN);
+
+    // Resolve β (and hence the threshold) if needed.
+    let beta_used = match (&cfg.strategy, &cfg.kernel) {
+        (Strategy::TwoPhase(BetaChoice::Analytic), Kernel::Outer { .. }) => {
+            Some(OuterAnalysis::new(&platform, n).optimal_beta().0)
+        }
+        (Strategy::TwoPhase(BetaChoice::Analytic), Kernel::Matmul { .. }) => {
+            Some(MatmulAnalysis::new(&platform, n).optimal_beta().0)
+        }
+        (Strategy::TwoPhase(BetaChoice::Homogeneous), Kernel::Outer { .. }) => {
+            Some(OuterAnalysis::homogeneous(p, n).optimal_beta().0)
+        }
+        (Strategy::TwoPhase(BetaChoice::Homogeneous), Kernel::Matmul { .. }) => {
+            Some(MatmulAnalysis::homogeneous(p, n).optimal_beta().0)
+        }
+        (Strategy::TwoPhase(BetaChoice::Fixed(b)), _) => Some(*b),
+        _ => None,
+    };
+
+    // Dispatch on (kernel, strategy). Each arm runs the generic engine with
+    // its concrete scheduler and harvests strategy-specific accounting.
+    let (report, phase_split) = match (cfg.kernel, cfg.strategy) {
+        (Kernel::Outer { n }, Strategy::Random) => {
+            let (r, _) =
+                hetsched_sim::run(&platform, cfg.speed_model, RandomOuter::new(n, p), &mut rng);
+            (r, None)
+        }
+        (Kernel::Outer { n }, Strategy::Sorted) => {
+            let (r, _) =
+                hetsched_sim::run(&platform, cfg.speed_model, SortedOuter::new(n, p), &mut rng);
+            (r, None)
+        }
+        (Kernel::Outer { n }, Strategy::Dynamic) => {
+            let (r, _) = hetsched_sim::run(
+                &platform,
+                cfg.speed_model,
+                DynamicOuter::new(n, p),
+                &mut rng,
+            );
+            (r, None)
+        }
+        (Kernel::Outer { n }, Strategy::Static) => {
+            let (r, _) = hetsched_sim::run(
+                &platform,
+                cfg.speed_model,
+                hetsched_partition::StaticOuter::new(n, &platform),
+                &mut rng,
+            );
+            (r, None)
+        }
+        (Kernel::Matmul { .. }, Strategy::Static) => {
+            unreachable!("rejected by validate()")
+        }
+        (Kernel::Outer { n }, Strategy::TwoPhase(choice)) => {
+            let sched = match (choice, beta_used) {
+                (BetaChoice::Phase1Fraction(f), _) => {
+                    DynamicOuter2Phases::with_phase1_fraction(n, p, f)
+                }
+                (_, Some(b)) => DynamicOuter2Phases::with_beta(n, p, b),
+                _ => unreachable!("β resolved above for non-fraction choices"),
+            };
+            let (r, s) = hetsched_sim::run(&platform, cfg.speed_model, sched, &mut rng);
+            let split = (
+                s.phase1_blocks(),
+                s.phase2_blocks(),
+                s.phase1_tasks(),
+                s.phase2_tasks(),
+            );
+            (r, Some(split))
+        }
+        (Kernel::Matmul { n }, Strategy::Random) => {
+            let (r, _) = hetsched_sim::run(
+                &platform,
+                cfg.speed_model,
+                RandomMatrix::new(n, p),
+                &mut rng,
+            );
+            (r, None)
+        }
+        (Kernel::Matmul { n }, Strategy::Sorted) => {
+            let (r, _) = hetsched_sim::run(
+                &platform,
+                cfg.speed_model,
+                SortedMatrix::new(n, p),
+                &mut rng,
+            );
+            (r, None)
+        }
+        (Kernel::Matmul { n }, Strategy::Dynamic) => {
+            let (r, _) = hetsched_sim::run(
+                &platform,
+                cfg.speed_model,
+                DynamicMatrix::new(n, p),
+                &mut rng,
+            );
+            (r, None)
+        }
+        (Kernel::Matmul { n }, Strategy::TwoPhase(choice)) => {
+            let sched = match (choice, beta_used) {
+                (BetaChoice::Phase1Fraction(f), _) => {
+                    DynamicMatrix2Phases::with_phase1_fraction(n, p, f)
+                }
+                (_, Some(b)) => DynamicMatrix2Phases::with_beta(n, p, b),
+                _ => unreachable!("β resolved above for non-fraction choices"),
+            };
+            let (r, s) = hetsched_sim::run(&platform, cfg.speed_model, sched, &mut rng);
+            let split = (
+                s.phase1_blocks(),
+                s.phase2_blocks(),
+                s.phase1_tasks(),
+                s.phase2_tasks(),
+            );
+            (r, Some(split))
+        }
+    };
+
+    RunResult {
+        total_blocks: report.total_blocks,
+        normalized_comm: report.normalized(lb),
+        makespan: report.makespan,
+        lower_bound: lb,
+        beta_used,
+        phase_split,
+        tasks_per_proc: report.ledger.tasks_per_proc().to_vec(),
+        blocks_per_proc: report.ledger.blocks_per_proc().to_vec(),
+        platform,
+    }
+}
+
+/// Runs `trials` independent seeded trials in parallel (crossbeam-scoped
+/// threads) and aggregates. Trial `i` uses seed `derive_seed(seed, i)`, so
+/// results are independent of the thread count and schedule.
+pub fn run_trials(cfg: &ExperimentConfig, trials: usize, seed: u64) -> TrialSummary {
+    assert!(trials > 0, "need at least one trial");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials);
+
+    let results: Vec<RunResult> = if threads <= 1 || trials == 1 {
+        (0..trials)
+            .map(|i| run_once(cfg, derive_seed(seed, i as u64)))
+            .collect()
+    } else {
+        let mut slots: Vec<Option<RunResult>> = (0..trials).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (t, chunk) in slots.chunks_mut(trials.div_ceil(threads)).enumerate() {
+                let base = t * trials.div_ceil(threads);
+                scope.spawn(move |_| {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        let i = base + off;
+                        *slot = Some(run_once(cfg, derive_seed(seed, i as u64)));
+                    }
+                });
+            }
+        })
+        .expect("trial thread panicked");
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    };
+
+    let mut summary = TrialSummary {
+        normalized_comm: OnlineStats::new(),
+        total_blocks: OnlineStats::new(),
+        makespan: OnlineStats::new(),
+        beta_used: OnlineStats::new(),
+        trials,
+    };
+    for r in &results {
+        summary.normalized_comm.push(r.normalized_comm);
+        summary.total_blocks.push(r.total_blocks as f64);
+        summary.makespan.push(r.makespan);
+        if let Some(b) = r.beta_used {
+            summary.beta_used.push(b);
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_platform::SpeedDistribution;
+
+    fn small_outer(strategy: Strategy) -> ExperimentConfig {
+        ExperimentConfig {
+            kernel: Kernel::Outer { n: 30 },
+            strategy,
+            processors: 8,
+            distribution: SpeedDistribution::paper_default(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_once_is_deterministic() {
+        let cfg = small_outer(Strategy::TwoPhase(BetaChoice::Analytic));
+        let a = run_once(&cfg, 42);
+        let b = run_once(&cfg, 42);
+        assert_eq!(a.total_blocks, b.total_blocks);
+        assert_eq!(a.tasks_per_proc, b.tasks_per_proc);
+        assert_eq!(a.beta_used, b.beta_used);
+        let c = run_once(&cfg, 43);
+        assert!(c.total_blocks != a.total_blocks || c.makespan != a.makespan);
+    }
+
+    #[test]
+    fn all_eight_arms_complete() {
+        for kernel in [Kernel::Outer { n: 12 }, Kernel::Matmul { n: 8 }] {
+            for strategy in [
+                Strategy::Random,
+                Strategy::Sorted,
+                Strategy::Dynamic,
+                Strategy::TwoPhase(BetaChoice::Fixed(3.0)),
+            ] {
+                let cfg = ExperimentConfig {
+                    kernel,
+                    strategy,
+                    processors: 4,
+                    ..Default::default()
+                };
+                let r = run_once(&cfg, 7);
+                let total: u64 = r.tasks_per_proc.iter().sum();
+                assert_eq!(
+                    total as usize,
+                    kernel.total_tasks(),
+                    "{:?}/{:?}",
+                    kernel,
+                    strategy
+                );
+                assert!(r.normalized_comm >= 0.99, "below lower bound?!");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_resolution_modes() {
+        let analytic = run_once(&small_outer(Strategy::TwoPhase(BetaChoice::Analytic)), 1);
+        assert!(analytic.beta_used.is_some());
+        let hom = run_once(&small_outer(Strategy::TwoPhase(BetaChoice::Homogeneous)), 1);
+        assert!(hom.beta_used.is_some());
+        // §3.6: the two choices are close.
+        let (a, h) = (analytic.beta_used.unwrap(), hom.beta_used.unwrap());
+        assert!((a - h).abs() / h < 0.15, "analytic {a} vs homogeneous {h}");
+        let fixed = run_once(&small_outer(Strategy::TwoPhase(BetaChoice::Fixed(2.5))), 1);
+        assert_eq!(fixed.beta_used, Some(2.5));
+        let frac = run_once(
+            &small_outer(Strategy::TwoPhase(BetaChoice::Phase1Fraction(0.9))),
+            1,
+        );
+        assert!(frac.beta_used.is_none());
+        assert!(frac.phase_split.is_some());
+        let rnd = run_once(&small_outer(Strategy::Random), 1);
+        assert!(rnd.beta_used.is_none() && rnd.phase_split.is_none());
+    }
+
+    #[test]
+    fn fixed_platform_is_respected() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 30.0, 40.0]);
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n: 20 },
+            strategy: Strategy::Dynamic,
+            processors: 4,
+            platform: Some(pf.clone()),
+            ..Default::default()
+        };
+        let r = run_once(&cfg, 9);
+        assert_eq!(r.platform, pf);
+        // Same platform across seeds.
+        let r2 = run_once(&cfg, 10);
+        assert_eq!(r2.platform, pf);
+    }
+
+    #[test]
+    fn trials_aggregate_and_parallelism_is_deterministic() {
+        let cfg = small_outer(Strategy::Dynamic);
+        let s1 = run_trials(&cfg, 8, 123);
+        let s2 = run_trials(&cfg, 8, 123);
+        assert_eq!(s1.trials, 8);
+        assert_eq!(s1.normalized_comm.count(), 8);
+        assert_eq!(s1.normalized_comm.mean(), s2.normalized_comm.mean());
+        assert_eq!(s1.total_blocks.mean(), s2.total_blocks.mean());
+        assert!(s1.normalized_comm.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn phase_split_accounts_for_everything() {
+        let cfg = small_outer(Strategy::TwoPhase(BetaChoice::Fixed(3.5)));
+        let r = run_once(&cfg, 77);
+        let (b1, b2, t1, t2) = r.phase_split.unwrap();
+        assert_eq!(b1 + b2, r.total_blocks);
+        assert_eq!(t1 + t2, 900);
+    }
+}

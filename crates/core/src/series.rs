@@ -1,0 +1,180 @@
+//! Figure data model and CSV rendering.
+
+use std::fmt::Write as _;
+
+/// One plotted point: x-coordinate, mean over trials, standard deviation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub mean: f64,
+    pub std_dev: f64,
+}
+
+/// One curve of a figure.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (paper strategy names, or "Analysis").
+    pub label: String,
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, mean: f64, std_dev: f64) {
+        self.points.push(Point { x, mean, std_dev });
+    }
+
+    /// Mean of the series' means (for scalar comparisons in tests).
+    pub fn overall_mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        self.points.iter().map(|p| p.mean).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// All data behind one figure of the paper.
+#[derive(Clone, Debug)]
+pub struct FigureData {
+    /// Stable id, e.g. `"fig4"`.
+    pub id: &'static str,
+    /// Human title (what the figure shows).
+    pub title: String,
+    /// Meaning of the x-axis.
+    pub x_label: String,
+    /// Meaning of the y-axis (always a normalized communication amount
+    /// here, but kept explicit).
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Finds a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the figure as long-form CSV:
+    /// `figure,series,x,mean,std_dev`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("figure,series,x,mean,std_dev\n");
+        for s in &self.series {
+            for p in &s.points {
+                writeln!(
+                    out,
+                    "{},{},{},{:.6},{:.6}",
+                    self.id, s.label, p.x, p.mean, p.std_dev
+                )
+                .expect("string write");
+            }
+        }
+        out
+    }
+
+    /// Renders an aligned text table (one row per x, one column per
+    /// series) — what the `figures` binary prints.
+    pub fn to_table(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+
+        let mut out = String::new();
+        writeln!(out, "# {} — {}", self.id, self.title).expect("write");
+        write!(out, "{:>12}", self.x_label).expect("write");
+        for s in &self.series {
+            write!(out, "  {:>22}", s.label).expect("write");
+        }
+        out.push('\n');
+        for &x in &xs {
+            write!(out, "{x:>12.3}").expect("write");
+            for s in &self.series {
+                match s
+                    .points
+                    .iter()
+                    .find(|p| (p.x - x).abs() < 1e-9)
+                {
+                    Some(p) => write!(out, "  {:>13.3} ±{:>6.3}", p.mean, p.std_dev)
+                        .expect("write"),
+                    None => write!(out, "  {:>22}", "-").expect("write"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> FigureData {
+        let mut a = Series::new("A");
+        a.push(1.0, 2.0, 0.1);
+        a.push(2.0, 3.0, 0.2);
+        let mut b = Series::new("B");
+        b.push(1.0, 4.0, 0.0);
+        FigureData {
+            id: "figX",
+            title: "test".into(),
+            x_label: "p".into(),
+            y_label: "norm comm".into(),
+            series: vec![a, b],
+        }
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "figure,series,x,mean,std_dev");
+        assert_eq!(lines[1], "figX,A,1,2.000000,0.100000");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn table_contains_all_series_and_gaps() {
+        let t = sample_figure().to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains('A') && t.contains('B'));
+        // B has no point at x=2 → a dash.
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn empty_series_mean_is_nan_and_renders() {
+        let f = FigureData {
+            id: "figE",
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new("E")],
+        };
+        assert!(f.series("E").unwrap().overall_mean().is_nan());
+        // Rendering an empty figure must not panic.
+        let t = f.to_table();
+        assert!(t.contains("figE"));
+        assert_eq!(f.to_csv().lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn series_lookup_and_mean() {
+        let f = sample_figure();
+        assert!(f.series("A").is_some());
+        assert!(f.series("missing").is_none());
+        assert!((f.series("A").unwrap().overall_mean() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Tiled right-looking Cholesky factorization DAG.
+//!
+//! For a symmetric positive-definite matrix of `t × t` tiles (lower
+//! triangle stored), step `k` of the factorization is
+//!
+//! ```text
+//! POTRF(k):        A[k][k] ← chol(A[k][k])
+//! TRSM(i,k):       A[i][k] ← A[i][k]·A[k][k]⁻ᵀ          (i > k)
+//! SYRK(i,k):       A[i][i] ← A[i][i] − A[i][k]·A[i][k]ᵀ  (i > k)
+//! GEMM(i,j,k):     A[i][j] ← A[i][j] − A[i][k]·A[j][k]ᵀ  (i > j > k)
+//! ```
+//!
+//! Dependencies follow automatically from the versioned-data builder: each
+//! update reads its operands' current versions and bumps its output tile.
+//! Task weights are the classic flop ratios for `b × b` tiles:
+//! POTRF `1/3`, TRSM `1`, SYRK `1`, GEMM `2` (in units of `b³` flops).
+
+use crate::graph::{GraphBuilder, TaskGraph, TileId};
+
+/// Weight of POTRF in `b³`-flop units.
+pub const W_POTRF: f64 = 1.0 / 3.0;
+/// Weight of TRSM.
+pub const W_TRSM: f64 = 1.0;
+/// Weight of SYRK.
+pub const W_SYRK: f64 = 1.0;
+/// Weight of GEMM.
+pub const W_GEMM: f64 = 2.0;
+
+/// Linear id of lower-triangle tile `(r, c)`, `r ≥ c`.
+pub fn tile_id(r: usize, c: usize) -> TileId {
+    debug_assert!(r >= c);
+    (r * (r + 1) / 2 + c) as TileId
+}
+
+/// Number of lower-triangle tiles for `t` tile-rows.
+pub fn tile_count(t: usize) -> usize {
+    t * (t + 1) / 2
+}
+
+/// Builds the Cholesky DAG for `t × t` tiles.
+///
+/// # Examples
+///
+/// ```
+/// use hetsched_dag::{cholesky_graph, simulate, Policy};
+/// use hetsched_platform::Platform;
+/// use hetsched_util::rng::rng_for;
+///
+/// let graph = cholesky_graph(8);
+/// assert_eq!(graph.len(), 8 + 2 * 28 + 56); // POTRF + TRSM/SYRK + GEMM
+/// let platform = Platform::homogeneous(4);
+/// let report = simulate(&graph, &platform, Policy::DataAware, &mut rng_for(0, 0));
+/// assert_eq!(report.tasks_per_worker.iter().sum::<u64>() as usize, graph.len());
+/// ```
+pub fn cholesky_graph(t: usize) -> TaskGraph {
+    assert!(t >= 1, "need at least one tile");
+    let mut b = GraphBuilder::new(tile_count(t));
+    for k in 0..t {
+        b.task("POTRF", &[], tile_id(k, k), true, W_POTRF);
+        for i in k + 1..t {
+            b.task("TRSM", &[tile_id(k, k)], tile_id(i, k), true, W_TRSM);
+        }
+        for i in k + 1..t {
+            b.task("SYRK", &[tile_id(i, k)], tile_id(i, i), true, W_SYRK);
+            for j in k + 1..i {
+                b.task(
+                    "GEMM",
+                    &[tile_id(i, k), tile_id(j, k)],
+                    tile_id(i, j),
+                    true,
+                    W_GEMM,
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// Closed-form task count: `t` POTRFs, `t(t−1)/2` TRSMs and SYRKs each,
+/// `t(t−1)(t−2)/6` GEMMs.
+pub fn task_count(t: usize) -> usize {
+    let gemms = if t >= 3 { t * (t - 1) * (t - 2) / 6 } else { 0 };
+    t + t * (t - 1) + gemms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_ids_are_dense_and_unique() {
+        let t = 6;
+        let mut seen = vec![false; tile_count(t)];
+        for r in 0..t {
+            for c in 0..=r {
+                let id = tile_id(r, c) as usize;
+                assert!(!seen[id]);
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn task_counts_match_closed_form() {
+        for t in 1..=8 {
+            let g = cholesky_graph(t);
+            assert_eq!(g.len(), task_count(t), "t = {t}");
+        }
+        // t=4: 4 + 12 + 4 = 20.
+        assert_eq!(task_count(4), 20);
+    }
+
+    #[test]
+    fn single_tile_is_one_potrf() {
+        let g = cholesky_graph(1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.task(0).kind, "POTRF");
+        assert_eq!(g.indegrees(), vec![0]);
+    }
+
+    #[test]
+    fn kind_census() {
+        let t = 5;
+        let g = cholesky_graph(t);
+        let count = |k: &str| g.tasks().iter().filter(|n| n.kind == k).count();
+        assert_eq!(count("POTRF"), t);
+        assert_eq!(count("TRSM"), t * (t - 1) / 2);
+        assert_eq!(count("SYRK"), t * (t - 1) / 2);
+        assert_eq!(count("GEMM"), t * (t - 1) * (t - 2) / 6);
+    }
+
+    #[test]
+    fn first_potrf_is_the_only_source() {
+        let g = cholesky_graph(5);
+        let indeg = g.indegrees();
+        let sources: Vec<usize> = (0..g.len()).filter(|&i| indeg[i] == 0).collect();
+        assert_eq!(sources, vec![0]);
+        assert_eq!(g.task(0).kind, "POTRF");
+    }
+
+    #[test]
+    fn critical_path_formula() {
+        // With weights (1/3, 1, 1, 2) the longest chain hugs the last
+        // row: POTRF(0) → TRSM(t−1,0) → GEMM(t−1,1,0) → TRSM(t−1,1) → …
+        // (each middle step costs W_TRSM + W_GEMM = 3, beating the
+        // SYRK+POTRF+TRSM alternative at 7/3), closing with
+        // TRSM + SYRK + POTRF: CP(t) = 1/3 + 3(t−2) + 7/3 for t ≥ 2.
+        assert!((cholesky_graph(1).critical_path() - W_POTRF).abs() < 1e-9);
+        for t in 2..=10 {
+            let g = cholesky_graph(t);
+            let expect = W_POTRF + 3.0 * (t as f64 - 2.0) + 7.0 / 3.0;
+            assert!(
+                (g.critical_path() - expect).abs() < 1e-9,
+                "t = {t}: {} vs {expect}",
+                g.critical_path()
+            );
+        }
+    }
+
+    #[test]
+    fn total_weight_formula() {
+        let t = 6;
+        let g = cholesky_graph(t);
+        let tf = t as f64;
+        let expect = tf * W_POTRF
+            + tf * (tf - 1.0) / 2.0 * (W_TRSM + W_SYRK)
+            + tf * (tf - 1.0) * (tf - 2.0) / 6.0 * W_GEMM;
+        assert!((g.total_weight() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_are_sane_spot_checks() {
+        // t = 3: task order is
+        // 0 POTRF(0); 1 TRSM(1,0); 2 TRSM(2,0); 3 SYRK(1,0); 4 GEMM...
+        let g = cholesky_graph(3);
+        assert_eq!(g.task(0).kind, "POTRF");
+        assert_eq!(g.task(1).kind, "TRSM");
+        // TRSM(1,0) depends only on POTRF(0) (tile (1,0) is initial).
+        assert_eq!(g.indegrees()[1], 1);
+        // The final POTRF(2) reads A[2][2] after two SYRK updates.
+        let last_potrf = g
+            .tasks()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == "POTRF")
+            .map(|(i, _)| i)
+            .next_back()
+            .unwrap();
+        assert_eq!(g.task(last_potrf as u32).primary_write(), tile_id(2, 2));
+        assert_eq!(g.task(last_potrf as u32).writes[0].version, 3); // 2 SYRKs + POTRF
+    }
+}

@@ -1,0 +1,338 @@
+//! Demand-driven DAG simulation.
+//!
+//! Same modelling stance as `hetsched-sim`: time advances with
+//! computation only (communication is counted, assumed overlapped), and
+//! workers are demand driven. Two differences precedence forces:
+//!
+//! * a worker with nothing *ready* parks instead of retiring, and is
+//!   woken by the next task completion;
+//! * successors become ready at their predecessors' *completion* times,
+//!   so allocation cannot run ahead of the critical path.
+//!
+//! Data movement: each task read of a tile version the worker has not
+//! cached costs one block (version 0 = initial data from the master).
+//! Produced versions are cached on the producing worker; old cached
+//! versions are kept (memory is not modelled), matching a runtime that
+//! retains read copies.
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::policy::Policy;
+use hetsched_platform::{Platform, ProcId};
+use hetsched_util::OrderedF64;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Outcome of a DAG simulation.
+#[derive(Clone, Debug)]
+pub struct DagReport {
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Total blocks shipped (any source → worker).
+    pub total_blocks: u64,
+    /// Tasks executed per worker.
+    pub tasks_per_worker: Vec<u64>,
+    /// Blocks received per worker.
+    pub blocks_per_worker: Vec<u64>,
+    /// Busy (computing) time per worker.
+    pub busy_per_worker: Vec<f64>,
+}
+
+impl DagReport {
+    /// Average blocks shipped per task.
+    pub fn comm_per_task(&self) -> f64 {
+        let tasks: u64 = self.tasks_per_worker.iter().sum();
+        self.total_blocks as f64 / tasks as f64
+    }
+
+    /// Makespan normalized by the work/critical-path lower bound.
+    pub fn makespan_ratio(&self, graph: &TaskGraph, platform: &Platform) -> f64 {
+        let s_max = platform
+            .speeds()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let bound = (graph.total_weight() / platform.total_speed())
+            .max(graph.critical_path() / s_max);
+        self.makespan / bound
+    }
+}
+
+/// Per-worker version cache, keyed `tile << 32 | version`.
+fn key(tile: u32, version: u32) -> u64 {
+    ((tile as u64) << 32) | version as u64
+}
+
+/// Simulates `graph` on `platform` under `policy`.
+pub fn simulate(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: Policy,
+    rng: &mut StdRng,
+) -> DagReport {
+    let p = platform.len();
+    let n = graph.len();
+    let mut indeg = graph.indegrees();
+    let mut ready: Vec<TaskId> = (0..n as TaskId)
+        .filter(|&t| indeg[t as usize] == 0)
+        .collect();
+    let mut caches: Vec<HashSet<u64>> = (0..p).map(|_| HashSet::new()).collect();
+
+    let mut report = DagReport {
+        makespan: 0.0,
+        total_blocks: 0,
+        tasks_per_worker: vec![0; p],
+        blocks_per_worker: vec![0; p],
+        busy_per_worker: vec![0.0; p],
+    };
+
+    let mut idle: Vec<ProcId> = platform.procs().collect();
+    idle.shuffle(rng);
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, u64, ProcId, TaskId)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut completed = 0usize;
+
+    // Dispatches as many (idle worker, ready task) pairs as possible.
+    let mut dispatch = |now: f64,
+                        idle: &mut Vec<ProcId>,
+                        ready: &mut Vec<TaskId>,
+                        caches: &mut Vec<HashSet<u64>>,
+                        heap: &mut BinaryHeap<Reverse<(OrderedF64, u64, ProcId, TaskId)>>,
+                        report: &mut DagReport,
+                        rng: &mut StdRng| {
+        while !idle.is_empty() && !ready.is_empty() {
+            let w = idle.pop().expect("non-empty");
+            let missing = |w: ProcId, t: TaskId| {
+                graph
+                    .task(t)
+                    .reads
+                    .iter()
+                    .filter(|r| !caches[w.idx()].contains(&key(r.tile, r.version)))
+                    .count() as u32
+            };
+            let t = policy.pick(ready, w, graph, &missing, rng);
+            let pos = ready.iter().position(|&x| x == t).expect("picked from ready");
+            ready.swap_remove(pos);
+
+            // Ship missing inputs.
+            let node = graph.task(t);
+            let mut blocks = 0u64;
+            for r in &node.reads {
+                if caches[w.idx()].insert(key(r.tile, r.version)) {
+                    blocks += 1;
+                }
+            }
+            // Cache the produced versions locally.
+            for wv in &node.writes {
+                caches[w.idx()].insert(key(wv.tile, wv.version));
+            }
+            let dur = node.weight / platform.speed(w);
+            report.total_blocks += blocks;
+            report.blocks_per_worker[w.idx()] += blocks;
+            report.tasks_per_worker[w.idx()] += 1;
+            report.busy_per_worker[w.idx()] += dur;
+            heap.push(Reverse((OrderedF64::new(now + dur), seq, w, t)));
+            seq += 1;
+        }
+    };
+
+    dispatch(
+        0.0, &mut idle, &mut ready, &mut caches, &mut heap, &mut report, rng,
+    );
+    while let Some(Reverse((finish, _, w, t))) = heap.pop() {
+        let now = finish.get();
+        report.makespan = report.makespan.max(now);
+        completed += 1;
+        for &s in graph.successors(t) {
+            indeg[s as usize] -= 1;
+            if indeg[s as usize] == 0 {
+                ready.push(s);
+            }
+        }
+        idle.push(w);
+        dispatch(
+            now, &mut idle, &mut ready, &mut caches, &mut heap, &mut report, rng,
+        );
+    }
+
+    assert_eq!(completed, n, "DAG deadlocked or has unreachable tasks");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::cholesky_graph;
+    use crate::qr::qr_graph;
+    use hetsched_util::rng::rng_for;
+
+    fn hom(p: usize) -> Platform {
+        Platform::homogeneous(p)
+    }
+
+    #[test]
+    fn all_tasks_complete_for_every_policy() {
+        let g = cholesky_graph(8);
+        for policy in [
+            Policy::Random,
+            Policy::DataAware,
+            Policy::DataAwareCp,
+            Policy::CriticalPath,
+        ] {
+            let r = simulate(&g, &hom(5), policy, &mut rng_for(0, 0));
+            let total: u64 = r.tasks_per_worker.iter().sum();
+            assert_eq!(total as usize, g.len(), "{policy:?}");
+            assert!(r.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn makespan_respects_lower_bounds() {
+        let g = cholesky_graph(10);
+        let pf = hom(8);
+        for policy in [Policy::Random, Policy::DataAwareCp] {
+            let r = simulate(&g, &pf, policy, &mut rng_for(1, 0));
+            let work_bound = g.total_weight() / pf.total_speed();
+            let cp_bound = g.critical_path() / 1.0;
+            assert!(r.makespan >= work_bound - 1e-9);
+            assert!(r.makespan >= cp_bound - 1e-9, "{policy:?}");
+            // And stays within a small factor of the max of both.
+            assert!(r.makespan <= 3.0 * work_bound.max(cp_bound), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_serially() {
+        let g = cholesky_graph(5);
+        let pf = hom(1);
+        let r = simulate(&g, &pf, Policy::Random, &mut rng_for(2, 0));
+        assert!((r.makespan - g.total_weight()).abs() < 1e-9);
+        // A single worker eventually caches every version exactly once:
+        // blocks = number of distinct (tile, version 0) initial reads.
+        assert!(r.total_blocks > 0);
+    }
+
+    #[test]
+    fn data_aware_ships_fewer_blocks_than_random() {
+        let g = cholesky_graph(12);
+        let pf = hom(8);
+        let random = simulate(&g, &pf, Policy::Random, &mut rng_for(3, 0));
+        let aware = simulate(&g, &pf, Policy::DataAware, &mut rng_for(3, 0));
+        assert!(
+            (aware.total_blocks as f64) < 0.8 * random.total_blocks as f64,
+            "aware {} vs random {}",
+            aware.total_blocks,
+            random.total_blocks
+        );
+    }
+
+    #[test]
+    fn cp_tiebreak_does_not_hurt_comm_and_helps_makespan() {
+        let g = cholesky_graph(14);
+        let pf = hom(10);
+        let mut aware_mk = 0.0;
+        let mut cp_mk = 0.0;
+        let mut aware_blocks = 0u64;
+        let mut cp_blocks = 0u64;
+        for s in 0..5u64 {
+            let a = simulate(&g, &pf, Policy::DataAware, &mut rng_for(4, s));
+            let c = simulate(&g, &pf, Policy::DataAwareCp, &mut rng_for(4, s));
+            aware_mk += a.makespan;
+            cp_mk += c.makespan;
+            aware_blocks += a.total_blocks;
+            cp_blocks += c.total_blocks;
+        }
+        assert!(
+            cp_mk <= aware_mk * 1.02,
+            "cp tie-break hurt makespan: {cp_mk} vs {aware_mk}"
+        );
+        assert!(
+            cp_blocks as f64 <= aware_blocks as f64 * 1.3,
+            "cp tie-break blew up comm: {cp_blocks} vs {aware_blocks}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_speeds_shift_task_shares() {
+        let g = cholesky_graph(16);
+        let pf = Platform::from_speeds(vec![1.0, 1.0, 4.0]);
+        let r = simulate(&g, &pf, Policy::DataAwareCp, &mut rng_for(5, 0));
+        let fast = r.tasks_per_worker[2];
+        let slow = r.tasks_per_worker[0];
+        assert!(fast > 2 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn qr_simulates_under_every_policy() {
+        let t = 8;
+        let qr = qr_graph(t);
+        let pf = hom(16);
+        for policy in [Policy::Random, Policy::DataAware, Policy::DataAwareCp] {
+            let r = simulate(&qr, &pf, policy, &mut rng_for(6, 0));
+            let total: u64 = r.tasks_per_worker.iter().sum();
+            assert_eq!(total as usize, qr.len(), "{policy:?}");
+            // Achieved speedup obeys both the work and parallelism bounds.
+            let speedup = qr.total_weight() / r.makespan;
+            assert!(speedup > 1.5, "{policy:?}: no parallelism ({speedup})");
+            assert!(speedup <= pf.total_speed() + 1e-9);
+            assert!(speedup <= qr.total_weight() / qr.critical_path() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn qr_data_aware_cuts_comm_like_cholesky() {
+        let qr = qr_graph(10);
+        let pf = hom(8);
+        let random = simulate(&qr, &pf, Policy::Random, &mut rng_for(9, 0));
+        let aware = simulate(&qr, &pf, Policy::DataAware, &mut rng_for(9, 0));
+        assert!(
+            (aware.total_blocks as f64) < 0.8 * random.total_blocks as f64,
+            "aware {} vs random {}",
+            aware.total_blocks,
+            random.total_blocks
+        );
+    }
+
+    #[test]
+    fn single_task_graphs_complete() {
+        for g in [cholesky_graph(1), qr_graph(1)] {
+            let r = simulate(&g, &hom(3), Policy::DataAwareCp, &mut rng_for(10, 0));
+            assert_eq!(r.tasks_per_worker.iter().sum::<u64>(), 1);
+            // One task reads one initial tile (read-modify-write of the
+            // diagonal): exactly one block crosses the wire.
+            assert_eq!(r.total_blocks, 1);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_parallelism_still_terminates() {
+        // 64 workers for a 3-tile Cholesky (6 tasks, CP-dominated): most
+        // workers park forever; the engine must still drain cleanly.
+        let g = cholesky_graph(3);
+        let r = simulate(&g, &hom(64), Policy::Random, &mut rng_for(11, 0));
+        assert_eq!(r.tasks_per_worker.iter().sum::<u64>() as usize, g.len());
+        assert!((r.makespan - g.critical_path()).abs() < g.total_weight());
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let g = cholesky_graph(9);
+        let pf = hom(4);
+        let a = simulate(&g, &pf, Policy::Random, &mut rng_for(7, 0));
+        let b = simulate(&g, &pf, Policy::Random, &mut rng_for(7, 0));
+        assert_eq!(a.total_blocks, b.total_blocks);
+        assert_eq!(a.tasks_per_worker, b.tasks_per_worker);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn makespan_ratio_accessor() {
+        let g = cholesky_graph(6);
+        let pf = hom(4);
+        let r = simulate(&g, &pf, Policy::DataAwareCp, &mut rng_for(8, 0));
+        let ratio = r.makespan_ratio(&g, &pf);
+        assert!(ratio >= 1.0 - 1e-9);
+        assert!(ratio < 3.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Versioned-data task graphs.
+//!
+//! A task reads a set of *tile versions* and writes one tile, bumping its
+//! version. Dependencies are exactly "my inputs' producing tasks":
+//! read-after-write through the version chain, plus write-after-write via
+//! reading the previous version of the written tile. This models dense
+//! factorizations faithfully: immutable versions (e.g. a factored diagonal
+//! block) can be cached by many workers at once, while a tile being
+//! updated has a single current owner.
+
+/// Index of a tile (data block).
+pub type TileId = u32;
+/// Index of a task.
+pub type TaskId = u32;
+
+/// A specific state of a tile: produced by the `version`-th write.
+/// `version == 0` is the initial (master-resident) state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TileVersion {
+    pub tile: TileId,
+    pub version: u32,
+}
+
+/// One task of the DAG.
+#[derive(Clone, Debug)]
+pub struct TaskNode {
+    /// Human-readable kind tag (`"POTRF"`, `"GEMM"`, …) for reports.
+    pub kind: &'static str,
+    /// Tile versions this task reads (written tiles' previous versions are
+    /// included here when the update is read-modify-write).
+    pub reads: Vec<TileVersion>,
+    /// The tile versions this task produces (most kernels write one tile;
+    /// tiled-QR's TSMQR updates two).
+    pub writes: Vec<TileVersion>,
+    /// Computation weight (normalized flops; execution time is
+    /// `weight / speed`).
+    pub weight: f64,
+}
+
+impl TaskNode {
+    /// The primary written tile (first write).
+    pub fn primary_write(&self) -> TileId {
+        self.writes[0].tile
+    }
+}
+
+/// An immutable task DAG with version bookkeeping and precomputed
+/// dependency structure.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    tasks: Vec<TaskNode>,
+    /// Number of tiles.
+    tiles: usize,
+    /// `producer[(tile, version)]` — which task produced each non-initial
+    /// version, addressed via a dense map built at construction.
+    successors: Vec<Vec<TaskId>>,
+    predecessors_count: Vec<u32>,
+    /// Upward rank: longest weight-sum path from the task to any sink,
+    /// inclusive of the task itself (critical-path priority).
+    ranks: Vec<f64>,
+}
+
+/// Incremental builder used by the kernel generators.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    tasks: Vec<TaskNode>,
+    /// Current version per tile.
+    version: Vec<u32>,
+    /// Producer of the *current* version per tile (None = initial data).
+    producer: Vec<Option<TaskId>>,
+}
+
+impl GraphBuilder {
+    /// Builder over `tiles` tiles, all at version 0 (initial data on the
+    /// master).
+    pub fn new(tiles: usize) -> Self {
+        GraphBuilder {
+            tasks: Vec::new(),
+            version: vec![0; tiles],
+            producer: vec![None; tiles],
+        }
+    }
+
+    /// Current version of `tile`.
+    pub fn current(&self, tile: TileId) -> TileVersion {
+        TileVersion {
+            tile,
+            version: self.version[tile as usize],
+        }
+    }
+
+    /// Adds a task reading the *current* versions of `reads` and updating
+    /// the single tile `writes` (whose current version is implicitly read
+    /// too when `read_modify_write` is set). Returns the task id.
+    pub fn task(
+        &mut self,
+        kind: &'static str,
+        reads: &[TileId],
+        writes: TileId,
+        read_modify_write: bool,
+        weight: f64,
+    ) -> TaskId {
+        self.task_multi(kind, reads, &[writes], read_modify_write, weight)
+    }
+
+    /// Adds a task updating several tiles at once (e.g. tiled-QR's TSMQR,
+    /// which rewrites both the running row tile and the eliminated tile).
+    pub fn task_multi(
+        &mut self,
+        kind: &'static str,
+        reads: &[TileId],
+        writes: &[TileId],
+        read_modify_write: bool,
+        weight: f64,
+    ) -> TaskId {
+        assert!(!writes.is_empty(), "a task must write something");
+        let id = self.tasks.len() as TaskId;
+        let mut read_versions: Vec<TileVersion> =
+            reads.iter().map(|&t| self.current(t)).collect();
+        if read_modify_write {
+            for &w in writes {
+                read_versions.push(self.current(w));
+            }
+        }
+        let mut write_versions = Vec::with_capacity(writes.len());
+        for &w in writes {
+            let out_version = self.version[w as usize] + 1;
+            self.version[w as usize] = out_version;
+            self.producer[w as usize] = Some(id);
+            write_versions.push(TileVersion {
+                tile: w,
+                version: out_version,
+            });
+        }
+        self.tasks.push(TaskNode {
+            kind,
+            reads: read_versions,
+            writes: write_versions,
+            weight,
+        });
+        id
+    }
+
+    /// Finalizes into a [`TaskGraph`].
+    pub fn build(self) -> TaskGraph {
+        TaskGraph::from_tasks(self.tasks, self.version.len())
+    }
+}
+
+impl TaskGraph {
+    /// Builds the dependency structure from raw tasks.
+    pub fn from_tasks(tasks: Vec<TaskNode>, tiles: usize) -> Self {
+        let n = tasks.len();
+        // Map (tile, version) → producing task.
+        let mut producer = std::collections::HashMap::new();
+        for (id, t) in tasks.iter().enumerate() {
+            for w in &t.writes {
+                producer.insert((w.tile, w.version), id as TaskId);
+            }
+        }
+        let mut successors = vec![Vec::new(); n];
+        let mut preds = vec![0u32; n];
+        for (id, t) in tasks.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for r in &t.reads {
+                if r.version > 0 {
+                    let p = *producer
+                        .get(&(r.tile, r.version))
+                        .expect("read of a version no task produces");
+                    // A task may read several outputs of one predecessor
+                    // (e.g. TSMQR after TSMQR): one edge is enough.
+                    if seen.insert(p) {
+                        successors[p as usize].push(id as TaskId);
+                        preds[id] += 1;
+                    }
+                }
+            }
+        }
+        // Upward ranks by reverse topological sweep (tasks are emitted in
+        // a topological order by the builder; verify and sweep backwards).
+        let mut ranks = vec![0.0f64; n];
+        for id in (0..n).rev() {
+            let best_succ = successors[id]
+                .iter()
+                .map(|&s| ranks[s as usize])
+                .fold(0.0, f64::max);
+            ranks[id] = tasks[id].weight + best_succ;
+            debug_assert!(
+                successors[id].iter().all(|&s| s as usize > id),
+                "builder must emit topologically"
+            );
+        }
+        TaskGraph {
+            tasks,
+            tiles,
+            successors,
+            predecessors_count: preds,
+            ranks,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// The task nodes.
+    pub fn tasks(&self) -> &[TaskNode] {
+        &self.tasks
+    }
+
+    /// Task `id`.
+    pub fn task(&self, id: TaskId) -> &TaskNode {
+        &self.tasks[id as usize]
+    }
+
+    /// Tasks that consume `id`'s output.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.successors[id as usize]
+    }
+
+    /// In-degree of each task (cloned; the engine consumes it).
+    pub fn indegrees(&self) -> Vec<u32> {
+        self.predecessors_count.clone()
+    }
+
+    /// Upward rank (critical-path length through the task).
+    pub fn rank(&self, id: TaskId) -> f64 {
+        self.ranks[id as usize]
+    }
+
+    /// Length of the critical path (max rank over sources).
+    pub fn critical_path(&self) -> f64 {
+        self.ranks.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total computation weight.
+    pub fn total_weight(&self) -> f64 {
+        self.tasks.iter().map(|t| t.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain: t0 writes tile 0, t1 reads it and writes tile 1, t2 reads
+    /// both outputs and writes tile 1 again.
+    fn small() -> TaskGraph {
+        let mut b = GraphBuilder::new(2);
+        b.task("A", &[], 0, false, 1.0);
+        b.task("B", &[0], 1, false, 2.0);
+        b.task("C", &[0], 1, true, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn versions_chain_dependencies() {
+        let g = small();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.indegrees(), vec![0, 1, 2]);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.successors(1), &[2]);
+        assert!(g.successors(2).is_empty());
+    }
+
+    #[test]
+    fn ranks_are_longest_paths() {
+        let g = small();
+        // rank(C) = 3, rank(B) = 2 + 3 = 5, rank(A) = 1 + 5 = 6.
+        assert_eq!(g.rank(2), 3.0);
+        assert_eq!(g.rank(1), 5.0);
+        assert_eq!(g.rank(0), 6.0);
+        assert_eq!(g.critical_path(), 6.0);
+        assert_eq!(g.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.task("X", &[], 0, false, 1.0);
+        b.task("Y", &[], 1, false, 1.0);
+        b.task("Z", &[], 2, false, 1.0);
+        let g = b.build();
+        assert_eq!(g.indegrees(), vec![0, 0, 0]);
+        assert_eq!(g.critical_path(), 1.0);
+        assert_eq!(g.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn read_modify_write_serializes_updates() {
+        let mut b = GraphBuilder::new(1);
+        b.task("U1", &[], 0, true, 1.0);
+        b.task("U2", &[], 0, true, 1.0);
+        b.task("U3", &[], 0, true, 1.0);
+        let g = b.build();
+        // Update chain: each depends on the previous version.
+        assert_eq!(g.indegrees(), vec![0, 1, 1]);
+        assert_eq!(g.successors(0), &[1]);
+        assert_eq!(g.successors(1), &[2]);
+        assert_eq!(g.critical_path(), 3.0);
+    }
+
+    #[test]
+    fn initial_versions_have_no_producer_edges() {
+        let mut b = GraphBuilder::new(2);
+        // Reads tile 1 at version 0 (initial): no dependency.
+        b.task("R", &[1], 0, false, 1.0);
+        let g = b.build();
+        assert_eq!(g.indegrees(), vec![0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Ready-pool allocation policies.
+
+use crate::graph::{TaskGraph, TaskId};
+use hetsched_platform::ProcId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How the master picks among *ready* tasks when a worker requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Uniformly random ready task — the DAG analogue of
+    /// `RandomOuter`/`RandomMatrix`.
+    Random,
+    /// The ready task needing the fewest blocks shipped to this worker
+    /// (random tie-break) — the paper's data-affinity idea under
+    /// precedence constraints.
+    DataAware,
+    /// Same, but ties (and near-ties) break by *descending upward rank*
+    /// (critical-path priority, as in HEFT): protects the makespan when
+    /// the DAG narrows and data affinity alone would starve the critical
+    /// path.
+    DataAwareCp,
+    /// Pure critical-path priority, ignoring data locality (random
+    /// tie-break) — isolates the rank heuristic's effect.
+    CriticalPath,
+}
+
+impl Policy {
+    /// Display label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Random => "RandomDag",
+            Policy::DataAware => "DataAwareDag",
+            Policy::DataAwareCp => "DataAwareCpDag",
+            Policy::CriticalPath => "CriticalPathDag",
+        }
+    }
+
+    /// Picks a task from `ready` for worker `w`. `missing` computes the
+    /// number of blocks the worker would need shipped for a task.
+    pub(crate) fn pick(
+        &self,
+        ready: &[TaskId],
+        w: ProcId,
+        graph: &TaskGraph,
+        missing: &dyn Fn(ProcId, TaskId) -> u32,
+        rng: &mut StdRng,
+    ) -> TaskId {
+        debug_assert!(!ready.is_empty());
+        match self {
+            Policy::Random => ready[rng.gen_range(0..ready.len())],
+            Policy::DataAware => {
+                pick_min(ready, rng, |t| missing(w, t) as f64, |_| 0.0)
+            }
+            Policy::DataAwareCp => {
+                pick_min(ready, rng, |t| missing(w, t) as f64, |t| -graph.rank(t))
+            }
+            Policy::CriticalPath => pick_min(ready, rng, |t| -graph.rank(t), |_| 0.0),
+        }
+    }
+}
+
+/// Picks the task minimizing `(primary, secondary)` lexicographically,
+/// breaking exact ties uniformly at random (reservoir sampling).
+fn pick_min(
+    ready: &[TaskId],
+    rng: &mut StdRng,
+    primary: impl Fn(TaskId) -> f64,
+    secondary: impl Fn(TaskId) -> f64,
+) -> TaskId {
+    let mut best = ready[0];
+    let mut best_key = (primary(best), secondary(best));
+    let mut ties = 1u32;
+    for &t in &ready[1..] {
+        let key = (primary(t), secondary(t));
+        if key < best_key {
+            best = t;
+            best_key = key;
+            ties = 1;
+        } else if key == best_key {
+            ties += 1;
+            if rng.gen_range(0..ties) == 0 {
+                best = t;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use hetsched_util::rng::rng_for;
+
+    fn two_task_graph() -> TaskGraph {
+        let mut b = GraphBuilder::new(3);
+        b.task("A", &[], 0, false, 1.0); // rank 1
+        b.task("B", &[], 1, false, 1.0); // feeds C: rank 3
+        b.task("C", &[1], 2, false, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn critical_path_prefers_high_rank() {
+        let g = two_task_graph();
+        let mut rng = rng_for(0, 0);
+        let missing = |_: ProcId, _: TaskId| 0u32;
+        let picked = Policy::CriticalPath.pick(&[0, 1], ProcId(0), &g, &missing, &mut rng);
+        assert_eq!(picked, 1, "task B (rank 3) beats A (rank 1)");
+    }
+
+    #[test]
+    fn data_aware_prefers_fewer_missing_blocks() {
+        let g = two_task_graph();
+        let mut rng = rng_for(1, 0);
+        let missing = |_: ProcId, t: TaskId| if t == 0 { 0 } else { 3 };
+        let picked = Policy::DataAware.pick(&[0, 1], ProcId(0), &g, &missing, &mut rng);
+        assert_eq!(picked, 0);
+    }
+
+    #[test]
+    fn data_aware_cp_breaks_ties_by_rank() {
+        let g = two_task_graph();
+        let mut rng = rng_for(2, 0);
+        let missing = |_: ProcId, _: TaskId| 1u32; // tie on blocks
+        let picked = Policy::DataAwareCp.pick(&[0, 1], ProcId(0), &g, &missing, &mut rng);
+        assert_eq!(picked, 1, "tie on data → rank decides");
+    }
+
+    #[test]
+    fn random_tie_break_is_uniformish() {
+        let g = two_task_graph();
+        let missing = |_: ProcId, _: TaskId| 0u32;
+        let mut firsts = 0;
+        for seed in 0..200 {
+            let mut rng = rng_for(seed, 9);
+            if Policy::DataAware.pick(&[0, 1], ProcId(0), &g, &missing, &mut rng) == 0 {
+                firsts += 1;
+            }
+        }
+        assert!((50..150).contains(&firsts), "tie-break skewed: {firsts}/200");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Policy::Random.label(), "RandomDag");
+        assert_eq!(Policy::DataAwareCp.label(), "DataAwareCpDag");
+    }
+}

@@ -1,0 +1,156 @@
+//! Tiled QR factorization DAG (flat-tree / sequential-elimination variant).
+//!
+//! For a square matrix of `t × t` tiles, step `k` eliminates the tiles
+//! below the diagonal of panel `k`:
+//!
+//! ```text
+//! GEQRT(k):      A[k][k] ← QR(A[k][k])                       (V, R in place)
+//! ORMQR(k,j):    A[k][j] ← Qᵀ(k,k)·A[k][j]                    (j > k)
+//! TSQRT(i,k):    [R; A[i][k]] ← QR of stacked tiles           (i > k)
+//! TSMQR(i,j,k):  update A[k][j], A[i][j] with Q(i,k)          (i > k, j > k)
+//! ```
+//!
+//! The TSQRT chain is sequential in `i` (each folds into the same `R` in
+//! `A[k][k]`), and `TSMQR(i,j,k)` updates the running row tile `A[k][j]`
+//! as well as `A[i][j]` — a two-tile write, captured by the builder's
+//! `task_multi`, whose shared version chain serializes the updates over
+//! `i` exactly like the real kernel. Weights in `b³`-flop units: GEQRT `4/3`, ORMQR `2`, TSQRT `2`,
+//! TSMQR `4` (the standard tiled-QR flop ratios; their relative ordering
+//! is what matters for scheduling).
+
+use crate::graph::{GraphBuilder, TaskGraph, TileId};
+
+/// Weight of GEQRT in `b³`-flop units.
+pub const W_GEQRT: f64 = 4.0 / 3.0;
+/// Weight of ORMQR.
+pub const W_ORMQR: f64 = 2.0;
+/// Weight of TSQRT.
+pub const W_TSQRT: f64 = 2.0;
+/// Weight of TSMQR.
+pub const W_TSMQR: f64 = 4.0;
+
+/// Linear id of tile `(r, c)` in the full square.
+pub fn tile_id(t: usize, r: usize, c: usize) -> TileId {
+    debug_assert!(r < t && c < t);
+    (r * t + c) as TileId
+}
+
+/// Builds the tiled QR DAG for `t × t` tiles.
+pub fn qr_graph(t: usize) -> TaskGraph {
+    assert!(t >= 1, "need at least one tile");
+    let mut b = GraphBuilder::new(t * t);
+    for k in 0..t {
+        b.task("GEQRT", &[], tile_id(t, k, k), true, W_GEQRT);
+        for j in k + 1..t {
+            b.task("ORMQR", &[tile_id(t, k, k)], tile_id(t, k, j), true, W_ORMQR);
+        }
+        for i in k + 1..t {
+            // Folds A[i][k] into the panel's R: reads/writes both tiles;
+            // model as writing the diagonal tile (the R carrier) while
+            // reading A[i][k]'s current version, then writing A[i][k]'s V.
+            b.task("TSQRT", &[tile_id(t, i, k)], tile_id(t, k, k), true, W_TSQRT);
+            for j in k + 1..t {
+                // One task updating both the running row tile A[k][j] and
+                // the eliminated tile A[i][j], reading the reflectors in
+                // A[i][k]. The shared A[k][j] version chain serializes the
+                // updates over i, exactly like the real kernel.
+                b.task_multi(
+                    "TSMQR",
+                    &[tile_id(t, i, k)],
+                    &[tile_id(t, k, j), tile_id(t, i, j)],
+                    true,
+                    W_TSMQR,
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// Task count for the generator above.
+pub fn task_count(t: usize) -> usize {
+    let mut n = 0;
+    for k in 0..t {
+        n += 1; // GEQRT
+        n += t - k - 1; // ORMQR
+        n += t - k - 1; // TSQRT
+        n += (t - k - 1) * (t - k - 1); // TSMQR
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_counts_match() {
+        for t in 1..=6 {
+            assert_eq!(qr_graph(t).len(), task_count(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn single_tile_is_one_geqrt() {
+        let g = qr_graph(1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.task(0).kind, "GEQRT");
+    }
+
+    #[test]
+    fn kind_census() {
+        let t = 4;
+        let g = qr_graph(t);
+        let count = |k: &str| g.tasks().iter().filter(|n| n.kind == k).count();
+        assert_eq!(count("GEQRT"), t);
+        assert_eq!(count("ORMQR"), t * (t - 1) / 2);
+        assert_eq!(count("TSQRT"), t * (t - 1) / 2);
+    }
+
+    #[test]
+    fn first_geqrt_is_the_only_source() {
+        let g = qr_graph(4);
+        let indeg = g.indegrees();
+        let sources: Vec<usize> = (0..g.len()).filter(|&i| indeg[i] == 0).collect();
+        assert_eq!(sources, vec![0]);
+    }
+
+    #[test]
+    fn qr_has_longer_critical_path_than_cholesky() {
+        // Same tile count; QR's serial TSQRT chain makes it strictly more
+        // sequential — the scheduling problem the generators exist to pose.
+        for t in 2..=6 {
+            let qr = qr_graph(t);
+            let ch = crate::cholesky::cholesky_graph(t);
+            assert!(
+                qr.critical_path() > ch.critical_path(),
+                "t = {t}: QR CP {} vs Cholesky CP {}",
+                qr.critical_path(),
+                ch.critical_path()
+            );
+        }
+    }
+
+    #[test]
+    fn tsqrt_chain_is_serialized() {
+        // All TSQRT(·, 0) tasks write tile (0,0): versions must chain.
+        let t = 4;
+        let g = qr_graph(t);
+        let tsqrts: Vec<u32> = g
+            .tasks()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == "TSQRT" && n.primary_write() == tile_id(t, 0, 0))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(tsqrts.len(), t - 1);
+        for w in tsqrts.windows(2) {
+            assert!(
+                g.successors(w[0]).contains(&w[1]),
+                "TSQRT chain broken between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Block storage and the two block kernels.
+
+/// A dense `N × N` matrix (`N = n_blocks · l`) stored row-major, with
+/// block-granular access. Used for the inputs and the assembled result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockedMatrix {
+    n_blocks: usize,
+    l: usize,
+    data: Vec<f64>,
+}
+
+impl BlockedMatrix {
+    /// Zero matrix of `n_blocks × n_blocks` blocks of size `l × l`.
+    pub fn zeros(n_blocks: usize, l: usize) -> Self {
+        BlockedMatrix {
+            n_blocks,
+            l,
+            data: vec![0.0; n_blocks * n_blocks * l * l],
+        }
+    }
+
+    /// Builds from a full row-major buffer.
+    pub fn from_data(n_blocks: usize, l: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n_blocks * n_blocks * l * l);
+        BlockedMatrix { n_blocks, l, data }
+    }
+
+    /// Deterministic pseudo-random test matrix (values in `[-1, 1]`).
+    pub fn random(n_blocks: usize, l: usize, seed: u64) -> Self {
+        use rand::Rng;
+        let mut rng = hetsched_util::rng::rng_for(seed, 0xDA7A);
+        let data = (0..n_blocks * n_blocks * l * l)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        BlockedMatrix { n_blocks, l, data }
+    }
+
+    /// Blocks per dimension.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Block edge size.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Element dimension (`n_blocks · l`).
+    pub fn dim(&self) -> usize {
+        self.n_blocks * self.l
+    }
+
+    /// Full row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element accessor.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.dim() + c]
+    }
+
+    /// Copies block `(bi, bj)` out as a row-major `l × l` buffer.
+    pub fn copy_block(&self, bi: usize, bj: usize) -> Vec<f64> {
+        let l = self.l;
+        let dim = self.dim();
+        let mut out = Vec::with_capacity(l * l);
+        for r in 0..l {
+            let start = (bi * l + r) * dim + bj * l;
+            out.extend_from_slice(&self.data[start..start + l]);
+        }
+        out
+    }
+
+    /// Adds `contrib` (row-major `l × l`) into block `(bi, bj)`.
+    pub fn add_block(&mut self, bi: usize, bj: usize, contrib: &[f64]) {
+        let l = self.l;
+        let dim = self.dim();
+        assert_eq!(contrib.len(), l * l);
+        for r in 0..l {
+            let start = (bi * l + r) * dim + bj * l;
+            for c in 0..l {
+                self.data[start + c] += contrib[r * l + c];
+            }
+        }
+    }
+
+    /// Max absolute element-wise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &BlockedMatrix) -> f64 {
+        assert_eq!(self.data.len(), other.data.len());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A blocked vector: `n_blocks` blocks of `l` elements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockedVector {
+    n_blocks: usize,
+    l: usize,
+    data: Vec<f64>,
+}
+
+impl BlockedVector {
+    /// Deterministic pseudo-random test vector.
+    pub fn random(n_blocks: usize, l: usize, seed: u64) -> Self {
+        use rand::Rng;
+        let mut rng = hetsched_util::rng::rng_for(seed, 0xDA7B);
+        let data = (0..n_blocks * l).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        BlockedVector { n_blocks, l, data }
+    }
+
+    /// Builds from a full buffer.
+    pub fn from_data(n_blocks: usize, l: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n_blocks * l);
+        BlockedVector { n_blocks, l, data }
+    }
+
+    /// Blocks in the vector.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Block size.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Full data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Copies block `i` out.
+    pub fn copy_block(&self, i: usize) -> Vec<f64> {
+        self.data[i * self.l..(i + 1) * self.l].to_vec()
+    }
+}
+
+/// Block kernel: `c = a · bᵗ` for `l`-vectors `a`, `b` (row-major `l × l`
+/// output).
+pub fn outer_kernel(a: &[f64], b: &[f64], c: &mut [f64]) {
+    let l = a.len();
+    debug_assert_eq!(b.len(), l);
+    debug_assert_eq!(c.len(), l * l);
+    for (r, &av) in a.iter().enumerate() {
+        let row = &mut c[r * l..(r + 1) * l];
+        for (cell, &bv) in row.iter_mut().zip(b) {
+            *cell = av * bv;
+        }
+    }
+}
+
+/// Block kernel: `c += a · b` for row-major `l × l` blocks.
+pub fn gemm_kernel(l: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), l * l);
+    debug_assert_eq!(b.len(), l * l);
+    debug_assert_eq!(c.len(), l * l);
+    // ikj loop order: stream over b and c rows for locality.
+    for i in 0..l {
+        for k in 0..l {
+            let aik = a[i * l + k];
+            let brow = &b[k * l..(k + 1) * l];
+            let crow = &mut c[i * l..(i + 1) * l];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// Sequential reference: full outer product of blocked vectors.
+pub fn reference_outer(a: &BlockedVector, b: &BlockedVector) -> BlockedMatrix {
+    assert_eq!(a.n_blocks(), b.n_blocks());
+    assert_eq!(a.l(), b.l());
+    let dim = a.n_blocks() * a.l();
+    let mut m = BlockedMatrix::zeros(a.n_blocks(), a.l());
+    for r in 0..dim {
+        for c in 0..dim {
+            m.data[r * dim + c] = a.data[r] * b.data[c];
+        }
+    }
+    m
+}
+
+/// Sequential reference: full matrix product `A · B`.
+pub fn reference_matmul(a: &BlockedMatrix, b: &BlockedMatrix) -> BlockedMatrix {
+    assert_eq!(a.dim(), b.dim());
+    assert_eq!(a.l(), b.l());
+    let dim = a.dim();
+    let mut c = BlockedMatrix::zeros(a.n_blocks(), a.l());
+    for i in 0..dim {
+        for k in 0..dim {
+            let aik = a.data[i * dim + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..dim {
+                c.data[i * dim + j] += aik * b.data[k * dim + j];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_and_add_block_round_trip() {
+        let mut m = BlockedMatrix::zeros(3, 2);
+        let blk = vec![1.0, 2.0, 3.0, 4.0];
+        m.add_block(1, 2, &blk);
+        assert_eq!(m.copy_block(1, 2), blk);
+        assert_eq!(m.copy_block(0, 0), vec![0.0; 4]);
+        // Element view: block (1,2) starts at row 2, col 4.
+        assert_eq!(m.at(2, 4), 1.0);
+        assert_eq!(m.at(3, 5), 4.0);
+        // add accumulates.
+        m.add_block(1, 2, &blk);
+        assert_eq!(m.copy_block(1, 2), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn outer_kernel_matches_definition() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let mut c = vec![0.0; 9];
+        outer_kernel(&a, &b, &mut c);
+        assert_eq!(c, vec![4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 12.0, 15.0, 18.0]);
+    }
+
+    #[test]
+    fn gemm_kernel_matches_naive() {
+        let l = 3;
+        let a: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..9).map(|i| (2 * i) as f64).collect();
+        let mut c = vec![1.0; 9]; // non-zero start: must accumulate
+        gemm_kernel(l, &a, &b, &mut c);
+        let mut expect = vec![1.0; 9];
+        for i in 0..l {
+            for j in 0..l {
+                for k in 0..l {
+                    expect[i * l + j] += a[i * l + k] * b[k * l + j];
+                }
+            }
+        }
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn reference_outer_blockwise_consistency() {
+        let a = BlockedVector::random(3, 2, 1);
+        let b = BlockedVector::random(3, 2, 2);
+        let m = reference_outer(&a, &b);
+        // Block (i,j) of the result equals the block kernel on blocks i, j.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut blk = vec![0.0; 4];
+                outer_kernel(&a.copy_block(i), &b.copy_block(j), &mut blk);
+                assert_eq!(m.copy_block(i, j), blk);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_matmul_blockwise_consistency() {
+        let n = 3;
+        let l = 2;
+        let a = BlockedMatrix::random(n, l, 3);
+        let b = BlockedMatrix::random(n, l, 4);
+        let c = reference_matmul(&a, &b);
+        // Block (i,j) equals Σ_k gemm(A[i,k], B[k,j]).
+        for i in 0..n {
+            for j in 0..n {
+                let mut blk = vec![0.0; l * l];
+                for k in 0..n {
+                    gemm_kernel(l, &a.copy_block(i, k), &b.copy_block(k, j), &mut blk);
+                }
+                let got = c.copy_block(i, j);
+                for (x, y) in blk.iter().zip(&got) {
+                    assert!((x - y).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        assert_eq!(
+            BlockedMatrix::random(2, 3, 9).data(),
+            BlockedMatrix::random(2, 3, 9).data()
+        );
+        assert_ne!(
+            BlockedMatrix::random(2, 3, 9).data(),
+            BlockedMatrix::random(2, 3, 10).data()
+        );
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = BlockedMatrix::random(2, 2, 0);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.data[5] += 0.25;
+        assert!((a.max_abs_diff(&b) - 0.25).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,110 @@
+//! Master ↔ worker message types and the execution report.
+
+/// Identifies one shipped data block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockTag {
+    /// Block `i` of vector `a`, or block `(i·n + k)` of matrix `A`.
+    A(u32),
+    /// Block `j` of vector `b`, or block `(k·n + j)` of matrix `B`.
+    B(u32),
+}
+
+/// A batch of work for one worker.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Linear task ids (decoded kernel-specifically by the worker).
+    pub tasks: Vec<u32>,
+    /// Input blocks the worker does not have yet.
+    pub blocks: Vec<(BlockTag, Vec<f64>)>,
+}
+
+/// Master → worker.
+#[derive(Clone, Debug)]
+pub enum ToWorker {
+    /// Compute this batch, then request again.
+    Job(Job),
+    /// Flush results and exit.
+    Shutdown,
+}
+
+/// Worker → master.
+#[derive(Clone, Debug)]
+pub enum ToMaster {
+    /// Worker is idle and wants work.
+    Request { worker: usize },
+    /// Result contribution blocks `((i, j), l×l data)`, sent on shutdown.
+    Results {
+        worker: usize,
+        blocks: Vec<((u32, u32), Vec<f64>)>,
+    },
+}
+
+/// Execution parameters.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Per-worker nominal speeds; worker `w` repeats each block kernel
+    /// `round(max_speed / speeds[w])` times to emulate heterogeneity.
+    pub speeds: Vec<f64>,
+    /// Master seed for the scheduler's RNG.
+    pub seed: u64,
+}
+
+impl ExecConfig {
+    /// Homogeneous configuration.
+    pub fn homogeneous(p: usize, seed: u64) -> Self {
+        ExecConfig {
+            speeds: vec![1.0; p],
+            seed,
+        }
+    }
+
+    /// Work factor of worker `w` (≥ 1).
+    pub fn work_factor(&self, w: usize) -> u32 {
+        let max = self.speeds.iter().cloned().fold(f64::MIN, f64::max);
+        (max / self.speeds[w]).round().max(1.0) as u32
+    }
+}
+
+/// What a real execution measured.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Input blocks actually shipped master → workers.
+    pub input_blocks_shipped: u64,
+    /// Result (`C`) blocks shipped workers → master.
+    pub result_blocks_returned: u64,
+    /// Tasks executed per worker.
+    pub tasks_per_worker: Vec<u64>,
+    /// Jobs (scheduler requests with work) per worker.
+    pub jobs_per_worker: Vec<u64>,
+}
+
+impl ExecReport {
+    /// Total tasks executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks_per_worker.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_factor_scales_inversely() {
+        let cfg = ExecConfig {
+            speeds: vec![1.0, 2.0, 4.0],
+            seed: 0,
+        };
+        assert_eq!(cfg.work_factor(0), 4);
+        assert_eq!(cfg.work_factor(1), 2);
+        assert_eq!(cfg.work_factor(2), 1);
+    }
+
+    #[test]
+    fn work_factor_never_below_one() {
+        let cfg = ExecConfig::homogeneous(3, 0);
+        for w in 0..3 {
+            assert_eq!(cfg.work_factor(w), 1);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Global task state for the matrix multiplication.
+
+use hetsched_util::{BitCube, SwapList};
+use rand::rngs::StdRng;
+
+/// The `n × n × n` task cube: which tasks have been allocated, plus an O(1)
+/// uniform sampler over the unprocessed residue.
+#[derive(Clone, Debug)]
+pub struct MatmulState {
+    n: usize,
+    processed: BitCube,
+    remaining: SwapList,
+}
+
+impl MatmulState {
+    /// Fresh state with all `n³` tasks unprocessed.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one block per dimension");
+        MatmulState {
+            n,
+            processed: BitCube::new(n),
+            remaining: SwapList::full(n * n * n),
+        }
+    }
+
+    /// Blocks per dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of tasks (`n³`).
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    /// Tasks not yet allocated.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Linear task id of `T(i,j,k)`.
+    #[inline]
+    pub fn task_id(&self, i: usize, j: usize, k: usize) -> u32 {
+        self.processed.linear(i, j, k) as u32
+    }
+
+    /// Inverse of [`task_id`](Self::task_id).
+    #[inline]
+    pub fn coords(&self, id: u32) -> (usize, usize, usize) {
+        self.processed.coords(id as usize)
+    }
+
+    /// True if `T(i,j,k)` has been allocated.
+    #[inline]
+    pub fn is_processed(&self, i: usize, j: usize, k: usize) -> bool {
+        self.processed.contains(i, j, k)
+    }
+
+    /// Marks `T(i,j,k)` allocated; returns `true` if it was unprocessed.
+    pub fn mark_processed(&mut self, i: usize, j: usize, k: usize) -> bool {
+        if self.processed.insert(i, j, k) {
+            let id = self.task_id(i, j, k);
+            let removed = self.remaining.remove(id);
+            debug_assert!(removed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A uniformly random unprocessed task, or `None` when done.
+    pub fn random_unprocessed(&self, rng: &mut StdRng) -> Option<(usize, usize, usize)> {
+        self.remaining.peek_random(rng).map(|id| self.coords(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn fresh_state_counts() {
+        let s = MatmulState::new(5);
+        assert_eq!(s.total(), 125);
+        assert_eq!(s.remaining(), 125);
+        assert!(!s.is_processed(1, 2, 3));
+    }
+
+    #[test]
+    fn mark_processed_updates_both_views() {
+        let mut s = MatmulState::new(4);
+        assert!(s.mark_processed(1, 2, 3));
+        assert!(!s.mark_processed(1, 2, 3));
+        assert!(s.is_processed(1, 2, 3));
+        assert_eq!(s.remaining(), 63);
+    }
+
+    #[test]
+    fn task_id_round_trip() {
+        let s = MatmulState::new(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    assert_eq!(s.coords(s.task_id(i, j, k)), (i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_unprocessed_respects_processing() {
+        let mut s = MatmulState::new(3);
+        let mut rng = rng_for(0, 0);
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    if (i, j, k) != (2, 1, 0) {
+                        s.mark_processed(i, j, k);
+                    }
+                }
+            }
+        }
+        for _ in 0..10 {
+            assert_eq!(s.random_unprocessed(&mut rng), Some((2, 1, 0)));
+        }
+        s.mark_processed(2, 1, 0);
+        assert_eq!(s.random_unprocessed(&mut rng), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! The outer-product kernel `M = a·bᵗ` and its dynamic scheduling
+//! strategies (paper §3).
+//!
+//! Vectors `a` and `b` are split into `n = N/l` blocks; task `T(i,j)`
+//! computes the block outer product `a_i·b_jᵗ`. There are `n²` independent
+//! tasks, but each `a_i` is an input to `n` of them — the whole game is to
+//! allocate tasks so that the blocks already cached on a worker are reused,
+//! keeping the master→worker communication volume close to the lower bound
+//! `2n·Σ√rs_k`.
+//!
+//! Four strategies, in increasing order of data awareness:
+//!
+//! * [`RandomOuter`] — uniformly random unprocessed
+//!   task per request; ship whatever inputs are missing.
+//! * [`SortedOuter`] — tasks in lexicographic
+//!   order; ship missing inputs.
+//! * [`DynamicOuter`] — per request the master
+//!   ships one *new* `a` block and one *new* `b` block chosen uniformly at
+//!   random, and allocates every still-unprocessed task the worker can now
+//!   form (the new row/column of its known sub-grid).
+//! * [`DynamicOuter2Phases`] —
+//!   `DynamicOuter` until fewer than `e^{−β}·n²` tasks remain, then
+//!   `RandomOuter` for the end game.
+
+pub mod ownership;
+pub mod state;
+pub mod strategies;
+
+pub use ownership::{VectorOwnership, WorkerData};
+pub use state::OuterState;
+pub use strategies::{DynamicOuter, DynamicOuter2Phases, RandomOuter, SortedOuter};

@@ -1,0 +1,57 @@
+//! Per-worker block ownership for the outer product.
+//!
+//! The generic index-set tracker lives in
+//! [`hetsched_util::owned::OwnedSet`]; this module pairs two of them into
+//! the worker's view of the `a` and `b` vectors (the paper's index sets
+//! `I` and `J`).
+
+pub use hetsched_util::OwnedSet as VectorOwnership;
+
+/// A worker's view of both input vectors.
+#[derive(Clone, Debug)]
+pub struct WorkerData {
+    /// Blocks of `a` on the worker (the paper's index set `I`).
+    pub a: VectorOwnership,
+    /// Blocks of `b` on the worker (the paper's index set `J`).
+    pub b: VectorOwnership,
+}
+
+impl WorkerData {
+    /// Fresh worker holding nothing.
+    pub fn new(n: usize) -> Self {
+        WorkerData {
+            a: VectorOwnership::new(n),
+            b: VectorOwnership::new(n),
+        }
+    }
+
+    /// Per-worker fleet constructor.
+    pub fn fleet(n: usize, p: usize) -> Vec<WorkerData> {
+        (0..p).map(|_| WorkerData::new(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_independent() {
+        let mut fleet = WorkerData::fleet(4, 3);
+        fleet[0].a.acquire(1);
+        assert!(fleet[0].a.owns(1));
+        assert!(!fleet[1].a.owns(1));
+        assert!(!fleet[0].b.owns(1));
+    }
+
+    #[test]
+    fn a_and_b_are_independent_dimensions() {
+        let mut w = WorkerData::new(5);
+        w.a.acquire(2);
+        assert!(w.a.owns(2));
+        assert!(!w.b.owns(2));
+        w.b.acquire(4);
+        assert_eq!(w.a.count(), 1);
+        assert_eq!(w.b.count(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Global task state for the outer product.
+
+use hetsched_util::{BitGrid, SwapList};
+use rand::rngs::StdRng;
+
+/// The `n × n` task grid: which tasks have been allocated ("processed" in
+/// the paper's vocabulary — allocation wins the race), plus an O(1)
+/// uniform sampler over the unprocessed residue.
+#[derive(Clone, Debug)]
+pub struct OuterState {
+    n: usize,
+    processed: BitGrid,
+    remaining: SwapList,
+}
+
+impl OuterState {
+    /// Fresh state with all `n²` tasks unprocessed.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one block per vector");
+        OuterState {
+            n,
+            processed: BitGrid::square(n),
+            remaining: SwapList::full(n * n),
+        }
+    }
+
+    /// Blocks per vector.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of tasks (`n²`).
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Tasks not yet allocated.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Linear task id of `T(i,j)`.
+    #[inline]
+    pub fn task_id(&self, i: usize, j: usize) -> u32 {
+        self.processed.linear(i, j) as u32
+    }
+
+    /// Inverse of [`task_id`](Self::task_id).
+    #[inline]
+    pub fn coords(&self, id: u32) -> (usize, usize) {
+        self.processed.coords(id as usize)
+    }
+
+    /// True if `T(i,j)` has been allocated.
+    #[inline]
+    pub fn is_processed(&self, i: usize, j: usize) -> bool {
+        self.processed.contains(i, j)
+    }
+
+    /// Marks `T(i,j)` allocated; returns `true` if it was unprocessed.
+    pub fn mark_processed(&mut self, i: usize, j: usize) -> bool {
+        if self.processed.insert(i, j) {
+            let id = self.task_id(i, j);
+            let removed = self.remaining.remove(id);
+            debug_assert!(removed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A uniformly random unprocessed task, or `None` when done.
+    pub fn random_unprocessed(&self, rng: &mut StdRng) -> Option<(usize, usize)> {
+        self.remaining.peek_random(rng).map(|id| self.coords(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn fresh_state_counts() {
+        let s = OuterState::new(10);
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.remaining(), 100);
+        assert!(!s.is_processed(3, 4));
+    }
+
+    #[test]
+    fn mark_processed_updates_both_views() {
+        let mut s = OuterState::new(5);
+        assert!(s.mark_processed(2, 3));
+        assert!(!s.mark_processed(2, 3), "idempotent");
+        assert!(s.is_processed(2, 3));
+        assert_eq!(s.remaining(), 24);
+    }
+
+    #[test]
+    fn random_unprocessed_never_returns_processed() {
+        let mut s = OuterState::new(4);
+        let mut rng = rng_for(0, 0);
+        // Process everything except (1, 2).
+        for i in 0..4 {
+            for j in 0..4 {
+                if (i, j) != (1, 2) {
+                    s.mark_processed(i, j);
+                }
+            }
+        }
+        for _ in 0..20 {
+            assert_eq!(s.random_unprocessed(&mut rng), Some((1, 2)));
+        }
+        s.mark_processed(1, 2);
+        assert_eq!(s.random_unprocessed(&mut rng), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn task_id_round_trip() {
+        let s = OuterState::new(7);
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(s.coords(s.task_id(i, j)), (i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! `DynamicOuter`: the data-aware strategy (Algorithm 1).
+
+use crate::ownership::WorkerData;
+use crate::state::OuterState;
+use crate::strategies::dynamic_step;
+use hetsched_platform::ProcId;
+use hetsched_sim::{Allocation, Scheduler};
+use rand::rngs::StdRng;
+
+/// Per request, ships one new random `a` block and one new random `b` block
+/// to the worker and allocates every still-unprocessed task of the new
+/// row/column of the worker's known sub-grid.
+///
+/// Efficient in steady state (2 blocks buy `Θ(x·n)` tasks) but pathological
+/// in the end game: when few tasks remain, extensions keep enabling nothing
+/// and the worker buys blocks without work — the motivation for
+/// [`DynamicOuter2Phases`](crate::strategies::DynamicOuter2Phases).
+#[derive(Clone, Debug)]
+pub struct DynamicOuter {
+    state: OuterState,
+    workers: Vec<WorkerData>,
+    scratch: Vec<u32>,
+}
+
+impl DynamicOuter {
+    /// `n` blocks per vector, `p` workers.
+    pub fn new(n: usize, p: usize) -> Self {
+        DynamicOuter {
+            state: OuterState::new(n),
+            workers: WorkerData::fleet(n, p),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Read-only view of the task state (for audits).
+    pub fn state(&self) -> &OuterState {
+        &self.state
+    }
+
+    /// Read-only view of a worker's ownership (for audits).
+    pub fn worker(&self, k: ProcId) -> &WorkerData {
+        &self.workers[k.idx()]
+    }
+}
+
+impl Scheduler for DynamicOuter {
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
+        self.scratch.clear();
+        dynamic_step(
+            &mut self.state,
+            &mut self.workers[k.idx()],
+            rng,
+            &mut self.scratch,
+        )
+    }
+
+    fn last_allocated(&self) -> &[u32] {
+        &self.scratch
+    }
+
+    fn remaining(&self) -> usize {
+        self.state.remaining()
+    }
+
+    fn total_tasks(&self) -> usize {
+        self.state.total()
+    }
+
+    fn name(&self) -> &'static str {
+        "DynamicOuter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_platform::{outer_lower_bound, Platform, SpeedDistribution, SpeedModel};
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn completes_all_tasks() {
+        let pf = Platform::from_speeds(vec![15.0, 85.0]);
+        let mut rng = rng_for(0, 0);
+        let (report, sched) =
+            hetsched_sim::run(&pf, SpeedModel::Fixed, DynamicOuter::new(30, 2), &mut rng);
+        assert_eq!(sched.remaining(), 0);
+        assert_eq!(report.ledger.total_tasks(), 900);
+    }
+
+    #[test]
+    fn beats_random_on_communication() {
+        let mut rng = rng_for(1, 0);
+        let pf = Platform::sample(20, &SpeedDistribution::paper_default(), &mut rng);
+        let lb = outer_lower_bound(100, &pf);
+
+        let (dyn_report, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter::new(100, 20),
+            &mut rng_for(1, 1),
+        );
+        let (rnd_report, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            crate::strategies::RandomOuter::new(100, 20),
+            &mut rng_for(1, 1),
+        );
+        let d = dyn_report.normalized(lb);
+        let r = rnd_report.normalized(lb);
+        assert!(d < r, "dynamic {d} should beat random {r}");
+        // Paper Fig. 2 territory: dynamic around 2.5–3, random around 4.5.
+        assert!(d < 3.5, "dynamic too costly: {d}");
+        assert!(r > 3.5, "random unexpectedly cheap: {r}");
+    }
+
+    #[test]
+    fn comm_at_least_lower_bound() {
+        let mut rng = rng_for(2, 0);
+        let pf = Platform::sample(10, &SpeedDistribution::paper_default(), &mut rng);
+        let lb = outer_lower_bound(50, &pf);
+        let (report, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter::new(50, 10),
+            &mut rng,
+        );
+        assert!(report.total_blocks as f64 >= lb * 0.999);
+    }
+
+    #[test]
+    fn worker_ownership_symmetric_in_pure_dynamic() {
+        // Pure DynamicOuter always extends a and b together, so |I| and |J|
+        // can differ by at most ... they stay equal unless the vector ran
+        // out; with n much larger than what a worker learns they are equal.
+        let pf = Platform::homogeneous(8);
+        let mut rng = rng_for(3, 0);
+        let (_, sched) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter::new(60, 8),
+            &mut rng,
+        );
+        for k in pf.procs() {
+            let w = sched.worker(k);
+            assert_eq!(w.a.count(), w.b.count(), "worker {k}");
+            assert!(w.a.count() > 0);
+        }
+    }
+
+    #[test]
+    fn single_worker_is_optimal() {
+        // Alone, dynamic ships each block exactly once: 2n blocks = LB.
+        let pf = Platform::from_speeds(vec![3.0]);
+        let mut rng = rng_for(4, 0);
+        let (report, _) =
+            hetsched_sim::run(&pf, SpeedModel::Fixed, DynamicOuter::new(40, 1), &mut rng);
+        assert_eq!(report.total_blocks, 80);
+    }
+}

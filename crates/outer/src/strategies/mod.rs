@@ -1,0 +1,277 @@
+//! The four outer-product scheduling strategies.
+//!
+//! All strategies share two primitive steps, factored here so that
+//! `DynamicOuter2Phases` is *literally* `DynamicOuter` followed by
+//! `RandomOuter` on the same state:
+//!
+//! * `random_step` — allocate one uniformly random unprocessed task and
+//!   ship its missing inputs (Algorithm 2, phase 2);
+//! * `dynamic_step` — ship one new random `a` block and one new random
+//!   `b` block, allocate every unprocessed task they enable, and repeat if
+//!   that enabled nothing (Algorithm 1).
+
+mod dynamic;
+mod random;
+mod sorted;
+mod two_phase;
+
+pub use dynamic::DynamicOuter;
+pub use random::RandomOuter;
+pub use sorted::SortedOuter;
+pub use two_phase::DynamicOuter2Phases;
+
+use crate::ownership::WorkerData;
+use crate::state::OuterState;
+use hetsched_sim::Allocation;
+use rand::rngs::StdRng;
+
+/// One step of the basic randomized strategy: pick a uniformly random
+/// unprocessed task `T(i,j)`, ship `a_i` and/or `b_j` if missing, allocate
+/// the task. Allocated task ids are appended to `out`.
+pub(crate) fn random_step(
+    state: &mut OuterState,
+    worker: &mut WorkerData,
+    rng: &mut StdRng,
+    out: &mut Vec<u32>,
+) -> Allocation {
+    let Some((i, j)) = state.random_unprocessed(rng) else {
+        return Allocation::DONE;
+    };
+    let fresh = state.mark_processed(i, j);
+    debug_assert!(fresh);
+    out.push(state.task_id(i, j));
+    let mut blocks = 0;
+    if worker.a.acquire(i) {
+        blocks += 1;
+    }
+    if worker.b.acquire(j) {
+        blocks += 1;
+    }
+    Allocation { tasks: 1, blocks }
+}
+
+/// One step of the data-aware strategy: extend the worker's known index
+/// sets `I` and `J` by one random unknown row and column, allocating every
+/// unprocessed task of the new row/column of its known sub-grid. Repeats
+/// the extension (still paying for the shipped blocks) until at least one
+/// task is allocated or the problem is finished — a worker that knows both
+/// full vectors can have no unprocessed task left, so the loop terminates.
+pub(crate) fn dynamic_step(
+    state: &mut OuterState,
+    worker: &mut WorkerData,
+    rng: &mut StdRng,
+    out: &mut Vec<u32>,
+) -> Allocation {
+    let mut blocks = 0u64;
+    loop {
+        if state.remaining() == 0 {
+            return Allocation { tasks: 0, blocks };
+        }
+        let new_a = worker.a.acquire_random(rng);
+        let mut tasks = 0usize;
+        if let Some(i) = new_a {
+            blocks += 1;
+            // New row i against the b blocks known *before* this step's new
+            // column, so the (i, j) corner is counted exactly once below.
+            for &j2 in worker.b.owned_list() {
+                if state.mark_processed(i, j2 as usize) {
+                    out.push(state.task_id(i, j2 as usize));
+                    tasks += 1;
+                }
+            }
+        }
+        let new_b = worker.b.acquire_random(rng);
+        if let Some(j) = new_b {
+            blocks += 1;
+            // New column j against all known a blocks, including a fresh i.
+            for &i2 in worker.a.owned_list() {
+                if state.mark_processed(i2 as usize, j) {
+                    out.push(state.task_id(i2 as usize, j));
+                    tasks += 1;
+                }
+            }
+        }
+        if new_a.is_none() && new_b.is_none() {
+            // Worker holds both vectors entirely: every task it could do is
+            // processed, so nothing remains anywhere in its reach. The
+            // engine retires it; any still-remaining tasks belong to races
+            // other workers already won.
+            debug_assert_eq!(
+                state.remaining(),
+                0,
+                "full-knowledge worker implies no remaining tasks"
+            );
+            return Allocation { tasks: 0, blocks };
+        }
+        if tasks > 0 {
+            return Allocation { tasks, blocks };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_util::rng::rng_for;
+
+    // Most tests here predate the task-id sink and only care about counts;
+    // these shims (which shadow the glob imports) discard the ids.
+    fn random_step(s: &mut OuterState, w: &mut WorkerData, r: &mut StdRng) -> Allocation {
+        super::random_step(s, w, r, &mut Vec::new())
+    }
+    fn dynamic_step(s: &mut OuterState, w: &mut WorkerData, r: &mut StdRng) -> Allocation {
+        super::dynamic_step(s, w, r, &mut Vec::new())
+    }
+
+    #[test]
+    fn steps_report_allocated_task_ids() {
+        let mut state = OuterState::new(6);
+        let mut w = WorkerData::new(6);
+        let mut rng = rng_for(99, 0);
+        let mut out = Vec::new();
+        let a = super::dynamic_step(&mut state, &mut w, &mut rng, &mut out);
+        assert_eq!(out.len(), a.tasks);
+        for &id in &out {
+            let (i, j) = state.coords(id);
+            assert!(state.is_processed(i, j));
+            assert!(w.a.owns(i) && w.b.owns(j), "worker holds the inputs");
+        }
+        out.clear();
+        let a = super::random_step(&mut state, &mut w, &mut rng, &mut out);
+        assert_eq!(out.len(), a.tasks);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn random_step_ships_at_most_two_blocks() {
+        let mut state = OuterState::new(8);
+        let mut w = WorkerData::new(8);
+        let mut rng = rng_for(0, 0);
+        let a = random_step(&mut state, &mut w, &mut rng);
+        assert_eq!(a.tasks, 1);
+        assert_eq!(a.blocks, 2, "first task always ships both inputs");
+        // Drain everything: per-step blocks are always ≤ 2.
+        while state.remaining() > 0 {
+            let a = random_step(&mut state, &mut w, &mut rng);
+            assert_eq!(a.tasks, 1);
+            assert!(a.blocks <= 2);
+        }
+        assert!(random_step(&mut state, &mut w, &mut rng).is_done());
+    }
+
+    #[test]
+    fn single_worker_random_ships_each_block_once() {
+        let n = 6;
+        let mut state = OuterState::new(n);
+        let mut w = WorkerData::new(n);
+        let mut rng = rng_for(1, 0);
+        let mut total_blocks = 0;
+        while state.remaining() > 0 {
+            total_blocks += random_step(&mut state, &mut w, &mut rng).blocks;
+        }
+        // A single worker eventually owns each of the 2n blocks exactly once.
+        assert_eq!(total_blocks, 2 * n as u64);
+    }
+
+    #[test]
+    fn dynamic_step_first_call_allocates_one_task_two_blocks() {
+        let mut state = OuterState::new(8);
+        let mut w = WorkerData::new(8);
+        let mut rng = rng_for(2, 0);
+        let a = dynamic_step(&mut state, &mut w, &mut rng);
+        // First extension: row+column of a 1×1 grid = the single task (i,j).
+        assert_eq!(a.tasks, 1);
+        assert_eq!(a.blocks, 2);
+        assert_eq!(w.a.count(), 1);
+        assert_eq!(w.b.count(), 1);
+    }
+
+    #[test]
+    fn dynamic_step_kth_call_allocates_2k_minus_1_when_alone() {
+        // With a single worker nothing is stolen, so the k-th extension
+        // allocates the full new row+column: 2k−1 tasks.
+        let mut state = OuterState::new(10);
+        let mut w = WorkerData::new(10);
+        let mut rng = rng_for(3, 0);
+        for k in 1..=10u64 {
+            let a = dynamic_step(&mut state, &mut w, &mut rng);
+            assert_eq!(a.tasks as u64, 2 * k - 1, "extension {k}");
+            assert_eq!(a.blocks, 2);
+        }
+        assert_eq!(state.remaining(), 0);
+        assert!(dynamic_step(&mut state, &mut w, &mut rng).is_done());
+    }
+
+    #[test]
+    fn dynamic_step_returns_immediately_when_no_tasks_remain() {
+        let n = 5;
+        let mut state = OuterState::new(n);
+        let mut w1 = WorkerData::new(n);
+        let mut w2 = WorkerData::new(n);
+        let mut rng = rng_for(4, 0);
+        // w2 learns one pair first.
+        let first = dynamic_step(&mut state, &mut w2, &mut rng);
+        assert_eq!(first.tasks, 1);
+        // w1 hoovers up the rest.
+        while state.remaining() > 0 {
+            dynamic_step(&mut state, &mut w1, &mut rng);
+        }
+        // Nothing remains: w2's next request ends without buying anything.
+        let done = dynamic_step(&mut state, &mut w2, &mut rng);
+        assert!(done.is_done());
+        assert_eq!(done.blocks, 0);
+    }
+
+    #[test]
+    fn dynamic_step_retries_when_extension_enables_nothing() {
+        // n = 3; the only unprocessed task is (2, 2) and the worker owns
+        // only (a0, b0). An extension drawing e.g. (a1, b1) enables nothing,
+        // so the step must keep buying blocks (blocks > 2) within a single
+        // allocation until it reaches (2, 2).
+        let mut retried = false;
+        for seed in 0..20u64 {
+            let n = 3;
+            let mut state = OuterState::new(n);
+            let mut w = WorkerData::new(n);
+            w.a.acquire(0);
+            w.b.acquire(0);
+            for i in 0..n {
+                for j in 0..n {
+                    if (i, j) != (2, 2) {
+                        state.mark_processed(i, j);
+                    }
+                }
+            }
+            let mut rng = rng_for(400 + seed, 0);
+            let a = dynamic_step(&mut state, &mut w, &mut rng);
+            assert_eq!(a.tasks, 1, "must end by allocating (2,2)");
+            assert!(a.blocks >= 2 && a.blocks.is_multiple_of(2));
+            assert_eq!(state.remaining(), 0);
+            if a.blocks > 2 {
+                retried = true;
+            }
+        }
+        assert!(retried, "no seed exercised the retry path");
+    }
+
+    #[test]
+    fn steps_never_allocate_processed_tasks() {
+        let mut state = OuterState::new(12);
+        let mut workers = WorkerData::fleet(12, 3);
+        let mut rng = rng_for(5, 0);
+        let mut allocated = 0usize;
+        let mut turn = 0usize;
+        while state.remaining() > 0 {
+            let w = turn % 3;
+            let a = if w == 0 {
+                random_step(&mut state, &mut workers[w], &mut rng)
+            } else {
+                dynamic_step(&mut state, &mut workers[w], &mut rng)
+            };
+            allocated += a.tasks;
+            turn += 1;
+        }
+        // Exactly-once: totals line up with the grid.
+        assert_eq!(allocated, 144);
+    }
+}

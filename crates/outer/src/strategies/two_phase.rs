@@ -1,0 +1,280 @@
+//! `DynamicOuter2Phases`: data-aware opening, random end game (Algorithm 2).
+
+use crate::ownership::WorkerData;
+use crate::state::OuterState;
+use crate::strategies::{dynamic_step, random_step};
+use hetsched_platform::ProcId;
+use hetsched_sim::{Allocation, Scheduler};
+use rand::rngs::StdRng;
+
+/// Runs [`DynamicOuter`](crate::strategies::DynamicOuter) while more than
+/// `threshold` tasks remain, then switches every worker to the
+/// [`RandomOuter`](crate::strategies::RandomOuter) behaviour.
+///
+/// The paper sets `threshold = e^{−β}·n²` with `β` minimizing the analytic
+/// communication ratio (Theorem 6); [`with_beta`](Self::with_beta) wires
+/// that in directly, and `hetsched-analysis` computes the optimal `β`.
+#[derive(Clone, Debug)]
+pub struct DynamicOuter2Phases {
+    state: OuterState,
+    workers: Vec<WorkerData>,
+    threshold: usize,
+    scratch: Vec<u32>,
+    // Per-phase accounting, used to validate Lemma 4 / Lemma 5 separately.
+    phase1_blocks: u64,
+    phase2_blocks: u64,
+    phase1_tasks: usize,
+    phase2_tasks: usize,
+}
+
+impl DynamicOuter2Phases {
+    /// `n` blocks per vector, `p` workers; switch to the random phase when
+    /// at most `threshold` tasks remain.
+    pub fn new(n: usize, p: usize, threshold: usize) -> Self {
+        DynamicOuter2Phases {
+            state: OuterState::new(n),
+            workers: WorkerData::fleet(n, p),
+            threshold,
+            scratch: Vec::new(),
+            phase1_blocks: 0,
+            phase2_blocks: 0,
+            phase1_tasks: 0,
+            phase2_tasks: 0,
+        }
+    }
+
+    /// Paper parameterization: switch when `e^{−β}·n²` tasks remain.
+    pub fn with_beta(n: usize, p: usize, beta: f64) -> Self {
+        assert!(beta >= 0.0, "β must be non-negative");
+        let threshold = ((-beta).exp() * (n * n) as f64).floor() as usize;
+        Self::new(n, p, threshold)
+    }
+
+    /// Fig. 2 parameterization: process `fraction ∈ [0, 1]` of the tasks in
+    /// phase 1 (i.e. switch when `1 − fraction` of the tasks remain).
+    pub fn with_phase1_fraction(n: usize, p: usize, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        let threshold = ((1.0 - fraction) * (n * n) as f64).round() as usize;
+        Self::new(n, p, threshold)
+    }
+
+    /// The switch-over threshold in remaining tasks.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// True once the end game (random phase) has begun.
+    pub fn in_phase2(&self) -> bool {
+        self.state.remaining() <= self.threshold
+    }
+
+    /// Blocks shipped during phase 1 (Lemma 4's `V_Phase1`).
+    pub fn phase1_blocks(&self) -> u64 {
+        self.phase1_blocks
+    }
+
+    /// Blocks shipped during phase 2 (Lemma 5's `V_Phase2`).
+    pub fn phase2_blocks(&self) -> u64 {
+        self.phase2_blocks
+    }
+
+    /// Tasks allocated during phase 1.
+    pub fn phase1_tasks(&self) -> usize {
+        self.phase1_tasks
+    }
+
+    /// Tasks allocated during phase 2.
+    pub fn phase2_tasks(&self) -> usize {
+        self.phase2_tasks
+    }
+
+    /// Read-only view of the task state (for audits).
+    pub fn state(&self) -> &OuterState {
+        &self.state
+    }
+}
+
+impl Scheduler for DynamicOuter2Phases {
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
+        let worker = &mut self.workers[k.idx()];
+        self.scratch.clear();
+        if self.state.remaining() > self.threshold {
+            let a = dynamic_step(&mut self.state, worker, rng, &mut self.scratch);
+            self.phase1_blocks += a.blocks;
+            self.phase1_tasks += a.tasks;
+            a
+        } else {
+            let a = random_step(&mut self.state, worker, rng, &mut self.scratch);
+            self.phase2_blocks += a.blocks;
+            self.phase2_tasks += a.tasks;
+            a
+        }
+    }
+
+    fn last_allocated(&self) -> &[u32] {
+        &self.scratch
+    }
+
+    fn remaining(&self) -> usize {
+        self.state.remaining()
+    }
+
+    fn total_tasks(&self) -> usize {
+        self.state.total()
+    }
+
+    fn name(&self) -> &'static str {
+        "DynamicOuter2Phases"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{DynamicOuter, RandomOuter};
+    use hetsched_platform::{outer_lower_bound, Platform, SpeedDistribution, SpeedModel};
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn threshold_from_beta() {
+        let s = DynamicOuter2Phases::with_beta(100, 4, 4.0);
+        // e^{-4}·10000 ≈ 183.16 → 183.
+        assert_eq!(s.threshold(), 183);
+    }
+
+    #[test]
+    fn threshold_from_fraction() {
+        let s = DynamicOuter2Phases::with_phase1_fraction(10, 2, 0.9);
+        assert_eq!(s.threshold(), 10);
+    }
+
+    #[test]
+    fn zero_threshold_degenerates_to_pure_dynamic() {
+        let pf = Platform::homogeneous(5);
+        let seed_rng = || rng_for(0, 7);
+        let (two, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter2Phases::new(30, 5, 0),
+            &mut seed_rng(),
+        );
+        let (pure, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter::new(30, 5),
+            &mut seed_rng(),
+        );
+        assert_eq!(two.total_blocks, pure.total_blocks);
+    }
+
+    #[test]
+    fn full_threshold_degenerates_to_pure_random() {
+        let pf = Platform::homogeneous(5);
+        let seed_rng = || rng_for(1, 7);
+        let (two, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter2Phases::new(30, 5, 900),
+            &mut seed_rng(),
+        );
+        let (pure, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            RandomOuter::new(30, 5),
+            &mut seed_rng(),
+        );
+        assert_eq!(two.total_blocks, pure.total_blocks);
+    }
+
+    #[test]
+    fn phase_accounting_is_exhaustive() {
+        let pf = Platform::from_speeds(vec![20.0, 30.0, 50.0]);
+        let mut rng = rng_for(2, 0);
+        let (report, sched) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter2Phases::with_beta(40, 3, 4.0),
+            &mut rng,
+        );
+        assert_eq!(sched.phase1_tasks() + sched.phase2_tasks(), 1600);
+        assert_eq!(
+            sched.phase1_blocks() + sched.phase2_blocks(),
+            report.total_blocks
+        );
+        assert!(sched.phase2_tasks() > 0, "β=4 on n=40 leaves an end game");
+        assert!(
+            sched.phase2_tasks() <= sched.threshold(),
+            "phase 2 handles at most the threshold"
+        );
+    }
+
+    #[test]
+    fn improves_on_pure_dynamic_with_good_beta() {
+        // Paper Fig. 2/6: a well-chosen threshold strictly reduces comm.
+        let mut seed = rng_for(3, 0);
+        let pf = Platform::sample(20, &SpeedDistribution::paper_default(), &mut seed);
+        let lb = outer_lower_bound(100, &pf);
+        let mut dyn_sum = 0.0;
+        let mut two_sum = 0.0;
+        for t in 0..5u64 {
+            let (d, _) = hetsched_sim::run(
+                &pf,
+                SpeedModel::Fixed,
+                DynamicOuter::new(100, 20),
+                &mut rng_for(100 + t, 0),
+            );
+            let (w, _) = hetsched_sim::run(
+                &pf,
+                SpeedModel::Fixed,
+                DynamicOuter2Phases::with_beta(100, 20, 4.17),
+                &mut rng_for(100 + t, 0),
+            );
+            dyn_sum += d.normalized(lb);
+            two_sum += w.normalized(lb);
+        }
+        assert!(
+            two_sum < dyn_sum,
+            "two-phase {two_sum} should beat pure dynamic {dyn_sum}"
+        );
+    }
+
+    #[test]
+    fn n_equals_one_works() {
+        // Degenerate problem: a single task.
+        let pf = Platform::homogeneous(3);
+        let (report, sched) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter2Phases::with_beta(1, 3, 4.0),
+            &mut rng_for(9, 0),
+        );
+        assert_eq!(sched.phase1_tasks() + sched.phase2_tasks(), 1);
+        assert_eq!(report.ledger.total_tasks(), 1);
+        assert_eq!(report.total_blocks, 2);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        // p = 30 workers for a 4×4 task grid: most workers never get work,
+        // but everything still completes exactly once.
+        let pf = Platform::homogeneous(30);
+        let (report, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter2Phases::with_beta(4, 30, 3.0),
+            &mut rng_for(10, 0),
+        );
+        assert_eq!(report.ledger.total_tasks(), 16);
+    }
+
+    #[test]
+    fn in_phase2_flag_transitions() {
+        let mut s = DynamicOuter2Phases::new(10, 1, 50);
+        let mut rng = rng_for(4, 0);
+        assert!(!s.in_phase2());
+        while s.remaining() > 50 {
+            s.on_request(ProcId(0), &mut rng);
+        }
+        assert!(s.in_phase2());
+    }
+}

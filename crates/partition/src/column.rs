@@ -1,0 +1,289 @@
+//! Optimal column-structured partition of the unit square (Beaumont et
+//! al. 2002).
+//!
+//! Problem: partition the unit square into `p` rectangles with prescribed
+//! areas `a_1 … a_p` (the relative speeds), minimizing the total
+//! half-perimeter `Σ (w_k + h_k)` — which is exactly the communication
+//! volume of a static outer-product allocation, normalized to `n = 1`.
+//!
+//! General optimal partition is NP-complete; restricting to *column*
+//! structure (vertical slices, each sliced horizontally) admits an exact
+//! polynomial algorithm and is a 7/4-approximation of the unrestricted
+//! lower bound `2Σ√a_k`. Structure of the optimum:
+//!
+//! * a column of width `w` containing `k` rectangles stacked to height 1
+//!   contributes `k·w + 1` to the objective (`Σ h = 1` per column);
+//! * in an optimal solution the areas can be taken sorted in
+//!   non-increasing order with each column a *contiguous* run of that
+//!   order (an exchange argument: bigger areas go to wider columns);
+//! * hence dynamic programming over sorted prefixes:
+//!   `f(i) = min_{j<i} f(j) + (i−j)·(S_i − S_j) + 1`, where `S` are prefix
+//!   sums — `O(p²)` time, `O(p)` space.
+
+/// A rectangle of the unit square, axis-aligned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+    /// Index of the processor this rectangle belongs to.
+    pub owner: usize,
+}
+
+impl Rect {
+    /// Half-perimeter (the communication cost of the rectangle).
+    pub fn half_perimeter(&self) -> f64 {
+        self.w + self.h
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+}
+
+/// A column-structured partition of the unit square.
+#[derive(Clone, Debug)]
+pub struct ColumnPartition {
+    /// All rectangles, exactly one per input area, indexed by owner.
+    pub rects: Vec<Rect>,
+    /// Number of columns used.
+    pub columns: usize,
+    /// Owners in each column, top-to-bottom (preserves the column
+    /// structure for exact grid discretization).
+    pub column_owners: Vec<Vec<usize>>,
+    /// Width of each column (sums to 1).
+    pub column_widths: Vec<f64>,
+    /// Total half-perimeter `Σ (w_k + h_k)`.
+    pub cost: f64,
+}
+
+impl ColumnPartition {
+    /// The unrestricted lower bound `2Σ√a_k` this partition approximates.
+    pub fn lower_bound(areas: &[f64]) -> f64 {
+        2.0 * areas.iter().map(|a| a.sqrt()).sum::<f64>()
+    }
+
+    /// `cost / lower_bound` — guaranteed ≤ 7/4 by the 2002 paper.
+    pub fn approximation_ratio(&self, areas: &[f64]) -> f64 {
+        self.cost / Self::lower_bound(areas)
+    }
+}
+
+/// Computes the optimal column-structured partition for `areas`
+/// (positive, summing to 1 within floating-point tolerance).
+///
+/// # Examples
+///
+/// ```
+/// use hetsched_partition::optimal_column_partition;
+///
+/// // Four equal-speed workers tile the square 2×2 — exactly optimal.
+/// let part = optimal_column_partition(&[0.25; 4]);
+/// assert_eq!(part.columns, 2);
+/// assert!((part.cost - 4.0).abs() < 1e-12);
+/// assert!(part.approximation_ratio(&[0.25; 4]) <= 1.75);
+/// ```
+pub fn optimal_column_partition(areas: &[f64]) -> ColumnPartition {
+    let p = areas.len();
+    assert!(p >= 1, "need at least one area");
+    let total: f64 = areas.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "areas must sum to 1, got {total}"
+    );
+    assert!(areas.iter().all(|&a| a > 0.0), "areas must be positive");
+
+    // Sort areas in non-increasing order, remembering owners.
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&i, &j| areas[j].partial_cmp(&areas[i]).expect("finite areas"));
+    let sorted: Vec<f64> = order.iter().map(|&i| areas[i]).collect();
+
+    // Prefix sums S[i] = a_1 + … + a_i of the sorted areas.
+    let mut prefix = vec![0.0; p + 1];
+    for i in 0..p {
+        prefix[i + 1] = prefix[i] + sorted[i];
+    }
+
+    // DP over prefixes: f[i] = best cost for the first i sorted areas,
+    // cut[i] = start index of the last column.
+    let mut f = vec![f64::INFINITY; p + 1];
+    let mut cut = vec![0usize; p + 1];
+    f[0] = 0.0;
+    for i in 1..=p {
+        for j in 0..i {
+            let width = prefix[i] - prefix[j];
+            let cost = f[j] + (i - j) as f64 * width + 1.0;
+            if cost < f[i] {
+                f[i] = cost;
+                cut[i] = j;
+            }
+        }
+    }
+
+    // Reconstruct the columns (right to left), then lay out rectangles.
+    let mut bounds = Vec::new();
+    let mut i = p;
+    while i > 0 {
+        bounds.push((cut[i], i));
+        i = cut[i];
+    }
+    bounds.reverse();
+
+    let mut rects = Vec::with_capacity(p);
+    let mut column_owners = Vec::with_capacity(bounds.len());
+    let mut column_widths = Vec::with_capacity(bounds.len());
+    let mut x = 0.0;
+    for &(start, end) in &bounds {
+        let width = prefix[end] - prefix[start];
+        let mut y = 0.0;
+        let mut owners = Vec::with_capacity(end - start);
+        for s in start..end {
+            let h = sorted[s] / width;
+            rects.push(Rect {
+                x,
+                y,
+                w: width,
+                h,
+                owner: order[s],
+            });
+            owners.push(order[s]);
+            y += h;
+        }
+        column_owners.push(owners);
+        column_widths.push(width);
+        x += width;
+    }
+    // Keep rectangles in owner order for direct indexing.
+    rects.sort_by_key(|r| r.owner);
+
+    ColumnPartition {
+        rects,
+        columns: bounds.len(),
+        column_owners,
+        column_widths,
+        cost: f[p],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+        let s: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= s);
+        v
+    }
+
+    fn check_geometry(p: &ColumnPartition, areas: &[f64]) {
+        // One rect per area, exact areas, inside the unit square.
+        assert_eq!(p.rects.len(), areas.len());
+        for (k, r) in p.rects.iter().enumerate() {
+            assert_eq!(r.owner, k);
+            assert!((r.area() - areas[k]).abs() < 1e-9, "area of rect {k}");
+            assert!(r.x >= -1e-12 && r.x + r.w <= 1.0 + 1e-9);
+            assert!(r.y >= -1e-12 && r.y + r.h <= 1.0 + 1e-9);
+        }
+        // Cost is consistent with the rectangles.
+        let sum: f64 = p.rects.iter().map(Rect::half_perimeter).sum();
+        assert!((sum - p.cost).abs() < 1e-9, "{} vs {}", sum, p.cost);
+    }
+
+    #[test]
+    fn single_processor_is_the_whole_square() {
+        let part = optimal_column_partition(&[1.0]);
+        check_geometry(&part, &[1.0]);
+        assert_eq!(part.columns, 1);
+        assert!((part.cost - 2.0).abs() < 1e-12);
+        assert!((part.approximation_ratio(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_equal_processors_form_a_2x2_grid() {
+        let areas = [0.25; 4];
+        let part = optimal_column_partition(&areas);
+        check_geometry(&part, &areas);
+        // Optimal: two columns of two squares → cost 4·(1/2+1/2) = 4 = LB.
+        assert_eq!(part.columns, 2);
+        assert!((part.cost - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nine_equal_processors_form_a_3x3_grid() {
+        let areas = [1.0 / 9.0; 9];
+        let part = optimal_column_partition(&areas);
+        check_geometry(&part, &areas);
+        assert_eq!(part.columns, 3);
+        assert!((part.cost - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_processors_single_column_when_very_unbalanced() {
+        // Areas 0.9 / 0.1: two stacked slabs (1 column) cost 2·1+1 = 3;
+        // two columns cost (0.9+1)+(0.1+1) = 3. Tie — but with 0.99/0.01
+        // a single column (cost 3) beats two columns (cost 3) ... both are
+        // 2·1 + C; for p=2 cost = 2·Σw over ... check DP just returns ≤
+        // both.
+        let areas = normalize(vec![0.99, 0.01]);
+        let part = optimal_column_partition(&areas);
+        check_geometry(&part, &areas);
+        assert!(part.cost <= 3.0 + 1e-12);
+    }
+
+    #[test]
+    fn respects_seven_fourths_bound_on_random_instances() {
+        let mut rng = hetsched_util::rng::rng_for(1, 0);
+        for p in [2usize, 5, 10, 20, 100, 333] {
+            for _ in 0..5 {
+                let areas =
+                    normalize((0..p).map(|_| rng.gen_range(10.0..100.0)).collect());
+                let part = optimal_column_partition(&areas);
+                check_geometry(&part, &areas);
+                let ratio = part.approximation_ratio(&areas);
+                assert!(
+                    ratio <= 1.75 + 1e-9,
+                    "p={p}: ratio {ratio} above 7/4"
+                );
+                assert!(ratio >= 1.0 - 1e-9, "p={p}: ratio {ratio} below LB");
+            }
+        }
+    }
+
+    #[test]
+    fn near_homogeneous_is_near_optimal() {
+        // For p = k² equal areas the column partition is exactly optimal,
+        // so the ratio tends to 1.
+        let areas = normalize(vec![1.0; 64]);
+        let part = optimal_column_partition(&areas);
+        assert!(part.approximation_ratio(&areas) < 1.01);
+    }
+
+    #[test]
+    fn columns_cover_the_square_exactly() {
+        let areas = normalize(vec![5.0, 3.0, 2.0, 2.0, 1.0]);
+        let part = optimal_column_partition(&areas);
+        check_geometry(&part, &areas);
+        let total_area: f64 = part.rects.iter().map(Rect::area).sum();
+        assert!((total_area - 1.0).abs() < 1e-9);
+        // Rectangles must not overlap: pairwise disjoint interiors.
+        for (i, a) in part.rects.iter().enumerate() {
+            for b in part.rects.iter().skip(i + 1) {
+                let x_overlap = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let y_overlap = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                assert!(
+                    x_overlap <= 1e-9 || y_overlap <= 1e-9,
+                    "rects of {} and {} overlap",
+                    a.owner,
+                    b.owner
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Discretization of a unit-square column partition onto the `n × n`
+//! block grid.
+//!
+//! The continuous partition prescribes real widths/heights; the scheduler
+//! needs integer block rectangles that cover the grid exactly. Column
+//! widths are apportioned to integer column counts by largest-remainder
+//! rounding, then each column's stack of heights likewise — so the cover is
+//! exact by construction and the per-worker block share deviates from its
+//! speed share by at most one row/column.
+
+use crate::column::ColumnPartition;
+
+/// An integer rectangle of the block grid: rows `r0..r1`, columns
+/// `c0..c1` (half-open).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridRect {
+    pub r0: u32,
+    pub r1: u32,
+    pub c0: u32,
+    pub c1: u32,
+}
+
+impl GridRect {
+    /// Number of block tasks in the rectangle.
+    pub fn tasks(&self) -> usize {
+        ((self.r1 - self.r0) as usize) * ((self.c1 - self.c0) as usize)
+    }
+
+    /// Static communication cost in blocks: the rows of `a` plus the
+    /// columns of `b` this rectangle needs.
+    pub fn comm_blocks(&self) -> usize {
+        (self.r1 - self.r0) as usize + (self.c1 - self.c0) as usize
+    }
+
+    /// True if the rectangle contains no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.r0 == self.r1 || self.c0 == self.c1
+    }
+}
+
+/// The discretized partition: one grid rectangle per worker.
+#[derive(Clone, Debug)]
+pub struct GridPartition {
+    /// Grid size (blocks per dimension).
+    pub n: usize,
+    /// Worker `k`'s rectangle (possibly empty for very slow workers on
+    /// coarse grids).
+    pub rects: Vec<GridRect>,
+}
+
+/// Largest-remainder apportionment of `total` integer units to `weights`.
+fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    let quotas: Vec<f64> = weights
+        .iter()
+        .map(|w| w / sum * total as f64)
+        .collect();
+    let mut alloc: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let mut given: usize = alloc.iter().sum();
+    // Hand out the remaining units by descending fractional part.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&i, &j| {
+        let fi = quotas[i] - quotas[i].floor();
+        let fj = quotas[j] - quotas[j].floor();
+        fj.partial_cmp(&fi).expect("finite quotas")
+    });
+    let mut it = order.iter().cycle();
+    while given < total {
+        let &i = it.next().expect("non-empty order");
+        alloc[i] += 1;
+        given += 1;
+    }
+    alloc
+}
+
+impl GridPartition {
+    /// Discretizes `partition` (over `p` workers) onto an `n × n` grid.
+    ///
+    /// Columns of the continuous partition map to runs of grid columns;
+    /// workers stack vertically inside them. Workers in columns that round
+    /// to zero width get empty rectangles.
+    pub fn from_continuous(partition: &ColumnPartition, n: usize) -> Self {
+        let p = partition.rects.len();
+        let mut rects = vec![
+            GridRect {
+                r0: 0,
+                r1: 0,
+                c0: 0,
+                c1: 0
+            };
+            p
+        ];
+
+        let col_blocks = apportion(&partition.column_widths, n);
+        let mut c0 = 0usize;
+        for (col, owners) in partition.column_owners.iter().enumerate() {
+            let width = col_blocks[col];
+            let c1 = c0 + width;
+            if width > 0 {
+                // Apportion the n rows of this column to its owners by
+                // their areas (heights are proportional to areas within a
+                // column).
+                let heights: Vec<f64> = owners
+                    .iter()
+                    .map(|&o| partition.rects[o].h)
+                    .collect();
+                let row_blocks = apportion(&heights, n);
+                let mut r0 = 0usize;
+                for (slot, &owner) in owners.iter().enumerate() {
+                    let r1 = r0 + row_blocks[slot];
+                    rects[owner] = GridRect {
+                        r0: r0 as u32,
+                        r1: r1 as u32,
+                        c0: c0 as u32,
+                        c1: c1 as u32,
+                    };
+                    r0 = r1;
+                }
+                debug_assert_eq!(r0, n);
+            }
+            c0 = c1;
+        }
+        debug_assert_eq!(c0, n);
+
+        GridPartition { n, rects }
+    }
+
+    /// Total tasks across all rectangles (must be `n²`).
+    pub fn total_tasks(&self) -> usize {
+        self.rects.iter().map(GridRect::tasks).sum()
+    }
+
+    /// Static communication volume in blocks.
+    pub fn total_comm(&self) -> usize {
+        self.rects
+            .iter()
+            .filter(|r| !r.is_empty())
+            .map(GridRect::comm_blocks)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::optimal_column_partition;
+    use rand::Rng;
+
+    fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+        let s: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= s);
+        v
+    }
+
+    fn exact_cover(g: &GridPartition) {
+        let n = g.n;
+        let mut seen = vec![false; n * n];
+        for r in &g.rects {
+            for row in r.r0..r.r1 {
+                for col in r.c0..r.c1 {
+                    let idx = row as usize * n + col as usize;
+                    assert!(!seen[idx], "cell ({row},{col}) covered twice");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "grid not fully covered");
+    }
+
+    #[test]
+    fn apportion_conserves_total() {
+        assert_eq!(apportion(&[1.0, 1.0, 1.0], 10), vec![4, 3, 3]);
+        assert_eq!(apportion(&[0.5, 0.5], 7).iter().sum::<usize>(), 7);
+        assert_eq!(apportion(&[1.0], 5), vec![5]);
+    }
+
+    #[test]
+    fn equal_speeds_tile_exactly() {
+        let areas = normalize(vec![1.0; 4]);
+        let part = optimal_column_partition(&areas);
+        let g = GridPartition::from_continuous(&part, 10);
+        exact_cover(&g);
+        assert_eq!(g.total_tasks(), 100);
+        // 2×2 tiling of 5×5 rectangles: comm = 4 · (5+5) = 40 = LB.
+        assert_eq!(g.total_comm(), 40);
+    }
+
+    #[test]
+    fn random_speeds_cover_exactly() {
+        let mut rng = hetsched_util::rng::rng_for(2, 0);
+        for p in [3usize, 7, 20] {
+            for n in [10usize, 37, 100] {
+                let areas =
+                    normalize((0..p).map(|_| rng.gen_range(10.0..100.0)).collect());
+                let part = optimal_column_partition(&areas);
+                let g = GridPartition::from_continuous(&part, n);
+                exact_cover(&g);
+                assert_eq!(g.total_tasks(), n * n, "p={p}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_comm_close_to_continuous_cost() {
+        let mut rng = hetsched_util::rng::rng_for(3, 0);
+        let areas = normalize((0..20).map(|_| rng.gen_range(10.0..100.0)).collect());
+        let part = optimal_column_partition(&areas);
+        let n = 200;
+        let g = GridPartition::from_continuous(&part, n);
+        let continuous = part.cost * n as f64;
+        let discrete = g.total_comm() as f64;
+        assert!(
+            (discrete - continuous).abs() / continuous < 0.05,
+            "discrete {discrete} vs continuous {continuous}"
+        );
+    }
+
+    #[test]
+    fn more_workers_than_blocks_leaves_empties() {
+        let areas = normalize(vec![1.0; 30]);
+        let part = optimal_column_partition(&areas);
+        let g = GridPartition::from_continuous(&part, 4);
+        exact_cover(&g);
+        assert_eq!(g.total_tasks(), 16);
+        assert!(g.rects.iter().any(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn task_share_tracks_speed_share() {
+        let areas = normalize(vec![10.0, 20.0, 30.0, 40.0]);
+        let part = optimal_column_partition(&areas);
+        let n = 100;
+        let g = GridPartition::from_continuous(&part, n);
+        for (k, r) in g.rects.iter().enumerate() {
+            let share = r.tasks() as f64 / (n * n) as f64;
+            assert!(
+                (share - areas[k]).abs() < 0.03,
+                "worker {k}: share {share} vs speed {}",
+                areas[k]
+            );
+        }
+    }
+}

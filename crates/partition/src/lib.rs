@@ -1,0 +1,30 @@
+//! The static comparison baseline: square partitioning by columns.
+//!
+//! §3.1 of the paper normalizes every result by the lower bound
+//! `2n·Σ√rs_k` and notes that *"the best known static algorithm (based on a
+//! complete knowledge of all relative speeds) has an approximation ratio of
+//! 7/4"* — the column-based partition of Beaumont, Boudet, Rastello &
+//! Robert, *"Partitioning a square into rectangles: NP-completeness and
+//! approximation algorithms"*, Algorithmica 34(3), 2002 (the paper's
+//! reference \[2\]). The paper uses it as a conceptual comparison basis but
+//! does not implement it; we do, so the dynamic/static trade-off can be
+//! measured instead of cited:
+//!
+//! * [`column::optimal_column_partition`] — the optimal *column-structured*
+//!   partition of the unit square into `p` rectangles with prescribed
+//!   areas, by dynamic programming over speed-sorted prefixes (this is the
+//!   7/4-approximation of the unrestricted optimum);
+//! * [`grid::GridPartition`] — its discretization onto the `n × n` block
+//!   grid (exact cover, integer rectangles);
+//! * [`scheduler::StaticOuter`] — a [`Scheduler`](hetsched_sim::Scheduler)
+//!   that pins each worker to its rectangle. Communication-optimal up to
+//!   7/4 when speeds are exact and stable; brittle when they drift — the
+//!   trade-off the paper's dynamic strategies are designed to win.
+
+pub mod column;
+pub mod grid;
+pub mod scheduler;
+
+pub use column::{optimal_column_partition, ColumnPartition, Rect};
+pub use grid::GridPartition;
+pub use scheduler::StaticOuter;

@@ -1,0 +1,82 @@
+//! Communication lower bounds used to normalize every reported volume.
+//!
+//! Both bounds assume a perfectly load-balanced partition of the iteration
+//! space proportional to relative speeds (an optimistic, generally
+//! unreachable baseline — the best known static algorithm for the outer
+//! product is a 7/4-approximation of it).
+
+use crate::platform::Platform;
+
+/// Outer product, `n` blocks per vector: each processor optimally computes a
+/// square of area `n²·rs_k`, receiving its half-perimeter
+/// `2·n·√rs_k` blocks, hence
+///
+/// ```text
+/// LB_outer = 2 n Σ_k √(rs_k)
+/// ```
+pub fn outer_lower_bound(n: usize, platform: &Platform) -> f64 {
+    2.0 * n as f64 * platform.rs_power_sum(0.5)
+}
+
+/// Matrix multiplication, `n` blocks per dimension: each processor optimally
+/// computes a cube of volume `n³·rs_k` with edge `n·rs_k^{1/3}`, receiving
+/// one `n²·rs_k^{2/3}` square face of each of `A`, `B`, `C`, hence
+///
+/// ```text
+/// LB_mm = 3 n² Σ_k rs_k^{2/3}
+/// ```
+pub fn matmul_lower_bound(n: usize, platform: &Platform) -> f64 {
+    3.0 * (n * n) as f64 * platform.rs_power_sum(2.0 / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outer_single_processor() {
+        // One processor: rs = 1, LB = 2n — it must receive both vectors.
+        let pf = Platform::from_speeds(vec![5.0]);
+        assert!((outer_lower_bound(100, &pf) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_single_processor() {
+        // One processor: LB = 3n² — all of A, B, C exactly once.
+        let pf = Platform::from_speeds(vec![5.0]);
+        assert!((matmul_lower_bound(40, &pf) - 4800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outer_homogeneous_scaling() {
+        // p homogeneous procs: LB = 2n·√p.
+        let pf = Platform::homogeneous(16);
+        assert!((outer_lower_bound(10, &pf) - 2.0 * 10.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_homogeneous_scaling() {
+        // p homogeneous procs: LB = 3n²·p^{1/3}.
+        let pf = Platform::homogeneous(27);
+        assert!((matmul_lower_bound(10, &pf) - 3.0 * 100.0 * 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_grow_with_processor_count() {
+        // More processors ⇒ more replication is unavoidable.
+        let small = Platform::homogeneous(4);
+        let large = Platform::homogeneous(64);
+        assert!(outer_lower_bound(100, &large) > outer_lower_bound(100, &small));
+        assert!(matmul_lower_bound(100, &large) > matmul_lower_bound(100, &small));
+    }
+
+    #[test]
+    fn heterogeneous_bound_below_homogeneous_same_p() {
+        // Σ √rs is maximized by equal speeds (concavity), so a heterogeneous
+        // platform with the same p has a *smaller* bound.
+        let het = Platform::from_speeds(vec![10.0, 20.0, 70.0, 100.0]);
+        let hom = Platform::homogeneous(4);
+        assert!(outer_lower_bound(50, &het) < outer_lower_bound(50, &hom));
+        assert!(matmul_lower_bound(50, &het) < matmul_lower_bound(50, &hom));
+    }
+}

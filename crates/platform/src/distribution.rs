@@ -1,0 +1,166 @@
+//! Speed distributions used throughout the paper's evaluation.
+
+use rand::Rng;
+
+/// How processor speeds are drawn.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpeedDistribution {
+    /// All processors share one speed (the §3.6 homogeneous approximation).
+    Constant(f64),
+    /// Speeds drawn uniformly at random from `[lo, hi]`.
+    UniformRange { lo: f64, hi: f64 },
+    /// Speeds drawn uniformly from a finite set of processor classes
+    /// (the `set.3` / `set.5` scenarios: a few machine generations).
+    DiscreteSet(Vec<f64>),
+}
+
+impl SpeedDistribution {
+    /// `U[lo, hi]`.
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi >= lo, "invalid speed range [{lo}, {hi}]");
+        SpeedDistribution::UniformRange { lo, hi }
+    }
+
+    /// The paper's headline setting: `U[10, 100]`.
+    pub fn paper_default() -> Self {
+        Self::uniform(10.0, 100.0)
+    }
+
+    /// Fig. 7 parameterization: speeds in `U[100−h, 100+h]` for
+    /// heterogeneity level `h ∈ [0, 100)`. `h = 0` degenerates to a
+    /// homogeneous platform.
+    pub fn heterogeneity(h: f64) -> Self {
+        assert!((0.0..100.0).contains(&h), "heterogeneity must be in [0, 100)");
+        if h == 0.0 {
+            SpeedDistribution::Constant(100.0)
+        } else {
+            Self::uniform(100.0 - h, 100.0 + h)
+        }
+    }
+
+    /// Uniform choice among a discrete set of class speeds.
+    pub fn discrete(speeds: impl Into<Vec<f64>>) -> Self {
+        let speeds = speeds.into();
+        assert!(!speeds.is_empty(), "discrete set must be non-empty");
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        SpeedDistribution::DiscreteSet(speeds)
+    }
+
+    /// Draws one speed.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            SpeedDistribution::Constant(s) => *s,
+            SpeedDistribution::UniformRange { lo, hi } => {
+                if lo == hi {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..=*hi)
+                }
+            }
+            SpeedDistribution::DiscreteSet(set) => set[rng.gen_range(0..set.len())],
+        }
+    }
+
+    /// Draws `p` speeds.
+    pub fn sample_many<R: Rng + ?Sized>(&self, p: usize, rng: &mut R) -> Vec<f64> {
+        (0..p).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = SpeedDistribution::paper_default();
+        let mut rng = rng_for(1, 0);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((10.0..=100.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = SpeedDistribution::Constant(42.0);
+        let mut rng = rng_for(2, 0);
+        assert!(d.sample_many(50, &mut rng).iter().all(|&s| s == 42.0));
+    }
+
+    #[test]
+    fn discrete_only_draws_members() {
+        let d = SpeedDistribution::discrete([80.0, 100.0, 150.0]);
+        let mut rng = rng_for(3, 0);
+        for _ in 0..300 {
+            let s = d.sample(&mut rng);
+            assert!([80.0, 100.0, 150.0].contains(&s));
+        }
+    }
+
+    #[test]
+    fn discrete_draws_every_member_eventually() {
+        let d = SpeedDistribution::discrete([1.0, 2.0, 3.0]);
+        let mut rng = rng_for(4, 0);
+        let draws = d.sample_many(200, &mut rng);
+        for class in [1.0, 2.0, 3.0] {
+            assert!(draws.contains(&class));
+        }
+    }
+
+    #[test]
+    fn heterogeneity_zero_is_homogeneous() {
+        assert_eq!(
+            SpeedDistribution::heterogeneity(0.0),
+            SpeedDistribution::Constant(100.0)
+        );
+    }
+
+    #[test]
+    fn heterogeneity_range() {
+        let d = SpeedDistribution::heterogeneity(40.0);
+        let mut rng = rng_for(5, 0);
+        for _ in 0..500 {
+            let s = d.sample(&mut rng);
+            assert!((60.0..=140.0).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_panics() {
+        let _ = SpeedDistribution::uniform(10.0, 5.0);
+    }
+
+    #[test]
+    fn uniform_mean_is_near_midpoint() {
+        let d = SpeedDistribution::paper_default();
+        let mut rng = rng_for(11, 0);
+        let samples = d.sample_many(20_000, &mut rng);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 55.0).abs() < 1.0, "mean {mean} far from 55");
+    }
+
+    #[test]
+    fn discrete_classes_are_roughly_equiprobable() {
+        let d = SpeedDistribution::discrete([1.0, 2.0, 3.0]);
+        let mut rng = rng_for(12, 0);
+        let samples = d.sample_many(9_000, &mut rng);
+        for class in [1.0, 2.0, 3.0] {
+            let count = samples.iter().filter(|&&s| s == class).count();
+            assert!(
+                (2_600..=3_400).contains(&count),
+                "class {class}: {count}/9000"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let d = SpeedDistribution::paper_default();
+        let a = d.sample_many(20, &mut rng_for(9, 1));
+        let b = d.sample_many(20, &mut rng_for(9, 1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,31 @@
+//! Heterogeneous platform model.
+//!
+//! The paper targets a master–worker platform of `p` processors where
+//! processor `P_k` has *speed* `s_k`: the number of block tasks it completes
+//! per unit time. Strategies are agnostic to the speeds (demand-driven), but
+//! the *evaluation* draws speeds from several distributions:
+//!
+//! * the headline setting `U[10, 100]` (large heterogeneity);
+//! * the heterogeneity sweep `U[100−h, 100+h]` (Fig. 7);
+//! * the scenario suite `unif.1`, `unif.2`, `set.3`, `set.5`, `dyn.5`,
+//!   `dyn.20` (Fig. 8), where the `dyn.*` scenarios perturb a processor's
+//!   speed by up to 5 % / 20 % after every task.
+//!
+//! This crate provides [`Platform`] (the drawn speeds), [`SpeedDistribution`]
+//! (how to draw them), [`SpeedModel`]/[`SpeedState`] (fixed or per-task
+//! perturbed execution rates), [`scenario::Scenario`] (the Fig. 8 presets)
+//! and the communication [`bounds`] used to normalize every result.
+
+pub mod bounds;
+pub mod distribution;
+pub mod platform;
+pub mod processor;
+pub mod scenario;
+pub mod speed;
+
+pub use bounds::{matmul_lower_bound, outer_lower_bound};
+pub use distribution::SpeedDistribution;
+pub use platform::Platform;
+pub use processor::ProcId;
+pub use scenario::Scenario;
+pub use speed::{SpeedModel, SpeedState};

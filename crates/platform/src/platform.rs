@@ -1,0 +1,183 @@
+//! The drawn platform: a vector of processor speeds.
+
+use crate::distribution::SpeedDistribution;
+use crate::processor::ProcId;
+use rand::Rng;
+
+/// An immutable heterogeneous platform: `p` processors with fixed base
+/// speeds `s_k > 0` (tasks per unit time).
+///
+/// # Examples
+///
+/// ```
+/// use hetsched_platform::{outer_lower_bound, Platform, ProcId};
+///
+/// let pf = Platform::from_speeds(vec![10.0, 30.0, 60.0]);
+/// assert_eq!(pf.relative_speed(ProcId(2)), 0.6);
+/// // The communication lower bound every result is normalized by:
+/// let lb = outer_lower_bound(100, &pf);
+/// assert!(lb > 2.0 * 100.0); // more than one processor ⇒ replication
+/// ```
+///
+/// Relative speeds `rs_k = s_k / Σ_i s_i` drive both the analysis and the
+/// lower bounds. Dynamic speed variation (the `dyn.*` scenarios) is layered
+/// on top by [`SpeedState`](crate::speed::SpeedState); the `Platform` always
+/// stores the *base* speeds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Platform {
+    speeds: Vec<f64>,
+    total: f64,
+}
+
+impl Platform {
+    /// Builds a platform from explicit speeds.
+    pub fn from_speeds(speeds: Vec<f64>) -> Self {
+        assert!(!speeds.is_empty(), "platform needs at least one processor");
+        assert!(
+            speeds.iter().all(|&s| s.is_finite() && s > 0.0),
+            "speeds must be positive and finite"
+        );
+        let total = speeds.iter().sum();
+        Platform { speeds, total }
+    }
+
+    /// Draws `p` speeds from `dist`.
+    pub fn sample<R: Rng + ?Sized>(p: usize, dist: &SpeedDistribution, rng: &mut R) -> Self {
+        Self::from_speeds(dist.sample_many(p, rng))
+    }
+
+    /// A homogeneous platform of `p` unit-speed processors (used by the
+    /// §3.6 speed-agnostic β approximation).
+    pub fn homogeneous(p: usize) -> Self {
+        Self::from_speeds(vec![1.0; p])
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// True if the platform has no processors (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Speed of processor `k`.
+    #[inline]
+    pub fn speed(&self, k: ProcId) -> f64 {
+        self.speeds[k.idx()]
+    }
+
+    /// All speeds.
+    #[inline]
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// `Σ_i s_i`.
+    #[inline]
+    pub fn total_speed(&self) -> f64 {
+        self.total
+    }
+
+    /// `rs_k = s_k / Σ_i s_i`.
+    #[inline]
+    pub fn relative_speed(&self, k: ProcId) -> f64 {
+        self.speeds[k.idx()] / self.total
+    }
+
+    /// All relative speeds (sums to 1).
+    pub fn relative_speeds(&self) -> Vec<f64> {
+        self.speeds.iter().map(|s| s / self.total).collect()
+    }
+
+    /// `α_k = (Σ_{i≠k} s_i) / s_k`, the exponent in the paper's Lemma 1/7.
+    #[inline]
+    pub fn alpha(&self, k: ProcId) -> f64 {
+        (self.total - self.speeds[k.idx()]) / self.speeds[k.idx()]
+    }
+
+    /// `Σ_k rs_k^e` — the power sums appearing in every analytic formula.
+    pub fn rs_power_sum(&self, e: f64) -> f64 {
+        self.speeds.iter().map(|s| (s / self.total).powf(e)).sum()
+    }
+
+    /// Iterates processor ids.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.speeds.len() as u32).map(ProcId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn relative_speeds_sum_to_one() {
+        let pf = Platform::from_speeds(vec![10.0, 30.0, 60.0]);
+        let rs = pf.relative_speeds();
+        assert!((rs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((rs[0] - 0.1).abs() < 1e-12);
+        assert!((rs[2] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_definition() {
+        let pf = Platform::from_speeds(vec![2.0, 6.0]);
+        // α_0 = 6/2 = 3, α_1 = 2/6.
+        assert!((pf.alpha(ProcId(0)) - 3.0).abs() < 1e-12);
+        assert!((pf.alpha(ProcId(1)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_relates_to_relative_speed() {
+        // α_k = 1/rs_k − 1 by definition.
+        let pf = Platform::sample(17, &SpeedDistribution::paper_default(), &mut rng_for(5, 5));
+        for k in pf.procs() {
+            let lhs = pf.alpha(k);
+            let rhs = 1.0 / pf.relative_speed(k) - 1.0;
+            assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_sum_exponents() {
+        let pf = Platform::homogeneous(4);
+        // Homogeneous p=4: Σ rs^e = 4 · (1/4)^e.
+        assert!((pf.rs_power_sum(0.5) - 4.0 * 0.25f64.sqrt()).abs() < 1e-12);
+        assert!((pf.rs_power_sum(1.0) - 1.0).abs() < 1e-12);
+        assert!((pf.rs_power_sum(1.5) - 4.0 * 0.25f64.powf(1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_platform() {
+        let pf = Platform::homogeneous(8);
+        assert_eq!(pf.len(), 8);
+        assert_eq!(pf.total_speed(), 8.0);
+        for k in pf.procs() {
+            assert_eq!(pf.relative_speed(k), 1.0 / 8.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speed_rejected() {
+        let _ = Platform::from_speeds(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_platform_rejected() {
+        let _ = Platform::from_speeds(vec![]);
+    }
+
+    #[test]
+    fn sample_matches_distribution_support() {
+        let pf = Platform::sample(100, &SpeedDistribution::paper_default(), &mut rng_for(0, 0));
+        assert_eq!(pf.len(), 100);
+        assert!(pf.speeds().iter().all(|&s| (10.0..=100.0).contains(&s)));
+    }
+}

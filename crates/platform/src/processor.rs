@@ -1,0 +1,53 @@
+//! Processor identity.
+
+use std::fmt;
+
+/// Index of a processor within a [`Platform`](crate::Platform).
+///
+/// A thin newtype over `u32` so processor indices cannot be confused with
+/// block or task indices in scheduler code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The index as a `usize`, for slice addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for ProcId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        ProcId(u32::try_from(v).expect("processor index fits in u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_round_trip() {
+        let p = ProcId::from(17usize);
+        assert_eq!(p.idx(), 17);
+        assert_eq!(p, ProcId(17));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProcId(3).to_string(), "P3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcId(1) < ProcId(2));
+    }
+}

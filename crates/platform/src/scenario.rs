@@ -1,0 +1,117 @@
+//! The Fig. 8 heterogeneity scenarios.
+
+use crate::distribution::SpeedDistribution;
+use crate::speed::SpeedModel;
+
+/// Named heterogeneity scenarios from §3.5 / Fig. 8 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Speeds `U[80, 120]`.
+    Unif1,
+    /// Speeds `U[50, 150]`.
+    Unif2,
+    /// Three processor classes: speeds drawn from `{80, 100, 150}`.
+    Set3,
+    /// Five processor classes: speeds drawn from `{40, 80, 100, 150, 200}`.
+    Set5,
+    /// Speeds `U[80, 120]`, re-jittered by ±5 % after every task.
+    Dyn5,
+    /// Speeds `U[80, 120]`, re-jittered by ±20 % after every task.
+    Dyn20,
+}
+
+impl Scenario {
+    /// All six scenarios, in the paper's plotting order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::Unif1,
+        Scenario::Unif2,
+        Scenario::Set3,
+        Scenario::Set5,
+        Scenario::Dyn5,
+        Scenario::Dyn20,
+    ];
+
+    /// The paper's label for the scenario.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Unif1 => "unif.1",
+            Scenario::Unif2 => "unif.2",
+            Scenario::Set3 => "set.3",
+            Scenario::Set5 => "set.5",
+            Scenario::Dyn5 => "dyn.5",
+            Scenario::Dyn20 => "dyn.20",
+        }
+    }
+
+    /// Base-speed distribution of the scenario.
+    pub fn distribution(self) -> SpeedDistribution {
+        match self {
+            Scenario::Unif1 | Scenario::Dyn5 | Scenario::Dyn20 => {
+                SpeedDistribution::uniform(80.0, 120.0)
+            }
+            Scenario::Unif2 => SpeedDistribution::uniform(50.0, 150.0),
+            Scenario::Set3 => SpeedDistribution::discrete([80.0, 100.0, 150.0]),
+            Scenario::Set5 => {
+                SpeedDistribution::discrete([40.0, 80.0, 100.0, 150.0, 200.0])
+            }
+        }
+    }
+
+    /// Run-time speed model of the scenario.
+    pub fn speed_model(self) -> SpeedModel {
+        match self {
+            Scenario::Dyn5 => SpeedModel::dyn5(),
+            Scenario::Dyn20 => SpeedModel::dyn20(),
+            _ => SpeedModel::Fixed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["unif.1", "unif.2", "set.3", "set.5", "dyn.5", "dyn.20"]
+        );
+    }
+
+    #[test]
+    fn dyn_scenarios_share_unif1_base() {
+        assert_eq!(Scenario::Dyn5.distribution(), Scenario::Unif1.distribution());
+        assert_eq!(Scenario::Dyn20.distribution(), Scenario::Unif1.distribution());
+    }
+
+    #[test]
+    fn speed_models() {
+        assert_eq!(Scenario::Unif2.speed_model(), SpeedModel::Fixed);
+        assert_eq!(
+            Scenario::Dyn5.speed_model(),
+            SpeedModel::Perturbed {
+                pct: 0.05,
+                compound: false
+            }
+        );
+        assert_eq!(
+            Scenario::Dyn20.speed_model(),
+            SpeedModel::Perturbed {
+                pct: 0.20,
+                compound: false
+            }
+        );
+    }
+
+    #[test]
+    fn set_scenarios_have_expected_classes() {
+        match Scenario::Set5.distribution() {
+            SpeedDistribution::DiscreteSet(v) => {
+                assert_eq!(v, vec![40.0, 80.0, 100.0, 150.0, 200.0])
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The demand-driven simulation loop.
+
+use crate::event::EventQueue;
+use crate::metrics::CommLedger;
+use crate::scheduler::Scheduler;
+use crate::trace::{Trace, TraceEvent};
+use hetsched_platform::{Platform, ProcId, SpeedModel, SpeedState};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-worker communication/work ledger.
+    pub ledger: CommLedger,
+    /// Simulated time at which the last task completed.
+    pub makespan: f64,
+    /// Total blocks shipped (denormalized convenience copy).
+    pub total_blocks: u64,
+}
+
+impl SimReport {
+    /// Total communication normalized by a lower bound.
+    pub fn normalized(&self, lower_bound: f64) -> f64 {
+        self.total_blocks as f64 / lower_bound
+    }
+}
+
+/// The simulation engine: owns the clock, the event queue and the ledger;
+/// borrows the platform and drives a [`Scheduler`].
+pub struct Engine<'a, S: Scheduler> {
+    platform: &'a Platform,
+    speeds: SpeedState,
+    scheduler: S,
+    queue: EventQueue,
+    ledger: CommLedger,
+    makespan: f64,
+}
+
+impl<'a, S: Scheduler> Engine<'a, S> {
+    /// Creates an engine over `platform` with the given run-time speed model.
+    pub fn new(platform: &'a Platform, model: SpeedModel, scheduler: S) -> Self {
+        let p = platform.len();
+        Engine {
+            platform,
+            speeds: SpeedState::new(platform, model),
+            scheduler,
+            queue: EventQueue::new(),
+            ledger: CommLedger::new(p),
+            makespan: 0.0,
+        }
+    }
+
+    /// Runs to completion and returns the report plus the scheduler (whose
+    /// final state tests may want to audit).
+    ///
+    /// All workers request at `t = 0` in a random order — the paper's
+    /// strategies are demand driven and the initial service order is an
+    /// artifact of the platform, so it is randomized under the run's seed.
+    pub fn run(self, rng: &mut StdRng) -> (SimReport, S) {
+        let (report, scheduler, _) = self.run_impl(rng, None);
+        (report, scheduler)
+    }
+
+    /// Like [`run`](Self::run) but also records a [`Trace`] of every
+    /// satisfied request.
+    pub fn run_traced(self, rng: &mut StdRng) -> (SimReport, S, Trace) {
+        let mut trace = Trace::new();
+        let (report, scheduler, _) = self.run_impl(rng, Some(&mut trace));
+        (report, scheduler, trace)
+    }
+
+    fn run_impl(mut self, rng: &mut StdRng, mut trace: Option<&mut Trace>) -> (SimReport, S, ()) {
+        let mut initial: Vec<ProcId> = self.platform.procs().collect();
+        initial.shuffle(rng);
+        for k in initial {
+            self.queue.push(0.0, k);
+        }
+
+        while let Some((now, k)) = self.queue.pop() {
+            if self.scheduler.remaining() == 0 {
+                // Drain: every remaining event is a worker coming back after
+                // its last batch; nothing left to allocate.
+                continue;
+            }
+            let alloc = self.scheduler.on_request(k, rng);
+            if alloc.is_done() {
+                // Worker retired (cannot contribute further); its blocks
+                // (normally zero) still count.
+                self.ledger.record(k, 0, alloc.blocks, 0.0);
+                continue;
+            }
+            let dur = self.speeds.batch_duration(k, alloc.tasks, rng);
+            let finish = now + dur;
+            self.ledger.record(k, alloc.tasks, alloc.blocks, dur);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent {
+                    time: now,
+                    proc: k,
+                    tasks: alloc.tasks,
+                    blocks: alloc.blocks,
+                    duration: dur,
+                });
+            }
+            self.makespan = self.makespan.max(finish);
+            self.queue.push(finish, k);
+        }
+
+        debug_assert_eq!(
+            self.scheduler.remaining(),
+            0,
+            "engine stopped with unallocated tasks"
+        );
+        let total_blocks = self.ledger.total_blocks();
+        (
+            SimReport {
+                ledger: self.ledger,
+                makespan: self.makespan,
+                total_blocks,
+            },
+            self.scheduler,
+            (),
+        )
+    }
+}
+
+/// One-shot convenience with trace recording.
+pub fn run_traced<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    scheduler: S,
+    rng: &mut StdRng,
+) -> (SimReport, S, Trace) {
+    Engine::new(platform, model, scheduler).run_traced(rng)
+}
+
+/// One-shot convenience: build, run, report.
+///
+/// # Examples
+///
+/// ```
+/// use hetsched_platform::{Platform, SpeedModel};
+/// use hetsched_util::rng::rng_for;
+/// # use hetsched_sim::{Allocation, Scheduler};
+/// # use hetsched_platform::ProcId;
+/// # struct Chunks(usize);
+/// # impl Scheduler for Chunks {
+/// #     fn on_request(&mut self, _: ProcId, _: &mut rand::rngs::StdRng) -> Allocation {
+/// #         let t = self.0.min(4); self.0 -= t;
+/// #         Allocation { tasks: t, blocks: t as u64 }
+/// #     }
+/// #     fn remaining(&self) -> usize { self.0 }
+/// #     fn total_tasks(&self) -> usize { 100 }
+/// #     fn name(&self) -> &'static str { "chunks" }
+/// # }
+///
+/// let platform = Platform::from_speeds(vec![25.0, 75.0]);
+/// let (report, _) = hetsched_sim::run(
+///     &platform,
+///     SpeedModel::Fixed,
+///     Chunks(100),
+///     &mut rng_for(0, 0),
+/// );
+/// assert_eq!(report.ledger.total_tasks(), 100);
+/// // Demand driven ⇒ work conserving: makespan ≈ work / Σspeed.
+/// assert!((report.makespan - 1.0).abs() < 0.2);
+/// ```
+pub fn run<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    scheduler: S,
+    rng: &mut StdRng,
+) -> (SimReport, S) {
+    Engine::new(platform, model, scheduler).run(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Allocation;
+    use hetsched_util::rng::rng_for;
+
+    /// Toy strategy: hands out `batch` tasks per request, one block each.
+    struct FixedBatch {
+        remaining: usize,
+        total: usize,
+        batch: usize,
+    }
+
+    impl Scheduler for FixedBatch {
+        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng) -> Allocation {
+            let t = self.batch.min(self.remaining);
+            self.remaining -= t;
+            Allocation {
+                tasks: t,
+                blocks: t as u64,
+            }
+        }
+        fn remaining(&self) -> usize {
+            self.remaining
+        }
+        fn total_tasks(&self) -> usize {
+            self.total
+        }
+        fn name(&self) -> &'static str {
+            "FixedBatch"
+        }
+    }
+
+    fn toy(total: usize, batch: usize) -> FixedBatch {
+        FixedBatch {
+            remaining: total,
+            total,
+            batch,
+        }
+    }
+
+    #[test]
+    fn all_tasks_get_done() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 70.0]);
+        let mut rng = rng_for(0, 0);
+        let (report, sched) = run(&pf, SpeedModel::Fixed, toy(1000, 10), &mut rng);
+        assert_eq!(sched.remaining(), 0);
+        assert_eq!(report.ledger.total_tasks(), 1000);
+        assert_eq!(report.total_blocks, 1000);
+    }
+
+    #[test]
+    fn faster_processors_do_proportionally_more() {
+        let pf = Platform::from_speeds(vec![10.0, 90.0]);
+        let mut rng = rng_for(1, 0);
+        let (report, _) = run(&pf, SpeedModel::Fixed, toy(10_000, 1), &mut rng);
+        let t0 = report.ledger.tasks(ProcId(0)) as f64;
+        let t1 = report.ledger.tasks(ProcId(1)) as f64;
+        // Demand-driven: shares track relative speeds (0.1 / 0.9).
+        assert!((t0 / 10_000.0 - 0.1).abs() < 0.01, "t0 = {t0}");
+        assert!((t1 / 10_000.0 - 0.9).abs() < 0.01, "t1 = {t1}");
+    }
+
+    #[test]
+    fn makespan_matches_total_work_over_total_speed() {
+        // Single-task batches, fixed speeds: the demand-driven engine is
+        // work conserving, so makespan ≈ total_tasks / Σ s_i, up to one task.
+        let pf = Platform::from_speeds(vec![25.0, 75.0]);
+        let mut rng = rng_for(2, 0);
+        let (report, _) = run(&pf, SpeedModel::Fixed, toy(5000, 1), &mut rng);
+        let ideal = 5000.0 / 100.0;
+        assert!(
+            (report.makespan - ideal).abs() < 2.0 / 25.0,
+            "makespan {} vs ideal {}",
+            report.makespan,
+            ideal
+        );
+    }
+
+    #[test]
+    fn busy_time_within_one_batch_of_makespan() {
+        // Work conservation: a worker only goes idle when the task pool is
+        // empty, so its idle time is bounded by the duration of the last
+        // batch still running elsewhere — at most one batch on the
+        // *slowest* worker.
+        let pf = Platform::from_speeds(vec![10.0, 40.0, 50.0]);
+        let mut rng = rng_for(3, 0);
+        let (report, _) = run(&pf, SpeedModel::Fixed, toy(2000, 7), &mut rng);
+        let slowest_batch = 7.0 / 10.0;
+        for k in pf.procs() {
+            let slack = report.makespan - report.ledger.busy(k);
+            assert!(
+                slack <= slowest_batch + 1e-9,
+                "worker {k} idle for {slack}, more than the slowest batch {slowest_batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 30.0]);
+        let (r1, _) = run(&pf, SpeedModel::Fixed, toy(500, 3), &mut rng_for(7, 0));
+        let (r2, _) = run(&pf, SpeedModel::Fixed, toy(500, 3), &mut rng_for(7, 0));
+        assert_eq!(r1.total_blocks, r2.total_blocks);
+        assert_eq!(r1.ledger.tasks_per_proc(), r2.ledger.tasks_per_proc());
+        assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn dynamic_speeds_complete_all_work() {
+        let pf = Platform::from_speeds(vec![100.0, 100.0]);
+        let mut rng = rng_for(8, 0);
+        let (report, _) = run(&pf, SpeedModel::dyn20(), toy(3000, 5), &mut rng);
+        assert_eq!(report.ledger.total_tasks(), 3000);
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn normalized_report() {
+        let pf = Platform::homogeneous(4);
+        let mut rng = rng_for(9, 0);
+        let (report, _) = run(&pf, SpeedModel::Fixed, toy(100, 1), &mut rng);
+        assert!((report.normalized(50.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_worker_platform() {
+        let pf = Platform::from_speeds(vec![7.0]);
+        let mut rng = rng_for(10, 0);
+        let (report, _) = run(&pf, SpeedModel::Fixed, toy(49, 6), &mut rng);
+        assert_eq!(report.ledger.tasks(ProcId(0)), 49);
+        assert!((report.makespan - 7.0).abs() < 1e-9);
+    }
+}

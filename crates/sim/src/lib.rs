@@ -1,0 +1,38 @@
+//! Event-driven, demand-driven master/worker simulation engine.
+//!
+//! This is the from-scratch equivalent of the paper's *"ad-hoc event based
+//! simulation tool, where processors request new tasks as soon as they are
+//! available, and tasks are allocated based on the given runtime dynamic
+//! strategy"* (§3.4). Its semantics, in order of importance:
+//!
+//! 1. **Demand driven.** Each worker holds exactly one outstanding batch of
+//!    allocated tasks; when the batch finishes, the worker *requests* and the
+//!    strategy (a [`Scheduler`]) immediately allocates the next batch and
+//!    reports how many blocks the master had to ship.
+//! 2. **Communication is free in time, counted in volume.** The paper
+//!    assumes communication fully overlaps computation (blocks are uploaded
+//!    slightly in advance), so shipping blocks never delays a worker; the
+//!    engine only accumulates the per-worker block counters in a
+//!    [`CommLedger`].
+//! 3. **Allocation wins the race.** A task allocated to a worker is globally
+//!    marked processed at allocation time — the worker that learns the
+//!    inputs first is the one that computes the task.
+//! 4. **Heterogeneous, possibly drifting speeds.** Batch durations come from
+//!    [`SpeedState`](hetsched_platform::SpeedState), which implements both
+//!    fixed speeds and the `dyn.*` per-task jitter scenarios.
+//!
+//! The engine is generic over the [`Scheduler`] trait; the
+//! `hetsched-outer` and `hetsched-matmul` crates provide the eight concrete
+//! strategies from the paper.
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod scheduler;
+pub mod trace;
+
+pub use engine::{run, run_traced, Engine, SimReport};
+pub use event::EventQueue;
+pub use metrics::CommLedger;
+pub use scheduler::{Allocation, Scheduler};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,93 @@
+//! Communication and work accounting.
+
+use hetsched_platform::ProcId;
+
+/// Per-worker ledger of blocks received and tasks computed.
+#[derive(Clone, Debug)]
+pub struct CommLedger {
+    blocks: Vec<u64>,
+    tasks: Vec<u64>,
+    busy: Vec<f64>,
+    requests: Vec<u64>,
+}
+
+impl CommLedger {
+    /// Ledger for `p` workers.
+    pub fn new(p: usize) -> Self {
+        CommLedger {
+            blocks: vec![0; p],
+            tasks: vec![0; p],
+            busy: vec![0.0; p],
+            requests: vec![0; p],
+        }
+    }
+
+    /// Records one satisfied request for worker `k`.
+    pub fn record(&mut self, k: ProcId, tasks: usize, blocks: u64, busy_time: f64) {
+        self.blocks[k.idx()] += blocks;
+        self.tasks[k.idx()] += tasks as u64;
+        self.busy[k.idx()] += busy_time;
+        self.requests[k.idx()] += 1;
+    }
+
+    /// Total blocks shipped by the master.
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks.iter().sum()
+    }
+
+    /// Total tasks computed.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks.iter().sum()
+    }
+
+    /// Blocks shipped to worker `k`.
+    pub fn blocks(&self, k: ProcId) -> u64 {
+        self.blocks[k.idx()]
+    }
+
+    /// Tasks computed by worker `k`.
+    pub fn tasks(&self, k: ProcId) -> u64 {
+        self.tasks[k.idx()]
+    }
+
+    /// Busy (computing) time of worker `k`.
+    pub fn busy(&self, k: ProcId) -> f64 {
+        self.busy[k.idx()]
+    }
+
+    /// Requests served for worker `k`.
+    pub fn requests(&self, k: ProcId) -> u64 {
+        self.requests[k.idx()]
+    }
+
+    /// Per-worker block counts.
+    pub fn blocks_per_proc(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Per-worker task counts.
+    pub fn tasks_per_proc(&self) -> &[u64] {
+        &self.tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut l = CommLedger::new(3);
+        l.record(ProcId(0), 4, 2, 1.0);
+        l.record(ProcId(0), 6, 2, 1.5);
+        l.record(ProcId(2), 1, 3, 0.25);
+        assert_eq!(l.total_blocks(), 7);
+        assert_eq!(l.total_tasks(), 11);
+        assert_eq!(l.blocks(ProcId(0)), 4);
+        assert_eq!(l.tasks(ProcId(0)), 10);
+        assert_eq!(l.busy(ProcId(0)), 2.5);
+        assert_eq!(l.requests(ProcId(0)), 2);
+        assert_eq!(l.blocks(ProcId(1)), 0);
+        assert_eq!(l.tasks_per_proc(), &[10, 0, 1]);
+    }
+}

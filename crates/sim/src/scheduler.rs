@@ -1,0 +1,79 @@
+//! The strategy interface the engine drives.
+
+use hetsched_platform::ProcId;
+use rand::rngs::StdRng;
+
+/// What the master decided for one work request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Allocation {
+    /// Number of tasks allocated to the requesting worker in this batch.
+    /// `0` means the scheduler has nothing left for this worker — the engine
+    /// then retires the worker.
+    pub tasks: usize,
+    /// Number of data blocks the master shipped to satisfy this request
+    /// (counted even when `tasks == 0`, e.g. a data-aware strategy that
+    /// bought blocks which turned out to enable nothing — by construction
+    /// our strategies retry internally instead, but the accounting permits
+    /// it).
+    pub blocks: u64,
+}
+
+impl Allocation {
+    /// An empty allocation: the worker is done.
+    pub const DONE: Allocation = Allocation { tasks: 0, blocks: 0 };
+
+    /// True if no tasks were allocated.
+    pub fn is_done(&self) -> bool {
+        self.tasks == 0
+    }
+}
+
+/// A dynamic scheduling strategy, driven by the engine one request at a
+/// time.
+///
+/// Implementations own the whole problem state (task grid/cube, per-worker
+/// block ownership) and must uphold the engine's contract:
+///
+/// * every task is allocated exactly once across the run;
+/// * [`remaining`](Scheduler::remaining) is the number of tasks not yet
+///   allocated;
+/// * `on_request` never allocates a processed task and never returns
+///   `tasks > 0` with `remaining` previously `0`.
+pub trait Scheduler {
+    /// Worker `k` is idle and requests work. Returns the allocated batch.
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation;
+
+    /// Linear ids of the tasks allocated by the *most recent*
+    /// [`on_request`](Scheduler::on_request) call (length equals its
+    /// `Allocation::tasks`). The simulation engine never looks at this;
+    /// real executors (`hetsched-exec`) use it to ship actual work.
+    fn last_allocated(&self) -> &[u32] {
+        &[]
+    }
+
+    /// Tasks not yet allocated.
+    fn remaining(&self) -> usize;
+
+    /// Total number of tasks in the problem.
+    fn total_tasks(&self) -> usize;
+
+    /// Short, stable display name (used in figure output).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_done() {
+        assert!(Allocation::DONE.is_done());
+        assert!(!Allocation { tasks: 1, blocks: 2 }.is_done());
+    }
+
+    #[test]
+    fn allocation_default_is_done() {
+        assert!(Allocation::default().is_done());
+        assert_eq!(Allocation::default().blocks, 0);
+    }
+}

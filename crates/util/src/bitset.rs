@@ -1,0 +1,262 @@
+//! A fixed-capacity bitset backed by `u64` words.
+//!
+//! The simulators track task completion and per-worker block ownership with
+//! bitsets whose capacity is known up front (`n`, `n²` or `n³` bits), so a
+//! fixed-size structure with no growth logic is both simpler and faster than
+//! a general-purpose one.
+
+/// Fixed-capacity bitset. Bits are indexed from `0` to `len() - 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl FixedBitSet {
+    /// Creates a bitset with `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        FixedBitSet {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Number of bits in the set (the fixed capacity, not the popcount).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the capacity is zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Number of clear bits.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.ones
+    }
+
+    #[inline]
+    fn index(&self, bit: usize) -> (usize, u64) {
+        debug_assert!(bit < self.len, "bit {} out of range {}", bit, self.len);
+        (bit / WORD_BITS, 1u64 << (bit % WORD_BITS))
+    }
+
+    /// Returns the value of `bit`.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, m) = self.index(bit);
+        self.words[w] & m != 0
+    }
+
+    /// Sets `bit`; returns `true` if it was previously clear.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, m) = self.index(bit);
+        let was_clear = self.words[w] & m == 0;
+        self.words[w] |= m;
+        self.ones += was_clear as usize;
+        was_clear
+    }
+
+    /// Clears `bit`; returns `true` if it was previously set.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, m) = self.index(bit);
+        let was_set = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        self.ones -= was_set as usize;
+        was_set
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Sets every bit.
+    pub fn fill(&mut self) {
+        self.words.fill(!0);
+        self.trim_tail();
+        self.ones = self.len;
+    }
+
+    /// Zeroes the bits past `len` in the last word so popcounts stay honest.
+    fn trim_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Index of the first clear bit, if any.
+    pub fn first_zero(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != !0u64 {
+                let bit = i * WORD_BITS + (!w).trailing_zeros() as usize;
+                if bit < self.len {
+                    return Some(bit);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over set bits of a [`FixedBitSet`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let bs = FixedBitSet::new(130);
+        assert_eq!(bs.len(), 130);
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.count_zeros(), 130);
+        assert!((0..130).all(|i| !bs.contains(i)));
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut bs = FixedBitSet::new(100);
+        assert!(bs.insert(0));
+        assert!(bs.insert(63));
+        assert!(bs.insert(64));
+        assert!(bs.insert(99));
+        assert!(!bs.insert(63), "double insert reports already-set");
+        assert_eq!(bs.count_ones(), 4);
+        assert!(bs.contains(0) && bs.contains(63) && bs.contains(64) && bs.contains(99));
+        assert!(!bs.contains(1));
+    }
+
+    #[test]
+    fn remove_round_trip() {
+        let mut bs = FixedBitSet::new(70);
+        bs.insert(65);
+        assert!(bs.remove(65));
+        assert!(!bs.remove(65));
+        assert_eq!(bs.count_ones(), 0);
+        assert!(!bs.contains(65));
+    }
+
+    #[test]
+    fn iter_ones_matches_inserts() {
+        let mut bs = FixedBitSet::new(200);
+        let bits = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &b in &bits {
+            bs.insert(b);
+        }
+        let seen: Vec<usize> = bs.iter_ones().collect();
+        assert_eq!(seen, bits);
+    }
+
+    #[test]
+    fn fill_and_clear() {
+        let mut bs = FixedBitSet::new(67);
+        bs.fill();
+        assert_eq!(bs.count_ones(), 67);
+        assert!(bs.contains(66));
+        assert_eq!(bs.first_zero(), None);
+        bs.clear();
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.first_zero(), Some(0));
+    }
+
+    #[test]
+    fn first_zero_skips_full_words() {
+        let mut bs = FixedBitSet::new(130);
+        for i in 0..128 {
+            bs.insert(i);
+        }
+        assert_eq!(bs.first_zero(), Some(128));
+        bs.insert(128);
+        bs.insert(129);
+        assert_eq!(bs.first_zero(), None);
+    }
+
+    #[test]
+    fn exact_word_boundary() {
+        // len = 64: the tail-trimming logic must not touch a full word.
+        let mut bs = FixedBitSet::new(64);
+        bs.fill();
+        assert_eq!(bs.count_ones(), 64);
+        assert_eq!(bs.first_zero(), None);
+        assert!(bs.contains(63));
+        assert_eq!(bs.iter_ones().count(), 64);
+    }
+
+    #[test]
+    fn single_bit_set() {
+        let mut bs = FixedBitSet::new(1);
+        assert_eq!(bs.first_zero(), Some(0));
+        bs.insert(0);
+        assert_eq!(bs.count_ones(), 1);
+        assert_eq!(bs.first_zero(), None);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let bs = FixedBitSet::new(0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.iter_ones().count(), 0);
+        assert_eq!(bs.first_zero(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_range_panics_in_debug() {
+        let bs = FixedBitSet::new(10);
+        let _ = bs.contains(10);
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal CSV emission (RFC 4180 quoting) for the figure binaries.
+//!
+//! The approved dependency list has no CSV crate; the figure regeneration
+//! binaries only *write* simple numeric tables, so a ~60-line writer is all
+//! we need.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Streaming CSV writer over any `io::Write`.
+pub struct CsvWriter<W: Write> {
+    out: W,
+    row: String,
+    first_in_row: bool,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wraps a sink.
+    pub fn new(out: W) -> Self {
+        CsvWriter {
+            out,
+            row: String::new(),
+            first_in_row: true,
+        }
+    }
+
+    /// Appends one field (quoted if needed) to the current row.
+    pub fn field(&mut self, value: &str) -> &mut Self {
+        if !self.first_in_row {
+            self.row.push(',');
+        }
+        self.first_in_row = false;
+        if value.contains(['"', ',', '\n', '\r']) {
+            self.row.push('"');
+            for ch in value.chars() {
+                if ch == '"' {
+                    self.row.push('"');
+                }
+                self.row.push(ch);
+            }
+            self.row.push('"');
+        } else {
+            self.row.push_str(value);
+        }
+        self
+    }
+
+    /// Appends a float field formatted with enough digits to round-trip
+    /// typical simulation values.
+    pub fn float(&mut self, value: f64) -> &mut Self {
+        let mut s = String::new();
+        write!(s, "{value:.6}").expect("infallible");
+        self.field(&s)
+    }
+
+    /// Appends an integer field.
+    pub fn int(&mut self, value: i64) -> &mut Self {
+        let mut s = String::new();
+        write!(s, "{value}").expect("infallible");
+        self.field(&s)
+    }
+
+    /// Terminates the current row.
+    pub fn end_row(&mut self) -> io::Result<()> {
+        self.row.push('\n');
+        self.out.write_all(self.row.as_bytes())?;
+        self.row.clear();
+        self.first_in_row = true;
+        Ok(())
+    }
+
+    /// Writes a full row of string fields.
+    pub fn row(&mut self, fields: &[&str]) -> io::Result<()> {
+        for f in fields {
+            self.field(f);
+        }
+        self.end_row()
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Renders rows of `(label, values)` to a CSV string. Convenience for tests
+/// and small tables.
+pub fn to_string(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut buf = Vec::new();
+    {
+        let mut w = CsvWriter::new(&mut buf);
+        w.row(header).expect("vec write");
+        for r in rows {
+            let fields: Vec<&str> = r.iter().map(|s| s.as_str()).collect();
+            w.row(&fields).expect("vec write");
+        }
+    }
+    String::from_utf8(buf).expect("csv is utf8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields() {
+        let s = to_string(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf);
+            w.field("he,llo").field("say \"hi\"").field("line\nbreak");
+            w.end_row().unwrap();
+        }
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "\"he,llo\",\"say \"\"hi\"\"\",\"line\nbreak\"\n"
+        );
+    }
+
+    #[test]
+    fn float_and_int_formatting() {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf);
+            w.float(1.5).int(-3);
+            w.end_row().unwrap();
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "1.500000,-3\n");
+    }
+
+    #[test]
+    fn multiple_rows_reset_state() {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf);
+            w.row(&["x"]).unwrap();
+            w.row(&["y", "z"]).unwrap();
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "x\ny,z\n");
+    }
+}

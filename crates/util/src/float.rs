@@ -1,0 +1,97 @@
+//! Totally ordered finite floats for event-queue keys.
+
+use std::cmp::Ordering;
+
+/// A finite `f64` with a total order.
+///
+/// The simulation event queue needs `Ord` keys; simulated times are always
+/// finite, so instead of dragging `f64: PartialOrd` unwraps through the
+/// engine we wrap once here. Construction asserts finiteness in debug
+/// builds (a NaN time is always a bug upstream).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a finite value.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(v.is_finite(), "OrderedF64 requires a finite value, got {v}");
+        OrderedF64(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite values: partial_cmp never fails.
+        self.0.partial_cmp(&other.0).expect("finite by invariant")
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrderedF64::new(v)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    #[inline]
+    fn from(v: OrderedF64) -> f64 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_f64() {
+        let a = OrderedF64::new(1.0);
+        let b = OrderedF64::new(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a, OrderedF64::new(1.0));
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn sort_works() {
+        let mut v = vec![
+            OrderedF64::new(3.5),
+            OrderedF64::new(-1.0),
+            OrderedF64::new(0.0),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(f64::from).collect();
+        assert_eq!(raw, vec![-1.0, 0.0, 3.5]);
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(OrderedF64::new(0.0), OrderedF64::new(-0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn nan_panics_in_debug() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+}

@@ -1,0 +1,203 @@
+//! 2-D and 3-D bit grids over [`FixedBitSet`].
+//!
+//! `BitGrid` tracks outer-product task completion (`n × n`) and per-worker
+//! block ownership for matrix blocks (`A[i,k]`, `B[k,j]`, `C[i,j]`).
+//! `BitCube` tracks matmul task completion (`n × n × n`).
+
+use crate::bitset::FixedBitSet;
+
+/// A 2-D grid of bits with row-major linearization.
+#[derive(Clone, Debug)]
+pub struct BitGrid {
+    bits: FixedBitSet,
+    rows: usize,
+    cols: usize,
+}
+
+impl BitGrid {
+    /// Creates a `rows × cols` grid, all clear.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        BitGrid {
+            bits: FixedBitSet::new(rows * cols),
+            rows,
+            cols,
+        }
+    }
+
+    /// Square `n × n` grid.
+    pub fn square(n: usize) -> Self {
+        Self::new(n, n)
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Linear index of `(r, c)`.
+    #[inline]
+    pub fn linear(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    /// Inverse of [`linear`](Self::linear).
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx / self.cols, idx % self.cols)
+    }
+
+    #[inline]
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        self.bits.contains(self.linear(r, c))
+    }
+
+    /// Sets `(r, c)`; returns `true` if it was previously clear.
+    #[inline]
+    pub fn insert(&mut self, r: usize, c: usize) -> bool {
+        let idx = self.linear(r, c);
+        self.bits.insert(idx)
+    }
+
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// A 3-D cube of bits with `(i, j, k)`-major linearization (`i` slowest).
+#[derive(Clone, Debug)]
+pub struct BitCube {
+    bits: FixedBitSet,
+    n: usize,
+}
+
+impl BitCube {
+    /// Creates an `n × n × n` cube, all clear.
+    pub fn new(n: usize) -> Self {
+        BitCube {
+            bits: FixedBitSet::new(n * n * n),
+            n,
+        }
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Linear index of `(i, j, k)`.
+    #[inline]
+    pub fn linear(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n && k < self.n);
+        (i * self.n + j) * self.n + k
+    }
+
+    /// Inverse of [`linear`](Self::linear).
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let k = idx % self.n;
+        let rest = idx / self.n;
+        (rest / self.n, rest % self.n, k)
+    }
+
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize, k: usize) -> bool {
+        self.bits.contains(self.linear(i, j, k))
+    }
+
+    /// Sets `(i, j, k)`; returns `true` if it was previously clear.
+    #[inline]
+    pub fn insert(&mut self, i: usize, j: usize, k: usize) -> bool {
+        let idx = self.linear(i, j, k);
+        self.bits.insert(idx)
+    }
+
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.n * self.n * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_linear_coords_round_trip() {
+        let g = BitGrid::new(7, 11);
+        for r in 0..7 {
+            for c in 0..11 {
+                assert_eq!(g.coords(g.linear(r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_insert_contains() {
+        let mut g = BitGrid::square(5);
+        assert!(g.insert(2, 3));
+        assert!(!g.insert(2, 3));
+        assert!(g.contains(2, 3));
+        assert!(!g.contains(3, 2), "not symmetric");
+        assert_eq!(g.count_ones(), 1);
+        assert_eq!(g.total(), 25);
+    }
+
+    #[test]
+    fn cube_linear_coords_round_trip() {
+        let c = BitCube::new(6);
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    assert_eq!(c.coords(c.linear(i, j, k)), (i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_insert_contains() {
+        let mut c = BitCube::new(4);
+        assert!(c.insert(1, 2, 3));
+        assert!(!c.insert(1, 2, 3));
+        assert!(c.contains(1, 2, 3));
+        assert!(!c.contains(3, 2, 1));
+        assert_eq!(c.count_ones(), 1);
+        assert_eq!(c.total(), 64);
+    }
+
+    #[test]
+    fn cube_linearization_is_lexicographic() {
+        // Sorted strategies rely on the linear order being lexicographic in
+        // (i, j, k).
+        let c = BitCube::new(3);
+        let mut prev = None;
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    let idx = c.linear(i, j, k);
+                    if let Some(p) = prev {
+                        assert_eq!(idx, p + 1);
+                    }
+                    prev = Some(idx);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! [`OwnedSet`]: which indices of a dimension an agent holds, with an O(1)
+//! sampler over the indices it does *not* hold.
+//!
+//! Both kernels' data-aware strategies repeatedly "choose an index not in
+//! the worker's set, uniformly at random, and add it" — this is that
+//! structure. It combines a membership bitset, a dense list of members (for
+//! iterating the known row/column when allocating tasks) and a [`SwapList`]
+//! of non-members (for the uniform draw).
+
+use crate::bitset::FixedBitSet;
+use crate::sample::SwapList;
+use rand::Rng;
+
+/// A growing set of owned indices over `0..n`.
+#[derive(Clone, Debug)]
+pub struct OwnedSet {
+    owned: FixedBitSet,
+    owned_list: Vec<u32>,
+    unknown: SwapList,
+}
+
+impl OwnedSet {
+    /// Empty set over `0..n`.
+    pub fn new(n: usize) -> Self {
+        OwnedSet {
+            owned: FixedBitSet::new(n),
+            owned_list: Vec::new(),
+            unknown: SwapList::full(n),
+        }
+    }
+
+    /// True if `i` is owned.
+    #[inline]
+    pub fn owns(&self, i: usize) -> bool {
+        self.owned.contains(i)
+    }
+
+    /// Number of owned indices.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.owned_list.len()
+    }
+
+    /// Number of not-owned indices.
+    #[inline]
+    pub fn unknown_count(&self) -> usize {
+        self.unknown.len()
+    }
+
+    /// Owned indices, in acquisition order (the newest is last).
+    #[inline]
+    pub fn owned_list(&self) -> &[u32] {
+        &self.owned_list
+    }
+
+    /// Adds `i`; returns `true` if it was not owned before.
+    pub fn acquire(&mut self, i: usize) -> bool {
+        if self.owned.insert(i) {
+            self.owned_list.push(i as u32);
+            self.unknown.remove(i as u32);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws a uniformly random not-owned index and acquires it.
+    pub fn acquire_random<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<usize> {
+        let i = self.unknown.draw(rng)? as usize;
+        let fresh = self.owned.insert(i);
+        debug_assert!(fresh);
+        self.owned_list.push(i as u32);
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn acquire_tracks_ownership() {
+        let mut v = OwnedSet::new(10);
+        assert!(!v.owns(4));
+        assert!(v.acquire(4));
+        assert!(!v.acquire(4), "second acquire is free");
+        assert!(v.owns(4));
+        assert_eq!(v.count(), 1);
+        assert_eq!(v.unknown_count(), 9);
+        assert_eq!(v.owned_list(), &[4]);
+    }
+
+    #[test]
+    fn acquire_random_never_repeats() {
+        let mut v = OwnedSet::new(20);
+        let mut rng = rng_for(0, 0);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(i) = v.acquire_random(&mut rng) {
+            assert!(seen.insert(i), "index {i} acquired twice");
+        }
+        assert_eq!(seen.len(), 20);
+        assert_eq!(v.count(), 20);
+        assert_eq!(v.unknown_count(), 0);
+    }
+
+    #[test]
+    fn acquire_random_skips_explicitly_acquired() {
+        let mut v = OwnedSet::new(5);
+        let mut rng = rng_for(1, 0);
+        v.acquire(2);
+        let mut drawn = Vec::new();
+        while let Some(i) = v.acquire_random(&mut rng) {
+            drawn.push(i);
+        }
+        drawn.sort_unstable();
+        assert_eq!(drawn, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn newest_member_is_last_in_list() {
+        let mut v = OwnedSet::new(6);
+        let mut rng = rng_for(2, 0);
+        v.acquire(3);
+        let i = v.acquire_random(&mut rng).unwrap();
+        assert_eq!(*v.owned_list().last().unwrap() as usize, i);
+    }
+}

@@ -1,0 +1,221 @@
+//! [`SwapList`]: a set of `u32` indices supporting O(1) uniform random
+//! removal and O(1) removal by value.
+//!
+//! The schedulers need two operations constantly:
+//!
+//! 1. *"give me a uniformly random element that is still in the set"* —
+//!    e.g. a random unprocessed task (`RandomOuter`, phase 2 of the 2-phase
+//!    strategies) or a random block the worker does not own yet
+//!    (`DynamicOuter`);
+//! 2. *"this element was consumed elsewhere, drop it"* — e.g. a task got
+//!    processed by a data-aware allocation and must leave the residual pool.
+//!
+//! Rejection sampling over a bitset degenerates when the set is nearly empty
+//! (exactly the end-game regime the paper's two-phase strategies are about),
+//! so we keep a dense `Vec` of members plus a position index and use
+//! swap-removal for both operations.
+
+use rand::Rng;
+
+/// Dense index set over `0..universe` with O(1) random draw and O(1)
+/// removal by value.
+///
+/// # Examples
+///
+/// ```
+/// use hetsched_util::SwapList;
+/// use hetsched_util::rng::rng_for;
+///
+/// let mut remaining = SwapList::full(100);
+/// remaining.remove(42);                 // consumed elsewhere
+/// let mut rng = rng_for(1, 0);
+/// let task = remaining.draw(&mut rng).unwrap();
+/// assert_ne!(task, 42);
+/// assert_eq!(remaining.len(), 98);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SwapList {
+    /// Members, in arbitrary order.
+    items: Vec<u32>,
+    /// `pos[v]` = index of `v` in `items`, or `NOT_PRESENT`.
+    pos: Vec<u32>,
+}
+
+const NOT_PRESENT: u32 = u32::MAX;
+
+impl SwapList {
+    /// Creates the full set `{0, 1, …, universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        assert!(universe < NOT_PRESENT as usize, "universe too large for u32");
+        SwapList {
+            items: (0..universe as u32).collect(),
+            pos: (0..universe as u32).collect(),
+        }
+    }
+
+    /// Creates the empty set over `0..universe`.
+    pub fn empty(universe: usize) -> Self {
+        assert!(universe < NOT_PRESENT as usize, "universe too large for u32");
+        SwapList {
+            items: Vec::new(),
+            pos: vec![NOT_PRESENT; universe],
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != NOT_PRESENT
+    }
+
+    /// Inserts `v`; returns `true` if it was absent.
+    pub fn insert(&mut self, v: u32) -> bool {
+        if self.contains(v) {
+            return false;
+        }
+        self.pos[v as usize] = self.items.len() as u32;
+        self.items.push(v);
+        true
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    pub fn remove(&mut self, v: u32) -> bool {
+        let p = self.pos[v as usize];
+        if p == NOT_PRESENT {
+            return false;
+        }
+        let last = *self.items.last().expect("non-empty when pos is valid");
+        self.items.swap_remove(p as usize);
+        if last != v {
+            self.pos[last as usize] = p;
+        }
+        self.pos[v as usize] = NOT_PRESENT;
+        true
+    }
+
+    /// Removes and returns a uniformly random member, or `None` if empty.
+    pub fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u32> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.items.len());
+        let v = self.items[idx];
+        self.items.swap_remove(idx);
+        if let Some(&moved) = self.items.get(idx) {
+            self.pos[moved as usize] = idx as u32;
+        }
+        self.pos[v as usize] = NOT_PRESENT;
+        Some(v)
+    }
+
+    /// Returns (without removing) a uniformly random member.
+    pub fn peek_random<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items[rng.gen_range(0..self.items.len())])
+        }
+    }
+
+    /// Iterates over members in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_contains_everything() {
+        let s = SwapList::full(10);
+        assert_eq!(s.len(), 10);
+        assert!((0..10).all(|v| s.contains(v)));
+    }
+
+    #[test]
+    fn remove_by_value() {
+        let mut s = SwapList::full(5);
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 4);
+        let mut rest: Vec<u32> = s.iter().collect();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn draw_exhausts_all_members_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = SwapList::full(100);
+        let mut seen = [false; 100];
+        while let Some(v) = s.draw(&mut rng) {
+            assert!(!seen[v as usize], "drew {} twice", v);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn insert_after_remove() {
+        let mut s = SwapList::empty(4);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(s.remove(3));
+        assert!(s.insert(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_draw_and_remove_preserve_consistency() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut s = SwapList::full(50);
+        // Remove evens by value, draw the rest randomly.
+        for v in (0..50).step_by(2) {
+            assert!(s.remove(v));
+        }
+        let mut drawn: Vec<u32> = Vec::new();
+        while let Some(v) = s.draw(&mut rng) {
+            drawn.push(v);
+        }
+        drawn.sort_unstable();
+        let odds: Vec<u32> = (1..50).step_by(2).collect();
+        assert_eq!(drawn, odds);
+    }
+
+    #[test]
+    fn draw_is_roughly_uniform() {
+        // First draw from {0..10} repeated many times: each value should
+        // appear with frequency ≈ 1/10.
+        let mut counts = [0usize; 10];
+        for seed in 0..4000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = SwapList::full(10);
+            counts[s.draw(&mut rng).unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 400.0).abs() < 120.0,
+                "first-draw frequency far from uniform: {:?}",
+                counts
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Scheduling a block matrix multiplication on a mixed CPU/GPU cluster.
+//!
+//! ```text
+//! cargo run --release --example gpu_cluster
+//! ```
+//!
+//! The platform models the situation that motivates the paper: a cluster
+//! where some nodes carry accelerators, so per-node task throughput differs
+//! by an order of magnitude and static partitioning is brittle. We build an
+//! explicit platform (32 CPU nodes at ~10 tasks/s, 8 GPU nodes at ~100),
+//! let every strategy schedule `C = A·B` with `n = 40` blocks per dimension
+//! (64 000 block-update tasks), and report:
+//!
+//! * the communication volume relative to the lower bound,
+//! * the load split between CPU and GPU nodes (demand-driven schedulers
+//!   balance it automatically — no speed estimation anywhere),
+//! * the β threshold the analysis picks, and its speed-agnostic
+//!   homogeneous approximation (§3.6).
+
+use hetsched::analysis::MatmulAnalysis;
+use hetsched::core::{run_once, BetaChoice, ExperimentConfig, Kernel, Strategy};
+use hetsched::platform::Platform;
+
+fn main() {
+    let n = 40;
+    let cpu_nodes = 32;
+    let gpu_nodes = 8;
+    let mut speeds = vec![10.0; cpu_nodes];
+    speeds.extend(vec![100.0; gpu_nodes]);
+    let p = speeds.len();
+    let platform = Platform::from_speeds(speeds);
+
+    println!("Cluster: {cpu_nodes} CPU nodes (speed 10) + {gpu_nodes} GPU nodes (speed 100)");
+    println!(
+        "Matmul: n = {n} blocks per dimension ({} tasks), lower bound = {:.0} blocks\n",
+        n * n * n,
+        Kernel::Matmul { n }.lower_bound(&platform)
+    );
+
+    let model = MatmulAnalysis::new(&platform, n);
+    let (beta, predicted) = model.optimal_beta();
+    let beta_hom = hetsched::analysis::beta_homogeneous_matmul(p, n);
+    println!("Analytic threshold: β = {beta:.3} (predicted ratio {predicted:.2})");
+    println!("Speed-agnostic approximation: β_hom = {beta_hom:.3} — no speed knowledge needed\n");
+
+    println!(
+        "{:>22}  {:>10}  {:>14}  {:>16}",
+        "strategy", "norm comm", "GPU task share", "slowest/fastest"
+    );
+    for strategy in [
+        Strategy::Random,
+        Strategy::Sorted,
+        Strategy::Dynamic,
+        Strategy::TwoPhase(BetaChoice::Analytic),
+    ] {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Matmul { n },
+            strategy,
+            processors: p,
+            platform: Some(platform.clone()),
+            ..Default::default()
+        };
+        let r = run_once(&cfg, 0xCAFE);
+        let gpu_tasks: u64 = r.tasks_per_proc[cpu_nodes..].iter().sum();
+        let total: u64 = r.tasks_per_proc.iter().sum();
+        // Work conservation: per-node tasks should track speed share.
+        let min_cpu = *r.tasks_per_proc[..cpu_nodes].iter().min().unwrap();
+        let max_gpu = *r.tasks_per_proc[cpu_nodes..].iter().max().unwrap();
+        println!(
+            "{:>22}  {:>10.2}  {:>13.1}%  {:>7} / {:<7}",
+            strategy.label(cfg.kernel),
+            r.normalized_comm,
+            100.0 * gpu_tasks as f64 / total as f64,
+            min_cpu,
+            max_gpu,
+        );
+    }
+
+    // Ideal GPU share from relative speeds: 8·100 / (32·10 + 8·100).
+    let ideal = 800.0 / 1120.0 * 100.0;
+    println!(
+        "\nIdeal GPU share from relative speeds: {ideal:.1}% — every demand-driven\n\
+         strategy hits it without knowing any speed; they differ only in how\n\
+         much data they move to get there."
+    );
+}

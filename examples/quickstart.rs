@@ -1,0 +1,58 @@
+//! Quickstart: compare the four outer-product scheduling strategies on a
+//! random heterogeneous platform.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This reproduces in miniature the paper's core observation (Figs. 1/4):
+//! locality-oblivious strategies (`RandomOuter`, `SortedOuter`) ship each
+//! input block to many workers, while the data-aware strategies stay close
+//! to the communication lower bound, and the two-phase variant with the
+//! analytically chosen threshold does best.
+
+use hetsched::core::{run_trials, BetaChoice, ExperimentConfig, Kernel, Strategy};
+
+fn main() {
+    let n = 100; // blocks per vector → n² = 10 000 tasks
+    let p = 20; // workers, speeds ~ U[10, 100]
+    let trials = 10;
+    let seed = 0xC0FFEE;
+
+    println!("Outer product: n = {n} blocks, p = {p} heterogeneous workers");
+    println!("normalized communication volume (mean ± std over {trials} trials, 1.0 = lower bound)\n");
+
+    let strategies = [
+        Strategy::Random,
+        Strategy::Sorted,
+        Strategy::Dynamic,
+        Strategy::TwoPhase(BetaChoice::Analytic),
+    ];
+
+    for strategy in strategies {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n },
+            strategy,
+            processors: p,
+            ..Default::default()
+        };
+        let summary = run_trials(&cfg, trials, seed);
+        let beta = if summary.beta_used.count() > 0 {
+            format!("  (analytic β = {:.2})", summary.beta_used.mean())
+        } else {
+            String::new()
+        };
+        println!(
+            "{:>22}: {:5.2} ± {:4.2}{}",
+            strategy.label(cfg.kernel),
+            summary.normalized_comm.mean(),
+            summary.normalized_comm.std_dev(),
+            beta
+        );
+    }
+
+    println!(
+        "\nThe data-aware two-phase strategy needs ~2× the lower bound;\n\
+         the random baseline replicates blocks ~4–6× more than necessary."
+    );
+}

@@ -1,0 +1,78 @@
+//! Run the schedulers for real: worker threads, actual `f64` blocks,
+//! verified numerics.
+//!
+//! ```text
+//! cargo run --release --example real_execution
+//! ```
+//!
+//! The paper evaluates its strategies in simulation; this example drives the
+//! *same* scheduler objects through `hetsched-exec`'s threaded mini-runtime
+//! (a StarPU-in-miniature): a master thread makes every allocation decision,
+//! workers request on demand over channels, blocks move for real, and the
+//! assembled product is checked against a sequential reference.
+
+use hetsched::exec::block::{reference_matmul, BlockedMatrix};
+use hetsched::exec::{run_matmul, ExecConfig};
+use hetsched::matmul::{DynamicMatrix2Phases, RandomMatrix};
+use hetsched::platform::{matmul_lower_bound, Platform};
+use std::time::Instant;
+
+fn main() {
+    let n = 12; // blocks per dimension → 1 728 block-update tasks
+    let l = 48; // block edge — large enough that compute dominates messaging
+    let speeds = vec![1.0, 1.0, 2.0, 4.0]; // one "GPU-ish" worker
+    let p = speeds.len();
+
+    println!(
+        "C = A·B with {}×{} element matrices ({n}×{n} blocks of {l}×{l}), {p} worker threads",
+        n * l,
+        n * l
+    );
+    println!("emulated speeds: {speeds:?}\n");
+
+    let a = BlockedMatrix::random(n, l, 101);
+    let b = BlockedMatrix::random(n, l, 202);
+    let reference = reference_matmul(&a, &b);
+    let platform = Platform::from_speeds(speeds.clone());
+    let lb = matmul_lower_bound(n, &platform);
+
+    for (label, beta) in [("RandomMatrix", None), ("DynamicMatrix2Phases", Some(2.8))] {
+        let cfg = ExecConfig {
+            speeds: speeds.clone(),
+            seed: 0xEC5,
+        };
+        let t0 = Instant::now();
+        let (c, report) = match beta {
+            Some(beta) => run_matmul(DynamicMatrix2Phases::with_beta(n, p, beta), &a, &b, &cfg),
+            None => run_matmul(RandomMatrix::new(n, p), &a, &b, &cfg),
+        };
+        let elapsed = t0.elapsed();
+        let err = c.max_abs_diff(&reference);
+        assert!(err < 1e-10, "numerical verification failed: {err}");
+        println!("{label}:");
+        println!("  wall time            {elapsed:.2?}");
+        println!("  max |C - reference|  {err:.2e}  (verified)");
+        println!(
+            "  input blocks shipped {:>6}  ({:.2}× the A+B lower-bound share)",
+            report.input_blocks_shipped,
+            // The lower bound counts A, B and C faces; inputs are 2/3 of it.
+            report.input_blocks_shipped as f64 / (lb * 2.0 / 3.0)
+        );
+        println!(
+            "  result blocks back   {:>6}",
+            report.result_blocks_returned
+        );
+        println!("  tasks per worker     {:?}", report.tasks_per_worker);
+        println!();
+    }
+
+    println!(
+        "Both runs compute the identical, verified product; the data-aware\n\
+         scheduler simply moves far fewer blocks to do it, and the 4×-speed\n\
+         worker automatically takes the largest task share. (Exact speed\n\
+         proportionality needs compute ≫ per-request latency; on a machine\n\
+         with fewer cores than workers the shares compress toward equal,\n\
+         which is itself the unpredictability the paper's demand-driven\n\
+         schedulers are designed to absorb.)"
+    );
+}

@@ -1,0 +1,88 @@
+//! # hetsched — dynamic scheduling for dense kernels on heterogeneous platforms
+//!
+//! Umbrella crate for the `hetsched` workspace, a Rust reproduction of
+//! Beaumont & Marchal, *"Analysis of Dynamic Scheduling Strategies for
+//! Matrix Multiplication on Heterogeneous Platforms"*, HPDC 2014
+//! (DOI 10.1145/2600212.2600223).
+//!
+//! The workspace provides, as re-exported modules:
+//!
+//! * [`platform`] — heterogeneous platform model: processor speeds, the
+//!   paper's speed distributions and scenarios, communication lower bounds;
+//! * [`sim`] — the demand-driven event simulation engine (the equivalent of
+//!   the paper's ad-hoc simulator);
+//! * [`outer`] — the outer-product kernel and its four strategies
+//!   (`RandomOuter`, `SortedOuter`, `DynamicOuter`, `DynamicOuter2Phases`);
+//! * [`matmul`] — the matrix-multiplication kernel and its four strategies;
+//! * [`analysis`] — the ODE-based analytic model and the β-threshold
+//!   optimizer (with the paper's typos corrected — see `DESIGN.md`);
+//! * [`core`] — experiment orchestration: configs, seeded parallel trial
+//!   runner, one function per figure of the paper, and extension
+//!   experiments (static-vs-dynamic trade-off, speed-model ablations);
+//! * [`partition`] — the static comparison basis the paper cites: the
+//!   7/4-approximation column partition of the square (Beaumont et al.
+//!   2002) and a speed-aware static scheduler built on it;
+//! * [`dag`] — the paper's §5 future work, built out: tiled Cholesky/QR
+//!   task graphs and data-aware dynamic scheduling under precedence
+//!   constraints;
+//! * [`exec`] — a real threaded mini-runtime executing the same schedulers
+//!   on actual `f64` blocks;
+//! * [`util`] — the shared data structures underneath it all.
+//!
+//! ## Quick start
+//!
+//! Simulate `DynamicOuter2Phases` with the analytically optimal threshold
+//! on a random heterogeneous platform, and compare the communication volume
+//! against the lower bound:
+//!
+//! ```
+//! use hetsched::core::{run_trials, BetaChoice, ExperimentConfig, Kernel, Strategy};
+//!
+//! let cfg = ExperimentConfig {
+//!     kernel: Kernel::Outer { n: 50 },
+//!     strategy: Strategy::TwoPhase(BetaChoice::Analytic),
+//!     processors: 10,
+//!     ..Default::default()
+//! };
+//! let summary = run_trials(&cfg, 5, 0xC0FFEE);
+//! // The data-aware two-phase scheduler stays close to the lower bound
+//! // (normalized volume ≈ 2), far below the random baseline (4–8).
+//! assert!(summary.normalized_comm.mean() < 3.0);
+//! assert!(summary.normalized_comm.mean() >= 1.0);
+//! ```
+//!
+//! Regenerate any figure of the paper:
+//!
+//! ```no_run
+//! use hetsched::core::figures::{fig6, FigOpts};
+//!
+//! let data = fig6(&FigOpts::paper());
+//! println!("{}", data.to_table());
+//! ```
+//!
+//! Or run the kernels for real, with worker threads and actual data:
+//!
+//! ```
+//! use hetsched::exec::block::BlockedVector;
+//! use hetsched::exec::{run_outer, ExecConfig};
+//! use hetsched::outer::DynamicOuter2Phases;
+//!
+//! let n = 8;
+//! let a = BlockedVector::random(n, 4, 1);
+//! let b = BlockedVector::random(n, 4, 2);
+//! let cfg = ExecConfig::homogeneous(3, 42);
+//! let (m, report) = run_outer(DynamicOuter2Phases::with_beta(n, 3, 3.0), &a, &b, &cfg);
+//! assert_eq!(report.total_tasks(), (n * n) as u64);
+//! assert_eq!(m.dim(), 8 * 4);
+//! ```
+
+pub use hetsched_analysis as analysis;
+pub use hetsched_core as core;
+pub use hetsched_dag as dag;
+pub use hetsched_exec as exec;
+pub use hetsched_matmul as matmul;
+pub use hetsched_outer as outer;
+pub use hetsched_partition as partition;
+pub use hetsched_platform as platform;
+pub use hetsched_sim as sim;
+pub use hetsched_util as util;

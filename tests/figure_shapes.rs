@@ -1,0 +1,172 @@
+//! Every figure of the paper, in quick mode, checked for the qualitative
+//! findings the paper reports. (The paper-scale regeneration lives in the
+//! `figures` binary; EXPERIMENTS.md records a full run.)
+
+use hetsched::core::figures::{
+    fig1, fig10, fig11, fig2, fig4, fig5, fig6, fig7, fig8, fig9, FigOpts,
+};
+use hetsched::core::FigureData;
+
+fn opts() -> FigOpts {
+    FigOpts::quick()
+}
+
+fn series_mean(fig: &FigureData, label: &str) -> f64 {
+    fig.series(label)
+        .unwrap_or_else(|| panic!("{}: missing series {label}", fig.id))
+        .overall_mean()
+}
+
+#[test]
+fn fig1_data_aware_beats_oblivious() {
+    let f = fig1(&opts());
+    assert!(series_mean(&f, "DynamicOuter") < series_mean(&f, "RandomOuter"));
+    assert!(series_mean(&f, "DynamicOuter") < series_mean(&f, "SortedOuter"));
+    // Nothing beats the lower bound.
+    for s in &f.series {
+        for p in &s.points {
+            assert!(p.mean >= 0.99, "{}: {} below bound", s.label, p.mean);
+        }
+    }
+}
+
+#[test]
+fn fig2_endpoints_recover_pure_strategies() {
+    let f = fig2(&opts());
+    let two = f.series("DynamicOuter2Phases").unwrap();
+    let first = two.points.first().unwrap();
+    let last = two.points.last().unwrap();
+    assert_eq!(first.x, 0.0);
+    assert_eq!(last.x, 100.0);
+    // 0 % phase 1 ≈ RandomOuter, 100 % ≈ DynamicOuter.
+    let random = series_mean(&f, "RandomOuter");
+    let dynamic = series_mean(&f, "DynamicOuter");
+    assert!((first.mean - random).abs() / random < 0.25);
+    assert!((last.mean - dynamic).abs() / dynamic < 0.25);
+}
+
+#[test]
+fn fig4_and_fig5_analysis_tracks_two_phase_and_gap_grows_with_n() {
+    let f4 = fig4(&opts());
+    let f5 = fig5(&opts());
+    for f in [&f4, &f5] {
+        let two = f.series("DynamicOuter2Phases").unwrap();
+        let ana = f.series("Analysis").unwrap();
+        for (pt, pa) in two.points.iter().zip(&ana.points) {
+            assert!(
+                (pt.mean - pa.mean).abs() / pt.mean < 0.2,
+                "{}: p={} sim {} vs analysis {}",
+                f.id,
+                pt.x,
+                pt.mean,
+                pa.mean
+            );
+        }
+    }
+    // Fig. 5's point: with larger n, the random/data-aware gap widens.
+    let gap4 = series_mean(&f4, "RandomOuter") / series_mean(&f4, "DynamicOuter2Phases");
+    let gap5 = series_mean(&f5, "RandomOuter") / series_mean(&f5, "DynamicOuter2Phases");
+    assert!(gap5 > gap4, "gap at larger n {gap5:.2} ≤ gap at smaller {gap4:.2}");
+}
+
+#[test]
+fn fig6_u_shape_and_two_phase_beats_dynamic_at_optimum() {
+    let f = fig6(&opts());
+    let sim = f.series("DynamicOuter2Phases").unwrap();
+    let dynamic = series_mean(&f, "DynamicOuter");
+    let best = sim
+        .points
+        .iter()
+        .map(|p| p.mean)
+        .fold(f64::INFINITY, f64::min);
+    assert!(best < dynamic, "best two-phase {best} vs dynamic {dynamic}");
+}
+
+#[test]
+fn fig7_heterogeneity_barely_moves_the_curves() {
+    let f = fig7(&opts());
+    // §3.5: "the heterogeneity degree has very little impact" — compare
+    // each strategy's values across the sweep, skipping the degenerate
+    // h = 0 point: with *exactly* equal speeds and a simultaneous start
+    // the deterministic SortedOuter falls into lock-step round-robin and
+    // gets artificially good column reuse, an artifact any jitter removes.
+    for s in &f.series {
+        let pts: Vec<f64> = s.points.iter().skip(1).map(|p| p.mean).collect();
+        let lo = pts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (hi - lo) / lo < 0.25,
+            "{}: h-sweep moved from {lo:.2} to {hi:.2}",
+            s.label
+        );
+    }
+    // And the ranking is preserved at every h, including h = 0.
+    let two = f.series("DynamicOuter2Phases").unwrap();
+    let rnd = f.series("RandomOuter").unwrap();
+    for (a, b) in two.points.iter().zip(&rnd.points) {
+        assert!(a.mean < b.mean);
+    }
+}
+
+#[test]
+fn fig8_scenarios_do_not_change_the_story() {
+    let f = fig8(&opts());
+    let two = f.series("DynamicOuter2Phases").unwrap();
+    let dynamic = f.series("DynamicOuter").unwrap();
+    let random = f.series("RandomOuter").unwrap();
+    let analysis = f.series("Analysis").unwrap();
+    for i in 0..two.points.len() {
+        assert!(two.points[i].mean <= dynamic.points[i].mean * 1.1);
+        assert!(dynamic.points[i].mean < random.points[i].mean);
+        // Analysis stays close to the two-phase simulation per scenario
+        // (including the dyn.* ones, where it uses the base speeds).
+        let (s, a) = (two.points[i].mean, analysis.points[i].mean);
+        assert!(
+            (s - a).abs() / s < 0.2,
+            "scenario {}: sim {s:.2} vs analysis {a:.2}",
+            two.points[i].x
+        );
+    }
+}
+
+#[test]
+fn fig9_and_fig10_matmul_story() {
+    let f9 = fig9(&opts());
+    let f10 = fig10(&opts());
+    for f in [&f9, &f10] {
+        assert!(series_mean(f, "DynamicMatrix2Phases") <= series_mean(f, "DynamicMatrix") * 1.05);
+        assert!(series_mean(f, "DynamicMatrix") < series_mean(f, "RandomMatrix"));
+    }
+    let gap9 = series_mean(&f9, "RandomMatrix") / series_mean(&f9, "DynamicMatrix2Phases");
+    let gap10 = series_mean(&f10, "RandomMatrix") / series_mean(&f10, "DynamicMatrix2Phases");
+    assert!(gap10 > gap9, "matmul gap should grow with n");
+}
+
+#[test]
+fn fig11_u_shape_with_analysis_tracking() {
+    let f = fig11(&opts());
+    let sim = f.series("DynamicMatrix2Phases").unwrap();
+    let ana = f.series("Analysis").unwrap();
+    for (ps, pa) in sim.points.iter().zip(&ana.points) {
+        assert!(
+            (ps.mean - pa.mean).abs() / ps.mean < 0.3,
+            "β={}: sim {} vs analysis {}",
+            ps.x,
+            ps.mean,
+            pa.mean
+        );
+    }
+}
+
+#[test]
+fn figures_render_csv_and_tables() {
+    let f = fig1(&opts());
+    let csv = f.to_csv();
+    assert!(csv.starts_with("figure,series,x,mean,std_dev\n"));
+    assert!(csv.lines().count() > f.series.len());
+    let table = f.to_table();
+    assert!(table.contains("fig1"));
+    for s in &f.series {
+        assert!(table.contains(&s.label));
+    }
+}

@@ -1,0 +1,236 @@
+//! Cross-crate invariants: every strategy × kernel combination, audited
+//! through the public API.
+
+use hetsched::core::{run_once, BetaChoice, ExperimentConfig, Kernel, Strategy};
+use hetsched::platform::Platform;
+
+const ALL_STRATEGIES: [Strategy; 6] = [
+    Strategy::Random,
+    Strategy::Sorted,
+    Strategy::Dynamic,
+    Strategy::TwoPhase(BetaChoice::Analytic),
+    Strategy::TwoPhase(BetaChoice::Homogeneous),
+    Strategy::TwoPhase(BetaChoice::Fixed(2.0)),
+];
+
+fn kernels() -> [Kernel; 2] {
+    [Kernel::Outer { n: 24 }, Kernel::Matmul { n: 10 }]
+}
+
+#[test]
+fn every_task_is_computed_exactly_once() {
+    for kernel in kernels() {
+        for strategy in ALL_STRATEGIES {
+            let cfg = ExperimentConfig {
+                kernel,
+                strategy,
+                processors: 7,
+                ..Default::default()
+            };
+            let r = run_once(&cfg, 0xA11);
+            let total: u64 = r.tasks_per_proc.iter().sum();
+            assert_eq!(
+                total as usize,
+                kernel.total_tasks(),
+                "{:?} / {:?}",
+                kernel,
+                strategy
+            );
+        }
+    }
+}
+
+#[test]
+fn every_input_block_is_shipped_at_least_once() {
+    // Each a/b (or A/B/C) block is an input (or output) of some task, so
+    // it must cross the wire at least once: comm ≥ 2n (outer) / 3n²
+    // (matmul) regardless of the strategy.
+    for strategy in ALL_STRATEGIES {
+        let outer = run_once(
+            &ExperimentConfig {
+                kernel: Kernel::Outer { n: 24 },
+                strategy,
+                processors: 7,
+                ..Default::default()
+            },
+            0xB22,
+        );
+        assert!(outer.total_blocks >= 2 * 24, "{strategy:?}");
+
+        let mm = run_once(
+            &ExperimentConfig {
+                kernel: Kernel::Matmul { n: 10 },
+                strategy,
+                processors: 7,
+                ..Default::default()
+            },
+            0xB23,
+        );
+        assert!(mm.total_blocks >= 3 * 100, "{strategy:?}");
+    }
+}
+
+#[test]
+fn communication_respects_lower_bound_at_scale() {
+    // At realistic scale (p ≪ n²) the demand-driven schedulers are load
+    // balanced and the normalized volume must be ≥ ~1.
+    for strategy in ALL_STRATEGIES {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n: 60 },
+            strategy,
+            processors: 12,
+            ..Default::default()
+        };
+        let r = run_once(&cfg, 0xC33);
+        assert!(
+            r.normalized_comm >= 0.999,
+            "{strategy:?}: normalized {} below the bound",
+            r.normalized_comm
+        );
+    }
+}
+
+#[test]
+fn demand_driven_load_balance_tracks_speeds() {
+    // Fixed platform with a 1:2:7 speed split: task shares must follow,
+    // within one batch per worker, for every strategy.
+    let pf = Platform::from_speeds(vec![10.0, 20.0, 70.0]);
+    for strategy in ALL_STRATEGIES {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n: 50 },
+            strategy,
+            processors: 3,
+            platform: Some(pf.clone()),
+            ..Default::default()
+        };
+        let r = run_once(&cfg, 0xD44);
+        let total: u64 = r.tasks_per_proc.iter().sum();
+        for (k, &tasks) in r.tasks_per_proc.iter().enumerate() {
+            let share = tasks as f64 / total as f64;
+            let ideal = pf.relative_speed(hetsched::platform::ProcId(k as u32));
+            assert!(
+                (share - ideal).abs() < 0.08,
+                "{strategy:?}: worker {k} share {share:.3} vs ideal {ideal:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    for kernel in kernels() {
+        for strategy in ALL_STRATEGIES {
+            let cfg = ExperimentConfig {
+                kernel,
+                strategy,
+                processors: 5,
+                ..Default::default()
+            };
+            let a = run_once(&cfg, 0xE55);
+            let b = run_once(&cfg, 0xE55);
+            assert_eq!(a.total_blocks, b.total_blocks, "{kernel:?}/{strategy:?}");
+            assert_eq!(a.tasks_per_proc, b.tasks_per_proc);
+            assert_eq!(a.blocks_per_proc, b.blocks_per_proc);
+            assert_eq!(a.makespan, b.makespan);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_randomized_runs() {
+    let cfg = ExperimentConfig {
+        kernel: Kernel::Outer { n: 30 },
+        strategy: Strategy::Random,
+        processors: 6,
+        ..Default::default()
+    };
+    let a = run_once(&cfg, 1);
+    let b = run_once(&cfg, 2);
+    assert_ne!(
+        (a.total_blocks, a.makespan.to_bits()),
+        (b.total_blocks, b.makespan.to_bits())
+    );
+}
+
+#[test]
+fn strategy_ranking_holds_for_both_kernels() {
+    // The paper's headline ordering: two-phase ≤ dynamic < random.
+    for kernel in [Kernel::Outer { n: 60 }, Kernel::Matmul { n: 16 }] {
+        let run = |strategy| {
+            run_once(
+                &ExperimentConfig {
+                    kernel,
+                    strategy,
+                    processors: 16,
+                    ..Default::default()
+                },
+                0xF66,
+            )
+            .normalized_comm
+        };
+        let two = run(Strategy::TwoPhase(BetaChoice::Analytic));
+        let dynamic = run(Strategy::Dynamic);
+        let random = run(Strategy::Random);
+        assert!(
+            two <= dynamic * 1.05,
+            "{kernel:?}: two-phase {two} vs dynamic {dynamic}"
+        );
+        assert!(
+            dynamic < random,
+            "{kernel:?}: dynamic {dynamic} vs random {random}"
+        );
+    }
+}
+
+#[test]
+fn phase_split_is_consistent_with_threshold() {
+    for kernel in kernels() {
+        let cfg = ExperimentConfig {
+            kernel,
+            strategy: Strategy::TwoPhase(BetaChoice::Fixed(3.0)),
+            processors: 6,
+            ..Default::default()
+        };
+        let r = run_once(&cfg, 0xAB7);
+        let (b1, b2, t1, t2) = r.phase_split.expect("two-phase reports split");
+        assert_eq!(b1 + b2, r.total_blocks);
+        assert_eq!(t1 + t2, kernel.total_tasks());
+        let threshold = ((-3.0f64).exp() * kernel.total_tasks() as f64).floor() as usize;
+        assert!(t2 <= threshold, "phase 2 did {t2} > threshold {threshold}");
+        assert!(t2 > 0, "β=3 must leave an end game at these sizes");
+    }
+}
+
+#[test]
+fn dyn_scenarios_complete_and_stay_ranked() {
+    use hetsched::platform::Scenario;
+    for scenario in [Scenario::Dyn5, Scenario::Dyn20] {
+        let base = ExperimentConfig {
+            kernel: Kernel::Outer { n: 40 },
+            processors: 8,
+            distribution: scenario.distribution(),
+            speed_model: scenario.speed_model(),
+            ..Default::default()
+        };
+        let dynamic = run_once(
+            &ExperimentConfig {
+                strategy: Strategy::Dynamic,
+                ..base.clone()
+            },
+            0xCD8,
+        );
+        let random = run_once(
+            &ExperimentConfig {
+                strategy: Strategy::Random,
+                ..base
+            },
+            0xCD8,
+        );
+        let total: u64 = dynamic.tasks_per_proc.iter().sum();
+        assert_eq!(total, 1600);
+        assert!(
+            dynamic.normalized_comm < random.normalized_comm,
+            "{scenario:?}"
+        );
+    }
+}

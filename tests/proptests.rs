@@ -1,0 +1,217 @@
+//! Property-based tests over the whole stack: for arbitrary problem sizes,
+//! worker counts, speeds and seeds, the invariants hold.
+
+use hetsched::core::{run_once, BetaChoice, ExperimentConfig, Kernel, Strategy};
+use hetsched::platform::{Platform, SpeedDistribution};
+use proptest::prelude::*;
+// `hetsched`'s `Strategy` shadows proptest's trait of the same name; bring
+// the trait's methods back into scope anonymously.
+use proptest::strategy::Strategy as _;
+
+fn arb_strategy() -> impl proptest::strategy::Strategy<Value = Strategy> {
+    prop_oneof![
+        Just(Strategy::Random),
+        Just(Strategy::Sorted),
+        Just(Strategy::Dynamic),
+        (0.5f64..6.0).prop_map(|b| Strategy::TwoPhase(BetaChoice::Fixed(b))),
+        (0.0f64..=1.0).prop_map(|f| Strategy::TwoPhase(BetaChoice::Phase1Fraction(f))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exactly-once execution and block-coverage lower bounds, outer.
+    #[test]
+    fn outer_invariants(
+        n in 2usize..28,
+        p in 1usize..9,
+        strategy in arb_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n },
+            strategy,
+            processors: p,
+            ..Default::default()
+        };
+        let r = run_once(&cfg, seed);
+        let total: u64 = r.tasks_per_proc.iter().sum();
+        prop_assert_eq!(total as usize, n * n);
+        // Every block crosses the wire at least once, and no run ships a
+        // block to the same worker twice: per-worker cap is 2n.
+        prop_assert!(r.total_blocks >= 2 * n as u64);
+        for &blocks in &r.blocks_per_proc {
+            prop_assert!(blocks <= 2 * n as u64);
+        }
+        prop_assert!(r.makespan > 0.0);
+    }
+
+    /// Same for the matrix multiplication.
+    #[test]
+    fn matmul_invariants(
+        n in 2usize..12,
+        p in 1usize..7,
+        strategy in arb_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Matmul { n },
+            strategy,
+            processors: p,
+            ..Default::default()
+        };
+        let r = run_once(&cfg, seed);
+        let total: u64 = r.tasks_per_proc.iter().sum();
+        prop_assert_eq!(total as usize, n * n * n);
+        prop_assert!(r.total_blocks >= 3 * (n * n) as u64);
+        for &blocks in &r.blocks_per_proc {
+            // Per-worker cap: each of the 3n² distinct blocks at most once.
+            prop_assert!(blocks <= 3 * (n * n) as u64);
+        }
+    }
+
+    /// Determinism: identical config and seed → identical run.
+    #[test]
+    fn runs_are_reproducible(
+        n in 2usize..20,
+        p in 1usize..6,
+        strategy in arb_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n },
+            strategy,
+            processors: p,
+            ..Default::default()
+        };
+        let a = run_once(&cfg, seed);
+        let b = run_once(&cfg, seed);
+        prop_assert_eq!(a.total_blocks, b.total_blocks);
+        prop_assert_eq!(a.tasks_per_proc, b.tasks_per_proc);
+        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    }
+
+    /// Two-phase accounting always balances.
+    #[test]
+    fn two_phase_split_balances(
+        n in 2usize..24,
+        p in 1usize..8,
+        beta in 0.5f64..6.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n },
+            strategy: Strategy::TwoPhase(BetaChoice::Fixed(beta)),
+            processors: p,
+            ..Default::default()
+        };
+        let r = run_once(&cfg, seed);
+        let (b1, b2, t1, t2) = r.phase_split.unwrap();
+        prop_assert_eq!(b1 + b2, r.total_blocks);
+        prop_assert_eq!(t1 + t2, n * n);
+        let threshold = ((-beta).exp() * (n * n) as f64).floor() as usize;
+        prop_assert!(t2 <= threshold);
+    }
+
+    /// The analytic β optimizer returns a finite optimum with a ratio that
+    /// is at least 1 (cannot beat the lower bound) for realistic shapes
+    /// (p ≪ n², the paper's regime — with p approaching n² the bound is
+    /// unreachable and the optimum degenerates to the β → 0 boundary,
+    /// i.e. "just go random").
+    #[test]
+    fn analysis_optimum_is_sane(
+        p in 2usize..200,
+        n in 60usize..500,
+        seed in 0u64..10_000,
+    ) {
+        let pf = Platform::sample(
+            p,
+            &SpeedDistribution::paper_default(),
+            &mut hetsched::util::rng::rng_for(seed, 0),
+        );
+        let model = hetsched::analysis::OuterAnalysis::new(&pf, n);
+        let (beta, ratio) = model.optimal_beta();
+        prop_assert!(beta.is_finite() && beta > 0.0);
+        prop_assert!(ratio.is_finite());
+        prop_assert!(ratio >= 0.99, "ratio {} below 1", ratio);
+        // When the optimum is interior, it is a genuine local minimum.
+        let (lo, hi) = hetsched::analysis::outer::BETA_RANGE;
+        if beta > lo * 1.1 && beta < hi * 0.9 {
+            prop_assert!(model.ratio((beta * 0.8).max(lo)) >= ratio - 1e-9);
+            prop_assert!(model.ratio((beta * 1.2).min(hi)) >= ratio - 1e-9);
+        }
+    }
+
+    /// g and t stay within physical ranges for every x and α.
+    #[test]
+    fn closed_forms_are_bounded(
+        x in 0.0f64..=1.0,
+        alpha in 0.1f64..1000.0,
+    ) {
+        use hetsched::analysis::{MatmulAnalysis, OuterAnalysis};
+        let g2 = OuterAnalysis::g(x, alpha);
+        let g3 = MatmulAnalysis::g(x, alpha);
+        prop_assert!((0.0..=1.0).contains(&g2));
+        prop_assert!((0.0..=1.0).contains(&g3));
+        // Cube residue ≥ square residue: (1−x³) ≥ (1−x²) for x ∈ [0,1].
+        prop_assert!(g3 >= g2 - 1e-12);
+        let t2 = OuterAnalysis::t_fraction(x, alpha);
+        let t3 = MatmulAnalysis::t_fraction(x, alpha);
+        prop_assert!((0.0..=1.0).contains(&t2));
+        prop_assert!((0.0..=1.0).contains(&t3));
+    }
+
+    /// DAG scheduling: every policy completes every task exactly once on
+    /// random Cholesky/QR instances, deterministically per seed.
+    #[test]
+    fn dag_policies_complete_and_are_deterministic(
+        t in 2usize..10,
+        p in 1usize..8,
+        qr in proptest::bool::ANY,
+        policy_idx in 0usize..4,
+        seed in 0u64..100_000,
+    ) {
+        use hetsched::dag::{cholesky_graph, qr_graph, simulate, Policy};
+        let policy = [
+            Policy::Random,
+            Policy::DataAware,
+            Policy::DataAwareCp,
+            Policy::CriticalPath,
+        ][policy_idx];
+        let graph = if qr { qr_graph(t) } else { cholesky_graph(t) };
+        let pf = Platform::sample(
+            p,
+            &SpeedDistribution::paper_default(),
+            &mut hetsched::util::rng::rng_for(seed, 7),
+        );
+        let a = simulate(&graph, &pf, policy, &mut hetsched::util::rng::rng_for(seed, 8));
+        let b = simulate(&graph, &pf, policy, &mut hetsched::util::rng::rng_for(seed, 8));
+        let total: u64 = a.tasks_per_worker.iter().sum();
+        prop_assert_eq!(total as usize, graph.len());
+        prop_assert_eq!(a.total_blocks, b.total_blocks);
+        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        // Precedence lower bounds hold.
+        let s_max = pf.speeds().iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(a.makespan >= graph.critical_path() / s_max - 1e-9);
+        prop_assert!(a.makespan >= graph.total_weight() / pf.total_speed() - 1e-9);
+    }
+
+    /// Lower bounds are monotone in the processor count and consistent
+    /// between kernels.
+    #[test]
+    fn lower_bounds_monotone(
+        p in 1usize..100,
+        n in 1usize..200,
+    ) {
+        use hetsched::platform::{matmul_lower_bound, outer_lower_bound};
+        let small = Platform::homogeneous(p);
+        let large = Platform::homogeneous(p + 1);
+        prop_assert!(outer_lower_bound(n, &small) <= outer_lower_bound(n, &large) + 1e-9);
+        prop_assert!(matmul_lower_bound(n, &small) <= matmul_lower_bound(n, &large) + 1e-9);
+        // Single processor: exact block counts.
+        let one = Platform::homogeneous(1);
+        prop_assert!((outer_lower_bound(n, &one) - 2.0 * n as f64).abs() < 1e-9);
+        prop_assert!((matmul_lower_bound(n, &one) - 3.0 * (n * n) as f64).abs() < 1e-9);
+    }
+}
