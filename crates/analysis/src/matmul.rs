@@ -99,16 +99,19 @@ impl MatmulAnalysis {
         sum_x2 / self.s23
     }
 
-    /// Phase-2 communication ratio, exact per-task cost. Conditioned on a
-    /// task being unprocessed, the expected number of missing blocks for a
-    /// worker knowing a fraction `x` of each index set is
-    /// `3(1+x)/(1+x+x²)` (which linearizes to `3(1−x²)`). `e^{−β}·n³`
-    /// tasks remain; worker `k` handles a share `rs_k`.
+    /// Phase-2 communication ratio (the Lemma 5 analogue): `e^{−β}·n³`
+    /// tasks remain and worker `k` handles a share `rs_k`. A phase-2 task
+    /// is drawn *uniformly* from the unprocessed pool; each of its three
+    /// blocks lies in the worker's owned `x·n × x·n` grids with probability
+    /// `x²`, so the expected cost is `3(1 − x_k²)` blocks per task. (The
+    /// earlier `3(1−x²)/(1−x³)` form conditioned on the task being unknown
+    /// to the worker — the dynamic-phase cost — and overestimated the
+    /// random end-game at small β.)
     pub fn phase2_ratio(&self, beta: f64) -> f64 {
         let weighted: f64 = (0..self.rs.len())
             .map(|k| {
                 let x = self.switch_x(k, beta);
-                self.rs[k] * (1.0 + x) / (1.0 + x + x * x)
+                self.rs[k] * (1.0 - x * x)
             })
             .sum();
         (-beta).exp() * self.n as f64 * weighted / self.s23

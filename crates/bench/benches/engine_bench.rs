@@ -36,19 +36,16 @@ fn bench_dynamic_speed_overhead(c: &mut Criterion) {
     // against fixed speeds.
     let mut group = c.benchmark_group("speed_models");
     group.sample_size(20);
-    let pf = Platform::sample(20, &SpeedDistribution::uniform(80.0, 120.0), &mut rng_for(3, 0));
-    for (label, model) in [
-        ("fixed", SpeedModel::Fixed),
-        ("dyn20", SpeedModel::dyn20()),
-    ] {
+    let pf = Platform::sample(
+        20,
+        &SpeedDistribution::uniform(80.0, 120.0),
+        &mut rng_for(3, 0),
+    );
+    for (label, model) in [("fixed", SpeedModel::Fixed), ("dyn20", SpeedModel::dyn20())] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let (r, _) = hetsched_sim::run(
-                    &pf,
-                    model,
-                    RandomOuter::new(60, 20),
-                    &mut rng_for(4, 0),
-                );
+                let (r, _) =
+                    hetsched_sim::run(&pf, model, RandomOuter::new(60, 20), &mut rng_for(4, 0));
                 black_box(r.makespan)
             })
         });

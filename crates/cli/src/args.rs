@@ -81,7 +81,8 @@ impl Args {
     #[allow(dead_code)] // part of the parser's surface; exercised in tests
     pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
         let v = self.get(key).ok_or(format!("missing required --{key}"))?;
-        v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}"))
+        v.parse()
+            .map_err(|_| format!("--{key}: cannot parse {v:?}"))
     }
 
     /// Comma-separated `f64` list.

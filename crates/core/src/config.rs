@@ -1,6 +1,6 @@
 //! Declarative experiment configuration.
 
-use hetsched_platform::{Platform, SpeedDistribution, SpeedModel};
+use hetsched_platform::{FailureModel, Platform, SpeedDistribution, SpeedModel};
 
 /// Which kernel to schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +104,10 @@ pub struct ExperimentConfig {
     /// constant across configurations (Figs. 2, 6, 11). When `None`, each
     /// trial draws a fresh platform from `distribution`.
     pub platform: Option<Platform>,
+    /// Injected worker failures and stragglers. [`FailureModel::none`]
+    /// (the default) leaves every run bit-for-bit identical to the
+    /// fault-unaware engine.
+    pub failures: FailureModel,
 }
 
 impl Default for ExperimentConfig {
@@ -115,6 +119,7 @@ impl Default for ExperimentConfig {
             distribution: SpeedDistribution::paper_default(),
             speed_model: SpeedModel::Fixed,
             platform: None,
+            failures: FailureModel::none(),
         }
     }
 }
@@ -152,6 +157,14 @@ impl ExperimentConfig {
             (Strategy::Static, Kernel::Matmul { .. })
         ) {
             return Err("Static partitioning is implemented for the outer product only".into());
+        }
+        self.failures.validate(self.processors)?;
+        if !self.failures.failures().is_empty() && self.strategy == Strategy::Static {
+            return Err(
+                "Static partitioning fixes the allocation up front and cannot \
+                 re-allocate tasks lost to a worker failure"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -231,11 +244,40 @@ mod tests {
     }
 
     #[test]
+    fn failure_scenarios_validated() {
+        use hetsched_platform::ProcId;
+        let cfg = ExperimentConfig {
+            failures: FailureModel::none().fail_at(ProcId(25), 1.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "worker index out of range (p=20)");
+
+        let cfg = ExperimentConfig {
+            failures: FailureModel::none().fail_at(ProcId(3), 2.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+
+        // Static cannot reassign lost tasks...
+        let cfg = ExperimentConfig {
+            strategy: Strategy::Static,
+            failures: FailureModel::none().fail_at(ProcId(3), 2.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        // ...but stragglers only change speeds, which it tolerates.
+        let cfg = ExperimentConfig {
+            strategy: Strategy::Static,
+            failures: FailureModel::none().slow_down(ProcId(3), 4.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
     fn lower_bound_dispatch() {
         let pf = Platform::homogeneous(4);
-        assert!(
-            (Kernel::Outer { n: 10 }.lower_bound(&pf) - 2.0 * 10.0 * 2.0).abs() < 1e-9
-        );
+        assert!((Kernel::Outer { n: 10 }.lower_bound(&pf) - 2.0 * 10.0 * 2.0).abs() < 1e-9);
         let expected = 3.0 * 100.0 * 4.0 * 0.25f64.powf(2.0 / 3.0);
         assert!((Kernel::Matmul { n: 10 }.lower_bound(&pf) - expected).abs() < 1e-9);
     }

@@ -134,9 +134,7 @@ pub fn ext_dynamic_speed_models(opts: &FigOpts) -> FigureData {
 
     FigureData {
         id: "extB",
-        title: format!(
-            "dyn.* ablation, p={p}, n={n}: per-task speed jitter vs compounding walk"
-        ),
+        title: format!("dyn.* ablation, p={p}, n={n}: per-task speed jitter vs compounding walk"),
         x_label: "perturbation % per task".into(),
         y_label: "normalized communication".into(),
         series,
@@ -191,7 +189,11 @@ pub fn ext_cholesky_policies(opts: &FigOpts) -> FigureData {
     use hetsched_dag::{cholesky_graph, simulate, Policy};
     let t = if opts.quick { 10 } else { 24 };
     let graph = cholesky_graph(t);
-    let ps: &[usize] = if opts.quick { &[4, 16] } else { &[2, 4, 8, 16, 32, 64] };
+    let ps: &[usize] = if opts.quick {
+        &[4, 16]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
     let policies = [Policy::Random, Policy::DataAware, Policy::DataAwareCp];
 
     let mut series: Vec<Series> = Vec::new();
@@ -300,7 +302,13 @@ mod tests {
         let random = f.series("RandomDag comm/task").unwrap();
         let aware = f.series("DataAwareDag comm/task").unwrap();
         for (r, a) in random.points.iter().zip(&aware.points) {
-            assert!(a.mean < r.mean, "p={}: aware {} vs random {}", r.x, a.mean, r.mean);
+            assert!(
+                a.mean < r.mean,
+                "p={}: aware {} vs random {}",
+                r.x,
+                a.mean,
+                r.mean
+            );
         }
         // The critical-path tie-break costs no makespan on average
         // relative to pure data-affinity (point-wise noise allowed: quick

@@ -84,7 +84,11 @@ fn p_sweep_series(
             ..Default::default()
         };
         let sum = run_trials(&cfg, trials, seed);
-        s.push(p as f64, sum.normalized_comm.mean(), sum.normalized_comm.std_dev());
+        s.push(
+            p as f64,
+            sum.normalized_comm.mean(),
+            sum.normalized_comm.std_dev(),
+        );
     }
     s
 }
@@ -202,9 +206,7 @@ pub fn fig2(opts: &FigOpts) -> FigureData {
 
     FigureData {
         id: "fig2",
-        title: format!(
-            "Outer product, p={p}, n={n}: two-phase communication vs phase-1 share"
-        ),
+        title: format!("Outer product, p={p}, n={n}: two-phase communication vs phase-1 share"),
         x_label: "% tasks in phase 1".into(),
         y_label: "normalized communication".into(),
         series,
@@ -578,7 +580,10 @@ mod tests {
         // 0 % in phase 1 ⇒ pure random; 100 % ⇒ pure dynamic.
         let at0 = two.points.first().unwrap().mean;
         let at100 = two.points.last().unwrap().mean;
-        assert!((at0 - random).abs() / random < 0.25, "{at0} vs random {random}");
+        assert!(
+            (at0 - random).abs() / random < 0.25,
+            "{at0} vs random {random}"
+        );
         assert!(
             (at100 - dynamic).abs() / dynamic < 0.25,
             "{at100} vs dynamic {dynamic}"

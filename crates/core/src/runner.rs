@@ -34,6 +34,10 @@ pub struct RunResult {
     pub tasks_per_proc: Vec<u64>,
     /// Blocks received per worker.
     pub blocks_per_proc: Vec<u64>,
+    /// Tasks lost to injected worker failures (0 without fault injection).
+    pub lost_tasks: u64,
+    /// Blocks re-shipped while re-allocating lost tasks.
+    pub reshipped_blocks: u64,
     /// The platform the run used (drawn or fixed).
     pub platform: Platform,
 }
@@ -49,6 +53,10 @@ pub struct TrialSummary {
     pub makespan: OnlineStats,
     /// β values used across trials (empty stats for non-two-phase runs).
     pub beta_used: OnlineStats,
+    /// Tasks lost to injected failures across trials.
+    pub lost_tasks: OnlineStats,
+    /// Blocks re-shipped while re-allocating lost tasks, across trials.
+    pub reshipped_blocks: OnlineStats,
     /// Number of trials.
     pub trials: usize,
 }
@@ -109,29 +117,41 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
     // its concrete scheduler and harvests strategy-specific accounting.
     let (report, phase_split) = match (cfg.kernel, cfg.strategy) {
         (Kernel::Outer { n }, Strategy::Random) => {
-            let (r, _) =
-                hetsched_sim::run(&platform, cfg.speed_model, RandomOuter::new(n, p), &mut rng);
+            let (r, _) = hetsched_sim::run_with_failures(
+                &platform,
+                cfg.speed_model,
+                RandomOuter::new(n, p),
+                &cfg.failures,
+                &mut rng,
+            );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Sorted) => {
-            let (r, _) =
-                hetsched_sim::run(&platform, cfg.speed_model, SortedOuter::new(n, p), &mut rng);
+            let (r, _) = hetsched_sim::run_with_failures(
+                &platform,
+                cfg.speed_model,
+                SortedOuter::new(n, p),
+                &cfg.failures,
+                &mut rng,
+            );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Dynamic) => {
-            let (r, _) = hetsched_sim::run(
+            let (r, _) = hetsched_sim::run_with_failures(
                 &platform,
                 cfg.speed_model,
                 DynamicOuter::new(n, p),
+                &cfg.failures,
                 &mut rng,
             );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Static) => {
-            let (r, _) = hetsched_sim::run(
+            let (r, _) = hetsched_sim::run_with_failures(
                 &platform,
                 cfg.speed_model,
                 hetsched_partition::StaticOuter::new(n, &platform),
+                &cfg.failures,
                 &mut rng,
             );
             (r, None)
@@ -147,7 +167,13 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
                 (_, Some(b)) => DynamicOuter2Phases::with_beta(n, p, b),
                 _ => unreachable!("β resolved above for non-fraction choices"),
             };
-            let (r, s) = hetsched_sim::run(&platform, cfg.speed_model, sched, &mut rng);
+            let (r, s) = hetsched_sim::run_with_failures(
+                &platform,
+                cfg.speed_model,
+                sched,
+                &cfg.failures,
+                &mut rng,
+            );
             let split = (
                 s.phase1_blocks(),
                 s.phase2_blocks(),
@@ -157,28 +183,31 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
             (r, Some(split))
         }
         (Kernel::Matmul { n }, Strategy::Random) => {
-            let (r, _) = hetsched_sim::run(
+            let (r, _) = hetsched_sim::run_with_failures(
                 &platform,
                 cfg.speed_model,
                 RandomMatrix::new(n, p),
+                &cfg.failures,
                 &mut rng,
             );
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::Sorted) => {
-            let (r, _) = hetsched_sim::run(
+            let (r, _) = hetsched_sim::run_with_failures(
                 &platform,
                 cfg.speed_model,
                 SortedMatrix::new(n, p),
+                &cfg.failures,
                 &mut rng,
             );
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::Dynamic) => {
-            let (r, _) = hetsched_sim::run(
+            let (r, _) = hetsched_sim::run_with_failures(
                 &platform,
                 cfg.speed_model,
                 DynamicMatrix::new(n, p),
+                &cfg.failures,
                 &mut rng,
             );
             (r, None)
@@ -191,7 +220,13 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
                 (_, Some(b)) => DynamicMatrix2Phases::with_beta(n, p, b),
                 _ => unreachable!("β resolved above for non-fraction choices"),
             };
-            let (r, s) = hetsched_sim::run(&platform, cfg.speed_model, sched, &mut rng);
+            let (r, s) = hetsched_sim::run_with_failures(
+                &platform,
+                cfg.speed_model,
+                sched,
+                &cfg.failures,
+                &mut rng,
+            );
             let split = (
                 s.phase1_blocks(),
                 s.phase2_blocks(),
@@ -211,6 +246,8 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
         phase_split,
         tasks_per_proc: report.ledger.tasks_per_proc().to_vec(),
         blocks_per_proc: report.ledger.blocks_per_proc().to_vec(),
+        lost_tasks: report.lost_tasks,
+        reshipped_blocks: report.reshipped_blocks,
         platform,
     }
 }
@@ -251,12 +288,16 @@ pub fn run_trials(cfg: &ExperimentConfig, trials: usize, seed: u64) -> TrialSumm
         total_blocks: OnlineStats::new(),
         makespan: OnlineStats::new(),
         beta_used: OnlineStats::new(),
+        lost_tasks: OnlineStats::new(),
+        reshipped_blocks: OnlineStats::new(),
         trials,
     };
     for r in &results {
         summary.normalized_comm.push(r.normalized_comm);
         summary.total_blocks.push(r.total_blocks as f64);
         summary.makespan.push(r.makespan);
+        summary.lost_tasks.push(r.lost_tasks as f64);
+        summary.reshipped_blocks.push(r.reshipped_blocks as f64);
         if let Some(b) = r.beta_used {
             summary.beta_used.push(b);
         }
@@ -368,6 +409,43 @@ mod tests {
         assert_eq!(s1.normalized_comm.mean(), s2.normalized_comm.mean());
         assert_eq!(s1.total_blocks.mean(), s2.total_blocks.mean());
         assert!(s1.normalized_comm.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn injected_failure_loses_and_recovers_tasks() {
+        use hetsched_platform::{FailureModel, ProcId};
+        let strategies = [
+            Strategy::Random,
+            Strategy::Sorted,
+            Strategy::Dynamic,
+            Strategy::TwoPhase(BetaChoice::Fixed(3.0)),
+        ];
+        for kernel in [Kernel::Outer { n: 12 }, Kernel::Matmul { n: 8 }] {
+            for strategy in strategies {
+                let clean = ExperimentConfig {
+                    kernel,
+                    strategy,
+                    processors: 4,
+                    ..Default::default()
+                };
+                let faulty = ExperimentConfig {
+                    failures: FailureModel::none().fail_at(ProcId(1), 0.4),
+                    ..clean.clone()
+                };
+                let r = run_once(&faulty, 7);
+                let total: u64 = r.tasks_per_proc.iter().sum();
+                assert_eq!(
+                    total as usize,
+                    kernel.total_tasks(),
+                    "{kernel:?}/{strategy:?}: every task exactly once despite the failure"
+                );
+                // Clean run on the same seed is untouched by the (inert)
+                // failure plumbing.
+                let c = run_once(&clean, 7);
+                assert_eq!(c.lost_tasks, 0);
+                assert_eq!(c.reshipped_blocks, 0);
+            }
+        }
     }
 
     #[test]

@@ -101,13 +101,10 @@ impl FigureData {
         for &x in &xs {
             write!(out, "{x:>12.3}").expect("write");
             for s in &self.series {
-                match s
-                    .points
-                    .iter()
-                    .find(|p| (p.x - x).abs() < 1e-9)
-                {
-                    Some(p) => write!(out, "  {:>13.3} ±{:>6.3}", p.mean, p.std_dev)
-                        .expect("write"),
+                match s.points.iter().find(|p| (p.x - x).abs() < 1e-9) {
+                    Some(p) => {
+                        write!(out, "  {:>13.3} ±{:>6.3}", p.mean, p.std_dev).expect("write")
+                    }
                     None => write!(out, "  {:>22}", "-").expect("write"),
                 }
             }

@@ -48,13 +48,9 @@ impl DagReport {
 
     /// Makespan normalized by the work/critical-path lower bound.
     pub fn makespan_ratio(&self, graph: &TaskGraph, platform: &Platform) -> f64 {
-        let s_max = platform
-            .speeds()
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
-        let bound = (graph.total_weight() / platform.total_speed())
-            .max(graph.critical_path() / s_max);
+        let s_max = platform.speeds().iter().cloned().fold(f64::MIN, f64::max);
+        let bound =
+            (graph.total_weight() / platform.total_speed()).max(graph.critical_path() / s_max);
         self.makespan / bound
     }
 }
@@ -112,7 +108,10 @@ pub fn simulate(
                     .count() as u32
             };
             let t = policy.pick(ready, w, graph, &missing, rng);
-            let pos = ready.iter().position(|&x| x == t).expect("picked from ready");
+            let pos = ready
+                .iter()
+                .position(|&x| x == t)
+                .expect("picked from ready");
             ready.swap_remove(pos);
 
             // Ship missing inputs.
@@ -138,7 +137,13 @@ pub fn simulate(
     };
 
     dispatch(
-        0.0, &mut idle, &mut ready, &mut caches, &mut heap, &mut report, rng,
+        0.0,
+        &mut idle,
+        &mut ready,
+        &mut caches,
+        &mut heap,
+        &mut report,
+        rng,
     );
     while let Some(Reverse((finish, _, w, t))) = heap.pop() {
         let now = finish.get();
@@ -152,7 +157,13 @@ pub fn simulate(
         }
         idle.push(w);
         dispatch(
-            now, &mut idle, &mut ready, &mut caches, &mut heap, &mut report, rng,
+            now,
+            &mut idle,
+            &mut ready,
+            &mut caches,
+            &mut heap,
+            &mut report,
+            rng,
         );
     }
 

@@ -115,8 +115,7 @@ impl GraphBuilder {
     ) -> TaskId {
         assert!(!writes.is_empty(), "a task must write something");
         let id = self.tasks.len() as TaskId;
-        let mut read_versions: Vec<TileVersion> =
-            reads.iter().map(|&t| self.current(t)).collect();
+        let mut read_versions: Vec<TileVersion> = reads.iter().map(|&t| self.current(t)).collect();
         if read_modify_write {
             for &w in writes {
                 read_versions.push(self.current(w));

@@ -49,9 +49,7 @@ impl Policy {
         debug_assert!(!ready.is_empty());
         match self {
             Policy::Random => ready[rng.gen_range(0..ready.len())],
-            Policy::DataAware => {
-                pick_min(ready, rng, |t| missing(w, t) as f64, |_| 0.0)
-            }
+            Policy::DataAware => pick_min(ready, rng, |t| missing(w, t) as f64, |_| 0.0),
             Policy::DataAwareCp => {
                 pick_min(ready, rng, |t| missing(w, t) as f64, |t| -graph.rank(t))
             }
@@ -139,7 +137,10 @@ mod tests {
                 firsts += 1;
             }
         }
-        assert!((50..150).contains(&firsts), "tie-break skewed: {firsts}/200");
+        assert!(
+            (50..150).contains(&firsts),
+            "tie-break skewed: {firsts}/200"
+        );
     }
 
     #[test]

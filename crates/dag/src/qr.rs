@@ -42,13 +42,25 @@ pub fn qr_graph(t: usize) -> TaskGraph {
     for k in 0..t {
         b.task("GEQRT", &[], tile_id(t, k, k), true, W_GEQRT);
         for j in k + 1..t {
-            b.task("ORMQR", &[tile_id(t, k, k)], tile_id(t, k, j), true, W_ORMQR);
+            b.task(
+                "ORMQR",
+                &[tile_id(t, k, k)],
+                tile_id(t, k, j),
+                true,
+                W_ORMQR,
+            );
         }
         for i in k + 1..t {
             // Folds A[i][k] into the panel's R: reads/writes both tiles;
             // model as writing the diagonal tile (the R carrier) while
             // reading A[i][k]'s current version, then writing A[i][k]'s V.
-            b.task("TSQRT", &[tile_id(t, i, k)], tile_id(t, k, k), true, W_TSQRT);
+            b.task(
+                "TSQRT",
+                &[tile_id(t, i, k)],
+                tile_id(t, k, k),
+                true,
+                W_TSQRT,
+            );
             for j in k + 1..t {
                 // One task updating both the running row tile A[k][j] and
                 // the eliminated tile A[i][j], reading the reflectors in

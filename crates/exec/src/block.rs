@@ -109,7 +109,9 @@ impl BlockedVector {
     pub fn random(n_blocks: usize, l: usize, seed: u64) -> Self {
         use rand::Rng;
         let mut rng = hetsched_util::rng::rng_for(seed, 0xDA7B);
-        let data = (0..n_blocks * l).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data = (0..n_blocks * l)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         BlockedVector { n_blocks, l, data }
     }
 

@@ -36,4 +36,4 @@ pub mod protocol;
 pub use block::BlockedMatrix;
 pub use matmul_run::run_matmul;
 pub use outer_run::run_outer;
-pub use protocol::{ExecConfig, ExecReport};
+pub use protocol::{ExecConfig, ExecFault, ExecReport};

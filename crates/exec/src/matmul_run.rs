@@ -1,7 +1,7 @@
 //! Real execution of the matrix multiplication under any scheduler.
 
 use crate::block::{gemm_kernel, BlockedMatrix};
-use crate::protocol::{BlockTag, ExecConfig, ExecReport, Job, ToMaster, ToWorker};
+use crate::protocol::{BlockTag, ExecConfig, ExecReport, InjectedFault, Job, ToMaster, ToWorker};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetsched_platform::ProcId;
 use hetsched_sim::Scheduler;
@@ -49,63 +49,152 @@ pub fn run_matmul<S: Scheduler>(
         result_blocks_returned: 0,
         tasks_per_worker: vec![0; p],
         jobs_per_worker: vec![0; p],
+        tasks_lost_per_worker: vec![0; p],
     };
+
+    // Workers whose injected fault has not yet fired or been cancelled.
+    let mut fault_pending: Vec<bool> = (0..p).map(|w| cfg.fail_after(w).is_some()).collect();
+    let mut pending_count = fault_pending.iter().filter(|&&b| b).count();
+    assert!(
+        pending_count < p,
+        "at least one worker must survive the faults"
+    );
 
     crossbeam::thread::scope(|scope| {
         for (w, (_, rx)) in worker_channels.iter().enumerate() {
             let rx = rx.clone();
             let tx = to_master_tx.clone();
+            let fault_tx = to_master_tx.clone();
             let factor = cfg.work_factor(w);
-            scope.spawn(move |_| worker_loop(w, n, l, factor, rx, tx));
+            let fail_after = cfg.fail_after(w);
+            scope.spawn(move |_| {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_loop(w, n, l, factor, fail_after, rx, tx)
+                })) {
+                    Ok(()) => {}
+                    Err(payload) if payload.is::<InjectedFault>() => {
+                        let _ = fault_tx.send(ToMaster::Failed { worker: w });
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            });
         }
         drop(to_master_tx);
 
+        // Every task id a worker currently holds unflushed results for.
+        let mut assigned: Vec<Vec<u32>> = vec![Vec::new(); p];
+        // Requests that cannot be answered yet: the pool is drained but a
+        // pending fault may still return lost tasks to it.
+        let mut parked: Vec<usize> = Vec::new();
         let mut live = p;
+
         while live > 0 {
             match to_master_rx.recv().expect("workers alive while live > 0") {
-                ToMaster::Request { worker } => {
-                    let alloc = if scheduler.remaining() == 0 {
-                        hetsched_sim::Allocation::DONE
-                    } else {
-                        scheduler.on_request(ProcId(worker as u32), &mut rng)
-                    };
-                    if alloc.is_done() {
-                        worker_channels[worker]
-                            .0
-                            .send(ToWorker::Shutdown)
-                            .expect("worker waiting");
-                        continue;
-                    }
-                    let tasks = scheduler.last_allocated().to_vec();
-                    debug_assert_eq!(tasks.len(), alloc.tasks);
-                    report.tasks_per_worker[worker] += tasks.len() as u64;
-                    report.jobs_per_worker[worker] += 1;
-
-                    let mut blocks = Vec::new();
-                    for &id in &tasks {
-                        let (i, j, k) = decode(id, n);
-                        let a_id = i * n + k;
-                        let b_id = k * n + j;
-                        if sent_a[worker].insert(a_id) {
-                            blocks.push((BlockTag::A(a_id as u32), a.copy_block(i, k)));
-                        }
-                        if sent_b[worker].insert(b_id) {
-                            blocks.push((BlockTag::B(b_id as u32), b.copy_block(k, j)));
-                        }
-                    }
-                    report.input_blocks_shipped += blocks.len() as u64;
-                    worker_channels[worker]
-                        .0
-                        .send(ToWorker::Job(Job { tasks, blocks }))
-                        .expect("worker waiting");
-                }
-                ToMaster::Results { worker: _, blocks } => {
+                ToMaster::Request { worker } => parked.push(worker),
+                ToMaster::Results { worker, blocks } => {
                     report.result_blocks_returned += blocks.len() as u64;
                     for ((i, j), data) in blocks {
                         result.add_block(i as usize, j as usize, &data);
                     }
+                    assigned[worker].clear();
                     live -= 1;
                 }
+                ToMaster::Failed { worker } => {
+                    // The thread is gone and its locally accumulated C
+                    // contributions with it: return everything it was
+                    // assigned to the pool.
+                    live -= 1;
+                    debug_assert!(fault_pending[worker]);
+                    fault_pending[worker] = false;
+                    pending_count -= 1;
+                    let lost = std::mem::take(&mut assigned[worker]);
+                    report.tasks_per_worker[worker] -= lost.len() as u64;
+                    report.tasks_lost_per_worker[worker] += lost.len() as u64;
+                    scheduler.on_tasks_lost(&lost);
+                }
+            }
+
+            loop {
+                // Serve parked requests until none can make progress.
+                loop {
+                    let mut progress = false;
+                    let mut idx = 0;
+                    while idx < parked.len() {
+                        let worker = parked[idx];
+                        if scheduler.remaining() == 0 {
+                            let own = fault_pending[worker] as usize;
+                            if pending_count - own > 0 {
+                                // Some *other* worker may still die and
+                                // return tasks; keep this request parked.
+                                idx += 1;
+                                continue;
+                            }
+                            // This worker's own fault (if any) can never
+                            // fire while it idles on an empty pool: cancel
+                            // it and let the worker shut down below.
+                            if fault_pending[worker] {
+                                fault_pending[worker] = false;
+                                pending_count -= 1;
+                            }
+                        }
+                        let alloc = if scheduler.remaining() == 0 {
+                            hetsched_sim::Allocation::DONE
+                        } else {
+                            scheduler.on_request(ProcId(worker as u32), &mut rng)
+                        };
+                        if alloc.is_done() {
+                            worker_channels[worker]
+                                .0
+                                .send(ToWorker::Shutdown)
+                                .expect("worker waiting");
+                            parked.remove(idx);
+                            progress = true;
+                            continue;
+                        }
+                        let tasks = scheduler.last_allocated().to_vec();
+                        debug_assert_eq!(tasks.len(), alloc.tasks);
+                        report.tasks_per_worker[worker] += tasks.len() as u64;
+                        report.jobs_per_worker[worker] += 1;
+                        assigned[worker].extend_from_slice(&tasks);
+
+                        let mut blocks = Vec::new();
+                        for &id in &tasks {
+                            let (i, j, k) = decode(id, n);
+                            let a_id = i * n + k;
+                            let b_id = k * n + j;
+                            if sent_a[worker].insert(a_id) {
+                                blocks.push((BlockTag::A(a_id as u32), a.copy_block(i, k)));
+                            }
+                            if sent_b[worker].insert(b_id) {
+                                blocks.push((BlockTag::B(b_id as u32), b.copy_block(k, j)));
+                            }
+                        }
+                        report.input_blocks_shipped += blocks.len() as u64;
+                        worker_channels[worker]
+                            .0
+                            .send(ToWorker::Job(Job { tasks, blocks }))
+                            .expect("worker waiting");
+                        parked.remove(idx);
+                        progress = true;
+                    }
+                    if !progress {
+                        break;
+                    }
+                }
+                // Deadlock breaker: if every live worker is parked on an
+                // empty pool, the remaining pending faults (all on parked,
+                // hence idle, workers) can never fire. Cancel them and
+                // re-serve so everyone shuts down.
+                if parked.len() == live && scheduler.remaining() == 0 && pending_count > 0 {
+                    for &w in &parked {
+                        if fault_pending[w] {
+                            fault_pending[w] = false;
+                            pending_count -= 1;
+                        }
+                    }
+                    continue;
+                }
+                break;
             }
         }
     })
@@ -127,9 +216,11 @@ fn worker_loop(
     n: usize,
     l: usize,
     work_factor: u32,
+    fail_after: Option<u64>,
     rx: Receiver<ToWorker>,
     tx: Sender<ToMaster>,
 ) {
+    let mut completed = 0u64;
     let mut store_a: HashMap<usize, Vec<f64>> = HashMap::new();
     let mut store_b: HashMap<usize, Vec<f64>> = HashMap::new();
     // Local C accumulators, keyed by (i, j).
@@ -153,6 +244,11 @@ fn worker_loop(
                     }
                 }
                 for id in job.tasks {
+                    if Some(completed) == fail_after {
+                        // Injected fault: die as if the thread was killed,
+                        // taking the local C accumulators down with it.
+                        std::panic::panic_any(InjectedFault);
+                    }
                     let (i, j, k) = decode(id, n);
                     let ab = store_a.get(&(i * n + k)).expect("A block shipped");
                     let bb = store_b.get(&(k * n + j)).expect("B block shipped");
@@ -171,6 +267,7 @@ fn worker_loop(
                             sleep_debt = std::time::Duration::ZERO;
                         }
                     }
+                    completed += 1;
                 }
                 tx.send(ToMaster::Request { worker }).expect("master alive");
             }
@@ -253,10 +350,29 @@ mod tests {
         let cfg = ExecConfig {
             speeds: vec![1.0, 6.0],
             seed: 9,
+            faults: Vec::new(),
         };
         let (_, report) = check(RandomMatrix::new(6, 2), 6, 24, &cfg);
         let slow = report.tasks_per_worker[0] as f64;
         let fast = report.tasks_per_worker[1] as f64;
         assert!(fast > 1.5 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn killed_worker_is_recovered_exactly_once() {
+        // Worker 0 dies after 6 completed tasks; its local C accumulators
+        // (partial sums!) are lost with it and the master re-queues every
+        // task it ever held, so no contribution is double-counted.
+        let cfg = ExecConfig::homogeneous(3, 12).fail_after_tasks(0, 6);
+        let (_, report) = check(RandomMatrix::new(5, 3), 5, 3, &cfg);
+        assert!(report.total_tasks_lost() > 0, "fault never fired");
+        assert!(report.tasks_lost_per_worker[0] >= 6);
+    }
+
+    #[test]
+    fn killed_worker_recovery_works_for_data_aware_strategies() {
+        let cfg = ExecConfig::homogeneous(4, 13).fail_after_tasks(3, 10);
+        let (_, report) = check(DynamicMatrix::new(6, 4), 6, 2, &cfg);
+        assert!(report.total_tasks_lost() > 0, "fault never fired");
     }
 }

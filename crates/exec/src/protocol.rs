@@ -37,6 +37,24 @@ pub enum ToMaster {
         worker: usize,
         blocks: Vec<((u32, u32), Vec<f64>)>,
     },
+    /// The worker's thread died with an injected fault. Everything it was
+    /// ever assigned is lost (results only travel at shutdown) and must be
+    /// re-allocated to the survivors.
+    Failed { worker: usize },
+}
+
+/// Panic payload a worker thread unwinds with when its injected fault
+/// fires; the thread wrapper turns it into [`ToMaster::Failed`] instead of
+/// propagating it (genuine panics still propagate).
+pub(crate) struct InjectedFault;
+
+/// An injected fault for a real execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecFault {
+    /// Kill `worker`'s thread (by unwinding it) once it has completed
+    /// `after` tasks. The fault is cancelled if the worker idles out with
+    /// fewer completions — it can then never fire.
+    FailAfterTasks { worker: usize, after: u64 },
 }
 
 /// Execution parameters.
@@ -47,6 +65,8 @@ pub struct ExecConfig {
     pub speeds: Vec<f64>,
     /// Master seed for the scheduler's RNG.
     pub seed: u64,
+    /// Injected worker faults (empty for a fault-free run).
+    pub faults: Vec<ExecFault>,
 }
 
 impl ExecConfig {
@@ -55,7 +75,23 @@ impl ExecConfig {
         ExecConfig {
             speeds: vec![1.0; p],
             seed,
+            faults: Vec::new(),
         }
+    }
+
+    /// Adds an injected fault (builder style).
+    pub fn fail_after_tasks(mut self, worker: usize, after: u64) -> Self {
+        self.faults
+            .push(ExecFault::FailAfterTasks { worker, after });
+        self
+    }
+
+    /// Task-completion threshold at which `worker` dies, if any.
+    pub fn fail_after(&self, worker: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match *f {
+            ExecFault::FailAfterTasks { worker: w, after } if w == worker => Some(after),
+            _ => None,
+        })
     }
 
     /// Work factor of worker `w` (≥ 1).
@@ -72,16 +108,24 @@ pub struct ExecReport {
     pub input_blocks_shipped: u64,
     /// Result (`C`) blocks shipped workers → master.
     pub result_blocks_returned: u64,
-    /// Tasks executed per worker.
+    /// Tasks executed per worker. A failed worker's lost assignments are
+    /// subtracted back out, so the sum still equals the task count.
     pub tasks_per_worker: Vec<u64>,
     /// Jobs (scheduler requests with work) per worker.
     pub jobs_per_worker: Vec<u64>,
+    /// Tasks lost per worker to injected faults (re-allocated elsewhere).
+    pub tasks_lost_per_worker: Vec<u64>,
 }
 
 impl ExecReport {
     /// Total tasks executed.
     pub fn total_tasks(&self) -> u64 {
         self.tasks_per_worker.iter().sum()
+    }
+
+    /// Total tasks lost to injected faults.
+    pub fn total_tasks_lost(&self) -> u64 {
+        self.tasks_lost_per_worker.iter().sum()
     }
 }
 
@@ -94,6 +138,7 @@ mod tests {
         let cfg = ExecConfig {
             speeds: vec![1.0, 2.0, 4.0],
             seed: 0,
+            faults: Vec::new(),
         };
         assert_eq!(cfg.work_factor(0), 4);
         assert_eq!(cfg.work_factor(1), 2);

@@ -10,6 +10,10 @@ pub struct MatmulState {
     n: usize,
     processed: BitCube,
     remaining: SwapList,
+    /// Tasks returned to the pool by a worker failure. Also present in
+    /// `remaining`; kept separately so the dynamic strategies can offer
+    /// them to workers that already hold their blocks.
+    orphans: Vec<u32>,
 }
 
 impl MatmulState {
@@ -20,6 +24,7 @@ impl MatmulState {
             n,
             processed: BitCube::new(n),
             remaining: SwapList::full(n * n * n),
+            orphans: Vec::new(),
         }
     }
 
@@ -65,10 +70,41 @@ impl MatmulState {
             let id = self.task_id(i, j, k);
             let removed = self.remaining.remove(id);
             debug_assert!(removed);
+            if !self.orphans.is_empty() {
+                if let Some(pos) = self.orphans.iter().position(|&o| o == id) {
+                    self.orphans.swap_remove(pos);
+                }
+            }
             true
         } else {
             false
         }
+    }
+
+    /// Returns a lost task to the pool after a worker failure. Returns
+    /// `false` if the task was never allocated (already unprocessed).
+    pub fn reinsert(&mut self, id: u32) -> bool {
+        let (i, j, k) = self.coords(id);
+        if self.processed.remove(i, j, k) {
+            let inserted = self.remaining.insert(id);
+            debug_assert!(inserted);
+            self.orphans.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if any failure-reinserted task is still unallocated.
+    #[inline]
+    pub fn has_orphans(&self) -> bool {
+        !self.orphans.is_empty()
+    }
+
+    /// The failure-reinserted tasks still unallocated.
+    #[inline]
+    pub fn orphans(&self) -> &[u32] {
+        &self.orphans
     }
 
     /// A uniformly random unprocessed task, or `None` when done.
@@ -97,6 +133,21 @@ mod tests {
         assert!(!s.mark_processed(1, 2, 3));
         assert!(s.is_processed(1, 2, 3));
         assert_eq!(s.remaining(), 63);
+    }
+
+    #[test]
+    fn reinsert_returns_task_to_pool() {
+        let mut s = MatmulState::new(3);
+        s.mark_processed(1, 0, 2);
+        let id = s.task_id(1, 0, 2);
+        assert!(s.reinsert(id));
+        assert!(!s.reinsert(id), "already back in the pool");
+        assert!(!s.is_processed(1, 0, 2));
+        assert_eq!(s.remaining(), 27);
+        assert_eq!(s.orphans(), &[id]);
+        // Re-allocation strips the orphan marker.
+        assert!(s.mark_processed(1, 0, 2));
+        assert!(!s.has_orphans());
     }
 
     #[test]

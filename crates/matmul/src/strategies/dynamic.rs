@@ -53,6 +53,15 @@ impl Scheduler for DynamicMatrix {
         &self.scratch
     }
 
+    fn on_tasks_lost(&mut self, ids: &[u32]) {
+        // Reinserted tasks become orphans: `dynamic_step` hands each one to
+        // the first requester that already owns its three blocks (zero new
+        // blocks), or sweeps them up once a worker reaches full knowledge.
+        for &id in ids {
+            self.state.reinsert(id);
+        }
+    }
+
     fn remaining(&self) -> usize {
         self.state.remaining()
     }

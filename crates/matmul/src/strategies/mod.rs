@@ -62,6 +62,34 @@ pub(crate) fn dynamic_step(
     rng: &mut StdRng,
     out: &mut Vec<u32>,
 ) -> Allocation {
+    if state.has_orphans() {
+        // Failure-reinserted tasks whose three blocks this worker already
+        // holds are invisible to the slab scan below (it only covers the
+        // newly grown boundary), so re-allocate them first — at zero
+        // shipping cost. The ownership grids are the ground truth here:
+        // they also cover blocks bought outside the index-set brick.
+        let known: Vec<u32> = state
+            .orphans()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let (i, j, k) = state.coords(id);
+                w.owns_a.contains(i, k) && w.owns_b.contains(k, j) && w.owns_c.contains(i, j)
+            })
+            .collect();
+        if !known.is_empty() {
+            for &id in &known {
+                let (i, j, k) = state.coords(id);
+                let fresh = state.mark_processed(i, j, k);
+                debug_assert!(fresh);
+                out.push(id);
+            }
+            return Allocation {
+                tasks: known.len(),
+                blocks: 0,
+            };
+        }
+    }
     let mut blocks = 0u64;
     loop {
         if state.remaining() == 0 {
@@ -112,13 +140,19 @@ pub(crate) fn dynamic_step(
 
         if ni.is_none() && nj.is_none() && nk.is_none() {
             // All three index sets are full: the worker's brick is the whole
-            // cube, so every task has been allocated to someone.
-            debug_assert_eq!(
-                state.remaining(),
-                0,
-                "full-knowledge worker implies no remaining tasks"
-            );
-            return Allocation { tasks: 0, blocks };
+            // cube, so normally every task has been allocated to someone.
+            // Failure-reinserted tasks may still sit in the pool, though,
+            // and this worker can compute them all without further
+            // shipping.
+            let mut tasks = 0usize;
+            while let Some((i, j, k)) = state.random_unprocessed(rng) {
+                let fresh = state.mark_processed(i, j, k);
+                debug_assert!(fresh);
+                out.push(state.task_id(i, j, k));
+                blocks += w.acquire_task_blocks(i, j, k);
+                tasks += 1;
+            }
+            return Allocation { tasks, blocks };
         }
 
         let mut tasks = 0usize;

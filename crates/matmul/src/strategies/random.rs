@@ -52,6 +52,14 @@ impl Scheduler for RandomMatrix {
         &self.scratch
     }
 
+    fn on_tasks_lost(&mut self, ids: &[u32]) {
+        // Back into the uniform pool; a future random draw re-allocates
+        // them, shipping only the blocks the new owner is missing.
+        for &id in ids {
+            self.state.reinsert(id);
+        }
+    }
+
     fn remaining(&self) -> usize {
         self.state.remaining()
     }

@@ -42,9 +42,14 @@ impl DynamicMatrix2Phases {
     }
 
     /// Paper parameterization: switch when `e^{−β}·n³` tasks remain.
+    ///
+    /// Rounds to the nearest task, like
+    /// [`with_phase1_fraction`](Self::with_phase1_fraction) — the two
+    /// constructors agree for `fraction = 1 − e^{−β}` — so `β = 0`
+    /// degenerates exactly to pure [`RandomMatrix`](crate::RandomMatrix).
     pub fn with_beta(n: usize, p: usize, beta: f64) -> Self {
         assert!(beta >= 0.0, "β must be non-negative");
-        let threshold = ((-beta).exp() * (n * n * n) as f64).floor() as usize;
+        let threshold = ((-beta).exp() * (n * n * n) as f64).round() as usize;
         Self::new(n, p, threshold)
     }
 
@@ -105,6 +110,16 @@ impl Scheduler for DynamicMatrix2Phases {
 
     fn last_allocated(&self) -> &[u32] {
         &self.scratch
+    }
+
+    fn on_tasks_lost(&mut self, ids: &[u32]) {
+        // Reinsertion can push `remaining` back over the threshold, in
+        // which case the schedule legitimately drops back to phase 1. The
+        // phase counters count (re-)allocations, so under failures their
+        // sum exceeds `total_tasks` by the number of lost tasks.
+        for &id in ids {
+            self.state.reinsert(id);
+        }
     }
 
     fn remaining(&self) -> usize {
@@ -168,6 +183,64 @@ mod tests {
             &mut rng_for(1, 7),
         );
         assert_eq!(two.total_blocks, pure.total_blocks);
+    }
+
+    #[test]
+    fn beta_zero_is_pure_random() {
+        // e⁰·n³ = n³: the threshold covers every task, so phase 1 never
+        // runs and the schedule is block-for-block RandomMatrix.
+        let s = DynamicMatrix2Phases::with_beta(8, 4, 0.0);
+        assert_eq!(s.threshold(), 512);
+        let pf = Platform::homogeneous(4);
+        let (two, sched) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicMatrix2Phases::with_beta(8, 4, 0.0),
+            &mut rng_for(21, 7),
+        );
+        assert_eq!(sched.phase1_tasks(), 0);
+        let (pure, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            RandomMatrix::new(8, 4),
+            &mut rng_for(21, 7),
+        );
+        assert_eq!(two.total_blocks, pure.total_blocks);
+    }
+
+    #[test]
+    fn fraction_one_is_pure_dynamic() {
+        let pf = Platform::homogeneous(4);
+        let (two, sched) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicMatrix2Phases::with_phase1_fraction(8, 4, 1.0),
+            &mut rng_for(22, 7),
+        );
+        assert_eq!(sched.threshold(), 0);
+        assert_eq!(sched.phase2_tasks(), 0);
+        let (pure, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicMatrix::new(8, 4),
+            &mut rng_for(22, 7),
+        );
+        assert_eq!(two.total_blocks, pure.total_blocks);
+    }
+
+    #[test]
+    fn beta_and_fraction_thresholds_round_identically() {
+        for n in [6usize, 15, 40] {
+            for beta in [0.5f64, 1.0, 3.3, 6.0] {
+                let by_beta = DynamicMatrix2Phases::with_beta(n, 2, beta);
+                let by_frac = DynamicMatrix2Phases::with_phase1_fraction(n, 2, 1.0 - (-beta).exp());
+                assert_eq!(
+                    by_beta.threshold(),
+                    by_frac.threshold(),
+                    "n={n} beta={beta}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub struct OuterState {
     n: usize,
     processed: BitGrid,
     remaining: SwapList,
+    /// Tasks returned to the pool by a worker failure and not yet
+    /// re-allocated. Empty except under fault injection.
+    orphans: Vec<u32>,
 }
 
 impl OuterState {
@@ -21,6 +24,7 @@ impl OuterState {
             n,
             processed: BitGrid::square(n),
             remaining: SwapList::full(n * n),
+            orphans: Vec::new(),
         }
     }
 
@@ -66,10 +70,41 @@ impl OuterState {
             let id = self.task_id(i, j);
             let removed = self.remaining.remove(id);
             debug_assert!(removed);
+            if !self.orphans.is_empty() {
+                if let Some(pos) = self.orphans.iter().position(|&o| o == id) {
+                    self.orphans.swap_remove(pos);
+                }
+            }
             true
         } else {
             false
         }
+    }
+
+    /// Returns a previously allocated task to the pool — its owner failed
+    /// before computing it. Returns `true` if the task was indeed allocated.
+    pub fn reinsert(&mut self, id: u32) -> bool {
+        let (i, j) = self.coords(id);
+        if self.processed.remove(i, j) {
+            let inserted = self.remaining.insert(id);
+            debug_assert!(inserted);
+            self.orphans.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True while failure-reinserted tasks sit in the pool.
+    #[inline]
+    pub fn has_orphans(&self) -> bool {
+        !self.orphans.is_empty()
+    }
+
+    /// The failure-reinserted tasks not yet re-allocated.
+    #[inline]
+    pub fn orphans(&self) -> &[u32] {
+        &self.orphans
     }
 
     /// A uniformly random unprocessed task, or `None` when done.
@@ -118,6 +153,23 @@ mod tests {
         s.mark_processed(1, 2);
         assert_eq!(s.random_unprocessed(&mut rng), None);
         assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn reinsert_returns_task_to_pool() {
+        let mut s = OuterState::new(4);
+        assert!(!s.reinsert(s.task_id(1, 2)), "unprocessed tasks stay put");
+        assert!(s.mark_processed(1, 2));
+        assert_eq!(s.remaining(), 15);
+        assert!(s.reinsert(s.task_id(1, 2)));
+        assert!(!s.is_processed(1, 2));
+        assert_eq!(s.remaining(), 16);
+        assert!(s.has_orphans());
+        assert_eq!(s.orphans(), &[s.task_id(1, 2)]);
+        // Re-allocation clears the orphan marker.
+        assert!(s.mark_processed(1, 2));
+        assert!(!s.has_orphans());
+        assert_eq!(s.remaining(), 15);
     }
 
     #[test]

@@ -58,6 +58,16 @@ impl Scheduler for DynamicOuter {
         &self.scratch
     }
 
+    fn on_tasks_lost(&mut self, ids: &[u32]) {
+        // Reinserted tasks become orphans: `dynamic_step` hands each one to
+        // the first requester that already owns its row and column (zero
+        // new blocks), or sweeps them up once a worker reaches full
+        // knowledge.
+        for &id in ids {
+            self.state.reinsert(id);
+        }
+    }
+
     fn remaining(&self) -> usize {
         self.state.remaining()
     }
@@ -118,12 +128,8 @@ mod tests {
         let mut rng = rng_for(2, 0);
         let pf = Platform::sample(10, &SpeedDistribution::paper_default(), &mut rng);
         let lb = outer_lower_bound(50, &pf);
-        let (report, _) = hetsched_sim::run(
-            &pf,
-            SpeedModel::Fixed,
-            DynamicOuter::new(50, 10),
-            &mut rng,
-        );
+        let (report, _) =
+            hetsched_sim::run(&pf, SpeedModel::Fixed, DynamicOuter::new(50, 10), &mut rng);
         assert!(report.total_blocks as f64 >= lb * 0.999);
     }
 
@@ -134,12 +140,8 @@ mod tests {
         // out; with n much larger than what a worker learns they are equal.
         let pf = Platform::homogeneous(8);
         let mut rng = rng_for(3, 0);
-        let (_, sched) = hetsched_sim::run(
-            &pf,
-            SpeedModel::Fixed,
-            DynamicOuter::new(60, 8),
-            &mut rng,
-        );
+        let (_, sched) =
+            hetsched_sim::run(&pf, SpeedModel::Fixed, DynamicOuter::new(60, 8), &mut rng);
         for k in pf.procs() {
             let w = sched.worker(k);
             assert_eq!(w.a.count(), w.b.count(), "worker {k}");

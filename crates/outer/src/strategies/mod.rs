@@ -62,6 +62,33 @@ pub(crate) fn dynamic_step(
     rng: &mut StdRng,
     out: &mut Vec<u32>,
 ) -> Allocation {
+    if state.has_orphans() {
+        // Failure-reinserted tasks whose inputs this worker already holds
+        // are invisible to the extension loop below (it only scans the
+        // newly bought row/column), so re-allocate them first — at zero
+        // shipping cost, since both inputs are on the worker.
+        let known: Vec<u32> = state
+            .orphans()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let (i, j) = state.coords(id);
+                worker.a.owns(i) && worker.b.owns(j)
+            })
+            .collect();
+        if !known.is_empty() {
+            for &id in &known {
+                let (i, j) = state.coords(id);
+                let fresh = state.mark_processed(i, j);
+                debug_assert!(fresh);
+                out.push(id);
+            }
+            return Allocation {
+                tasks: known.len(),
+                blocks: 0,
+            };
+        }
+    }
     let mut blocks = 0u64;
     loop {
         if state.remaining() == 0 {
@@ -92,16 +119,20 @@ pub(crate) fn dynamic_step(
             }
         }
         if new_a.is_none() && new_b.is_none() {
-            // Worker holds both vectors entirely: every task it could do is
-            // processed, so nothing remains anywhere in its reach. The
-            // engine retires it; any still-remaining tasks belong to races
-            // other workers already won.
-            debug_assert_eq!(
-                state.remaining(),
-                0,
-                "full-knowledge worker implies no remaining tasks"
-            );
-            return Allocation { tasks: 0, blocks };
+            // Worker holds both vectors entirely. Normally nothing remains
+            // in its reach (any still-remaining task belongs to a race some
+            // other worker already won, and there is none: full knowledge
+            // covers the grid) — but failure-reinserted tasks may sit in
+            // the pool, and this worker can compute them all without
+            // further shipping.
+            let mut tasks = 0usize;
+            while let Some((i, j)) = state.random_unprocessed(rng) {
+                let fresh = state.mark_processed(i, j);
+                debug_assert!(fresh);
+                out.push(state.task_id(i, j));
+                tasks += 1;
+            }
+            return Allocation { tasks, blocks };
         }
         if tasks > 0 {
             return Allocation { tasks, blocks };

@@ -72,6 +72,17 @@ impl Scheduler for SortedOuter {
         &self.scratch
     }
 
+    fn on_tasks_lost(&mut self, ids: &[u32]) {
+        // Rewind the cursor to the earliest reinserted task; the skip loop
+        // in `on_request` re-walks the (processed) gap and re-allocates the
+        // lost tasks in lexicographic order.
+        for &id in ids {
+            if self.state.reinsert(id) {
+                self.cursor = self.cursor.min(id);
+            }
+        }
+    }
+
     fn remaining(&self) -> usize {
         self.state.remaining()
     }

@@ -44,9 +44,12 @@ impl DynamicOuter2Phases {
     }
 
     /// Paper parameterization: switch when `e^{−β}·n²` tasks remain.
+    /// Rounds to the nearest integer, like
+    /// [`with_phase1_fraction`](Self::with_phase1_fraction), so that
+    /// `β = 0` degenerates exactly to the pure random strategy.
     pub fn with_beta(n: usize, p: usize, beta: f64) -> Self {
         assert!(beta >= 0.0, "β must be non-negative");
-        let threshold = ((-beta).exp() * (n * n) as f64).floor() as usize;
+        let threshold = ((-beta).exp() * (n * n) as f64).round() as usize;
         Self::new(n, p, threshold)
     }
 
@@ -113,6 +116,16 @@ impl Scheduler for DynamicOuter2Phases {
 
     fn last_allocated(&self) -> &[u32] {
         &self.scratch
+    }
+
+    fn on_tasks_lost(&mut self, ids: &[u32]) {
+        // Reinsertion can push `remaining` back above the threshold, in
+        // which case the scheduler legitimately drops back to phase 1; the
+        // phase counters count (re-)allocations, so under failures their
+        // sum exceeds `total_tasks` by the number of lost tasks.
+        for &id in ids {
+            self.state.reinsert(id);
+        }
     }
 
     fn remaining(&self) -> usize {
@@ -184,6 +197,59 @@ mod tests {
             &mut seed_rng(),
         );
         assert_eq!(two.total_blocks, pure.total_blocks);
+    }
+
+    #[test]
+    fn beta_zero_is_pure_random() {
+        // β = 0 ⇒ threshold = n² ⇒ every request is a phase-2 random step.
+        let pf = Platform::from_speeds(vec![10.0, 40.0]);
+        let seed_rng = || rng_for(5, 7);
+        let two = DynamicOuter2Phases::with_beta(20, 2, 0.0);
+        assert_eq!(two.threshold(), 400);
+        let (two, sched) = hetsched_sim::run(&pf, SpeedModel::Fixed, two, &mut seed_rng());
+        let (pure, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            RandomOuter::new(20, 2),
+            &mut seed_rng(),
+        );
+        assert_eq!(two.total_blocks, pure.total_blocks);
+        assert_eq!(sched.phase1_tasks(), 0);
+        assert_eq!(sched.phase2_tasks(), 400);
+    }
+
+    #[test]
+    fn fraction_one_is_pure_dynamic() {
+        // fraction = 1 ⇒ threshold = 0 ⇒ every request is a phase-1
+        // dynamic step.
+        let pf = Platform::from_speeds(vec![10.0, 40.0]);
+        let seed_rng = || rng_for(6, 7);
+        let two = DynamicOuter2Phases::with_phase1_fraction(20, 2, 1.0);
+        assert_eq!(two.threshold(), 0);
+        let (two, sched) = hetsched_sim::run(&pf, SpeedModel::Fixed, two, &mut seed_rng());
+        let (pure, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            DynamicOuter::new(20, 2),
+            &mut seed_rng(),
+        );
+        assert_eq!(two.total_blocks, pure.total_blocks);
+        assert_eq!(sched.phase2_tasks(), 0);
+        assert_eq!(sched.phase1_tasks(), 400);
+    }
+
+    #[test]
+    fn beta_and_fraction_thresholds_round_identically() {
+        // Both parameterizations round to nearest: the same switch point
+        // expressed either way yields the same threshold.
+        for n in [10usize, 33, 100] {
+            for beta in [0.5f64, 1.0, 3.3, 6.0] {
+                let frac = 1.0 - (-beta).exp();
+                let a = DynamicOuter2Phases::with_beta(n, 2, beta);
+                let b = DynamicOuter2Phases::with_phase1_fraction(n, 2, frac);
+                assert_eq!(a.threshold(), b.threshold(), "n={n} β={beta}");
+            }
+        }
     }
 
     #[test]

@@ -242,15 +242,11 @@ mod tests {
         let mut rng = hetsched_util::rng::rng_for(1, 0);
         for p in [2usize, 5, 10, 20, 100, 333] {
             for _ in 0..5 {
-                let areas =
-                    normalize((0..p).map(|_| rng.gen_range(10.0..100.0)).collect());
+                let areas = normalize((0..p).map(|_| rng.gen_range(10.0..100.0)).collect());
                 let part = optimal_column_partition(&areas);
                 check_geometry(&part, &areas);
                 let ratio = part.approximation_ratio(&areas);
-                assert!(
-                    ratio <= 1.75 + 1e-9,
-                    "p={p}: ratio {ratio} above 7/4"
-                );
+                assert!(ratio <= 1.75 + 1e-9, "p={p}: ratio {ratio} above 7/4");
                 assert!(ratio >= 1.0 - 1e-9, "p={p}: ratio {ratio} below LB");
             }
         }

@@ -51,10 +51,7 @@ pub struct GridPartition {
 /// Largest-remainder apportionment of `total` integer units to `weights`.
 fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
     let sum: f64 = weights.iter().sum();
-    let quotas: Vec<f64> = weights
-        .iter()
-        .map(|w| w / sum * total as f64)
-        .collect();
+    let quotas: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
     let mut alloc: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
     let mut given: usize = alloc.iter().sum();
     // Hand out the remaining units by descending fractional part.
@@ -100,10 +97,7 @@ impl GridPartition {
                 // Apportion the n rows of this column to its owners by
                 // their areas (heights are proportional to areas within a
                 // column).
-                let heights: Vec<f64> = owners
-                    .iter()
-                    .map(|&o| partition.rects[o].h)
-                    .collect();
+                let heights: Vec<f64> = owners.iter().map(|&o| partition.rects[o].h).collect();
                 let row_blocks = apportion(&heights, n);
                 let mut r0 = 0usize;
                 for (slot, &owner) in owners.iter().enumerate() {
@@ -190,8 +184,7 @@ mod tests {
         let mut rng = hetsched_util::rng::rng_for(2, 0);
         for p in [3usize, 7, 20] {
             for n in [10usize, 37, 100] {
-                let areas =
-                    normalize((0..p).map(|_| rng.gen_range(10.0..100.0)).collect());
+                let areas = normalize((0..p).map(|_| rng.gen_range(10.0..100.0)).collect());
                 let part = optimal_column_partition(&areas);
                 let g = GridPartition::from_continuous(&part, n);
                 exact_cover(&g);

@@ -101,7 +101,10 @@ impl Scheduler for StaticOuter {
         }
         self.cursor[k.idx()] += take;
         self.remaining -= take;
-        Allocation { tasks: take, blocks }
+        Allocation {
+            tasks: take,
+            blocks,
+        }
     }
 
     fn last_allocated(&self) -> &[u32] {
@@ -147,8 +150,7 @@ mod tests {
         let n = 100;
         let sched = StaticOuter::new(n, &pf);
         let planned = sched.planned_comm() as u64;
-        let (report, _) =
-            hetsched_sim::run(&pf, SpeedModel::Fixed, sched, &mut rng_for(1, 1));
+        let (report, _) = hetsched_sim::run(&pf, SpeedModel::Fixed, sched, &mut rng_for(1, 1));
         assert_eq!(report.total_blocks, planned);
 
         // 7/4 of the lower bound, and below the dynamic strategies' ~2.1×.

@@ -30,7 +30,10 @@ impl SpeedDistribution {
     /// heterogeneity level `h ∈ [0, 100)`. `h = 0` degenerates to a
     /// homogeneous platform.
     pub fn heterogeneity(h: f64) -> Self {
-        assert!((0.0..100.0).contains(&h), "heterogeneity must be in [0, 100)");
+        assert!(
+            (0.0..100.0).contains(&h),
+            "heterogeneity must be in [0, 100)"
+        );
         if h == 0.0 {
             SpeedDistribution::Constant(100.0)
         } else {

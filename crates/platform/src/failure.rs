@@ -1,0 +1,204 @@
+//! Worker fault injection: fail-stop failures and permanent stragglers.
+//!
+//! The paper evaluates dynamic strategies on platforms whose speeds may
+//! drift (`dyn.*` scenarios), but every worker survives the whole run. This
+//! module adds the two classic fault models on top:
+//!
+//! * **fail-stop**: worker `k` dies permanently at simulated time `t`; the
+//!   batch it was computing is lost and its tasks must be re-allocated;
+//! * **straggler**: worker `k` runs slower by a constant factor for the
+//!   whole run (a permanently degraded node), which stresses the end-game
+//!   behaviour of the two-phase strategies without losing any task.
+//!
+//! A [`FailureModel`] is plain data — it draws no randomness by itself, so a
+//! scenario is reproducible by construction. The seeded helper
+//! [`FailureModel::random_failures`] derives a scenario from a caller-provided
+//! RNG for sweep experiments.
+
+use crate::processor::ProcId;
+use rand::Rng;
+
+/// A deterministic fault-injection scenario for one run.
+///
+/// `FailureModel::none()` is the absence of faults; engines treat it as a
+/// guaranteed fast path (bit-for-bit identical results to a fault-unaware
+/// run).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FailureModel {
+    /// `(worker, time)`: the worker permanently fails at simulated `time`.
+    failures: Vec<(ProcId, f64)>,
+    /// `(worker, factor)`: the worker's speed is divided by `factor ≥ 1`
+    /// from the start of the run.
+    stragglers: Vec<(ProcId, f64)>,
+}
+
+impl FailureModel {
+    /// No faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the scenario injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.failures.is_empty() && self.stragglers.is_empty()
+    }
+
+    /// Adds a fail-stop failure of `worker` at simulated `time`.
+    pub fn fail_at(mut self, worker: ProcId, time: f64) -> Self {
+        assert!(time >= 0.0, "failure time must be non-negative");
+        self.failures.push((worker, time));
+        self
+    }
+
+    /// Adds a permanent slowdown of `worker` by `factor ≥ 1`.
+    pub fn slow_down(mut self, worker: ProcId, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler factor must be ≥ 1");
+        self.stragglers.push((worker, factor));
+        self
+    }
+
+    /// A seeded scenario failing `count` distinct workers (out of `p`) at
+    /// times drawn uniformly from `[0, horizon)`. Deterministic for a given
+    /// RNG state.
+    pub fn random_failures<R: Rng + ?Sized>(
+        p: usize,
+        count: usize,
+        horizon: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(count < p, "at least one worker must survive");
+        assert!(horizon > 0.0);
+        let mut pool: Vec<usize> = (0..p).collect();
+        let mut model = FailureModel::none();
+        for _ in 0..count {
+            let slot = rng.gen_range(0..pool.len());
+            let worker = pool.swap_remove(slot);
+            let time = rng.gen_range(0.0..horizon);
+            model = model.fail_at(ProcId(worker as u32), time);
+        }
+        model
+    }
+
+    /// All fail-stop entries, in insertion order.
+    pub fn failures(&self) -> &[(ProcId, f64)] {
+        &self.failures
+    }
+
+    /// All straggler entries, in insertion order.
+    pub fn stragglers(&self) -> &[(ProcId, f64)] {
+        &self.stragglers
+    }
+
+    /// Earliest failure time of `worker`, if it fails at all.
+    pub fn fail_time(&self, worker: ProcId) -> Option<f64> {
+        self.failures
+            .iter()
+            .filter(|(k, _)| *k == worker)
+            .map(|&(_, t)| t)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Combined slowdown factor of `worker` (`1.0` when not a straggler).
+    pub fn slowdown(&self, worker: ProcId) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|(k, _)| *k == worker)
+            .map(|&(_, f)| f)
+            .product()
+    }
+
+    /// Checks the scenario against a platform of `p` workers: every index in
+    /// range, and at least one worker survives to finish the run.
+    pub fn validate(&self, p: usize) -> Result<(), String> {
+        for &(k, t) in &self.failures {
+            if k.idx() >= p {
+                return Err(format!("failure names worker {} but p = {p}", k.idx()));
+            }
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!(
+                    "failure time {t} for worker {} is invalid",
+                    k.idx()
+                ));
+            }
+        }
+        for &(k, f) in &self.stragglers {
+            if k.idx() >= p {
+                return Err(format!("straggler names worker {} but p = {p}", k.idx()));
+            }
+            if !f.is_finite() || f < 1.0 {
+                return Err(format!(
+                    "straggler factor {f} for worker {} must be ≥ 1",
+                    k.idx()
+                ));
+            }
+        }
+        let mut failing: Vec<usize> = self.failures.iter().map(|(k, _)| k.idx()).collect();
+        failing.sort_unstable();
+        failing.dedup();
+        if failing.len() >= p {
+            return Err("every worker fails: no one left to finish the run".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_util::rng::rng_for;
+
+    #[test]
+    fn none_is_none() {
+        assert!(FailureModel::none().is_none());
+        assert_eq!(FailureModel::none(), FailureModel::default());
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let m = FailureModel::none()
+            .fail_at(ProcId(2), 5.0)
+            .fail_at(ProcId(2), 3.0)
+            .slow_down(ProcId(1), 4.0)
+            .slow_down(ProcId(1), 2.0);
+        assert!(!m.is_none());
+        assert_eq!(m.fail_time(ProcId(2)), Some(3.0), "earliest failure wins");
+        assert_eq!(m.fail_time(ProcId(0)), None);
+        assert_eq!(m.slowdown(ProcId(1)), 8.0, "factors compose");
+        assert_eq!(m.slowdown(ProcId(0)), 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_scenarios() {
+        assert!(FailureModel::none().validate(4).is_ok());
+        let out_of_range = FailureModel::none().fail_at(ProcId(4), 1.0);
+        assert!(out_of_range.validate(4).is_err());
+        let slow_oob = FailureModel::none().slow_down(ProcId(9), 2.0);
+        assert!(slow_oob.validate(4).is_err());
+        let all_dead = FailureModel::none()
+            .fail_at(ProcId(0), 1.0)
+            .fail_at(ProcId(1), 2.0);
+        assert!(all_dead.validate(2).is_err());
+        assert!(all_dead.validate(3).is_ok());
+    }
+
+    #[test]
+    fn random_failures_are_deterministic_and_distinct() {
+        let a = FailureModel::random_failures(10, 3, 50.0, &mut rng_for(7, 0));
+        let b = FailureModel::random_failures(10, 3, 50.0, &mut rng_for(7, 0));
+        assert_eq!(a, b, "same seed, same scenario");
+        let mut workers: Vec<usize> = a.failures().iter().map(|(k, _)| k.idx()).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert_eq!(workers.len(), 3, "failed workers are distinct");
+        for &(_, t) in a.failures() {
+            assert!((0.0..50.0).contains(&t));
+        }
+        assert!(a.validate(10).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler factor")]
+    fn slow_down_rejects_speedups() {
+        let _ = FailureModel::none().slow_down(ProcId(0), 0.5);
+    }
+}

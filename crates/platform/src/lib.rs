@@ -18,6 +18,7 @@
 
 pub mod bounds;
 pub mod distribution;
+pub mod failure;
 pub mod platform;
 pub mod processor;
 pub mod scenario;
@@ -25,6 +26,7 @@ pub mod speed;
 
 pub use bounds::{matmul_lower_bound, outer_lower_bound};
 pub use distribution::SpeedDistribution;
+pub use failure::FailureModel;
 pub use platform::Platform;
 pub use processor::ProcId;
 pub use scenario::Scenario;

@@ -51,9 +51,7 @@ impl Scenario {
             }
             Scenario::Unif2 => SpeedDistribution::uniform(50.0, 150.0),
             Scenario::Set3 => SpeedDistribution::discrete([80.0, 100.0, 150.0]),
-            Scenario::Set5 => {
-                SpeedDistribution::discrete([40.0, 80.0, 100.0, 150.0, 200.0])
-            }
+            Scenario::Set5 => SpeedDistribution::discrete([40.0, 80.0, 100.0, 150.0, 200.0]),
         }
     }
 
@@ -82,8 +80,14 @@ mod tests {
 
     #[test]
     fn dyn_scenarios_share_unif1_base() {
-        assert_eq!(Scenario::Dyn5.distribution(), Scenario::Unif1.distribution());
-        assert_eq!(Scenario::Dyn20.distribution(), Scenario::Unif1.distribution());
+        assert_eq!(
+            Scenario::Dyn5.distribution(),
+            Scenario::Unif1.distribution()
+        );
+        assert_eq!(
+            Scenario::Dyn20.distribution(),
+            Scenario::Unif1.distribution()
+        );
     }
 
     #[test]

@@ -67,6 +67,16 @@ impl SpeedState {
         self.current[k.idx()]
     }
 
+    /// Permanently divides `k`'s speed by `factor ≥ 1` (straggler
+    /// injection). Scales both the base and the current speed so that
+    /// `Perturbed` models jitter around the degraded base.
+    pub fn slow_down(&mut self, k: ProcId, factor: f64) {
+        assert!(factor >= 1.0, "straggler factor must be ≥ 1");
+        let i = k.idx();
+        self.base[i] /= factor;
+        self.current[i] /= factor;
+    }
+
     /// Duration of the *next* task on `k`, then applies the post-task speed
     /// change mandated by the model.
     pub fn task_duration<R: Rng + ?Sized>(&mut self, k: ProcId, rng: &mut R) -> f64 {
@@ -90,18 +100,11 @@ impl SpeedState {
 
     /// Duration of a batch of `count` tasks on `k` (sums per-task durations
     /// so that dynamic models perturb after *each* task, as the paper says).
-    pub fn batch_duration<R: Rng + ?Sized>(
-        &mut self,
-        k: ProcId,
-        count: usize,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn batch_duration<R: Rng + ?Sized>(&mut self, k: ProcId, count: usize, rng: &mut R) -> f64 {
         match self.model {
             // Fast path: constant speed means no per-task RNG draw.
             SpeedModel::Fixed => count as f64 / self.current[k.idx()],
-            SpeedModel::Perturbed { .. } => {
-                (0..count).map(|_| self.task_duration(k, rng)).sum()
-            }
+            SpeedModel::Perturbed { .. } => (0..count).map(|_| self.task_duration(k, rng)).sum(),
         }
     }
 }
@@ -132,7 +135,10 @@ mod tests {
         for _ in 0..2000 {
             let _ = st.task_duration(ProcId(0), &mut rng);
             let s = st.speed(ProcId(0));
-            assert!((80.0..=120.0).contains(&s), "non-compound jitter band, got {s}");
+            assert!(
+                (80.0..=120.0).contains(&s),
+                "non-compound jitter band, got {s}"
+            );
         }
     }
 
@@ -165,8 +171,32 @@ mod tests {
         let s = st.speed(ProcId(0));
         // A 5000-step compounding walk essentially never stays in the
         // one-step band — that is exactly why it is not the default.
-        assert!(!(80.0..=120.0).contains(&s), "compound walk stayed put: {s}");
+        assert!(
+            !(80.0..=120.0).contains(&s),
+            "compound walk stayed put: {s}"
+        );
         assert!(s > 0.0);
+    }
+
+    #[test]
+    fn slow_down_scales_base_and_current() {
+        let mut st = SpeedState::new(&platform2(), SpeedModel::Fixed);
+        st.slow_down(ProcId(1), 4.0);
+        assert_eq!(st.speed(ProcId(1)), 2.0);
+        assert_eq!(st.speed(ProcId(0)), 4.0, "other workers untouched");
+        let mut rng = rng_for(9, 0);
+        assert_eq!(st.task_duration(ProcId(1), &mut rng), 0.5);
+
+        // Perturbed models jitter around the *degraded* base.
+        let pf = Platform::from_speeds(vec![100.0]);
+        let mut st = SpeedState::new(&pf, SpeedModel::dyn20());
+        st.slow_down(ProcId(0), 2.0);
+        let mut rng = rng_for(10, 0);
+        for _ in 0..500 {
+            let _ = st.task_duration(ProcId(0), &mut rng);
+            let s = st.speed(ProcId(0));
+            assert!((40.0..=60.0).contains(&s), "jitter band around 50, got {s}");
+        }
     }
 
     #[test]

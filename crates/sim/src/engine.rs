@@ -4,9 +4,10 @@ use crate::event::EventQueue;
 use crate::metrics::CommLedger;
 use crate::scheduler::Scheduler;
 use crate::trace::{Trace, TraceEvent};
-use hetsched_platform::{Platform, ProcId, SpeedModel, SpeedState};
+use hetsched_platform::{FailureModel, Platform, ProcId, SpeedModel, SpeedState};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use std::collections::HashSet;
 
 /// Outcome of a simulation run.
 #[derive(Clone, Debug)]
@@ -17,6 +18,12 @@ pub struct SimReport {
     pub makespan: f64,
     /// Total blocks shipped (denormalized convenience copy).
     pub total_blocks: u64,
+    /// Tasks lost to worker failures (each was re-allocated and completed
+    /// elsewhere; zero without fault injection).
+    pub lost_tasks: u64,
+    /// Blocks shipped for batches that re-allocate failure-lost tasks (zero
+    /// without fault injection).
+    pub reshipped_blocks: u64,
 }
 
 impl SimReport {
@@ -35,6 +42,7 @@ pub struct Engine<'a, S: Scheduler> {
     queue: EventQueue,
     ledger: CommLedger,
     makespan: f64,
+    failures: FailureModel,
 }
 
 impl<'a, S: Scheduler> Engine<'a, S> {
@@ -48,7 +56,28 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             queue: EventQueue::new(),
             ledger: CommLedger::new(p),
             makespan: 0.0,
+            failures: FailureModel::none(),
         }
+    }
+
+    /// Injects a fault scenario. Stragglers degrade their worker's speed
+    /// immediately; fail-stop failures are discovered when the dying batch
+    /// would have finished. With [`FailureModel::none`] the engine takes no
+    /// extra RNG draws and schedules no extra events, so results are
+    /// bit-for-bit identical to a fault-free run.
+    ///
+    /// # Panics
+    ///
+    /// If the scenario does not validate against this platform.
+    pub fn with_failures(mut self, failures: &FailureModel) -> Self {
+        failures
+            .validate(self.platform.len())
+            .expect("invalid failure scenario for this platform");
+        for &(k, factor) in failures.stragglers() {
+            self.speeds.slow_down(k, factor);
+        }
+        self.failures = failures.clone();
+        self
     }
 
     /// Runs to completion and returns the report plus the scheduler (whose
@@ -71,16 +100,65 @@ impl<'a, S: Scheduler> Engine<'a, S> {
     }
 
     fn run_impl(mut self, rng: &mut StdRng, mut trace: Option<&mut Trace>) -> (SimReport, S, ()) {
+        let p = self.platform.len();
         let mut initial: Vec<ProcId> = self.platform.procs().collect();
         initial.shuffle(rng);
         for k in initial {
             self.queue.push(0.0, k);
         }
 
+        // Fault bookkeeping. All of it stays inert with `FailureModel::none()`
+        // — no extra events, no extra RNG draws — so fault-free runs are
+        // bit-for-bit identical to the fault-unaware engine.
+        let fail_time: Vec<Option<f64>> = self
+            .platform
+            .procs()
+            .map(|k| self.failures.fail_time(k))
+            .collect();
+        // `dying[i]`: worker i was allocated a batch it will not finish; its
+        // next event (at the failure time) is the discovery of its death.
+        let mut dying = vec![false; p];
+        let mut dying_until = vec![f64::INFINITY; p];
+        let mut dead = vec![false; p];
+        let mut in_flight: Vec<Vec<u32>> = vec![Vec::new(); p];
+        // Ids lost to failures and not yet re-allocated, for re-ship
+        // accounting.
+        let mut lost_ids: HashSet<u32> = HashSet::new();
+
         while let Some((now, k)) = self.queue.pop() {
+            let i = k.idx();
+            if dying[i] {
+                // Scheduled death discovery: the in-flight batch is lost and
+                // returns to the scheduler's residual pool.
+                dying[i] = false;
+                dying_until[i] = f64::INFINITY;
+                dead[i] = true;
+                let lost = std::mem::take(&mut in_flight[i]);
+                self.ledger.record_lost(k, lost.len());
+                lost_ids.extend(lost.iter().copied());
+                self.scheduler.on_tasks_lost(&lost);
+                continue;
+            }
+            if dead[i] {
+                continue;
+            }
+            if let Some(f) = fail_time[i] {
+                if f <= now {
+                    // Died while idle, between batches: nothing in flight.
+                    dead[i] = true;
+                    continue;
+                }
+            }
             if self.scheduler.remaining() == 0 {
-                // Drain: every remaining event is a worker coming back after
-                // its last batch; nothing left to allocate.
+                let earliest_death = dying_until.iter().copied().fold(f64::INFINITY, f64::min);
+                if earliest_death.is_finite() {
+                    // A failing worker still holds tasks that will return to
+                    // the pool; come back when its death is discovered.
+                    self.queue.push(earliest_death.max(now), k);
+                } else {
+                    // Drain: every remaining event is a worker coming back
+                    // after its last batch; nothing left to allocate.
+                }
                 continue;
             }
             let alloc = self.scheduler.on_request(k, rng);
@@ -88,35 +166,85 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 // Worker retired (cannot contribute further); its blocks
                 // (normally zero) still count.
                 self.ledger.record(k, 0, alloc.blocks, 0.0);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent {
+                        time: now,
+                        proc: k,
+                        tasks: 0,
+                        blocks: alloc.blocks,
+                        duration: 0.0,
+                    });
+                }
                 continue;
+            }
+            if !lost_ids.is_empty() {
+                // Re-ship accounting, at batch granularity: a batch that
+                // re-allocates any failure-lost task charges its blocks to
+                // the recovery counter.
+                let mut reallocates = false;
+                for id in self.scheduler.last_allocated() {
+                    if lost_ids.remove(id) {
+                        reallocates = true;
+                    }
+                }
+                if reallocates {
+                    self.ledger.record_reshipped(k, alloc.blocks);
+                }
             }
             let dur = self.speeds.batch_duration(k, alloc.tasks, rng);
             let finish = now + dur;
-            self.ledger.record(k, alloc.tasks, alloc.blocks, dur);
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent {
-                    time: now,
-                    proc: k,
-                    tasks: alloc.tasks,
-                    blocks: alloc.blocks,
-                    duration: dur,
-                });
+            match fail_time[i] {
+                Some(f) if f < finish => {
+                    // The worker dies mid-batch at time `f`: the blocks were
+                    // shipped and `f − now` of compute is burned, but no task
+                    // of this batch completes. Discovery is scheduled at `f`.
+                    self.ledger.record(k, 0, alloc.blocks, f - now);
+                    in_flight[i] = self.scheduler.last_allocated().to_vec();
+                    dying[i] = true;
+                    dying_until[i] = f;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent {
+                            time: now,
+                            proc: k,
+                            tasks: 0,
+                            blocks: alloc.blocks,
+                            duration: f - now,
+                        });
+                    }
+                    self.queue.push(f, k);
+                }
+                _ => {
+                    self.ledger.record(k, alloc.tasks, alloc.blocks, dur);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent {
+                            time: now,
+                            proc: k,
+                            tasks: alloc.tasks,
+                            blocks: alloc.blocks,
+                            duration: dur,
+                        });
+                    }
+                    self.makespan = self.makespan.max(finish);
+                    self.queue.push(finish, k);
+                }
             }
-            self.makespan = self.makespan.max(finish);
-            self.queue.push(finish, k);
         }
 
-        debug_assert_eq!(
+        assert_eq!(
             self.scheduler.remaining(),
             0,
             "engine stopped with unallocated tasks"
         );
         let total_blocks = self.ledger.total_blocks();
+        let lost_tasks = self.ledger.total_lost_tasks();
+        let reshipped_blocks = self.ledger.total_reshipped_blocks();
         (
             SimReport {
                 ledger: self.ledger,
                 makespan: self.makespan,
                 total_blocks,
+                lost_tasks,
+                reshipped_blocks,
             },
             self.scheduler,
             (),
@@ -172,6 +300,33 @@ pub fn run<S: Scheduler>(
     rng: &mut StdRng,
 ) -> (SimReport, S) {
     Engine::new(platform, model, scheduler).run(rng)
+}
+
+/// One-shot convenience with fault injection. With
+/// [`FailureModel::none`] this is exactly [`run`].
+pub fn run_with_failures<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    scheduler: S,
+    failures: &FailureModel,
+    rng: &mut StdRng,
+) -> (SimReport, S) {
+    Engine::new(platform, model, scheduler)
+        .with_failures(failures)
+        .run(rng)
+}
+
+/// One-shot convenience with fault injection and trace recording.
+pub fn run_traced_with_failures<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    scheduler: S,
+    failures: &FailureModel,
+    rng: &mut StdRng,
+) -> (SimReport, S, Trace) {
+    Engine::new(platform, model, scheduler)
+        .with_failures(failures)
+        .run_traced(rng)
 }
 
 #[cfg(test)]
@@ -306,5 +461,225 @@ mod tests {
         let (report, _) = run(&pf, SpeedModel::Fixed, toy(49, 6), &mut rng);
         assert_eq!(report.ledger.tasks(ProcId(0)), 49);
         assert!((report.makespan - 7.0).abs() < 1e-9);
+    }
+
+    /// Toy strategy with a real task pool: supports `last_allocated` and
+    /// reallocation, and counts net allocations per task so tests can check
+    /// the exactly-once contract under failures.
+    struct PoolSched {
+        pool: Vec<u32>,
+        total: usize,
+        batch: usize,
+        last: Vec<u32>,
+        /// Net allocation count per id (+1 allocated, −1 lost).
+        counts: Vec<i32>,
+    }
+
+    fn pool(total: usize, batch: usize) -> PoolSched {
+        PoolSched {
+            pool: (0..total as u32).rev().collect(),
+            total,
+            batch,
+            last: Vec::new(),
+            counts: vec![0; total],
+        }
+    }
+
+    impl Scheduler for PoolSched {
+        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng) -> Allocation {
+            let t = self.batch.min(self.pool.len());
+            self.last.clear();
+            for _ in 0..t {
+                let id = self.pool.pop().expect("pool underflow");
+                self.counts[id as usize] += 1;
+                self.last.push(id);
+            }
+            Allocation {
+                tasks: t,
+                blocks: t as u64,
+            }
+        }
+        fn last_allocated(&self) -> &[u32] {
+            &self.last
+        }
+        fn on_tasks_lost(&mut self, ids: &[u32]) {
+            for &id in ids {
+                self.counts[id as usize] -= 1;
+                self.pool.push(id);
+            }
+        }
+        fn remaining(&self) -> usize {
+            self.pool.len()
+        }
+        fn total_tasks(&self) -> usize {
+            self.total
+        }
+        fn name(&self) -> &'static str {
+            "PoolSched"
+        }
+    }
+
+    #[test]
+    fn no_failures_is_bit_for_bit_identical() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 70.0]);
+        let (plain, _) = run(&pf, SpeedModel::dyn5(), pool(600, 4), &mut rng_for(11, 0));
+        let (faulty, _) = run_with_failures(
+            &pf,
+            SpeedModel::dyn5(),
+            pool(600, 4),
+            &FailureModel::none(),
+            &mut rng_for(11, 0),
+        );
+        assert_eq!(plain.total_blocks, faulty.total_blocks);
+        assert_eq!(
+            plain.ledger.tasks_per_proc(),
+            faulty.ledger.tasks_per_proc()
+        );
+        assert_eq!(plain.makespan, faulty.makespan);
+        assert_eq!(faulty.lost_tasks, 0);
+        assert_eq!(faulty.reshipped_blocks, 0);
+    }
+
+    #[test]
+    fn failed_worker_batch_is_reallocated_exactly_once() {
+        let pf = Platform::from_speeds(vec![10.0, 10.0]);
+        let failures = FailureModel::none().fail_at(ProcId(0), 1.2);
+        let (report, sched) = run_with_failures(
+            &pf,
+            SpeedModel::Fixed,
+            pool(100, 5),
+            &failures,
+            &mut rng_for(12, 0),
+        );
+        // Worker 0 dies mid-batch: its 5 in-flight tasks are lost, returned
+        // to the pool, and completed elsewhere.
+        assert_eq!(report.lost_tasks, 5);
+        assert_eq!(report.ledger.lost_tasks(ProcId(0)), 5);
+        assert_eq!(report.ledger.total_tasks(), 100);
+        assert!(report.reshipped_blocks > 0, "recovery re-ships blocks");
+        assert!(
+            sched.counts.iter().all(|&c| c == 1),
+            "every task allocated exactly once net of losses"
+        );
+        // The survivor finishes the failed worker's share.
+        assert!(report.ledger.tasks(ProcId(1)) > 50);
+    }
+
+    #[test]
+    fn failure_discovery_unparks_drained_workers() {
+        // The fast worker exhausts the pool and would drain at t = 0.1, long
+        // before the slow worker's death at t = 5 returns 10 tasks to the
+        // pool. The engine must bring it back to pick those up.
+        let pf = Platform::from_speeds(vec![1.0, 100.0]);
+        let failures = FailureModel::none().fail_at(ProcId(0), 5.0);
+        let (report, sched) = run_with_failures(
+            &pf,
+            SpeedModel::Fixed,
+            pool(20, 10),
+            &failures,
+            &mut rng_for(13, 0),
+        );
+        assert_eq!(report.lost_tasks, 10);
+        assert_eq!(report.ledger.total_tasks(), 20);
+        assert_eq!(report.ledger.tasks(ProcId(1)), 20);
+        assert!(sched.counts.iter().all(|&c| c == 1));
+        // Recovery starts only at the discovery time.
+        assert!((report.makespan - 5.1).abs() < 1e-9, "{}", report.makespan);
+    }
+
+    #[test]
+    fn straggler_shifts_load_without_losing_tasks() {
+        let pf = Platform::from_speeds(vec![10.0, 10.0]);
+        let failures = FailureModel::none().slow_down(ProcId(0), 4.0);
+        let (report, _) = run_with_failures(
+            &pf,
+            SpeedModel::Fixed,
+            pool(1000, 1),
+            &failures,
+            &mut rng_for(14, 0),
+        );
+        assert_eq!(report.lost_tasks, 0);
+        assert_eq!(report.ledger.total_tasks(), 1000);
+        let t0 = report.ledger.tasks(ProcId(0)) as f64;
+        // Effective speeds 2.5 vs 10 ⇒ the straggler does ~1/5 of the work.
+        assert!((t0 / 1000.0 - 0.2).abs() < 0.02, "t0 = {t0}");
+    }
+
+    #[test]
+    fn deterministic_under_seed_with_failures() {
+        let pf = Platform::from_speeds(vec![30.0, 50.0, 20.0]);
+        let failures = FailureModel::none()
+            .fail_at(ProcId(2), 0.7)
+            .slow_down(ProcId(0), 2.0);
+        let go = || {
+            run_with_failures(
+                &pf,
+                SpeedModel::dyn5(),
+                pool(800, 3),
+                &failures,
+                &mut rng_for(15, 0),
+            )
+            .0
+        };
+        let (r1, r2) = (go(), go());
+        assert_eq!(r1.total_blocks, r2.total_blocks);
+        assert_eq!(r1.ledger.tasks_per_proc(), r2.ledger.tasks_per_proc());
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.lost_tasks, r2.lost_tasks);
+        assert_eq!(r1.reshipped_blocks, r2.reshipped_blocks);
+    }
+
+    /// Worker 0 retires immediately (with one futile block); the others share
+    /// the pool. Exercises the retirement trace event.
+    struct RetireFirst(PoolSched);
+
+    impl Scheduler for RetireFirst {
+        fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
+            if k.idx() == 0 {
+                return Allocation {
+                    tasks: 0,
+                    blocks: 1,
+                };
+            }
+            self.0.on_request(k, rng)
+        }
+        fn last_allocated(&self) -> &[u32] {
+            self.0.last_allocated()
+        }
+        fn remaining(&self) -> usize {
+            self.0.remaining()
+        }
+        fn total_tasks(&self) -> usize {
+            self.0.total_tasks()
+        }
+        fn name(&self) -> &'static str {
+            "RetireFirst"
+        }
+    }
+
+    #[test]
+    fn trace_reconciles_with_ledger_including_retirement() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 30.0]);
+        let mut rng = rng_for(16, 0);
+        let (report, _, trace) =
+            Engine::new(&pf, SpeedModel::Fixed, RetireFirst(pool(200, 4))).run_traced(&mut rng);
+
+        // The retirement is visible in the trace as a zero-task event…
+        let retire: Vec<_> = trace.events().iter().filter(|e| e.tasks == 0).collect();
+        assert_eq!(retire.len(), 1);
+        assert_eq!(retire[0].proc, ProcId(0));
+        assert_eq!(retire[0].blocks, 1);
+        assert_eq!(retire[0].duration, 0.0);
+
+        // …and the trace reconciles with the ledger event for event.
+        let trace_blocks: u64 = trace.events().iter().map(|e| e.blocks).sum();
+        assert_eq!(trace_blocks, report.ledger.total_blocks());
+        let trace_tasks: usize = trace.events().iter().map(|e| e.tasks).sum();
+        assert_eq!(trace_tasks as u64, report.ledger.total_tasks());
+        let requests: u64 = pf.procs().map(|k| report.ledger.requests(k)).sum();
+        assert_eq!(trace.len() as u64, requests);
+        for k in pf.procs() {
+            assert!((trace.busy_time(k) - report.ledger.busy(k)).abs() < 1e-9);
+        }
     }
 }

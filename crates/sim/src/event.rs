@@ -35,9 +35,7 @@ impl EventQueue {
 
     /// Pops the earliest request, if any.
     pub fn pop(&mut self) -> Option<(f64, ProcId)> {
-        self.heap
-            .pop()
-            .map(|Reverse((t, _, k))| (t.get(), k))
+        self.heap.pop().map(|Reverse((t, _, k))| (t.get(), k))
     }
 
     /// Number of pending events.

@@ -24,6 +24,13 @@
 //! The engine is generic over the [`Scheduler`] trait; the
 //! `hetsched-outer` and `hetsched-matmul` crates provide the eight concrete
 //! strategies from the paper.
+//!
+//! On top of the paper's model the engine supports **fault injection**
+//! ([`FailureModel`](hetsched_platform::FailureModel)): a worker may
+//! permanently fail at a given time (its in-flight batch returns to the
+//! scheduler via [`Scheduler::on_tasks_lost`] and is re-allocated to
+//! survivors) or run as a straggler at a fraction of its nominal speed. The
+//! ledger tracks the lost tasks and the recovery re-shipping volume.
 
 pub mod engine;
 pub mod event;
@@ -31,7 +38,7 @@ pub mod metrics;
 pub mod scheduler;
 pub mod trace;
 
-pub use engine::{run, run_traced, Engine, SimReport};
+pub use engine::{run, run_traced, run_traced_with_failures, run_with_failures, Engine, SimReport};
 pub use event::EventQueue;
 pub use metrics::CommLedger;
 pub use scheduler::{Allocation, Scheduler};

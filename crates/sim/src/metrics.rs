@@ -3,12 +3,23 @@
 use hetsched_platform::ProcId;
 
 /// Per-worker ledger of blocks received and tasks computed.
+///
+/// Under fault injection the ledger additionally tracks, per worker:
+///
+/// * `lost`: tasks the worker had been allocated but never completed
+///   because it failed (they return to the pool and are re-allocated);
+/// * `reshipped`: blocks shipped to this worker for batches containing at
+///   least one re-allocated task — the communication overhead of recovery,
+///   at batch granularity (a batch mixing fresh and re-allocated tasks
+///   counts in full).
 #[derive(Clone, Debug)]
 pub struct CommLedger {
     blocks: Vec<u64>,
     tasks: Vec<u64>,
     busy: Vec<f64>,
     requests: Vec<u64>,
+    lost: Vec<u64>,
+    reshipped: Vec<u64>,
 }
 
 impl CommLedger {
@@ -19,6 +30,8 @@ impl CommLedger {
             tasks: vec![0; p],
             busy: vec![0.0; p],
             requests: vec![0; p],
+            lost: vec![0; p],
+            reshipped: vec![0; p],
         }
     }
 
@@ -28,6 +41,17 @@ impl CommLedger {
         self.tasks[k.idx()] += tasks as u64;
         self.busy[k.idx()] += busy_time;
         self.requests[k.idx()] += 1;
+    }
+
+    /// Records `tasks` lost when worker `k` failed mid-batch.
+    pub fn record_lost(&mut self, k: ProcId, tasks: usize) {
+        self.lost[k.idx()] += tasks as u64;
+    }
+
+    /// Records `blocks` shipped to worker `k` for a batch that re-allocates
+    /// at least one task lost to a failure.
+    pub fn record_reshipped(&mut self, k: ProcId, blocks: u64) {
+        self.reshipped[k.idx()] += blocks;
     }
 
     /// Total blocks shipped by the master.
@@ -60,6 +84,27 @@ impl CommLedger {
         self.requests[k.idx()]
     }
 
+    /// Tasks lost by worker `k` to its failure.
+    pub fn lost_tasks(&self, k: ProcId) -> u64 {
+        self.lost[k.idx()]
+    }
+
+    /// Blocks shipped to worker `k` for batches containing re-allocated
+    /// tasks.
+    pub fn reshipped_blocks(&self, k: ProcId) -> u64 {
+        self.reshipped[k.idx()]
+    }
+
+    /// Total tasks lost to failures across all workers.
+    pub fn total_lost_tasks(&self) -> u64 {
+        self.lost.iter().sum()
+    }
+
+    /// Total recovery re-shipping volume across all workers.
+    pub fn total_reshipped_blocks(&self) -> u64 {
+        self.reshipped.iter().sum()
+    }
+
     /// Per-worker block counts.
     pub fn blocks_per_proc(&self) -> &[u64] {
         &self.blocks
@@ -68,6 +113,16 @@ impl CommLedger {
     /// Per-worker task counts.
     pub fn tasks_per_proc(&self) -> &[u64] {
         &self.tasks
+    }
+
+    /// Per-worker lost-task counts.
+    pub fn lost_per_proc(&self) -> &[u64] {
+        &self.lost
+    }
+
+    /// Per-worker re-shipped block counts.
+    pub fn reshipped_per_proc(&self) -> &[u64] {
+        &self.reshipped
     }
 }
 
@@ -89,5 +144,26 @@ mod tests {
         assert_eq!(l.requests(ProcId(0)), 2);
         assert_eq!(l.blocks(ProcId(1)), 0);
         assert_eq!(l.tasks_per_proc(), &[10, 0, 1]);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut l = CommLedger::new(3);
+        assert_eq!(l.total_lost_tasks(), 0);
+        assert_eq!(l.total_reshipped_blocks(), 0);
+        l.record_lost(ProcId(1), 5);
+        l.record_lost(ProcId(1), 2);
+        l.record_reshipped(ProcId(0), 3);
+        l.record_reshipped(ProcId(2), 4);
+        assert_eq!(l.lost_tasks(ProcId(1)), 7);
+        assert_eq!(l.lost_tasks(ProcId(0)), 0);
+        assert_eq!(l.total_lost_tasks(), 7);
+        assert_eq!(l.reshipped_blocks(ProcId(0)), 3);
+        assert_eq!(l.total_reshipped_blocks(), 7);
+        assert_eq!(l.lost_per_proc(), &[0, 7, 0]);
+        assert_eq!(l.reshipped_per_proc(), &[3, 0, 4]);
+        // Fault counters are orthogonal to the work counters.
+        assert_eq!(l.total_tasks(), 0);
+        assert_eq!(l.total_blocks(), 0);
     }
 }

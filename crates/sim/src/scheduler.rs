@@ -20,7 +20,10 @@ pub struct Allocation {
 
 impl Allocation {
     /// An empty allocation: the worker is done.
-    pub const DONE: Allocation = Allocation { tasks: 0, blocks: 0 };
+    pub const DONE: Allocation = Allocation {
+        tasks: 0,
+        blocks: 0,
+    };
 
     /// True if no tasks were allocated.
     pub fn is_done(&self) -> bool {
@@ -51,6 +54,24 @@ pub trait Scheduler {
         &[]
     }
 
+    /// A worker that had been allocated `ids` failed before computing them;
+    /// the tasks must return to the residual pool so surviving workers can
+    /// pick them up (re-shipping only the blocks the new owner is missing).
+    ///
+    /// The engine only calls this under fault injection
+    /// ([`FailureModel`](hetsched_platform::FailureModel)). The default
+    /// implementation panics rather than silently dropping tasks, which
+    /// would break the exactly-once contract: strategies must opt in to
+    /// reallocation explicitly.
+    fn on_tasks_lost(&mut self, ids: &[u32]) {
+        if !ids.is_empty() {
+            panic!(
+                "{} cannot re-allocate tasks lost to a worker failure",
+                self.name()
+            );
+        }
+    }
+
     /// Tasks not yet allocated.
     fn remaining(&self) -> usize;
 
@@ -68,7 +89,11 @@ mod tests {
     #[test]
     fn allocation_done() {
         assert!(Allocation::DONE.is_done());
-        assert!(!Allocation { tasks: 1, blocks: 2 }.is_done());
+        assert!(!Allocation {
+            tasks: 1,
+            blocks: 2
+        }
+        .is_done());
     }
 
     #[test]

@@ -64,6 +64,14 @@ impl BitGrid {
         self.bits.insert(idx)
     }
 
+    /// Clears `(r, c)`; returns `true` if it was previously set. Used when a
+    /// worker failure returns an already-allocated task to the pool.
+    #[inline]
+    pub fn remove(&mut self, r: usize, c: usize) -> bool {
+        let idx = self.linear(r, c);
+        self.bits.remove(idx)
+    }
+
     #[inline]
     pub fn count_ones(&self) -> usize {
         self.bits.count_ones()
@@ -123,6 +131,14 @@ impl BitCube {
         self.bits.insert(idx)
     }
 
+    /// Clears `(i, j, k)`; returns `true` if it was previously set. Used when
+    /// a worker failure returns an already-allocated task to the pool.
+    #[inline]
+    pub fn remove(&mut self, i: usize, j: usize, k: usize) -> bool {
+        let idx = self.linear(i, j, k);
+        self.bits.remove(idx)
+    }
+
     #[inline]
     pub fn count_ones(&self) -> usize {
         self.bits.count_ones()
@@ -157,6 +173,26 @@ mod tests {
         assert!(!g.contains(3, 2), "not symmetric");
         assert_eq!(g.count_ones(), 1);
         assert_eq!(g.total(), 25);
+    }
+
+    #[test]
+    fn grid_remove_reverts_insert() {
+        let mut g = BitGrid::square(4);
+        assert!(!g.remove(1, 1), "removing a clear bit is a no-op");
+        assert!(g.insert(1, 1));
+        assert!(g.remove(1, 1));
+        assert!(!g.contains(1, 1));
+        assert_eq!(g.count_ones(), 0);
+    }
+
+    #[test]
+    fn cube_remove_reverts_insert() {
+        let mut c = BitCube::new(3);
+        assert!(!c.remove(0, 1, 2));
+        assert!(c.insert(0, 1, 2));
+        assert!(c.remove(0, 1, 2));
+        assert!(!c.contains(0, 1, 2));
+        assert_eq!(c.count_ones(), 0);
     }
 
     #[test]

@@ -46,7 +46,10 @@ const NOT_PRESENT: u32 = u32::MAX;
 impl SwapList {
     /// Creates the full set `{0, 1, …, universe-1}`.
     pub fn full(universe: usize) -> Self {
-        assert!(universe < NOT_PRESENT as usize, "universe too large for u32");
+        assert!(
+            universe < NOT_PRESENT as usize,
+            "universe too large for u32"
+        );
         SwapList {
             items: (0..universe as u32).collect(),
             pos: (0..universe as u32).collect(),
@@ -55,7 +58,10 @@ impl SwapList {
 
     /// Creates the empty set over `0..universe`.
     pub fn empty(universe: usize) -> Self {
-        assert!(universe < NOT_PRESENT as usize, "universe too large for u32");
+        assert!(
+            universe < NOT_PRESENT as usize,
+            "universe too large for u32"
+        );
         SwapList {
             items: Vec::new(),
             pos: vec![NOT_PRESENT; universe],

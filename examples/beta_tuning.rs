@@ -23,11 +23,7 @@ use hetsched::util::rng::rng_for;
 fn main() {
     let n = 100;
     let p = 20;
-    let platform = Platform::sample(
-        p,
-        &SpeedDistribution::paper_default(),
-        &mut rng_for(7, 0),
-    );
+    let platform = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(7, 0));
     let model = OuterAnalysis::new(&platform, n);
     let (beta_star, ratio_star) = model.optimal_beta();
 

@@ -20,11 +20,7 @@ fn main() {
     let t = 20; // tiles per dimension → 1 560 Cholesky tasks
     let p = 16;
     let graph = cholesky_graph(t);
-    let platform = Platform::sample(
-        p,
-        &SpeedDistribution::paper_default(),
-        &mut rng_for(11, 0),
-    );
+    let platform = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(11, 0));
 
     println!(
         "Tiled Cholesky: {t}×{t} tiles, {} tasks, critical path {:.1} weight-units",

@@ -20,7 +20,9 @@ fn main() {
     let seed = 0xC0FFEE;
 
     println!("Outer product: n = {n} blocks, p = {p} heterogeneous workers");
-    println!("normalized communication volume (mean ± std over {trials} trials, 1.0 = lower bound)\n");
+    println!(
+        "normalized communication volume (mean ± std over {trials} trials, 1.0 = lower bound)\n"
+    );
 
     let strategies = [
         Strategy::Random,

@@ -40,6 +40,7 @@ fn main() {
         let cfg = ExecConfig {
             speeds: speeds.clone(),
             seed: 0xEC5,
+            faults: Vec::new(),
         };
         let t0 = Instant::now();
         let (c, report) = match beta {

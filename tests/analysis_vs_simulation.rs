@@ -40,11 +40,7 @@ fn outer_analysis_matches_simulation_at_optimum() {
 fn matmul_analysis_matches_simulation_at_optimum() {
     let n = 40;
     let p = 100;
-    let platform = Platform::sample(
-        p,
-        &SpeedDistribution::paper_default(),
-        &mut rng_for(43, 0),
-    );
+    let platform = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(43, 0));
     let model = MatmulAnalysis::new(&platform, n);
     let (beta, predicted) = model.optimal_beta();
     let cfg = ExperimentConfig {
@@ -68,11 +64,7 @@ fn matmul_analysis_matches_simulation_at_optimum() {
 fn outer_analysis_tracks_simulation_across_beta() {
     let n = 100;
     let p = 20;
-    let platform = Platform::sample(
-        p,
-        &SpeedDistribution::paper_default(),
-        &mut rng_for(44, 0),
-    );
+    let platform = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(44, 0));
     let model = OuterAnalysis::new(&platform, n);
     for beta in [3.0, 4.0, 5.0, 6.0] {
         let cfg = ExperimentConfig {
@@ -97,11 +89,7 @@ fn outer_analysis_tracks_simulation_across_beta() {
 fn phase_volumes_match_lemma_4_and_5() {
     let n = 100;
     let p = 30;
-    let platform = Platform::sample(
-        p,
-        &SpeedDistribution::paper_default(),
-        &mut rng_for(45, 0),
-    );
+    let platform = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(45, 0));
     let model = OuterAnalysis::new(&platform, n);
     let beta = 4.0;
     let lb = hetsched::platform::outer_lower_bound(n, &platform);
@@ -140,11 +128,7 @@ fn phase_volumes_match_lemma_4_and_5() {
 fn analytic_beta_is_near_empirically_optimal() {
     let n = 100;
     let p = 20;
-    let platform = Platform::sample(
-        p,
-        &SpeedDistribution::paper_default(),
-        &mut rng_for(46, 0),
-    );
+    let platform = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(46, 0));
     let model = OuterAnalysis::new(&platform, n);
     let (beta_star, _) = model.optimal_beta();
 

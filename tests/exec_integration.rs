@@ -1,9 +1,7 @@
 //! The real threaded runtime against the simulator: same schedulers, real
 //! data, verified numerics, consistent communication accounting.
 
-use hetsched::exec::block::{
-    reference_matmul, reference_outer, BlockedMatrix, BlockedVector,
-};
+use hetsched::exec::block::{reference_matmul, reference_outer, BlockedMatrix, BlockedVector};
 use hetsched::exec::{run_matmul, run_outer, ExecConfig};
 use hetsched::matmul::{DynamicMatrix2Phases, RandomMatrix};
 use hetsched::outer::{DynamicOuter, DynamicOuter2Phases, RandomOuter, SortedOuter};
@@ -20,7 +18,10 @@ fn all_outer_strategies_produce_the_exact_product() {
     let runs: Vec<(&str, BlockedMatrix)> = vec![
         ("random", run_outer(RandomOuter::new(n, 4), &a, &b, &cfg).0),
         ("sorted", run_outer(SortedOuter::new(n, 4), &a, &b, &cfg).0),
-        ("dynamic", run_outer(DynamicOuter::new(n, 4), &a, &b, &cfg).0),
+        (
+            "dynamic",
+            run_outer(DynamicOuter::new(n, 4), &a, &b, &cfg).0,
+        ),
         (
             "two-phase",
             run_outer(DynamicOuter2Phases::with_beta(n, 4, 3.0), &a, &b, &cfg).0,
@@ -41,6 +42,7 @@ fn matmul_two_phase_matches_reference_with_many_workers() {
     let cfg = ExecConfig {
         speeds: vec![1.0, 1.0, 2.0, 3.0, 5.0, 8.0],
         seed: 10,
+        faults: Vec::new(),
     };
     let (c, report) = run_matmul(DynamicMatrix2Phases::with_beta(n, 6, 2.5), &a, &b, &cfg);
     assert!(c.max_abs_diff(&reference) < 1e-10);
@@ -56,12 +58,7 @@ fn exec_comm_ordering_matches_simulation_findings() {
     let a = BlockedMatrix::random(n, l, 5);
     let b = BlockedMatrix::random(n, l, 6);
     let cfg = ExecConfig::homogeneous(8, 11);
-    let (_, dyn_report) = run_matmul(
-        DynamicMatrix2Phases::with_beta(n, 8, 3.0),
-        &a,
-        &b,
-        &cfg,
-    );
+    let (_, dyn_report) = run_matmul(DynamicMatrix2Phases::with_beta(n, 8, 3.0), &a, &b, &cfg);
     let (_, rnd_report) = run_matmul(RandomMatrix::new(n, 8), &a, &b, &cfg);
     assert!(
         dyn_report.input_blocks_shipped * 3 < rnd_report.input_blocks_shipped * 2,
@@ -103,12 +100,30 @@ fn exec_respects_exactly_once_under_concurrency() {
     for _ in 0..3 {
         let (_, report) = run_outer(DynamicOuter::new(n, 6), &a, &b, &cfg);
         assert_eq!(report.total_tasks(), (n * n) as u64);
-        assert_eq!(
-            report.tasks_per_worker.len(),
-            6,
-            "one counter per worker"
-        );
+        assert_eq!(report.tasks_per_worker.len(), 6, "one counter per worker");
     }
+}
+
+#[test]
+fn killed_worker_still_yields_the_exact_product() {
+    // A worker thread dies after five tasks; its whole assignment history
+    // is lost (results only flush at shutdown) and the survivors recompute
+    // it. The final matrix must still match the sequential reference bit
+    // for bit, and the ledger must balance.
+    let n = 12;
+    let l = 3;
+    let a = BlockedVector::random(n, l, 21);
+    let b = BlockedVector::random(n, l, 22);
+    let reference = reference_outer(&a, &b);
+    let cfg = ExecConfig::homogeneous(4, 23).fail_after_tasks(2, 5);
+    let (m, report) = run_outer(DynamicOuter::new(n, 4), &a, &b, &cfg);
+    assert_eq!(m.max_abs_diff(&reference), 0.0);
+    assert_eq!(report.total_tasks(), (n * n) as u64);
+    assert!(report.total_tasks_lost() > 0, "the fault must have fired");
+    assert_eq!(
+        report.tasks_per_worker[2], 0,
+        "the dead worker's work is voided"
+    );
 }
 
 #[test]

@@ -1,0 +1,195 @@
+//! Fault-tolerance invariants through the public API: fail-stop failures
+//! and stragglers injected into every dynamic strategy × kernel.
+
+use hetsched::core::{run_once, BetaChoice, ExperimentConfig, Kernel, Strategy};
+use hetsched::platform::{FailureModel, ProcId};
+
+const DYNAMIC_STRATEGIES: [Strategy; 6] = [
+    Strategy::Random,
+    Strategy::Sorted,
+    Strategy::Dynamic,
+    Strategy::TwoPhase(BetaChoice::Analytic),
+    Strategy::TwoPhase(BetaChoice::Homogeneous),
+    Strategy::TwoPhase(BetaChoice::Fixed(2.0)),
+];
+
+fn kernels() -> [Kernel; 2] {
+    [Kernel::Outer { n: 20 }, Kernel::Matmul { n: 8 }]
+}
+
+#[test]
+fn every_task_survives_a_mid_run_failure() {
+    // Kill one worker halfway through the (clean) run: its in-flight batch
+    // is lost and must be re-allocated, yet every task still completes
+    // exactly once and the loss is visible in the report.
+    for kernel in kernels() {
+        for strategy in DYNAMIC_STRATEGIES {
+            let clean_cfg = ExperimentConfig {
+                kernel,
+                strategy,
+                processors: 5,
+                ..Default::default()
+            };
+            let clean = run_once(&clean_cfg, 0x5EED);
+            // 0.47, not 0.5: dyadic fractions of the makespan can land
+            // exactly on a batch boundary of the failing worker (the
+            // makespan is often an integer number of its batches), in which
+            // case it dies idle with nothing in flight.
+            let cfg = ExperimentConfig {
+                failures: FailureModel::none().fail_at(ProcId(1), clean.makespan * 0.47),
+                ..clean_cfg
+            };
+            let r = run_once(&cfg, 0x5EED);
+            let total: u64 = r.tasks_per_proc.iter().sum();
+            assert_eq!(
+                total as usize,
+                kernel.total_tasks(),
+                "{kernel:?}/{strategy:?}: tasks lost for good"
+            );
+            assert!(
+                r.lost_tasks > 0,
+                "{kernel:?}/{strategy:?}: a worker dying mid-run must lose its batch"
+            );
+        }
+    }
+}
+
+#[test]
+fn failure_runs_are_deterministic() {
+    for kernel in kernels() {
+        for strategy in DYNAMIC_STRATEGIES {
+            let cfg = ExperimentConfig {
+                kernel,
+                strategy,
+                processors: 6,
+                failures: FailureModel::none()
+                    .fail_at(ProcId(0), 1.5)
+                    .slow_down(ProcId(2), 3.0),
+                ..Default::default()
+            };
+            let a = run_once(&cfg, 0xFA17);
+            let b = run_once(&cfg, 0xFA17);
+            assert_eq!(a.total_blocks, b.total_blocks, "{kernel:?}/{strategy:?}");
+            assert_eq!(a.tasks_per_proc, b.tasks_per_proc);
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(a.lost_tasks, b.lost_tasks);
+            assert_eq!(a.reshipped_blocks, b.reshipped_blocks);
+        }
+    }
+}
+
+#[test]
+fn empty_failure_model_is_bit_for_bit_identical() {
+    // `FailureModel::none()` must be a guaranteed fast path: the engine
+    // draws no extra randomness and schedules no extra events, so results
+    // match a config that never mentions failures at all.
+    for kernel in kernels() {
+        for strategy in DYNAMIC_STRATEGIES {
+            let plain = ExperimentConfig {
+                kernel,
+                strategy,
+                processors: 7,
+                ..Default::default()
+            };
+            let explicit = ExperimentConfig {
+                failures: FailureModel::none(),
+                ..plain.clone()
+            };
+            let a = run_once(&plain, 0xBEEF);
+            let b = run_once(&explicit, 0xBEEF);
+            assert_eq!(a.total_blocks, b.total_blocks, "{kernel:?}/{strategy:?}");
+            assert_eq!(a.tasks_per_proc, b.tasks_per_proc);
+            assert_eq!(a.blocks_per_proc, b.blocks_per_proc);
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(a.lost_tasks, 0);
+            assert_eq!(a.reshipped_blocks, 0);
+        }
+    }
+}
+
+#[test]
+fn straggler_sheds_load_without_losing_tasks() {
+    // A permanently slowed worker must end up with fewer tasks — the
+    // demand-driven master simply hears from it less often — and nothing
+    // is ever lost or re-shipped.
+    let base = ExperimentConfig {
+        kernel: Kernel::Outer { n: 30 },
+        strategy: Strategy::Dynamic,
+        processors: 4,
+        ..Default::default()
+    };
+    let clean = run_once(&base, 0x51C6);
+    let slowed = run_once(
+        &ExperimentConfig {
+            failures: FailureModel::none().slow_down(ProcId(0), 4.0),
+            ..base
+        },
+        0x51C6,
+    );
+    let total: u64 = slowed.tasks_per_proc.iter().sum();
+    assert_eq!(total, 900);
+    assert_eq!(slowed.lost_tasks, 0, "stragglers lose nothing");
+    assert_eq!(slowed.reshipped_blocks, 0);
+    assert!(
+        slowed.tasks_per_proc[0] < clean.tasks_per_proc[0],
+        "slowed worker kept {} of its former {} tasks",
+        slowed.tasks_per_proc[0],
+        clean.tasks_per_proc[0]
+    );
+}
+
+#[test]
+fn static_partition_tolerates_stragglers_but_rejects_failures() {
+    // Static allocation cannot re-allocate lost work (config validation
+    // refuses the combination), but a straggler only stretches the
+    // makespan: the fixed allocation still completes exactly once.
+    let straggler = ExperimentConfig {
+        kernel: Kernel::Outer { n: 24 },
+        strategy: Strategy::Static,
+        processors: 4,
+        failures: FailureModel::none().slow_down(ProcId(1), 2.0),
+        ..Default::default()
+    };
+    let r = run_once(&straggler, 0x57A7);
+    let total: u64 = r.tasks_per_proc.iter().sum();
+    assert_eq!(total, 576);
+    assert_eq!(r.lost_tasks, 0);
+
+    let failing = ExperimentConfig {
+        failures: FailureModel::none().fail_at(ProcId(1), 1.0),
+        ..straggler
+    };
+    assert!(
+        failing.validate().is_err(),
+        "static + fail-stop must be rejected"
+    );
+}
+
+#[test]
+fn cascading_failures_still_complete() {
+    // Two workers die at different times; the survivors absorb both waves
+    // of orphans.
+    for strategy in [Strategy::Random, Strategy::TwoPhase(BetaChoice::Analytic)] {
+        let clean_cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n: 20 },
+            strategy,
+            processors: 5,
+            ..Default::default()
+        };
+        let clean = run_once(&clean_cfg, 0xCA5C);
+        let cfg = ExperimentConfig {
+            failures: FailureModel::none()
+                .fail_at(ProcId(1), clean.makespan * 0.3)
+                .fail_at(ProcId(3), clean.makespan * 0.6),
+            ..clean_cfg
+        };
+        let r = run_once(&cfg, 0xCA5C);
+        let total: u64 = r.tasks_per_proc.iter().sum();
+        assert_eq!(total, 400, "{strategy:?}");
+        assert!(r.lost_tasks > 0, "{strategy:?}");
+        assert!(
+            r.makespan > clean.makespan,
+            "{strategy:?}: losing two workers cannot speed the run up"
+        );
+    }
+}

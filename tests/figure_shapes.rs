@@ -66,7 +66,10 @@ fn fig4_and_fig5_analysis_tracks_two_phase_and_gap_grows_with_n() {
     // Fig. 5's point: with larger n, the random/data-aware gap widens.
     let gap4 = series_mean(&f4, "RandomOuter") / series_mean(&f4, "DynamicOuter2Phases");
     let gap5 = series_mean(&f5, "RandomOuter") / series_mean(&f5, "DynamicOuter2Phases");
-    assert!(gap5 > gap4, "gap at larger n {gap5:.2} ≤ gap at smaller {gap4:.2}");
+    assert!(
+        gap5 > gap4,
+        "gap at larger n {gap5:.2} ≤ gap at smaller {gap4:.2}"
+    );
 }
 
 #[test]

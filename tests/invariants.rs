@@ -195,7 +195,7 @@ fn phase_split_is_consistent_with_threshold() {
         let (b1, b2, t1, t2) = r.phase_split.expect("two-phase reports split");
         assert_eq!(b1 + b2, r.total_blocks);
         assert_eq!(t1 + t2, kernel.total_tasks());
-        let threshold = ((-3.0f64).exp() * kernel.total_tasks() as f64).floor() as usize;
+        let threshold = ((-3.0f64).exp() * kernel.total_tasks() as f64).round() as usize;
         assert!(t2 <= threshold, "phase 2 did {t2} > threshold {threshold}");
         assert!(t2 > 0, "β=3 must leave an end game at these sizes");
     }

@@ -70,7 +70,7 @@ fn lemma3_switch_fractions_match_trace() {
     ]);
     let beta: f64 = 4.5;
     let model = OuterAnalysis::new(&pf, n);
-    let threshold = ((-beta).exp() * (n * n) as f64).floor() as usize;
+    let threshold = ((-beta).exp() * (n * n) as f64).round() as usize;
 
     let (_, _, trace) = run_traced(
         &pf,

@@ -110,7 +110,7 @@ proptest! {
         let (b1, b2, t1, t2) = r.phase_split.unwrap();
         prop_assert_eq!(b1 + b2, r.total_blocks);
         prop_assert_eq!(t1 + t2, n * n);
-        let threshold = ((-beta).exp() * (n * n) as f64).floor() as usize;
+        let threshold = ((-beta).exp() * (n * n) as f64).round() as usize;
         prop_assert!(t2 <= threshold);
     }
 

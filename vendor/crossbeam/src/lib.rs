@@ -1,0 +1,9 @@
+//! Offline vendored subset of the `crossbeam` 0.8 API.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `crossbeam` to this crate. It provides the two pieces the workspace
+//! uses: MPMC unbounded channels (`channel::unbounded`) and panic-catching
+//! scoped threads (`thread::scope`), both built on `std` primitives.
+
+pub mod channel;
+pub mod thread;

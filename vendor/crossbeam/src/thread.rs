@@ -1,0 +1,138 @@
+//! Scoped threads with crossbeam's panic-collecting semantics.
+//!
+//! `std::thread::scope` re-raises a child panic in the parent after joining;
+//! crossbeam instead catches child panics and returns them as the scope's
+//! `Err` value. Callers here rely on the crossbeam behaviour
+//! (`.expect("worker thread panicked")`), so each spawned closure runs under
+//! `catch_unwind` and the first payload is surfaced as the scope error.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+type PanicList = Arc<Mutex<Vec<Box<dyn Any + Send + 'static>>>>;
+
+/// A scope handle; spawned closures receive a reference (crossbeam passes
+/// the scope back into each closure so children can spawn siblings).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panics: PanicList,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        Scope {
+            inner: self.inner,
+            panics: self.panics.clone(),
+        }
+    }
+}
+
+/// Handle to a spawned child thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the child; `Err` if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            // The payload went to the scope's collector; synthesize one.
+            Ok(None) => Err(Box::new("scoped thread panicked".to_string())),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a child thread running `f(&scope)` inside the scope.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = self.clone();
+        let inner = self.inner.spawn(move || {
+            match catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                Ok(v) => Some(v),
+                Err(payload) => {
+                    scope.panics.lock().unwrap().push(payload);
+                    None
+                }
+            }
+        });
+        ScopedJoinHandle { inner }
+    }
+}
+
+/// Runs `f` with a scope; joins every spawned thread before returning.
+/// Returns `Err(first panic payload)` if any child panicked, otherwise
+/// `Ok(f's return value)`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panics: PanicList = Arc::new(Mutex::new(Vec::new()));
+    let collector = panics.clone();
+    let result = std::thread::scope(move |s| {
+        let wrapper = Scope {
+            inner: s,
+            panics: collector,
+        };
+        f(&wrapper)
+    });
+    let mut collected = panics.lock().unwrap();
+    if collected.is_empty() {
+        Ok(result)
+    } else {
+        Err(collected.swap_remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_children_and_returns_value() {
+        let mut data = vec![0u32; 8];
+        let out = scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(out, "done");
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn child_panic_becomes_scope_error() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_handle_returns_child_value() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| 40 + 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn children_can_spawn_siblings() {
+        let r = scope(|s| {
+            let h = s.spawn(|s2| s2.spawn(|_| 99).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 99);
+    }
+}

@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Fair-coin boolean strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The canonical instance (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next() & 1 == 1
+    }
+}

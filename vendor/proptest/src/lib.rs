@@ -1,0 +1,160 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `proptest` to this crate. It keeps the property-test surface the
+//! workspace uses — the `proptest!` macro with `#![proptest_config(..)]`,
+//! range/`Just`/`prop_map`/`prop_oneof!` strategies, `proptest::bool::ANY`,
+//! and the `prop_assert*` macros — on top of a deterministic in-crate RNG.
+//!
+//! Differences from upstream, by design:
+//! * no shrinking: a failing case reports its inputs and panics directly;
+//! * no regression-file persistence: seeds derive from the test name, so a
+//!   given binary always replays the same cases;
+//! * strategies sample uniformly (no bias toward boundary values).
+
+pub mod bool;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written at the use site and passes
+/// through) that samples `cases` inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )+
+                let __inputs = ::std::format!(
+                    ::core::concat!($(::core::stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body }),
+                );
+                if let ::core::result::Result::Err(__payload) = __outcome {
+                    ::std::eprintln!(
+                        "proptest '{}' failed at case {}/{} with inputs: {}",
+                        ::core::stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                        __inputs,
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a property body (`assert!` that proptest would intercept
+/// for shrinking; here it panics directly and the harness reports inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        ::core::assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        ::core::assert!($cond, $($fmt)+)
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        ::core::assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        ::core::assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        ::core::assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        ::core::assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Union::boxed($s) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            a in 1usize..10,
+            b in 0.0f64..=1.0,
+            c in prop_oneof![Just(1u32), (5u32..8).prop_map(|v| v * 10)],
+            d in crate::bool::ANY,
+        ) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert!(c == 1 || (50..80).contains(&c), "c = {}", c);
+            prop_assert_eq!(d as u8 <= 1, true);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        let mut r1 = crate::test_runner::TestRng::for_test("x");
+        let mut r2 = crate::test_runner::TestRng::for_test("x");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}
