@@ -5,6 +5,7 @@ use crate::args::Args;
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_core::{run_trials, BetaChoice, ExperimentConfig, Kernel, Strategy};
 use hetsched_dag::{cholesky_graph, qr_graph, simulate, Policy};
+use hetsched_net::NetworkModel;
 use hetsched_partition::optimal_column_partition;
 use hetsched_platform::{FailureModel, Platform, ProcId, Scenario, SpeedDistribution};
 use hetsched_util::rng::rng_for;
@@ -45,6 +46,10 @@ COMMANDS
              --speeds S1,S2,…                (fixed platform; overrides --p)
              --fail K@T,…                    (worker K dies at time T; tasks re-allocated)
              --straggler K@F,…               (worker K permanently F× slower)
+             --net infinite|one-port|multiport (infinite)
+             --bandwidth B                   (master link, blocks/unit time; required unless infinite)
+             --worker-bw B                   (per-worker cap, multiport only)
+             --latency L                     (per-worker link latency, priced models only)
   analyze    query the analytic model (β*, threshold, ratio landscape)
              --kernel outer|matmul (outer)   --n BLOCKS (100)
              --p WORKERS (20)                --speeds S1,S2,…
@@ -55,7 +60,7 @@ COMMANDS
              --p WORKERS (8)                 --policy random|data-aware|cp|critical-path (data-aware)
              --seed S (1)
   figures    regenerate paper figures / extension experiments
-             positional ids (fig1 … fig11, extA … extD) --quick --trials N --seed S
+             positional ids (fig1 … fig11, extA … extF) --quick --trials N --seed S
   help       this text
 "
     .to_string()
@@ -130,6 +135,65 @@ fn parse_failures(args: &Args) -> Result<FailureModel, String> {
     Ok(failures)
 }
 
+/// Parses `--net`/`--bandwidth`/`--worker-bw`/`--latency` into a network
+/// model and a uniform link latency.
+fn parse_network(args: &Args) -> Result<(NetworkModel, f64), String> {
+    let bandwidth: Option<f64> = match args.get("bandwidth") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--bandwidth: bad number {v:?}"))?,
+        ),
+        None => None,
+    };
+    let worker_bw: Option<f64> = match args.get("worker-bw") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--worker-bw: bad number {v:?}"))?,
+        ),
+        None => None,
+    };
+    let latency: f64 = match args.get("latency") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--latency: bad number {v:?}"))?,
+        None => 0.0,
+    };
+    let net = match args.get("net").unwrap_or("infinite") {
+        "infinite" => {
+            if bandwidth.is_some() || worker_bw.is_some() || latency != 0.0 {
+                return Err(
+                    "--bandwidth/--worker-bw/--latency only apply to priced models; \
+                     pass --net one-port or --net multiport"
+                        .into(),
+                );
+            }
+            NetworkModel::Infinite
+        }
+        "one-port" | "oneport" | "1port" => {
+            if worker_bw.is_some() {
+                return Err("--worker-bw only applies to --net multiport".into());
+            }
+            NetworkModel::OnePort {
+                master_bw: bandwidth.ok_or("--net one-port needs --bandwidth B")?,
+            }
+        }
+        "multiport" => NetworkModel::BoundedMultiport {
+            master_bw: bandwidth.ok_or("--net multiport needs --bandwidth B")?,
+            worker_bw: worker_bw.ok_or("--net multiport needs --worker-bw B")?,
+        },
+        other => {
+            return Err(format!(
+                "--net: expected infinite|one-port|multiport, got {other:?}"
+            ))
+        }
+    };
+    net.validate()?;
+    if !latency.is_finite() || latency < 0.0 {
+        return Err(format!("--latency: must be ≥ 0, got {latency}"));
+    }
+    Ok((net, latency))
+}
+
 fn simulate_cmd(args: &Args) -> Result<String, String> {
     args.ensure_known(&[
         "kernel",
@@ -143,6 +207,10 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         "speeds",
         "fail",
         "straggler",
+        "net",
+        "bandwidth",
+        "worker-bw",
+        "latency",
     ])?;
     let n: usize = args.get_or("n", 100)?;
     let kernel = match args.get("kernel").unwrap_or("outer") {
@@ -170,6 +238,9 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         cfg.platform = Some(Platform::from_speeds(speeds));
     }
     cfg.failures = parse_failures(args)?;
+    let (network, latency) = parse_network(args)?;
+    cfg.network = network;
+    cfg.link_latency = latency;
     cfg.validate()?;
 
     let sum = run_trials(&cfg, trials, seed);
@@ -215,6 +286,44 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
             sum.reshipped_blocks.mean()
         )
         .unwrap();
+    }
+    if !cfg.network.is_infinite() {
+        let mut desc = format!(
+            "{}, {} blocks/unit time",
+            cfg.network.name(),
+            cfg.network.master_bw().unwrap_or(f64::INFINITY)
+        );
+        if cfg.link_latency > 0.0 {
+            write!(desc, ", latency {}", cfg.link_latency).unwrap();
+        }
+        writeln!(out, "network model            : {desc}").unwrap();
+        let util = sum.link_utilization.mean();
+        writeln!(
+            out,
+            "master-link utilization  : {:.1}% ± {:.1}%",
+            100.0 * util,
+            100.0 * sum.link_utilization.std_dev()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "worker transfer wait     : {:.3} (summed over workers)",
+            sum.transfer_wait.mean()
+        )
+        .unwrap();
+        // The one-line diagnosis the sweep in EXPERIMENTS.md elaborates on:
+        // a saturated master link means volume, not speed, sets the
+        // makespan.
+        let regime = if util >= 0.9 {
+            "comm-bound — the master link is the bottleneck; lower-volume \
+             strategies win makespan here"
+        } else if util <= 0.5 {
+            "compute-bound — the link is mostly idle; volume barely affects \
+             makespan"
+        } else {
+            "near the crossover between comm-bound and compute-bound"
+        };
+        writeln!(out, "regime                   : {regime}").unwrap();
     }
     Ok(out)
 }
@@ -472,6 +581,56 @@ mod tests {
             run_str("simulate --strategy static --speeds 10,20 --fail 0@1.0").is_err(),
             "static cannot recover lost tasks"
         );
+    }
+
+    #[test]
+    fn simulate_with_network_models() {
+        let out = run_str(
+            "simulate --n 20 --p 4 --strategy dynamic --trials 2 --net one-port --bandwidth 5",
+        )
+        .unwrap();
+        assert!(out.contains("network model"), "{out}");
+        assert!(out.contains("one-port"), "{out}");
+        assert!(out.contains("master-link utilization"), "{out}");
+        assert!(
+            out.contains("comm-bound"),
+            "tight link must be diagnosed: {out}"
+        );
+
+        let out = run_str(
+            "simulate --n 20 --p 4 --strategy dynamic --trials 2 --net one-port \
+             --bandwidth 100000 --latency 0.01",
+        )
+        .unwrap();
+        assert!(out.contains("compute-bound"), "{out}");
+
+        let out = run_str(
+            "simulate --n 20 --p 4 --trials 2 --net multiport --bandwidth 40 --worker-bw 10",
+        )
+        .unwrap();
+        assert!(out.contains("multiport"), "{out}");
+
+        // Default (infinite) prints no network diagnostics.
+        let out = run_str("simulate --n 20 --p 4 --trials 2").unwrap();
+        assert!(!out.contains("network model"), "{out}");
+    }
+
+    #[test]
+    fn bad_network_specs_are_clean_errors() {
+        assert!(run_str("simulate --net nope").is_err());
+        assert!(run_str("simulate --net one-port").is_err(), "no bandwidth");
+        assert!(run_str("simulate --net one-port --bandwidth 0").is_err());
+        assert!(run_str("simulate --net one-port --bandwidth abc").is_err());
+        assert!(
+            run_str("simulate --net one-port --bandwidth 10 --worker-bw 5").is_err(),
+            "worker-bw is multiport-only"
+        );
+        assert!(
+            run_str("simulate --net multiport --bandwidth 10").is_err(),
+            "multiport needs worker-bw"
+        );
+        assert!(run_str("simulate --bandwidth 10").is_err(), "needs --net");
+        assert!(run_str("simulate --net one-port --bandwidth 10 --latency -1").is_err());
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! End-to-end tests that drive the compiled `hetsched` binary the way a
+//! shell user would: real argv, real exit codes, captured stdout/stderr.
+//!
+//! Cargo exposes the binary path via `CARGO_BIN_EXE_hetsched`, so these run
+//! under a plain `cargo test` with no extra tooling.
+
+use std::process::{Command, Output};
+
+fn hetsched(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hetsched"))
+        .args(args)
+        .output()
+        .expect("failed to spawn hetsched binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_every_subcommand_and_flag_group() {
+    let out = hetsched(&["help"]);
+    assert!(out.status.success(), "help must exit 0: {}", stderr(&out));
+    let text = stdout(&out);
+
+    for cmd in ["simulate", "analyze", "partition", "dag", "figures", "help"] {
+        assert!(text.contains(cmd), "help must list `{cmd}`:\n{text}");
+    }
+    for flag in [
+        "--kernel",
+        "--n",
+        "--p",
+        "--strategy",
+        "--beta",
+        "--trials",
+        "--seed",
+        "--scenario",
+        "--speeds",
+        "--fail",
+        "--straggler",
+        "--net",
+        "--bandwidth",
+        "--worker-bw",
+        "--latency",
+        "--policy",
+        "--quick",
+    ] {
+        assert!(text.contains(flag), "help must list `{flag}`:\n{text}");
+    }
+}
+
+#[test]
+fn no_arguments_is_an_error_that_shows_usage() {
+    let out = hetsched(&[]);
+    assert!(!out.status.success(), "bare invocation must be an error");
+    let err = stderr(&out);
+    assert!(err.contains("USAGE"), "usage must be shown: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn tiny_simulate_run_exits_zero() {
+    let out = hetsched(&[
+        "simulate",
+        "--n",
+        "12",
+        "--p",
+        "4",
+        "--strategy",
+        "dynamic",
+        "--trials",
+        "2",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("makespan"), "report incomplete:\n{text}");
+}
+
+#[test]
+fn tiny_networked_run_exits_zero() {
+    let out = hetsched(&[
+        "simulate",
+        "--n",
+        "12",
+        "--p",
+        "4",
+        "--trials",
+        "2",
+        "--net",
+        "one-port",
+        "--bandwidth",
+        "8",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("network model"),
+        "diagnostics missing:\n{text}"
+    );
+    assert!(text.contains("master-link utilization"), "{text}");
+}
+
+#[test]
+fn unknown_command_is_a_clean_error() {
+    let out = hetsched(&["simulat"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("error:"), "expected error prefix, got: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn invalid_fail_spec_is_a_clean_error() {
+    for spec in ["3", "3@", "@1.0", "3@abc", "notanumber@1.0"] {
+        let out = hetsched(&["simulate", "--n", "12", "--p", "4", "--fail", spec]);
+        assert!(!out.status.success(), "`--fail {spec}` must be rejected");
+        let err = stderr(&out);
+        assert!(err.contains("error:"), "`--fail {spec}`: {err}");
+        assert!(!err.contains("panicked"), "`--fail {spec}` panicked: {err}");
+    }
+}
+
+#[test]
+fn invalid_bandwidth_spec_is_a_clean_error() {
+    let cases: &[&[&str]] = &[
+        &["--net", "one-port"],                        // missing --bandwidth
+        &["--net", "one-port", "--bandwidth", "zero"], // not a number
+        &["--net", "one-port", "--bandwidth", "-3"],   // non-positive
+        &["--net", "warp-drive", "--bandwidth", "10"], // unknown model
+        &["--bandwidth", "10"],                        // bandwidth without --net
+        &["--net", "multiport", "--bandwidth", "10"],  // missing --worker-bw
+    ];
+    for extra in cases {
+        let mut args = vec!["simulate", "--n", "12", "--p", "4"];
+        args.extend_from_slice(extra);
+        let out = hetsched(&args);
+        assert!(!out.status.success(), "{extra:?} must be rejected");
+        let err = stderr(&out);
+        assert!(err.contains("error:"), "{extra:?}: {err}");
+        assert!(!err.contains("panicked"), "{extra:?} panicked: {err}");
+    }
+}

@@ -1,5 +1,6 @@
 //! Declarative experiment configuration.
 
+use hetsched_net::NetworkModel;
 use hetsched_platform::{FailureModel, Platform, SpeedDistribution, SpeedModel};
 
 /// Which kernel to schedule.
@@ -108,6 +109,13 @@ pub struct ExperimentConfig {
     /// (the default) leaves every run bit-for-bit identical to the
     /// fault-unaware engine.
     pub failures: FailureModel,
+    /// How the master's outbound link prices transfers.
+    /// [`NetworkModel::Infinite`] (the default) keeps the paper's
+    /// free-communication model bit for bit.
+    pub network: NetworkModel,
+    /// Uniform per-worker link latency, applied to the run's platform under
+    /// priced network models (ignored under [`NetworkModel::Infinite`]).
+    pub link_latency: f64,
 }
 
 impl Default for ExperimentConfig {
@@ -120,6 +128,8 @@ impl Default for ExperimentConfig {
             speed_model: SpeedModel::Fixed,
             platform: None,
             failures: FailureModel::none(),
+            network: NetworkModel::Infinite,
+            link_latency: 0.0,
         }
     }
 }
@@ -159,6 +169,13 @@ impl ExperimentConfig {
             return Err("Static partitioning is implemented for the outer product only".into());
         }
         self.failures.validate(self.processors)?;
+        self.network.validate()?;
+        if !self.link_latency.is_finite() || self.link_latency < 0.0 {
+            return Err(format!(
+                "link latency {} must be non-negative and finite",
+                self.link_latency
+            ));
+        }
         if !self.failures.failures().is_empty() && self.strategy == Strategy::Static {
             return Err(
                 "Static partitioning fixes the allocation up front and cannot \
@@ -272,6 +289,28 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn network_configs_validated() {
+        let cfg = ExperimentConfig {
+            network: NetworkModel::OnePort { master_bw: 0.0 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "zero bandwidth rejected");
+
+        let cfg = ExperimentConfig {
+            network: NetworkModel::OnePort { master_bw: 50.0 },
+            link_latency: 0.1,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+
+        let cfg = ExperimentConfig {
+            link_latency: -1.0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "negative latency rejected");
     }
 
     #[test]

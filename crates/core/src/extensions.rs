@@ -15,6 +15,10 @@
 //! * [`ext_analysis_flavours`] (`extC`) — our exact-form analysis vs the
 //!   paper's (corrected) first-order closed form vs simulation, across β:
 //!   the flavours agree in the domain of interest, diverge for β ≲ 2.
+//! * [`ext_bandwidth_crossover`] (`extF`) — the paper compares strategies
+//!   on communication *volume*; with a priced one-port master link we
+//!   measure where `DynamicOuter`'s lower volume becomes a *makespan*
+//!   advantage over `RandomOuter` as bandwidth tightens.
 //! * [`ext_cholesky_policies`] (`extD`) — the paper's §5 future work,
 //!   measured: data-aware allocation on the tiled Cholesky DAG cuts
 //!   communication roughly in half at every worker count, while all
@@ -235,8 +239,81 @@ pub fn ext_cholesky_policies(opts: &FigOpts) -> FigureData {
     }
 }
 
+/// `extF`: bandwidth sweep under the one-port master link. The paper
+/// compares strategies on communication *volume*, makespan being equal
+/// because communication is free; pricing the link asks the follow-up
+/// question — below which bandwidth does `DynamicOuter`'s lower volume
+/// translate into lower *makespan* than `RandomOuter`'s? The x-axis is the
+/// master bandwidth relative to the platform's aggregate compute rate
+/// `Σ s_i` (blocks per unit time over tasks per unit time), the natural
+/// compute-vs-communicate scale.
+pub fn ext_bandwidth_crossover(opts: &FigOpts) -> FigureData {
+    let (n, p) = if opts.quick { (30, 8) } else { (100, 20) };
+    let platform = Platform::sample(
+        p,
+        &hetsched_platform::SpeedDistribution::paper_default(),
+        &mut rng_for(opts.seed, 0xEF),
+    );
+    let total = platform.total_speed();
+    let ideal = (n * n) as f64 / total;
+    let rels: &[f64] = if opts.quick {
+        &[0.5, 2.0, 16.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+    };
+
+    let strategies = [
+        (Strategy::Random, "RandomOuter"),
+        (Strategy::Dynamic, "DynamicOuter"),
+    ];
+    let mut series: Vec<Series> = Vec::new();
+    for (_, label) in strategies {
+        series.push(Series::new(format!("{label} makespan")));
+    }
+    for (_, label) in strategies {
+        series.push(Series::new(format!("{label} link util")));
+    }
+
+    for (si, (strategy, _)) in strategies.into_iter().enumerate() {
+        for &c in rels {
+            let cfg = ExperimentConfig {
+                kernel: Kernel::Outer { n },
+                strategy,
+                processors: p,
+                platform: Some(platform.clone()),
+                network: hetsched_net::NetworkModel::OnePort {
+                    master_bw: c * total,
+                },
+                ..Default::default()
+            };
+            let sum = run_trials(&cfg, opts.trials, opts.seed ^ 0xF0);
+            series[si].push(
+                c,
+                sum.makespan.mean() / ideal,
+                sum.makespan.std_dev() / ideal,
+            );
+            series[2 + si].push(
+                c,
+                sum.link_utilization.mean(),
+                sum.link_utilization.std_dev(),
+            );
+        }
+    }
+
+    FigureData {
+        id: "extF",
+        title: format!(
+            "One-port bandwidth sweep, p={p}, n={n}: where lower volume buys \
+             lower makespan"
+        ),
+        x_label: "master bandwidth / aggregate speed".into(),
+        y_label: "makespan: ×work-conserving ideal; util: fraction".into(),
+        series,
+    }
+}
+
 /// Extension experiment ids.
-pub const ALL_EXTENSIONS: [&str; 4] = ["extA", "extB", "extC", "extD"];
+pub const ALL_EXTENSIONS: [&str; 5] = ["extA", "extB", "extC", "extD", "extF"];
 
 /// Dispatch by id.
 pub fn by_id(id: &str, opts: &FigOpts) -> Option<FigureData> {
@@ -245,6 +322,7 @@ pub fn by_id(id: &str, opts: &FigOpts) -> Option<FigureData> {
         "extB" => Some(ext_dynamic_speed_models(opts)),
         "extC" => Some(ext_analysis_flavours(opts)),
         "extD" => Some(ext_cholesky_policies(opts)),
+        "extF" => Some(ext_bandwidth_crossover(opts)),
         _ => None,
     }
 }
@@ -321,6 +399,30 @@ mod tests {
             cp.overall_mean(),
             da.overall_mean()
         );
+    }
+
+    #[test]
+    fn ext_f_tight_bandwidth_rewards_lower_volume() {
+        let f = ext_bandwidth_crossover(&FigOpts::quick());
+        let random = f.series("RandomOuter makespan").unwrap();
+        let dynamic = f.series("DynamicOuter makespan").unwrap();
+        // Comm-bound regime (lowest relative bandwidth): the data-aware
+        // strategy's smaller volume is a real makespan win.
+        assert!(
+            dynamic.points[0].mean < random.points[0].mean * 0.95,
+            "bw/Σs={}: dynamic {} vs random {}",
+            dynamic.points[0].x,
+            dynamic.points[0].mean,
+            random.points[0].mean
+        );
+        // Compute-bound regime (highest relative bandwidth): both are near
+        // the work-conserving ideal and the gap vanishes.
+        let (dl, rl) = (
+            dynamic.points.last().unwrap(),
+            random.points.last().unwrap(),
+        );
+        assert!(dl.mean < 1.3 && rl.mean < 1.3, "{} / {}", dl.mean, rl.mean);
+        assert!((dl.mean - rl.mean).abs() < 0.15);
     }
 
     #[test]

@@ -27,5 +27,6 @@ pub mod runner;
 pub mod series;
 
 pub use config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
+pub use hetsched_net::NetworkModel;
 pub use runner::{run_once, run_trials, RunResult, TrialSummary};
 pub use series::{FigureData, Point, Series};

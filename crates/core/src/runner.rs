@@ -38,6 +38,15 @@ pub struct RunResult {
     pub lost_tasks: u64,
     /// Blocks re-shipped while re-allocating lost tasks.
     pub reshipped_blocks: u64,
+    /// Time each worker spent idle waiting for transfers (all zeros under
+    /// the infinite network).
+    pub transfer_wait_per_proc: Vec<f64>,
+    /// Master-link utilization (0 under the infinite network).
+    pub link_utilization: f64,
+    /// Deepest master send queue observed (0 under the infinite network).
+    pub max_queue_depth: usize,
+    /// Blocks transferred toward workers that died before computing on them.
+    pub wasted_blocks: u64,
     /// The platform the run used (drawn or fixed).
     pub platform: Platform,
 }
@@ -57,6 +66,10 @@ pub struct TrialSummary {
     pub lost_tasks: OnlineStats,
     /// Blocks re-shipped while re-allocating lost tasks, across trials.
     pub reshipped_blocks: OnlineStats,
+    /// Total transfer-wait time (summed over workers) across trials.
+    pub transfer_wait: OnlineStats,
+    /// Master-link utilization across trials.
+    pub link_utilization: OnlineStats,
     /// Number of trials.
     pub trials: usize,
 }
@@ -89,7 +102,10 @@ pub fn trial_seed(seed: u64, i: usize) -> u64 {
 /// constant.
 pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
     cfg.validate().expect("invalid experiment config");
-    let platform = platform_for(cfg, seed);
+    let mut platform = platform_for(cfg, seed);
+    if cfg.link_latency > 0.0 {
+        platform = platform.with_uniform_link_latency(cfg.link_latency);
+    }
     let n = cfg.kernel.n();
     let p = cfg.processors;
     let lb = cfg.kernel.lower_bound(&platform);
@@ -117,41 +133,45 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
     // its concrete scheduler and harvests strategy-specific accounting.
     let (report, phase_split) = match (cfg.kernel, cfg.strategy) {
         (Kernel::Outer { n }, Strategy::Random) => {
-            let (r, _) = hetsched_sim::run_with_failures(
+            let (r, _) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 RandomOuter::new(n, p),
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Sorted) => {
-            let (r, _) = hetsched_sim::run_with_failures(
+            let (r, _) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 SortedOuter::new(n, p),
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Dynamic) => {
-            let (r, _) = hetsched_sim::run_with_failures(
+            let (r, _) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 DynamicOuter::new(n, p),
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Static) => {
-            let (r, _) = hetsched_sim::run_with_failures(
+            let (r, _) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 hetsched_partition::StaticOuter::new(n, &platform),
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             (r, None)
@@ -167,11 +187,12 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
                 (_, Some(b)) => DynamicOuter2Phases::with_beta(n, p, b),
                 _ => unreachable!("β resolved above for non-fraction choices"),
             };
-            let (r, s) = hetsched_sim::run_with_failures(
+            let (r, s) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 sched,
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             let split = (
@@ -183,31 +204,34 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
             (r, Some(split))
         }
         (Kernel::Matmul { n }, Strategy::Random) => {
-            let (r, _) = hetsched_sim::run_with_failures(
+            let (r, _) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 RandomMatrix::new(n, p),
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::Sorted) => {
-            let (r, _) = hetsched_sim::run_with_failures(
+            let (r, _) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 SortedMatrix::new(n, p),
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::Dynamic) => {
-            let (r, _) = hetsched_sim::run_with_failures(
+            let (r, _) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 DynamicMatrix::new(n, p),
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             (r, None)
@@ -220,11 +244,12 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
                 (_, Some(b)) => DynamicMatrix2Phases::with_beta(n, p, b),
                 _ => unreachable!("β resolved above for non-fraction choices"),
             };
-            let (r, s) = hetsched_sim::run_with_failures(
+            let (r, s) = hetsched_sim::run_configured(
                 &platform,
                 cfg.speed_model,
                 sched,
                 &cfg.failures,
+                cfg.network,
                 &mut rng,
             );
             let split = (
@@ -248,6 +273,10 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
         blocks_per_proc: report.ledger.blocks_per_proc().to_vec(),
         lost_tasks: report.lost_tasks,
         reshipped_blocks: report.reshipped_blocks,
+        transfer_wait_per_proc: report.ledger.wait_per_proc().to_vec(),
+        link_utilization: report.link_utilization,
+        max_queue_depth: report.max_queue_depth,
+        wasted_blocks: report.wasted_blocks,
         platform,
     }
 }
@@ -290,6 +319,8 @@ pub fn run_trials(cfg: &ExperimentConfig, trials: usize, seed: u64) -> TrialSumm
         beta_used: OnlineStats::new(),
         lost_tasks: OnlineStats::new(),
         reshipped_blocks: OnlineStats::new(),
+        transfer_wait: OnlineStats::new(),
+        link_utilization: OnlineStats::new(),
         trials,
     };
     for r in &results {
@@ -298,6 +329,10 @@ pub fn run_trials(cfg: &ExperimentConfig, trials: usize, seed: u64) -> TrialSumm
         summary.makespan.push(r.makespan);
         summary.lost_tasks.push(r.lost_tasks as f64);
         summary.reshipped_blocks.push(r.reshipped_blocks as f64);
+        summary
+            .transfer_wait
+            .push(r.transfer_wait_per_proc.iter().sum());
+        summary.link_utilization.push(r.link_utilization);
         if let Some(b) = r.beta_used {
             summary.beta_used.push(b);
         }
@@ -446,6 +481,38 @@ mod tests {
                 assert_eq!(c.reshipped_blocks, 0);
             }
         }
+    }
+
+    #[test]
+    fn networked_runs_complete_and_price_transfers() {
+        use hetsched_net::NetworkModel;
+        for strategy in [Strategy::Random, Strategy::Dynamic] {
+            let cfg = ExperimentConfig {
+                kernel: Kernel::Outer { n: 16 },
+                strategy,
+                processors: 4,
+                network: NetworkModel::OnePort { master_bw: 20.0 },
+                link_latency: 0.01,
+                ..Default::default()
+            };
+            let r = run_once(&cfg, 11);
+            let total: u64 = r.tasks_per_proc.iter().sum();
+            assert_eq!(total as usize, 256, "{strategy:?}");
+            assert!(r.link_utilization > 0.0 && r.link_utilization <= 1.0);
+            // Every block crosses the one-port link.
+            assert!(r.makespan >= r.total_blocks as f64 / 20.0 - 1e-9);
+        }
+        // The default (infinite) network reports zero network metrics.
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n: 16 },
+            processors: 4,
+            ..Default::default()
+        };
+        let r = run_once(&cfg, 11);
+        assert_eq!(r.link_utilization, 0.0);
+        assert_eq!(r.max_queue_depth, 0);
+        assert_eq!(r.wasted_blocks, 0);
+        assert!(r.transfer_wait_per_proc.iter().all(|&w| w == 0.0));
     }
 
     #[test]

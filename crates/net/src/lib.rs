@@ -1,0 +1,39 @@
+//! Bandwidth-constrained network models for the master/worker platform.
+//!
+//! The paper measures communication *volume* as a proxy for time because the
+//! master's outbound link is the expected bottleneck — its simulator ships
+//! blocks instantaneously and only counts them. This crate supplies the
+//! missing half: a [`NetworkModel`] that prices every transfer in simulated
+//! time, so the engine can show *when* a data-aware strategy's lower volume
+//! actually buys makespan.
+//!
+//! Three regimes, in increasing contention fidelity:
+//!
+//! * [`NetworkModel::Infinite`] — the paper's model: transfers are free and
+//!   instantaneous. This is the default everywhere and is guaranteed
+//!   bit-for-bit identical to the pre-network engine.
+//! * [`NetworkModel::OnePort`] — the classic one-port master of Dongarra et
+//!   al., *Revisiting Matrix Product on Master-Worker Platforms*: the master
+//!   serializes its sends at `master_bw` blocks per unit time, FIFO.
+//! * [`NetworkModel::BoundedMultiport`] — the bounded-multiport model: the
+//!   master may drive several transfers concurrently, each capped at
+//!   `worker_bw`, with aggregate capacity `master_bw`. Implemented as a
+//!   deterministic slot queue: each transfer runs at
+//!   `r = min(worker_bw, master_bw)` and the master offers
+//!   `⌊master_bw / r⌋` concurrent channels.
+//!
+//! Per-worker link *latency* comes from the
+//! [`Platform`](hetsched_platform::Platform) (`link_latencies`), added to
+//! every priced transfer's arrival time. `Infinite` ignores latency by
+//! definition — it reproduces the free-communication model exactly.
+//!
+//! [`NetState`] is the mutable per-run counterpart: it owns the channel
+//! clocks and answers "when does this batch arrive?", while accumulating the
+//! master-link busy time and the maximum send-queue depth for the engine's
+//! report.
+
+pub mod model;
+pub mod state;
+
+pub use model::NetworkModel;
+pub use state::{NetState, TransferPlan};

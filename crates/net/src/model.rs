@@ -1,0 +1,171 @@
+//! The declarative network description.
+
+/// How the master's outbound link prices block transfers.
+///
+/// Bandwidths are in *blocks per unit of simulated time* — the same unit the
+/// platform speeds use for tasks, so `master_bw` is directly comparable to
+/// the aggregate task rate `Σ s_i`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum NetworkModel {
+    /// Communication is free and instantaneous (the paper's model, and the
+    /// default). Latency is ignored too: this variant reproduces the
+    /// pre-network engine bit for bit.
+    #[default]
+    Infinite,
+    /// The master serializes sends: one transfer at a time at `master_bw`
+    /// blocks per unit time, FIFO over pending batches.
+    OnePort {
+        /// Master outbound bandwidth (blocks per unit time).
+        master_bw: f64,
+    },
+    /// The master drives several transfers concurrently: each transfer is
+    /// capped at `worker_bw`, the aggregate at `master_bw`. Modelled as
+    /// `⌊master_bw / min(worker_bw, master_bw)⌋` deterministic channels.
+    BoundedMultiport {
+        /// Aggregate master outbound bandwidth (blocks per unit time).
+        master_bw: f64,
+        /// Per-worker inbound cap (blocks per unit time).
+        worker_bw: f64,
+    },
+}
+
+impl NetworkModel {
+    /// True for the free-communication model.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, NetworkModel::Infinite)
+    }
+
+    /// Master outbound bandwidth, if the link is priced.
+    pub fn master_bw(&self) -> Option<f64> {
+        match *self {
+            NetworkModel::Infinite => None,
+            NetworkModel::OnePort { master_bw }
+            | NetworkModel::BoundedMultiport { master_bw, .. } => Some(master_bw),
+        }
+    }
+
+    /// Effective per-transfer rate: `master_bw` for one-port,
+    /// `min(worker_bw, master_bw)` for bounded-multiport.
+    pub fn transfer_rate(&self) -> Option<f64> {
+        match *self {
+            NetworkModel::Infinite => None,
+            NetworkModel::OnePort { master_bw } => Some(master_bw),
+            NetworkModel::BoundedMultiport {
+                master_bw,
+                worker_bw,
+            } => Some(worker_bw.min(master_bw)),
+        }
+    }
+
+    /// Number of concurrent master channels (1 for one-port).
+    pub fn channels(&self) -> usize {
+        match *self {
+            NetworkModel::Infinite => usize::MAX,
+            NetworkModel::OnePort { .. } => 1,
+            NetworkModel::BoundedMultiport {
+                master_bw,
+                worker_bw,
+            } => ((master_bw / worker_bw.min(master_bw)).floor() as usize).max(1),
+        }
+    }
+
+    /// Short display name, matching the CLI's `--net` values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkModel::Infinite => "infinite",
+            NetworkModel::OnePort { .. } => "one-port",
+            NetworkModel::BoundedMultiport { .. } => "multiport",
+        }
+    }
+
+    /// Checks bandwidths are positive and finite.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            NetworkModel::Infinite => Ok(()),
+            NetworkModel::OnePort { master_bw } => {
+                if !master_bw.is_finite() || master_bw <= 0.0 {
+                    return Err(format!("one-port master bandwidth {master_bw} must be > 0"));
+                }
+                Ok(())
+            }
+            NetworkModel::BoundedMultiport {
+                master_bw,
+                worker_bw,
+            } => {
+                if !master_bw.is_finite() || master_bw <= 0.0 {
+                    return Err(format!(
+                        "multiport master bandwidth {master_bw} must be > 0"
+                    ));
+                }
+                if !worker_bw.is_finite() || worker_bw <= 0.0 {
+                    return Err(format!(
+                        "multiport worker bandwidth {worker_bw} must be > 0"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_infinite() {
+        assert!(NetworkModel::default().is_infinite());
+        assert_eq!(NetworkModel::default().master_bw(), None);
+        assert_eq!(NetworkModel::default().transfer_rate(), None);
+    }
+
+    #[test]
+    fn one_port_is_a_single_channel() {
+        let m = NetworkModel::OnePort { master_bw: 50.0 };
+        assert_eq!(m.channels(), 1);
+        assert_eq!(m.transfer_rate(), Some(50.0));
+        assert_eq!(m.name(), "one-port");
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn multiport_channel_count() {
+        let m = NetworkModel::BoundedMultiport {
+            master_bw: 100.0,
+            worker_bw: 25.0,
+        };
+        assert_eq!(m.channels(), 4);
+        assert_eq!(m.transfer_rate(), Some(25.0));
+
+        // Worker cap above the master's capacity degenerates to one-port.
+        let fat = NetworkModel::BoundedMultiport {
+            master_bw: 30.0,
+            worker_bw: 100.0,
+        };
+        assert_eq!(fat.channels(), 1);
+        assert_eq!(fat.transfer_rate(), Some(30.0));
+    }
+
+    #[test]
+    fn validate_rejects_bad_bandwidths() {
+        assert!(NetworkModel::Infinite.validate().is_ok());
+        assert!(NetworkModel::OnePort { master_bw: 0.0 }.validate().is_err());
+        assert!(NetworkModel::OnePort {
+            master_bw: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(NetworkModel::BoundedMultiport {
+            master_bw: 10.0,
+            worker_bw: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(NetworkModel::BoundedMultiport {
+            master_bw: 10.0,
+            worker_bw: 2.0
+        }
+        .validate()
+        .is_ok());
+    }
+}

@@ -1,0 +1,223 @@
+//! Mutable per-run network state: channel clocks and link metrics.
+
+use crate::model::NetworkModel;
+use hetsched_platform::ProcId;
+
+/// The priced timing of one batch transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferPlan {
+    /// When the master's channel starts pushing this batch.
+    pub start: f64,
+    /// When the last block leaves the master.
+    pub end: f64,
+    /// When the batch is usable at the worker (`end` + the worker's link
+    /// latency).
+    pub arrival: f64,
+}
+
+/// Simulates the master link for one run: answers "when does this batch
+/// arrive at worker `k`?" under the run's [`NetworkModel`], and accumulates
+/// the master-busy time and the maximum send-queue depth.
+///
+/// Transfers are priced in request order (FIFO): each send grabs the
+/// earliest-free channel. Because every worker has at most one batch in
+/// flight, at most `p` transfers are ever outstanding.
+#[derive(Clone, Debug)]
+pub struct NetState {
+    model: NetworkModel,
+    latency: Vec<f64>,
+    /// Free time of each concurrent master channel (len = `channels()`,
+    /// empty for `Infinite`).
+    channel_free: Vec<f64>,
+    /// Accumulated master-link busy time (sum of transfer durations).
+    busy: f64,
+    /// Start times of transfers that were queued behind a busy channel and
+    /// have not started yet (pruned lazily).
+    waiting_starts: Vec<f64>,
+    max_queue_depth: usize,
+}
+
+impl NetState {
+    /// Network state over `model` with per-worker link latencies (one entry
+    /// per worker; use zeros for latency-free links).
+    pub fn new(model: NetworkModel, latency: Vec<f64>) -> Self {
+        model.validate().expect("invalid network model");
+        assert!(
+            latency.iter().all(|l| l.is_finite() && *l >= 0.0),
+            "link latencies must be non-negative and finite"
+        );
+        let channels = if model.is_infinite() {
+            0
+        } else {
+            model.channels().min(latency.len().max(1))
+        };
+        NetState {
+            model,
+            latency,
+            channel_free: vec![0.0; channels],
+            busy: 0.0,
+            waiting_starts: Vec::new(),
+            max_queue_depth: 0,
+        }
+    }
+
+    /// The model this state prices.
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+
+    /// Prices the transfer of `blocks` blocks to worker `k`, requested at
+    /// simulated time `now`. Mutates the channel clocks: the returned plan is
+    /// committed.
+    ///
+    /// Zero-block sends (worker retirement handshakes) are free and do not
+    /// occupy a channel.
+    pub fn send(&mut self, k: ProcId, blocks: u64, now: f64) -> TransferPlan {
+        if self.model.is_infinite() || blocks == 0 {
+            return TransferPlan {
+                start: now,
+                end: now,
+                arrival: now,
+            };
+        }
+        let rate = self.model.transfer_rate().expect("priced model");
+        let duration = blocks as f64 / rate;
+
+        // Earliest-free channel, FIFO over requests.
+        let (slot, _) = self
+            .channel_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite channel clock"))
+            .expect("at least one channel");
+        let start = self.channel_free[slot].max(now);
+        let end = start + duration;
+        self.channel_free[slot] = end;
+        self.busy += duration;
+
+        // Queue-depth metric: transfers enqueued but not yet started.
+        self.waiting_starts.retain(|&s| s > now);
+        if start > now {
+            self.waiting_starts.push(start);
+        }
+        self.max_queue_depth = self.max_queue_depth.max(self.waiting_starts.len());
+
+        let latency = self.latency.get(k.idx()).copied().unwrap_or(0.0);
+        TransferPlan {
+            start,
+            end,
+            arrival: end + latency,
+        }
+    }
+
+    /// Total time the master link spent transferring (summed over channels).
+    pub fn master_busy(&self) -> f64 {
+        self.busy
+    }
+
+    /// Master-link utilization over a run of length `makespan`: busy time
+    /// divided by `makespan × channels`. Zero for infinite networks and
+    /// empty runs.
+    pub fn utilization(&self, makespan: f64) -> f64 {
+        if self.channel_free.is_empty() || makespan <= 0.0 {
+            return 0.0;
+        }
+        self.busy / (makespan * self.channel_free.len() as f64)
+    }
+
+    /// Largest number of batches ever waiting behind busy channels.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_port(bw: f64) -> NetState {
+        NetState::new(NetworkModel::OnePort { master_bw: bw }, vec![0.0; 4])
+    }
+
+    #[test]
+    fn infinite_transfers_are_free() {
+        let mut net = NetState::new(NetworkModel::Infinite, vec![5.0; 3]);
+        let plan = net.send(ProcId(0), 1000, 2.5);
+        assert_eq!(plan.start, 2.5);
+        assert_eq!(plan.arrival, 2.5, "infinite ignores latency");
+        assert_eq!(net.master_busy(), 0.0);
+        assert_eq!(net.utilization(10.0), 0.0);
+        assert_eq!(net.max_queue_depth(), 0);
+    }
+
+    #[test]
+    fn one_port_serializes_fifo() {
+        let mut net = one_port(10.0);
+        let a = net.send(ProcId(0), 50, 0.0); // 5 time units
+        let b = net.send(ProcId(1), 30, 0.0); // queued behind a
+        let c = net.send(ProcId(2), 20, 0.0);
+        assert_eq!((a.start, a.end), (0.0, 5.0));
+        assert_eq!((b.start, b.end), (5.0, 8.0));
+        assert_eq!((c.start, c.end), (8.0, 10.0));
+        assert_eq!(net.master_busy(), 10.0);
+        assert_eq!(net.max_queue_depth(), 2, "b and c waited");
+        assert!((net.utilization(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut net = one_port(10.0);
+        let a = net.send(ProcId(0), 10, 0.0);
+        assert_eq!(a.end, 1.0);
+        let b = net.send(ProcId(1), 10, 5.0); // link idle since t = 1
+        assert_eq!((b.start, b.end), (5.0, 6.0));
+        assert_eq!(net.max_queue_depth(), 0, "nobody ever waited");
+    }
+
+    #[test]
+    fn latency_delays_arrival_only() {
+        let mut net = NetState::new(NetworkModel::OnePort { master_bw: 10.0 }, vec![0.0, 2.0]);
+        let a = net.send(ProcId(1), 10, 0.0);
+        assert_eq!(a.end, 1.0);
+        assert_eq!(a.arrival, 3.0);
+        // The channel frees at `end`, not `arrival`.
+        let b = net.send(ProcId(0), 10, 0.0);
+        assert_eq!(b.start, 1.0);
+        assert_eq!(b.arrival, 2.0);
+    }
+
+    #[test]
+    fn multiport_runs_channels_in_parallel() {
+        let mut net = NetState::new(
+            NetworkModel::BoundedMultiport {
+                master_bw: 20.0,
+                worker_bw: 10.0,
+            },
+            vec![0.0; 4],
+        );
+        // Two channels at rate 10 each.
+        let a = net.send(ProcId(0), 10, 0.0);
+        let b = net.send(ProcId(1), 10, 0.0);
+        let c = net.send(ProcId(2), 10, 0.0);
+        assert_eq!((a.start, a.end), (0.0, 1.0));
+        assert_eq!((b.start, b.end), (0.0, 1.0), "second channel is free");
+        assert_eq!((c.start, c.end), (1.0, 2.0), "third transfer queues");
+        assert_eq!(net.max_queue_depth(), 1);
+        // Aggregate utilization over both channels.
+        assert!((net.utilization(2.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_block_sends_are_free() {
+        let mut net = one_port(1.0);
+        let plan = net.send(ProcId(0), 0, 4.0);
+        assert_eq!(plan.arrival, 4.0);
+        assert_eq!(net.master_busy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network model")]
+    fn invalid_model_rejected() {
+        let _ = NetState::new(NetworkModel::OnePort { master_bw: -1.0 }, vec![0.0]);
+    }
+}

@@ -27,6 +27,10 @@ use rand::Rng;
 pub struct Platform {
     speeds: Vec<f64>,
     total: f64,
+    /// Per-worker link latency (time from the last block leaving the master
+    /// to the batch being usable at the worker). All zeros by default; only
+    /// priced network models (`hetsched-net`) read it.
+    link_latency: Vec<f64>,
 }
 
 impl Platform {
@@ -38,7 +42,45 @@ impl Platform {
             "speeds must be positive and finite"
         );
         let total = speeds.iter().sum();
-        Platform { speeds, total }
+        let link_latency = vec![0.0; speeds.len()];
+        Platform {
+            speeds,
+            total,
+            link_latency,
+        }
+    }
+
+    /// Sets per-worker link latencies (must match the processor count).
+    pub fn with_link_latencies(mut self, latencies: Vec<f64>) -> Self {
+        assert_eq!(
+            latencies.len(),
+            self.speeds.len(),
+            "one latency per processor"
+        );
+        assert!(
+            latencies.iter().all(|&l| l.is_finite() && l >= 0.0),
+            "latencies must be non-negative and finite"
+        );
+        self.link_latency = latencies;
+        self
+    }
+
+    /// Sets the same link latency on every worker.
+    pub fn with_uniform_link_latency(self, latency: f64) -> Self {
+        let p = self.speeds.len();
+        self.with_link_latencies(vec![latency; p])
+    }
+
+    /// Link latency of processor `k`.
+    #[inline]
+    pub fn link_latency(&self, k: ProcId) -> f64 {
+        self.link_latency[k.idx()]
+    }
+
+    /// All link latencies.
+    #[inline]
+    pub fn link_latencies(&self) -> &[f64] {
+        &self.link_latency
     }
 
     /// Draws `p` speeds from `dist`.

@@ -4,6 +4,7 @@ use crate::event::EventQueue;
 use crate::metrics::CommLedger;
 use crate::scheduler::Scheduler;
 use crate::trace::{Trace, TraceEvent};
+use hetsched_net::NetworkModel;
 use hetsched_platform::{FailureModel, Platform, ProcId, SpeedModel, SpeedState};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -24,6 +25,16 @@ pub struct SimReport {
     /// Blocks shipped for batches that re-allocate failure-lost tasks (zero
     /// without fault injection).
     pub reshipped_blocks: u64,
+    /// Master-link utilization (busy time over `makespan × channels`; zero
+    /// under [`NetworkModel::Infinite`]).
+    pub link_utilization: f64,
+    /// Largest number of batches ever queued behind the master's busy
+    /// channels (zero under [`NetworkModel::Infinite`]).
+    pub max_queue_depth: usize,
+    /// Blocks transferred toward workers that failed before computing on
+    /// them — bandwidth wasted on corpses (zero without fault injection or
+    /// under [`NetworkModel::Infinite`]).
+    pub wasted_blocks: u64,
 }
 
 impl SimReport {
@@ -36,13 +47,14 @@ impl SimReport {
 /// The simulation engine: owns the clock, the event queue and the ledger;
 /// borrows the platform and drives a [`Scheduler`].
 pub struct Engine<'a, S: Scheduler> {
-    platform: &'a Platform,
-    speeds: SpeedState,
-    scheduler: S,
-    queue: EventQueue,
-    ledger: CommLedger,
-    makespan: f64,
-    failures: FailureModel,
+    pub(crate) platform: &'a Platform,
+    pub(crate) speeds: SpeedState,
+    pub(crate) scheduler: S,
+    pub(crate) queue: EventQueue,
+    pub(crate) ledger: CommLedger,
+    pub(crate) makespan: f64,
+    pub(crate) failures: FailureModel,
+    pub(crate) network: NetworkModel,
 }
 
 impl<'a, S: Scheduler> Engine<'a, S> {
@@ -57,7 +69,22 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             ledger: CommLedger::new(p),
             makespan: 0.0,
             failures: FailureModel::none(),
+            network: NetworkModel::Infinite,
         }
+    }
+
+    /// Prices transfers under `network` instead of the paper's free
+    /// communication model. With [`NetworkModel::Infinite`] (the default)
+    /// the engine takes the exact pre-network code path, so results are
+    /// bit-for-bit identical to an engine without this call.
+    ///
+    /// # Panics
+    ///
+    /// If the model's bandwidths do not validate.
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        network.validate().expect("invalid network model");
+        self.network = network;
+        self
     }
 
     /// Injects a fault scenario. Stragglers degrade their worker's speed
@@ -100,6 +127,13 @@ impl<'a, S: Scheduler> Engine<'a, S> {
     }
 
     fn run_impl(mut self, rng: &mut StdRng, mut trace: Option<&mut Trace>) -> (SimReport, S, ()) {
+        if !self.network.is_infinite() {
+            // Priced transfers need their own event loop (transfers are
+            // events, communication overlaps computation). The infinite
+            // model stays on the original loop below, untouched, so it is
+            // bit-for-bit identical to the pre-network engine.
+            return self.run_networked(rng, trace);
+        }
         let p = self.platform.len();
         let mut initial: Vec<ProcId> = self.platform.procs().collect();
         initial.shuffle(rng);
@@ -245,6 +279,9 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 total_blocks,
                 lost_tasks,
                 reshipped_blocks,
+                link_utilization: 0.0,
+                max_queue_depth: 0,
+                wasted_blocks: 0,
             },
             self.scheduler,
             (),
@@ -326,6 +363,38 @@ pub fn run_traced_with_failures<S: Scheduler>(
 ) -> (SimReport, S, Trace) {
     Engine::new(platform, model, scheduler)
         .with_failures(failures)
+        .run_traced(rng)
+}
+
+/// One-shot convenience with both fault injection and a network model. With
+/// [`FailureModel::none`] and [`NetworkModel::Infinite`] this is exactly
+/// [`run`].
+pub fn run_configured<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    scheduler: S,
+    failures: &FailureModel,
+    network: NetworkModel,
+    rng: &mut StdRng,
+) -> (SimReport, S) {
+    Engine::new(platform, model, scheduler)
+        .with_failures(failures)
+        .with_network(network)
+        .run(rng)
+}
+
+/// One-shot convenience: faults + network + trace.
+pub fn run_configured_traced<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    scheduler: S,
+    failures: &FailureModel,
+    network: NetworkModel,
+    rng: &mut StdRng,
+) -> (SimReport, S, Trace) {
+    Engine::new(platform, model, scheduler)
+        .with_failures(failures)
+        .with_network(network)
         .run_traced(rng)
 }
 

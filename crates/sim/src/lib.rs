@@ -31,15 +31,29 @@
 //! scheduler via [`Scheduler::on_tasks_lost`] and is re-allocated to
 //! survivors) or run as a straggler at a fraction of its nominal speed. The
 //! ledger tracks the lost tasks and the recovery re-shipping volume.
+//!
+//! Rule 2 above — communication free in time — can be relaxed with a
+//! [`NetworkModel`] (`Engine::with_network`): the master's outbound link
+//! then has finite bandwidth, transfers become timed events overlapping
+//! computation (depth-1 prefetch), and the report additionally carries
+//! per-worker transfer-wait time, link utilization, the maximum send-queue
+//! depth, and the bandwidth wasted on workers that die with a batch in
+//! flight. [`NetworkModel::Infinite`] (the default) keeps the original
+//! code path bit for bit.
 
 pub mod engine;
 pub mod event;
 pub mod metrics;
+mod net_engine;
 pub mod scheduler;
 pub mod trace;
 
-pub use engine::{run, run_traced, run_traced_with_failures, run_with_failures, Engine, SimReport};
+pub use engine::{
+    run, run_configured, run_configured_traced, run_traced, run_traced_with_failures,
+    run_with_failures, Engine, SimReport,
+};
 pub use event::EventQueue;
+pub use hetsched_net::NetworkModel;
 pub use metrics::CommLedger;
 pub use scheduler::{Allocation, Scheduler};
 pub use trace::{Trace, TraceEvent};

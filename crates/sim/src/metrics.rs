@@ -12,6 +12,14 @@ use hetsched_platform::ProcId;
 ///   least one re-allocated task — the communication overhead of recovery,
 ///   at batch granularity (a batch mixing fresh and re-allocated tasks
 ///   counts in full).
+///
+/// Under a priced network model (`hetsched-net`) it additionally tracks:
+///
+/// * `wait`: time the worker sat idle waiting for its next batch to clear
+///   the master link (zero under the infinite network);
+/// * `wasted`: blocks the master transferred (or was transferring) to this
+///   worker that were never computed on because the worker failed —
+///   bandwidth spent on a corpse.
 #[derive(Clone, Debug)]
 pub struct CommLedger {
     blocks: Vec<u64>,
@@ -20,6 +28,8 @@ pub struct CommLedger {
     requests: Vec<u64>,
     lost: Vec<u64>,
     reshipped: Vec<u64>,
+    wait: Vec<f64>,
+    wasted: Vec<u64>,
 }
 
 impl CommLedger {
@@ -32,6 +42,8 @@ impl CommLedger {
             requests: vec![0; p],
             lost: vec![0; p],
             reshipped: vec![0; p],
+            wait: vec![0.0; p],
+            wasted: vec![0; p],
         }
     }
 
@@ -52,6 +64,17 @@ impl CommLedger {
     /// at least one task lost to a failure.
     pub fn record_reshipped(&mut self, k: ProcId, blocks: u64) {
         self.reshipped[k.idx()] += blocks;
+    }
+
+    /// Records time worker `k` spent idle waiting for a transfer.
+    pub fn record_wait(&mut self, k: ProcId, wait: f64) {
+        self.wait[k.idx()] += wait;
+    }
+
+    /// Records `blocks` transferred toward worker `k` that were never
+    /// computed on because the worker failed.
+    pub fn record_wasted(&mut self, k: ProcId, blocks: u64) {
+        self.wasted[k.idx()] += blocks;
     }
 
     /// Total blocks shipped by the master.
@@ -105,6 +128,27 @@ impl CommLedger {
         self.reshipped.iter().sum()
     }
 
+    /// Time worker `k` spent idle waiting for transfers.
+    pub fn transfer_wait(&self, k: ProcId) -> f64 {
+        self.wait[k.idx()]
+    }
+
+    /// Total transfer-wait time across all workers.
+    pub fn total_transfer_wait(&self) -> f64 {
+        self.wait.iter().sum()
+    }
+
+    /// Blocks wasted on worker `k` (transferred but never computed on
+    /// because the worker failed).
+    pub fn wasted_blocks(&self, k: ProcId) -> u64 {
+        self.wasted[k.idx()]
+    }
+
+    /// Total wasted transfer volume across all workers.
+    pub fn total_wasted_blocks(&self) -> u64 {
+        self.wasted.iter().sum()
+    }
+
     /// Per-worker block counts.
     pub fn blocks_per_proc(&self) -> &[u64] {
         &self.blocks
@@ -123,6 +167,16 @@ impl CommLedger {
     /// Per-worker re-shipped block counts.
     pub fn reshipped_per_proc(&self) -> &[u64] {
         &self.reshipped
+    }
+
+    /// Per-worker transfer-wait times.
+    pub fn wait_per_proc(&self) -> &[f64] {
+        &self.wait
+    }
+
+    /// Per-worker wasted-block counts.
+    pub fn wasted_per_proc(&self) -> &[u64] {
+        &self.wasted
     }
 }
 
@@ -165,5 +219,25 @@ mod tests {
         // Fault counters are orthogonal to the work counters.
         assert_eq!(l.total_tasks(), 0);
         assert_eq!(l.total_blocks(), 0);
+    }
+
+    #[test]
+    fn network_counters_accumulate() {
+        let mut l = CommLedger::new(2);
+        assert_eq!(l.total_transfer_wait(), 0.0);
+        assert_eq!(l.total_wasted_blocks(), 0);
+        l.record_wait(ProcId(0), 1.5);
+        l.record_wait(ProcId(0), 0.5);
+        l.record_wasted(ProcId(1), 8);
+        assert_eq!(l.transfer_wait(ProcId(0)), 2.0);
+        assert_eq!(l.transfer_wait(ProcId(1)), 0.0);
+        assert_eq!(l.total_transfer_wait(), 2.0);
+        assert_eq!(l.wasted_blocks(ProcId(1)), 8);
+        assert_eq!(l.total_wasted_blocks(), 8);
+        assert_eq!(l.wait_per_proc(), &[2.0, 0.0]);
+        assert_eq!(l.wasted_per_proc(), &[0, 8]);
+        // Network counters are orthogonal to the work counters too.
+        assert_eq!(l.total_blocks(), 0);
+        assert_eq!(l.total_tasks(), 0);
     }
 }

@@ -1,0 +1,701 @@
+//! The bandwidth-aware simulation loop.
+//!
+//! Under a priced [`NetworkModel`](hetsched_net::NetworkModel) the engine
+//! cannot reuse the infinite-network loop (where a pop is simultaneously
+//! "compute done" and "next request"): transfers now take time, so they are
+//! events of their own, and communication must *overlap* computation or the
+//! network cost would be grossly overstated.
+//!
+//! The loop implements depth-1 prefetch — the master sends a worker its next
+//! batch while the current one computes:
+//!
+//! * when a batch **starts computing**, the worker immediately requests the
+//!   next one; its transfer is priced by [`NetState`] and an `Arrive` event
+//!   is scheduled;
+//! * an arriving batch starts computing at `max(arrival, compute-done)`;
+//!   the gap `arrival − compute-done`, when positive, is the worker's
+//!   *transfer wait* — the quantity the infinite model assumes away;
+//! * worker deaths are unconditional `Death` events pushed before anything
+//!   else, so a failure at time `f` is always discovered at `f`. A batch in
+//!   flight (or arrived but never started) toward a dead worker is pure
+//!   waste: its blocks count as shipped *and* wasted, and its tasks return
+//!   to the scheduler exactly once.
+//!
+//! Fail-stop semantics match the infinite engine: a batch whose computation
+//! would finish strictly after the worker's failure time is lost (its blocks
+//! and the burned compute time are recorded, its tasks re-allocated), while
+//! a batch finishing exactly at the failure time completes.
+
+use crate::engine::{Engine, SimReport};
+use crate::scheduler::Scheduler;
+use crate::trace::{Trace, TraceEvent};
+use hetsched_net::NetState;
+use hetsched_platform::ProcId;
+use hetsched_util::OrderedF64;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A worker's failure is discovered.
+const DEATH: u8 = 0;
+/// A transfer reaches its worker.
+const ARRIVE: u8 = 1;
+/// A batch finishes computing.
+const DONE: u8 = 2;
+/// A parked worker re-checks the (possibly replenished) task pool.
+const RETRY: u8 = 3;
+
+/// Min-heap of `(time, kind, worker)` events; the monotone sequence number
+/// makes simultaneous events FIFO. `Death` events are pushed first and so
+/// carry the lowest sequence numbers: at time `f` a death pops before any
+/// same-time arrival or retry.
+#[derive(Default)]
+struct NetQueue {
+    heap: BinaryHeap<Reverse<(OrderedF64, u64, u8, ProcId)>>,
+    seq: u64,
+}
+
+impl NetQueue {
+    fn push(&mut self, t: f64, kind: u8, k: ProcId) {
+        self.heap
+            .push(Reverse((OrderedF64::new(t), self.seq, kind, k)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(f64, u8, ProcId)> {
+        self.heap
+            .pop()
+            .map(|Reverse((t, _, kind, k))| (t.get(), kind, k))
+    }
+}
+
+/// One allocated batch travelling toward (or parked at) a worker.
+struct Batch {
+    tasks: usize,
+    blocks: u64,
+    ids: Vec<u32>,
+}
+
+/// Mutable per-run worker state for the networked loop.
+struct RunState {
+    fail_time: Vec<Option<f64>>,
+    dead: Vec<bool>,
+    /// Worker was allocated a batch it will not finish; the `Death` event at
+    /// its failure time discovers the loss.
+    dying: Vec<bool>,
+    /// Task ids of the dying worker's current batch.
+    in_flight: Vec<Vec<u32>>,
+    /// Batch currently in transfer (an `Arrive` event is scheduled).
+    pending: Vec<Option<Batch>>,
+    /// Batch arrived while the worker was still computing.
+    ready: Vec<Option<Batch>>,
+    computing: Vec<bool>,
+    /// When the worker last went idle; `start − idle_since` is its
+    /// transfer wait.
+    idle_since: Vec<f64>,
+    /// Failure-lost ids not yet re-allocated, for re-ship accounting.
+    lost_ids: HashSet<u32>,
+    q: NetQueue,
+    net: NetState,
+}
+
+impl<'a, S: Scheduler> Engine<'a, S> {
+    pub(crate) fn run_networked(
+        mut self,
+        rng: &mut StdRng,
+        mut trace: Option<&mut Trace>,
+    ) -> (SimReport, S, ()) {
+        let p = self.platform.len();
+        let mut st = RunState {
+            fail_time: self
+                .platform
+                .procs()
+                .map(|k| self.failures.fail_time(k))
+                .collect(),
+            dead: vec![false; p],
+            dying: vec![false; p],
+            in_flight: vec![Vec::new(); p],
+            pending: (0..p).map(|_| None).collect(),
+            ready: (0..p).map(|_| None).collect(),
+            computing: vec![false; p],
+            idle_since: vec![0.0; p],
+            lost_ids: HashSet::new(),
+            q: NetQueue::default(),
+            net: NetState::new(self.network, self.platform.link_latencies().to_vec()),
+        };
+
+        // Unconditional death events, pushed before anything else so they
+        // carry the lowest sequence numbers and failures are discovered
+        // exactly at their time.
+        for k in self.platform.procs() {
+            if let Some(f) = st.fail_time[k.idx()] {
+                st.q.push(f, DEATH, k);
+            }
+        }
+
+        // All workers request at t = 0 in a seed-shuffled order; transfers
+        // are priced (and the link contended) in that order.
+        let mut initial: Vec<ProcId> = self.platform.procs().collect();
+        initial.shuffle(rng);
+        for k in initial {
+            self.net_request(&mut st, k, 0.0, rng, &mut trace);
+        }
+
+        while let Some((now, kind, k)) = st.q.pop() {
+            let i = k.idx();
+            match kind {
+                DEATH => {
+                    if st.dead[i] {
+                        continue;
+                    }
+                    st.dead[i] = true;
+                    if st.dying[i] {
+                        // The batch it was computing dies with it.
+                        st.dying[i] = false;
+                        let lost = std::mem::take(&mut st.in_flight[i]);
+                        self.ledger.record_lost(k, lost.len());
+                        st.lost_ids.extend(lost.iter().copied());
+                        self.scheduler.on_tasks_lost(&lost);
+                    }
+                    // A batch in transfer (or arrived but never started) is
+                    // pure waste: the master spent the bandwidth, the tasks
+                    // go back to the pool.
+                    let stranded = [st.pending[i].take(), st.ready[i].take()];
+                    for b in stranded.into_iter().flatten() {
+                        self.ledger.record(k, 0, b.blocks, 0.0);
+                        self.ledger.record_wasted(k, b.blocks);
+                        self.ledger.record_lost(k, b.ids.len());
+                        st.lost_ids.extend(b.ids.iter().copied());
+                        self.scheduler.on_tasks_lost(&b.ids);
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(TraceEvent {
+                                time: now,
+                                proc: k,
+                                tasks: 0,
+                                blocks: b.blocks,
+                                duration: 0.0,
+                            });
+                        }
+                    }
+                }
+                ARRIVE => {
+                    if st.dead[i] {
+                        continue;
+                    }
+                    let b = match st.pending[i].take() {
+                        Some(b) => b,
+                        None => continue,
+                    };
+                    if st.computing[i] || st.dying[i] {
+                        // Current batch still running (or doomed); the
+                        // arrived batch waits at the worker.
+                        st.ready[i] = Some(b);
+                    } else {
+                        self.net_start(&mut st, k, b, now, rng, &mut trace);
+                    }
+                }
+                DONE => {
+                    if st.dead[i] {
+                        continue;
+                    }
+                    st.computing[i] = false;
+                    st.idle_since[i] = now;
+                    if let Some(b) = st.ready[i].take() {
+                        self.net_start(&mut st, k, b, now, rng, &mut trace);
+                    } else if st.pending[i].is_none() {
+                        self.net_request(&mut st, k, now, rng, &mut trace);
+                    }
+                    // else: the prefetched batch is still in flight; its
+                    // arrival starts it.
+                }
+                _ => {
+                    // RETRY: the pool may have been replenished by a death
+                    // processed just before this event.
+                    if st.dead[i]
+                        || st.dying[i]
+                        || st.computing[i]
+                        || st.pending[i].is_some()
+                        || st.ready[i].is_some()
+                    {
+                        continue;
+                    }
+                    self.net_request(&mut st, k, now, rng, &mut trace);
+                }
+            }
+        }
+
+        assert_eq!(
+            self.scheduler.remaining(),
+            0,
+            "engine stopped with unallocated tasks"
+        );
+        let total_blocks = self.ledger.total_blocks();
+        let lost_tasks = self.ledger.total_lost_tasks();
+        let reshipped_blocks = self.ledger.total_reshipped_blocks();
+        let wasted_blocks = self.ledger.total_wasted_blocks();
+        let link_utilization = st.net.utilization(self.makespan);
+        let max_queue_depth = st.net.max_queue_depth();
+        (
+            SimReport {
+                ledger: self.ledger,
+                makespan: self.makespan,
+                total_blocks,
+                lost_tasks,
+                reshipped_blocks,
+                link_utilization,
+                max_queue_depth,
+                wasted_blocks,
+            },
+            self.scheduler,
+            (),
+        )
+    }
+
+    /// Asks the scheduler for worker `k`'s next batch and puts it on the
+    /// wire. Parks the worker (via a `Retry` event at the next possible
+    /// death) when the pool is empty but may be replenished.
+    fn net_request(
+        &mut self,
+        st: &mut RunState,
+        k: ProcId,
+        now: f64,
+        rng: &mut StdRng,
+        trace: &mut Option<&mut Trace>,
+    ) {
+        let i = k.idx();
+        if st.dead[i] {
+            return;
+        }
+        if self.scheduler.remaining() == 0 {
+            if st.computing[i] || st.dying[i] {
+                // A busy worker re-requests at compute-done; no need to park.
+                return;
+            }
+            // Tasks only return to the pool when a failure is discovered:
+            // wake at the earliest death still ahead of us, or drain.
+            let earliest = self
+                .platform
+                .procs()
+                .filter(|j| !st.dead[j.idx()])
+                .filter_map(|j| st.fail_time[j.idx()])
+                .filter(|&f| f >= now)
+                .fold(f64::INFINITY, f64::min);
+            if earliest.is_finite() {
+                st.q.push(earliest.max(now), RETRY, k);
+            }
+            return;
+        }
+        let alloc = self.scheduler.on_request(k, rng);
+        if alloc.is_done() {
+            // Worker retired; its blocks (normally zero) still ship.
+            let _ = st.net.send(k, alloc.blocks, now);
+            self.ledger.record(k, 0, alloc.blocks, 0.0);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent {
+                    time: now,
+                    proc: k,
+                    tasks: 0,
+                    blocks: alloc.blocks,
+                    duration: 0.0,
+                });
+            }
+            return;
+        }
+        let ids = self.scheduler.last_allocated().to_vec();
+        if !st.lost_ids.is_empty() {
+            // Re-ship accounting at batch granularity, as in the infinite
+            // engine.
+            let mut reallocates = false;
+            for id in &ids {
+                if st.lost_ids.remove(id) {
+                    reallocates = true;
+                }
+            }
+            if reallocates {
+                self.ledger.record_reshipped(k, alloc.blocks);
+            }
+        }
+        let plan = st.net.send(k, alloc.blocks, now);
+        st.pending[i] = Some(Batch {
+            tasks: alloc.tasks,
+            blocks: alloc.blocks,
+            ids,
+        });
+        st.q.push(plan.arrival, ARRIVE, k);
+    }
+
+    /// Starts computing an arrived batch at time `now`, charging the
+    /// worker's transfer wait, and prefetches the next batch so its
+    /// transfer overlaps this computation.
+    fn net_start(
+        &mut self,
+        st: &mut RunState,
+        k: ProcId,
+        b: Batch,
+        now: f64,
+        rng: &mut StdRng,
+        trace: &mut Option<&mut Trace>,
+    ) {
+        let i = k.idx();
+        self.ledger.record_wait(k, now - st.idle_since[i]);
+        let dur = self.speeds.batch_duration(k, b.tasks, rng);
+        let finish = now + dur;
+        match st.fail_time[i] {
+            Some(f) if f < finish => {
+                // Dies mid-batch: blocks shipped and `f − now` of compute
+                // burned, no task completes. The death event discovers it.
+                self.ledger.record(k, 0, b.blocks, f - now);
+                st.in_flight[i] = b.ids;
+                st.dying[i] = true;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent {
+                        time: now,
+                        proc: k,
+                        tasks: 0,
+                        blocks: b.blocks,
+                        duration: f - now,
+                    });
+                }
+            }
+            _ => {
+                self.ledger.record(k, b.tasks, b.blocks, dur);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent {
+                        time: now,
+                        proc: k,
+                        tasks: b.tasks,
+                        blocks: b.blocks,
+                        duration: dur,
+                    });
+                }
+                self.makespan = self.makespan.max(finish);
+                st.computing[i] = true;
+                st.q.push(finish, DONE, k);
+            }
+        }
+        // Depth-1 prefetch. The master cannot know a worker is doomed, so
+        // dying workers prefetch too — that bandwidth ends up wasted.
+        self.net_request(st, k, now, rng, trace);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{run, run_configured};
+    use crate::scheduler::{Allocation, Scheduler};
+    use hetsched_net::NetworkModel;
+    use hetsched_platform::{FailureModel, Platform, ProcId, SpeedModel};
+    use hetsched_util::rng::rng_for;
+    use rand::rngs::StdRng;
+
+    /// Pool-backed toy strategy: one block per task, supports reallocation.
+    struct PoolSched {
+        pool: Vec<u32>,
+        total: usize,
+        batch: usize,
+        last: Vec<u32>,
+        counts: Vec<i32>,
+    }
+
+    fn pool(total: usize, batch: usize) -> PoolSched {
+        PoolSched {
+            pool: (0..total as u32).rev().collect(),
+            total,
+            batch,
+            last: Vec::new(),
+            counts: vec![0; total],
+        }
+    }
+
+    impl Scheduler for PoolSched {
+        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng) -> Allocation {
+            let t = self.batch.min(self.pool.len());
+            self.last.clear();
+            for _ in 0..t {
+                let id = self.pool.pop().expect("pool underflow");
+                self.counts[id as usize] += 1;
+                self.last.push(id);
+            }
+            Allocation {
+                tasks: t,
+                blocks: t as u64,
+            }
+        }
+        fn last_allocated(&self) -> &[u32] {
+            &self.last
+        }
+        fn on_tasks_lost(&mut self, ids: &[u32]) {
+            for &id in ids {
+                self.counts[id as usize] -= 1;
+                self.pool.push(id);
+            }
+        }
+        fn remaining(&self) -> usize {
+            self.pool.len()
+        }
+        fn total_tasks(&self) -> usize {
+            self.total
+        }
+        fn name(&self) -> &'static str {
+            "PoolSched"
+        }
+    }
+
+    fn one_port(bw: f64) -> NetworkModel {
+        NetworkModel::OnePort { master_bw: bw }
+    }
+
+    #[test]
+    fn networked_run_completes_all_tasks() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 70.0]);
+        let (report, sched) = run_configured(
+            &pf,
+            SpeedModel::Fixed,
+            pool(600, 4),
+            &FailureModel::none(),
+            one_port(50.0),
+            &mut rng_for(0, 0),
+        );
+        assert_eq!(sched.remaining(), 0);
+        assert_eq!(report.ledger.total_tasks(), 600);
+        assert_eq!(report.total_blocks, 600);
+        assert!(sched.counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn networked_is_deterministic_under_seed() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 30.0]);
+        let go = || {
+            run_configured(
+                &pf,
+                SpeedModel::dyn5(),
+                pool(500, 3),
+                &FailureModel::none(),
+                one_port(25.0),
+                &mut rng_for(7, 0),
+            )
+            .0
+        };
+        let (r1, r2) = (go(), go());
+        assert_eq!(r1.total_blocks, r2.total_blocks);
+        assert_eq!(r1.ledger.tasks_per_proc(), r2.ledger.tasks_per_proc());
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.link_utilization, r2.link_utilization);
+        assert_eq!(r1.max_queue_depth, r2.max_queue_depth);
+    }
+
+    #[test]
+    fn makespan_respects_the_bandwidth_bound() {
+        // Every block crosses the one-port link, so the makespan can never
+        // beat total_blocks / master_bw.
+        let pf = Platform::from_speeds(vec![40.0, 60.0]);
+        let bw = 10.0;
+        let (report, _) = run_configured(
+            &pf,
+            SpeedModel::Fixed,
+            pool(400, 5),
+            &FailureModel::none(),
+            one_port(bw),
+            &mut rng_for(1, 0),
+        );
+        let comm_lb = report.total_blocks as f64 / bw;
+        assert!(
+            report.makespan >= comm_lb - 1e-9,
+            "makespan {} below the communication bound {}",
+            report.makespan,
+            comm_lb
+        );
+        // Comm-bound regime: the link is the bottleneck, so it is nearly
+        // saturated and the workers mostly wait.
+        assert!(report.link_utilization > 0.9, "{}", report.link_utilization);
+        assert!(report.ledger.total_transfer_wait() > 0.0);
+    }
+
+    #[test]
+    fn generous_bandwidth_approaches_the_infinite_makespan() {
+        let pf = Platform::from_speeds(vec![25.0, 75.0]);
+        let (inf, _) = run(&pf, SpeedModel::Fixed, pool(500, 5), &mut rng_for(2, 0));
+        let (fat, _) = run_configured(
+            &pf,
+            SpeedModel::Fixed,
+            pool(500, 5),
+            &FailureModel::none(),
+            one_port(1e6),
+            &mut rng_for(2, 0),
+        );
+        // With an effectively free link, the only slowdown left is the
+        // initial (un-overlapped) transfer of the first batches.
+        assert!(
+            fat.makespan <= inf.makespan * 1.05,
+            "fat {} vs infinite {}",
+            fat.makespan,
+            inf.makespan
+        );
+        assert_eq!(fat.total_blocks, inf.total_blocks);
+    }
+
+    #[test]
+    fn tighter_bandwidth_never_helps() {
+        let pf = Platform::from_speeds(vec![30.0, 70.0]);
+        let mk = |bw: f64| {
+            run_configured(
+                &pf,
+                SpeedModel::Fixed,
+                pool(300, 4),
+                &FailureModel::none(),
+                one_port(bw),
+                &mut rng_for(3, 0),
+            )
+            .0
+            .makespan
+        };
+        assert!(mk(5.0) >= mk(20.0) - 1e-9);
+        assert!(mk(20.0) >= mk(100.0) - 1e-9);
+    }
+
+    #[test]
+    fn latency_delays_completion() {
+        let pf = Platform::from_speeds(vec![50.0, 50.0]);
+        let lagged = pf.clone().with_uniform_link_latency(0.5);
+        let mk = |p: &Platform| {
+            run_configured(
+                p,
+                SpeedModel::Fixed,
+                pool(100, 10),
+                &FailureModel::none(),
+                one_port(200.0),
+                &mut rng_for(4, 0),
+            )
+            .0
+            .makespan
+        };
+        assert!(mk(&lagged) > mk(&pf) + 0.4, "latency must show up");
+    }
+
+    #[test]
+    fn multiport_beats_one_port_at_equal_aggregate() {
+        // Same aggregate bandwidth, but the multiport master overlaps
+        // transfers to different workers; with per-worker caps the slow
+        // serial phases shrink.
+        let pf = Platform::from_speeds(vec![20.0, 20.0, 20.0, 20.0]);
+        let run_with = |net: NetworkModel| {
+            run_configured(
+                &pf,
+                SpeedModel::Fixed,
+                pool(400, 5),
+                &FailureModel::none(),
+                net,
+                &mut rng_for(5, 0),
+            )
+            .0
+        };
+        let one = run_with(one_port(40.0));
+        let multi = run_with(NetworkModel::BoundedMultiport {
+            master_bw: 40.0,
+            worker_bw: 10.0,
+        });
+        assert!(
+            multi.makespan <= one.makespan + 1e-9,
+            "multiport {} vs one-port {}",
+            multi.makespan,
+            one.makespan
+        );
+    }
+
+    #[test]
+    fn death_with_batch_in_flight_wastes_bandwidth() {
+        // Slow link: worker 0 dies while transfers toward it are pending,
+        // so some blocks are shipped but never computed on.
+        let pf = Platform::from_speeds(vec![10.0, 10.0]);
+        let failures = FailureModel::none().fail_at(ProcId(0), 1.0);
+        let (report, sched) = run_configured(
+            &pf,
+            SpeedModel::Fixed,
+            pool(100, 5),
+            &failures,
+            one_port(8.0),
+            &mut rng_for(6, 0),
+        );
+        assert_eq!(report.ledger.total_tasks(), 100);
+        assert!(
+            sched.counts.iter().all(|&c| c == 1),
+            "every task computed exactly once net of losses"
+        );
+        assert!(report.lost_tasks > 0);
+        assert!(
+            report.wasted_blocks > 0,
+            "a transfer in flight to the dead worker must be attributed"
+        );
+        assert_eq!(
+            report.wasted_blocks,
+            report.ledger.wasted_blocks(ProcId(0)),
+            "waste is attributed to the dead worker"
+        );
+        // Wasted blocks were still shipped: they are part of total volume.
+        assert!(report.total_blocks > 100);
+    }
+
+    #[test]
+    fn straggler_and_network_compose() {
+        let pf = Platform::from_speeds(vec![10.0, 10.0]);
+        let failures = FailureModel::none().slow_down(ProcId(0), 4.0);
+        let (report, _) = run_configured(
+            &pf,
+            SpeedModel::Fixed,
+            pool(600, 2),
+            &failures,
+            one_port(100.0),
+            &mut rng_for(8, 0),
+        );
+        assert_eq!(report.ledger.total_tasks(), 600);
+        assert_eq!(report.lost_tasks, 0);
+        let t0 = report.ledger.tasks(ProcId(0)) as f64;
+        // Effective speeds 2.5 vs 10 ⇒ straggler does ~1/5 of the work.
+        assert!((t0 / 600.0 - 0.2).abs() < 0.05, "t0 = {t0}");
+    }
+
+    #[test]
+    fn trace_reconciles_with_ledger_under_network_and_failures() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 30.0]);
+        let failures = FailureModel::none().fail_at(ProcId(2), 0.9);
+        let (report, _, trace) = crate::engine::run_configured_traced(
+            &pf,
+            SpeedModel::Fixed,
+            pool(300, 4),
+            &failures,
+            one_port(30.0),
+            &mut rng_for(9, 0),
+        );
+        let trace_blocks: u64 = trace.events().iter().map(|e| e.blocks).sum();
+        assert_eq!(trace_blocks, report.ledger.total_blocks());
+        let trace_tasks: usize = trace.events().iter().map(|e| e.tasks).sum();
+        assert_eq!(trace_tasks as u64, report.ledger.total_tasks());
+        let requests: u64 = pf.procs().map(|k| report.ledger.requests(k)).sum();
+        assert_eq!(trace.len() as u64, requests);
+        for k in pf.procs() {
+            assert!((trace.busy_time(k) - report.ledger.busy(k)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn failure_discovery_unparks_drained_workers_under_network() {
+        // Mirrors the infinite-engine test: the fast worker drains the pool
+        // long before the slow worker's death returns tasks to it.
+        let pf = Platform::from_speeds(vec![1.0, 100.0]);
+        let failures = FailureModel::none().fail_at(ProcId(0), 5.0);
+        let (report, sched) = run_configured(
+            &pf,
+            SpeedModel::Fixed,
+            pool(20, 10),
+            &failures,
+            one_port(1000.0),
+            &mut rng_for(10, 0),
+        );
+        assert_eq!(report.ledger.total_tasks(), 20);
+        assert!(sched.counts.iter().all(|&c| c == 1));
+        assert!(report.lost_tasks >= 10, "{}", report.lost_tasks);
+        // Recovery can only start once the death is discovered at t = 5.
+        assert!(report.makespan > 5.0, "{}", report.makespan);
+    }
+}

@@ -9,6 +9,8 @@
 //!
 //! * [`platform`] — heterogeneous platform model: processor speeds, the
 //!   paper's speed distributions and scenarios, communication lower bounds;
+//! * [`net`] — bandwidth-constrained network models (one-port and
+//!   bounded-multiport master links) that price transfers in time;
 //! * [`sim`] — the demand-driven event simulation engine (the equivalent of
 //!   the paper's ad-hoc simulator);
 //! * [`outer`] — the outer-product kernel and its four strategies
@@ -81,6 +83,7 @@ pub use hetsched_core as core;
 pub use hetsched_dag as dag;
 pub use hetsched_exec as exec;
 pub use hetsched_matmul as matmul;
+pub use hetsched_net as net;
 pub use hetsched_outer as outer;
 pub use hetsched_partition as partition;
 pub use hetsched_platform as platform;
