@@ -53,6 +53,65 @@ fn bench_dynamic_speed_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_event_queues(c: &mut Criterion) {
+    // The event queue never holds more than ~p+1 entries; compare the flat
+    // min-scan queue against the binary heap on a realistic churn pattern
+    // (push/pop interleave with coarse time ties, as the engine produces).
+    // The heap (the engine's EventQueue) wins beyond p ≈ 50, which is why
+    // FlatScanQueue is the comparator and not the default.
+    use hetsched_platform::ProcId;
+    use hetsched_sim::{EventQueue, FlatScanQueue};
+
+    fn churn(pushes: &[(f64, u32)], live: usize) -> f64 {
+        let mut q = FlatScanQueue::new();
+        let mut acc = 0.0;
+        for (i, &(t, k)) in pushes.iter().enumerate() {
+            q.push(t, ProcId(k));
+            if i >= live {
+                let (t, _) = q.pop().unwrap();
+                acc += t;
+            }
+        }
+        acc
+    }
+    fn churn_heap(pushes: &[(f64, u32)], live: usize) -> f64 {
+        let mut q = EventQueue::new();
+        let mut acc = 0.0;
+        for (i, &(t, k)) in pushes.iter().enumerate() {
+            q.push(t, ProcId(k));
+            if i >= live {
+                let (t, _) = q.pop().unwrap();
+                acc += t;
+            }
+        }
+        acc
+    }
+
+    let mut group = c.benchmark_group("event_queue");
+    for p in [10usize, 100, 300] {
+        // Deterministic workload: monotone-ish times with frequent ties.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let pushes: Vec<(f64, u32)> = (0..20_000)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (
+                    (i / 8) as f64 + (state % 16) as f64 / 16.0,
+                    (state % p as u64) as u32,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("flat", p), &p, |b, &p| {
+            b.iter(|| black_box(churn(&pushes, p)))
+        });
+        group.bench_with_input(BenchmarkId::new("heap", p), &p, |b, &p| {
+            b.iter(|| black_box(churn_heap(&pushes, p)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_primitives(c: &mut Criterion) {
     c.bench_function("swaplist_draw_drain_10k", |b| {
         b.iter(|| {
@@ -81,6 +140,7 @@ criterion_group!(
     benches,
     bench_engine_request_throughput,
     bench_dynamic_speed_overhead,
+    bench_event_queues,
     bench_primitives
 );
 criterion_main!(benches);

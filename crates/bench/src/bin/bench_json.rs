@@ -1,0 +1,165 @@
+//! Machine-readable performance baseline for the simulator.
+//!
+//! ```text
+//! bench-json [--paper] [--threads N] [--out FILE] [all | fig1 extF …]
+//! ```
+//!
+//! Runs every requested figure/extension once at the chosen scale, times
+//! each, measures the raw engine throughput (requests per second on the
+//! paper's hottest loop), and writes a `BENCH_<date>.json` snapshot so the
+//! repository records a perf trajectory across commits. No external
+//! dependencies: the JSON is assembled by hand, the date computed from the
+//! Unix clock.
+
+use hetsched_core::extensions::{self, ALL_EXTENSIONS};
+use hetsched_core::figures::{by_id, FigOpts, ALL_FIGURES};
+use hetsched_outer::RandomOuter;
+use hetsched_platform::{Platform, SpeedDistribution, SpeedModel};
+use hetsched_util::rng::rng_for;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = FigOpts::quick();
+    let mut scale = "quick";
+    let mut out_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--paper" => {
+                let threads = opts.threads;
+                opts = FigOpts::paper();
+                opts.threads = threads;
+                scale = "paper";
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+                if t == 0 {
+                    usage("--threads: need at least 1 thread, got 0");
+                }
+                opts.threads = Some(t);
+            }
+            "--out" => {
+                out_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--out needs a file path"))
+                        .clone(),
+                );
+            }
+            "all" => {
+                ids.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+                ids.extend(ALL_EXTENSIONS.iter().map(|s| s.to_string()));
+            }
+            other if other.starts_with("fig") || other.starts_with("ext") => {
+                ids.push(other.to_string())
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+        ids.extend(ALL_EXTENSIONS.iter().map(|s| s.to_string()));
+    }
+
+    let date = today_utc();
+    let events_per_sec = engine_requests_per_sec();
+
+    let mut timings = Vec::new();
+    for id in &ids {
+        let start = Instant::now();
+        let fig = by_id(id, &opts).or_else(|| extensions::by_id(id, &opts));
+        let secs = start.elapsed().as_secs_f64();
+        match fig {
+            Some(_) => {
+                eprintln!("[{id} {scale}: {secs:.3}s]");
+                timings.push((id.clone(), secs));
+            }
+            None => eprintln!("[skipping unknown id {id}]"),
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"date\": \"{date}\",\n"));
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!(
+        "  \"threads\": {},\n",
+        opts.threads.map_or("null".to_string(), |t| t.to_string())
+    ));
+    json.push_str(&format!(
+        "  \"engine_requests_per_sec\": {events_per_sec:.0},\n"
+    ));
+    json.push_str("  \"timings_sec\": {\n");
+    for (i, (id, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 == timings.len() { "" } else { "," };
+        json.push_str(&format!("    \"{id}\": {secs:.4}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = out_path.unwrap_or_else(|| format!("BENCH_{date}.json"));
+    std::fs::write(&path, &json).unwrap_or_else(|e| usage(&format!("write {path}: {e}")));
+    println!("{json}");
+    eprintln!("[wrote {path}]");
+}
+
+/// Engine throughput: `RandomOuter` issues exactly one task per request, so
+/// a run at `n = 100` is 10 000 full engine round-trips (event pop,
+/// scheduler call, ledger update, event push). Repeat until ≥ 0.5 s of wall
+/// time and report round-trips per second.
+fn engine_requests_per_sec() -> f64 {
+    let p = 100;
+    let n = 100;
+    let pf = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(1, 0));
+    // Warm-up run keeps the first measurement honest.
+    let _ = hetsched_sim::run(
+        &pf,
+        SpeedModel::Fixed,
+        RandomOuter::new(n, p),
+        &mut rng_for(2, 0),
+    );
+    let start = Instant::now();
+    let mut reqs = 0u64;
+    while start.elapsed().as_secs_f64() < 0.5 {
+        let (r, _) = hetsched_sim::run(
+            &pf,
+            SpeedModel::Fixed,
+            RandomOuter::new(n, p),
+            &mut rng_for(2, 0),
+        );
+        std::hint::black_box(r.makespan);
+        reqs += (n * n) as u64;
+    }
+    reqs as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Civil date (UTC) from the Unix clock — days-to-date per the standard
+/// civil-calendar algorithm, no chrono dependency.
+fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench-json [--paper] [--threads N] [--out FILE] [all | fig1 fig2 … extA …]");
+    std::process::exit(2)
+}

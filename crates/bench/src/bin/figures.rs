@@ -1,7 +1,7 @@
 //! Regenerates the data behind every figure of the paper.
 //!
 //! ```text
-//! figures [--quick] [--trials T] [--seed S] [--csv DIR] [all | fig1 fig2 …]
+//! figures [--quick] [--trials T] [--seed S] [--threads N] [--csv DIR] [all | fig1 fig2 …]
 //! ```
 //!
 //! Prints each figure as an aligned table and, with `--csv DIR`, writes
@@ -34,8 +34,21 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--trials needs a number"));
+                if t == 0 {
+                    usage("--trials: need at least 1 trial, got 0");
+                }
                 opts.trials = t;
                 opts.hetero_trials = opts.hetero_trials.max(t);
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+                if t == 0 {
+                    usage("--threads: need at least 1 thread, got 0");
+                }
+                opts.threads = Some(t);
             }
             "--seed" => {
                 opts.seed = it
@@ -88,7 +101,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures [--quick] [--trials T] [--seed S] [--csv DIR] \
+        "usage: figures [--quick] [--trials T] [--seed S] [--threads N] [--csv DIR] \
          [all | fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 extA extB extC]"
     );
     std::process::exit(2)

@@ -220,6 +220,9 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
     };
     let strategy = parse_strategy(args)?;
     let trials: usize = args.get_or("trials", 10)?;
+    if trials == 0 {
+        return Err("--trials: need at least 1 trial, got 0".into());
+    }
     let seed: u64 = args.get_or("seed", 0xC0FFEE)?;
 
     let mut cfg = ExperimentConfig {
@@ -498,6 +501,9 @@ fn figures_cmd(args: &Args) -> Result<String, String> {
         opts = hetsched_core::figures::FigOpts::quick();
     }
     opts.trials = args.get_or("trials", opts.trials)?;
+    if opts.trials == 0 {
+        return Err("--trials: need at least 1 trial, got 0".into());
+    }
     opts.seed = args.get_or("seed", opts.seed)?;
 
     let ids: Vec<&String> = args.positionals().iter().skip(1).collect();
@@ -669,6 +675,14 @@ mod tests {
         assert!(out.contains("fig1"), "{out}");
         assert!(run_str("figures").is_err());
         assert!(run_str("figures fig3 --quick").is_err());
+    }
+
+    #[test]
+    fn zero_trials_is_a_clean_error() {
+        let err = run_str("simulate --n 20 --p 4 --trials 0").unwrap_err();
+        assert!(err.contains("at least 1 trial"), "{err}");
+        let err = run_str("figures fig1 --quick --trials 0").unwrap_err();
+        assert!(err.contains("at least 1 trial"), "{err}");
     }
 
     #[test]

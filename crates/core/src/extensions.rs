@@ -28,7 +28,7 @@
 
 use crate::config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
 use crate::figures::FigOpts;
-use crate::runner::run_trials;
+use crate::runner::{parallel_map, run_once, run_trials_with_threads, summarize_runs, trial_seed};
 use crate::series::{FigureData, Series};
 use hetsched_analysis::OuterAnalysis;
 use hetsched_outer::DynamicOuter2Phases;
@@ -127,7 +127,7 @@ pub fn ext_dynamic_speed_models(opts: &FigOpts) -> FigureData {
                 speed_model: SpeedModel::Perturbed { pct, compound },
                 ..Default::default()
             };
-            let sum = run_trials(&cfg, opts.trials, opts.seed ^ 0xB0);
+            let sum = run_trials_with_threads(&cfg, opts.trials, opts.seed ^ 0xB0, opts.threads);
             series[si].push(
                 pct * 100.0,
                 sum.normalized_comm.mean(),
@@ -173,7 +173,7 @@ pub fn ext_analysis_flavours(opts: &FigOpts) -> FigureData {
             platform: Some(platform.clone()),
             ..Default::default()
         };
-        let sum = run_trials(&cfg, opts.trials, opts.seed ^ 0xC0);
+        let sum = run_trials_with_threads(&cfg, opts.trials, opts.seed ^ 0xC0, opts.threads);
         sim.push(b, sum.normalized_comm.mean(), sum.normalized_comm.std_dev());
     }
 
@@ -274,19 +274,30 @@ pub fn ext_bandwidth_crossover(opts: &FigOpts) -> FigureData {
         series.push(Series::new(format!("{label} link util")));
     }
 
-    for (si, (strategy, _)) in strategies.into_iter().enumerate() {
-        for &c in rels {
-            let cfg = ExperimentConfig {
-                kernel: Kernel::Outer { n },
-                strategy,
-                processors: p,
-                platform: Some(platform.clone()),
-                network: hetsched_net::NetworkModel::OnePort {
-                    master_bw: c * total,
-                },
-                ..Default::default()
-            };
-            let sum = run_trials(&cfg, opts.trials, opts.seed ^ 0xF0);
+    // The whole strategies × bandwidth × trial grid fans out at once; each
+    // trial re-derives its RNG from (seed, trial index) as in `run_trials`,
+    // so the figure is bit-for-bit independent of the thread count.
+    let trials = opts.trials;
+    let jobs: Vec<(usize, usize, usize)> = (0..strategies.len())
+        .flat_map(|si| (0..rels.len()).flat_map(move |ci| (0..trials).map(move |i| (si, ci, i))))
+        .collect();
+    let runs = parallel_map(&jobs, opts.threads, |_, &(si, ci, i)| {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n },
+            strategy: strategies[si].0,
+            processors: p,
+            platform: Some(platform.clone()),
+            network: hetsched_net::NetworkModel::OnePort {
+                master_bw: rels[ci] * total,
+            },
+            ..Default::default()
+        };
+        run_once(&cfg, trial_seed(opts.seed ^ 0xF0, i))
+    });
+    for si in 0..strategies.len() {
+        for (ci, &c) in rels.iter().enumerate() {
+            let base = (si * rels.len() + ci) * trials;
+            let sum = summarize_runs(&runs[base..base + trials]);
             series[si].push(
                 c,
                 sum.makespan.mean() / ideal,

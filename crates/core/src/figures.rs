@@ -10,7 +10,9 @@
 //! Criterion benches; the default options match the paper's parameters.
 
 use crate::config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
-use crate::runner::{platform_for, run_trials, trial_seed};
+use crate::runner::{
+    parallel_map, platform_for, run_once, run_trials_with_threads, summarize_runs, trial_seed,
+};
 use crate::series::{FigureData, Series};
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_platform::{Platform, Scenario, SpeedDistribution, SpeedModel};
@@ -28,6 +30,10 @@ pub struct FigOpts {
     pub seed: u64,
     /// Shrink problem sizes/grids for smoke tests and benches.
     pub quick: bool,
+    /// Worker threads for the per-point sweeps (`None` = machine default).
+    /// Results are bit-for-bit identical for every value — every trial's
+    /// RNG is seeded from its index, never from its thread.
+    pub threads: Option<usize>,
 }
 
 impl Default for FigOpts {
@@ -37,6 +43,7 @@ impl Default for FigOpts {
             hetero_trials: 50,
             seed: 0xBEA0_2014,
             quick: false,
+            threads: None,
         }
     }
 }
@@ -54,7 +61,14 @@ impl FigOpts {
             hetero_trials: 5,
             seed: 0xBEA0_2014,
             quick: true,
+            threads: None,
         }
+    }
+
+    /// Same options with a pinned thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
     }
 }
 
@@ -68,22 +82,34 @@ fn p_grid(opts: &FigOpts) -> Vec<usize> {
 }
 
 /// Adds one simulated series (`strategy` over `xs` many processor counts).
+///
+/// The whole `p × trial` grid fans out through [`parallel_map`]; every
+/// trial's RNG is derived from `(seed, trial index)` exactly as in
+/// `run_trials`, so the series is bit-for-bit independent of `threads`.
 fn p_sweep_series(
     kernel: Kernel,
     strategy: Strategy,
     ps: &[usize],
     trials: usize,
     seed: u64,
+    threads: Option<usize>,
 ) -> Series {
-    let mut s = Series::new(strategy.label(kernel));
-    for &p in ps {
+    let jobs: Vec<(usize, usize)> = ps
+        .iter()
+        .flat_map(|&p| (0..trials).map(move |i| (p, i)))
+        .collect();
+    let results = parallel_map(&jobs, threads, |_, &(p, i)| {
         let cfg = ExperimentConfig {
             kernel,
             strategy,
             processors: p,
             ..Default::default()
         };
-        let sum = run_trials(&cfg, trials, seed);
+        run_once(&cfg, trial_seed(seed, i))
+    });
+    let mut s = Series::new(strategy.label(kernel));
+    for (pi, &p) in ps.iter().enumerate() {
+        let sum = summarize_runs(&results[pi * trials..(pi + 1) * trials]);
         s.push(
             p as f64,
             sum.normalized_comm.mean(),
@@ -96,28 +122,34 @@ fn p_sweep_series(
 /// Analysis curve over a `p` sweep: for each processor count, evaluate the
 /// analytic ratio at its optimal β on exactly the platforms the simulated
 /// trials drew, and average.
-fn p_sweep_analysis(kernel: Kernel, ps: &[usize], trials: usize, seed: u64) -> Series {
-    let mut s = Series::new("Analysis");
-    for &p in ps {
+fn p_sweep_analysis(
+    kernel: Kernel,
+    ps: &[usize],
+    trials: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> Series {
+    let jobs: Vec<(usize, usize)> = ps
+        .iter()
+        .flat_map(|&p| (0..trials).map(move |i| (p, i)))
+        .collect();
+    let ratios = parallel_map(&jobs, threads, |_, &(p, i)| {
         let cfg = ExperimentConfig {
             kernel,
             processors: p,
             ..Default::default()
         };
+        let pf = platform_for(&cfg, trial_seed(seed, i));
+        match kernel {
+            Kernel::Outer { n } => OuterAnalysis::new(&pf, n).optimal_beta().1,
+            Kernel::Matmul { n } => MatmulAnalysis::new(&pf, n).optimal_beta().1,
+        }
+    });
+    let mut s = Series::new("Analysis");
+    for (pi, &p) in ps.iter().enumerate() {
         let mut stats = OnlineStats::new();
-        for i in 0..trials {
-            let pf = platform_for(&cfg, trial_seed(seed, i));
-            let ratio = match kernel {
-                Kernel::Outer { n } => {
-                    let m = OuterAnalysis::new(&pf, n);
-                    m.optimal_beta().1
-                }
-                Kernel::Matmul { n } => {
-                    let m = MatmulAnalysis::new(&pf, n);
-                    m.optimal_beta().1
-                }
-            };
-            stats.push(ratio);
+        for &r in &ratios[pi * trials..(pi + 1) * trials] {
+            stats.push(r);
         }
         s.push(p as f64, stats.mean(), stats.std_dev());
     }
@@ -143,7 +175,7 @@ pub fn fig1(opts: &FigOpts) -> FigureData {
     let ps = p_grid(opts);
     let series = [Strategy::Dynamic, Strategy::Random, Strategy::Sorted]
         .into_iter()
-        .map(|st| p_sweep_series(kernel, st, &ps, opts.trials, opts.seed))
+        .map(|st| p_sweep_series(kernel, st, &ps, opts.trials, opts.seed, opts.threads))
         .collect();
     FigureData {
         id: "fig1",
@@ -185,7 +217,7 @@ pub fn fig2(opts: &FigOpts) -> FigureData {
             strategy: Strategy::TwoPhase(BetaChoice::Phase1Fraction(f)),
             ..base.clone()
         };
-        let sum = run_trials(&cfg, opts.trials, opts.seed);
+        let sum = run_trials_with_threads(&cfg, opts.trials, opts.seed, opts.threads);
         two.push(x, sum.normalized_comm.mean(), sum.normalized_comm.std_dev());
     }
 
@@ -195,7 +227,7 @@ pub fn fig2(opts: &FigOpts) -> FigureData {
             strategy: st,
             ..base.clone()
         };
-        let sum = run_trials(&cfg, opts.trials, opts.seed);
+        let sum = run_trials_with_threads(&cfg, opts.trials, opts.seed, opts.threads);
         series.push(constant_series(
             st.label(base.kernel),
             &xs,
@@ -223,10 +255,24 @@ fn outer_full_comparison(id: &'static str, n: usize, opts: &FigOpts) -> FigureDa
         &ps,
         opts.trials,
         opts.seed,
+        opts.threads,
     )];
-    series.push(p_sweep_analysis(kernel, &ps, opts.trials, opts.seed));
+    series.push(p_sweep_analysis(
+        kernel,
+        &ps,
+        opts.trials,
+        opts.seed,
+        opts.threads,
+    ));
     for st in [Strategy::Dynamic, Strategy::Random, Strategy::Sorted] {
-        series.push(p_sweep_series(kernel, st, &ps, opts.trials, opts.seed));
+        series.push(p_sweep_series(
+            kernel,
+            st,
+            &ps,
+            opts.trials,
+            opts.seed,
+            opts.threads,
+        ));
     }
     FigureData {
         id,
@@ -277,7 +323,7 @@ pub fn fig6(opts: &FigOpts) -> FigureData {
             strategy: Strategy::TwoPhase(BetaChoice::Fixed(b)),
             ..base.clone()
         };
-        let sum = run_trials(&cfg, opts.trials, opts.seed);
+        let sum = run_trials_with_threads(&cfg, opts.trials, opts.seed, opts.threads);
         sim.push(b, sum.normalized_comm.mean(), sum.normalized_comm.std_dev());
     }
 
@@ -291,7 +337,7 @@ pub fn fig6(opts: &FigOpts) -> FigureData {
         strategy: Strategy::Dynamic,
         ..base
     };
-    let dyn_sum = run_trials(&dyn_cfg, opts.trials, opts.seed);
+    let dyn_sum = run_trials_with_threads(&dyn_cfg, opts.trials, opts.seed, opts.threads);
 
     FigureData {
         id: "fig6",
@@ -334,28 +380,49 @@ fn heterogeneity_comparison(
         series.push(Series::new(st.label(kernel)));
     }
 
-    for (x, dist, model) in settings {
-        // Analysis on the actual draws.
-        let probe = ExperimentConfig {
-            kernel,
-            processors: p,
-            distribution: dist.clone(),
-            speed_model: *model,
-            ..Default::default()
-        };
+    let probe_for = |setting: &(f64, SpeedDistribution, SpeedModel)| ExperimentConfig {
+        kernel,
+        processors: p,
+        distribution: setting.1.clone(),
+        speed_model: setting.2,
+        ..Default::default()
+    };
+    let trials = opts.hetero_trials;
+
+    // Analysis on the actual draws: one job per (setting, trial).
+    let probe_jobs: Vec<(usize, usize)> = (0..settings.len())
+        .flat_map(|xi| (0..trials).map(move |i| (xi, i)))
+        .collect();
+    let ratios = parallel_map(&probe_jobs, opts.threads, |_, &(xi, i)| {
+        let pf = platform_for(&probe_for(&settings[xi]), trial_seed(opts.seed, i));
+        OuterAnalysis::new(&pf, n).optimal_beta().1
+    });
+    for (xi, (x, _, _)) in settings.iter().enumerate() {
         let mut ana = OnlineStats::new();
-        for i in 0..opts.hetero_trials {
-            let pf = platform_for(&probe, trial_seed(opts.seed, i));
-            ana.push(OuterAnalysis::new(&pf, n).optimal_beta().1);
+        for &r in &ratios[xi * trials..(xi + 1) * trials] {
+            ana.push(r);
         }
         series[0].push(*x, ana.mean(), ana.std_dev());
+    }
 
-        for (si, st) in strategies.iter().enumerate() {
-            let cfg = ExperimentConfig {
-                strategy: *st,
-                ..probe.clone()
-            };
-            let sum = run_trials(&cfg, opts.hetero_trials, opts.seed);
+    // Simulated grid: one job per (setting, strategy, trial), summarized
+    // per (setting, strategy) chunk exactly as `run_trials` would.
+    let grid_jobs: Vec<(usize, usize, usize)> = (0..settings.len())
+        .flat_map(|xi| {
+            (0..strategies.len()).flat_map(move |si| (0..trials).map(move |i| (xi, si, i)))
+        })
+        .collect();
+    let runs = parallel_map(&grid_jobs, opts.threads, |_, &(xi, si, i)| {
+        let cfg = ExperimentConfig {
+            strategy: strategies[si],
+            ..probe_for(&settings[xi])
+        };
+        run_once(&cfg, trial_seed(opts.seed, i))
+    });
+    for (xi, (x, _, _)) in settings.iter().enumerate() {
+        for si in 0..strategies.len() {
+            let base = (xi * strategies.len() + si) * trials;
+            let sum = summarize_runs(&runs[base..base + trials]);
             series[si + 1].push(
                 *x,
                 sum.normalized_comm.mean(),
@@ -439,14 +506,27 @@ fn matmul_full_comparison(id: &'static str, n: usize, opts: &FigOpts) -> FigureD
     } else {
         vec![20, 50, 100, 150, 200, 250, 300]
     };
-    let mut series = vec![p_sweep_analysis(kernel, &ps, opts.trials, opts.seed)];
+    let mut series = vec![p_sweep_analysis(
+        kernel,
+        &ps,
+        opts.trials,
+        opts.seed,
+        opts.threads,
+    )];
     for st in [
         Strategy::TwoPhase(BetaChoice::Analytic),
         Strategy::Dynamic,
         Strategy::Random,
         Strategy::Sorted,
     ] {
-        series.push(p_sweep_series(kernel, st, &ps, opts.trials, opts.seed));
+        series.push(p_sweep_series(
+            kernel,
+            st,
+            &ps,
+            opts.trials,
+            opts.seed,
+            opts.threads,
+        ));
     }
     FigureData {
         id,
@@ -497,7 +577,7 @@ pub fn fig11(opts: &FigOpts) -> FigureData {
             strategy: Strategy::TwoPhase(BetaChoice::Fixed(b)),
             ..base.clone()
         };
-        let sum = run_trials(&cfg, opts.trials, opts.seed);
+        let sum = run_trials_with_threads(&cfg, opts.trials, opts.seed, opts.threads);
         sim.push(b, sum.normalized_comm.mean(), sum.normalized_comm.std_dev());
     }
 
@@ -511,7 +591,7 @@ pub fn fig11(opts: &FigOpts) -> FigureData {
         strategy: Strategy::Dynamic,
         ..base
     };
-    let dyn_sum = run_trials(&dyn_cfg, opts.trials, opts.seed);
+    let dyn_sum = run_trials_with_threads(&dyn_cfg, opts.trials, opts.seed, opts.threads);
 
     FigureData {
         id: "fig11",

@@ -28,5 +28,8 @@ pub mod series;
 
 pub use config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
 pub use hetsched_net::NetworkModel;
-pub use runner::{run_once, run_trials, RunResult, TrialSummary};
+pub use runner::{
+    parallel_map, run_once, run_trials, run_trials_with_threads, summarize_runs, RunResult,
+    TrialSummary,
+};
 pub use series::{FigureData, Point, Series};

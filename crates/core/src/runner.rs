@@ -281,37 +281,55 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
     }
 }
 
-/// Runs `trials` independent seeded trials in parallel (crossbeam-scoped
-/// threads) and aggregates. Trial `i` uses seed `derive_seed(seed, i)`, so
-/// results are independent of the thread count and schedule.
-pub fn run_trials(cfg: &ExperimentConfig, trials: usize, seed: u64) -> TrialSummary {
-    assert!(trials > 0, "need at least one trial");
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials);
-
-    let results: Vec<RunResult> = if threads <= 1 || trials == 1 {
-        (0..trials)
-            .map(|i| run_once(cfg, derive_seed(seed, i as u64)))
-            .collect()
-    } else {
-        let mut slots: Vec<Option<RunResult>> = (0..trials).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (t, chunk) in slots.chunks_mut(trials.div_ceil(threads)).enumerate() {
-                let base = t * trials.div_ceil(threads);
-                scope.spawn(move |_| {
-                    for (off, slot) in chunk.iter_mut().enumerate() {
-                        let i = base + off;
-                        *slot = Some(run_once(cfg, derive_seed(seed, i as u64)));
-                    }
-                });
-            }
+/// Order-preserving parallel map over a work list, with the chunked
+/// crossbeam-scoped pattern the trial campaigns use.
+///
+/// Item `i` is mapped by `f(i, &items[i])` and lands in slot `i` of the
+/// output regardless of which thread ran it, so results are bit-for-bit
+/// independent of the thread count and schedule — provided `f` itself only
+/// depends on `(i, items[i])` (e.g. seeds every RNG from `i`).
+///
+/// `threads: None` uses the machine's available parallelism; `Some(t)` pins
+/// the worker count (useful for pinning determinism tests). `t <= 1`, a
+/// single item, or an empty list degrade to a plain serial map.
+pub fn parallel_map<T, R, F>(items: &[T], threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
         })
-        .expect("trial thread panicked");
-        slots.into_iter().map(|s| s.expect("slot filled")).collect()
-    };
+        .clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk_len = n.div_ceil(threads);
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        for (t, chunk) in slots.chunks_mut(chunk_len).enumerate() {
+            let base = t * chunk_len;
+            scope.spawn(move |_| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = base + off;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
 
+/// Aggregates a campaign's per-trial results (in order) into a
+/// [`TrialSummary`].
+pub fn summarize_runs(results: &[RunResult]) -> TrialSummary {
     let mut summary = TrialSummary {
         normalized_comm: OnlineStats::new(),
         total_blocks: OnlineStats::new(),
@@ -321,9 +339,9 @@ pub fn run_trials(cfg: &ExperimentConfig, trials: usize, seed: u64) -> TrialSumm
         reshipped_blocks: OnlineStats::new(),
         transfer_wait: OnlineStats::new(),
         link_utilization: OnlineStats::new(),
-        trials,
+        trials: results.len(),
     };
-    for r in &results {
+    for r in results {
         summary.normalized_comm.push(r.normalized_comm);
         summary.total_blocks.push(r.total_blocks as f64);
         summary.makespan.push(r.makespan);
@@ -338,6 +356,30 @@ pub fn run_trials(cfg: &ExperimentConfig, trials: usize, seed: u64) -> TrialSumm
         }
     }
     summary
+}
+
+/// Runs `trials` independent seeded trials in parallel (crossbeam-scoped
+/// threads) and aggregates. Trial `i` uses seed `derive_seed(seed, i)`, so
+/// results are independent of the thread count and schedule.
+pub fn run_trials(cfg: &ExperimentConfig, trials: usize, seed: u64) -> TrialSummary {
+    run_trials_with_threads(cfg, trials, seed, None)
+}
+
+/// [`run_trials`] with an explicit thread count (`None` = machine default).
+/// The summary is identical for every `threads` value — the determinism
+/// tests pin `Some(1)` against `Some(4)`.
+pub fn run_trials_with_threads(
+    cfg: &ExperimentConfig,
+    trials: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> TrialSummary {
+    assert!(trials > 0, "need at least one trial");
+    let idx: Vec<usize> = (0..trials).collect();
+    let results = parallel_map(&idx, threads, |i, _| {
+        run_once(cfg, derive_seed(seed, i as u64))
+    });
+    summarize_runs(&results)
 }
 
 #[cfg(test)]

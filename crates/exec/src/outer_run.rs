@@ -133,10 +133,11 @@ pub fn run_outer<S: Scheduler>(
                                 pending_count -= 1;
                             }
                         }
+                        let mut tasks = Vec::new();
                         let alloc = if scheduler.remaining() == 0 {
                             hetsched_sim::Allocation::DONE
                         } else {
-                            scheduler.on_request(ProcId(worker as u32), &mut rng)
+                            scheduler.on_request(ProcId(worker as u32), &mut rng, &mut tasks)
                         };
                         if alloc.is_done() {
                             worker_channels[worker]
@@ -147,7 +148,6 @@ pub fn run_outer<S: Scheduler>(
                             progress = true;
                             continue;
                         }
-                        let tasks = scheduler.last_allocated().to_vec();
                         debug_assert_eq!(tasks.len(), alloc.tasks);
                         report.tasks_per_worker[worker] += tasks.len() as u64;
                         report.jobs_per_worker[worker] += 1;

@@ -14,7 +14,6 @@ use rand::rngs::StdRng;
 pub struct DynamicMatrix {
     state: MatmulState,
     workers: Vec<WorkerCube>,
-    scratch: Vec<u32>,
 }
 
 impl DynamicMatrix {
@@ -23,7 +22,6 @@ impl DynamicMatrix {
         DynamicMatrix {
             state: MatmulState::new(n),
             workers: WorkerCube::fleet(n, p),
-            scratch: Vec::new(),
         }
     }
 
@@ -39,18 +37,8 @@ impl DynamicMatrix {
 }
 
 impl Scheduler for DynamicMatrix {
-    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
-        self.scratch.clear();
-        dynamic_step(
-            &mut self.state,
-            &mut self.workers[k.idx()],
-            rng,
-            &mut self.scratch,
-        )
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
+        dynamic_step(&mut self.state, &mut self.workers[k.idx()], rng, out)
     }
 
     fn on_tasks_lost(&mut self, ids: &[u32]) {

@@ -13,7 +13,6 @@ use rand::rngs::StdRng;
 pub struct RandomMatrix {
     state: MatmulState,
     workers: Vec<WorkerCube>,
-    scratch: Vec<u32>,
 }
 
 impl RandomMatrix {
@@ -22,7 +21,6 @@ impl RandomMatrix {
         RandomMatrix {
             state: MatmulState::new(n),
             workers: WorkerCube::fleet(n, p),
-            scratch: Vec::new(),
         }
     }
 
@@ -38,18 +36,8 @@ impl RandomMatrix {
 }
 
 impl Scheduler for RandomMatrix {
-    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
-        self.scratch.clear();
-        random_step(
-            &mut self.state,
-            &mut self.workers[k.idx()],
-            rng,
-            &mut self.scratch,
-        )
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
+        random_step(&mut self.state, &mut self.workers[k.idx()], rng, out)
     }
 
     fn on_tasks_lost(&mut self, ids: &[u32]) {

@@ -15,7 +15,6 @@ pub struct SortedMatrix {
     state: MatmulState,
     workers: Vec<WorkerCube>,
     cursor: u32,
-    scratch: Vec<u32>,
 }
 
 impl SortedMatrix {
@@ -25,7 +24,6 @@ impl SortedMatrix {
             state: MatmulState::new(n),
             workers: WorkerCube::fleet(n, p),
             cursor: 0,
-            scratch: Vec::new(),
         }
     }
 
@@ -36,7 +34,7 @@ impl SortedMatrix {
 }
 
 impl Scheduler for SortedMatrix {
-    fn on_request(&mut self, k: ProcId, _rng: &mut StdRng) -> Allocation {
+    fn on_request(&mut self, k: ProcId, _rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
         let total = self.state.total() as u32;
         while self.cursor < total {
             let (i, j, kk) = self.state.coords(self.cursor);
@@ -52,14 +50,9 @@ impl Scheduler for SortedMatrix {
         self.cursor += 1;
         let fresh = self.state.mark_processed(i, j, kk);
         debug_assert!(fresh);
-        self.scratch.clear();
-        self.scratch.push(self.state.task_id(i, j, kk));
+        out.push(self.state.task_id(i, j, kk));
         let blocks = self.workers[k.idx()].acquire_task_blocks(i, j, kk);
         Allocation { tasks: 1, blocks }
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
     }
 
     fn on_tasks_lost(&mut self, ids: &[u32]) {
@@ -98,10 +91,13 @@ mod tests {
         let mut rng = rng_for(0, 0);
         let mut count = 0;
         let mut expect = 0u32;
+        let mut out = Vec::new();
         while s.remaining() > 0 {
             assert_eq!(s.cursor, expect);
-            let a = s.on_request(ProcId(0), &mut rng);
+            out.clear();
+            let a = s.on_request(ProcId(0), &mut rng, &mut out);
             assert_eq!(a.tasks, 1);
+            assert_eq!(out.as_slice(), &[expect]);
             expect += 1;
             count += 1;
         }

@@ -18,7 +18,6 @@ pub struct DynamicMatrix2Phases {
     state: MatmulState,
     workers: Vec<WorkerCube>,
     threshold: usize,
-    scratch: Vec<u32>,
     phase1_blocks: u64,
     phase2_blocks: u64,
     phase1_tasks: usize,
@@ -33,7 +32,6 @@ impl DynamicMatrix2Phases {
             state: MatmulState::new(n),
             workers: WorkerCube::fleet(n, p),
             threshold,
-            scratch: Vec::new(),
             phase1_blocks: 0,
             phase2_blocks: 0,
             phase1_tasks: 0,
@@ -92,24 +90,19 @@ impl DynamicMatrix2Phases {
 }
 
 impl Scheduler for DynamicMatrix2Phases {
-    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
         let worker = &mut self.workers[k.idx()];
-        self.scratch.clear();
         if self.state.remaining() > self.threshold {
-            let a = dynamic_step(&mut self.state, worker, rng, &mut self.scratch);
+            let a = dynamic_step(&mut self.state, worker, rng, out);
             self.phase1_blocks += a.blocks;
             self.phase1_tasks += a.tasks;
             a
         } else {
-            let a = random_step(&mut self.state, worker, rng, &mut self.scratch);
+            let a = random_step(&mut self.state, worker, rng, out);
             self.phase2_blocks += a.blocks;
             self.phase2_tasks += a.tasks;
             a
         }
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
     }
 
     fn on_tasks_lost(&mut self, ids: &[u32]) {

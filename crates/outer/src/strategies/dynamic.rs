@@ -19,7 +19,6 @@ use rand::rngs::StdRng;
 pub struct DynamicOuter {
     state: OuterState,
     workers: Vec<WorkerData>,
-    scratch: Vec<u32>,
 }
 
 impl DynamicOuter {
@@ -28,7 +27,6 @@ impl DynamicOuter {
         DynamicOuter {
             state: OuterState::new(n),
             workers: WorkerData::fleet(n, p),
-            scratch: Vec::new(),
         }
     }
 
@@ -44,18 +42,8 @@ impl DynamicOuter {
 }
 
 impl Scheduler for DynamicOuter {
-    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
-        self.scratch.clear();
-        dynamic_step(
-            &mut self.state,
-            &mut self.workers[k.idx()],
-            rng,
-            &mut self.scratch,
-        )
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
+        dynamic_step(&mut self.state, &mut self.workers[k.idx()], rng, out)
     }
 
     fn on_tasks_lost(&mut self, ids: &[u32]) {

@@ -13,7 +13,6 @@ use rand::rngs::StdRng;
 pub struct RandomOuter {
     state: OuterState,
     workers: Vec<WorkerData>,
-    scratch: Vec<u32>,
 }
 
 impl RandomOuter {
@@ -22,7 +21,6 @@ impl RandomOuter {
         RandomOuter {
             state: OuterState::new(n),
             workers: WorkerData::fleet(n, p),
-            scratch: Vec::new(),
         }
     }
 
@@ -38,18 +36,8 @@ impl RandomOuter {
 }
 
 impl Scheduler for RandomOuter {
-    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
-        self.scratch.clear();
-        random_step(
-            &mut self.state,
-            &mut self.workers[k.idx()],
-            rng,
-            &mut self.scratch,
-        )
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
+        random_step(&mut self.state, &mut self.workers[k.idx()], rng, out)
     }
 
     fn on_tasks_lost(&mut self, ids: &[u32]) {

@@ -16,7 +16,6 @@ pub struct SortedOuter {
     state: OuterState,
     workers: Vec<WorkerData>,
     cursor: u32,
-    scratch: Vec<u32>,
 }
 
 impl SortedOuter {
@@ -26,7 +25,6 @@ impl SortedOuter {
             state: OuterState::new(n),
             workers: WorkerData::fleet(n, p),
             cursor: 0,
-            scratch: Vec::new(),
         }
     }
 
@@ -37,7 +35,7 @@ impl SortedOuter {
 }
 
 impl Scheduler for SortedOuter {
-    fn on_request(&mut self, k: ProcId, _rng: &mut StdRng) -> Allocation {
+    fn on_request(&mut self, k: ProcId, _rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
         let total = self.state.total() as u32;
         // Skip tasks already processed (possible if the cursor was advanced
         // for another worker in a mixed/two-phase use of this scheduler).
@@ -55,8 +53,7 @@ impl Scheduler for SortedOuter {
         self.cursor += 1;
         let fresh = self.state.mark_processed(i, j);
         debug_assert!(fresh);
-        self.scratch.clear();
-        self.scratch.push(self.state.task_id(i, j));
+        out.push(self.state.task_id(i, j));
         let worker = &mut self.workers[k.idx()];
         let mut blocks = 0;
         if worker.a.acquire(i) {
@@ -66,10 +63,6 @@ impl Scheduler for SortedOuter {
             blocks += 1;
         }
         Allocation { tasks: 1, blocks }
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
     }
 
     fn on_tasks_lost(&mut self, ids: &[u32]) {
@@ -107,10 +100,13 @@ mod tests {
         let mut s = SortedOuter::new(3, 1);
         let mut rng = rng_for(0, 0);
         let mut order = Vec::new();
+        let mut out = Vec::new();
         while s.remaining() > 0 {
             let before = s.cursor;
-            let a = s.on_request(ProcId(0), &mut rng);
+            out.clear();
+            let a = s.on_request(ProcId(0), &mut rng, &mut out);
             assert_eq!(a.tasks, 1);
+            assert_eq!(out.as_slice(), &[before]);
             order.push(before);
         }
         assert_eq!(order, (0..9).collect::<Vec<u32>>());

@@ -19,7 +19,6 @@ pub struct DynamicOuter2Phases {
     state: OuterState,
     workers: Vec<WorkerData>,
     threshold: usize,
-    scratch: Vec<u32>,
     // Per-phase accounting, used to validate Lemma 4 / Lemma 5 separately.
     phase1_blocks: u64,
     phase2_blocks: u64,
@@ -35,7 +34,6 @@ impl DynamicOuter2Phases {
             state: OuterState::new(n),
             workers: WorkerData::fleet(n, p),
             threshold,
-            scratch: Vec::new(),
             phase1_blocks: 0,
             phase2_blocks: 0,
             phase1_tasks: 0,
@@ -98,24 +96,19 @@ impl DynamicOuter2Phases {
 }
 
 impl Scheduler for DynamicOuter2Phases {
-    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
         let worker = &mut self.workers[k.idx()];
-        self.scratch.clear();
         if self.state.remaining() > self.threshold {
-            let a = dynamic_step(&mut self.state, worker, rng, &mut self.scratch);
+            let a = dynamic_step(&mut self.state, worker, rng, out);
             self.phase1_blocks += a.blocks;
             self.phase1_tasks += a.tasks;
             a
         } else {
-            let a = random_step(&mut self.state, worker, rng, &mut self.scratch);
+            let a = random_step(&mut self.state, worker, rng, out);
             self.phase2_blocks += a.blocks;
             self.phase2_tasks += a.tasks;
             a
         }
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
     }
 
     fn on_tasks_lost(&mut self, ids: &[u32]) {
@@ -337,9 +330,11 @@ mod tests {
     fn in_phase2_flag_transitions() {
         let mut s = DynamicOuter2Phases::new(10, 1, 50);
         let mut rng = rng_for(4, 0);
+        let mut out = Vec::new();
         assert!(!s.in_phase2());
         while s.remaining() > 50 {
-            s.on_request(ProcId(0), &mut rng);
+            out.clear();
+            s.on_request(ProcId(0), &mut rng, &mut out);
         }
         assert!(s.in_phase2());
     }

@@ -29,7 +29,6 @@ pub struct StaticOuter {
     /// comparable with the dynamic strategies).
     batch: usize,
     remaining: usize,
-    scratch: Vec<u32>,
     /// Whether each worker has been shipped its rows/columns yet.
     shipped: Vec<bool>,
 }
@@ -53,7 +52,6 @@ impl StaticOuter {
             cursor: vec![0; p],
             batch: n.max(1),
             remaining: n * n,
-            scratch: Vec::new(),
             shipped: vec![false; p],
         }
     }
@@ -74,7 +72,7 @@ impl StaticOuter {
 }
 
 impl Scheduler for StaticOuter {
-    fn on_request(&mut self, k: ProcId, _rng: &mut StdRng) -> Allocation {
+    fn on_request(&mut self, k: ProcId, _rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
         let rect = self.rects[k.idx()];
         let total = rect.tasks();
         let done = self.cursor[k.idx()];
@@ -93,11 +91,10 @@ impl Scheduler for StaticOuter {
 
         let take = self.batch.min(total - done);
         let width = (rect.c1 - rect.c0) as usize;
-        self.scratch.clear();
         for t in done..done + take {
             let row = rect.r0 as usize + t / width;
             let col = rect.c0 as usize + t % width;
-            self.scratch.push((row * self.n + col) as u32);
+            out.push((row * self.n + col) as u32);
         }
         self.cursor[k.idx()] += take;
         self.remaining -= take;
@@ -105,10 +102,6 @@ impl Scheduler for StaticOuter {
             tasks: take,
             blocks,
         }
-    }
-
-    fn last_allocated(&self) -> &[u32] {
-        &self.scratch
     }
 
     fn remaining(&self) -> usize {
@@ -188,7 +181,6 @@ mod tests {
         remaining: Vec<u32>,
         owned: Vec<(hetsched_util::FixedBitSet, hetsched_util::FixedBitSet)>,
         n: usize,
-        scratch: Vec<u32>,
     }
 
     impl RandomBaseline {
@@ -204,13 +196,12 @@ mod tests {
                     })
                     .collect(),
                 n,
-                scratch: Vec::new(),
             }
         }
     }
 
     impl Scheduler for RandomBaseline {
-        fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
+        fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
             use rand::Rng;
             if self.remaining.is_empty() {
                 return Allocation::DONE;
@@ -226,12 +217,8 @@ mod tests {
             if b.insert(j) {
                 blocks += 1;
             }
-            self.scratch.clear();
-            self.scratch.push(id);
+            out.push(id);
             Allocation { tasks: 1, blocks }
-        }
-        fn last_allocated(&self) -> &[u32] {
-            &self.scratch
         }
         fn remaining(&self) -> usize {
             self.remaining.len()

@@ -158,6 +158,10 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         // Ids lost to failures and not yet re-allocated, for re-ship
         // accounting.
         let mut lost_ids: HashSet<u32> = HashSet::new();
+        // Engine-owned batch arena: cleared and refilled by the scheduler on
+        // every request, so the steady-state loop performs no heap
+        // allocation once the buffer reaches the largest batch size.
+        let mut batch: Vec<u32> = Vec::new();
 
         while let Some((now, k)) = self.queue.pop() {
             let i = k.idx();
@@ -167,10 +171,10 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 dying[i] = false;
                 dying_until[i] = f64::INFINITY;
                 dead[i] = true;
-                let lost = std::mem::take(&mut in_flight[i]);
-                self.ledger.record_lost(k, lost.len());
-                lost_ids.extend(lost.iter().copied());
-                self.scheduler.on_tasks_lost(&lost);
+                self.ledger.record_lost(k, in_flight[i].len());
+                lost_ids.extend(in_flight[i].iter().copied());
+                self.scheduler.on_tasks_lost(&in_flight[i]);
+                in_flight[i].clear();
                 continue;
             }
             if dead[i] {
@@ -195,7 +199,13 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 }
                 continue;
             }
-            let alloc = self.scheduler.on_request(k, rng);
+            batch.clear();
+            let alloc = self.scheduler.on_request(k, rng, &mut batch);
+            debug_assert_eq!(
+                batch.len(),
+                alloc.tasks,
+                "scheduler contract: out ids == tasks"
+            );
             if alloc.is_done() {
                 // Worker retired (cannot contribute further); its blocks
                 // (normally zero) still count.
@@ -214,9 +224,12 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             if !lost_ids.is_empty() {
                 // Re-ship accounting, at batch granularity: a batch that
                 // re-allocates any failure-lost task charges its blocks to
-                // the recovery counter.
+                // the recovery counter. Once every lost id has been
+                // re-allocated the set is empty again and this block costs
+                // nothing — fault-free and recovered steady states do zero
+                // extra work.
                 let mut reallocates = false;
-                for id in self.scheduler.last_allocated() {
+                for id in &batch {
                     if lost_ids.remove(id) {
                         reallocates = true;
                     }
@@ -233,7 +246,11 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     // shipped and `f − now` of compute is burned, but no task
                     // of this batch completes. Discovery is scheduled at `f`.
                     self.ledger.record(k, 0, alloc.blocks, f - now);
-                    in_flight[i] = self.scheduler.last_allocated().to_vec();
+                    // Swap instead of clone: `in_flight[i]` is empty here (a
+                    // worker requests only after its previous batch is fully
+                    // accounted), so the arena buffer changes hands at zero
+                    // cost and no allocation happens on the fault path.
+                    std::mem::swap(&mut in_flight[i], &mut batch);
                     dying[i] = true;
                     dying_until[i] = f;
                     if let Some(t) = trace.as_deref_mut() {
@@ -310,8 +327,9 @@ pub fn run_traced<S: Scheduler>(
 /// # use hetsched_platform::ProcId;
 /// # struct Chunks(usize);
 /// # impl Scheduler for Chunks {
-/// #     fn on_request(&mut self, _: ProcId, _: &mut rand::rngs::StdRng) -> Allocation {
+/// #     fn on_request(&mut self, _: ProcId, _: &mut rand::rngs::StdRng, out: &mut Vec<u32>) -> Allocation {
 /// #         let t = self.0.min(4); self.0 -= t;
+/// #         out.extend((self.0 as u32)..(self.0 + t) as u32);
 /// #         Allocation { tasks: t, blocks: t as u64 }
 /// #     }
 /// #     fn remaining(&self) -> usize { self.0 }
@@ -412,9 +430,10 @@ mod tests {
     }
 
     impl Scheduler for FixedBatch {
-        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng) -> Allocation {
+        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
             let t = self.batch.min(self.remaining);
             self.remaining -= t;
+            out.extend((self.remaining as u32)..(self.remaining + t) as u32);
             Allocation {
                 tasks: t,
                 blocks: t as u64,
@@ -532,14 +551,13 @@ mod tests {
         assert!((report.makespan - 7.0).abs() < 1e-9);
     }
 
-    /// Toy strategy with a real task pool: supports `last_allocated` and
+    /// Toy strategy with a real task pool: reports allocated ids and supports
     /// reallocation, and counts net allocations per task so tests can check
     /// the exactly-once contract under failures.
     struct PoolSched {
         pool: Vec<u32>,
         total: usize,
         batch: usize,
-        last: Vec<u32>,
         /// Net allocation count per id (+1 allocated, −1 lost).
         counts: Vec<i32>,
     }
@@ -549,27 +567,22 @@ mod tests {
             pool: (0..total as u32).rev().collect(),
             total,
             batch,
-            last: Vec::new(),
             counts: vec![0; total],
         }
     }
 
     impl Scheduler for PoolSched {
-        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng) -> Allocation {
+        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
             let t = self.batch.min(self.pool.len());
-            self.last.clear();
             for _ in 0..t {
                 let id = self.pool.pop().expect("pool underflow");
                 self.counts[id as usize] += 1;
-                self.last.push(id);
+                out.push(id);
             }
             Allocation {
                 tasks: t,
                 blocks: t as u64,
             }
-        }
-        fn last_allocated(&self) -> &[u32] {
-            &self.last
         }
         fn on_tasks_lost(&mut self, ids: &[u32]) {
             for &id in ids {
@@ -703,17 +716,14 @@ mod tests {
     struct RetireFirst(PoolSched);
 
     impl Scheduler for RetireFirst {
-        fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation {
+        fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
             if k.idx() == 0 {
                 return Allocation {
                     tasks: 0,
                     blocks: 1,
                 };
             }
-            self.0.on_request(k, rng)
-        }
-        fn last_allocated(&self) -> &[u32] {
-            self.0.last_allocated()
+            self.0.on_request(k, rng, out)
         }
         fn remaining(&self) -> usize {
             self.0.remaining()

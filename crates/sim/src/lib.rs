@@ -52,7 +52,7 @@ pub use engine::{
     run, run_configured, run_configured_traced, run_traced, run_traced_with_failures,
     run_with_failures, Engine, SimReport,
 };
-pub use event::EventQueue;
+pub use event::{EventQueue, FlatScanQueue};
 pub use hetsched_net::NetworkModel;
 pub use metrics::CommLedger;
 pub use scheduler::{Allocation, Scheduler};

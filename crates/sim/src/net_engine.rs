@@ -96,6 +96,10 @@ struct RunState {
     idle_since: Vec<f64>,
     /// Failure-lost ids not yet re-allocated, for re-ship accounting.
     lost_ids: HashSet<u32>,
+    /// Free list of id buffers recycled from consumed [`Batch`]es; the
+    /// steady-state loop pops one per request and pushes it back when the
+    /// batch is done, so no per-batch allocation survives warm-up.
+    spare: Vec<Vec<u32>>,
     q: NetQueue,
     net: NetState,
 }
@@ -121,6 +125,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             computing: vec![false; p],
             idle_since: vec![0.0; p],
             lost_ids: HashSet::new(),
+            spare: Vec::new(),
             q: NetQueue::default(),
             net: NetState::new(self.network, self.platform.link_latencies().to_vec()),
         };
@@ -153,10 +158,10 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     if st.dying[i] {
                         // The batch it was computing dies with it.
                         st.dying[i] = false;
-                        let lost = std::mem::take(&mut st.in_flight[i]);
-                        self.ledger.record_lost(k, lost.len());
-                        st.lost_ids.extend(lost.iter().copied());
-                        self.scheduler.on_tasks_lost(&lost);
+                        self.ledger.record_lost(k, st.in_flight[i].len());
+                        st.lost_ids.extend(st.in_flight[i].iter().copied());
+                        self.scheduler.on_tasks_lost(&st.in_flight[i]);
+                        st.in_flight[i].clear();
                     }
                     // A batch in transfer (or arrived but never started) is
                     // pure waste: the master spent the bandwidth, the tasks
@@ -168,6 +173,9 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                         self.ledger.record_lost(k, b.ids.len());
                         st.lost_ids.extend(b.ids.iter().copied());
                         self.scheduler.on_tasks_lost(&b.ids);
+                        let mut ids = b.ids;
+                        ids.clear();
+                        st.spare.push(ids);
                         if let Some(t) = trace.as_deref_mut() {
                             t.push(TraceEvent {
                                 time: now,
@@ -286,9 +294,18 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             }
             return;
         }
-        let alloc = self.scheduler.on_request(k, rng);
+        // Recycled id buffer: no allocation once the free list is warm.
+        let mut ids = st.spare.pop().unwrap_or_default();
+        ids.clear();
+        let alloc = self.scheduler.on_request(k, rng, &mut ids);
+        debug_assert_eq!(
+            ids.len(),
+            alloc.tasks,
+            "scheduler contract: out ids == tasks"
+        );
         if alloc.is_done() {
             // Worker retired; its blocks (normally zero) still ship.
+            st.spare.push(ids);
             let _ = st.net.send(k, alloc.blocks, now);
             self.ledger.record(k, 0, alloc.blocks, 0.0);
             if let Some(t) = trace.as_deref_mut() {
@@ -302,7 +319,6 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             }
             return;
         }
-        let ids = self.scheduler.last_allocated().to_vec();
         if !st.lost_ids.is_empty() {
             // Re-ship accounting at batch granularity, as in the infinite
             // engine.
@@ -372,6 +388,11 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 self.makespan = self.makespan.max(finish);
                 st.computing[i] = true;
                 st.q.push(finish, DONE, k);
+                // The batch is fully accounted; its id buffer goes back to
+                // the free list.
+                let mut ids = b.ids;
+                ids.clear();
+                st.spare.push(ids);
             }
         }
         // Depth-1 prefetch. The master cannot know a worker is doomed, so
@@ -394,7 +415,6 @@ mod tests {
         pool: Vec<u32>,
         total: usize,
         batch: usize,
-        last: Vec<u32>,
         counts: Vec<i32>,
     }
 
@@ -403,27 +423,22 @@ mod tests {
             pool: (0..total as u32).rev().collect(),
             total,
             batch,
-            last: Vec::new(),
             counts: vec![0; total],
         }
     }
 
     impl Scheduler for PoolSched {
-        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng) -> Allocation {
+        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
             let t = self.batch.min(self.pool.len());
-            self.last.clear();
             for _ in 0..t {
                 let id = self.pool.pop().expect("pool underflow");
                 self.counts[id as usize] += 1;
-                self.last.push(id);
+                out.push(id);
             }
             Allocation {
                 tasks: t,
                 blocks: t as u64,
             }
-        }
-        fn last_allocated(&self) -> &[u32] {
-            &self.last
         }
         fn on_tasks_lost(&mut self, ids: &[u32]) {
             for &id in ids {

@@ -43,16 +43,16 @@ impl Allocation {
 /// * `on_request` never allocates a processed task and never returns
 ///   `tasks > 0` with `remaining` previously `0`.
 pub trait Scheduler {
-    /// Worker `k` is idle and requests work. Returns the allocated batch.
-    fn on_request(&mut self, k: ProcId, rng: &mut StdRng) -> Allocation;
-
-    /// Linear ids of the tasks allocated by the *most recent*
-    /// [`on_request`](Scheduler::on_request) call (length equals its
-    /// `Allocation::tasks`). The simulation engine never looks at this;
-    /// real executors (`hetsched-exec`) use it to ship actual work.
-    fn last_allocated(&self) -> &[u32] {
-        &[]
-    }
+    /// Worker `k` is idle and requests work. Returns the allocated batch
+    /// and appends the linear ids of the allocated tasks to `out` (exactly
+    /// `Allocation::tasks` of them).
+    ///
+    /// `out` is a scratch buffer owned by the *caller* and reused across
+    /// requests: the engine hands it in empty (cleared, capacity retained),
+    /// so the steady-state request loop performs no heap allocation.
+    /// Implementations only push into it and must not assume the buffer
+    /// outlives the call.
+    fn on_request(&mut self, k: ProcId, rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation;
 
     /// A worker that had been allocated `ids` failed before computing them;
     /// the tasks must return to the residual pool so surviving workers can

@@ -26,7 +26,17 @@ impl OnlineStats {
     }
 
     /// Adds a sample.
+    ///
+    /// NaN samples are rejected: one NaN would silently poison the mean,
+    /// variance and extrema of the whole accumulation. Debug builds panic
+    /// (the caller has a bug upstream — a division by a zero lower bound,
+    /// usually); release builds skip the sample, so `count()` tells the
+    /// truth about how many values actually entered the statistics.
     pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "OnlineStats::push(NaN): upstream bug");
+        if x.is_nan() {
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -156,6 +166,20 @@ mod tests {
         assert!(close(left.variance(), whole.variance()));
         assert_eq!(left.min(), whole.min());
         assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "OnlineStats::push(NaN)"))]
+    fn nan_panics_in_debug_builds() {
+        let mut s = OnlineStats::new();
+        s.push(f64::NAN);
+        // Release builds fall through to here: NaN must have been skipped,
+        // not absorbed.
+        assert_eq!(s.count(), 0);
+        s.push(1.5);
+        assert_eq!(s.count(), 1);
+        assert!(close(s.mean(), 1.5));
+        assert!(!s.std_dev().is_nan());
     }
 
     #[test]

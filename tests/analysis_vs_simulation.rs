@@ -194,10 +194,12 @@ fn lemma1_residual_density_matches_measurement() {
     // rounds so we can stop mid-flight and inspect the state.
     let mut sched = hetsched::outer::DynamicOuter::new(n, p);
     let mut r = rng(0x57, 0);
+    let mut out = Vec::new();
     // Round-robin requests approximate equal speeds; stop while x ≈ 0.15.
     'outer: loop {
         for k in 0..p {
-            sched.on_request(ProcId(k as u32), &mut r);
+            out.clear();
+            sched.on_request(ProcId(k as u32), &mut r, &mut out);
             let w0 = sched.worker(ProcId(0));
             if w0.a.count() >= 30 {
                 break 'outer;

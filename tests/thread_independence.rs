@@ -1,0 +1,95 @@
+//! The parallel sweep drivers must be bit-for-bit independent of the
+//! thread count: every trial derives its RNG stream from `(seed, trial
+//! index)`, never from the thread it lands on. These tests pin that
+//! contract for `run_trials_with_threads` and for the parallelized figure
+//! and extension sweeps.
+
+use hetsched::core::figures::{fig1, fig7, FigOpts};
+use hetsched::core::{
+    extensions, run_trials_with_threads, ExperimentConfig, FigureData, Kernel, Strategy,
+    TrialSummary,
+};
+use hetsched::util::OnlineStats;
+
+/// Everything an `OnlineStats` can report, for exact comparison.
+fn stats_key(s: &OnlineStats) -> (u64, f64, f64, f64, f64) {
+    (s.count(), s.mean(), s.variance(), s.min(), s.max())
+}
+
+fn assert_summaries_identical(a: &TrialSummary, b: &TrialSummary) {
+    assert_eq!(a.trials, b.trials);
+    for (fa, fb, name) in [
+        (&a.normalized_comm, &b.normalized_comm, "normalized_comm"),
+        (&a.total_blocks, &b.total_blocks, "total_blocks"),
+        (&a.makespan, &b.makespan, "makespan"),
+        (&a.beta_used, &b.beta_used, "beta_used"),
+        (&a.lost_tasks, &b.lost_tasks, "lost_tasks"),
+        (&a.reshipped_blocks, &b.reshipped_blocks, "reshipped_blocks"),
+        (&a.transfer_wait, &b.transfer_wait, "transfer_wait"),
+        (&a.link_utilization, &b.link_utilization, "link_utilization"),
+    ] {
+        let (ka, kb) = (stats_key(fa), stats_key(fb));
+        // NaN min/max of empty stats compare equal via bit pattern.
+        let bits = |k: (u64, f64, f64, f64, f64)| {
+            (
+                k.0,
+                k.1.to_bits(),
+                k.2.to_bits(),
+                k.3.to_bits(),
+                k.4.to_bits(),
+            )
+        };
+        assert_eq!(bits(ka), bits(kb), "{name} differs across thread counts");
+    }
+}
+
+fn assert_figures_identical(a: &FigureData, b: &FigureData) {
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.series.len(), b.series.len());
+    for (sa, sb) in a.series.iter().zip(&b.series) {
+        assert_eq!(sa.label, sb.label);
+        assert_eq!(sa.points, sb.points, "series {:?} differs", sa.label);
+    }
+}
+
+/// `run_trials_with_threads`: 1 thread vs many, with few trials so the
+/// chunking actually splits the work unevenly.
+#[test]
+fn run_trials_is_thread_count_independent() {
+    for strategy in [
+        Strategy::Dynamic,
+        Strategy::TwoPhase(hetsched::core::BetaChoice::Analytic),
+    ] {
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer { n: 30 },
+            strategy,
+            processors: 6,
+            ..Default::default()
+        };
+        let serial = run_trials_with_threads(&cfg, 5, 0x7EAD, Some(1));
+        for threads in [2, 4, 16] {
+            let parallel = run_trials_with_threads(&cfg, 5, 0x7EAD, Some(threads));
+            assert_summaries_identical(&serial, &parallel);
+        }
+    }
+}
+
+/// The parallelized extF grid (strategies × bandwidth × trial).
+#[test]
+fn ext_f_is_thread_count_independent() {
+    let serial = extensions::by_id("extF", &FigOpts::quick().with_threads(1)).unwrap();
+    let parallel = extensions::by_id("extF", &FigOpts::quick().with_threads(3)).unwrap();
+    assert_figures_identical(&serial, &parallel);
+}
+
+/// The parallelized p-sweep (fig1) and hetero probe + grid (fig7).
+#[test]
+fn figure_sweeps_are_thread_count_independent() {
+    let serial = fig1(&FigOpts::quick().with_threads(1));
+    let parallel = fig1(&FigOpts::quick().with_threads(3));
+    assert_figures_identical(&serial, &parallel);
+
+    let serial = fig7(&FigOpts::quick().with_threads(1));
+    let parallel = fig7(&FigOpts::quick().with_threads(4));
+    assert_figures_identical(&serial, &parallel);
+}
