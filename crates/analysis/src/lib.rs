@@ -65,4 +65,4 @@ pub use beta_table::{BetaTable, TableKernel};
 pub use homogeneous::{beta_homogeneous_matmul, beta_homogeneous_outer};
 pub use matmul::MatmulAnalysis;
 pub use optimize::minimize_unimodal;
-pub use outer::OuterAnalysis;
+pub use outer::{OuterAnalysis, OuterTrajectory};

@@ -187,6 +187,78 @@ impl OuterAnalysis {
     pub fn phase2_tasks(&self, beta: f64) -> f64 {
         (-beta).exp() * (self.n * self.n) as f64
     }
+
+    /// Lemma 2's exponent for processor `k`: `α_k + 1 = 1 / rs_k`.
+    pub fn alpha(&self, k: usize) -> f64 {
+        1.0 / self.rs[k] - 1.0
+    }
+
+    /// Converts absolute simulated time to the normalized time
+    /// `τ = t·Σs_i / n²` the ODE model evolves in (the fraction of the
+    /// total work processed, by work conservation).
+    pub fn normalized_time(&self, t: f64, total_speed: f64) -> f64 {
+        t * total_speed / (self.n * self.n) as f64
+    }
+
+    /// The analytic trajectory of the pure dynamic strategy on a uniform
+    /// normalized-time grid of `steps + 1` points over `[0, horizon]`,
+    /// `horizon ∈ (0, 1]`.
+    ///
+    /// Per grid point it evaluates the closed-form ODE solutions the
+    /// simulator's probes can be overlaid on: the residual task fraction
+    /// (`1 − τ` — the demand-driven engine is work conserving, Lemma 2),
+    /// each worker's knowledge fraction `x_k(τ)`
+    /// ([`x_at_time`](Self::x_at_time) with [`alpha`](Self::alpha)), and
+    /// the communication volume `2n·x_k(τ)` each worker has received.
+    pub fn dynamic_trajectory(&self, horizon: f64, steps: usize) -> OuterTrajectory {
+        assert!(
+            horizon > 0.0 && horizon <= 1.0,
+            "horizon must be in (0, 1], got {horizon}"
+        );
+        assert!(steps > 0, "need at least one step");
+        let p = self.rs.len();
+        let mut tr = OuterTrajectory {
+            tau: Vec::with_capacity(steps + 1),
+            remaining_fraction: Vec::with_capacity(steps + 1),
+            x: Vec::with_capacity(steps + 1),
+            blocks: Vec::with_capacity(steps + 1),
+        };
+        for i in 0..=steps {
+            let tau = horizon * i as f64 / steps as f64;
+            let xs: Vec<f64> = (0..p)
+                .map(|k| Self::x_at_time(tau, self.alpha(k)))
+                .collect();
+            let blocks: Vec<f64> = xs.iter().map(|x| 2.0 * self.n as f64 * x).collect();
+            tr.tau.push(tau);
+            tr.remaining_fraction.push(1.0 - tau);
+            tr.x.push(xs);
+            tr.blocks.push(blocks);
+        }
+        tr
+    }
+}
+
+/// Analytic time series of the dynamic strategy's observable state, from
+/// [`OuterAnalysis::dynamic_trajectory`]: one entry per normalized-time
+/// grid point, suitable for overlaying on simulated probe samples.
+#[derive(Clone, Debug)]
+pub struct OuterTrajectory {
+    /// Normalized times `τ = t·Σs_i / n²` of the grid.
+    pub tau: Vec<f64>,
+    /// Expected fraction of the `n²` tasks still unprocessed at each `τ`.
+    pub remaining_fraction: Vec<f64>,
+    /// `x[i][k]`: worker `k`'s knowledge fraction at grid point `i`.
+    pub x: Vec<Vec<f64>>,
+    /// `blocks[i][k] = 2n·x[i][k]`: blocks worker `k` has received.
+    pub blocks: Vec<Vec<f64>>,
+}
+
+impl OuterTrajectory {
+    /// Expected total communication volume (blocks, all workers) at grid
+    /// point `i`.
+    pub fn total_blocks(&self, i: usize) -> f64 {
+        self.blocks[i].iter().sum()
+    }
 }
 
 #[cfg(test)]
@@ -380,6 +452,48 @@ mod tests {
     fn phase2_task_count() {
         let model = OuterAnalysis::homogeneous(10, 100);
         assert!((model.phase2_tasks(4.0) - (-4.0f64).exp() * 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_endpoints_and_monotonicity() {
+        let pf = Platform::from_speeds(vec![10.0, 30.0, 60.0]);
+        let model = OuterAnalysis::new(&pf, 40);
+        let tr = model.dynamic_trajectory(1.0, 50);
+        assert_eq!(tr.tau.len(), 51);
+        assert_eq!(tr.tau[0], 0.0);
+        assert_eq!(tr.remaining_fraction[0], 1.0);
+        assert!((tr.tau[50] - 1.0).abs() < 1e-12);
+        assert!(tr.remaining_fraction[50].abs() < 1e-12);
+        // Everyone starts knowing nothing and ends knowing everything.
+        assert!(tr.x[0].iter().all(|&x| x == 0.0));
+        assert!(tr.x[50].iter().all(|&x| (x - 1.0).abs() < 1e-9));
+        // Knowledge and volume are monotone per worker; residual decreases.
+        for i in 1..=50 {
+            assert!(tr.remaining_fraction[i] < tr.remaining_fraction[i - 1]);
+            for k in 0..3 {
+                assert!(tr.x[i][k] >= tr.x[i - 1][k]);
+                assert!((tr.blocks[i][k] - 80.0 * tr.x[i][k]).abs() < 1e-9);
+            }
+        }
+        // Faster workers know more at any interior time (α is smaller).
+        let mid = &tr.x[25];
+        assert!(mid[2] > mid[1] && mid[1] > mid[0]);
+    }
+
+    #[test]
+    fn trajectory_matches_closed_forms_and_normalized_time() {
+        let model = OuterAnalysis::homogeneous(4, 20);
+        let tr = model.dynamic_trajectory(0.8, 8);
+        for (i, &tau) in tr.tau.iter().enumerate() {
+            let expect = OuterAnalysis::x_at_time(tau, model.alpha(0));
+            for k in 0..4 {
+                assert!((tr.x[i][k] - expect).abs() < 1e-12, "homogeneous x");
+            }
+        }
+        let mid_x = OuterAnalysis::x_at_time(tr.tau[4], model.alpha(0));
+        assert!((tr.total_blocks(4) - 4.0 * 2.0 * 20.0 * mid_x).abs() < 1e-9);
+        // τ = t·Σs/n²: with Σs = 100 and n = 20, t = 2 ⇒ τ = 0.5.
+        assert!((model.normalized_time(2.0, 100.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -13,8 +13,10 @@
 
 use hetsched_core::extensions::{self, ALL_EXTENSIONS};
 use hetsched_core::figures::{by_id, FigOpts, ALL_FIGURES};
+use hetsched_core::{manifest_json, run_once, ExperimentConfig, Kernel, Strategy};
 use hetsched_outer::RandomOuter;
-use hetsched_platform::{Platform, SpeedDistribution, SpeedModel};
+use hetsched_platform::{FailureModel, Platform, ProcId, SpeedDistribution, SpeedModel};
+use hetsched_sim::{ProbeConfig, Recorder};
 use hetsched_util::rng::rng_for;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -68,6 +70,8 @@ fn main() {
 
     let date = today_utc();
     let events_per_sec = engine_requests_per_sec();
+    let probed_per_sec = engine_requests_per_sec_probed();
+    let (ledger_cfg, ledger_seed, ledger) = ledger_aggregates();
 
     let mut timings = Vec::new();
     for id in &ids {
@@ -93,6 +97,26 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"engine_requests_per_sec\": {events_per_sec:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"engine_requests_per_sec_probed\": {probed_per_sec:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"probe_overhead_pct\": {:.1},\n",
+        100.0 * (1.0 - probed_per_sec / events_per_sec)
+    ));
+    json.push_str(&format!(
+        "  \"ledger\": {{ \"total_blocks\": {}, \"total_transfer_wait\": {:.4}, \"wasted_blocks\": {}, \"lost_tasks\": {}, \"reshipped_blocks\": {} }},\n",
+        ledger.0, ledger.1, ledger.2, ledger.3, ledger.4
+    ));
+    json.push_str(&format!(
+        "  \"manifest\": {},\n",
+        manifest_json(
+            &ledger_cfg,
+            ledger_seed,
+            opts.threads.unwrap_or(1),
+            &[("role", "\"ledger-aggregate run\"".to_string())],
+        )
     ));
     json.push_str("  \"timings_sec\": {\n");
     for (i, (id, secs)) in timings.iter().enumerate() {
@@ -135,6 +159,66 @@ fn engine_requests_per_sec() -> f64 {
         reqs += (n * n) as u64;
     }
     reqs as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The same hot loop with a recorder attached and an every-64-allocations
+/// probe cadence: the trace and samples are collected for real, so the
+/// delta against [`engine_requests_per_sec`] prices the observability
+/// layer when it is actually on (with no recorder the engines take the
+/// identical `None` branch the unprobed number measures).
+fn engine_requests_per_sec_probed() -> f64 {
+    let p = 100;
+    let n = 100;
+    let pf = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(1, 0));
+    let run_probed = || {
+        let mut rec = Recorder::new(ProbeConfig::by_events(64));
+        hetsched_sim::run_configured_recorded(
+            &pf,
+            SpeedModel::Fixed,
+            RandomOuter::new(n, p),
+            &FailureModel::none(),
+            hetsched_sim::NetworkModel::Infinite,
+            &mut rng_for(2, 0),
+            &mut rec,
+        )
+    };
+    let _ = run_probed();
+    let start = Instant::now();
+    let mut reqs = 0u64;
+    while start.elapsed().as_secs_f64() < 0.5 {
+        let (r, _) = run_probed();
+        std::hint::black_box(r.makespan);
+        reqs += (n * n) as u64;
+    }
+    reqs as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One fixed, deterministic networked run with an injected failure, so the
+/// snapshot records the ledger aggregates the observability layer
+/// reconciles against: `(total_blocks, total_transfer_wait, wasted_blocks,
+/// lost_tasks, reshipped_blocks)`.
+fn ledger_aggregates() -> (ExperimentConfig, u64, (u64, f64, u64, u64, u64)) {
+    let cfg = ExperimentConfig {
+        kernel: Kernel::Outer { n: 60 },
+        strategy: Strategy::Dynamic,
+        processors: 10,
+        failures: FailureModel::none().fail_at(ProcId(3), 8.0),
+        network: hetsched_sim::NetworkModel::OnePort { master_bw: 50.0 },
+        ..Default::default()
+    };
+    let seed = 0xBE;
+    let r = run_once(&cfg, seed);
+    (
+        cfg,
+        seed,
+        (
+            r.total_blocks,
+            r.transfer_wait_per_proc.iter().sum(),
+            r.wasted_blocks,
+            r.lost_tasks,
+            r.reshipped_blocks,
+        ),
+    )
 }
 
 /// Civil date (UTC) from the Unix clock — days-to-date per the standard

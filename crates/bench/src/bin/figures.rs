@@ -5,11 +5,13 @@
 //! ```
 //!
 //! Prints each figure as an aligned table and, with `--csv DIR`, writes
-//! long-form CSV (`figure,series,x,mean,std_dev`) to `DIR/<id>.csv`.
-//! Figure 3 of the paper is a schematic with no data; it is intentionally
-//! absent.
+//! long-form CSV (`figure,series,x,mean,std_dev`) to `DIR/<id>.csv` plus a
+//! `DIR/<id>.manifest.json` sidecar recording the seed, options, and build
+//! that produced it. Figure 3 of the paper is a schematic with no data; it
+//! is intentionally absent.
 
 use hetsched_core::extensions::{self, ALL_EXTENSIONS};
+use hetsched_core::figure_manifest_json;
 use hetsched_core::figures::{by_id, FigOpts, ALL_FIGURES};
 use std::io::Write as _;
 use std::time::Instant;
@@ -93,7 +95,10 @@ fn main() {
             let path = format!("{dir}/{id}.csv");
             let mut f = std::fs::File::create(&path).expect("create csv file");
             f.write_all(fig.to_csv().as_bytes()).expect("write csv");
-            eprintln!("[wrote {path}]");
+            let manifest_path = format!("{dir}/{id}.manifest.json");
+            std::fs::write(&manifest_path, figure_manifest_json(id, &opts) + "\n")
+                .expect("write manifest sidecar");
+            eprintln!("[wrote {path} (+ manifest sidecar)]");
         }
     }
 }
@@ -102,7 +107,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [--quick] [--trials T] [--seed S] [--threads N] [--csv DIR] \
-         [all | fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 extA extB extC]"
+         [all | fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 extA extB extC extD extF extG]"
     );
     std::process::exit(2)
 }

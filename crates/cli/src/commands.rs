@@ -3,11 +3,14 @@
 
 use crate::args::Args;
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
-use hetsched_core::{run_trials, BetaChoice, ExperimentConfig, Kernel, Strategy};
+use hetsched_core::{
+    render_trace, run_trials, BetaChoice, ExperimentConfig, Kernel, Strategy, TraceFormat,
+};
 use hetsched_dag::{cholesky_graph, qr_graph, simulate, Policy};
 use hetsched_net::NetworkModel;
 use hetsched_partition::optimal_column_partition;
 use hetsched_platform::{FailureModel, Platform, ProcId, Scenario, SpeedDistribution};
+use hetsched_sim::ProbeConfig;
 use hetsched_util::rng::rng_for;
 use std::fmt::Write as _;
 
@@ -50,6 +53,9 @@ COMMANDS
              --bandwidth B                   (master link, blocks/unit time; required unless infinite)
              --worker-bw B                   (per-worker cap, multiport only)
              --latency L                     (per-worker link latency, priced models only)
+             --trace-out PATH                (write the first trial's event trace)
+             --trace-format jsonl|chrome     (jsonl; chrome loads in Perfetto)
+             --probe-every N                 (sample engine state every N allocations)
   analyze    query the analytic model (β*, threshold, ratio landscape)
              --kernel outer|matmul (outer)   --n BLOCKS (100)
              --p WORKERS (20)                --speeds S1,S2,…
@@ -60,7 +66,9 @@ COMMANDS
              --p WORKERS (8)                 --policy random|data-aware|cp|critical-path (data-aware)
              --seed S (1)
   figures    regenerate paper figures / extension experiments
-             positional ids (fig1 … fig11, extA … extF) --quick --trials N --seed S
+             positional ids (fig1 … fig11, extA … extG) --quick --trials N --seed S
+             --trace-out PATH --trace-format jsonl|chrome --probe-every N
+             (trace one representative run alongside the figures)
   help       this text
 "
     .to_string()
@@ -194,6 +202,62 @@ fn parse_network(args: &Args) -> Result<(NetworkModel, f64), String> {
     Ok((net, latency))
 }
 
+/// Parses `--trace-out`/`--trace-format`/`--probe-every`. Returns
+/// `None` when no trace was requested; the format and probe flags are
+/// only legal alongside `--trace-out`.
+fn parse_trace_flags(args: &Args) -> Result<Option<(String, TraceFormat, ProbeConfig)>, String> {
+    let format = match args.get("trace-format") {
+        Some(v) => TraceFormat::parse(v).map_err(|e| format!("--trace-format: {e}"))?,
+        None => TraceFormat::Jsonl,
+    };
+    let probe = match args.get("probe-every") {
+        Some(v) => {
+            let every: u64 = v
+                .parse()
+                .map_err(|_| format!("--probe-every: bad count {v:?}"))?;
+            ProbeConfig::by_events(every)
+        }
+        None => ProbeConfig::disabled(),
+    };
+    match args.get("trace-out") {
+        Some(path) => Ok(Some((path.to_string(), format, probe))),
+        None => {
+            if args.get("trace-format").is_some() || args.get("probe-every").is_some() {
+                return Err(
+                    "--trace-format/--probe-every only apply together with --trace-out PATH".into(),
+                );
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Traces one run of `cfg` (the first trial's seed stream) and writes it
+/// to `path`. Returns the report line for the command output.
+fn write_trace_file(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    path: &str,
+    format: TraceFormat,
+    probe: ProbeConfig,
+) -> Result<String, String> {
+    let body = render_trace(
+        cfg,
+        hetsched_core::runner::trial_seed(seed, 0),
+        probe,
+        format,
+    );
+    std::fs::write(path, &body).map_err(|e| format!("--trace-out: cannot write {path:?}: {e}"))?;
+    Ok(format!(
+        "trace written            : {path} ({} bytes, {})\n",
+        body.len(),
+        match format {
+            TraceFormat::Jsonl => "jsonl: one JSON object per line",
+            TraceFormat::Chrome => "chrome: load in Perfetto / chrome://tracing",
+        }
+    ))
+}
+
 fn simulate_cmd(args: &Args) -> Result<String, String> {
     args.ensure_known(&[
         "kernel",
@@ -211,6 +275,9 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         "bandwidth",
         "worker-bw",
         "latency",
+        "trace-out",
+        "trace-format",
+        "probe-every",
     ])?;
     let n: usize = args.get_or("n", 100)?;
     let kernel = match args.get("kernel").unwrap_or("outer") {
@@ -245,6 +312,7 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
     cfg.network = network;
     cfg.link_latency = latency;
     cfg.validate()?;
+    let trace = parse_trace_flags(args)?;
 
     let sum = run_trials(&cfg, trials, seed);
     let mut out = String::new();
@@ -327,6 +395,9 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
             "near the crossover between comm-bound and compute-bound"
         };
         writeln!(out, "regime                   : {regime}").unwrap();
+    }
+    if let Some((path, format, probe)) = trace {
+        out.push_str(&write_trace_file(&cfg, seed, &path, format, probe)?);
     }
     Ok(out)
 }
@@ -495,7 +566,14 @@ fn dag_cmd(args: &Args) -> Result<String, String> {
 }
 
 fn figures_cmd(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["quick", "trials", "seed"])?;
+    args.ensure_known(&[
+        "quick",
+        "trials",
+        "seed",
+        "trace-out",
+        "trace-format",
+        "probe-every",
+    ])?;
     let mut opts = hetsched_core::figures::FigOpts::paper();
     if args.switch("quick") {
         opts = hetsched_core::figures::FigOpts::quick();
@@ -505,10 +583,11 @@ fn figures_cmd(args: &Args) -> Result<String, String> {
         return Err("--trials: need at least 1 trial, got 0".into());
     }
     opts.seed = args.get_or("seed", opts.seed)?;
+    let trace = parse_trace_flags(args)?;
 
     let ids: Vec<&String> = args.positionals().iter().skip(1).collect();
     if ids.is_empty() {
-        return Err("figures: give at least one id (fig1 … fig11, extA … extD)".into());
+        return Err("figures: give at least one id (fig1 … fig11, extA … extG)".into());
     }
     let mut out = String::new();
     for id in ids {
@@ -517,6 +596,19 @@ fn figures_cmd(args: &Args) -> Result<String, String> {
             .ok_or(format!("unknown figure id {id:?} (fig3 is a schematic)"))?;
         out.push_str(&fig.to_table());
         out.push('\n');
+    }
+    if let Some((path, format, probe)) = trace {
+        // One representative run of the paper's default experiment at the
+        // figures' scale, so the sweep's tables come with an inspectable
+        // schedule.
+        let cfg = ExperimentConfig {
+            kernel: Kernel::Outer {
+                n: if opts.quick { 40 } else { 100 },
+            },
+            processors: if opts.quick { 8 } else { 20 },
+            ..Default::default()
+        };
+        out.push_str(&write_trace_file(&cfg, opts.seed, &path, format, probe)?);
     }
     Ok(out)
 }
@@ -675,6 +767,67 @@ mod tests {
         assert!(out.contains("fig1"), "{out}");
         assert!(run_str("figures").is_err());
         assert!(run_str("figures fig3 --quick").is_err());
+    }
+
+    #[test]
+    fn simulate_writes_trace_files() {
+        let dir = std::env::temp_dir().join("hetsched-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("t.jsonl");
+        let chrome = dir.join("t.json");
+
+        let out = run_str(&format!(
+            "simulate --n 20 --p 4 --strategy dynamic --trials 2 --seed 5 \
+             --trace-out {} --probe-every 16",
+            jsonl.display()
+        ))
+        .unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        let body = std::fs::read_to_string(&jsonl).unwrap();
+        let first = body.lines().next().unwrap();
+        assert!(first.contains("\"manifest\""), "{first}");
+        assert!(first.contains("\"seed\""), "{first}");
+        assert!(body.lines().any(|l| l.contains("\"kind\":\"batch\"")));
+        assert!(body.lines().any(|l| l.contains("\"type\":\"probe\"")));
+
+        let out = run_str(&format!(
+            "simulate --n 20 --p 4 --strategy dynamic --trials 2 --seed 5 \
+             --trace-out {} --trace-format chrome",
+            chrome.display()
+        ))
+        .unwrap();
+        assert!(out.contains("Perfetto"), "{out}");
+        let body = std::fs::read_to_string(&chrome).unwrap();
+        assert!(body.contains("\"traceEvents\""));
+        assert!(body.contains("\"manifest\""));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn figures_trace_flag_writes_a_representative_run() {
+        let dir = std::env::temp_dir().join("hetsched-cli-figtrace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.jsonl");
+        let out = run_str(&format!(
+            "figures fig1 --quick --trials 2 --trace-out {} --probe-every 32",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .any(|l| l.contains("\"type\":\"probe\"")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_flags_require_trace_out() {
+        assert!(run_str("simulate --n 20 --p 4 --trace-format chrome").is_err());
+        assert!(run_str("simulate --n 20 --p 4 --probe-every 8").is_err());
+        assert!(run_str("simulate --n 20 --p 4 --trace-out /tmp/x --trace-format xml").is_err());
+        assert!(run_str("simulate --n 20 --p 4 --trace-out /tmp/x --probe-every abc").is_err());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`extensions`] — measured experiments beyond the paper: the static
 //!   7/4-partition trade-off, the `dyn.*` model ablation, and the
 //!   analysis-flavour comparison;
+//! * [`observe`] — observed runs: the same experiments with an engine
+//!   recorder attached, rendered as JSONL or Chrome-trace artifacts;
+//! * [`provenance`] — the manifests embedded in every artifact (seed,
+//!   config, threads, build);
 //! * [`series`] — the figure data model and its CSV rendering.
 //!
 //! Everything is deterministic given the master seed: platform draws,
@@ -23,11 +27,15 @@
 pub mod config;
 pub mod extensions;
 pub mod figures;
+pub mod observe;
+pub mod provenance;
 pub mod runner;
 pub mod series;
 
 pub use config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
 pub use hetsched_net::NetworkModel;
+pub use observe::{render_trace, run_once_observed, ObservedRun, TraceFormat};
+pub use provenance::{figure_manifest_json, manifest_json};
 pub use runner::{
     parallel_map, run_once, run_trials, run_trials_with_threads, summarize_runs, RunResult,
     TrialSummary,

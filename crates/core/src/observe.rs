@@ -1,0 +1,176 @@
+//! Observed runs: the bridge between the engine-level recorder
+//! ([`hetsched_sim::Recorder`]) and user-facing trace artifacts.
+//!
+//! [`run_once_observed`] executes one experiment exactly like
+//! [`crate::runner::run_once`] — same seed derivation, same dispatch, same
+//! numbers — while capturing the full event trace and the probed state
+//! time series. [`render_trace`] turns that capture into a file body in
+//! one of the supported [`TraceFormat`]s, with a provenance manifest
+//! embedded.
+
+use crate::config::ExperimentConfig;
+use crate::provenance::manifest_json;
+use crate::runner::{run_once_impl, RunResult};
+use hetsched_sim::{ProbeConfig, ProbeSeries, Recorder, Trace};
+
+/// On-disk trace encodings (`--trace-format`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line: a manifest line, then every event, then
+    /// every probe sample. Grep-able, diff-able, and byte-identical across
+    /// thread counts for a fixed seed.
+    Jsonl,
+    /// Chrome trace-event JSON (load in Perfetto or `chrome://tracing`):
+    /// per-worker compute/network lanes plus counter tracks for the probed
+    /// residual and queue depth.
+    Chrome,
+}
+
+impl TraceFormat {
+    /// Parses a `--trace-format` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "chrome" => Ok(TraceFormat::Chrome),
+            other => Err(format!(
+                "unknown trace format {other:?} (expected \"jsonl\" or \"chrome\")"
+            )),
+        }
+    }
+}
+
+/// One experiment's result together with everything the recorder captured.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The same [`RunResult`] an unobserved [`crate::runner::run_once`]
+    /// with this config and seed would return.
+    pub result: RunResult,
+    /// Every engine event (batches, retirements, losses, transfers, waits,
+    /// phase switches).
+    pub trace: Trace,
+    /// The ODE-state time series sampled on the `probe` cadence.
+    pub probes: ProbeSeries,
+}
+
+/// Runs one experiment with a recorder attached. The simulated numbers are
+/// bit-for-bit those of [`crate::runner::run_once`] — observation never
+/// perturbs the schedule.
+pub fn run_once_observed(cfg: &ExperimentConfig, seed: u64, probe: ProbeConfig) -> ObservedRun {
+    let mut rec = Recorder::new(probe);
+    let result = run_once_impl(cfg, seed, Some(&mut rec));
+    let (trace, probes) = rec.into_parts();
+    ObservedRun {
+        result,
+        trace,
+        probes,
+    }
+}
+
+/// Runs one experiment and renders its trace in `format`, manifest
+/// embedded.
+///
+/// The manifest records `threads: 1`: a traced run is always a single
+/// trial on the caller's thread, so the rendered bytes are identical
+/// whatever `--threads` the surrounding sweep uses.
+pub fn render_trace(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    probe: ProbeConfig,
+    format: TraceFormat,
+) -> String {
+    let obs = run_once_observed(cfg, seed, probe);
+    let manifest = manifest_json(cfg, seed, 1, &[]);
+    match format {
+        TraceFormat::Jsonl => hetsched_sim::sink::jsonl(Some(&manifest), &obs.trace, &obs.probes),
+        TraceFormat::Chrome => hetsched_sim::sink::chrome_trace(
+            Some(&manifest),
+            &obs.trace,
+            &obs.probes,
+            cfg.processors,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Kernel, Strategy};
+    use crate::runner::run_once;
+    use hetsched_platform::ProcId;
+
+    fn small_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            kernel: Kernel::Outer { n: 20 },
+            strategy: Strategy::Dynamic,
+            processors: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trace_format_parses() {
+        assert_eq!(TraceFormat::parse("jsonl"), Ok(TraceFormat::Jsonl));
+        assert_eq!(TraceFormat::parse("chrome"), Ok(TraceFormat::Chrome));
+        assert!(TraceFormat::parse("xml").is_err());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let cfg = small_cfg();
+        let plain = run_once(&cfg, 7);
+        let obs = run_once_observed(&cfg, 7, ProbeConfig::by_events(16));
+        assert_eq!(plain.makespan.to_bits(), obs.result.makespan.to_bits());
+        assert_eq!(plain.total_blocks, obs.result.total_blocks);
+        let traced_tasks: usize = obs
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.kind.is_allocation())
+            .map(|e| e.tasks)
+            .sum();
+        assert_eq!(traced_tasks, 20 * 20, "trace covers every task");
+        assert!(!obs.probes.samples().is_empty());
+        let last = obs.probes.samples().last().unwrap();
+        assert_eq!(last.remaining, 0, "final anchor sample sees completion");
+    }
+
+    #[test]
+    fn observed_networked_run_probes_link_state() {
+        let cfg = ExperimentConfig {
+            network: hetsched_net::NetworkModel::OnePort { master_bw: 30.0 },
+            ..small_cfg()
+        };
+        let obs = run_once_observed(&cfg, 3, ProbeConfig::by_events(8));
+        let last = obs.probes.samples().last().unwrap();
+        assert!(last.link_busy > 0.0, "one-port runs probe link busy time");
+        assert!(obs
+            .trace
+            .events()
+            .iter()
+            .any(|e| e.kind == hetsched_sim::EventKind::Transfer));
+    }
+
+    #[test]
+    fn rendered_traces_embed_manifest_and_are_deterministic() {
+        let cfg = small_cfg();
+        for format in [TraceFormat::Jsonl, TraceFormat::Chrome] {
+            let a = render_trace(&cfg, 9, ProbeConfig::by_events(32), format);
+            let b = render_trace(&cfg, 9, ProbeConfig::by_events(32), format);
+            assert_eq!(a, b, "{format:?} must be deterministic");
+            assert!(a.contains("\"seed\":9"));
+            assert!(a.contains("\"tool\":\"hetsched\""));
+        }
+        let jsonl = render_trace(&cfg, 9, ProbeConfig::by_events(32), TraceFormat::Jsonl);
+        assert!(jsonl.lines().next().unwrap().contains("\"manifest\""));
+        let chrome = render_trace(&cfg, 9, ProbeConfig::by_events(32), TraceFormat::Chrome);
+        assert!(chrome.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn probes_report_useful_fraction_for_knowledge_strategies() {
+        let obs = run_once_observed(&small_cfg(), 5, ProbeConfig::by_events(8));
+        let mid = &obs.probes.samples()[obs.probes.len() / 2];
+        let f = mid.useful_fraction[ProcId(0).idx()];
+        assert!(f.is_finite() && (0.0..=1.0).contains(&f), "{f}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Run provenance: every artifact the workspace writes — `results/*.csv`,
+//! `BENCH_*.json`, trace files — carries a manifest recording the seed, the
+//! full experiment configuration, the thread count, and the build, so a
+//! number in a file can always be traced back to the exact run that
+//! produced it.
+//!
+//! Manifests are single-line JSON objects built by hand (the workspace has
+//! no JSON dependency). They are embedded where the format allows (the
+//! first JSONL line, Chrome's `otherData`, a top-level `manifest` key in
+//! `BENCH_*.json`) and written as `<artifact>.manifest.json` sidecars next
+//! to CSV files, which have nowhere to put structured metadata.
+
+use crate::config::{ExperimentConfig, Kernel};
+use crate::figures::FigOpts;
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `"tool":…` prefix fields shared by every manifest flavour: crate
+/// version and build info (profile, OS, architecture).
+fn tool_fields() -> String {
+    format!(
+        "\"tool\":\"hetsched\",\"version\":\"{}\",\"build\":\"{}\",\"os\":\"{}\",\"arch\":\"{}\"",
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    )
+}
+
+/// One-line JSON manifest for a single-experiment artifact (a trace file,
+/// a bench entry): seed, thread count, and the full [`ExperimentConfig`].
+///
+/// Enum-shaped fields (`distribution`, `speed_model`, `network`,
+/// `failures`) are recorded as their `Debug` rendering inside a JSON
+/// string — stable enough to reproduce a run from, without hand-writing a
+/// serializer per type. `extra` appends caller-supplied `"key":value`
+/// pairs whose values must already be valid JSON fragments.
+pub fn manifest_json(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    threads: usize,
+    extra: &[(&str, String)],
+) -> String {
+    let kernel = match cfg.kernel {
+        Kernel::Outer { .. } => "outer",
+        Kernel::Matmul { .. } => "matmul",
+    };
+    let mut s = format!(
+        "{{{},\"seed\":{},\"threads\":{},\"config\":{{\"kernel\":\"{}\",\"n\":{},\"strategy\":\"{}\",\"processors\":{},\"distribution\":\"{}\",\"speed_model\":\"{}\",\"network\":\"{}\",\"link_latency\":{},\"failures\":\"{}\"}}",
+        tool_fields(),
+        seed,
+        threads,
+        kernel,
+        cfg.kernel.n(),
+        cfg.strategy.label(cfg.kernel),
+        cfg.processors,
+        json_escape(&format!("{:?}", cfg.distribution)),
+        json_escape(&format!("{:?}", cfg.speed_model)),
+        json_escape(&format!("{:?}", cfg.network)),
+        cfg.link_latency,
+        json_escape(&format!("{:?}", cfg.failures)),
+    );
+    for (k, v) in extra {
+        s.push_str(&format!(",\"{}\":{}", json_escape(k), v));
+    }
+    s.push('}');
+    s
+}
+
+/// One-line JSON manifest for a figure artifact: the figure id plus the
+/// [`FigOpts`] that produced it (trials, seed, quick mode, threads).
+pub fn figure_manifest_json(id: &str, opts: &FigOpts) -> String {
+    format!(
+        "{{{},\"figure\":\"{}\",\"seed\":{},\"trials\":{},\"hetero_trials\":{},\"quick\":{},\"threads\":{}}}",
+        tool_fields(),
+        json_escape(id),
+        opts.seed,
+        opts.trials,
+        opts.hetero_trials,
+        opts.quick,
+        match opts.threads {
+            Some(t) => t.to_string(),
+            None => "null".to_string(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_balanced(s: &str) {
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in s.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced: {s}");
+        }
+        assert_eq!(depth, 0, "unbalanced: {s}");
+        assert!(!in_str, "unterminated string: {s}");
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn manifest_records_seed_config_and_build() {
+        let cfg = ExperimentConfig::default();
+        let m = manifest_json(&cfg, 42, 3, &[("note", "\"hi\"".into())]);
+        assert_balanced(&m);
+        assert!(!m.contains('\n'), "manifest must be a single line");
+        assert!(m.contains("\"seed\":42"));
+        assert!(m.contains("\"threads\":3"));
+        assert!(m.contains("\"strategy\":\"DynamicOuter2Phases\""));
+        assert!(m.contains("\"kernel\":\"outer\""));
+        assert!(m.contains("\"n\":100"));
+        assert!(m.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))));
+        assert!(m.contains("\"note\":\"hi\""));
+    }
+
+    #[test]
+    fn figure_manifest_records_opts() {
+        let m = figure_manifest_json("extG", &FigOpts::quick());
+        assert_balanced(&m);
+        assert!(m.contains("\"figure\":\"extG\""));
+        assert!(m.contains("\"quick\":true"));
+        let full = figure_manifest_json("fig2", &FigOpts::paper());
+        assert!(full.contains("\"threads\":null") || full.contains("\"threads\":"));
+        assert_balanced(&full);
+    }
+}

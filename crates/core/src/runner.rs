@@ -3,10 +3,13 @@
 use crate::config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_matmul::{DynamicMatrix, DynamicMatrix2Phases, RandomMatrix, SortedMatrix};
+use hetsched_net::NetworkModel;
 use hetsched_outer::{DynamicOuter, DynamicOuter2Phases, RandomOuter, SortedOuter};
-use hetsched_platform::Platform;
+use hetsched_platform::{FailureModel, Platform, SpeedModel};
+use hetsched_sim::{Recorder, Scheduler, SimReport};
 use hetsched_util::rng::{derive_seed, rng_for};
 use hetsched_util::OnlineStats;
+use rand::rngs::StdRng;
 
 /// RNG stream ids, so the platform draw and the scheduling run are
 /// independent for a given trial seed.
@@ -101,6 +104,36 @@ pub fn trial_seed(seed: u64, i: usize) -> u64 {
 /// another, so e.g. sweeping β with the same seed holds everything else
 /// constant.
 pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
+    run_once_impl(cfg, seed, None)
+}
+
+/// Runs one experiment under an engine configured from `cfg`, optionally
+/// emitting every event and probe sample through `rec` — the common body
+/// behind [`run_once`] and [`crate::observe::run_once_observed`]. The
+/// `None` path is exactly the unobserved engine (no extra work, no
+/// allocation).
+fn drive<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    sched: S,
+    failures: &FailureModel,
+    network: NetworkModel,
+    rng: &mut StdRng,
+    rec: &mut Option<&mut Recorder>,
+) -> (SimReport, S) {
+    match rec.as_deref_mut() {
+        Some(r) => {
+            hetsched_sim::run_configured_recorded(platform, model, sched, failures, network, rng, r)
+        }
+        None => hetsched_sim::run_configured(platform, model, sched, failures, network, rng),
+    }
+}
+
+pub(crate) fn run_once_impl(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    mut rec: Option<&mut Recorder>,
+) -> RunResult {
     cfg.validate().expect("invalid experiment config");
     let mut platform = platform_for(cfg, seed);
     if cfg.link_latency > 0.0 {
@@ -133,46 +166,50 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
     // its concrete scheduler and harvests strategy-specific accounting.
     let (report, phase_split) = match (cfg.kernel, cfg.strategy) {
         (Kernel::Outer { n }, Strategy::Random) => {
-            let (r, _) = hetsched_sim::run_configured(
+            let (r, _) = drive(
                 &platform,
                 cfg.speed_model,
                 RandomOuter::new(n, p),
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Sorted) => {
-            let (r, _) = hetsched_sim::run_configured(
+            let (r, _) = drive(
                 &platform,
                 cfg.speed_model,
                 SortedOuter::new(n, p),
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Dynamic) => {
-            let (r, _) = hetsched_sim::run_configured(
+            let (r, _) = drive(
                 &platform,
                 cfg.speed_model,
                 DynamicOuter::new(n, p),
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Static) => {
-            let (r, _) = hetsched_sim::run_configured(
+            let (r, _) = drive(
                 &platform,
                 cfg.speed_model,
                 hetsched_partition::StaticOuter::new(n, &platform),
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             (r, None)
         }
@@ -187,13 +224,14 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
                 (_, Some(b)) => DynamicOuter2Phases::with_beta(n, p, b),
                 _ => unreachable!("β resolved above for non-fraction choices"),
             };
-            let (r, s) = hetsched_sim::run_configured(
+            let (r, s) = drive(
                 &platform,
                 cfg.speed_model,
                 sched,
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             let split = (
                 s.phase1_blocks(),
@@ -204,35 +242,38 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
             (r, Some(split))
         }
         (Kernel::Matmul { n }, Strategy::Random) => {
-            let (r, _) = hetsched_sim::run_configured(
+            let (r, _) = drive(
                 &platform,
                 cfg.speed_model,
                 RandomMatrix::new(n, p),
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::Sorted) => {
-            let (r, _) = hetsched_sim::run_configured(
+            let (r, _) = drive(
                 &platform,
                 cfg.speed_model,
                 SortedMatrix::new(n, p),
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::Dynamic) => {
-            let (r, _) = hetsched_sim::run_configured(
+            let (r, _) = drive(
                 &platform,
                 cfg.speed_model,
                 DynamicMatrix::new(n, p),
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             (r, None)
         }
@@ -244,13 +285,14 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
                 (_, Some(b)) => DynamicMatrix2Phases::with_beta(n, p, b),
                 _ => unreachable!("β resolved above for non-fraction choices"),
             };
-            let (r, s) = hetsched_sim::run_configured(
+            let (r, s) = drive(
                 &platform,
                 cfg.speed_model,
                 sched,
                 &cfg.failures,
                 cfg.network,
                 &mut rng,
+                &mut rec,
             );
             let split = (
                 s.phase1_blocks(),

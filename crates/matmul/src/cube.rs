@@ -70,6 +70,13 @@ impl WorkerCube {
     pub fn total_blocks(&self) -> usize {
         self.owns_a.count_ones() + self.owns_b.count_ones() + self.owns_c.count_ones()
     }
+
+    /// Fraction of all `3n²` matrix blocks this worker owns — the knowledge
+    /// state the analysis evolves per worker. Probes report it per sample.
+    pub fn knowledge_fraction(&self) -> f64 {
+        let total = self.owns_a.total() + self.owns_b.total() + self.owns_c.total();
+        self.total_blocks() as f64 / total as f64
+    }
 }
 
 #[cfg(test)]

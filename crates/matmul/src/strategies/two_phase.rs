@@ -63,6 +63,11 @@ impl DynamicMatrix2Phases {
         self.threshold
     }
 
+    /// True once the end game (random phase) has begun.
+    pub fn in_phase2(&self) -> bool {
+        self.state.remaining() <= self.threshold
+    }
+
     /// Blocks shipped during phase 1.
     pub fn phase1_blocks(&self) -> u64 {
         self.phase1_blocks
@@ -113,6 +118,14 @@ impl Scheduler for DynamicMatrix2Phases {
         for &id in ids {
             self.state.reinsert(id);
         }
+    }
+
+    fn phase(&self) -> Option<u8> {
+        Some(if self.in_phase2() { 2 } else { 1 })
+    }
+
+    fn useful_fraction(&self, k: ProcId) -> Option<f64> {
+        Some(self.workers[k.idx()].knowledge_fraction())
     }
 
     fn remaining(&self) -> usize {
@@ -253,6 +266,23 @@ mod tests {
         );
         assert!(sched.phase2_tasks() > 0);
         assert!(sched.phase2_tasks() <= sched.threshold());
+    }
+
+    #[test]
+    fn introspection_reports_phase_and_knowledge() {
+        let mut s = DynamicMatrix2Phases::new(6, 2, 100);
+        assert_eq!(s.phase(), Some(1));
+        assert_eq!(s.useful_fraction(ProcId(0)), Some(0.0));
+        let mut rng = rng_for(7, 0);
+        let mut out = Vec::new();
+        while s.remaining() > 100 {
+            out.clear();
+            s.on_request(ProcId(0), &mut rng, &mut out);
+        }
+        assert_eq!(s.phase(), Some(2));
+        let f = s.useful_fraction(ProcId(0)).unwrap();
+        assert!(f > 0.0 && f <= 1.0, "{f}");
+        assert_eq!(s.useful_fraction(ProcId(1)), Some(0.0));
     }
 
     #[test]

@@ -29,6 +29,15 @@ impl WorkerData {
     pub fn fleet(n: usize, p: usize) -> Vec<WorkerData> {
         (0..p).map(|_| WorkerData::new(n)).collect()
     }
+
+    /// Fraction of all `2n` input blocks this worker owns — the knowledge
+    /// state the paper's ODE model evolves (`x_k` tracks `|I_k| = |J_k|`
+    /// for the dynamic strategy). Probes report it per sample.
+    pub fn knowledge_fraction(&self) -> f64 {
+        let owned = self.a.count() + self.b.count();
+        let total = owned + self.a.unknown_count() + self.b.unknown_count();
+        owned as f64 / total as f64
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,10 @@ impl Scheduler for RandomOuter {
         }
     }
 
+    fn useful_fraction(&self, k: ProcId) -> Option<f64> {
+        Some(self.workers[k.idx()].knowledge_fraction())
+    }
+
     fn remaining(&self) -> usize {
         self.state.remaining()
     }

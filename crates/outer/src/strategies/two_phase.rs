@@ -121,6 +121,14 @@ impl Scheduler for DynamicOuter2Phases {
         }
     }
 
+    fn phase(&self) -> Option<u8> {
+        Some(if self.in_phase2() { 2 } else { 1 })
+    }
+
+    fn useful_fraction(&self, k: ProcId) -> Option<f64> {
+        Some(self.workers[k.idx()].knowledge_fraction())
+    }
+
     fn remaining(&self) -> usize {
         self.state.remaining()
     }
@@ -324,6 +332,24 @@ mod tests {
             &mut rng_for(10, 0),
         );
         assert_eq!(report.ledger.total_tasks(), 16);
+    }
+
+    #[test]
+    fn introspection_reports_phase_and_knowledge() {
+        let mut s = DynamicOuter2Phases::new(10, 2, 50);
+        assert_eq!(s.phase(), Some(1));
+        assert_eq!(s.useful_fraction(ProcId(0)), Some(0.0));
+        let mut rng = rng_for(7, 0);
+        let mut out = Vec::new();
+        while s.remaining() > 50 {
+            out.clear();
+            s.on_request(ProcId(0), &mut rng, &mut out);
+        }
+        assert_eq!(s.phase(), Some(2));
+        let f = s.useful_fraction(ProcId(0)).unwrap();
+        assert!(f > 0.0 && f <= 1.0, "{f}");
+        // The idle worker acquired nothing.
+        assert_eq!(s.useful_fraction(ProcId(1)), Some(0.0));
     }
 
     #[test]

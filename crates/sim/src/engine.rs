@@ -2,8 +2,9 @@
 
 use crate::event::EventQueue;
 use crate::metrics::CommLedger;
+use crate::probe::{ProbeConfig, Recorder};
 use crate::scheduler::Scheduler;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{EventKind, Trace, TraceEvent};
 use hetsched_net::NetworkModel;
 use hetsched_platform::{FailureModel, Platform, ProcId, SpeedModel, SpeedState};
 use rand::rngs::StdRng;
@@ -119,20 +120,29 @@ impl<'a, S: Scheduler> Engine<'a, S> {
     }
 
     /// Like [`run`](Self::run) but also records a [`Trace`] of every
-    /// satisfied request.
+    /// satisfied request (a [`Recorder`] with probing disabled).
     pub fn run_traced(self, rng: &mut StdRng) -> (SimReport, S, Trace) {
-        let mut trace = Trace::new();
-        let (report, scheduler, _) = self.run_impl(rng, Some(&mut trace));
-        (report, scheduler, trace)
+        let mut rec = Recorder::new(ProbeConfig::disabled());
+        let (report, scheduler, _) = self.run_impl(rng, Some(&mut rec));
+        (report, scheduler, rec.into_trace())
     }
 
-    fn run_impl(mut self, rng: &mut StdRng, mut trace: Option<&mut Trace>) -> (SimReport, S, ()) {
+    /// Like [`run`](Self::run) but emits every event and probe sample
+    /// through `rec`. With probing disabled this is trace collection; with
+    /// a cadence configured the recorder also snapshots the ODE-observable
+    /// state ([`crate::ProbeSample`]) over the run.
+    pub fn run_recorded(self, rng: &mut StdRng, rec: &mut Recorder) -> (SimReport, S) {
+        let (report, scheduler, _) = self.run_impl(rng, Some(rec));
+        (report, scheduler)
+    }
+
+    fn run_impl(mut self, rng: &mut StdRng, mut rec: Option<&mut Recorder>) -> (SimReport, S, ()) {
         if !self.network.is_infinite() {
             // Priced transfers need their own event loop (transfers are
             // events, communication overlaps computation). The infinite
             // model stays on the original loop below, untouched, so it is
             // bit-for-bit identical to the pre-network engine.
-            return self.run_networked(rng, trace);
+            return self.run_networked(rng, rec);
         }
         let p = self.platform.len();
         let mut initial: Vec<ProcId> = self.platform.procs().collect();
@@ -162,6 +172,11 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         // every request, so the steady-state loop performs no heap
         // allocation once the buffer reaches the largest batch size.
         let mut batch: Vec<u32> = Vec::new();
+
+        if let Some(r) = rec.as_deref_mut() {
+            // Anchor the probed trajectory at t = 0.
+            r.sample(0.0, &self.scheduler, &self.ledger, None);
+        }
 
         while let Some((now, k)) = self.queue.pop() {
             let i = k.idx();
@@ -206,18 +221,27 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 alloc.tasks,
                 "scheduler contract: out ids == tasks"
             );
+            if let Some(r) = rec.as_deref_mut() {
+                r.note_phase(now, k, &self.scheduler);
+            }
             if alloc.is_done() {
                 // Worker retired (cannot contribute further); its blocks
                 // (normally zero) still count.
                 self.ledger.record(k, 0, alloc.blocks, 0.0);
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent {
-                        time: now,
-                        proc: k,
-                        tasks: 0,
-                        blocks: alloc.blocks,
-                        duration: 0.0,
-                    });
+                if let Some(r) = rec.as_deref_mut() {
+                    r.observe(
+                        TraceEvent {
+                            kind: EventKind::Retire,
+                            time: now,
+                            proc: k,
+                            tasks: 0,
+                            blocks: alloc.blocks,
+                            duration: 0.0,
+                        },
+                        &self.scheduler,
+                        &self.ledger,
+                        None,
+                    );
                 }
                 continue;
             }
@@ -253,32 +277,49 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     std::mem::swap(&mut in_flight[i], &mut batch);
                     dying[i] = true;
                     dying_until[i] = f;
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.push(TraceEvent {
-                            time: now,
-                            proc: k,
-                            tasks: 0,
-                            blocks: alloc.blocks,
-                            duration: f - now,
-                        });
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.observe(
+                            TraceEvent {
+                                kind: EventKind::Lost,
+                                time: now,
+                                proc: k,
+                                tasks: 0,
+                                blocks: alloc.blocks,
+                                duration: f - now,
+                            },
+                            &self.scheduler,
+                            &self.ledger,
+                            None,
+                        );
                     }
                     self.queue.push(f, k);
                 }
                 _ => {
                     self.ledger.record(k, alloc.tasks, alloc.blocks, dur);
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.push(TraceEvent {
-                            time: now,
-                            proc: k,
-                            tasks: alloc.tasks,
-                            blocks: alloc.blocks,
-                            duration: dur,
-                        });
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.observe(
+                            TraceEvent {
+                                kind: EventKind::Batch,
+                                time: now,
+                                proc: k,
+                                tasks: alloc.tasks,
+                                blocks: alloc.blocks,
+                                duration: dur,
+                            },
+                            &self.scheduler,
+                            &self.ledger,
+                            None,
+                        );
                     }
                     self.makespan = self.makespan.max(finish);
                     self.queue.push(finish, k);
                 }
             }
+        }
+
+        if let Some(r) = rec {
+            // Anchor the probed trajectory at the makespan.
+            r.sample(self.makespan, &self.scheduler, &self.ledger, None);
         }
 
         assert_eq!(
@@ -399,6 +440,23 @@ pub fn run_configured<S: Scheduler>(
         .with_failures(failures)
         .with_network(network)
         .run(rng)
+}
+
+/// One-shot convenience: faults + network + a caller-owned [`Recorder`]
+/// (trace plus probe samples).
+pub fn run_configured_recorded<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    scheduler: S,
+    failures: &FailureModel,
+    network: NetworkModel,
+    rng: &mut StdRng,
+    rec: &mut Recorder,
+) -> (SimReport, S) {
+    Engine::new(platform, model, scheduler)
+        .with_failures(failures)
+        .with_network(network)
+        .run_recorded(rng, rec)
 }
 
 /// One-shot convenience: faults + network + trace.
@@ -743,22 +801,56 @@ mod tests {
         let (report, _, trace) =
             Engine::new(&pf, SpeedModel::Fixed, RetireFirst(pool(200, 4))).run_traced(&mut rng);
 
-        // The retirement is visible in the trace as a zero-task event…
-        let retire: Vec<_> = trace.events().iter().filter(|e| e.tasks == 0).collect();
+        // The retirement is visible in the trace as a typed event…
+        let retire: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Retire)
+            .collect();
         assert_eq!(retire.len(), 1);
         assert_eq!(retire[0].proc, ProcId(0));
         assert_eq!(retire[0].blocks, 1);
         assert_eq!(retire[0].duration, 0.0);
 
-        // …and the trace reconciles with the ledger event for event.
-        let trace_blocks: u64 = trace.events().iter().map(|e| e.blocks).sum();
+        // …and the trace reconciles with the ledger event for event
+        // (allocation kinds only — overlay kinds carry no ledger volume).
+        let alloc_events = || trace.events().iter().filter(|e| e.kind.is_allocation());
+        let trace_blocks: u64 = alloc_events().map(|e| e.blocks).sum();
         assert_eq!(trace_blocks, report.ledger.total_blocks());
-        let trace_tasks: usize = trace.events().iter().map(|e| e.tasks).sum();
+        let trace_tasks: usize = alloc_events().map(|e| e.tasks).sum();
         assert_eq!(trace_tasks as u64, report.ledger.total_tasks());
         let requests: u64 = pf.procs().map(|k| report.ledger.requests(k)).sum();
-        assert_eq!(trace.len() as u64, requests);
+        assert_eq!(trace.allocation_count() as u64, requests);
         for k in pf.procs() {
             assert!((trace.busy_time(k) - report.ledger.busy(k)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_probes_anchor() {
+        use crate::probe::{ProbeConfig, Recorder};
+        let pf = Platform::from_speeds(vec![10.0, 30.0]);
+        let (plain, _) = run(&pf, SpeedModel::Fixed, toy(400, 4), &mut rng_for(17, 0));
+        let mut rec = Recorder::new(ProbeConfig::by_events(10));
+        let (probed, _) = Engine::new(&pf, SpeedModel::Fixed, toy(400, 4))
+            .run_recorded(&mut rng_for(17, 0), &mut rec);
+        // Observation never perturbs the simulation.
+        assert_eq!(plain.total_blocks, probed.total_blocks);
+        assert_eq!(plain.makespan, probed.makespan);
+        let (trace, probes) = rec.into_parts();
+        assert_eq!(trace.allocation_count(), 100);
+        // Anchors at both ends plus every tenth allocation in between.
+        assert!(probes.len() >= 2 + 100 / 10, "{} samples", probes.len());
+        let first = &probes.samples()[0];
+        let last = probes.samples().last().unwrap();
+        assert_eq!(first.time, 0.0);
+        assert_eq!(first.remaining, 400);
+        assert_eq!(last.time, probed.makespan);
+        assert_eq!(last.remaining, 0);
+        // Monotone residual trajectory.
+        for w in probes.samples().windows(2) {
+            assert!(w[1].remaining <= w[0].remaining);
+            assert!(w[1].time >= w[0].time);
         }
     }
 }

@@ -40,20 +40,32 @@
 //! depth, and the bandwidth wasted on workers that die with a batch in
 //! flight. [`NetworkModel::Infinite`] (the default) keeps the original
 //! code path bit for bit.
+//!
+//! **Observability** is opt-in via a [`Recorder`]
+//! (`Engine::run_recorded`): every engine event is emitted as a typed
+//! [`TraceEvent`] and the run state the paper's ODE model evolves (residual
+//! tasks, per-worker blocks/tasks, strategy knowledge fractions, link
+//! state) is sampled on a [`ProbeConfig`] cadence. The [`sink`] module
+//! renders both as JSONL or Chrome trace-event JSON. Without a recorder the
+//! engines take the exact pre-instrumentation path: one `None` check per
+//! event, no heap allocation.
 
 pub mod engine;
 pub mod event;
 pub mod metrics;
 mod net_engine;
+pub mod probe;
 pub mod scheduler;
+pub mod sink;
 pub mod trace;
 
 pub use engine::{
-    run, run_configured, run_configured_traced, run_traced, run_traced_with_failures,
-    run_with_failures, Engine, SimReport,
+    run, run_configured, run_configured_recorded, run_configured_traced, run_traced,
+    run_traced_with_failures, run_with_failures, Engine, SimReport,
 };
 pub use event::{EventQueue, FlatScanQueue};
 pub use hetsched_net::NetworkModel;
 pub use metrics::CommLedger;
+pub use probe::{ProbeConfig, ProbeSample, ProbeSeries, Recorder};
 pub use scheduler::{Allocation, Scheduler};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{EventKind, Trace, TraceEvent};

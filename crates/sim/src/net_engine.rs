@@ -27,8 +27,9 @@
 //! a batch finishing exactly at the failure time completes.
 
 use crate::engine::{Engine, SimReport};
+use crate::probe::Recorder;
 use crate::scheduler::Scheduler;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{EventKind, TraceEvent};
 use hetsched_net::NetState;
 use hetsched_platform::ProcId;
 use hetsched_util::OrderedF64;
@@ -108,7 +109,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
     pub(crate) fn run_networked(
         mut self,
         rng: &mut StdRng,
-        mut trace: Option<&mut Trace>,
+        mut rec: Option<&mut Recorder>,
     ) -> (SimReport, S, ()) {
         let p = self.platform.len();
         let mut st = RunState {
@@ -139,12 +140,17 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             }
         }
 
+        if let Some(r) = rec.as_deref_mut() {
+            // Anchor the probed trajectory at t = 0.
+            r.sample(0.0, &self.scheduler, &self.ledger, Some(&st.net));
+        }
+
         // All workers request at t = 0 in a seed-shuffled order; transfers
         // are priced (and the link contended) in that order.
         let mut initial: Vec<ProcId> = self.platform.procs().collect();
         initial.shuffle(rng);
         for k in initial {
-            self.net_request(&mut st, k, 0.0, rng, &mut trace);
+            self.net_request(&mut st, k, 0.0, rng, &mut rec);
         }
 
         while let Some((now, kind, k)) = st.q.pop() {
@@ -176,14 +182,20 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                         let mut ids = b.ids;
                         ids.clear();
                         st.spare.push(ids);
-                        if let Some(t) = trace.as_deref_mut() {
-                            t.push(TraceEvent {
-                                time: now,
-                                proc: k,
-                                tasks: 0,
-                                blocks: b.blocks,
-                                duration: 0.0,
-                            });
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.observe(
+                                TraceEvent {
+                                    kind: EventKind::Stranded,
+                                    time: now,
+                                    proc: k,
+                                    tasks: 0,
+                                    blocks: b.blocks,
+                                    duration: 0.0,
+                                },
+                                &self.scheduler,
+                                &self.ledger,
+                                Some(&st.net),
+                            );
                         }
                     }
                 }
@@ -200,7 +212,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                         // arrived batch waits at the worker.
                         st.ready[i] = Some(b);
                     } else {
-                        self.net_start(&mut st, k, b, now, rng, &mut trace);
+                        self.net_start(&mut st, k, b, now, rng, &mut rec);
                     }
                 }
                 DONE => {
@@ -210,9 +222,9 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     st.computing[i] = false;
                     st.idle_since[i] = now;
                     if let Some(b) = st.ready[i].take() {
-                        self.net_start(&mut st, k, b, now, rng, &mut trace);
+                        self.net_start(&mut st, k, b, now, rng, &mut rec);
                     } else if st.pending[i].is_none() {
-                        self.net_request(&mut st, k, now, rng, &mut trace);
+                        self.net_request(&mut st, k, now, rng, &mut rec);
                     }
                     // else: the prefetched batch is still in flight; its
                     // arrival starts it.
@@ -228,9 +240,14 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     {
                         continue;
                     }
-                    self.net_request(&mut st, k, now, rng, &mut trace);
+                    self.net_request(&mut st, k, now, rng, &mut rec);
                 }
             }
+        }
+
+        if let Some(r) = rec {
+            // Anchor the probed trajectory at the makespan.
+            r.sample(self.makespan, &self.scheduler, &self.ledger, Some(&st.net));
         }
 
         assert_eq!(
@@ -269,7 +286,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         k: ProcId,
         now: f64,
         rng: &mut StdRng,
-        trace: &mut Option<&mut Trace>,
+        rec: &mut Option<&mut Recorder>,
     ) {
         let i = k.idx();
         if st.dead[i] {
@@ -303,19 +320,28 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             alloc.tasks,
             "scheduler contract: out ids == tasks"
         );
+        if let Some(r) = rec.as_deref_mut() {
+            r.note_phase(now, k, &self.scheduler);
+        }
         if alloc.is_done() {
             // Worker retired; its blocks (normally zero) still ship.
             st.spare.push(ids);
             let _ = st.net.send(k, alloc.blocks, now);
             self.ledger.record(k, 0, alloc.blocks, 0.0);
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent {
-                    time: now,
-                    proc: k,
-                    tasks: 0,
-                    blocks: alloc.blocks,
-                    duration: 0.0,
-                });
+            if let Some(r) = rec.as_deref_mut() {
+                r.observe(
+                    TraceEvent {
+                        kind: EventKind::Retire,
+                        time: now,
+                        proc: k,
+                        tasks: 0,
+                        blocks: alloc.blocks,
+                        duration: 0.0,
+                    },
+                    &self.scheduler,
+                    &self.ledger,
+                    Some(&st.net),
+                );
             }
             return;
         }
@@ -333,6 +359,26 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             }
         }
         let plan = st.net.send(k, alloc.blocks, now);
+        if alloc.blocks > 0 {
+            if let Some(r) = rec.as_deref_mut() {
+                // The channel-busy interval, for the net lane of the gantt
+                // chart. Its blocks duplicate the allocation event that the
+                // batch will emit, so sinks never re-count them.
+                r.observe(
+                    TraceEvent {
+                        kind: EventKind::Transfer,
+                        time: plan.start,
+                        proc: k,
+                        tasks: 0,
+                        blocks: alloc.blocks,
+                        duration: plan.end - plan.start,
+                    },
+                    &self.scheduler,
+                    &self.ledger,
+                    Some(&st.net),
+                );
+            }
+        }
         st.pending[i] = Some(Batch {
             tasks: alloc.tasks,
             blocks: alloc.blocks,
@@ -351,10 +397,28 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         b: Batch,
         now: f64,
         rng: &mut StdRng,
-        trace: &mut Option<&mut Trace>,
+        rec: &mut Option<&mut Recorder>,
     ) {
         let i = k.idx();
-        self.ledger.record_wait(k, now - st.idle_since[i]);
+        let wait = now - st.idle_since[i];
+        self.ledger.record_wait(k, wait);
+        if wait > 0.0 {
+            if let Some(r) = rec.as_deref_mut() {
+                r.observe(
+                    TraceEvent {
+                        kind: EventKind::Wait,
+                        time: st.idle_since[i],
+                        proc: k,
+                        tasks: 0,
+                        blocks: 0,
+                        duration: wait,
+                    },
+                    &self.scheduler,
+                    &self.ledger,
+                    Some(&st.net),
+                );
+            }
+        }
         let dur = self.speeds.batch_duration(k, b.tasks, rng);
         let finish = now + dur;
         match st.fail_time[i] {
@@ -364,26 +428,38 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 self.ledger.record(k, 0, b.blocks, f - now);
                 st.in_flight[i] = b.ids;
                 st.dying[i] = true;
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent {
-                        time: now,
-                        proc: k,
-                        tasks: 0,
-                        blocks: b.blocks,
-                        duration: f - now,
-                    });
+                if let Some(r) = rec.as_deref_mut() {
+                    r.observe(
+                        TraceEvent {
+                            kind: EventKind::Lost,
+                            time: now,
+                            proc: k,
+                            tasks: 0,
+                            blocks: b.blocks,
+                            duration: f - now,
+                        },
+                        &self.scheduler,
+                        &self.ledger,
+                        Some(&st.net),
+                    );
                 }
             }
             _ => {
                 self.ledger.record(k, b.tasks, b.blocks, dur);
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent {
-                        time: now,
-                        proc: k,
-                        tasks: b.tasks,
-                        blocks: b.blocks,
-                        duration: dur,
-                    });
+                if let Some(r) = rec.as_deref_mut() {
+                    r.observe(
+                        TraceEvent {
+                            kind: EventKind::Batch,
+                            time: now,
+                            proc: k,
+                            tasks: b.tasks,
+                            blocks: b.blocks,
+                            duration: dur,
+                        },
+                        &self.scheduler,
+                        &self.ledger,
+                        Some(&st.net),
+                    );
                 }
                 self.makespan = self.makespan.max(finish);
                 st.computing[i] = true;
@@ -397,7 +473,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         }
         // Depth-1 prefetch. The master cannot know a worker is doomed, so
         // dying workers prefetch too — that bandwidth ends up wasted.
-        self.net_request(st, k, now, rng, trace);
+        self.net_request(st, k, now, rng, rec);
     }
 }
 
@@ -682,15 +758,53 @@ mod tests {
             one_port(30.0),
             &mut rng_for(9, 0),
         );
-        let trace_blocks: u64 = trace.events().iter().map(|e| e.blocks).sum();
+        // Allocation kinds reconcile exactly with the ledger; overlay kinds
+        // (transfers, waits) carry no ledger-counted volume.
+        let alloc_events = || trace.events().iter().filter(|e| e.kind.is_allocation());
+        let trace_blocks: u64 = alloc_events().map(|e| e.blocks).sum();
         assert_eq!(trace_blocks, report.ledger.total_blocks());
-        let trace_tasks: usize = trace.events().iter().map(|e| e.tasks).sum();
+        let trace_tasks: usize = alloc_events().map(|e| e.tasks).sum();
         assert_eq!(trace_tasks as u64, report.ledger.total_tasks());
         let requests: u64 = pf.procs().map(|k| report.ledger.requests(k)).sum();
-        assert_eq!(trace.len() as u64, requests);
+        assert_eq!(trace.allocation_count() as u64, requests);
         for k in pf.procs() {
             assert!((trace.busy_time(k) - report.ledger.busy(k)).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn transfer_and_wait_events_reconcile_with_net_metrics() {
+        use crate::trace::EventKind;
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 30.0]);
+        let (report, _, trace) = crate::engine::run_configured_traced(
+            &pf,
+            SpeedModel::Fixed,
+            pool(300, 4),
+            &FailureModel::none(),
+            one_port(20.0),
+            &mut rng_for(11, 0),
+        );
+        // Every shipped block rides exactly one transfer event.
+        let transfer_blocks: u64 = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Transfer)
+            .map(|e| e.blocks)
+            .sum();
+        assert_eq!(transfer_blocks, report.total_blocks);
+        // Wait events sum to the ledger's transfer-wait total.
+        let wait: f64 = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Wait)
+            .map(|e| e.duration)
+            .sum();
+        assert!(
+            (wait - report.ledger.total_transfer_wait()).abs() < 1e-9,
+            "trace wait {wait} vs ledger {}",
+            report.ledger.total_transfer_wait()
+        );
+        assert!(wait > 0.0, "a comm-bound run must record waits");
     }
 
     #[test]

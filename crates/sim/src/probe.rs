@@ -1,0 +1,416 @@
+//! State probes: sampled time series of the quantities the paper's ODE
+//! model evolves, and the [`Recorder`] that collects them alongside a
+//! [`Trace`].
+//!
+//! The analysis in §3 of the paper describes the *time evolution* of
+//! per-worker state: how many tasks remain, what fraction of each input
+//! vector a worker already knows, how much data has crossed the master
+//! link. A [`Recorder`] attached to a run samples exactly those quantities
+//! on a configurable cadence ([`ProbeConfig`]), so simulated trajectories
+//! can be overlaid on the analytic ones from `hetsched-analysis`.
+//!
+//! Recording is strictly opt-in: the engines take an
+//! `Option<&mut Recorder>` and the `None` path performs no extra work and
+//! no heap allocation — the `bench-json` binary pins the unobserved
+//! throughput per PR.
+
+use crate::metrics::CommLedger;
+use crate::scheduler::Scheduler;
+use crate::trace::{EventKind, Trace, TraceEvent};
+use hetsched_net::NetState;
+use hetsched_platform::ProcId;
+
+/// When to take a [`ProbeSample`]. Event-count and sim-time cadences can
+/// be combined; the default ([`ProbeConfig::disabled`]) never samples (the
+/// recorder then only collects the trace).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProbeConfig {
+    every_events: u64,
+    every_time: f64,
+}
+
+impl ProbeConfig {
+    /// Never sample (trace collection only).
+    pub fn disabled() -> Self {
+        ProbeConfig::default()
+    }
+
+    /// Sample after every `n` allocation events (`0` disables the
+    /// event-count cadence).
+    pub fn by_events(n: u64) -> Self {
+        ProbeConfig {
+            every_events: n,
+            every_time: 0.0,
+        }
+    }
+
+    /// Sample every `dt` units of simulated time (`dt <= 0` disables the
+    /// sim-time cadence). Samples are taken at the first allocation event
+    /// on or after each grid point, so they sit on event times.
+    pub fn by_time(dt: f64) -> Self {
+        assert!(dt.is_finite(), "probe period must be finite");
+        ProbeConfig {
+            every_events: 0,
+            every_time: dt.max(0.0),
+        }
+    }
+
+    /// True if either cadence is active.
+    pub fn is_enabled(&self) -> bool {
+        self.every_events > 0 || self.every_time > 0.0
+    }
+}
+
+/// One snapshot of the engine's observable state.
+#[derive(Clone, Debug)]
+pub struct ProbeSample {
+    /// Simulated time of the snapshot.
+    pub time: f64,
+    /// Allocation events recorded so far.
+    pub events: u64,
+    /// Tasks not yet allocated (the residual set the ODE evolves).
+    pub remaining: usize,
+    /// Cumulative blocks received per worker.
+    pub blocks_per_proc: Vec<u64>,
+    /// Cumulative tasks computed per worker.
+    pub tasks_per_proc: Vec<u64>,
+    /// The strategy's per-worker useful-task (knowledge) fraction, from
+    /// [`Scheduler::useful_fraction`]; `NaN` when the strategy does not
+    /// track it.
+    pub useful_fraction: Vec<f64>,
+    /// Cumulative master-link busy time (zero under the infinite network).
+    pub link_busy: f64,
+    /// Deepest master send queue observed so far (zero under the infinite
+    /// network).
+    pub queue_depth: usize,
+}
+
+/// The probe samples of one run, in time order.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeSeries {
+    samples: Vec<ProbeSample>,
+}
+
+impl ProbeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        ProbeSeries::default()
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[ProbeSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn push(&mut self, s: ProbeSample) {
+        self.samples.push(s);
+    }
+}
+
+/// Collects a [`Trace`] and a [`ProbeSeries`] for one run.
+///
+/// Attach with [`Engine::run_recorded`](crate::Engine::run_recorded) or the
+/// [`run_configured_recorded`](crate::run_configured_recorded) convenience;
+/// the engines emit every [`TraceEvent`] through it and it decides, per
+/// [`ProbeConfig`], when to snapshot the run state. A fresh sample is
+/// always taken at `t = 0` and at the end of the run, so trajectories are
+/// anchored at both ends even with sampling disabled mid-run — unless the
+/// config is fully [`disabled`](ProbeConfig::disabled), which suppresses
+/// sampling entirely.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    cfg: ProbeConfig,
+    trace: Trace,
+    probes: ProbeSeries,
+    alloc_events: u64,
+    next_sample_time: f64,
+    last_phase: Option<u8>,
+}
+
+impl Recorder {
+    /// Recorder with the given probe cadence.
+    pub fn new(cfg: ProbeConfig) -> Self {
+        Recorder {
+            cfg,
+            trace: Trace::new(),
+            probes: ProbeSeries::new(),
+            alloc_events: 0,
+            next_sample_time: if cfg.every_time > 0.0 {
+                cfg.every_time
+            } else {
+                f64::INFINITY
+            },
+            last_phase: None,
+        }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The probe samples recorded so far.
+    pub fn probes(&self) -> &ProbeSeries {
+        &self.probes
+    }
+
+    /// Consumes the recorder, returning the trace and the probe series.
+    pub fn into_parts(self) -> (Trace, ProbeSeries) {
+        (self.trace, self.probes)
+    }
+
+    /// Consumes the recorder, returning just the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Records one event and, for allocation events, advances the probe
+    /// cadence (sampling the run state if a cadence point was reached).
+    pub(crate) fn observe<S: Scheduler>(
+        &mut self,
+        ev: TraceEvent,
+        sched: &S,
+        ledger: &CommLedger,
+        net: Option<&NetState>,
+    ) {
+        let now = ev.time;
+        let is_alloc = ev.kind.is_allocation();
+        self.trace.push(ev);
+        if !is_alloc {
+            return;
+        }
+        self.alloc_events += 1;
+        let due_events =
+            self.cfg.every_events > 0 && self.alloc_events.is_multiple_of(self.cfg.every_events);
+        let due_time = now >= self.next_sample_time;
+        if due_time {
+            while now >= self.next_sample_time {
+                self.next_sample_time += self.cfg.every_time;
+            }
+        }
+        if due_events || due_time {
+            self.sample(now, sched, ledger, net);
+        }
+    }
+
+    /// Emits a [`EventKind::PhaseSwitch`] event if the scheduler's phase
+    /// changed since the last check. Engines call this right after
+    /// [`Scheduler::on_request`], the only point a phase can flip.
+    pub(crate) fn note_phase<S: Scheduler>(&mut self, now: f64, k: ProcId, sched: &S) {
+        if let Some(phase) = sched.phase() {
+            if self.last_phase.is_some_and(|prev| prev != phase) {
+                self.trace.push(TraceEvent {
+                    kind: EventKind::PhaseSwitch,
+                    time: now,
+                    proc: k,
+                    tasks: 0,
+                    blocks: 0,
+                    duration: 0.0,
+                });
+            }
+            self.last_phase = Some(phase);
+        }
+    }
+
+    /// Takes one snapshot unconditionally (engines use this for the
+    /// anchoring samples at `t = 0` and at run end).
+    pub(crate) fn sample<S: Scheduler>(
+        &mut self,
+        now: f64,
+        sched: &S,
+        ledger: &CommLedger,
+        net: Option<&NetState>,
+    ) {
+        if !self.cfg.is_enabled() {
+            return;
+        }
+        let p = ledger.blocks_per_proc().len();
+        self.probes.push(ProbeSample {
+            time: now,
+            events: self.alloc_events,
+            remaining: sched.remaining(),
+            blocks_per_proc: ledger.blocks_per_proc().to_vec(),
+            tasks_per_proc: ledger.tasks_per_proc().to_vec(),
+            useful_fraction: (0..p)
+                .map(|k| sched.useful_fraction(ProcId(k as u32)).unwrap_or(f64::NAN))
+                .collect(),
+            link_busy: net.map_or(0.0, |n| n.master_busy()),
+            queue_depth: net.map_or(0, |n| n.max_queue_depth()),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Allocation;
+    use rand::rngs::StdRng;
+
+    /// Toy scheduler with a controllable phase and tracked fractions.
+    struct Toy {
+        remaining: usize,
+        phase: u8,
+    }
+
+    impl Scheduler for Toy {
+        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
+            let t = 1.min(self.remaining);
+            self.remaining -= t;
+            out.extend(std::iter::repeat_n(0, t));
+            Allocation {
+                tasks: t,
+                blocks: t as u64,
+            }
+        }
+        fn remaining(&self) -> usize {
+            self.remaining
+        }
+        fn total_tasks(&self) -> usize {
+            10
+        }
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+        fn phase(&self) -> Option<u8> {
+            Some(self.phase)
+        }
+        fn useful_fraction(&self, k: ProcId) -> Option<f64> {
+            (k.idx() == 0).then_some(0.25)
+        }
+    }
+
+    fn batch(time: f64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Batch,
+            time,
+            proc: ProcId(0),
+            tasks: 1,
+            blocks: 1,
+            duration: 0.5,
+        }
+    }
+
+    #[test]
+    fn event_cadence_samples_every_n_allocations() {
+        let mut rec = Recorder::new(ProbeConfig::by_events(2));
+        let sched = Toy {
+            remaining: 7,
+            phase: 1,
+        };
+        let ledger = CommLedger::new(2);
+        for i in 0..5 {
+            rec.observe(batch(i as f64), &sched, &ledger, None);
+        }
+        assert_eq!(rec.probes().len(), 2, "samples at events 2 and 4");
+        assert_eq!(rec.probes().samples()[0].events, 2);
+        assert_eq!(rec.probes().samples()[1].events, 4);
+        assert_eq!(rec.trace().len(), 5);
+    }
+
+    #[test]
+    fn time_cadence_snaps_to_next_event() {
+        let mut rec = Recorder::new(ProbeConfig::by_time(1.0));
+        let sched = Toy {
+            remaining: 7,
+            phase: 1,
+        };
+        let ledger = CommLedger::new(1);
+        for &t in &[0.2, 0.4, 1.7, 1.8, 3.5] {
+            rec.observe(batch(t), &sched, &ledger, None);
+        }
+        // Grid points 1.0 and (2.0, 3.0 coalesced) are each taken once, at
+        // the first event past them.
+        let times: Vec<f64> = rec.probes().samples().iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![1.7, 3.5]);
+    }
+
+    #[test]
+    fn overlay_events_do_not_advance_the_cadence() {
+        let mut rec = Recorder::new(ProbeConfig::by_events(1));
+        let sched = Toy {
+            remaining: 7,
+            phase: 1,
+        };
+        let ledger = CommLedger::new(1);
+        rec.observe(
+            TraceEvent {
+                kind: EventKind::Wait,
+                time: 0.0,
+                proc: ProcId(0),
+                tasks: 0,
+                blocks: 0,
+                duration: 1.0,
+            },
+            &sched,
+            &ledger,
+            None,
+        );
+        assert_eq!(rec.probes().len(), 0);
+        rec.observe(batch(1.0), &sched, &ledger, None);
+        assert_eq!(rec.probes().len(), 1);
+    }
+
+    #[test]
+    fn disabled_config_records_trace_only() {
+        let mut rec = Recorder::new(ProbeConfig::disabled());
+        let sched = Toy {
+            remaining: 7,
+            phase: 1,
+        };
+        let ledger = CommLedger::new(1);
+        rec.observe(batch(0.0), &sched, &ledger, None);
+        rec.sample(1.0, &sched, &ledger, None);
+        assert_eq!(rec.trace().len(), 1);
+        assert!(rec.probes().is_empty(), "disabled probes never sample");
+    }
+
+    #[test]
+    fn phase_switch_emitted_once_per_transition() {
+        let mut rec = Recorder::new(ProbeConfig::disabled());
+        let mut sched = Toy {
+            remaining: 7,
+            phase: 1,
+        };
+        rec.note_phase(0.0, ProcId(0), &sched);
+        rec.note_phase(0.5, ProcId(1), &sched);
+        sched.phase = 2;
+        rec.note_phase(1.0, ProcId(1), &sched);
+        rec.note_phase(1.5, ProcId(0), &sched);
+        let switches: Vec<_> = rec
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::PhaseSwitch)
+            .collect();
+        assert_eq!(switches.len(), 1);
+        assert_eq!(switches[0].time, 1.0);
+        assert_eq!(switches[0].proc, ProcId(1));
+    }
+
+    #[test]
+    fn samples_carry_useful_fraction_and_nan_for_untracked() {
+        let mut rec = Recorder::new(ProbeConfig::by_events(1));
+        let sched = Toy {
+            remaining: 3,
+            phase: 1,
+        };
+        let ledger = CommLedger::new(2);
+        rec.observe(batch(0.0), &sched, &ledger, None);
+        let s = &rec.probes().samples()[0];
+        assert_eq!(s.useful_fraction[0], 0.25);
+        assert!(s.useful_fraction[1].is_nan());
+        assert_eq!(s.remaining, 3);
+        assert_eq!(s.link_busy, 0.0);
+        assert_eq!(s.queue_depth, 0);
+    }
+}

@@ -72,6 +72,24 @@ pub trait Scheduler {
         }
     }
 
+    /// The phase this strategy is currently in, for strategies with an
+    /// explicit mode change (the two-phase strategies report `1` before and
+    /// `2` after their switch threshold). `None` (the default) means the
+    /// strategy has no phase structure; the engine then never emits
+    /// [`PhaseSwitch`](crate::trace::EventKind::PhaseSwitch) events.
+    fn phase(&self) -> Option<u8> {
+        None
+    }
+
+    /// Fraction of worker `k`'s *potential* knowledge it has already
+    /// acquired — e.g. the share of the input vectors (outer product) or
+    /// matrix rows/columns (matmul) it owns. `None` (the default) means the
+    /// strategy does not track per-worker data state; probes then record
+    /// `NaN` for this worker.
+    fn useful_fraction(&self, _k: ProcId) -> Option<f64> {
+        None
+    }
+
     /// Tasks not yet allocated.
     fn remaining(&self) -> usize;
 

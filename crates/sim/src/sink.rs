@@ -1,0 +1,333 @@
+//! Structured trace sinks: JSONL and Chrome trace-event export.
+//!
+//! Both sinks are dependency-free renderers over a [`Trace`] and a
+//! [`ProbeSeries`]:
+//!
+//! * [`jsonl`] writes one self-describing JSON object per line — an
+//!   optional `manifest` line first (run provenance supplied by the
+//!   caller), then every trace event, then every probe sample. Floats use
+//!   Rust's shortest round-trip formatting, so the output is byte-stable
+//!   for a given run (the golden determinism test relies on this).
+//! * [`chrome_trace`] writes the Chrome trace-event JSON format, loadable
+//!   in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`: one
+//!   compute lane and (if transfers were recorded) one network lane per
+//!   worker, complete events for batches/transfers/waits, instants for
+//!   retirements, stranded batches and the two-phase switch, plus counter
+//!   tracks for the probed residual-task count and queue depth.
+
+use crate::probe::ProbeSeries;
+use crate::trace::{EventKind, Trace};
+use std::fmt::Write as _;
+
+/// Seconds of simulated time per Chrome-trace microsecond tick.
+const TICKS: f64 = 1e6;
+
+/// Formats a float as a JSON value (`null` for non-finite).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders `trace` + `probes` as JSON Lines. `manifest`, when given, must
+/// be a valid JSON object and becomes the first line's `manifest` field.
+pub fn jsonl(manifest: Option<&str>, trace: &Trace, probes: &ProbeSeries) -> String {
+    let mut out = String::new();
+    if let Some(m) = manifest {
+        writeln!(out, "{{\"type\":\"manifest\",\"manifest\":{m}}}").expect("string write");
+    }
+    for e in trace.events() {
+        writeln!(
+            out,
+            "{{\"type\":\"event\",\"kind\":\"{}\",\"t\":{},\"proc\":{},\"tasks\":{},\"blocks\":{},\"dur\":{}}}",
+            e.kind.label(),
+            num(e.time),
+            e.proc.idx(),
+            e.tasks,
+            e.blocks,
+            num(e.duration),
+        )
+        .expect("string write");
+    }
+    for s in probes.samples() {
+        let join_u64 = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let useful = s
+            .useful_fraction
+            .iter()
+            .map(|&x| num(x))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(
+            out,
+            "{{\"type\":\"probe\",\"t\":{},\"events\":{},\"remaining\":{},\"blocks\":[{}],\"tasks\":[{}],\"useful\":[{}],\"link_busy\":{},\"queue_depth\":{}}}",
+            num(s.time),
+            s.events,
+            s.remaining,
+            join_u64(&s.blocks_per_proc),
+            join_u64(&s.tasks_per_proc),
+            useful,
+            num(s.link_busy),
+            s.queue_depth,
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Renders `trace` + `probes` in the Chrome trace-event format for `p`
+/// workers. `manifest`, when given, must be a valid JSON object and is
+/// embedded under `otherData`.
+///
+/// Lanes: worker `k`'s compute lane is `tid = k`; its network lane (only
+/// present when transfer events were recorded) is `tid = p + k`. All
+/// events live in `pid = 0`. Simulated time unit maps to one second
+/// (`ts`/`dur` are microseconds, as the format requires).
+pub fn chrome_trace(
+    manifest: Option<&str>,
+    trace: &Trace,
+    probes: &ProbeSeries,
+    p: usize,
+) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"hetsched\"}}"
+            .to_string(),
+    );
+    let has_net = trace.events().iter().any(|e| e.kind == EventKind::Transfer);
+    for k in 0..p {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"args\":{{\"name\":\"worker {k}\"}}}}"
+        ));
+        events.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"args\":{{\"sort_index\":{}}}}}",
+            2 * k
+        ));
+        if has_net {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"worker {k} net\"}}}}",
+                p + k
+            ));
+            events.push(format!(
+                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+                p + k,
+                2 * k + 1
+            ));
+        }
+    }
+    for e in trace.events() {
+        let k = e.proc.idx();
+        let ts = num(e.time * TICKS);
+        let dur = num(e.duration * TICKS);
+        match e.kind {
+            EventKind::Batch => events.push(format!(
+                "{{\"name\":\"batch\",\"cat\":\"compute\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"tasks\":{},\"blocks\":{}}}}}",
+                e.tasks, e.blocks
+            )),
+            EventKind::Lost => events.push(format!(
+                "{{\"name\":\"lost batch\",\"cat\":\"failure\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"blocks\":{}}}}}",
+                e.blocks
+            )),
+            EventKind::Wait => events.push(format!(
+                "{{\"name\":\"wait\",\"cat\":\"wait\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{}}}}"
+            )),
+            EventKind::Transfer => events.push(format!(
+                "{{\"name\":\"transfer\",\"cat\":\"transfer\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"blocks\":{}}}}}",
+                p + k,
+                e.blocks
+            )),
+            EventKind::Retire => events.push(format!(
+                "{{\"name\":\"retire\",\"cat\":\"compute\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{\"blocks\":{}}}}}",
+                e.blocks
+            )),
+            EventKind::Stranded => events.push(format!(
+                "{{\"name\":\"stranded batch\",\"cat\":\"failure\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{\"blocks\":{}}}}}",
+                e.blocks
+            )),
+            EventKind::PhaseSwitch => events.push(format!(
+                "{{\"name\":\"phase switch\",\"cat\":\"scheduler\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{}}}}"
+            )),
+        }
+    }
+    for s in probes.samples() {
+        let ts = num(s.time * TICKS);
+        events.push(format!(
+            "{{\"name\":\"remaining tasks\",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"remaining\":{}}}}}",
+            s.remaining
+        ));
+        events.push(format!(
+            "{{\"name\":\"send queue depth\",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"depth\":{}}}}}",
+            s.queue_depth
+        ));
+    }
+    let other = match manifest {
+        Some(m) => format!(",\"otherData\":{{\"manifest\":{m}}}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"displayTimeUnit\":\"ms\"{other},\"traceEvents\":[{}]}}\n",
+        events.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ProbeConfig, Recorder};
+    use crate::trace::TraceEvent;
+    use hetsched_platform::ProcId;
+
+    fn sample_run() -> (Trace, ProbeSeries) {
+        let mut t = Trace::new();
+        for (kind, time, dur, blocks) in [
+            (EventKind::Transfer, 0.0, 0.5, 2),
+            (EventKind::Wait, 0.0, 0.5, 0),
+            (EventKind::Batch, 0.5, 1.0, 2),
+            (EventKind::PhaseSwitch, 0.5, 0.0, 0),
+            (EventKind::Retire, 1.5, 0.0, 0),
+        ] {
+            t.push(TraceEvent {
+                kind,
+                time,
+                proc: ProcId(0),
+                tasks: usize::from(kind == EventKind::Batch),
+                blocks,
+                duration: dur,
+            });
+        }
+        (t, ProbeSeries::new())
+    }
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// strings and no trailing garbage. Good enough to catch malformed
+    /// hand-rolled output without a JSON dependency.
+    fn assert_balanced(s: &str) {
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in s.chars() {
+            if in_str {
+                match (esc, c) {
+                    (true, _) => esc = false,
+                    (false, '\\') => esc = true,
+                    (false, '"') => in_str = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced at {c:?}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(!in_str, "unterminated string");
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line_plus_manifest() {
+        let (t, p) = sample_run();
+        let out = jsonl(Some("{\"seed\":7}"), &t, &p);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1 + t.len());
+        assert!(lines[0].starts_with("{\"type\":\"manifest\""));
+        assert!(lines[0].contains("{\"seed\":7}"));
+        assert!(lines[1].contains("\"kind\":\"transfer\""));
+        assert!(lines[3].contains("\"kind\":\"batch\""));
+        for l in &lines {
+            assert_balanced(l);
+        }
+    }
+
+    #[test]
+    fn jsonl_serializes_probe_samples_with_null_for_nan() {
+        let mut rec = Recorder::new(ProbeConfig::by_events(1));
+        struct S;
+        impl crate::Scheduler for S {
+            fn on_request(
+                &mut self,
+                _: ProcId,
+                _: &mut rand::rngs::StdRng,
+                _: &mut Vec<u32>,
+            ) -> crate::Allocation {
+                unreachable!()
+            }
+            fn remaining(&self) -> usize {
+                5
+            }
+            fn total_tasks(&self) -> usize {
+                10
+            }
+            fn name(&self) -> &'static str {
+                "S"
+            }
+        }
+        let ledger = crate::CommLedger::new(2);
+        rec.observe(
+            TraceEvent {
+                kind: EventKind::Batch,
+                time: 1.0,
+                proc: ProcId(0),
+                tasks: 1,
+                blocks: 1,
+                duration: 0.5,
+            },
+            &S,
+            &ledger,
+            None,
+        );
+        let (t, p) = rec.into_parts();
+        let out = jsonl(None, &t, &p);
+        let probe_line = out.lines().last().unwrap();
+        assert!(probe_line.contains("\"remaining\":5"));
+        assert!(
+            probe_line.contains("\"useful\":[null,null]"),
+            "{probe_line}"
+        );
+        assert_balanced(probe_line);
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid_and_has_lanes() {
+        let (t, p) = sample_run();
+        let out = chrome_trace(Some("{\"seed\":7}"), &t, &p, 2);
+        assert_balanced(&out);
+        assert!(out.contains("\"traceEvents\":["));
+        assert!(out.contains("\"otherData\":{\"manifest\":{\"seed\":7}}"));
+        // Compute and net lanes are both named (transfers present).
+        assert!(out.contains("\"name\":\"worker 0\""));
+        assert!(out.contains("\"name\":\"worker 0 net\""));
+        // Transfer rides the net lane tid = p + k = 2.
+        assert!(out.contains(
+            "\"name\":\"transfer\",\"cat\":\"transfer\",\"ph\":\"X\",\"pid\":0,\"tid\":2"
+        ));
+        assert!(out.contains("\"name\":\"phase switch\""));
+        assert!(out.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn chrome_trace_skips_net_lanes_without_transfers() {
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            kind: EventKind::Batch,
+            time: 0.0,
+            proc: ProcId(0),
+            tasks: 1,
+            blocks: 1,
+            duration: 1.0,
+        });
+        let out = chrome_trace(None, &t, &ProbeSeries::new(), 1);
+        assert_balanced(&out);
+        assert!(!out.contains("net"));
+        assert!(!out.contains("otherData"));
+        // ts is in microseconds.
+        assert!(out.contains("\"dur\":1000000"));
+    }
+}

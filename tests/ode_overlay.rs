@@ -1,0 +1,134 @@
+//! Simulated vs analytic trajectories: the probed engine state must track
+//! the §3.3 mean-field ODE within a stated tolerance band.
+//!
+//! The probe cadence is the real-time image of the analytic grid
+//! (`t_i = τ_i·n²/Σs`), so simulated and predicted curves are compared on
+//! the same sampling grid. Two bands are pinned:
+//!
+//! * the residual-task fraction against `1 − τ` (work conservation: exact
+//!   up to batch granularity and the ≤ p in-flight batches);
+//! * the cumulative shipped blocks against `Σ_k 2n·x_k(τ)` (Lemma 2
+//!   inverted per worker — the model's actual communication prediction).
+
+use hetsched::analysis::OuterAnalysis;
+use hetsched::core::{run_once_observed, ExperimentConfig, Kernel, Strategy};
+use hetsched::platform::Platform;
+use hetsched::sim::ProbeConfig;
+
+/// Probes one `DynamicOuter` run on `platform` and checks both simulated
+/// trajectories against the ODE within `(residual_tol, blocks_tol)`.
+fn assert_tracks_ode(platform: Platform, seed: u64, residual_tol: f64, blocks_tol: f64) {
+    let n = 60;
+    let p = platform.len();
+    let model = OuterAnalysis::new(&platform, n);
+    let total_speed = platform.total_speed();
+    let tasks = (n * n) as f64;
+    let max_blocks = (2 * n * p) as f64;
+    let horizon = 0.9;
+    let steps = 30usize;
+    let traj = model.dynamic_trajectory(horizon, steps);
+    let dt = horizon * tasks / total_speed / steps as f64;
+
+    let cfg = ExperimentConfig {
+        kernel: Kernel::Outer { n },
+        strategy: Strategy::Dynamic,
+        processors: p,
+        platform: Some(platform),
+        ..Default::default()
+    };
+    let obs = run_once_observed(&cfg, seed, ProbeConfig::by_time(dt));
+
+    let mut checked = 0;
+    for s in obs.probes.samples() {
+        let tau = model.normalized_time(s.time, total_speed);
+        if tau > horizon {
+            continue;
+        }
+        let residual = s.remaining as f64 / tasks;
+        let predicted_residual = 1.0 - tau;
+        assert!(
+            (residual - predicted_residual).abs() <= residual_tol,
+            "τ={tau:.3}: simulated residual {residual:.4} vs ODE {predicted_residual:.4} \
+             (band ±{residual_tol})"
+        );
+
+        // Nearest analytic grid point (samples sit on the first event at or
+        // after each grid time, so the index matches up to rounding).
+        let i = ((tau / horizon) * steps as f64).round() as usize;
+        let i = i.min(steps);
+        let shipped: u64 = s.blocks_per_proc.iter().sum();
+        let sim_blocks = shipped as f64 / max_blocks;
+        let ode_blocks = traj.total_blocks(i) / max_blocks;
+        assert!(
+            (sim_blocks - ode_blocks).abs() <= blocks_tol,
+            "τ={tau:.3}: simulated blocks {sim_blocks:.4} vs ODE {ode_blocks:.4} \
+             (band ±{blocks_tol})"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= steps / 2,
+        "only {checked} samples landed inside the horizon"
+    );
+}
+
+#[test]
+fn dynamic_outer_tracks_the_ode_on_a_homogeneous_platform() {
+    assert_tracks_ode(Platform::homogeneous(8), 11, 0.06, 0.08);
+}
+
+#[test]
+fn dynamic_outer_tracks_the_ode_on_a_heterogeneous_platform() {
+    assert_tracks_ode(
+        Platform::from_speeds(vec![5.0, 10.0, 15.0, 20.0, 20.0, 30.0]),
+        12,
+        0.08,
+        0.10,
+    );
+}
+
+/// Networked engine: the trace's overlay events must reconcile with the
+/// run's ledger — transfer wait summed from `Wait` events equals the
+/// per-worker transfer wait the runner reports, and `Transfer` events
+/// carry exactly the shipped volume.
+#[test]
+fn networked_trace_reconciles_with_the_run_result() {
+    use hetsched::sim::EventKind;
+    let cfg = ExperimentConfig {
+        kernel: Kernel::Outer { n: 40 },
+        strategy: Strategy::Dynamic,
+        processors: 5,
+        network: hetsched::net::NetworkModel::OnePort { master_bw: 25.0 },
+        ..Default::default()
+    };
+    let obs = run_once_observed(&cfg, 21, ProbeConfig::by_events(32));
+
+    let transfer_blocks: u64 = obs
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Transfer)
+        .map(|e| e.blocks)
+        .sum();
+    assert_eq!(transfer_blocks, obs.result.total_blocks);
+
+    let wait_from_trace: f64 = obs
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Wait)
+        .map(|e| e.duration)
+        .sum();
+    let wait_from_ledger: f64 = obs.result.transfer_wait_per_proc.iter().sum();
+    assert!(
+        (wait_from_trace - wait_from_ledger).abs() < 1e-9,
+        "trace wait {wait_from_trace} vs ledger wait {wait_from_ledger}"
+    );
+
+    let last = obs.probes.samples().last().unwrap();
+    assert!(last.link_busy > 0.0);
+    assert_eq!(
+        last.queue_depth, obs.result.max_queue_depth,
+        "final probe sees the deepest queue"
+    );
+}

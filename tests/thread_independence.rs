@@ -82,6 +82,52 @@ fn ext_f_is_thread_count_independent() {
     assert_figures_identical(&serial, &parallel);
 }
 
+/// Golden-snapshot determinism for trace artifacts: the same seed must
+/// yield a byte-identical JSONL trace no matter what `--threads` the
+/// surrounding sweeps use (traced runs are always a single trial, and the
+/// embedded manifest pins `threads: 1` for exactly this reason).
+#[test]
+fn traces_are_byte_identical_across_thread_counts() {
+    use hetsched::core::{render_trace, TraceFormat};
+    use hetsched::sim::ProbeConfig;
+
+    let cfg = ExperimentConfig {
+        kernel: Kernel::Outer { n: 30 },
+        strategy: Strategy::Dynamic,
+        processors: 6,
+        ..Default::default()
+    };
+    let golden = render_trace(&cfg, 0x7EAD, ProbeConfig::by_events(16), TraceFormat::Jsonl);
+    assert!(
+        golden.lines().next().unwrap().contains("\"threads\":1"),
+        "trace manifests pin threads to 1"
+    );
+    for threads in [1, 3, 8] {
+        // Interleave parallel sweeps to prove no global state leaks into
+        // the traced run.
+        let _ = run_trials_with_threads(&cfg, 4, 0x7EAD, Some(threads));
+        let again = render_trace(&cfg, 0x7EAD, ProbeConfig::by_events(16), TraceFormat::Jsonl);
+        assert_eq!(
+            golden, again,
+            "JSONL trace differs after a {threads}-thread sweep"
+        );
+    }
+    let chrome_a = render_trace(
+        &cfg,
+        0x7EAD,
+        ProbeConfig::by_events(16),
+        TraceFormat::Chrome,
+    );
+    let _ = run_trials_with_threads(&cfg, 4, 0x7EAD, Some(4));
+    let chrome_b = render_trace(
+        &cfg,
+        0x7EAD,
+        ProbeConfig::by_events(16),
+        TraceFormat::Chrome,
+    );
+    assert_eq!(chrome_a, chrome_b, "Chrome trace must be deterministic too");
+}
+
 /// The parallelized p-sweep (fig1) and hetero probe + grid (fig7).
 #[test]
 fn figure_sweeps_are_thread_count_independent() {
