@@ -16,9 +16,12 @@ use hetsched_core::figures::{by_id, FigOpts, ALL_FIGURES};
 use hetsched_core::{manifest_json, run_once, ExperimentConfig, Kernel, Strategy};
 use hetsched_outer::RandomOuter;
 use hetsched_platform::{FailureModel, Platform, ProcId, SpeedDistribution, SpeedModel};
-use hetsched_sim::{ProbeConfig, Recorder};
+use hetsched_sim::{NullSink, ProbeConfig, Recorder, TraceEvent};
 use hetsched_util::rng::rng_for;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Chunk size the streaming measurements use (events per flush).
+const STREAM_CHUNK: usize = 1024;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,9 +72,10 @@ fn main() {
     }
 
     let date = today_utc();
-    let events_per_sec = engine_requests_per_sec();
-    let probed_per_sec = engine_requests_per_sec_probed();
+    let (events_per_sec, probed_per_sec, buffered_per_sec) = engine_throughputs();
+    let mem = trace_memory();
     let (ledger_cfg, ledger_seed, ledger) = ledger_aggregates();
+    let fig5_sweep = fig5_threads_sweep(&opts);
 
     let mut timings = Vec::new();
     for id in &ids {
@@ -106,6 +110,23 @@ fn main() {
         100.0 * (1.0 - probed_per_sec / events_per_sec)
     ));
     json.push_str(&format!(
+        "  \"engine_requests_per_sec_probed_buffered\": {buffered_per_sec:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"buffered_probe_overhead_pct\": {:.1},\n",
+        100.0 * (1.0 - buffered_per_sec / events_per_sec)
+    ));
+    json.push_str(&format!(
+        "  \"trace_memory\": {{ \"events\": {}, \"buffered_peak_bytes\": {}, \"streamed_peak_bytes\": {}, \"stream_chunk_events\": {} }},\n",
+        mem.events, mem.buffered_peak_bytes, mem.streamed_peak_bytes, STREAM_CHUNK
+    ));
+    json.push_str("  \"fig5_threads_sweep_sec\": {\n");
+    for (i, (threads, secs)) in fig5_sweep.iter().enumerate() {
+        let comma = if i + 1 == fig5_sweep.len() { "" } else { "," };
+        json.push_str(&format!("    \"{threads}\": {secs:.4}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
         "  \"ledger\": {{ \"total_blocks\": {}, \"total_transfer_wait\": {:.4}, \"wasted_blocks\": {}, \"lost_tasks\": {}, \"reshipped_blocks\": {} }},\n",
         ledger.0, ledger.1, ledger.2, ledger.3, ledger.4
     ));
@@ -131,24 +152,31 @@ fn main() {
     eprintln!("[wrote {path}]");
 }
 
-/// Engine throughput: `RandomOuter` issues exactly one task per request, so
-/// a run at `n = 100` is 10 000 full engine round-trips (event pop,
-/// scheduler call, ledger update, event push). Repeat until ≥ 0.5 s of wall
-/// time and report round-trips per second.
-fn engine_requests_per_sec() -> f64 {
+/// Engine throughput, three ways on the same hot loop: `RandomOuter`
+/// issues exactly one task per request, so a run at `n = 100` is 10 000
+/// full engine round-trips (event pop, scheduler call, ledger update,
+/// event push). Returns requests per second for
+///
+/// 1. the unobserved engine (the `None` recorder branch),
+/// 2. the observability path: a streaming recorder with an
+///    every-64-allocations probe cadence flushing [`STREAM_CHUNK`]-event
+///    chunks into a [`NullSink`] — the `--trace-buffer` machinery minus
+///    serialization cost, and the recommended way to trace long runs, and
+/// 3. the fully buffered recorder at the same cadence (whole trace held
+///    in memory until the end).
+///
+/// Each variant is timed as the minimum over `ROUNDS` interleaved,
+/// individually-timed runs. Scheduler preemption, frequency dips and
+/// allocator slow paths only ever add time, so the per-variant minimum is
+/// a robust estimator of the true cost on a shared machine, and the
+/// round-robin interleaving exposes every variant to the same slow spells
+/// instead of biasing whichever ran last.
+fn engine_throughputs() -> (f64, f64, f64) {
+    const ROUNDS: usize = 200;
     let p = 100;
     let n = 100;
     let pf = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(1, 0));
-    // Warm-up run keeps the first measurement honest.
-    let _ = hetsched_sim::run(
-        &pf,
-        SpeedModel::Fixed,
-        RandomOuter::new(n, p),
-        &mut rng_for(2, 0),
-    );
-    let start = Instant::now();
-    let mut reqs = 0u64;
-    while start.elapsed().as_secs_f64() < 0.5 {
+    let run_plain = || {
         let (r, _) = hetsched_sim::run(
             &pf,
             SpeedModel::Fixed,
@@ -156,23 +184,10 @@ fn engine_requests_per_sec() -> f64 {
             &mut rng_for(2, 0),
         );
         std::hint::black_box(r.makespan);
-        reqs += (n * n) as u64;
-    }
-    reqs as f64 / start.elapsed().as_secs_f64()
-}
-
-/// The same hot loop with a recorder attached and an every-64-allocations
-/// probe cadence: the trace and samples are collected for real, so the
-/// delta against [`engine_requests_per_sec`] prices the observability
-/// layer when it is actually on (with no recorder the engines take the
-/// identical `None` branch the unprobed number measures).
-fn engine_requests_per_sec_probed() -> f64 {
-    let p = 100;
-    let n = 100;
-    let pf = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(1, 0));
-    let run_probed = || {
-        let mut rec = Recorder::new(ProbeConfig::by_events(64));
-        hetsched_sim::run_configured_recorded(
+    };
+    let run_streamed = || {
+        let mut rec = Recorder::streaming(ProbeConfig::by_events(64), NullSink, STREAM_CHUNK);
+        let (r, _) = hetsched_sim::run_configured_recorded(
             &pf,
             SpeedModel::Fixed,
             RandomOuter::new(n, p),
@@ -180,17 +195,107 @@ fn engine_requests_per_sec_probed() -> f64 {
             hetsched_sim::NetworkModel::Infinite,
             &mut rng_for(2, 0),
             &mut rec,
-        )
+        );
+        std::hint::black_box((r.makespan, rec.flushed_events()));
     };
-    let _ = run_probed();
-    let start = Instant::now();
-    let mut reqs = 0u64;
-    while start.elapsed().as_secs_f64() < 0.5 {
-        let (r, _) = run_probed();
-        std::hint::black_box(r.makespan);
-        reqs += (n * n) as u64;
+    let run_buffered = || {
+        let mut rec = Recorder::new(ProbeConfig::by_events(64));
+        let (r, _) = hetsched_sim::run_configured_recorded(
+            &pf,
+            SpeedModel::Fixed,
+            RandomOuter::new(n, p),
+            &FailureModel::none(),
+            hetsched_sim::NetworkModel::Infinite,
+            &mut rng_for(2, 0),
+            &mut rec,
+        );
+        std::hint::black_box((r.makespan, rec.trace().len()));
+    };
+    let variants: [&dyn Fn(); 3] = [&run_plain, &run_streamed, &run_buffered];
+    let mut best = [f64::INFINITY; 3];
+    // Warm-up round keeps the first measurements honest.
+    for run in &variants {
+        run();
     }
-    reqs as f64 / start.elapsed().as_secs_f64()
+    for _ in 0..ROUNDS {
+        for (i, run) in variants.iter().enumerate() {
+            let start = Instant::now();
+            run();
+            let dt = start.elapsed().as_secs_f64();
+            if dt < best[i] {
+                best[i] = dt;
+            }
+        }
+    }
+    let reqs = (n * n) as f64;
+    (reqs / best[0], reqs / best[1], reqs / best[2])
+}
+
+struct TraceMemory {
+    events: usize,
+    buffered_peak_bytes: usize,
+    streamed_peak_bytes: usize,
+}
+
+/// Peak trace memory on the hot loop, buffered vs streamed: the buffered
+/// recorder holds every event until the end; the streaming recorder never
+/// buffers more than a chunk. Probe storage (columnar, identical in both
+/// modes) is included in both numbers.
+fn trace_memory() -> TraceMemory {
+    let p = 100;
+    let n = 100;
+    let pf = Platform::sample(p, &SpeedDistribution::paper_default(), &mut rng_for(1, 0));
+    let ev = std::mem::size_of::<TraceEvent>();
+    let mut buffered = Recorder::new(ProbeConfig::by_events(64));
+    let _ = hetsched_sim::run_configured_recorded(
+        &pf,
+        SpeedModel::Fixed,
+        RandomOuter::new(n, p),
+        &FailureModel::none(),
+        hetsched_sim::NetworkModel::Infinite,
+        &mut rng_for(2, 0),
+        &mut buffered,
+    );
+    let events = buffered.trace().events().len();
+    let buffered_peak_bytes =
+        buffered.peak_buffered_events() * ev + buffered.probes().approx_bytes();
+    let mut streamed = Recorder::streaming(ProbeConfig::by_events(64), NullSink, STREAM_CHUNK);
+    let _ = hetsched_sim::run_configured_recorded(
+        &pf,
+        SpeedModel::Fixed,
+        RandomOuter::new(n, p),
+        &FailureModel::none(),
+        hetsched_sim::NetworkModel::Infinite,
+        &mut rng_for(2, 0),
+        &mut streamed,
+    );
+    assert!(streamed.peak_buffered_events() <= STREAM_CHUNK);
+    let streamed_peak_bytes =
+        streamed.peak_buffered_events() * ev + streamed.probes().approx_bytes();
+    TraceMemory {
+        events,
+        buffered_peak_bytes,
+        streamed_peak_bytes,
+    }
+}
+
+/// Wall time of the fig5 sweep at 1, 2 and 4 worker threads — the snapshot
+/// row behind the parallel-speedup claim (results are bit-identical across
+/// thread counts, only the wall time moves).
+fn fig5_threads_sweep(opts: &FigOpts) -> Vec<(usize, f64)> {
+    [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let mut o = *opts;
+            o.threads = Some(threads);
+            let start = Instant::now();
+            let fig = by_id("fig5", &o);
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(&fig);
+            eprintln!("[fig5 --threads {threads}: {secs:.3}s]");
+            (threads, secs)
+        })
+        .collect()
 }
 
 /// One fixed, deterministic networked run with an injected failure, so the

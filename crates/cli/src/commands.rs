@@ -4,7 +4,8 @@
 use crate::args::Args;
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_core::{
-    render_trace, run_trials, BetaChoice, ExperimentConfig, Kernel, Strategy, TraceFormat,
+    render_trace, run_trials, stream_trace, BetaChoice, ExperimentConfig, Kernel, Strategy,
+    TraceFormat,
 };
 use hetsched_dag::{cholesky_graph, qr_graph, simulate, Policy};
 use hetsched_net::NetworkModel;
@@ -56,6 +57,8 @@ COMMANDS
              --trace-out PATH                (write the first trial's event trace)
              --trace-format jsonl|chrome     (jsonl; chrome loads in Perfetto)
              --probe-every N                 (sample engine state every N allocations)
+             --probe-delta                   (store probe counters as u32 deltas)
+             --trace-buffer N                (stream the trace in N-event chunks; bounds memory)
   analyze    query the analytic model (β*, threshold, ratio landscape)
              --kernel outer|matmul (outer)   --n BLOCKS (100)
              --p WORKERS (20)                --speeds S1,S2,…
@@ -68,6 +71,7 @@ COMMANDS
   figures    regenerate paper figures / extension experiments
              positional ids (fig1 … fig11, extA … extG) --quick --trials N --seed S
              --trace-out PATH --trace-format jsonl|chrome --probe-every N
+             --probe-delta --trace-buffer N
              (trace one representative run alongside the figures)
   help       this text
 "
@@ -202,15 +206,25 @@ fn parse_network(args: &Args) -> Result<(NetworkModel, f64), String> {
     Ok((net, latency))
 }
 
-/// Parses `--trace-out`/`--trace-format`/`--probe-every`. Returns
-/// `None` when no trace was requested; the format and probe flags are
-/// only legal alongside `--trace-out`.
-fn parse_trace_flags(args: &Args) -> Result<Option<(String, TraceFormat, ProbeConfig)>, String> {
+/// Everything `--trace-out` and its companion flags request.
+struct TraceRequest {
+    path: String,
+    format: TraceFormat,
+    probe: ProbeConfig,
+    /// `--trace-buffer N`: stream in N-event chunks instead of buffering
+    /// the whole trace.
+    buffer: Option<usize>,
+}
+
+/// Parses `--trace-out`/`--trace-format`/`--probe-every`/`--probe-delta`/
+/// `--trace-buffer`. Returns `None` when no trace was requested; the
+/// companion flags are only legal alongside `--trace-out`.
+fn parse_trace_flags(args: &Args) -> Result<Option<TraceRequest>, String> {
     let format = match args.get("trace-format") {
         Some(v) => TraceFormat::parse(v).map_err(|e| format!("--trace-format: {e}"))?,
         None => TraceFormat::Jsonl,
     };
-    let probe = match args.get("probe-every") {
+    let mut probe = match args.get("probe-every") {
         Some(v) => {
             let every: u64 = v
                 .parse()
@@ -219,12 +233,41 @@ fn parse_trace_flags(args: &Args) -> Result<Option<(String, TraceFormat, ProbeCo
         }
         None => ProbeConfig::disabled(),
     };
+    if args.switch("probe-delta") {
+        if !probe.is_enabled() {
+            return Err("--probe-delta needs a probe cadence (--probe-every N)".into());
+        }
+        probe = probe.with_delta_encoding();
+    }
+    let buffer = match args.get("trace-buffer") {
+        Some(v) => {
+            let chunk: usize = v
+                .parse()
+                .map_err(|_| format!("--trace-buffer: bad chunk size {v:?}"))?;
+            if chunk == 0 {
+                return Err("--trace-buffer: chunk size must be ≥ 1".into());
+            }
+            Some(chunk)
+        }
+        None => None,
+    };
     match args.get("trace-out") {
-        Some(path) => Ok(Some((path.to_string(), format, probe))),
+        Some(path) => Ok(Some(TraceRequest {
+            path: path.to_string(),
+            format,
+            probe,
+            buffer,
+        })),
         None => {
-            if args.get("trace-format").is_some() || args.get("probe-every").is_some() {
+            if args.get("trace-format").is_some()
+                || args.get("probe-every").is_some()
+                || args.switch("probe-delta")
+                || args.get("trace-buffer").is_some()
+            {
                 return Err(
-                    "--trace-format/--probe-every only apply together with --trace-out PATH".into(),
+                    "--trace-format/--probe-every/--probe-delta/--trace-buffer only apply \
+                     together with --trace-out PATH"
+                        .into(),
                 );
             }
             Ok(None)
@@ -234,28 +277,49 @@ fn parse_trace_flags(args: &Args) -> Result<Option<(String, TraceFormat, ProbeCo
 
 /// Traces one run of `cfg` (the first trial's seed stream) and writes it
 /// to `path`. Returns the report line for the command output.
+///
+/// Without `--trace-buffer` the whole trace is rendered in memory and
+/// written at once; with it, events stream to the file in fixed-size
+/// chunks and peak trace memory stays O(chunk) however long the run.
+/// Both paths produce byte-identical files.
 fn write_trace_file(
     cfg: &ExperimentConfig,
     seed: u64,
-    path: &str,
-    format: TraceFormat,
-    probe: ProbeConfig,
+    req: &TraceRequest,
 ) -> Result<String, String> {
-    let body = render_trace(
-        cfg,
-        hetsched_core::runner::trial_seed(seed, 0),
-        probe,
-        format,
-    );
-    std::fs::write(path, &body).map_err(|e| format!("--trace-out: cannot write {path:?}: {e}"))?;
-    Ok(format!(
-        "trace written            : {path} ({} bytes, {})\n",
-        body.len(),
-        match format {
-            TraceFormat::Jsonl => "jsonl: one JSON object per line",
-            TraceFormat::Chrome => "chrome: load in Perfetto / chrome://tracing",
+    let seed = hetsched_core::runner::trial_seed(seed, 0);
+    let path = req.path.as_str();
+    let fmt_blurb = match req.format {
+        TraceFormat::Jsonl => "jsonl: one JSON object per line",
+        TraceFormat::Chrome => "chrome: load in Perfetto / chrome://tracing",
+    };
+    match req.buffer {
+        None => {
+            let body = render_trace(cfg, seed, req.probe, req.format);
+            std::fs::write(path, &body)
+                .map_err(|e| format!("--trace-out: cannot write {path:?}: {e}"))?;
+            Ok(format!(
+                "trace written            : {path} ({} bytes, {fmt_blurb})\n",
+                body.len()
+            ))
         }
-    ))
+        Some(chunk) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("--trace-out: cannot create {path:?}: {e}"))?;
+            let mut out = std::io::BufWriter::new(file);
+            let streamed = stream_trace(cfg, seed, req.probe, req.format, chunk, &mut out)
+                .map_err(|e| format!("--trace-out: cannot write {path:?}: {e}"))?;
+            std::io::Write::flush(&mut out)
+                .map_err(|e| format!("--trace-out: cannot write {path:?}: {e}"))?;
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            Ok(format!(
+                "trace written            : {path} ({bytes} bytes, {fmt_blurb})\n\
+                 trace streaming          : {} events in ≤{chunk}-event chunks \
+                 (peak buffered: {})\n",
+                streamed.flushed_events, streamed.peak_buffered_events
+            ))
+        }
+    }
 }
 
 fn simulate_cmd(args: &Args) -> Result<String, String> {
@@ -278,6 +342,8 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         "trace-out",
         "trace-format",
         "probe-every",
+        "probe-delta",
+        "trace-buffer",
     ])?;
     let n: usize = args.get_or("n", 100)?;
     let kernel = match args.get("kernel").unwrap_or("outer") {
@@ -396,8 +462,8 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         };
         writeln!(out, "regime                   : {regime}").unwrap();
     }
-    if let Some((path, format, probe)) = trace {
-        out.push_str(&write_trace_file(&cfg, seed, &path, format, probe)?);
+    if let Some(req) = trace {
+        out.push_str(&write_trace_file(&cfg, seed, &req)?);
     }
     Ok(out)
 }
@@ -573,6 +639,8 @@ fn figures_cmd(args: &Args) -> Result<String, String> {
         "trace-out",
         "trace-format",
         "probe-every",
+        "probe-delta",
+        "trace-buffer",
     ])?;
     let mut opts = hetsched_core::figures::FigOpts::paper();
     if args.switch("quick") {
@@ -597,7 +665,7 @@ fn figures_cmd(args: &Args) -> Result<String, String> {
         out.push_str(&fig.to_table());
         out.push('\n');
     }
-    if let Some((path, format, probe)) = trace {
+    if let Some(req) = trace {
         // One representative run of the paper's default experiment at the
         // figures' scale, so the sweep's tables come with an inspectable
         // schedule.
@@ -608,7 +676,7 @@ fn figures_cmd(args: &Args) -> Result<String, String> {
             processors: if opts.quick { 8 } else { 20 },
             ..Default::default()
         };
-        out.push_str(&write_trace_file(&cfg, opts.seed, &path, format, probe)?);
+        out.push_str(&write_trace_file(&cfg, opts.seed, &req)?);
     }
     Ok(out)
 }
@@ -823,11 +891,59 @@ mod tests {
     }
 
     #[test]
+    fn trace_buffer_streams_byte_identical_files() {
+        let dir = std::env::temp_dir().join("hetsched-cli-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let buffered = dir.join("buf.jsonl");
+        let streamed = dir.join("stream.jsonl");
+        let base = "simulate --n 20 --p 4 --strategy dynamic --trials 2 --seed 5 --probe-every 16";
+        run_str(&format!("{base} --trace-out {}", buffered.display())).unwrap();
+        let out = run_str(&format!(
+            "{base} --trace-out {} --trace-buffer 32",
+            streamed.display()
+        ))
+        .unwrap();
+        assert!(out.contains("trace streaming"), "{out}");
+        assert!(out.contains("peak buffered"), "{out}");
+        assert_eq!(
+            std::fs::read(&buffered).unwrap(),
+            std::fs::read(&streamed).unwrap(),
+            "streamed file must be byte-identical to the buffered one"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn probe_delta_renders_the_same_bytes() {
+        let dir = std::env::temp_dir().join("hetsched-cli-delta-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("plain.jsonl");
+        let delta = dir.join("delta.jsonl");
+        let base = "simulate --n 20 --p 4 --strategy dynamic --trials 1 --seed 9 --probe-every 8";
+        run_str(&format!("{base} --trace-out {}", plain.display())).unwrap();
+        run_str(&format!(
+            "{base} --probe-delta --trace-out {}",
+            delta.display()
+        ))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&delta).unwrap(),
+            "delta encoding is a storage choice, never a rendering one"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn trace_flags_require_trace_out() {
         assert!(run_str("simulate --n 20 --p 4 --trace-format chrome").is_err());
         assert!(run_str("simulate --n 20 --p 4 --probe-every 8").is_err());
+        assert!(run_str("simulate --n 20 --p 4 --trace-buffer 64").is_err());
+        assert!(run_str("simulate --n 20 --p 4 --probe-delta --trace-out /tmp/x").is_err());
         assert!(run_str("simulate --n 20 --p 4 --trace-out /tmp/x --trace-format xml").is_err());
         assert!(run_str("simulate --n 20 --p 4 --trace-out /tmp/x --probe-every abc").is_err());
+        assert!(run_str("simulate --n 20 --p 4 --trace-out /tmp/x --trace-buffer 0").is_err());
+        assert!(run_str("simulate --n 20 --p 4 --trace-out /tmp/x --trace-buffer xyz").is_err());
     }
 
     #[test]

@@ -374,7 +374,7 @@ pub fn ext_ode_overlay(opts: &FigOpts) -> FigureData {
     let mut ana_rem = Series::new("analytic remaining");
     let mut sim_blocks = Series::new("simulated blocks");
     let mut ana_blocks = Series::new("analytic blocks");
-    for s in obs.probes.samples() {
+    for s in obs.probes.iter() {
         let tau = model.normalized_time(s.time, total_speed);
         if tau > horizon {
             continue;

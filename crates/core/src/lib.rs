@@ -34,7 +34,9 @@ pub mod series;
 
 pub use config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
 pub use hetsched_net::NetworkModel;
-pub use observe::{render_trace, run_once_observed, ObservedRun, TraceFormat};
+pub use observe::{
+    render_trace, run_once_observed, stream_trace, ObservedRun, StreamedRun, TraceFormat,
+};
 pub use provenance::{figure_manifest_json, manifest_json};
 pub use runner::{
     parallel_map, run_once, run_trials, run_trials_with_threads, summarize_runs, RunResult,

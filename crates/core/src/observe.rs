@@ -11,7 +11,8 @@
 use crate::config::ExperimentConfig;
 use crate::provenance::manifest_json;
 use crate::runner::{run_once_impl, RunResult};
-use hetsched_sim::{ProbeConfig, ProbeSeries, Recorder, Trace};
+use hetsched_sim::{ChromeStream, JsonlStream, ProbeConfig, ProbeSeries, Recorder, Trace};
+use std::io;
 
 /// On-disk trace encodings (`--trace-format`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +92,69 @@ pub fn render_trace(
     }
 }
 
+/// Outcome of a [`stream_trace`] run: the usual result plus the streaming
+/// recorder's memory accounting.
+#[derive(Clone, Debug)]
+pub struct StreamedRun {
+    /// The same [`RunResult`] an unobserved run would return.
+    pub result: RunResult,
+    /// Largest number of trace events buffered at once (≤ the chunk size).
+    pub peak_buffered_events: usize,
+    /// Events written through the sink over the whole run.
+    pub flushed_events: usize,
+}
+
+/// Runs one experiment streaming its trace into `out` as it is generated,
+/// instead of buffering every event and rendering at the end.
+///
+/// The written bytes are identical to what [`render_trace`] produces for
+/// the same `(cfg, seed, probe, format)` — both drive the same incremental
+/// writers — but peak trace memory is bounded by `chunk_events` (plus the
+/// probe series, which is columnar and small), not by the event count.
+/// `out` only needs to be a `Write`; pass `&mut Vec<u8>` to capture bytes
+/// or a buffered file writer to stream to disk.
+pub fn stream_trace<W: io::Write>(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    probe: ProbeConfig,
+    format: TraceFormat,
+    chunk_events: usize,
+    out: W,
+) -> io::Result<StreamedRun> {
+    let manifest = manifest_json(cfg, seed, 1, &[]);
+    match format {
+        TraceFormat::Jsonl => {
+            let sink = JsonlStream::new(out, Some(&manifest));
+            let mut rec = Recorder::streaming(probe, sink, chunk_events);
+            let result = run_once_impl(cfg, seed, Some(&mut rec));
+            let (peak, flushed) = (rec.peak_buffered_events(), rec.flushed_events());
+            rec.finish().into_inner()?;
+            Ok(StreamedRun {
+                result,
+                peak_buffered_events: peak,
+                flushed_events: flushed,
+            })
+        }
+        TraceFormat::Chrome => {
+            // The buffered renderer decides whether to emit network lanes by
+            // scanning the trace for transfer events; streaming cannot look
+            // ahead, but a priced network ships at least one batch and so
+            // always produces a transfer — the config is an exact proxy.
+            let has_net = !cfg.network.is_infinite();
+            let sink = ChromeStream::new(out, Some(&manifest), cfg.processors, has_net);
+            let mut rec = Recorder::streaming(probe, sink, chunk_events);
+            let result = run_once_impl(cfg, seed, Some(&mut rec));
+            let (peak, flushed) = (rec.peak_buffered_events(), rec.flushed_events());
+            rec.finish().into_inner()?;
+            Ok(StreamedRun {
+                result,
+                peak_buffered_events: peak,
+                flushed_events: flushed,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,8 +193,8 @@ mod tests {
             .map(|e| e.tasks)
             .sum();
         assert_eq!(traced_tasks, 20 * 20, "trace covers every task");
-        assert!(!obs.probes.samples().is_empty());
-        let last = obs.probes.samples().last().unwrap();
+        assert!(!obs.probes.is_empty());
+        let last = obs.probes.last().unwrap();
         assert_eq!(last.remaining, 0, "final anchor sample sees completion");
     }
 
@@ -141,7 +205,7 @@ mod tests {
             ..small_cfg()
         };
         let obs = run_once_observed(&cfg, 3, ProbeConfig::by_events(8));
-        let last = obs.probes.samples().last().unwrap();
+        let last = obs.probes.last().unwrap();
         assert!(last.link_busy > 0.0, "one-port runs probe link busy time");
         assert!(obs
             .trace
@@ -167,9 +231,46 @@ mod tests {
     }
 
     #[test]
+    fn streamed_trace_matches_buffered_and_bounds_memory() {
+        let configs = [
+            small_cfg(),
+            ExperimentConfig {
+                network: hetsched_net::NetworkModel::OnePort { master_bw: 30.0 },
+                ..small_cfg()
+            },
+        ];
+        for cfg in &configs {
+            for format in [TraceFormat::Jsonl, TraceFormat::Chrome] {
+                let buffered = render_trace(cfg, 13, ProbeConfig::by_events(16), format);
+                let mut bytes = Vec::new();
+                let streamed =
+                    stream_trace(cfg, 13, ProbeConfig::by_events(16), format, 8, &mut bytes)
+                        .unwrap();
+                assert_eq!(
+                    String::from_utf8(bytes).unwrap(),
+                    buffered,
+                    "{format:?} streamed bytes must match the buffered render"
+                );
+                assert!(
+                    streamed.peak_buffered_events <= 8,
+                    "peak {} exceeds the chunk",
+                    streamed.peak_buffered_events
+                );
+                assert!(streamed.flushed_events > 8, "multiple chunks flushed");
+                let plain = run_once(cfg, 13);
+                assert_eq!(
+                    plain.makespan.to_bits(),
+                    streamed.result.makespan.to_bits(),
+                    "streaming never perturbs the schedule"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn probes_report_useful_fraction_for_knowledge_strategies() {
         let obs = run_once_observed(&small_cfg(), 5, ProbeConfig::by_events(8));
-        let mid = &obs.probes.samples()[obs.probes.len() / 2];
+        let mid = obs.probes.get(obs.probes.len() / 2);
         let f = mid.useful_fraction[ProcId(0).idx()];
         assert!(f.is_finite() && (0.0..=1.0).contains(&f), "{f}");
     }

@@ -6,7 +6,7 @@ use hetsched_matmul::{DynamicMatrix, DynamicMatrix2Phases, RandomMatrix, SortedM
 use hetsched_net::NetworkModel;
 use hetsched_outer::{DynamicOuter, DynamicOuter2Phases, RandomOuter, SortedOuter};
 use hetsched_platform::{FailureModel, Platform, SpeedModel};
-use hetsched_sim::{Recorder, Scheduler, SimReport};
+use hetsched_sim::{Recorder, Scheduler, SimReport, StreamingSink};
 use hetsched_util::rng::{derive_seed, rng_for};
 use hetsched_util::OnlineStats;
 use rand::rngs::StdRng;
@@ -104,7 +104,7 @@ pub fn trial_seed(seed: u64, i: usize) -> u64 {
 /// another, so e.g. sweeping β with the same seed holds everything else
 /// constant.
 pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
-    run_once_impl(cfg, seed, None)
+    run_once_impl(cfg, seed, None::<&mut Recorder>)
 }
 
 /// Runs one experiment under an engine configured from `cfg`, optionally
@@ -112,14 +112,14 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
 /// behind [`run_once`] and [`crate::observe::run_once_observed`]. The
 /// `None` path is exactly the unobserved engine (no extra work, no
 /// allocation).
-fn drive<S: Scheduler>(
+fn drive<S: Scheduler, K: StreamingSink>(
     platform: &Platform,
     model: SpeedModel,
     sched: S,
     failures: &FailureModel,
     network: NetworkModel,
     rng: &mut StdRng,
-    rec: &mut Option<&mut Recorder>,
+    rec: &mut Option<&mut Recorder<K>>,
 ) -> (SimReport, S) {
     match rec.as_deref_mut() {
         Some(r) => {
@@ -129,10 +129,10 @@ fn drive<S: Scheduler>(
     }
 }
 
-pub(crate) fn run_once_impl(
+pub(crate) fn run_once_impl<K: StreamingSink>(
     cfg: &ExperimentConfig,
     seed: u64,
-    mut rec: Option<&mut Recorder>,
+    mut rec: Option<&mut Recorder<K>>,
 ) -> RunResult {
     cfg.validate().expect("invalid experiment config");
     let mut platform = platform_for(cfg, seed);

@@ -4,6 +4,7 @@ use crate::event::EventQueue;
 use crate::metrics::CommLedger;
 use crate::probe::{ProbeConfig, Recorder};
 use crate::scheduler::Scheduler;
+use crate::sink::StreamingSink;
 use crate::trace::{EventKind, Trace, TraceEvent};
 use hetsched_net::NetworkModel;
 use hetsched_platform::{FailureModel, Platform, ProcId, SpeedModel, SpeedState};
@@ -115,7 +116,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
     /// strategies are demand driven and the initial service order is an
     /// artifact of the platform, so it is randomized under the run's seed.
     pub fn run(self, rng: &mut StdRng) -> (SimReport, S) {
-        let (report, scheduler, _) = self.run_impl(rng, None);
+        let (report, scheduler, _) = self.run_impl(rng, None::<&mut Recorder>);
         (report, scheduler)
     }
 
@@ -130,13 +131,23 @@ impl<'a, S: Scheduler> Engine<'a, S> {
     /// Like [`run`](Self::run) but emits every event and probe sample
     /// through `rec`. With probing disabled this is trace collection; with
     /// a cadence configured the recorder also snapshots the ODE-observable
-    /// state ([`crate::ProbeSample`]) over the run.
-    pub fn run_recorded(self, rng: &mut StdRng, rec: &mut Recorder) -> (SimReport, S) {
+    /// state ([`crate::ProbeSample`]) over the run. The recorder may be
+    /// buffered (the default) or [streaming](Recorder::streaming) into any
+    /// [`StreamingSink`].
+    pub fn run_recorded<K: StreamingSink>(
+        self,
+        rng: &mut StdRng,
+        rec: &mut Recorder<K>,
+    ) -> (SimReport, S) {
         let (report, scheduler, _) = self.run_impl(rng, Some(rec));
         (report, scheduler)
     }
 
-    fn run_impl(mut self, rng: &mut StdRng, mut rec: Option<&mut Recorder>) -> (SimReport, S, ()) {
+    fn run_impl<K: StreamingSink>(
+        mut self,
+        rng: &mut StdRng,
+        mut rec: Option<&mut Recorder<K>>,
+    ) -> (SimReport, S, ()) {
         if !self.network.is_infinite() {
             // Priced transfers need their own event loop (transfers are
             // events, communication overlaps computation). The infinite
@@ -174,6 +185,12 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         let mut batch: Vec<u32> = Vec::new();
 
         if let Some(r) = rec.as_deref_mut() {
+            // Pre-size the trace: roughly one event per allocation (at
+            // most one per task with single-task batches) plus one
+            // retirement per worker, capped so absurd configs don't
+            // over-reserve. Buffered recording then never pays the
+            // reallocate-and-copy growth of the event vector.
+            r.reserve_events((self.scheduler.total_tasks() + p).min(1 << 20), p);
             // Anchor the probed trajectory at t = 0.
             r.sample(0.0, &self.scheduler, &self.ledger, None);
         }
@@ -443,15 +460,16 @@ pub fn run_configured<S: Scheduler>(
 }
 
 /// One-shot convenience: faults + network + a caller-owned [`Recorder`]
-/// (trace plus probe samples).
-pub fn run_configured_recorded<S: Scheduler>(
+/// (trace plus probe samples), buffered or
+/// [streaming](Recorder::streaming).
+pub fn run_configured_recorded<S: Scheduler, K: StreamingSink>(
     platform: &Platform,
     model: SpeedModel,
     scheduler: S,
     failures: &FailureModel,
     network: NetworkModel,
     rng: &mut StdRng,
-    rec: &mut Recorder,
+    rec: &mut Recorder<K>,
 ) -> (SimReport, S) {
     Engine::new(platform, model, scheduler)
         .with_failures(failures)
@@ -841,14 +859,15 @@ mod tests {
         assert_eq!(trace.allocation_count(), 100);
         // Anchors at both ends plus every tenth allocation in between.
         assert!(probes.len() >= 2 + 100 / 10, "{} samples", probes.len());
-        let first = &probes.samples()[0];
-        let last = probes.samples().last().unwrap();
+        let first = probes.get(0);
+        let last = probes.last().unwrap();
         assert_eq!(first.time, 0.0);
         assert_eq!(first.remaining, 400);
         assert_eq!(last.time, probed.makespan);
         assert_eq!(last.remaining, 0);
         // Monotone residual trajectory.
-        for w in probes.samples().windows(2) {
+        let all: Vec<_> = probes.iter().collect();
+        for w in all.windows(2) {
             assert!(w[1].remaining <= w[0].remaining);
             assert!(w[1].time >= w[0].time);
         }

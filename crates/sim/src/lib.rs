@@ -66,6 +66,7 @@ pub use engine::{
 pub use event::{EventQueue, FlatScanQueue};
 pub use hetsched_net::NetworkModel;
 pub use metrics::CommLedger;
-pub use probe::{ProbeConfig, ProbeSample, ProbeSeries, Recorder};
+pub use probe::{ProbeConfig, ProbeIter, ProbeSample, ProbeSeries, Recorder};
 pub use scheduler::{Allocation, Scheduler};
+pub use sink::{ChromeStream, JsonlStream, NullSink, StreamingSink};
 pub use trace::{EventKind, Trace, TraceEvent};

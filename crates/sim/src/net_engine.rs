@@ -25,10 +25,23 @@
 //! would finish strictly after the worker's failure time is lost (its blocks
 //! and the burned compute time are recorded, its tasks re-allocated), while
 //! a batch finishing exactly at the failure time completes.
+//!
+//! ## Batch storage
+//!
+//! Batches in flight live in a structure-of-arrays layout: the task ids of
+//! every live batch share one [`IdArena`] (a single `Vec<u32>` addressed by
+//! `(offset, len)` [`Span`] handles with free-list reuse), and the
+//! per-worker `pending`/`ready` queues are flat [`SlotCol`] columns. The
+//! steady-state loop touches contiguous memory and performs no per-batch
+//! heap allocation; arena growth is bounded — retained id capacity never
+//! exceeds `max(1024, 4 × live ids)` thanks to a compaction backstop — so
+//! long faulty runs cannot hoard memory the way the old per-worker
+//! `Vec<Vec<u32>>` free list could.
 
 use crate::engine::{Engine, SimReport};
 use crate::probe::Recorder;
 use crate::scheduler::Scheduler;
+use crate::sink::StreamingSink;
 use crate::trace::{EventKind, TraceEvent};
 use hetsched_net::NetState;
 use hetsched_platform::ProcId;
@@ -71,11 +84,184 @@ impl NetQueue {
     }
 }
 
-/// One allocated batch travelling toward (or parked at) a worker.
-struct Batch {
-    tasks: usize,
-    blocks: u64,
+/// Handle to a run of task ids in the [`IdArena`]: `start..start+len` are
+/// the live ids; `cap >= len` is the slot's reusable capacity (a freed
+/// slot keeps its full extent so it can be recycled first-fit).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Span {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+impl Span {
+    /// The no-batch sentinel (only ever produced for empty slots; stored
+    /// batches always hold at least one task).
+    const EMPTY: Span = Span {
+        start: 0,
+        len: 0,
+        cap: 0,
+    };
+}
+
+/// Arena for the task ids of every batch in flight: one shared `Vec<u32>`
+/// addressed by [`Span`] handles.
+///
+/// * [`store`](IdArena::store) copies a batch in, reusing the first free
+///   slot that fits (else appending at the tail);
+/// * [`release`](IdArena::release) returns a slot, truncating the tail
+///   (and absorbing any free slots newly exposed at it) when possible;
+/// * [`compact`](IdArena::compact) is the fragmentation backstop: when
+///   retained capacity exceeds `max(1024, 4 × live ids)`, the caller
+///   gathers every live span and the arena rewrites them front-to-back,
+///   dropping all free space.
+#[derive(Default)]
+struct IdArena {
     ids: Vec<u32>,
+    /// Freed slots (`len` unused, `cap` is the reusable extent).
+    free: Vec<Span>,
+    /// Total live ids across all stored spans.
+    live: u32,
+    /// Largest `ids` length ever reached (memory high-water, in ids).
+    high_water: usize,
+}
+
+/// Retained arena capacity below which compaction never triggers.
+const ARENA_RETAIN_MIN: usize = 1024;
+
+impl IdArena {
+    /// Copies `ids` into the arena (first free slot that fits, else the
+    /// tail) and returns the handle. `ids` must be non-empty.
+    fn store(&mut self, ids: &[u32]) -> Span {
+        let len = u32::try_from(ids.len()).expect("batch too large for id arena");
+        debug_assert!(len > 0, "empty batches are never stored");
+        self.live += len;
+        if let Some(pos) = self.free.iter().position(|s| s.cap >= len) {
+            let slot = self.free.swap_remove(pos);
+            let start = slot.start as usize;
+            self.ids[start..start + ids.len()].copy_from_slice(ids);
+            return Span {
+                start: slot.start,
+                len,
+                cap: slot.cap,
+            };
+        }
+        let start = self.ids.len() as u32;
+        self.ids.extend_from_slice(ids);
+        self.high_water = self.high_water.max(self.ids.len());
+        Span {
+            start,
+            len,
+            cap: len,
+        }
+    }
+
+    /// The ids of a stored span.
+    fn get(&self, span: Span) -> &[u32] {
+        &self.ids[span.start as usize..(span.start + span.len) as usize]
+    }
+
+    /// Returns a span's slot to the arena. Tail slots are truncated away
+    /// (together with any free slots that become the new tail); interior
+    /// slots go on the free list with their full capacity.
+    fn release(&mut self, span: Span) {
+        self.live -= span.len;
+        if (span.start + span.cap) as usize == self.ids.len() {
+            self.ids.truncate(span.start as usize);
+            // Free slots now exposed at the tail evaporate too.
+            loop {
+                let tail = self.ids.len() as u32;
+                match self.free.iter().position(|s| s.start + s.cap == tail) {
+                    Some(i) => {
+                        let s = self.free.swap_remove(i);
+                        self.ids.truncate(s.start as usize);
+                    }
+                    None => break,
+                }
+            }
+        } else {
+            self.free.push(Span {
+                start: span.start,
+                len: 0,
+                cap: span.cap,
+            });
+        }
+    }
+
+    /// True when fragmentation (freed-but-retained capacity) exceeds the
+    /// backstop bound and [`compact`](IdArena::compact) should run.
+    fn needs_compaction(&self) -> bool {
+        self.ids.len() > ARENA_RETAIN_MIN.max(4 * self.live as usize)
+    }
+
+    /// Rewrites every live span front-to-back (in arena order), drops all
+    /// free space, and updates the handles in `spans` in place (order
+    /// preserved, so callers can write them back positionally).
+    fn compact(&mut self, spans: &mut [Span]) {
+        let mut order: Vec<u32> = (0..spans.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| spans[i as usize].start);
+        let mut cursor: u32 = 0;
+        for &oi in &order {
+            let s = spans[oi as usize];
+            self.ids.copy_within(
+                s.start as usize..(s.start + s.len) as usize,
+                cursor as usize,
+            );
+            spans[oi as usize] = Span {
+                start: cursor,
+                len: s.len,
+                cap: s.len,
+            };
+            cursor += s.len;
+        }
+        self.ids.truncate(cursor as usize);
+        self.free.clear();
+        debug_assert_eq!(cursor, self.live, "compaction must keep every live id");
+    }
+}
+
+/// One parked batch per worker, in structure-of-arrays columns (the
+/// `pending` and `ready` queues). `tasks[i] == 0` marks an empty slot —
+/// stored batches always allocate at least one task, since retirements
+/// ([`Allocation::is_done`](crate::Allocation::is_done)) are handled
+/// before parking.
+struct SlotCol {
+    tasks: Vec<u32>,
+    blocks: Vec<u64>,
+    span: Vec<Span>,
+}
+
+impl SlotCol {
+    fn new(p: usize) -> Self {
+        SlotCol {
+            tasks: vec![0; p],
+            blocks: vec![0; p],
+            span: vec![Span::EMPTY; p],
+        }
+    }
+
+    fn is_some(&self, i: usize) -> bool {
+        self.tasks[i] != 0
+    }
+
+    fn put(&mut self, i: usize, tasks: u32, blocks: u64, span: Span) {
+        debug_assert!(tasks > 0, "empty batches are never parked");
+        debug_assert!(!self.is_some(i), "slot {i} already occupied");
+        self.tasks[i] = tasks;
+        self.blocks[i] = blocks;
+        self.span[i] = span;
+    }
+
+    fn take(&mut self, i: usize) -> Option<(u32, u64, Span)> {
+        if self.tasks[i] == 0 {
+            return None;
+        }
+        let b = (self.tasks[i], self.blocks[i], self.span[i]);
+        self.tasks[i] = 0;
+        self.blocks[i] = 0;
+        self.span[i] = Span::EMPTY;
+        Some(b)
+    }
 }
 
 /// Mutable per-run worker state for the networked loop.
@@ -85,31 +271,78 @@ struct RunState {
     /// Worker was allocated a batch it will not finish; the `Death` event at
     /// its failure time discovers the loss.
     dying: Vec<bool>,
-    /// Task ids of the dying worker's current batch.
-    in_flight: Vec<Vec<u32>>,
+    /// Arena handle to the dying worker's current batch ids
+    /// ([`Span::EMPTY`] when none).
+    in_flight: Vec<Span>,
     /// Batch currently in transfer (an `Arrive` event is scheduled).
-    pending: Vec<Option<Batch>>,
+    pending: SlotCol,
     /// Batch arrived while the worker was still computing.
-    ready: Vec<Option<Batch>>,
+    ready: SlotCol,
     computing: Vec<bool>,
     /// When the worker last went idle; `start − idle_since` is its
     /// transfer wait.
     idle_since: Vec<f64>,
     /// Failure-lost ids not yet re-allocated, for re-ship accounting.
     lost_ids: HashSet<u32>,
-    /// Free list of id buffers recycled from consumed [`Batch`]es; the
-    /// steady-state loop pops one per request and pushes it back when the
-    /// batch is done, so no per-batch allocation survives warm-up.
-    spare: Vec<Vec<u32>>,
+    /// Shared id storage for every batch in flight.
+    arena: IdArena,
+    /// Scheduler fill buffer: handed to `on_request` empty (per the
+    /// scheduler contract), then copied into the arena. Reused across
+    /// requests, so the steady-state loop performs no heap allocation.
+    scratch: Vec<u32>,
+    /// Reusable span buffer for compaction sweeps.
+    gather: Vec<Span>,
     q: NetQueue,
     net: NetState,
 }
 
+impl RunState {
+    /// Runs the compaction backstop: when the arena says fragmentation
+    /// exceeds the bound, gathers every live span (fixed worker order),
+    /// compacts, and writes the relocated handles back.
+    fn maybe_compact(&mut self) {
+        if !self.arena.needs_compaction() {
+            return;
+        }
+        let p = self.dead.len();
+        let mut spans = std::mem::take(&mut self.gather);
+        spans.clear();
+        for i in 0..p {
+            if self.pending.is_some(i) {
+                spans.push(self.pending.span[i]);
+            }
+            if self.ready.is_some(i) {
+                spans.push(self.ready.span[i]);
+            }
+            if self.in_flight[i].len > 0 {
+                spans.push(self.in_flight[i]);
+            }
+        }
+        self.arena.compact(&mut spans);
+        let mut j = 0;
+        for i in 0..p {
+            if self.pending.is_some(i) {
+                self.pending.span[i] = spans[j];
+                j += 1;
+            }
+            if self.ready.is_some(i) {
+                self.ready.span[i] = spans[j];
+                j += 1;
+            }
+            if self.in_flight[i].len > 0 {
+                self.in_flight[i] = spans[j];
+                j += 1;
+            }
+        }
+        self.gather = spans;
+    }
+}
+
 impl<'a, S: Scheduler> Engine<'a, S> {
-    pub(crate) fn run_networked(
+    pub(crate) fn run_networked<K: StreamingSink>(
         mut self,
         rng: &mut StdRng,
-        mut rec: Option<&mut Recorder>,
+        mut rec: Option<&mut Recorder<K>>,
     ) -> (SimReport, S, ()) {
         let p = self.platform.len();
         let mut st = RunState {
@@ -120,13 +353,15 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 .collect(),
             dead: vec![false; p],
             dying: vec![false; p],
-            in_flight: vec![Vec::new(); p],
-            pending: (0..p).map(|_| None).collect(),
-            ready: (0..p).map(|_| None).collect(),
+            in_flight: vec![Span::EMPTY; p],
+            pending: SlotCol::new(p),
+            ready: SlotCol::new(p),
             computing: vec![false; p],
             idle_since: vec![0.0; p],
             lost_ids: HashSet::new(),
-            spare: Vec::new(),
+            arena: IdArena::default(),
+            scratch: Vec::new(),
+            gather: Vec::new(),
             q: NetQueue::default(),
             net: NetState::new(self.network, self.platform.link_latencies().to_vec()),
         };
@@ -141,6 +376,9 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         }
 
         if let Some(r) = rec.as_deref_mut() {
+            // Pre-size the trace (see the infinite loop for the estimate;
+            // networked runs add roughly one transfer + wait per batch).
+            r.reserve_events((2 * self.scheduler.total_tasks() + p).min(1 << 20), p);
             // Anchor the probed trajectory at t = 0.
             r.sample(0.0, &self.scheduler, &self.ledger, Some(&st.net));
         }
@@ -164,24 +402,24 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     if st.dying[i] {
                         // The batch it was computing dies with it.
                         st.dying[i] = false;
-                        self.ledger.record_lost(k, st.in_flight[i].len());
-                        st.lost_ids.extend(st.in_flight[i].iter().copied());
-                        self.scheduler.on_tasks_lost(&st.in_flight[i]);
-                        st.in_flight[i].clear();
+                        let span = st.in_flight[i];
+                        st.in_flight[i] = Span::EMPTY;
+                        self.ledger.record_lost(k, span.len as usize);
+                        st.lost_ids.extend(st.arena.get(span).iter().copied());
+                        self.scheduler.on_tasks_lost(st.arena.get(span));
+                        st.arena.release(span);
                     }
                     // A batch in transfer (or arrived but never started) is
                     // pure waste: the master spent the bandwidth, the tasks
                     // go back to the pool.
-                    let stranded = [st.pending[i].take(), st.ready[i].take()];
-                    for b in stranded.into_iter().flatten() {
-                        self.ledger.record(k, 0, b.blocks, 0.0);
-                        self.ledger.record_wasted(k, b.blocks);
-                        self.ledger.record_lost(k, b.ids.len());
-                        st.lost_ids.extend(b.ids.iter().copied());
-                        self.scheduler.on_tasks_lost(&b.ids);
-                        let mut ids = b.ids;
-                        ids.clear();
-                        st.spare.push(ids);
+                    let stranded = [st.pending.take(i), st.ready.take(i)];
+                    for (_tasks, blocks, span) in stranded.into_iter().flatten() {
+                        self.ledger.record(k, 0, blocks, 0.0);
+                        self.ledger.record_wasted(k, blocks);
+                        self.ledger.record_lost(k, span.len as usize);
+                        st.lost_ids.extend(st.arena.get(span).iter().copied());
+                        self.scheduler.on_tasks_lost(st.arena.get(span));
+                        st.arena.release(span);
                         if let Some(r) = rec.as_deref_mut() {
                             r.observe(
                                 TraceEvent {
@@ -189,7 +427,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                                     time: now,
                                     proc: k,
                                     tasks: 0,
-                                    blocks: b.blocks,
+                                    blocks,
                                     duration: 0.0,
                                 },
                                 &self.scheduler,
@@ -198,21 +436,22 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                             );
                         }
                     }
+                    st.maybe_compact();
                 }
                 ARRIVE => {
                     if st.dead[i] {
                         continue;
                     }
-                    let b = match st.pending[i].take() {
+                    let (tasks, blocks, span) = match st.pending.take(i) {
                         Some(b) => b,
                         None => continue,
                     };
                     if st.computing[i] || st.dying[i] {
                         // Current batch still running (or doomed); the
                         // arrived batch waits at the worker.
-                        st.ready[i] = Some(b);
+                        st.ready.put(i, tasks, blocks, span);
                     } else {
-                        self.net_start(&mut st, k, b, now, rng, &mut rec);
+                        self.net_start(&mut st, k, tasks, blocks, span, now, rng, &mut rec);
                     }
                 }
                 DONE => {
@@ -221,9 +460,9 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     }
                     st.computing[i] = false;
                     st.idle_since[i] = now;
-                    if let Some(b) = st.ready[i].take() {
-                        self.net_start(&mut st, k, b, now, rng, &mut rec);
-                    } else if st.pending[i].is_none() {
+                    if let Some((tasks, blocks, span)) = st.ready.take(i) {
+                        self.net_start(&mut st, k, tasks, blocks, span, now, rng, &mut rec);
+                    } else if !st.pending.is_some(i) {
                         self.net_request(&mut st, k, now, rng, &mut rec);
                     }
                     // else: the prefetched batch is still in flight; its
@@ -235,8 +474,8 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     if st.dead[i]
                         || st.dying[i]
                         || st.computing[i]
-                        || st.pending[i].is_some()
-                        || st.ready[i].is_some()
+                        || st.pending.is_some(i)
+                        || st.ready.is_some(i)
                     {
                         continue;
                     }
@@ -255,6 +494,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             0,
             "engine stopped with unallocated tasks"
         );
+        debug_assert_eq!(st.arena.live, 0, "all spans released at drain");
         let total_blocks = self.ledger.total_blocks();
         let lost_tasks = self.ledger.total_lost_tasks();
         let reshipped_blocks = self.ledger.total_reshipped_blocks();
@@ -280,13 +520,13 @@ impl<'a, S: Scheduler> Engine<'a, S> {
     /// Asks the scheduler for worker `k`'s next batch and puts it on the
     /// wire. Parks the worker (via a `Retry` event at the next possible
     /// death) when the pool is empty but may be replenished.
-    fn net_request(
+    fn net_request<K: StreamingSink>(
         &mut self,
         st: &mut RunState,
         k: ProcId,
         now: f64,
         rng: &mut StdRng,
-        rec: &mut Option<&mut Recorder>,
+        rec: &mut Option<&mut Recorder<K>>,
     ) {
         let i = k.idx();
         if st.dead[i] {
@@ -311,12 +551,13 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             }
             return;
         }
-        // Recycled id buffer: no allocation once the free list is warm.
-        let mut ids = st.spare.pop().unwrap_or_default();
-        ids.clear();
-        let alloc = self.scheduler.on_request(k, rng, &mut ids);
+        // The scratch buffer is handed to the scheduler empty (per the
+        // contract) and copied into the arena afterwards; neither step
+        // allocates once warm.
+        st.scratch.clear();
+        let alloc = self.scheduler.on_request(k, rng, &mut st.scratch);
         debug_assert_eq!(
-            ids.len(),
+            st.scratch.len(),
             alloc.tasks,
             "scheduler contract: out ids == tasks"
         );
@@ -325,7 +566,6 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         }
         if alloc.is_done() {
             // Worker retired; its blocks (normally zero) still ship.
-            st.spare.push(ids);
             let _ = st.net.send(k, alloc.blocks, now);
             self.ledger.record(k, 0, alloc.blocks, 0.0);
             if let Some(r) = rec.as_deref_mut() {
@@ -349,7 +589,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             // Re-ship accounting at batch granularity, as in the infinite
             // engine.
             let mut reallocates = false;
-            for id in &ids {
+            for id in &st.scratch {
                 if st.lost_ids.remove(id) {
                     reallocates = true;
                 }
@@ -379,25 +619,25 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 );
             }
         }
-        st.pending[i] = Some(Batch {
-            tasks: alloc.tasks,
-            blocks: alloc.blocks,
-            ids,
-        });
+        let span = st.arena.store(&st.scratch);
+        st.pending.put(i, alloc.tasks as u32, alloc.blocks, span);
         st.q.push(plan.arrival, ARRIVE, k);
     }
 
     /// Starts computing an arrived batch at time `now`, charging the
     /// worker's transfer wait, and prefetches the next batch so its
     /// transfer overlaps this computation.
-    fn net_start(
+    #[allow(clippy::too_many_arguments)]
+    fn net_start<K: StreamingSink>(
         &mut self,
         st: &mut RunState,
         k: ProcId,
-        b: Batch,
+        tasks: u32,
+        blocks: u64,
+        span: Span,
         now: f64,
         rng: &mut StdRng,
-        rec: &mut Option<&mut Recorder>,
+        rec: &mut Option<&mut Recorder<K>>,
     ) {
         let i = k.idx();
         let wait = now - st.idle_since[i];
@@ -419,14 +659,15 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 );
             }
         }
-        let dur = self.speeds.batch_duration(k, b.tasks, rng);
+        let dur = self.speeds.batch_duration(k, tasks as usize, rng);
         let finish = now + dur;
         match st.fail_time[i] {
             Some(f) if f < finish => {
                 // Dies mid-batch: blocks shipped and `f − now` of compute
-                // burned, no task completes. The death event discovers it.
-                self.ledger.record(k, 0, b.blocks, f - now);
-                st.in_flight[i] = b.ids;
+                // burned, no task completes. The death event discovers it;
+                // the span stays live until then.
+                self.ledger.record(k, 0, blocks, f - now);
+                st.in_flight[i] = span;
                 st.dying[i] = true;
                 if let Some(r) = rec.as_deref_mut() {
                     r.observe(
@@ -435,7 +676,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                             time: now,
                             proc: k,
                             tasks: 0,
-                            blocks: b.blocks,
+                            blocks,
                             duration: f - now,
                         },
                         &self.scheduler,
@@ -445,15 +686,15 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 }
             }
             _ => {
-                self.ledger.record(k, b.tasks, b.blocks, dur);
+                self.ledger.record(k, tasks as usize, blocks, dur);
                 if let Some(r) = rec.as_deref_mut() {
                     r.observe(
                         TraceEvent {
                             kind: EventKind::Batch,
                             time: now,
                             proc: k,
-                            tasks: b.tasks,
-                            blocks: b.blocks,
+                            tasks: tasks as usize,
+                            blocks,
                             duration: dur,
                         },
                         &self.scheduler,
@@ -464,11 +705,8 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 self.makespan = self.makespan.max(finish);
                 st.computing[i] = true;
                 st.q.push(finish, DONE, k);
-                // The batch is fully accounted; its id buffer goes back to
-                // the free list.
-                let mut ids = b.ids;
-                ids.clear();
-                st.spare.push(ids);
+                // The batch is fully accounted; its arena slot frees up.
+                st.arena.release(span);
             }
         }
         // Depth-1 prefetch. The master cannot know a worker is doomed, so
@@ -479,6 +717,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
 
 #[cfg(test)]
 mod tests {
+    use super::{IdArena, Span, ARENA_RETAIN_MIN};
     use crate::engine::{run, run_configured};
     use crate::scheduler::{Allocation, Scheduler};
     use hetsched_net::NetworkModel;
@@ -535,6 +774,80 @@ mod tests {
 
     fn one_port(bw: f64) -> NetworkModel {
         NetworkModel::OnePort { master_bw: bw }
+    }
+
+    #[test]
+    fn arena_store_get_roundtrip_and_tail_release() {
+        let mut a = IdArena::default();
+        let s1 = a.store(&[1, 2, 3]);
+        let s2 = a.store(&[4, 5]);
+        assert_eq!(a.get(s1), &[1, 2, 3]);
+        assert_eq!(a.get(s2), &[4, 5]);
+        assert_eq!(a.live, 5);
+        // Releasing the tail truncates instead of fragmenting.
+        a.release(s2);
+        assert_eq!(a.ids.len(), 3);
+        assert!(a.free.is_empty());
+        // Releasing the new tail drains the arena completely.
+        a.release(s1);
+        assert_eq!(a.ids.len(), 0);
+        assert_eq!(a.live, 0);
+    }
+
+    #[test]
+    fn arena_reuses_freed_interior_slots_first_fit() {
+        let mut a = IdArena::default();
+        let s1 = a.store(&[1, 2, 3]);
+        let _s2 = a.store(&[4, 5]);
+        a.release(s1); // interior → free list
+        assert_eq!(a.free.len(), 1);
+        // A batch that fits recycles the slot without growing the arena.
+        let s3 = a.store(&[7, 8]);
+        assert_eq!(s3.start, 0);
+        assert_eq!(s3.cap, 3, "slot keeps its full capacity");
+        assert_eq!(a.get(s3), &[7, 8]);
+        assert_eq!(a.ids.len(), 5, "no growth");
+    }
+
+    #[test]
+    fn arena_release_absorbs_free_slots_exposed_at_the_tail() {
+        let mut a = IdArena::default();
+        let s1 = a.store(&[1, 2]);
+        let s2 = a.store(&[3, 4]);
+        let s3 = a.store(&[5, 6]);
+        a.release(s2); // interior
+        assert_eq!(a.free.len(), 1);
+        a.release(s3); // tail: truncates s3, then absorbs s2's slot
+        assert_eq!(a.ids.len(), 2);
+        assert!(a.free.is_empty());
+        a.release(s1);
+        assert_eq!(a.ids.len(), 0);
+    }
+
+    #[test]
+    fn arena_compaction_bounds_retained_capacity() {
+        let mut a = IdArena::default();
+        // Adversarial churn: each round's batch is bigger than every freed
+        // slot (so first-fit can't recycle), and a small survivor pins the
+        // tail so release can't truncate. Retained capacity balloons.
+        let mut live: Vec<Span> = Vec::new();
+        for round in 0..8u32 {
+            let big = vec![9u32; 600 + round as usize];
+            let s_big = a.store(&big);
+            let s_keep = a.store(&[2 * round + 1, 2 * round + 2]);
+            a.release(s_big);
+            live.push(s_keep);
+        }
+        assert!(a.ids.len() > ARENA_RETAIN_MIN, "fragmented past the bound");
+        assert!(a.needs_compaction());
+        let before: Vec<Vec<u32>> = live.iter().map(|&s| a.get(s).to_vec()).collect();
+        a.compact(&mut live);
+        assert_eq!(a.ids.len(), a.live as usize, "all free space dropped");
+        assert!(a.ids.len() <= ARENA_RETAIN_MIN.max(4 * a.live as usize));
+        assert!(!a.needs_compaction());
+        for (s, old) in live.iter().zip(&before) {
+            assert_eq!(a.get(*s), &old[..], "live ids survive compaction");
+        }
     }
 
     #[test]

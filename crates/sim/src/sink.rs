@@ -1,26 +1,63 @@
-//! Structured trace sinks: JSONL and Chrome trace-event export.
+//! Structured trace sinks: JSONL and Chrome trace-event export, buffered
+//! or streaming.
 //!
-//! Both sinks are dependency-free renderers over a [`Trace`] and a
-//! [`ProbeSeries`]:
+//! Two dependency-free renderers, each available in two shapes:
 //!
-//! * [`jsonl`] writes one self-describing JSON object per line — an
-//!   optional `manifest` line first (run provenance supplied by the
-//!   caller), then every trace event, then every probe sample. Floats use
-//!   Rust's shortest round-trip formatting, so the output is byte-stable
-//!   for a given run (the golden determinism test relies on this).
-//! * [`chrome_trace`] writes the Chrome trace-event JSON format, loadable
-//!   in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`: one
-//!   compute lane and (if transfers were recorded) one network lane per
-//!   worker, complete events for batches/transfers/waits, instants for
-//!   retirements, stranded batches and the two-phase switch, plus counter
-//!   tracks for the probed residual-task count and queue depth.
+//! * [`jsonl`] / [`JsonlStream`] write one self-describing JSON object per
+//!   line — an optional `manifest` line first (run provenance supplied by
+//!   the caller), then every trace event, then every probe sample. Floats
+//!   use Rust's shortest round-trip formatting, so the output is
+//!   byte-stable for a given run (the golden determinism test relies on
+//!   this).
+//! * [`chrome_trace`] / [`ChromeStream`] write the Chrome trace-event JSON
+//!   format, loadable in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`: one compute lane and (if transfers were recorded)
+//!   one network lane per worker, complete events for
+//!   batches/transfers/waits, instants for retirements, stranded batches
+//!   and the two-phase switch, plus counter tracks for the probed
+//!   residual-task count and queue depth.
+//!
+//! The streaming shapes implement [`StreamingSink`], the incremental
+//! interface a [`Recorder`](crate::Recorder) in streaming mode flushes
+//! trace chunks through; they render each chunk straight into an
+//! `io::Write`, so a long run's peak trace memory is the chunk, not the
+//! run. The buffered functions are thin wrappers that drive the same
+//! streaming writers into an in-memory buffer — buffered and streamed
+//! output are byte-identical by construction.
 
-use crate::probe::ProbeSeries;
-use crate::trace::{EventKind, Trace};
+use crate::probe::{ProbeSample, ProbeSeries};
+use crate::trace::{EventKind, Trace, TraceEvent};
 use std::fmt::Write as _;
 
 /// Seconds of simulated time per Chrome-trace microsecond tick.
 const TICKS: f64 = 1e6;
+
+/// Incremental consumer of a recorded run: receives every flushed chunk of
+/// trace events in emission order, then — exactly once, at the end of the
+/// run — the probe series.
+///
+/// Implementations render, count or discard; the
+/// [`Recorder`](crate::Recorder) drives them via
+/// [`Recorder::streaming`](crate::Recorder::streaming) /
+/// [`Recorder::finish`](crate::Recorder::finish).
+pub trait StreamingSink {
+    /// Consumes one flushed chunk of trace events.
+    fn write_events(&mut self, events: &[TraceEvent]);
+    /// Called exactly once after the final chunk: consume the probe series
+    /// and write any format epilogue.
+    fn finish(&mut self, probes: &ProbeSeries);
+}
+
+/// Discards everything. The default sink behind a buffered
+/// [`Recorder`](crate::Recorder) (which never flushes), and a useful
+/// no-render baseline for pricing the chunked recorder itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl StreamingSink for NullSink {
+    fn write_events(&mut self, _events: &[TraceEvent]) {}
+    fn finish(&mut self, _probes: &ProbeSeries) {}
+}
 
 /// Formats a float as a JSON value (`null` for non-finite).
 fn num(x: f64) -> String {
@@ -31,54 +68,310 @@ fn num(x: f64) -> String {
     }
 }
 
+/// Appends one JSONL event line (with trailing newline) to `out`.
+fn jsonl_event_line(out: &mut String, e: &TraceEvent) {
+    writeln!(
+        out,
+        "{{\"type\":\"event\",\"kind\":\"{}\",\"t\":{},\"proc\":{},\"tasks\":{},\"blocks\":{},\"dur\":{}}}",
+        e.kind.label(),
+        num(e.time),
+        e.proc.idx(),
+        e.tasks,
+        e.blocks,
+        num(e.duration),
+    )
+    .expect("string write");
+}
+
+/// Appends one JSONL probe line (with trailing newline) to `out`.
+fn jsonl_probe_line(out: &mut String, s: &ProbeSample) {
+    let join_u64 = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let useful = s
+        .useful_fraction
+        .iter()
+        .map(|&x| num(x))
+        .collect::<Vec<_>>()
+        .join(",");
+    writeln!(
+        out,
+        "{{\"type\":\"probe\",\"t\":{},\"events\":{},\"remaining\":{},\"blocks\":[{}],\"tasks\":[{}],\"useful\":[{}],\"link_busy\":{},\"queue_depth\":{}}}",
+        num(s.time),
+        s.events,
+        s.remaining,
+        join_u64(&s.blocks_per_proc),
+        join_u64(&s.tasks_per_proc),
+        useful,
+        num(s.link_busy),
+        s.queue_depth,
+    )
+    .expect("string write");
+}
+
+/// Streaming JSON-Lines writer over any `io::Write`.
+///
+/// The optional manifest line is written on construction; trace chunks are
+/// rendered as they arrive; probe lines land in
+/// [`finish`](StreamingSink::finish). I/O errors are sticky and surfaced
+/// by [`into_inner`](JsonlStream::into_inner).
+#[derive(Debug)]
+pub struct JsonlStream<W: std::io::Write> {
+    out: W,
+    err: Option<std::io::Error>,
+    buf: String,
+}
+
+impl<W: std::io::Write> JsonlStream<W> {
+    /// Writer over `out`; `manifest`, when given, must be a valid JSON
+    /// object and becomes the first line's `manifest` field.
+    pub fn new(out: W, manifest: Option<&str>) -> Self {
+        let mut s = JsonlStream {
+            out,
+            err: None,
+            buf: String::new(),
+        };
+        if let Some(m) = manifest {
+            writeln!(s.buf, "{{\"type\":\"manifest\",\"manifest\":{m}}}").expect("string write");
+            s.flush_buf();
+        }
+        s
+    }
+
+    /// Unwraps the writer, surfacing the first I/O error hit, if any.
+    pub fn into_inner(self) -> std::io::Result<W> {
+        match self.err {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+
+    fn flush_buf(&mut self) {
+        if self.err.is_none() {
+            if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+                self.err = Some(e);
+            }
+        }
+        self.buf.clear();
+    }
+}
+
+impl<W: std::io::Write> StreamingSink for JsonlStream<W> {
+    fn write_events(&mut self, events: &[TraceEvent]) {
+        for e in events {
+            jsonl_event_line(&mut self.buf, e);
+        }
+        self.flush_buf();
+    }
+
+    fn finish(&mut self, probes: &ProbeSeries) {
+        for s in probes.iter() {
+            jsonl_probe_line(&mut self.buf, &s);
+            self.flush_buf();
+        }
+    }
+}
+
 /// Renders `trace` + `probes` as JSON Lines. `manifest`, when given, must
 /// be a valid JSON object and becomes the first line's `manifest` field.
+///
+/// Buffered convenience over [`JsonlStream`]: output is byte-identical to
+/// streaming the same run through any chunk size.
 pub fn jsonl(manifest: Option<&str>, trace: &Trace, probes: &ProbeSeries) -> String {
-    let mut out = String::new();
-    if let Some(m) = manifest {
-        writeln!(out, "{{\"type\":\"manifest\",\"manifest\":{m}}}").expect("string write");
-    }
-    for e in trace.events() {
-        writeln!(
+    let mut sink = JsonlStream::new(Vec::new(), manifest);
+    sink.write_events(trace.events());
+    sink.finish(probes);
+    let bytes = sink.into_inner().expect("Vec<u8> write cannot fail");
+    String::from_utf8(bytes).expect("sink output is UTF-8")
+}
+
+/// Appends the Chrome trace-event JSON object for `e` (no comma, no
+/// newline) to `out`; `p` is the worker count (net lanes are `tid = p+k`).
+fn chrome_event_json(out: &mut String, e: &TraceEvent, p: usize) {
+    let k = e.proc.idx();
+    let ts = num(e.time * TICKS);
+    let dur = num(e.duration * TICKS);
+    match e.kind {
+        EventKind::Batch => write!(
             out,
-            "{{\"type\":\"event\",\"kind\":\"{}\",\"t\":{},\"proc\":{},\"tasks\":{},\"blocks\":{},\"dur\":{}}}",
-            e.kind.label(),
-            num(e.time),
-            e.proc.idx(),
-            e.tasks,
-            e.blocks,
-            num(e.duration),
-        )
-        .expect("string write");
+            "{{\"name\":\"batch\",\"cat\":\"compute\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"tasks\":{},\"blocks\":{}}}}}",
+            e.tasks, e.blocks
+        ),
+        EventKind::Lost => write!(
+            out,
+            "{{\"name\":\"lost batch\",\"cat\":\"failure\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"blocks\":{}}}}}",
+            e.blocks
+        ),
+        EventKind::Wait => write!(
+            out,
+            "{{\"name\":\"wait\",\"cat\":\"wait\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{}}}}"
+        ),
+        EventKind::Transfer => write!(
+            out,
+            "{{\"name\":\"transfer\",\"cat\":\"transfer\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"blocks\":{}}}}}",
+            p + k,
+            e.blocks
+        ),
+        EventKind::Retire => write!(
+            out,
+            "{{\"name\":\"retire\",\"cat\":\"compute\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{\"blocks\":{}}}}}",
+            e.blocks
+        ),
+        EventKind::Stranded => write!(
+            out,
+            "{{\"name\":\"stranded batch\",\"cat\":\"failure\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{\"blocks\":{}}}}}",
+            e.blocks
+        ),
+        EventKind::PhaseSwitch => write!(
+            out,
+            "{{\"name\":\"phase switch\",\"cat\":\"scheduler\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{}}}}"
+        ),
     }
-    for s in probes.samples() {
-        let join_u64 = |v: &[u64]| {
-            v.iter()
-                .map(|x| x.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
+    .expect("string write");
+}
+
+/// Streaming Chrome trace-event writer over any `io::Write`.
+///
+/// Unlike the buffered [`chrome_trace`], which discovers the presence of
+/// network lanes by scanning the finished trace, the streaming writer must
+/// be told `has_net` upfront (callers know it from the configured network
+/// model — a priced network always ships at least one transfer). The
+/// prologue and per-worker lane metadata are written on construction;
+/// probe counter tracks and the closing bracket land in
+/// [`finish`](StreamingSink::finish). I/O errors are sticky and surfaced
+/// by [`into_inner`](ChromeStream::into_inner).
+#[derive(Debug)]
+pub struct ChromeStream<W: std::io::Write> {
+    out: W,
+    err: Option<std::io::Error>,
+    buf: String,
+    p: usize,
+    /// No event written yet (controls the comma separator).
+    first: bool,
+}
+
+impl<W: std::io::Write> ChromeStream<W> {
+    /// Writer over `out` for `p` workers; `manifest`, when given, must be
+    /// a valid JSON object (embedded under `otherData`); `has_net` adds
+    /// the per-worker network lanes.
+    pub fn new(out: W, manifest: Option<&str>, p: usize, has_net: bool) -> Self {
+        let mut s = ChromeStream {
+            out,
+            err: None,
+            buf: String::new(),
+            p,
+            first: true,
         };
-        let useful = s
-            .useful_fraction
-            .iter()
-            .map(|&x| num(x))
-            .collect::<Vec<_>>()
-            .join(",");
-        writeln!(
-            out,
-            "{{\"type\":\"probe\",\"t\":{},\"events\":{},\"remaining\":{},\"blocks\":[{}],\"tasks\":[{}],\"useful\":[{}],\"link_busy\":{},\"queue_depth\":{}}}",
-            num(s.time),
-            s.events,
-            s.remaining,
-            join_u64(&s.blocks_per_proc),
-            join_u64(&s.tasks_per_proc),
-            useful,
-            num(s.link_busy),
-            s.queue_depth,
-        )
+        match manifest {
+            Some(m) => write!(
+                s.buf,
+                "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"manifest\":{m}}},\"traceEvents\":["
+            ),
+            None => write!(s.buf, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+        }
         .expect("string write");
+        s.sep();
+        s.buf.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"hetsched\"}}",
+        );
+        for k in 0..p {
+            s.sep();
+            write!(
+                s.buf,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"args\":{{\"name\":\"worker {k}\"}}}}"
+            )
+            .expect("string write");
+            s.sep();
+            write!(
+                s.buf,
+                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"args\":{{\"sort_index\":{}}}}}",
+                2 * k
+            )
+            .expect("string write");
+            if has_net {
+                s.sep();
+                write!(
+                    s.buf,
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"worker {k} net\"}}}}",
+                    p + k
+                )
+                .expect("string write");
+                s.sep();
+                write!(
+                    s.buf,
+                    "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+                    p + k,
+                    2 * k + 1
+                )
+                .expect("string write");
+            }
+        }
+        s.flush_buf();
+        s
     }
-    out
+
+    /// Unwraps the writer, surfacing the first I/O error hit, if any.
+    pub fn into_inner(self) -> std::io::Result<W> {
+        match self.err {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+
+    /// Writes the `,` separator before every event but the first, matching
+    /// the buffered renderer's `join(",")` byte for byte.
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.buf.push(',');
+        }
+    }
+
+    fn flush_buf(&mut self) {
+        if self.err.is_none() {
+            if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+                self.err = Some(e);
+            }
+        }
+        self.buf.clear();
+    }
+}
+
+impl<W: std::io::Write> StreamingSink for ChromeStream<W> {
+    fn write_events(&mut self, events: &[TraceEvent]) {
+        for e in events {
+            self.sep();
+            chrome_event_json(&mut self.buf, e, self.p);
+        }
+        self.flush_buf();
+    }
+
+    fn finish(&mut self, probes: &ProbeSeries) {
+        for s in probes.iter() {
+            let ts = num(s.time * TICKS);
+            self.sep();
+            write!(
+                self.buf,
+                "{{\"name\":\"remaining tasks\",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"remaining\":{}}}}}",
+                s.remaining
+            )
+            .expect("string write");
+            self.sep();
+            write!(
+                self.buf,
+                "{{\"name\":\"send queue depth\",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"depth\":{}}}}}",
+                s.queue_depth
+            )
+            .expect("string write");
+            self.flush_buf();
+        }
+        self.buf.push_str("]}\n");
+        self.flush_buf();
+    }
 }
 
 /// Renders `trace` + `probes` in the Chrome trace-event format for `p`
@@ -89,91 +382,21 @@ pub fn jsonl(manifest: Option<&str>, trace: &Trace, probes: &ProbeSeries) -> Str
 /// present when transfer events were recorded) is `tid = p + k`. All
 /// events live in `pid = 0`. Simulated time unit maps to one second
 /// (`ts`/`dur` are microseconds, as the format requires).
+///
+/// Buffered convenience over [`ChromeStream`]: output is byte-identical
+/// to streaming the same run through any chunk size.
 pub fn chrome_trace(
     manifest: Option<&str>,
     trace: &Trace,
     probes: &ProbeSeries,
     p: usize,
 ) -> String {
-    let mut events: Vec<String> = Vec::new();
-    events.push(
-        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"hetsched\"}}"
-            .to_string(),
-    );
     let has_net = trace.events().iter().any(|e| e.kind == EventKind::Transfer);
-    for k in 0..p {
-        events.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"args\":{{\"name\":\"worker {k}\"}}}}"
-        ));
-        events.push(format!(
-            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"args\":{{\"sort_index\":{}}}}}",
-            2 * k
-        ));
-        if has_net {
-            events.push(format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"worker {k} net\"}}}}",
-                p + k
-            ));
-            events.push(format!(
-                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
-                p + k,
-                2 * k + 1
-            ));
-        }
-    }
-    for e in trace.events() {
-        let k = e.proc.idx();
-        let ts = num(e.time * TICKS);
-        let dur = num(e.duration * TICKS);
-        match e.kind {
-            EventKind::Batch => events.push(format!(
-                "{{\"name\":\"batch\",\"cat\":\"compute\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"tasks\":{},\"blocks\":{}}}}}",
-                e.tasks, e.blocks
-            )),
-            EventKind::Lost => events.push(format!(
-                "{{\"name\":\"lost batch\",\"cat\":\"failure\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"blocks\":{}}}}}",
-                e.blocks
-            )),
-            EventKind::Wait => events.push(format!(
-                "{{\"name\":\"wait\",\"cat\":\"wait\",\"ph\":\"X\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"dur\":{dur},\"args\":{{}}}}"
-            )),
-            EventKind::Transfer => events.push(format!(
-                "{{\"name\":\"transfer\",\"cat\":\"transfer\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"blocks\":{}}}}}",
-                p + k,
-                e.blocks
-            )),
-            EventKind::Retire => events.push(format!(
-                "{{\"name\":\"retire\",\"cat\":\"compute\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{\"blocks\":{}}}}}",
-                e.blocks
-            )),
-            EventKind::Stranded => events.push(format!(
-                "{{\"name\":\"stranded batch\",\"cat\":\"failure\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{\"blocks\":{}}}}}",
-                e.blocks
-            )),
-            EventKind::PhaseSwitch => events.push(format!(
-                "{{\"name\":\"phase switch\",\"cat\":\"scheduler\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{}}}}"
-            )),
-        }
-    }
-    for s in probes.samples() {
-        let ts = num(s.time * TICKS);
-        events.push(format!(
-            "{{\"name\":\"remaining tasks\",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"remaining\":{}}}}}",
-            s.remaining
-        ));
-        events.push(format!(
-            "{{\"name\":\"send queue depth\",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"depth\":{}}}}}",
-            s.queue_depth
-        ));
-    }
-    let other = match manifest {
-        Some(m) => format!(",\"otherData\":{{\"manifest\":{m}}}"),
-        None => String::new(),
-    };
-    format!(
-        "{{\"displayTimeUnit\":\"ms\"{other},\"traceEvents\":[{}]}}\n",
-        events.join(",")
-    )
+    let mut sink = ChromeStream::new(Vec::new(), manifest, p, has_net);
+    sink.write_events(trace.events());
+    sink.finish(probes);
+    let bytes = sink.into_inner().expect("Vec<u8> write cannot fail");
+    String::from_utf8(bytes).expect("sink output is UTF-8")
 }
 
 #[cfg(test)]
@@ -329,5 +552,37 @@ mod tests {
         assert!(!out.contains("otherData"));
         // ts is in microseconds.
         assert!(out.contains("\"dur\":1000000"));
+    }
+
+    #[test]
+    fn streamed_chunks_match_buffered_output_byte_for_byte() {
+        let (t, probes) = sample_run();
+        for chunk in [1usize, 2, 100] {
+            // JSONL, fed in `chunk`-sized pieces.
+            let mut js = JsonlStream::new(Vec::new(), Some("{\"seed\":7}"));
+            for c in t.events().chunks(chunk) {
+                js.write_events(c);
+            }
+            js.finish(&probes);
+            let streamed = String::from_utf8(js.into_inner().unwrap()).unwrap();
+            assert_eq!(streamed, jsonl(Some("{\"seed\":7}"), &t, &probes));
+
+            // Chrome, same drill (sample_run has transfers => has_net).
+            let mut cs = ChromeStream::new(Vec::new(), Some("{\"seed\":7}"), 2, true);
+            for c in t.events().chunks(chunk) {
+                cs.write_events(c);
+            }
+            cs.finish(&probes);
+            let streamed = String::from_utf8(cs.into_inner().unwrap()).unwrap();
+            assert_eq!(streamed, chrome_trace(Some("{\"seed\":7}"), &t, &probes, 2));
+        }
+    }
+
+    #[test]
+    fn null_sink_discards_quietly() {
+        let (t, probes) = sample_run();
+        let mut s = NullSink;
+        s.write_events(t.events());
+        s.finish(&probes);
     }
 }

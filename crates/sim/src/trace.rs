@@ -111,6 +111,18 @@ impl Trace {
         self.events.push(ev);
     }
 
+    /// Drops all events, keeping capacity (streaming recorders reuse the
+    /// buffer between chunk flushes).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Pre-sizes the event buffer for at least `n` events, so buffered
+    /// recording of a run with a known event count never reallocates.
+    pub fn reserve(&mut self, n: usize) {
+        self.events.reserve(n.saturating_sub(self.events.len()));
+    }
+
     /// All events.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

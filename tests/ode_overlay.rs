@@ -39,7 +39,7 @@ fn assert_tracks_ode(platform: Platform, seed: u64, residual_tol: f64, blocks_to
     let obs = run_once_observed(&cfg, seed, ProbeConfig::by_time(dt));
 
     let mut checked = 0;
-    for s in obs.probes.samples() {
+    for s in obs.probes.iter() {
         let tau = model.normalized_time(s.time, total_speed);
         if tau > horizon {
             continue;
@@ -125,7 +125,7 @@ fn networked_trace_reconciles_with_the_run_result() {
         "trace wait {wait_from_trace} vs ledger wait {wait_from_ledger}"
     );
 
-    let last = obs.probes.samples().last().unwrap();
+    let last = obs.probes.last().unwrap();
     assert!(last.link_busy > 0.0);
     assert_eq!(
         last.queue_depth, obs.result.max_queue_depth,

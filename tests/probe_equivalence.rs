@@ -1,0 +1,168 @@
+//! Observation must be free: attaching a recorder — at any probe cadence,
+//! with or without delta encoding — must leave the simulated numbers
+//! bit-for-bit identical to the unobserved run. The engines consume the
+//! same RNG stream whether or not a recorder rides along; these tests pin
+//! that invariant for both the infinite-network and the priced-network
+//! loops, with and without fault injection.
+
+use hetsched::core::{
+    run_once, run_once_observed, ExperimentConfig, Kernel, NetworkModel, RunResult, Strategy,
+};
+use hetsched::platform::{FailureModel, ProcId};
+use hetsched::sim::ProbeConfig;
+
+/// Every numeric field of the result, bit-exact for the floats.
+fn assert_identical(plain: &RunResult, observed: &RunResult, what: &str) {
+    assert_eq!(
+        plain.makespan.to_bits(),
+        observed.makespan.to_bits(),
+        "{what}: makespan"
+    );
+    assert_eq!(plain.total_blocks, observed.total_blocks, "{what}: blocks");
+    assert_eq!(
+        plain.normalized_comm.to_bits(),
+        observed.normalized_comm.to_bits(),
+        "{what}: normalized comm"
+    );
+    assert_eq!(
+        plain.tasks_per_proc, observed.tasks_per_proc,
+        "{what}: tasks per proc"
+    );
+    assert_eq!(
+        plain.blocks_per_proc, observed.blocks_per_proc,
+        "{what}: blocks per proc"
+    );
+    assert_eq!(plain.lost_tasks, observed.lost_tasks, "{what}: lost tasks");
+    assert_eq!(
+        plain.reshipped_blocks, observed.reshipped_blocks,
+        "{what}: reshipped blocks"
+    );
+    assert_eq!(
+        plain.wasted_blocks, observed.wasted_blocks,
+        "{what}: wasted blocks"
+    );
+    assert_eq!(
+        plain.link_utilization.to_bits(),
+        observed.link_utilization.to_bits(),
+        "{what}: link utilization"
+    );
+    assert_eq!(
+        plain.max_queue_depth, observed.max_queue_depth,
+        "{what}: queue depth"
+    );
+    let waits: Vec<u64> = plain
+        .transfer_wait_per_proc
+        .iter()
+        .map(|w| w.to_bits())
+        .collect();
+    let owaits: Vec<u64> = observed
+        .transfer_wait_per_proc
+        .iter()
+        .map(|w| w.to_bits())
+        .collect();
+    assert_eq!(waits, owaits, "{what}: transfer waits");
+}
+
+/// The probe cadences under test: dense, sparse, time-based, and each with
+/// delta-encoded counter columns.
+fn probe_configs() -> Vec<(&'static str, ProbeConfig)> {
+    vec![
+        ("disabled", ProbeConfig::disabled()),
+        ("every-event", ProbeConfig::by_events(1)),
+        ("every-7", ProbeConfig::by_events(7)),
+        ("every-64", ProbeConfig::by_events(64)),
+        ("by-time", ProbeConfig::by_time(0.05)),
+        (
+            "every-7-delta",
+            ProbeConfig::by_events(7).with_delta_encoding(),
+        ),
+        (
+            "by-time-delta",
+            ProbeConfig::by_time(0.05).with_delta_encoding(),
+        ),
+    ]
+}
+
+fn configs_under_test() -> Vec<(&'static str, ExperimentConfig)> {
+    let base = ExperimentConfig {
+        kernel: Kernel::Outer { n: 24 },
+        strategy: Strategy::Dynamic,
+        processors: 5,
+        ..Default::default()
+    };
+    vec![
+        ("infinite", base.clone()),
+        (
+            "infinite+failure",
+            ExperimentConfig {
+                failures: FailureModel::none()
+                    .fail_at(ProcId(1), 0.3)
+                    .slow_down(ProcId(2), 2.0),
+                ..base.clone()
+            },
+        ),
+        (
+            "one-port",
+            ExperimentConfig {
+                network: NetworkModel::OnePort { master_bw: 40.0 },
+                link_latency: 0.01,
+                ..base.clone()
+            },
+        ),
+        (
+            "one-port+failure",
+            ExperimentConfig {
+                network: NetworkModel::OnePort { master_bw: 40.0 },
+                failures: FailureModel::none().fail_at(ProcId(0), 0.4),
+                ..base
+            },
+        ),
+    ]
+}
+
+#[test]
+fn probed_runs_are_bit_identical_to_unprobed_runs() {
+    for (cname, cfg) in configs_under_test() {
+        for seed in [0x5EED, 7, 2026] {
+            let plain = run_once(&cfg, seed);
+            for (pname, probe) in probe_configs() {
+                let obs = run_once_observed(&cfg, seed, probe);
+                assert_identical(&plain, &obs.result, &format!("{cname}/{pname}/seed {seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn probe_cadence_never_changes_what_is_observed() {
+    // Different cadences sample the same trajectory at different points:
+    // the final anchor sample (taken at the makespan for every cadence)
+    // must agree exactly.
+    let (_, cfg) = configs_under_test().remove(3);
+    let dense = run_once_observed(&cfg, 11, ProbeConfig::by_events(1));
+    let sparse = run_once_observed(&cfg, 11, ProbeConfig::by_events(100));
+    let (d, s) = (dense.probes.last().unwrap(), sparse.probes.last().unwrap());
+    assert_eq!(d.time.to_bits(), s.time.to_bits());
+    assert_eq!(d.remaining, s.remaining);
+    assert_eq!(d.blocks_per_proc, s.blocks_per_proc);
+    assert_eq!(d.tasks_per_proc, s.tasks_per_proc);
+    assert!(dense.probes.len() > sparse.probes.len());
+}
+
+#[test]
+fn delta_encoding_materializes_the_same_series() {
+    for (cname, cfg) in configs_under_test() {
+        let plain = run_once_observed(&cfg, 3, ProbeConfig::by_events(5));
+        let delta = run_once_observed(&cfg, 3, ProbeConfig::by_events(5).with_delta_encoding());
+        assert_eq!(plain.probes.len(), delta.probes.len(), "{cname}");
+        for (a, b) in plain.probes.iter().zip(delta.probes.iter()) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits(), "{cname}");
+            assert_eq!(a.remaining, b.remaining, "{cname}");
+            assert_eq!(a.blocks_per_proc, b.blocks_per_proc, "{cname}");
+            assert_eq!(a.tasks_per_proc, b.tasks_per_proc, "{cname}");
+            assert_eq!(a.queue_depth, b.queue_depth, "{cname}");
+        }
+        assert!(delta.probes.delta_encoded());
+        assert!(!plain.probes.delta_encoded());
+    }
+}

@@ -1,0 +1,138 @@
+//! Golden equivalence for the streaming trace path: a run streamed through
+//! the chunked recorder must produce files byte-identical to the buffered
+//! render — manifest line included — for every format, network model, and
+//! chunk size, while holding peak buffered events at or below the chunk.
+
+use hetsched::core::{
+    render_trace, stream_trace, ExperimentConfig, Kernel, NetworkModel, Strategy, TraceFormat,
+};
+use hetsched::platform::{FailureModel, ProcId};
+use hetsched::sim::ProbeConfig;
+
+fn configs() -> Vec<(&'static str, ExperimentConfig)> {
+    let base = ExperimentConfig {
+        kernel: Kernel::Outer { n: 24 },
+        strategy: Strategy::Dynamic,
+        processors: 5,
+        ..Default::default()
+    };
+    vec![
+        ("infinite", base.clone()),
+        (
+            "one-port",
+            ExperimentConfig {
+                network: NetworkModel::OnePort { master_bw: 40.0 },
+                failures: FailureModel::none().fail_at(ProcId(1), 0.4),
+                ..base
+            },
+        ),
+    ]
+}
+
+#[test]
+fn streamed_files_are_byte_identical_to_buffered_renders() {
+    for (cname, cfg) in configs() {
+        for format in [TraceFormat::Jsonl, TraceFormat::Chrome] {
+            let buffered = render_trace(&cfg, 0x5EED, ProbeConfig::by_events(16), format);
+            // Chunk 1 flushes every event; 17 exercises partial tails;
+            // a huge chunk degenerates to one flush at the end.
+            for chunk in [1usize, 17, 1 << 20] {
+                let mut bytes = Vec::new();
+                let run = stream_trace(
+                    &cfg,
+                    0x5EED,
+                    ProbeConfig::by_events(16),
+                    format,
+                    chunk,
+                    &mut bytes,
+                )
+                .unwrap();
+                assert_eq!(
+                    String::from_utf8(bytes).unwrap(),
+                    buffered,
+                    "{cname}/{format:?}/chunk {chunk}"
+                );
+                assert!(
+                    run.peak_buffered_events <= chunk,
+                    "{cname}/{format:?}: peak {} exceeds chunk {chunk}",
+                    run.peak_buffered_events
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn manifest_is_the_first_jsonl_line_in_both_paths() {
+    let (_, cfg) = configs().remove(0);
+    let buffered = render_trace(&cfg, 9, ProbeConfig::disabled(), TraceFormat::Jsonl);
+    let mut bytes = Vec::new();
+    stream_trace(
+        &cfg,
+        9,
+        ProbeConfig::disabled(),
+        TraceFormat::Jsonl,
+        8,
+        &mut bytes,
+    )
+    .unwrap();
+    let streamed = String::from_utf8(bytes).unwrap();
+    for (which, body) in [("buffered", &buffered), ("streamed", &streamed)] {
+        let first = body.lines().next().unwrap();
+        assert!(
+            first.contains("\"manifest\"") && first.contains("\"seed\":9"),
+            "{which}: manifest must lead the file, got {first}"
+        );
+    }
+}
+
+#[test]
+fn delta_encoded_probes_render_identically() {
+    // Delta encoding changes the in-memory probe representation, never the
+    // rendered artifact.
+    for (cname, cfg) in configs() {
+        for format in [TraceFormat::Jsonl, TraceFormat::Chrome] {
+            let plain = render_trace(&cfg, 4, ProbeConfig::by_events(8), format);
+            let delta = render_trace(
+                &cfg,
+                4,
+                ProbeConfig::by_events(8).with_delta_encoding(),
+                format,
+            );
+            assert_eq!(plain, delta, "{cname}/{format:?}");
+        }
+    }
+}
+
+#[test]
+fn peak_trace_memory_is_bounded_by_the_chunk_not_the_run() {
+    // A long run (thousands of events) streamed with a small chunk must
+    // never buffer more than the chunk — that is the whole point of the
+    // streaming recorder.
+    let cfg = ExperimentConfig {
+        kernel: Kernel::Outer { n: 60 },
+        strategy: Strategy::Dynamic,
+        processors: 8,
+        ..Default::default()
+    };
+    let mut bytes = Vec::new();
+    let run = stream_trace(
+        &cfg,
+        1,
+        ProbeConfig::by_events(32),
+        TraceFormat::Jsonl,
+        64,
+        &mut bytes,
+    )
+    .unwrap();
+    assert!(
+        run.flushed_events > 200,
+        "expected a trace much longer than the chunk, got {} events",
+        run.flushed_events
+    );
+    assert!(
+        run.peak_buffered_events <= 64,
+        "peak {} must stay within the 64-event chunk",
+        run.peak_buffered_events
+    );
+}
