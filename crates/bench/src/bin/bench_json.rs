@@ -13,7 +13,7 @@
 
 use hetsched_core::extensions::{self, ALL_EXTENSIONS};
 use hetsched_core::figures::{by_id, FigOpts, ALL_FIGURES};
-use hetsched_core::{manifest_json, run_once, ExperimentConfig, Kernel, Strategy};
+use hetsched_core::{manifest_json, run_once, ExperimentConfig, Kernel, Strategy, Topology};
 use hetsched_outer::RandomOuter;
 use hetsched_platform::{FailureModel, Platform, ProcId, SpeedDistribution, SpeedModel};
 use hetsched_sim::{NullSink, ProbeConfig, Recorder, TraceEvent};
@@ -76,6 +76,7 @@ fn main() {
     let mem = trace_memory();
     let (ledger_cfg, ledger_seed, ledger) = ledger_aggregates();
     let fig5_sweep = fig5_threads_sweep(&opts);
+    let hierarchy = hierarchy_sweep(scale);
 
     let mut timings = Vec::new();
     for id in &ids {
@@ -126,6 +127,25 @@ fn main() {
         json.push_str(&format!("    \"{threads}\": {secs:.4}{comma}\n"));
     }
     json.push_str("  },\n");
+    json.push_str("  \"hierarchy_sweep\": [\n");
+    for (i, r) in hierarchy.iter().enumerate() {
+        let comma = if i + 1 == hierarchy.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"p\": {}, \"n\": {}, \"submasters\": {}, \"flat_makespan\": {:.4}, \"tree_makespan\": {:.4}, \"tree_over_flat\": {:.4}, \"flat_blocks\": {}, \"tree_blocks\": {}, \"tier_blocks\": {}, \"flat_sec\": {:.3}, \"tree_sec\": {:.3} }}{comma}\n",
+            r.p,
+            r.n,
+            r.submasters,
+            r.flat_makespan,
+            r.tree_makespan,
+            r.tree_makespan / r.flat_makespan,
+            r.flat_blocks,
+            r.tree_blocks,
+            r.tier_blocks,
+            r.flat_sec,
+            r.tree_sec,
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"ledger\": {{ \"total_blocks\": {}, \"total_transfer_wait\": {:.4}, \"wasted_blocks\": {}, \"lost_tasks\": {}, \"reshipped_blocks\": {} }},\n",
         ledger.0, ledger.1, ledger.2, ledger.3, ledger.4
@@ -294,6 +314,90 @@ fn fig5_threads_sweep(opts: &FigOpts) -> Vec<(usize, f64)> {
             std::hint::black_box(&fig);
             eprintln!("[fig5 --threads {threads}: {secs:.3}s]");
             (threads, secs)
+        })
+        .collect()
+}
+
+struct HierarchyRow {
+    p: usize,
+    n: usize,
+    submasters: usize,
+    flat_makespan: f64,
+    tree_makespan: f64,
+    flat_blocks: u64,
+    tree_blocks: u64,
+    tier_blocks: u64,
+    flat_sec: f64,
+    tree_sec: f64,
+}
+
+/// Hierarchy-vs-flat makespan sweep over the worker count: the same
+/// DynamicOuter workload under the same one-port pricing, dispatched once
+/// through the flat single master and once through a `√p`-sub-master tree.
+///
+/// The master link bandwidth is held constant across rows (a hardware
+/// property, not a function of fleet size), so the flat master saturates
+/// as `p` grows while the tree multiplies the serving bandwidth by the
+/// sub-master count at the price of the root → sub-master input shipment
+/// and of shard-confined (less flexible) dynamic balancing. The
+/// `tree_over_flat` mean-makespan ratio locates the crossover. Problem
+/// size scales with the fleet (`n² ≈ 16·p` tasks, ~16 per worker); quick
+/// scale stops at p = 10⁴, `--paper` adds the p = 10⁵ row. Each row is a
+/// 5-trial mean — single runs at this scale are tail-noise dominated.
+fn hierarchy_sweep(scale: &str) -> Vec<HierarchyRow> {
+    let ps: &[usize] = if scale == "paper" {
+        &[30, 100, 1000, 10_000, 100_000]
+    } else {
+        &[30, 100, 1000, 10_000]
+    };
+    const MASTER_BW: f64 = 20_000.0;
+    const SEED: u64 = 0xBEEF;
+    const TRIALS: usize = 5;
+    ps.iter()
+        .map(|&p| {
+            let n = ((16.0 * p as f64).sqrt().ceil()) as usize;
+            let submasters = (p as f64).sqrt().round().max(2.0) as usize;
+            let flat_cfg = ExperimentConfig {
+                kernel: Kernel::Outer { n },
+                strategy: Strategy::Dynamic,
+                processors: p,
+                network: hetsched_sim::NetworkModel::OnePort {
+                    master_bw: MASTER_BW,
+                },
+                ..Default::default()
+            };
+            let tree_cfg = ExperimentConfig {
+                topology: Topology::Tree { submasters },
+                ..flat_cfg.clone()
+            };
+            let start = Instant::now();
+            let flat = hetsched_core::run_trials(&flat_cfg, TRIALS, SEED);
+            let flat_sec = start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let tree = hetsched_core::run_trials(&tree_cfg, TRIALS, SEED);
+            let tree_sec = start.elapsed().as_secs_f64();
+            // Tier volume is deterministic given the platform draw; one
+            // run of the first trial's seed recovers it for the record.
+            let tier = run_once(&tree_cfg, hetsched_core::runner::trial_seed(SEED, 0)).tier_blocks;
+            eprintln!(
+                "[hierarchy p={p} n={n} k={submasters}: flat {:.2} vs tree {:.2} ({:.3}s + {:.3}s)]",
+                flat.makespan.mean(),
+                tree.makespan.mean(),
+                flat_sec,
+                tree_sec
+            );
+            HierarchyRow {
+                p,
+                n,
+                submasters,
+                flat_makespan: flat.makespan.mean(),
+                tree_makespan: tree.makespan.mean(),
+                flat_blocks: flat.total_blocks.mean().round() as u64,
+                tree_blocks: tree.total_blocks.mean().round() as u64,
+                tier_blocks: tier,
+                flat_sec,
+                tree_sec,
+            }
         })
         .collect()
 }

@@ -5,7 +5,7 @@ use crate::args::Args;
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_core::{
     render_trace, run_trials, stream_trace, BetaChoice, ExperimentConfig, Kernel, Strategy,
-    TraceFormat,
+    Topology, TraceFormat,
 };
 use hetsched_dag::{cholesky_graph, qr_graph, simulate, Policy};
 use hetsched_net::NetworkModel;
@@ -14,6 +14,12 @@ use hetsched_platform::{FailureModel, Platform, ProcId, Scenario, SpeedDistribut
 use hetsched_sim::ProbeConfig;
 use hetsched_util::rng::rng_for;
 use std::fmt::Write as _;
+
+/// Surfaces a `write!`-into-`String` error (infallible in practice) as a
+/// command error instead of a panic, keeping output assembly panic-free.
+fn wfmt(e: std::fmt::Error) -> String {
+    format!("internal: failed to format command output: {e}")
+}
 
 /// Top-level dispatch.
 pub fn run(argv: Vec<String>) -> Result<String, String> {
@@ -52,8 +58,10 @@ COMMANDS
              --straggler K@F,…               (worker K permanently F× slower)
              --net infinite|one-port|multiport (infinite)
              --bandwidth B                   (master link, blocks/unit time; required unless infinite)
-             --worker-bw B                   (per-worker cap, multiport only)
+             --worker-bw B|B1,B2,…           (worker caps, multiport only; a list is per-worker)
              --latency L                     (per-worker link latency, priced models only)
+             --topology flat|tree (flat)     (tree = hierarchical multi-master sharding)
+             --submasters K (2)              (sub-masters under --topology tree)
              --trace-out PATH                (write the first trial's event trace)
              --trace-format jsonl|chrome     (jsonl; chrome loads in Perfetto)
              --probe-every N                 (sample engine state every N allocations)
@@ -148,8 +156,9 @@ fn parse_failures(args: &Args) -> Result<FailureModel, String> {
 }
 
 /// Parses `--net`/`--bandwidth`/`--worker-bw`/`--latency` into a network
-/// model and a uniform link latency.
-fn parse_network(args: &Args) -> Result<(NetworkModel, f64), String> {
+/// model, a uniform link latency, and (when `--worker-bw` was a list) the
+/// per-worker bandwidth caps.
+fn parse_network(args: &Args) -> Result<(NetworkModel, f64, Option<Vec<f64>>), String> {
     let bandwidth: Option<f64> = match args.get("bandwidth") {
         Some(v) => Some(
             v.parse()
@@ -157,12 +166,20 @@ fn parse_network(args: &Args) -> Result<(NetworkModel, f64), String> {
         ),
         None => None,
     };
-    let worker_bw: Option<f64> = match args.get("worker-bw") {
-        Some(v) => Some(
-            v.parse()
-                .map_err(|_| format!("--worker-bw: bad number {v:?}"))?,
-        ),
-        None => None,
+    // `--worker-bw B` keeps the uniform cap; `--worker-bw B1,B2,…` prices
+    // each worker's link individually (the model's nominal cap becomes the
+    // list maximum — per-link pricing takes over from there).
+    let worker_bws = args.get_f64_list("worker-bw")?;
+    let (worker_bw, per_worker): (Option<f64>, Option<Vec<f64>>) = match worker_bws {
+        None => (None, None),
+        Some(bws) if bws.len() == 1 => (Some(bws[0]), None),
+        Some(bws) => {
+            if bws.iter().any(|b| !b.is_finite() || *b <= 0.0) {
+                return Err("--worker-bw: bandwidths must be positive and finite".into());
+            }
+            let max = bws.iter().cloned().fold(f64::MIN, f64::max);
+            (Some(max), Some(bws))
+        }
     };
     let latency: f64 = match args.get("latency") {
         Some(v) => v
@@ -203,7 +220,23 @@ fn parse_network(args: &Args) -> Result<(NetworkModel, f64), String> {
     if !latency.is_finite() || latency < 0.0 {
         return Err(format!("--latency: must be ≥ 0, got {latency}"));
     }
-    Ok((net, latency))
+    Ok((net, latency, per_worker))
+}
+
+/// Parses `--topology`/`--submasters` into a [`Topology`].
+fn parse_topology(args: &Args) -> Result<Topology, String> {
+    match args.get("topology").unwrap_or("flat") {
+        "flat" => {
+            if args.get("submasters").is_some() {
+                return Err("--submasters only applies to --topology tree".into());
+            }
+            Ok(Topology::Flat)
+        }
+        "tree" => Ok(Topology::Tree {
+            submasters: args.get_or("submasters", 2)?,
+        }),
+        other => Err(format!("--topology: expected flat|tree, got {other:?}")),
+    }
 }
 
 /// Everything `--trace-out` and its companion flags request.
@@ -339,6 +372,8 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         "bandwidth",
         "worker-bw",
         "latency",
+        "topology",
+        "submasters",
         "trace-out",
         "trace-format",
         "probe-every",
@@ -374,11 +409,20 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         cfg.platform = Some(Platform::from_speeds(speeds));
     }
     cfg.failures = parse_failures(args)?;
-    let (network, latency) = parse_network(args)?;
+    let (network, latency, per_worker_bw) = parse_network(args)?;
     cfg.network = network;
     cfg.link_latency = latency;
+    cfg.link_bandwidths = per_worker_bw;
+    cfg.topology = parse_topology(args)?;
     cfg.validate()?;
     let trace = parse_trace_flags(args)?;
+    if trace.is_some() && !cfg.topology.is_flat() {
+        return Err(
+            "--trace-out is not supported under --topology tree yet (event \
+             recording only covers the flat engine)"
+                .into(),
+        );
+    }
 
     let sum = run_trials(&cfg, trials, seed);
     let mut out = String::new();
@@ -391,29 +435,36 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         kernel.total_tasks(),
         trials
     )
-    .unwrap();
+    .map_err(wfmt)?;
+    if let Topology::Tree { submasters } = cfg.topology {
+        writeln!(
+            out,
+            "topology                 : tree, {submasters} sub-masters (column-partitioned shards)"
+        )
+        .map_err(wfmt)?;
+    }
     writeln!(
         out,
         "normalized communication : {:.3} ± {:.3}  (1.0 = lower bound)",
         sum.normalized_comm.mean(),
         sum.normalized_comm.std_dev()
     )
-    .unwrap();
+    .map_err(wfmt)?;
     writeln!(
         out,
         "total blocks shipped     : {:.0} ± {:.0}",
         sum.total_blocks.mean(),
         sum.total_blocks.std_dev()
     )
-    .unwrap();
-    writeln!(out, "simulated makespan       : {:.3}", sum.makespan.mean()).unwrap();
+    .map_err(wfmt)?;
+    writeln!(out, "simulated makespan       : {:.3}", sum.makespan.mean()).map_err(wfmt)?;
     if sum.beta_used.count() > 0 {
         writeln!(
             out,
             "β used                   : {:.4}",
             sum.beta_used.mean()
         )
-        .unwrap();
+        .map_err(wfmt)?;
     }
     if !cfg.failures.is_none() {
         writeln!(
@@ -422,7 +473,7 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
             sum.lost_tasks.mean(),
             sum.reshipped_blocks.mean()
         )
-        .unwrap();
+        .map_err(wfmt)?;
     }
     if !cfg.network.is_infinite() {
         let mut desc = format!(
@@ -431,9 +482,9 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
             cfg.network.master_bw().unwrap_or(f64::INFINITY)
         );
         if cfg.link_latency > 0.0 {
-            write!(desc, ", latency {}", cfg.link_latency).unwrap();
+            write!(desc, ", latency {}", cfg.link_latency).map_err(wfmt)?;
         }
-        writeln!(out, "network model            : {desc}").unwrap();
+        writeln!(out, "network model            : {desc}").map_err(wfmt)?;
         let util = sum.link_utilization.mean();
         writeln!(
             out,
@@ -441,13 +492,13 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
             100.0 * util,
             100.0 * sum.link_utilization.std_dev()
         )
-        .unwrap();
+        .map_err(wfmt)?;
         writeln!(
             out,
             "worker transfer wait     : {:.3} (summed over workers)",
             sum.transfer_wait.mean()
         )
-        .unwrap();
+        .map_err(wfmt)?;
         // The one-line diagnosis the sweep in EXPERIMENTS.md elaborates on:
         // a saturated master link means volume, not speed, sets the
         // makespan.
@@ -460,7 +511,7 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         } else {
             "near the crossover between comm-bound and compute-bound"
         };
-        writeln!(out, "regime                   : {regime}").unwrap();
+        writeln!(out, "regime                   : {regime}").map_err(wfmt)?;
     }
     if let Some(req) = trace {
         out.push_str(&write_trace_file(&cfg, seed, &req)?);
@@ -508,17 +559,17 @@ fn analyze_cmd(args: &Args) -> Result<String, String> {
             other => return Err(format!("--kernel: expected outer|matmul, got {other:?}")),
         };
 
-    writeln!(out, "analytic model: {kernel_name}, p = {pp}, n = {n}").unwrap();
-    writeln!(out, "optimal β                : {beta:.4}").unwrap();
+    writeln!(out, "analytic model: {kernel_name}, p = {pp}, n = {n}").map_err(wfmt)?;
+    writeln!(out, "optimal β                : {beta:.4}").map_err(wfmt)?;
     writeln!(
         out,
         "predicted comm ratio     : {ratio:.4}  (1.0 = lower bound)"
     )
-    .unwrap();
-    writeln!(out, "switch when tasks remain : {threshold}").unwrap();
-    writeln!(out, "\n{:>6}  {:>10}", "β", "ratio").unwrap();
+    .map_err(wfmt)?;
+    writeln!(out, "switch when tasks remain : {threshold}").map_err(wfmt)?;
+    writeln!(out, "\n{:>6}  {:>10}", "β", "ratio").map_err(wfmt)?;
     for (b, r) in curve {
-        writeln!(out, "{b:>6.1}  {r:>10.4}").unwrap();
+        writeln!(out, "{b:>6.1}  {r:>10.4}").map_err(wfmt)?;
     }
     Ok(out)
 }
@@ -539,7 +590,7 @@ fn partition_cmd(args: &Args) -> Result<String, String> {
         part.rects.len(),
         part.columns
     )
-    .unwrap();
+    .map_err(wfmt)?;
     writeln!(
         out,
         "half-perimeter cost {:.4}, lower bound {:.4}, ratio {:.4} (≤ 1.75 guaranteed)",
@@ -547,20 +598,20 @@ fn partition_cmd(args: &Args) -> Result<String, String> {
         hetsched_partition::ColumnPartition::lower_bound(&areas),
         part.approximation_ratio(&areas)
     )
-    .unwrap();
+    .map_err(wfmt)?;
     writeln!(
         out,
         "\n{:>6} {:>10} {:>10} {:>10} {:>10}",
         "owner", "x", "y", "w", "h"
     )
-    .unwrap();
+    .map_err(wfmt)?;
     for r in &part.rects {
         writeln!(
             out,
             "{:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
             r.owner, r.x, r.y, r.w, r.h
         )
-        .unwrap();
+        .map_err(wfmt)?;
     }
     if let Some(n) = args.get("n") {
         let n: usize = n.parse().map_err(|_| "--n: bad number")?;
@@ -571,7 +622,7 @@ fn partition_cmd(args: &Args) -> Result<String, String> {
             grid.total_tasks(),
             grid.total_comm()
         )
-        .unwrap();
+        .map_err(wfmt)?;
     }
     Ok(out)
 }
@@ -612,22 +663,22 @@ fn dag_cmd(args: &Args) -> Result<String, String> {
         graph.len(),
         graph.critical_path()
     )
-    .unwrap();
+    .map_err(wfmt)?;
     writeln!(
         out,
         "blocks shipped  : {} ({:.2}/task)",
         r.total_blocks,
         r.comm_per_task()
     )
-    .unwrap();
+    .map_err(wfmt)?;
     writeln!(
         out,
         "makespan        : {:.4} ({:.3}× the max(work, CP) bound)",
         r.makespan,
         r.makespan_ratio(&graph, &platform)
     )
-    .unwrap();
-    writeln!(out, "tasks per worker: {:?}", r.tasks_per_worker).unwrap();
+    .map_err(wfmt)?;
+    writeln!(out, "tasks per worker: {:?}", r.tasks_per_worker).map_err(wfmt)?;
     Ok(out)
 }
 
@@ -779,6 +830,91 @@ mod tests {
         // Default (infinite) prints no network diagnostics.
         let out = run_str("simulate --n 20 --p 4 --trials 2").unwrap();
         assert!(!out.contains("network model"), "{out}");
+    }
+
+    #[test]
+    fn simulate_tree_topology() {
+        let out = run_str(
+            "simulate --n 24 --p 6 --strategy dynamic --trials 2 --topology tree --submasters 3",
+        )
+        .unwrap();
+        assert!(out.contains("tree, 3 sub-masters"), "{out}");
+        assert!(out.contains("normalized communication"), "{out}");
+
+        // Default sub-master count is 2.
+        let out = run_str("simulate --n 24 --p 6 --trials 2 --topology tree").unwrap();
+        assert!(out.contains("tree, 2 sub-masters"), "{out}");
+
+        // Flat output is unchanged (no topology line).
+        let out = run_str("simulate --n 24 --p 6 --trials 2").unwrap();
+        assert!(!out.contains("topology"), "{out}");
+
+        // Tree composes with a priced network.
+        let out = run_str(
+            "simulate --n 24 --p 6 --strategy random --trials 2 --topology tree \
+             --submasters 2 --net one-port --bandwidth 50",
+        )
+        .unwrap();
+        assert!(out.contains("tree, 2 sub-masters"), "{out}");
+        assert!(out.contains("master-link utilization"), "{out}");
+    }
+
+    #[test]
+    fn bad_topology_specs_are_clean_errors() {
+        assert!(run_str("simulate --topology ring").is_err());
+        assert!(
+            run_str("simulate --p 4 --submasters 2").is_err(),
+            "--submasters needs --topology tree"
+        );
+        assert!(
+            run_str("simulate --p 4 --topology tree --submasters 9").is_err(),
+            "more sub-masters than workers"
+        );
+        assert!(
+            run_str("simulate --p 4 --topology tree --submasters 0").is_err(),
+            "need at least one sub-master"
+        );
+        assert!(
+            run_str("simulate --strategy static --topology tree --submasters 2").is_err(),
+            "static is flat-only"
+        );
+        let err = run_str(
+            "simulate --n 20 --p 4 --topology tree --submasters 2 --trace-out /tmp/x.jsonl",
+        )
+        .unwrap_err();
+        assert!(err.contains("not supported under --topology tree"), "{err}");
+    }
+
+    #[test]
+    fn per_worker_bandwidth_lists() {
+        let out = run_str(
+            "simulate --n 20 --p 4 --trials 2 --net multiport --bandwidth 40 \
+             --worker-bw 10,5,20,10",
+        )
+        .unwrap();
+        assert!(out.contains("multiport"), "{out}");
+
+        assert!(
+            run_str(
+                "simulate --n 20 --p 4 --trials 2 --net multiport --bandwidth 40 \
+                 --worker-bw 10,5"
+            )
+            .is_err(),
+            "list length must match the worker count"
+        );
+        assert!(
+            run_str(
+                "simulate --n 20 --p 4 --trials 2 --net one-port --bandwidth 40 \
+                 --worker-bw 10,5,20,10"
+            )
+            .is_err(),
+            "per-worker caps are multiport-only"
+        );
+        assert!(run_str(
+            "simulate --n 20 --p 4 --trials 2 --net multiport --bandwidth 40 \
+             --worker-bw 10,0,20,10"
+        )
+        .is_err());
     }
 
     #[test]

@@ -5,10 +5,26 @@
 mod args;
 mod commands;
 
+use std::io::Write as _;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::run(argv) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            let mut stdout = std::io::stdout().lock();
+            if let Err(e) = stdout
+                .write_all(out.as_bytes())
+                .and_then(|()| stdout.flush())
+            {
+                // A closed pipe (`hetsched … | head`) is a normal way for
+                // output to end, not a failure of the command itself.
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    return;
+                }
+                eprintln!("error: cannot write output: {e}");
+                std::process::exit(1);
+            }
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);

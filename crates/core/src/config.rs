@@ -2,6 +2,7 @@
 
 use hetsched_net::NetworkModel;
 use hetsched_platform::{FailureModel, Platform, SpeedDistribution, SpeedModel};
+use hetsched_sim::Topology;
 
 /// Which kernel to schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +117,19 @@ pub struct ExperimentConfig {
     /// Uniform per-worker link latency, applied to the run's platform under
     /// priced network models (ignored under [`NetworkModel::Infinite`]).
     pub link_latency: f64,
+    /// Optional per-worker outbound bandwidth caps (blocks per unit time),
+    /// one per processor. Only meaningful under
+    /// [`NetworkModel::BoundedMultiport`], where worker `k`'s transfers are
+    /// priced at `min(link_bandwidths[k], master_bw)` instead of the
+    /// model's uniform `worker_bw`. `None` (the default) keeps the uniform
+    /// cap bit for bit.
+    pub link_bandwidths: Option<Vec<f64>>,
+    /// Master/worker wiring. [`Topology::Flat`] (the default) is the
+    /// paper's single-master star; [`Topology::Tree`] routes the run
+    /// through the hierarchical multi-master engine
+    /// ([`hetsched_sim::run_tree`]), with a single sub-master being
+    /// bit-for-bit identical to flat.
+    pub topology: Topology,
 }
 
 impl Default for ExperimentConfig {
@@ -130,6 +144,8 @@ impl Default for ExperimentConfig {
             failures: FailureModel::none(),
             network: NetworkModel::Infinite,
             link_latency: 0.0,
+            link_bandwidths: None,
+            topology: Topology::Flat,
         }
     }
 }
@@ -176,10 +192,36 @@ impl ExperimentConfig {
                 self.link_latency
             ));
         }
+        if let Some(bws) = &self.link_bandwidths {
+            if !matches!(self.network, NetworkModel::BoundedMultiport { .. }) {
+                return Err("per-worker link bandwidths require the bounded-multiport \
+                     network model"
+                    .into());
+            }
+            if bws.len() != self.processors {
+                return Err(format!(
+                    "got {} per-worker link bandwidths for {} processors",
+                    bws.len(),
+                    self.processors
+                ));
+            }
+            if bws.iter().any(|b| !b.is_finite() || *b <= 0.0) {
+                return Err("per-worker link bandwidths must be positive and finite".into());
+            }
+        }
         if !self.failures.failures().is_empty() && self.strategy == Strategy::Static {
             return Err(
                 "Static partitioning fixes the allocation up front and cannot \
                  re-allocate tasks lost to a worker failure"
+                    .into(),
+            );
+        }
+        self.topology.validate(self.processors)?;
+        if !self.topology.is_flat() && self.strategy == Strategy::Static {
+            return Err(
+                "Static partitioning is flat-only: the tree topology already \
+                 partitions the grid statically at its root, and the shards \
+                 run the dynamic strategies"
                     .into(),
             );
         }
@@ -292,6 +334,34 @@ mod tests {
     }
 
     #[test]
+    fn topology_configs_validated() {
+        let cfg = ExperimentConfig {
+            topology: Topology::Tree { submasters: 4 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+
+        let cfg = ExperimentConfig {
+            topology: Topology::Tree { submasters: 25 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "more sub-masters than workers");
+
+        let cfg = ExperimentConfig {
+            topology: Topology::Tree { submasters: 0 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        let cfg = ExperimentConfig {
+            strategy: Strategy::Static,
+            topology: Topology::Tree { submasters: 1 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "static is flat-only");
+    }
+
+    #[test]
     fn network_configs_validated() {
         let cfg = ExperimentConfig {
             network: NetworkModel::OnePort { master_bw: 0.0 },
@@ -311,6 +381,44 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_err(), "negative latency rejected");
+    }
+
+    #[test]
+    fn per_worker_bandwidth_configs_validated() {
+        let multiport = NetworkModel::BoundedMultiport {
+            master_bw: 40.0,
+            worker_bw: 10.0,
+        };
+        let cfg = ExperimentConfig {
+            processors: 3,
+            network: multiport,
+            link_bandwidths: Some(vec![10.0, 5.0, 20.0]),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+
+        let cfg = ExperimentConfig {
+            processors: 3,
+            link_bandwidths: Some(vec![10.0, 5.0, 20.0]),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "needs the multiport model");
+
+        let cfg = ExperimentConfig {
+            processors: 4,
+            network: multiport,
+            link_bandwidths: Some(vec![10.0, 5.0]),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "one bandwidth per processor");
+
+        let cfg = ExperimentConfig {
+            processors: 2,
+            network: multiport,
+            link_bandwidths: Some(vec![10.0, 0.0]),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "bandwidths must be positive");
     }
 
     #[test]

@@ -31,9 +31,11 @@ pub mod observe;
 pub mod provenance;
 pub mod runner;
 pub mod series;
+pub mod shard;
 
 pub use config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
 pub use hetsched_net::NetworkModel;
+pub use hetsched_sim::Topology;
 pub use observe::{
     render_trace, run_once_observed, stream_trace, ObservedRun, StreamedRun, TraceFormat,
 };
@@ -43,3 +45,4 @@ pub use runner::{
     TrialSummary,
 };
 pub use series::{FigureData, Point, Series};
+pub use shard::{plan_shards, ShardLayout};

@@ -1,12 +1,15 @@
 //! Seeded experiment execution: single runs and parallel trial campaigns.
 
 use crate::config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
+use crate::shard::{plan_shards, ShardLayout};
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_matmul::{DynamicMatrix, DynamicMatrix2Phases, RandomMatrix, SortedMatrix};
 use hetsched_net::NetworkModel;
 use hetsched_outer::{DynamicOuter, DynamicOuter2Phases, RandomOuter, SortedOuter};
 use hetsched_platform::{FailureModel, Platform, SpeedModel};
-use hetsched_sim::{Recorder, Scheduler, SimReport, StreamingSink};
+use hetsched_sim::{
+    run_tree, Recorder, Scheduler, ShardSpec, SimReport, StreamingSink, Topology, TreeOutcome,
+};
 use hetsched_util::rng::{derive_seed, rng_for};
 use hetsched_util::OnlineStats;
 use rand::rngs::StdRng;
@@ -50,6 +53,9 @@ pub struct RunResult {
     pub max_queue_depth: usize,
     /// Blocks transferred toward workers that died before computing on them.
     pub wasted_blocks: u64,
+    /// Blocks shipped over root → sub-master links (0 on the flat topology
+    /// and for a single-sub-master tree; included in `total_blocks`).
+    pub tier_blocks: u64,
     /// The platform the run used (drawn or fixed).
     pub platform: Platform,
 }
@@ -139,6 +145,9 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
     if cfg.link_latency > 0.0 {
         platform = platform.with_uniform_link_latency(cfg.link_latency);
     }
+    if let Some(bws) = &cfg.link_bandwidths {
+        platform = platform.with_link_bandwidths(bws.clone());
+    }
     let n = cfg.kernel.n();
     let p = cfg.processors;
     let lb = cfg.kernel.lower_bound(&platform);
@@ -161,6 +170,20 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
         (Strategy::TwoPhase(BetaChoice::Fixed(b)), _) => Some(*b),
         _ => None,
     };
+
+    // Tree topology: the root statically splits workers and grid across
+    // sub-masters; each shard runs its flat strategy unchanged. A single
+    // sub-master goes through the same code path but is bit-for-bit
+    // identical to the flat dispatch below (same platform borrow, same
+    // RNG stream, no tier transfers).
+    if let Topology::Tree { submasters } = cfg.topology {
+        assert!(
+            rec.is_none(),
+            "event recording is not supported under the tree topology yet"
+        );
+        let (report, phase_split) = run_tree_impl(cfg, &platform, submasters, seed, beta_used);
+        return finish(cfg, report, phase_split, beta_used, lb, platform);
+    }
 
     // Dispatch on (kernel, strategy). Each arm runs the generic engine with
     // its concrete scheduler and harvests strategy-specific accounting.
@@ -304,6 +327,18 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
         }
     };
 
+    finish(cfg, report, phase_split, beta_used, lb, platform)
+}
+
+/// Folds a finished engine report into the public [`RunResult`].
+fn finish(
+    _cfg: &ExperimentConfig,
+    report: SimReport,
+    phase_split: Option<(u64, u64, usize, usize)>,
+    beta_used: Option<f64>,
+    lb: f64,
+    platform: Platform,
+) -> RunResult {
     RunResult {
         total_blocks: report.total_blocks,
         normalized_comm: report.normalized(lb),
@@ -319,8 +354,178 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
         link_utilization: report.link_utilization,
         max_queue_depth: report.max_queue_depth,
         wasted_blocks: report.wasted_blocks,
+        tier_blocks: report.tier_blocks,
         platform,
     }
+}
+
+/// Root → sub-master transfer volume for one shard: the static input
+/// footprint of its task rectangle.
+///
+/// * outer product: the shard's slice of `a` (its rows) plus its slice of
+///   `b` (its columns);
+/// * matmul: the `rows × n` slab of `A`, the `n × cols` slab of `B`, and
+///   the shard's `rows × cols` tile of `C` (staged at the sub-master) — a
+///   modeling choice, coarse on purpose: the root ships each shard its
+///   whole static working set once, up front.
+fn tree_input_blocks(kernel: Kernel, s: &ShardLayout) -> u64 {
+    let rows = s.rows() as u64;
+    let cols = s.cols() as u64;
+    match kernel {
+        Kernel::Outer { .. } => rows + cols,
+        Kernel::Matmul { n } => {
+            let n = n as u64;
+            rows * n + n * cols + rows * cols
+        }
+    }
+}
+
+/// Builds the [`ShardSpec`]s for `plan` and runs the tree engine. With a
+/// single shard the RNG is the flat run stream (`rng_for(seed,
+/// STREAM_RUN)`), pinning bit-identity with the flat engine; with several,
+/// shard `j` gets its own derived stream.
+fn run_tree_strategy<S: Scheduler>(
+    cfg: &ExperimentConfig,
+    platform: &Platform,
+    plan: &[ShardLayout],
+    seed: u64,
+    make: impl Fn(&ShardLayout) -> S,
+) -> (TreeOutcome, Vec<S>) {
+    let single = plan.len() == 1;
+    let shards = plan
+        .iter()
+        .enumerate()
+        .map(|(j, s)| ShardSpec {
+            scheduler: make(s),
+            start: s.start,
+            len: s.len,
+            input_blocks: tree_input_blocks(cfg.kernel, s),
+            rng: if single {
+                rng_for(seed, STREAM_RUN)
+            } else {
+                rng_for(derive_seed(seed, j as u64), STREAM_RUN)
+            },
+        })
+        .collect();
+    run_tree(
+        platform,
+        cfg.speed_model,
+        &cfg.failures,
+        cfg.network,
+        shards,
+    )
+}
+
+/// Tree-topology dispatch on (kernel, strategy): plans the top-level split
+/// and runs one rectangular shard scheduler per sub-master.
+fn run_tree_impl(
+    cfg: &ExperimentConfig,
+    platform: &Platform,
+    submasters: usize,
+    seed: u64,
+    beta_used: Option<f64>,
+) -> (SimReport, Option<(u64, u64, usize, usize)>) {
+    let plan = plan_shards(platform, submasters, cfg.kernel.n());
+    match (cfg.kernel, cfg.strategy) {
+        (Kernel::Outer { .. }, Strategy::Random) => {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+                RandomOuter::rect(s.rows(), s.cols(), s.len)
+            });
+            (o.report, None)
+        }
+        (Kernel::Outer { .. }, Strategy::Sorted) => {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+                SortedOuter::rect(s.rows(), s.cols(), s.len)
+            });
+            (o.report, None)
+        }
+        (Kernel::Outer { .. }, Strategy::Dynamic) => {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+                DynamicOuter::rect(s.rows(), s.cols(), s.len)
+            });
+            (o.report, None)
+        }
+        (Kernel::Outer { .. }, Strategy::TwoPhase(choice)) => {
+            let (o, scheds) =
+                run_tree_strategy(cfg, platform, &plan, seed, |s| match (choice, beta_used) {
+                    (BetaChoice::Phase1Fraction(f), _) => {
+                        DynamicOuter2Phases::rect_with_phase1_fraction(s.rows(), s.cols(), s.len, f)
+                    }
+                    (_, Some(b)) => {
+                        DynamicOuter2Phases::rect_with_beta(s.rows(), s.cols(), s.len, b)
+                    }
+                    _ => unreachable!("β resolved above for non-fraction choices"),
+                });
+            (
+                o.report,
+                Some(merge_phase_split(scheds.iter().map(|s| {
+                    (
+                        s.phase1_blocks(),
+                        s.phase2_blocks(),
+                        s.phase1_tasks(),
+                        s.phase2_tasks(),
+                    )
+                }))),
+            )
+        }
+        (Kernel::Matmul { n }, Strategy::Random) => {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+                RandomMatrix::rect(s.rows(), s.cols(), n, s.len)
+            });
+            (o.report, None)
+        }
+        (Kernel::Matmul { n }, Strategy::Sorted) => {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+                SortedMatrix::rect(s.rows(), s.cols(), n, s.len)
+            });
+            (o.report, None)
+        }
+        (Kernel::Matmul { n }, Strategy::Dynamic) => {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+                DynamicMatrix::rect(s.rows(), s.cols(), n, s.len)
+            });
+            (o.report, None)
+        }
+        (Kernel::Matmul { n }, Strategy::TwoPhase(choice)) => {
+            let (o, scheds) =
+                run_tree_strategy(cfg, platform, &plan, seed, |s| match (choice, beta_used) {
+                    (BetaChoice::Phase1Fraction(f), _) => {
+                        DynamicMatrix2Phases::rect_with_phase1_fraction(
+                            s.rows(),
+                            s.cols(),
+                            n,
+                            s.len,
+                            f,
+                        )
+                    }
+                    (_, Some(b)) => {
+                        DynamicMatrix2Phases::rect_with_beta(s.rows(), s.cols(), n, s.len, b)
+                    }
+                    _ => unreachable!("β resolved above for non-fraction choices"),
+                });
+            (
+                o.report,
+                Some(merge_phase_split(scheds.iter().map(|s| {
+                    (
+                        s.phase1_blocks(),
+                        s.phase2_blocks(),
+                        s.phase1_tasks(),
+                        s.phase2_tasks(),
+                    )
+                }))),
+            )
+        }
+        (_, Strategy::Static) => unreachable!("rejected by validate()"),
+    }
+}
+
+/// Sums per-shard two-phase accounting into the global split.
+fn merge_phase_split(
+    splits: impl Iterator<Item = (u64, u64, usize, usize)>,
+) -> (u64, u64, usize, usize) {
+    splits.fold((0, 0, 0, 0), |acc, s| {
+        (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2, acc.3 + s.3)
+    })
 }
 
 /// Order-preserving parallel map over a work list, with the chunked
@@ -597,6 +802,43 @@ mod tests {
         assert_eq!(r.max_queue_depth, 0);
         assert_eq!(r.wasted_blocks, 0);
         assert!(r.transfer_wait_per_proc.iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn uniform_bandwidth_list_matches_uniform_model() {
+        use hetsched_net::NetworkModel;
+        let base = ExperimentConfig {
+            kernel: Kernel::Outer { n: 16 },
+            strategy: Strategy::Dynamic,
+            processors: 4,
+            network: NetworkModel::BoundedMultiport {
+                master_bw: 20.0,
+                worker_bw: 5.0,
+            },
+            ..Default::default()
+        };
+        let listed = ExperimentConfig {
+            link_bandwidths: Some(vec![5.0; 4]),
+            ..base.clone()
+        };
+        let a = run_once(&base, 13);
+        let b = run_once(&listed, 13);
+        assert_eq!(a.total_blocks, b.total_blocks);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.transfer_wait_per_proc, b.transfer_wait_per_proc);
+
+        // A genuinely slower link can only push the makespan up.
+        let throttled = ExperimentConfig {
+            link_bandwidths: Some(vec![5.0, 5.0, 5.0, 0.5]),
+            ..base.clone()
+        };
+        let c = run_once(&throttled, 13);
+        assert!(
+            c.makespan >= a.makespan - 1e-9,
+            "{} vs {}",
+            c.makespan,
+            a.makespan
+        );
     }
 
     #[test]

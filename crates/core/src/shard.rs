@@ -1,0 +1,147 @@
+//! Top-level shard planning for the hierarchical tree topology.
+//!
+//! The root of a [`Topology::Tree`](hetsched_sim::Topology) run partitions
+//! both the workers and the task grid across its sub-masters:
+//!
+//! * **workers** are split into contiguous, near-equal-count slices (the
+//!   sub-masters are wiring, not speed classes — heterogeneity inside a
+//!   slice is what the shard's own dynamic strategy handles);
+//! * **the task grid** is split by the optimal column-structured partition
+//!   of the unit square ([`optimal_column_partition`]), with one area per
+//!   sub-master equal to its slice's aggregate relative speed, discretized
+//!   onto the `n × n` grid by [`GridPartition`]'s largest-remainder
+//!   rounding — so each shard's task share tracks its compute share and
+//!   the shards tile the grid exactly.
+//!
+//! With a single sub-master the plan is one shard owning every worker and
+//! the full grid, which is how the tree collapses to the flat engine.
+
+use hetsched_partition::{optimal_column_partition, GridPartition, GridRect};
+use hetsched_platform::Platform;
+
+/// One sub-master's slice of the platform and of the task grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// First global worker index of the shard.
+    pub start: usize,
+    /// Number of (contiguous) workers in the shard.
+    pub len: usize,
+    /// The shard's task rectangle on the `n × n` grid (possibly empty for
+    /// a very slow shard on a coarse grid).
+    pub rect: GridRect,
+}
+
+impl ShardLayout {
+    /// Rows of the shard's task rectangle.
+    pub fn rows(&self) -> usize {
+        (self.rect.r1 - self.rect.r0) as usize
+    }
+
+    /// Columns of the shard's task rectangle.
+    pub fn cols(&self) -> usize {
+        (self.rect.c1 - self.rect.c0) as usize
+    }
+}
+
+/// Plans the top-level split of `platform` and an `n × n` task grid across
+/// `submasters` sub-masters. Deterministic in its inputs (no RNG).
+///
+/// # Panics
+///
+/// If `submasters` is zero or exceeds the worker count (callers validate
+/// via [`Topology::validate`](hetsched_sim::Topology::validate)).
+pub fn plan_shards(platform: &Platform, submasters: usize, n: usize) -> Vec<ShardLayout> {
+    let p = platform.len();
+    assert!(
+        submasters >= 1 && submasters <= p,
+        "need 1 ≤ submasters ≤ {p}, got {submasters}"
+    );
+
+    // Contiguous near-equal-count worker slices: the first `p % k` slices
+    // get one extra worker.
+    let base = p / submasters;
+    let extra = p % submasters;
+    let mut starts = Vec::with_capacity(submasters);
+    let mut cursor = 0usize;
+    for j in 0..submasters {
+        let len = base + usize::from(j < extra);
+        starts.push((cursor, len));
+        cursor += len;
+    }
+    debug_assert_eq!(cursor, p);
+
+    // Optimal top-level grid split: one area per sub-master, proportional
+    // to its slice's aggregate speed.
+    let total = platform.total_speed();
+    let areas: Vec<f64> = starts
+        .iter()
+        .map(|&(start, len)| platform.speeds()[start..start + len].iter().sum::<f64>() / total)
+        .collect();
+    let partition = optimal_column_partition(&areas);
+    let grid = GridPartition::from_continuous(&partition, n);
+
+    starts
+        .iter()
+        .zip(&grid.rects)
+        .map(|(&(start, len), &rect)| ShardLayout { start, len, rect })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_submaster_owns_everything() {
+        let pf = Platform::from_speeds(vec![10.0, 30.0, 60.0]);
+        let plan = plan_shards(&pf, 1, 25);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].start, 0);
+        assert_eq!(plan[0].len, 3);
+        assert_eq!(plan[0].rows(), 25);
+        assert_eq!(plan[0].cols(), 25);
+        assert_eq!(plan[0].rect.tasks(), 625);
+    }
+
+    #[test]
+    fn shards_tile_workers_and_grid_exactly() {
+        let pf = Platform::from_speeds(vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]);
+        for k in 1..=4 {
+            let n = 40;
+            let plan = plan_shards(&pf, k, n);
+            assert_eq!(plan.len(), k);
+            // Workers: contiguous cover of 0..p, near-equal counts.
+            let mut cursor = 0;
+            for s in &plan {
+                assert_eq!(s.start, cursor);
+                assert!(s.len >= 7 / k);
+                cursor += s.len;
+            }
+            assert_eq!(cursor, 7);
+            // Grid: the rectangles tile n × n exactly.
+            let total: usize = plan.iter().map(|s| s.rect.tasks()).sum();
+            assert_eq!(total, n * n, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn task_share_tracks_shard_speed_share() {
+        // Two shards: workers {0,1} at speed 10 each, workers {2,3} at 30
+        // each — shard speeds 20 vs 60, so shard 1 should get ~3/4 of the
+        // tasks.
+        let pf = Platform::from_speeds(vec![10.0, 10.0, 30.0, 30.0]);
+        let n = 100;
+        let plan = plan_shards(&pf, 2, n);
+        let share1 = plan[1].rect.tasks() as f64 / (n * n) as f64;
+        assert!(
+            (share1 - 0.75).abs() < 0.05,
+            "fast shard share {share1} should be near 0.75"
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let pf = Platform::from_speeds(vec![15.0, 25.0, 35.0, 45.0, 55.0]);
+        assert_eq!(plan_shards(&pf, 3, 50), plan_shards(&pf, 3, 50));
+    }
+}

@@ -34,19 +34,30 @@ pub struct WorkerCube {
 impl WorkerCube {
     /// Fresh worker holding nothing.
     pub fn new(n: usize) -> Self {
+        Self::rect(n, n, n)
+    }
+
+    /// Fresh worker over an `ni × nj × nk` task cuboid (a hierarchy shard):
+    /// `A` is `ni × nk`, `B` is `nk × nj`, `C` is `ni × nj`.
+    pub fn rect(ni: usize, nj: usize, nk: usize) -> Self {
         WorkerCube {
-            i_set: OwnedSet::new(n),
-            j_set: OwnedSet::new(n),
-            k_set: OwnedSet::new(n),
-            owns_a: BitGrid::square(n),
-            owns_b: BitGrid::square(n),
-            owns_c: BitGrid::square(n),
+            i_set: OwnedSet::new(ni),
+            j_set: OwnedSet::new(nj),
+            k_set: OwnedSet::new(nk),
+            owns_a: BitGrid::new(ni, nk),
+            owns_b: BitGrid::new(nk, nj),
+            owns_c: BitGrid::new(ni, nj),
         }
     }
 
     /// Per-worker fleet constructor.
     pub fn fleet(n: usize, p: usize) -> Vec<WorkerCube> {
         (0..p).map(|_| WorkerCube::new(n)).collect()
+    }
+
+    /// [`rect`](Self::rect) fleet constructor.
+    pub fn fleet_rect(ni: usize, nj: usize, nk: usize, p: usize) -> Vec<WorkerCube> {
+        (0..p).map(|_| WorkerCube::rect(ni, nj, nk)).collect()
     }
 
     /// Ships the blocks of one task `T(i,j,k)` that are missing; returns

@@ -3,11 +3,11 @@
 use hetsched_util::{BitCube, SwapList};
 use rand::rngs::StdRng;
 
-/// The `n × n × n` task cube: which tasks have been allocated, plus an O(1)
-/// uniform sampler over the unprocessed residue.
+/// The `ni × nj × nk` task cuboid (an `n × n × n` cube for a flat run):
+/// which tasks have been allocated, plus an O(1) uniform sampler over the
+/// unprocessed residue.
 #[derive(Clone, Debug)]
 pub struct MatmulState {
-    n: usize,
     processed: BitCube,
     remaining: SwapList,
     /// Tasks returned to the pool by a worker failure. Also present in
@@ -20,24 +20,41 @@ impl MatmulState {
     /// Fresh state with all `n³` tasks unprocessed.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "need at least one block per dimension");
+        Self::rect(n, n, n)
+    }
+
+    /// Fresh state over an `ni × nj × nk` cuboid — a hierarchy shard of the
+    /// full task cube. Zero-extent shards are allowed (no tasks).
+    pub fn rect(ni: usize, nj: usize, nk: usize) -> Self {
         MatmulState {
-            n,
-            processed: BitCube::new(n),
-            remaining: SwapList::full(n * n * n),
+            processed: BitCube::cuboid(ni, nj, nk),
+            remaining: SwapList::full(ni * nj * nk),
             orphans: Vec::new(),
         }
     }
 
-    /// Blocks per dimension.
+    /// Blocks along `i` (for a cube, the side length `n`).
     #[inline]
-    pub fn n(&self) -> usize {
-        self.n
+    pub fn ni(&self) -> usize {
+        self.processed.ni()
     }
 
-    /// Total number of tasks (`n³`).
+    /// Blocks along `j`.
+    #[inline]
+    pub fn nj(&self) -> usize {
+        self.processed.nj()
+    }
+
+    /// Blocks along `k`.
+    #[inline]
+    pub fn nk(&self) -> usize {
+        self.processed.nk()
+    }
+
+    /// Total number of tasks (`ni·nj·nk`).
     #[inline]
     pub fn total(&self) -> usize {
-        self.n * self.n * self.n
+        self.processed.total()
     }
 
     /// Tasks not yet allocated.

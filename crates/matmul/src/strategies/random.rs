@@ -24,6 +24,15 @@ impl RandomMatrix {
         }
     }
 
+    /// Rectangular shard variant (`ni × nj × nk` task cuboid) for the
+    /// hierarchical tree topology.
+    pub fn rect(ni: usize, nj: usize, nk: usize, p: usize) -> Self {
+        RandomMatrix {
+            state: MatmulState::rect(ni, nj, nk),
+            workers: WorkerCube::fleet_rect(ni, nj, nk, p),
+        }
+    }
+
     /// Read-only view of the task state (for audits).
     pub fn state(&self) -> &MatmulState {
         &self.state

@@ -27,6 +27,16 @@ impl SortedMatrix {
         }
     }
 
+    /// Rectangular shard variant (`ni × nj × nk` task cuboid) for the
+    /// hierarchical tree topology.
+    pub fn rect(ni: usize, nj: usize, nk: usize, p: usize) -> Self {
+        SortedMatrix {
+            state: MatmulState::rect(ni, nj, nk),
+            workers: WorkerCube::fleet_rect(ni, nj, nk, p),
+            cursor: 0,
+        }
+    }
+
     /// Read-only view of the task state (for audits).
     pub fn state(&self) -> &MatmulState {
         &self.state

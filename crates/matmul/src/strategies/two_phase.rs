@@ -39,6 +39,43 @@ impl DynamicMatrix2Phases {
         }
     }
 
+    /// Rectangular shard variant (`ni × nj × nk` task cuboid) for the
+    /// hierarchical tree topology; switch when at most `threshold` tasks
+    /// remain.
+    pub fn rect(ni: usize, nj: usize, nk: usize, p: usize, threshold: usize) -> Self {
+        DynamicMatrix2Phases {
+            state: MatmulState::rect(ni, nj, nk),
+            workers: WorkerCube::fleet_rect(ni, nj, nk, p),
+            threshold,
+            phase1_blocks: 0,
+            phase2_blocks: 0,
+            phase1_tasks: 0,
+            phase2_tasks: 0,
+        }
+    }
+
+    /// [`with_beta`](Self::with_beta) over a rectangular shard: switch when
+    /// `e^{−β}` of the shard's own `ni·nj·nk` tasks remain.
+    pub fn rect_with_beta(ni: usize, nj: usize, nk: usize, p: usize, beta: f64) -> Self {
+        assert!(beta >= 0.0, "β must be non-negative");
+        let threshold = ((-beta).exp() * (ni * nj * nk) as f64).round() as usize;
+        Self::rect(ni, nj, nk, p, threshold)
+    }
+
+    /// [`with_phase1_fraction`](Self::with_phase1_fraction) over a
+    /// rectangular shard.
+    pub fn rect_with_phase1_fraction(
+        ni: usize,
+        nj: usize,
+        nk: usize,
+        p: usize,
+        fraction: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        let threshold = ((1.0 - fraction) * (ni * nj * nk) as f64).round() as usize;
+        Self::rect(ni, nj, nk, p, threshold)
+    }
+
     /// Paper parameterization: switch when `e^{−β}·n³` tasks remain.
     ///
     /// Rounds to the nearest task, like

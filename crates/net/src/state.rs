@@ -26,6 +26,10 @@ pub struct TransferPlan {
 pub struct NetState {
     model: NetworkModel,
     latency: Vec<f64>,
+    /// Per-worker inbound bandwidth caps overriding the model's uniform
+    /// `worker_bw` (empty = uniform). Only meaningful for
+    /// [`NetworkModel::BoundedMultiport`].
+    worker_bw: Vec<f64>,
     /// Free time of each concurrent master channel (len = `channels()`,
     /// empty for `Infinite`).
     channel_free: Vec<f64>,
@@ -38,10 +42,24 @@ pub struct NetState {
 }
 
 impl NetState {
-    /// Network state over `model` with per-worker link latencies (one entry
-    /// per worker; use zeros for latency-free links).
-    pub fn new(model: NetworkModel, latency: Vec<f64>) -> Self {
+    /// Network state over `model` for `workers` workers with per-worker link
+    /// latencies (use zeros for latency-free links).
+    ///
+    /// # Panics
+    ///
+    /// If `latency.len() != workers` — a caller that slices latencies for a
+    /// subset of workers (e.g. a hierarchy shard) must slice them exactly;
+    /// a short vector would otherwise silently price the missing links as
+    /// latency-free.
+    pub fn new(model: NetworkModel, workers: usize, latency: Vec<f64>) -> Self {
         model.validate().expect("invalid network model");
+        assert_eq!(
+            latency.len(),
+            workers,
+            "one link latency per worker (got {} for {} workers)",
+            latency.len(),
+            workers
+        );
         assert!(
             latency.iter().all(|l| l.is_finite() && *l >= 0.0),
             "link latencies must be non-negative and finite"
@@ -49,16 +67,48 @@ impl NetState {
         let channels = if model.is_infinite() {
             0
         } else {
-            model.channels().min(latency.len().max(1))
+            model.channels().min(workers.max(1))
         };
         NetState {
             model,
             latency,
+            worker_bw: Vec::new(),
             channel_free: vec![0.0; channels],
             busy: 0.0,
             waiting_starts: Vec::new(),
             max_queue_depth: 0,
         }
+    }
+
+    /// Overrides the multiport model's uniform `worker_bw` with per-worker
+    /// inbound caps (one entry per worker). Each transfer to worker `k` then
+    /// runs at `min(bandwidths[k], master_bw)`; the channel *count* stays
+    /// derived from the model's uniform `worker_bw`, so the uniform case is
+    /// bit-identical with or without this call.
+    ///
+    /// # Panics
+    ///
+    /// If the model is not [`NetworkModel::BoundedMultiport`], if the length
+    /// does not match the worker count, or if any cap is non-positive or
+    /// non-finite.
+    pub fn with_worker_bandwidths(mut self, bandwidths: Vec<f64>) -> Self {
+        assert!(
+            matches!(self.model, NetworkModel::BoundedMultiport { .. }),
+            "per-worker bandwidths only apply to the bounded-multiport model"
+        );
+        assert_eq!(
+            bandwidths.len(),
+            self.latency.len(),
+            "one bandwidth per worker (got {} for {} workers)",
+            bandwidths.len(),
+            self.latency.len()
+        );
+        assert!(
+            bandwidths.iter().all(|b| b.is_finite() && *b > 0.0),
+            "worker bandwidths must be positive and finite"
+        );
+        self.worker_bw = bandwidths;
+        self
     }
 
     /// The model this state prices.
@@ -80,7 +130,14 @@ impl NetState {
                 arrival: now,
             };
         }
-        let rate = self.model.transfer_rate().expect("priced model");
+        let rate = if self.worker_bw.is_empty() {
+            self.model.transfer_rate().expect("priced model")
+        } else {
+            // Heterogeneous multiport: each transfer runs at the target
+            // worker's own inbound cap, still bounded by the master.
+            let master = self.model.master_bw().expect("priced model");
+            self.worker_bw[k.idx()].min(master)
+        };
         let duration = blocks as f64 / rate;
 
         // Earliest-free channel, FIFO over requests.
@@ -102,7 +159,9 @@ impl NetState {
         }
         self.max_queue_depth = self.max_queue_depth.max(self.waiting_starts.len());
 
-        let latency = self.latency.get(k.idx()).copied().unwrap_or(0.0);
+        // Construction guarantees one entry per worker, so an out-of-range
+        // worker id is a hard (index) error, never a silent free link.
+        let latency = self.latency[k.idx()];
         TransferPlan {
             start,
             end,
@@ -136,12 +195,12 @@ mod tests {
     use super::*;
 
     fn one_port(bw: f64) -> NetState {
-        NetState::new(NetworkModel::OnePort { master_bw: bw }, vec![0.0; 4])
+        NetState::new(NetworkModel::OnePort { master_bw: bw }, 4, vec![0.0; 4])
     }
 
     #[test]
     fn infinite_transfers_are_free() {
-        let mut net = NetState::new(NetworkModel::Infinite, vec![5.0; 3]);
+        let mut net = NetState::new(NetworkModel::Infinite, 3, vec![5.0; 3]);
         let plan = net.send(ProcId(0), 1000, 2.5);
         assert_eq!(plan.start, 2.5);
         assert_eq!(plan.arrival, 2.5, "infinite ignores latency");
@@ -176,7 +235,7 @@ mod tests {
 
     #[test]
     fn latency_delays_arrival_only() {
-        let mut net = NetState::new(NetworkModel::OnePort { master_bw: 10.0 }, vec![0.0, 2.0]);
+        let mut net = NetState::new(NetworkModel::OnePort { master_bw: 10.0 }, 2, vec![0.0, 2.0]);
         let a = net.send(ProcId(1), 10, 0.0);
         assert_eq!(a.end, 1.0);
         assert_eq!(a.arrival, 3.0);
@@ -193,6 +252,7 @@ mod tests {
                 master_bw: 20.0,
                 worker_bw: 10.0,
             },
+            4,
             vec![0.0; 4],
         );
         // Two channels at rate 10 each.
@@ -218,6 +278,80 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid network model")]
     fn invalid_model_rejected() {
-        let _ = NetState::new(NetworkModel::OnePort { master_bw: -1.0 }, vec![0.0]);
+        let _ = NetState::new(NetworkModel::OnePort { master_bw: -1.0 }, 1, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one link latency per worker")]
+    fn short_latency_vector_rejected() {
+        // A shard that forgets to slice latencies must fail loudly instead
+        // of quietly getting free links.
+        let _ = NetState::new(NetworkModel::OnePort { master_bw: 1.0 }, 4, vec![0.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one link latency per worker")]
+    fn long_latency_vector_rejected() {
+        let _ = NetState::new(NetworkModel::Infinite, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bandwidth per worker")]
+    fn short_bandwidth_vector_rejected() {
+        let model = NetworkModel::BoundedMultiport {
+            master_bw: 20.0,
+            worker_bw: 10.0,
+        };
+        let _ = NetState::new(model, 4, vec![0.0; 4]).with_worker_bandwidths(vec![10.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only apply to the bounded-multiport model")]
+    fn per_worker_bandwidths_require_multiport() {
+        let _ = NetState::new(NetworkModel::OnePort { master_bw: 5.0 }, 2, vec![0.0; 2])
+            .with_worker_bandwidths(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_bandwidth_rejected() {
+        let model = NetworkModel::BoundedMultiport {
+            master_bw: 20.0,
+            worker_bw: 10.0,
+        };
+        let _ = NetState::new(model, 2, vec![0.0; 2]).with_worker_bandwidths(vec![10.0, 0.0]);
+    }
+
+    #[test]
+    fn per_worker_bandwidths_price_each_link() {
+        let model = NetworkModel::BoundedMultiport {
+            master_bw: 20.0,
+            worker_bw: 10.0,
+        };
+        let mut net = NetState::new(model, 2, vec![0.0; 2]).with_worker_bandwidths(vec![10.0, 2.0]);
+        let fast = net.send(ProcId(0), 10, 0.0);
+        let slow = net.send(ProcId(1), 10, 0.0);
+        assert_eq!(fast.end, 1.0, "worker 0 keeps the uniform rate");
+        assert_eq!(slow.end, 5.0, "worker 1 is capped at 2 blocks/time");
+    }
+
+    #[test]
+    fn uniform_bandwidth_list_matches_uniform_model() {
+        // The per-worker override with every entry equal to the model's
+        // uniform cap prices identically to the plain model.
+        let model = NetworkModel::BoundedMultiport {
+            master_bw: 20.0,
+            worker_bw: 10.0,
+        };
+        let mut plain = NetState::new(model, 3, vec![0.0; 3]);
+        let mut listed =
+            NetState::new(model, 3, vec![0.0; 3]).with_worker_bandwidths(vec![10.0; 3]);
+        for (k, blocks, now) in [(0u32, 10u64, 0.0), (1, 7, 0.2), (2, 3, 0.4), (0, 5, 1.0)] {
+            assert_eq!(
+                plain.send(ProcId(k), blocks, now),
+                listed.send(ProcId(k), blocks, now)
+            );
+        }
+        assert_eq!(plain.master_busy(), listed.master_busy());
     }
 }

@@ -25,9 +25,23 @@ impl WorkerData {
         }
     }
 
+    /// Fresh worker over a `rows × cols` task rectangle (a hierarchy
+    /// shard): `a` spans the shard's rows, `b` its columns.
+    pub fn rect(rows: usize, cols: usize) -> Self {
+        WorkerData {
+            a: VectorOwnership::new(rows),
+            b: VectorOwnership::new(cols),
+        }
+    }
+
     /// Per-worker fleet constructor.
     pub fn fleet(n: usize, p: usize) -> Vec<WorkerData> {
         (0..p).map(|_| WorkerData::new(n)).collect()
+    }
+
+    /// [`rect`](Self::rect) fleet constructor.
+    pub fn fleet_rect(rows: usize, cols: usize, p: usize) -> Vec<WorkerData> {
+        (0..p).map(|_| WorkerData::rect(rows, cols)).collect()
     }
 
     /// Fraction of all `2n` input blocks this worker owns — the knowledge

@@ -3,12 +3,12 @@
 use hetsched_util::{BitGrid, SwapList};
 use rand::rngs::StdRng;
 
-/// The `n × n` task grid: which tasks have been allocated ("processed" in
-/// the paper's vocabulary — allocation wins the race), plus an O(1)
-/// uniform sampler over the unprocessed residue.
+/// The `rows × cols` task grid (an `n × n` square for a flat run): which
+/// tasks have been allocated ("processed" in the paper's vocabulary —
+/// allocation wins the race), plus an O(1) uniform sampler over the
+/// unprocessed residue.
 #[derive(Clone, Debug)]
 pub struct OuterState {
-    n: usize,
     processed: BitGrid,
     remaining: SwapList,
     /// Tasks returned to the pool by a worker failure and not yet
@@ -20,24 +20,35 @@ impl OuterState {
     /// Fresh state with all `n²` tasks unprocessed.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "need at least one block per vector");
+        Self::rect(n, n)
+    }
+
+    /// Fresh state over a `rows × cols` rectangle — a hierarchy shard of
+    /// the full task grid. Zero-extent shards are allowed (no tasks).
+    pub fn rect(rows: usize, cols: usize) -> Self {
         OuterState {
-            n,
-            processed: BitGrid::square(n),
-            remaining: SwapList::full(n * n),
+            processed: BitGrid::new(rows, cols),
+            remaining: SwapList::full(rows * cols),
             orphans: Vec::new(),
         }
     }
 
-    /// Blocks per vector.
+    /// Blocks of the `a` vector (task-grid rows).
     #[inline]
-    pub fn n(&self) -> usize {
-        self.n
+    pub fn rows(&self) -> usize {
+        self.processed.rows()
     }
 
-    /// Total number of tasks (`n²`).
+    /// Blocks of the `b` vector (task-grid columns).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.processed.cols()
+    }
+
+    /// Total number of tasks (`rows·cols`).
     #[inline]
     pub fn total(&self) -> usize {
-        self.n * self.n
+        self.processed.total()
     }
 
     /// Tasks not yet allocated.

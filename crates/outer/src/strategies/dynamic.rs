@@ -30,6 +30,15 @@ impl DynamicOuter {
         }
     }
 
+    /// Rectangular shard variant (`rows × cols` task grid) for the
+    /// hierarchical tree topology.
+    pub fn rect(rows: usize, cols: usize, p: usize) -> Self {
+        DynamicOuter {
+            state: OuterState::rect(rows, cols),
+            workers: WorkerData::fleet_rect(rows, cols, p),
+        }
+    }
+
     /// Read-only view of the task state (for audits).
     pub fn state(&self) -> &OuterState {
         &self.state

@@ -28,6 +28,16 @@ impl SortedOuter {
         }
     }
 
+    /// Rectangular shard variant (`rows × cols` task grid) for the
+    /// hierarchical tree topology.
+    pub fn rect(rows: usize, cols: usize, p: usize) -> Self {
+        SortedOuter {
+            state: OuterState::rect(rows, cols),
+            workers: WorkerData::fleet_rect(rows, cols, p),
+            cursor: 0,
+        }
+    }
+
     /// Read-only view of the task state (for audits).
     pub fn state(&self) -> &OuterState {
         &self.state

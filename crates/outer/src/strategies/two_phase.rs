@@ -59,6 +59,37 @@ impl DynamicOuter2Phases {
         Self::new(n, p, threshold)
     }
 
+    /// Rectangular shard variant (`rows × cols` task grid) for the
+    /// hierarchical tree topology; switch when at most `threshold` tasks
+    /// remain.
+    pub fn rect(rows: usize, cols: usize, p: usize, threshold: usize) -> Self {
+        DynamicOuter2Phases {
+            state: OuterState::rect(rows, cols),
+            workers: WorkerData::fleet_rect(rows, cols, p),
+            threshold,
+            phase1_blocks: 0,
+            phase2_blocks: 0,
+            phase1_tasks: 0,
+            phase2_tasks: 0,
+        }
+    }
+
+    /// [`with_beta`](Self::with_beta) over a rectangular shard: switch when
+    /// `e^{−β}` of the shard's own `rows·cols` tasks remain.
+    pub fn rect_with_beta(rows: usize, cols: usize, p: usize, beta: f64) -> Self {
+        assert!(beta >= 0.0, "β must be non-negative");
+        let threshold = ((-beta).exp() * (rows * cols) as f64).round() as usize;
+        Self::rect(rows, cols, p, threshold)
+    }
+
+    /// [`with_phase1_fraction`](Self::with_phase1_fraction) over a
+    /// rectangular shard.
+    pub fn rect_with_phase1_fraction(rows: usize, cols: usize, p: usize, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        let threshold = ((1.0 - fraction) * (rows * cols) as f64).round() as usize;
+        Self::rect(rows, cols, p, threshold)
+    }
+
     /// The switch-over threshold in remaining tasks.
     pub fn threshold(&self) -> usize {
         self.threshold

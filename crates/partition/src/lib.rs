@@ -26,5 +26,5 @@ pub mod grid;
 pub mod scheduler;
 
 pub use column::{optimal_column_partition, ColumnPartition, Rect};
-pub use grid::GridPartition;
+pub use grid::{GridPartition, GridRect};
 pub use scheduler::StaticOuter;

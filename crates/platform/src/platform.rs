@@ -31,6 +31,10 @@ pub struct Platform {
     /// to the batch being usable at the worker). All zeros by default; only
     /// priced network models (`hetsched-net`) read it.
     link_latency: Vec<f64>,
+    /// Per-worker inbound bandwidth caps (blocks per unit time). Empty by
+    /// default, meaning the network model's uniform `worker_bw` applies;
+    /// only the bounded-multiport model reads it.
+    link_bandwidth: Vec<f64>,
 }
 
 impl Platform {
@@ -47,6 +51,7 @@ impl Platform {
             speeds,
             total,
             link_latency,
+            link_bandwidth: Vec::new(),
         }
     }
 
@@ -81,6 +86,33 @@ impl Platform {
     #[inline]
     pub fn link_latencies(&self) -> &[f64] {
         &self.link_latency
+    }
+
+    /// Sets per-worker inbound bandwidth caps (must match the processor
+    /// count; only the bounded-multiport network model reads them).
+    pub fn with_link_bandwidths(mut self, bandwidths: Vec<f64>) -> Self {
+        assert_eq!(
+            bandwidths.len(),
+            self.speeds.len(),
+            "one bandwidth per processor"
+        );
+        assert!(
+            bandwidths.iter().all(|&b| b.is_finite() && b > 0.0),
+            "bandwidths must be positive and finite"
+        );
+        self.link_bandwidth = bandwidths;
+        self
+    }
+
+    /// Per-worker inbound bandwidth caps, if set (`None` means the network
+    /// model's uniform `worker_bw` applies to every worker).
+    #[inline]
+    pub fn link_bandwidths(&self) -> Option<&[f64]> {
+        if self.link_bandwidth.is_empty() {
+            None
+        } else {
+            Some(&self.link_bandwidth)
+        }
     }
 
     /// Draws `p` speeds from `dist`.
@@ -202,6 +234,20 @@ mod tests {
         for k in pf.procs() {
             assert_eq!(pf.relative_speed(k), 1.0 / 8.0);
         }
+    }
+
+    #[test]
+    fn link_bandwidths_default_to_uniform() {
+        let pf = Platform::from_speeds(vec![1.0, 2.0]);
+        assert_eq!(pf.link_bandwidths(), None);
+        let pf = pf.with_link_bandwidths(vec![5.0, 10.0]);
+        assert_eq!(pf.link_bandwidths(), Some(&[5.0, 10.0][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one bandwidth per processor")]
+    fn mismatched_link_bandwidths_rejected() {
+        let _ = Platform::from_speeds(vec![1.0, 2.0]).with_link_bandwidths(vec![5.0]);
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct SimReport {
     /// them — bandwidth wasted on corpses (zero without fault injection or
     /// under [`NetworkModel::Infinite`]).
     pub wasted_blocks: u64,
+    /// Blocks shipped over root → sub-master links by the hierarchical tree
+    /// topology ([`crate::tree::run_tree`]). Always zero on the flat
+    /// topology and for a single-sub-master tree; counted in
+    /// [`total_blocks`](Self::total_blocks) but not in the per-worker
+    /// ledger.
+    pub tier_blocks: u64,
 }
 
 impl SimReport {
@@ -357,6 +363,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 link_utilization: 0.0,
                 max_queue_depth: 0,
                 wasted_blocks: 0,
+                tier_blocks: 0,
             },
             self.scheduler,
             (),

@@ -57,7 +57,9 @@ mod net_engine;
 pub mod probe;
 pub mod scheduler;
 pub mod sink;
+pub mod topology;
 pub mod trace;
+pub mod tree;
 
 pub use engine::{
     run, run_configured, run_configured_recorded, run_configured_traced, run_traced,
@@ -69,4 +71,6 @@ pub use metrics::CommLedger;
 pub use probe::{ProbeConfig, ProbeIter, ProbeSample, ProbeSeries, Recorder};
 pub use scheduler::{Allocation, Scheduler};
 pub use sink::{ChromeStream, JsonlStream, NullSink, StreamingSink};
+pub use topology::Topology;
 pub use trace::{EventKind, Trace, TraceEvent};
+pub use tree::{run_tree, ShardSpec, TreeOutcome};

@@ -149,6 +149,29 @@ impl CommLedger {
         self.wasted.iter().sum()
     }
 
+    /// Merges a sub-ledger into this one, mapping the sub-ledger's worker
+    /// `j` onto this ledger's worker `offset + j`. Used by the hierarchical
+    /// tree topology to fold per-shard ledgers (indexed over the shard's
+    /// local workers) back into the global worker index space.
+    pub fn absorb_at(&mut self, offset: usize, other: &CommLedger) {
+        assert!(
+            offset + other.blocks.len() <= self.blocks.len(),
+            "sub-ledger of {} workers at offset {offset} overflows ledger of {}",
+            other.blocks.len(),
+            self.blocks.len()
+        );
+        for j in 0..other.blocks.len() {
+            self.blocks[offset + j] += other.blocks[j];
+            self.tasks[offset + j] += other.tasks[j];
+            self.busy[offset + j] += other.busy[j];
+            self.requests[offset + j] += other.requests[j];
+            self.lost[offset + j] += other.lost[j];
+            self.reshipped[offset + j] += other.reshipped[j];
+            self.wait[offset + j] += other.wait[j];
+            self.wasted[offset + j] += other.wasted[j];
+        }
+    }
+
     /// Per-worker block counts.
     pub fn blocks_per_proc(&self) -> &[u64] {
         &self.blocks
@@ -219,6 +242,33 @@ mod tests {
         // Fault counters are orthogonal to the work counters.
         assert_eq!(l.total_tasks(), 0);
         assert_eq!(l.total_blocks(), 0);
+    }
+
+    #[test]
+    fn absorb_at_maps_shard_workers_onto_global_slots() {
+        let mut global = CommLedger::new(5);
+        global.record(ProcId(1), 1, 1, 0.5);
+
+        let mut shard = CommLedger::new(2);
+        shard.record(ProcId(0), 4, 2, 1.0);
+        shard.record(ProcId(1), 6, 3, 2.0);
+        shard.record_lost(ProcId(1), 2);
+        shard.record_wait(ProcId(0), 0.25);
+
+        global.absorb_at(1, &shard);
+        assert_eq!(global.tasks_per_proc(), &[0, 5, 6, 0, 0]);
+        assert_eq!(global.blocks_per_proc(), &[0, 3, 3, 0, 0]);
+        assert_eq!(global.lost_per_proc(), &[0, 0, 2, 0, 0]);
+        assert_eq!(global.wait_per_proc(), &[0.0, 0.25, 0.0, 0.0, 0.0]);
+        assert_eq!(global.requests(ProcId(1)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn absorb_at_rejects_overflow() {
+        let mut global = CommLedger::new(2);
+        let shard = CommLedger::new(2);
+        global.absorb_at(1, &shard);
     }
 
     #[test]

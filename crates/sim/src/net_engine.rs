@@ -363,7 +363,13 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             scratch: Vec::new(),
             gather: Vec::new(),
             q: NetQueue::default(),
-            net: NetState::new(self.network, self.platform.link_latencies().to_vec()),
+            net: {
+                let net = NetState::new(self.network, p, self.platform.link_latencies().to_vec());
+                match self.platform.link_bandwidths() {
+                    Some(bws) => net.with_worker_bandwidths(bws.to_vec()),
+                    None => net,
+                }
+            },
         };
 
         // Unconditional death events, pushed before anything else so they
@@ -511,6 +517,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 link_utilization,
                 max_queue_depth,
                 wasted_blocks,
+                tier_blocks: 0,
             },
             self.scheduler,
             (),

@@ -32,6 +32,20 @@ use std::fmt::Write as _;
 /// Seconds of simulated time per Chrome-trace microsecond tick.
 const TICKS: f64 = 1e6;
 
+/// `fmt::Write` into a `String` cannot fail, so the renderers discard the
+/// `Ok(())` instead of carrying a panic path for an impossible error. Real
+/// I/O errors are captured by the streams' sticky `err` field and surfaced
+/// through `into_inner`.
+trait InfallibleFmt {
+    fn infallible(self);
+}
+
+impl InfallibleFmt for std::fmt::Result {
+    fn infallible(self) {
+        debug_assert!(self.is_ok(), "string formatting cannot fail");
+    }
+}
+
 /// Incremental consumer of a recorded run: receives every flushed chunk of
 /// trace events in emission order, then — exactly once, at the end of the
 /// run — the probe series.
@@ -80,7 +94,7 @@ fn jsonl_event_line(out: &mut String, e: &TraceEvent) {
         e.blocks,
         num(e.duration),
     )
-    .expect("string write");
+    .infallible();
 }
 
 /// Appends one JSONL probe line (with trailing newline) to `out`.
@@ -109,7 +123,7 @@ fn jsonl_probe_line(out: &mut String, s: &ProbeSample) {
         num(s.link_busy),
         s.queue_depth,
     )
-    .expect("string write");
+    .infallible();
 }
 
 /// Streaming JSON-Lines writer over any `io::Write`.
@@ -135,7 +149,7 @@ impl<W: std::io::Write> JsonlStream<W> {
             buf: String::new(),
         };
         if let Some(m) = manifest {
-            writeln!(s.buf, "{{\"type\":\"manifest\",\"manifest\":{m}}}").expect("string write");
+            writeln!(s.buf, "{{\"type\":\"manifest\",\"manifest\":{m}}}").infallible();
             s.flush_buf();
         }
         s
@@ -184,8 +198,10 @@ pub fn jsonl(manifest: Option<&str>, trace: &Trace, probes: &ProbeSeries) -> Str
     let mut sink = JsonlStream::new(Vec::new(), manifest);
     sink.write_events(trace.events());
     sink.finish(probes);
-    let bytes = sink.into_inner().expect("Vec<u8> write cannot fail");
-    String::from_utf8(bytes).expect("sink output is UTF-8")
+    // Writing into a `Vec<u8>` never errors and the renderers only emit
+    // UTF-8, so both fallbacks are unreachable — but neither panics.
+    let bytes = sink.into_inner().unwrap_or_default();
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 /// Appends the Chrome trace-event JSON object for `e` (no comma, no
@@ -230,7 +246,7 @@ fn chrome_event_json(out: &mut String, e: &TraceEvent, p: usize) {
             "{{\"name\":\"phase switch\",\"cat\":\"scheduler\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{k},\"ts\":{ts},\"args\":{{}}}}"
         ),
     }
-    .expect("string write");
+    .infallible();
 }
 
 /// Streaming Chrome trace-event writer over any `io::Write`.
@@ -272,7 +288,7 @@ impl<W: std::io::Write> ChromeStream<W> {
             ),
             None => write!(s.buf, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
         }
-        .expect("string write");
+        .infallible();
         s.sep();
         s.buf.push_str(
             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"hetsched\"}}",
@@ -283,14 +299,14 @@ impl<W: std::io::Write> ChromeStream<W> {
                 s.buf,
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"args\":{{\"name\":\"worker {k}\"}}}}"
             )
-            .expect("string write");
+            .infallible();
             s.sep();
             write!(
                 s.buf,
                 "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{k},\"args\":{{\"sort_index\":{}}}}}",
                 2 * k
             )
-            .expect("string write");
+            .infallible();
             if has_net {
                 s.sep();
                 write!(
@@ -298,7 +314,7 @@ impl<W: std::io::Write> ChromeStream<W> {
                     "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"worker {k} net\"}}}}",
                     p + k
                 )
-                .expect("string write");
+                .infallible();
                 s.sep();
                 write!(
                     s.buf,
@@ -306,7 +322,7 @@ impl<W: std::io::Write> ChromeStream<W> {
                     p + k,
                     2 * k + 1
                 )
-                .expect("string write");
+                .infallible();
             }
         }
         s.flush_buf();
@@ -359,14 +375,14 @@ impl<W: std::io::Write> StreamingSink for ChromeStream<W> {
                 "{{\"name\":\"remaining tasks\",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"remaining\":{}}}}}",
                 s.remaining
             )
-            .expect("string write");
+            .infallible();
             self.sep();
             write!(
                 self.buf,
                 "{{\"name\":\"send queue depth\",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"depth\":{}}}}}",
                 s.queue_depth
             )
-            .expect("string write");
+            .infallible();
             self.flush_buf();
         }
         self.buf.push_str("]}\n");
@@ -395,8 +411,10 @@ pub fn chrome_trace(
     let mut sink = ChromeStream::new(Vec::new(), manifest, p, has_net);
     sink.write_events(trace.events());
     sink.finish(probes);
-    let bytes = sink.into_inner().expect("Vec<u8> write cannot fail");
-    String::from_utf8(bytes).expect("sink output is UTF-8")
+    // Writing into a `Vec<u8>` never errors and the renderers only emit
+    // UTF-8, so both fallbacks are unreachable — but neither panics.
+    let bytes = sink.into_inner().unwrap_or_default();
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 #[cfg(test)]

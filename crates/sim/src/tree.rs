@@ -1,0 +1,426 @@
+//! Hierarchical (tree) topology execution: root → sub-masters → workers.
+//!
+//! The flat engine ([`crate::Engine`]) is the paper's star: one master
+//! serving every worker. This module composes it into a two-level tree:
+//! the caller statically partitions the task grid into one shard per
+//! sub-master (the top-level split; `hetsched-core` derives it from the
+//! optimal static column partition), and `run_tree` runs one *unchanged*
+//! flat engine per shard over that sub-master's contiguous slice of the
+//! workers. The root only ships each shard's input blocks to its
+//! sub-master once, up front; that inter-tier transfer is priced through
+//! [`NetState`] under the run's network model, and a shard's clock starts
+//! when its inputs arrive.
+//!
+//! **Identity guarantee:** with a single sub-master the tree collapses to
+//! the flat engine bit for bit — same platform borrow, same RNG stream,
+//! no tier transfers — so every flat golden keeps holding under
+//! `Topology::Tree { submasters: 1 }`.
+
+use crate::engine::{Engine, SimReport};
+use crate::metrics::CommLedger;
+use crate::scheduler::Scheduler;
+use hetsched_net::{NetState, NetworkModel};
+use hetsched_platform::{FailureModel, Platform, ProcId, SpeedModel};
+use rand::rngs::StdRng;
+
+/// One sub-master's share of a tree run: a flat scheduler over a
+/// contiguous slice of the workers, plus the volume the root must ship it
+/// before it can start.
+///
+/// The scheduler is index-local: its worker `ProcId(0)` is the global
+/// worker `start`, and its task ids live in the shard's own `0..len` grid.
+#[derive(Debug)]
+pub struct ShardSpec<S> {
+    /// The shard's flat strategy, already sized to the shard's task grid.
+    pub scheduler: S,
+    /// First global worker index served by this sub-master.
+    pub start: usize,
+    /// Number of (contiguous) workers served by this sub-master.
+    pub len: usize,
+    /// Blocks the root ships to the sub-master at `t = 0` (the shard's
+    /// input footprint). Ignored — and free — with a single sub-master.
+    pub input_blocks: u64,
+    /// The shard's private run RNG. With a single sub-master this must be
+    /// the flat run stream for bit-identity; with several, each shard gets
+    /// its own derived stream.
+    pub rng: StdRng,
+}
+
+/// Merged outcome of a tree run.
+#[derive(Clone, Debug)]
+pub struct TreeOutcome {
+    /// Global report: per-worker ledger in global indices, makespan over
+    /// the whole tree, `total_blocks` = worker volume + tier volume.
+    pub report: SimReport,
+    /// When each shard's inputs arrived (its local clock's origin on the
+    /// global clock). All zeros with one sub-master or a free network.
+    pub shard_starts: Vec<f64>,
+    /// Each shard's local makespan (its sub-master's view).
+    pub shard_makespans: Vec<f64>,
+}
+
+/// Runs one flat engine per shard and merges the results.
+///
+/// Shards must tile the platform contiguously: `start` values in order,
+/// each `len ≥ 1`, jointly covering `0..platform.len()`.
+///
+/// With `shards.len() == 1` this is *exactly* the flat
+/// `run_configured` path (same platform borrow, no tier pricing). With
+/// more, the root first ships every shard's `input_blocks` over its own
+/// [`NetState`] (one link per sub-master, latency = mean of the shard's
+/// worker latencies, sends issued in shard order at `t = 0`); each shard
+/// then runs on a sliced sub-platform with its failure scenario re-indexed
+/// and shifted onto the shard's local clock.
+///
+/// # Panics
+///
+/// On a non-contiguous shard layout, an invalid network model, or a
+/// failure scenario that kills *every* worker of some shard (each shard
+/// needs a survivor, exactly like a flat platform).
+pub fn run_tree<S: Scheduler>(
+    platform: &Platform,
+    model: SpeedModel,
+    failures: &FailureModel,
+    network: NetworkModel,
+    shards: Vec<ShardSpec<S>>,
+) -> (TreeOutcome, Vec<S>) {
+    let p = platform.len();
+    assert!(!shards.is_empty(), "tree run needs at least one shard");
+    let mut cursor = 0usize;
+    for (j, s) in shards.iter().enumerate() {
+        assert_eq!(
+            s.start, cursor,
+            "shard {j} starts at worker {} but the previous shard ends at {cursor}",
+            s.start
+        );
+        assert!(s.len >= 1, "shard {j} has no workers");
+        cursor += s.len;
+    }
+    assert_eq!(cursor, p, "shards cover {cursor} workers, platform has {p}");
+
+    if shards.len() == 1 {
+        // Single sub-master: the tree *is* the flat run. Use the caller's
+        // platform borrow and RNG directly so results are bit-for-bit
+        // identical to the flat engine — no slicing, no tier transfers.
+        let mut shard = shards.into_iter().next().expect("one shard");
+        let (report, scheduler) = Engine::new(platform, model, shard.scheduler)
+            .with_failures(failures)
+            .with_network(network)
+            .run(&mut shard.rng);
+        let makespan = report.makespan;
+        return (
+            TreeOutcome {
+                report,
+                shard_starts: vec![0.0],
+                shard_makespans: vec![makespan],
+            },
+            vec![scheduler],
+        );
+    }
+
+    // Root tier: one priced link per sub-master. The tier link's latency is
+    // the mean of the shard's worker latencies (the sub-master sits "in the
+    // middle" of its workers); bandwidth is the model's uniform pricing.
+    let latencies = platform.link_latencies();
+    let tier_latency: Vec<f64> = shards
+        .iter()
+        .map(|s| latencies[s.start..s.start + s.len].iter().sum::<f64>() / s.len as f64)
+        .collect();
+    let mut tier = NetState::new(network, shards.len(), tier_latency);
+    let mut tier_blocks = 0u64;
+    let shard_starts: Vec<f64> = shards
+        .iter()
+        .enumerate()
+        .map(|(j, s)| {
+            tier_blocks += s.input_blocks;
+            tier.send(ProcId(j as u32), s.input_blocks, 0.0).arrival
+        })
+        .collect();
+
+    let mut ledger = CommLedger::new(p);
+    let mut makespan = 0.0f64;
+    let mut lost_tasks = 0;
+    let mut reshipped_blocks = 0;
+    let mut wasted_blocks = 0;
+    let mut link_utilization = 0.0f64;
+    let mut max_queue_depth = 0usize;
+    let mut shard_makespans = Vec::with_capacity(shards.len());
+    let mut schedulers = Vec::with_capacity(shards.len());
+
+    for (j, mut shard) in shards.into_iter().enumerate() {
+        let range = shard.start..shard.start + shard.len;
+        let mut sub_pf = Platform::from_speeds(platform.speeds()[range.clone()].to_vec())
+            .with_link_latencies(latencies[range.clone()].to_vec());
+        if let Some(bws) = platform.link_bandwidths() {
+            sub_pf = sub_pf.with_link_bandwidths(bws[range.clone()].to_vec());
+        }
+
+        // Re-index the failure scenario onto the shard and shift fail-stop
+        // times onto the shard's local clock (which starts when its inputs
+        // arrive). A global failure before the shard even starts becomes a
+        // death at local t = 0.
+        let mut sub_failures = FailureModel::none();
+        for &(k, t) in failures.failures() {
+            if range.contains(&k.idx()) {
+                sub_failures = sub_failures.fail_at(
+                    ProcId((k.idx() - shard.start) as u32),
+                    (t - shard_starts[j]).max(0.0),
+                );
+            }
+        }
+        for &(k, f) in failures.stragglers() {
+            if range.contains(&k.idx()) {
+                sub_failures = sub_failures.slow_down(ProcId((k.idx() - shard.start) as u32), f);
+            }
+        }
+
+        let (report, scheduler) = Engine::new(&sub_pf, model, shard.scheduler)
+            .with_failures(&sub_failures)
+            .with_network(network)
+            .run(&mut shard.rng);
+
+        ledger.absorb_at(shard.start, &report.ledger);
+        makespan = makespan.max(shard_starts[j] + report.makespan);
+        lost_tasks += report.lost_tasks;
+        reshipped_blocks += report.reshipped_blocks;
+        wasted_blocks += report.wasted_blocks;
+        link_utilization = link_utilization.max(report.link_utilization);
+        max_queue_depth = max_queue_depth.max(report.max_queue_depth);
+        shard_makespans.push(report.makespan);
+        schedulers.push(scheduler);
+    }
+
+    link_utilization = link_utilization.max(tier.utilization(makespan));
+    max_queue_depth = max_queue_depth.max(tier.max_queue_depth());
+    let total_blocks = ledger.total_blocks() + tier_blocks;
+
+    (
+        TreeOutcome {
+            report: SimReport {
+                ledger,
+                makespan,
+                total_blocks,
+                lost_tasks,
+                reshipped_blocks,
+                link_utilization,
+                max_queue_depth,
+                wasted_blocks,
+                tier_blocks,
+            },
+            shard_starts,
+            shard_makespans,
+        },
+        schedulers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Allocation;
+    use hetsched_util::rng::rng_for;
+
+    /// Toy shard strategy: hands out single tasks, one block each.
+    struct Pool {
+        remaining: usize,
+        total: usize,
+    }
+
+    fn pool(total: usize) -> Pool {
+        Pool {
+            remaining: total,
+            total,
+        }
+    }
+
+    impl Scheduler for Pool {
+        fn on_request(&mut self, _k: ProcId, _rng: &mut StdRng, out: &mut Vec<u32>) -> Allocation {
+            if self.remaining == 0 {
+                return Allocation::DONE;
+            }
+            self.remaining -= 1;
+            out.push(self.remaining as u32);
+            Allocation {
+                tasks: 1,
+                blocks: 1,
+            }
+        }
+        fn on_tasks_lost(&mut self, ids: &[u32]) {
+            self.remaining += ids.len();
+        }
+        fn remaining(&self) -> usize {
+            self.remaining
+        }
+        fn total_tasks(&self) -> usize {
+            self.total
+        }
+        fn name(&self) -> &'static str {
+            "Pool"
+        }
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_flat() {
+        let pf = Platform::from_speeds(vec![10.0, 30.0, 60.0]);
+        let (flat, _) = crate::run(&pf, SpeedModel::Fixed, pool(300), &mut rng_for(3, 0x22));
+        let shards = vec![ShardSpec {
+            scheduler: pool(300),
+            start: 0,
+            len: 3,
+            input_blocks: 999, // ignored with one shard
+            rng: rng_for(3, 0x22),
+        }];
+        let (tree, _) = run_tree(
+            &pf,
+            SpeedModel::Fixed,
+            &FailureModel::none(),
+            NetworkModel::Infinite,
+            shards,
+        );
+        assert_eq!(tree.report.makespan, flat.makespan);
+        assert_eq!(tree.report.total_blocks, flat.total_blocks);
+        assert_eq!(
+            tree.report.ledger.tasks_per_proc(),
+            flat.ledger.tasks_per_proc()
+        );
+        assert_eq!(tree.report.tier_blocks, 0);
+        assert_eq!(tree.shard_starts, vec![0.0]);
+    }
+
+    #[test]
+    fn two_shards_merge_into_global_indices() {
+        let pf = Platform::from_speeds(vec![10.0, 10.0, 20.0, 20.0]);
+        let shards = vec![
+            ShardSpec {
+                scheduler: pool(100),
+                start: 0,
+                len: 2,
+                input_blocks: 10,
+                rng: rng_for(7, 0),
+            },
+            ShardSpec {
+                scheduler: pool(200),
+                start: 2,
+                len: 2,
+                input_blocks: 20,
+                rng: rng_for(7, 1),
+            },
+        ];
+        let (tree, scheds) = run_tree(
+            &pf,
+            SpeedModel::Fixed,
+            &FailureModel::none(),
+            NetworkModel::Infinite,
+            shards,
+        );
+        assert_eq!(scheds.len(), 2);
+        let tasks = tree.report.ledger.tasks_per_proc();
+        assert_eq!(tasks[0] + tasks[1], 100, "shard 0 on workers 0..2");
+        assert_eq!(tasks[2] + tasks[3], 200, "shard 1 on workers 2..4");
+        assert_eq!(tree.report.tier_blocks, 30);
+        assert_eq!(tree.report.total_blocks, 300 + 30);
+        // Free network: both shards start at t = 0 and the makespan is the
+        // slower shard's local makespan.
+        assert_eq!(tree.shard_starts, vec![0.0, 0.0]);
+        assert_eq!(
+            tree.report.makespan,
+            tree.shard_makespans[0].max(tree.shard_makespans[1])
+        );
+    }
+
+    #[test]
+    fn one_port_tier_serializes_shard_starts() {
+        let pf = Platform::homogeneous(4);
+        let net = NetworkModel::OnePort { master_bw: 10.0 };
+        let shards = vec![
+            ShardSpec {
+                scheduler: pool(50),
+                start: 0,
+                len: 2,
+                input_blocks: 40,
+                rng: rng_for(8, 0),
+            },
+            ShardSpec {
+                scheduler: pool(50),
+                start: 2,
+                len: 2,
+                input_blocks: 40,
+                rng: rng_for(8, 1),
+            },
+        ];
+        let (tree, _) = run_tree(&pf, SpeedModel::Fixed, &FailureModel::none(), net, shards);
+        // The root's single channel ships shard 0's inputs (4 time units)
+        // before shard 1's even start.
+        assert_eq!(tree.shard_starts[0], 4.0);
+        assert_eq!(tree.shard_starts[1], 8.0);
+        assert!(tree.report.makespan >= 8.0);
+        assert_eq!(tree.report.tier_blocks, 80);
+    }
+
+    #[test]
+    fn shard_failures_are_reindexed_and_shifted() {
+        let pf = Platform::from_speeds(vec![10.0, 10.0, 10.0, 10.0]);
+        // Global worker 2 = shard 1's local worker 0 dies at t = 2.0.
+        let failures = FailureModel::none().fail_at(ProcId(2), 2.0);
+        let shards = vec![
+            ShardSpec {
+                scheduler: pool(60),
+                start: 0,
+                len: 2,
+                input_blocks: 0,
+                rng: rng_for(9, 0),
+            },
+            ShardSpec {
+                scheduler: pool(60),
+                start: 2,
+                len: 2,
+                input_blocks: 0,
+                rng: rng_for(9, 1),
+            },
+        ];
+        let (tree, _) = run_tree(
+            &pf,
+            SpeedModel::Fixed,
+            &failures,
+            NetworkModel::Infinite,
+            shards,
+        );
+        assert!(tree.report.lost_tasks > 0, "the death lands mid-batch");
+        assert_eq!(
+            tree.report.ledger.lost_per_proc()[2],
+            tree.report.lost_tasks
+        );
+        assert_eq!(tree.report.ledger.total_tasks(), 120, "all work completes");
+        // The survivor of shard 1 (global worker 3) finishes the shard.
+        assert!(tree.report.ledger.tasks_per_proc()[3] > 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts at worker")]
+    fn non_contiguous_shards_rejected() {
+        let pf = Platform::homogeneous(4);
+        let shards = vec![
+            ShardSpec {
+                scheduler: pool(1),
+                start: 0,
+                len: 1,
+                input_blocks: 0,
+                rng: rng_for(0, 0),
+            },
+            ShardSpec {
+                scheduler: pool(1),
+                start: 2,
+                len: 2,
+                input_blocks: 0,
+                rng: rng_for(0, 1),
+            },
+        ];
+        let _ = run_tree(
+            &pf,
+            SpeedModel::Fixed,
+            &FailureModel::none(),
+            NetworkModel::Infinite,
+            shards,
+        );
+    }
+}

@@ -83,40 +83,64 @@ impl BitGrid {
     }
 }
 
-/// A 3-D cube of bits with `(i, j, k)`-major linearization (`i` slowest).
+/// A 3-D cuboid of bits with `(i, j, k)`-major linearization (`i` slowest,
+/// `k` fastest — lexicographic, which the sorted strategies rely on).
 #[derive(Clone, Debug)]
 pub struct BitCube {
     bits: FixedBitSet,
-    n: usize,
+    ni: usize,
+    nj: usize,
+    nk: usize,
 }
 
 impl BitCube {
     /// Creates an `n × n × n` cube, all clear.
     pub fn new(n: usize) -> Self {
+        Self::cuboid(n, n, n)
+    }
+
+    /// Creates an `ni × nj × nk` cuboid, all clear — a rectangular shard of
+    /// the matmul task cube.
+    pub fn cuboid(ni: usize, nj: usize, nk: usize) -> Self {
         BitCube {
-            bits: FixedBitSet::new(n * n * n),
-            n,
+            bits: FixedBitSet::new(ni * nj * nk),
+            ni,
+            nj,
+            nk,
         }
     }
 
+    /// Extent along `i` (for a cube, the side length `n`).
     #[inline]
-    pub fn n(&self) -> usize {
-        self.n
+    pub fn ni(&self) -> usize {
+        self.ni
+    }
+
+    /// Extent along `j`.
+    #[inline]
+    pub fn nj(&self) -> usize {
+        self.nj
+    }
+
+    /// Extent along `k`.
+    #[inline]
+    pub fn nk(&self) -> usize {
+        self.nk
     }
 
     /// Linear index of `(i, j, k)`.
     #[inline]
     pub fn linear(&self, i: usize, j: usize, k: usize) -> usize {
-        debug_assert!(i < self.n && j < self.n && k < self.n);
-        (i * self.n + j) * self.n + k
+        debug_assert!(i < self.ni && j < self.nj && k < self.nk);
+        (i * self.nj + j) * self.nk + k
     }
 
     /// Inverse of [`linear`](Self::linear).
     #[inline]
     pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
-        let k = idx % self.n;
-        let rest = idx / self.n;
-        (rest / self.n, rest % self.n, k)
+        let k = idx % self.nk;
+        let rest = idx / self.nk;
+        (rest / self.nj, rest % self.nj, k)
     }
 
     #[inline]
@@ -146,7 +170,7 @@ impl BitCube {
 
     #[inline]
     pub fn total(&self) -> usize {
-        self.n * self.n * self.n
+        self.ni * self.nj * self.nk
     }
 }
 
@@ -216,6 +240,37 @@ mod tests {
         assert!(!c.contains(3, 2, 1));
         assert_eq!(c.count_ones(), 1);
         assert_eq!(c.total(), 64);
+    }
+
+    #[test]
+    fn cuboid_linear_coords_round_trip() {
+        let c = BitCube::cuboid(3, 5, 7);
+        assert_eq!(c.total(), 105);
+        assert_eq!((c.ni(), c.nj(), c.nk()), (3, 5, 7));
+        for i in 0..3 {
+            for j in 0..5 {
+                for k in 0..7 {
+                    assert_eq!(c.coords(c.linear(i, j, k)), (i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cuboid_linearization_is_lexicographic() {
+        let c = BitCube::cuboid(2, 3, 4);
+        let mut prev = None;
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let idx = c.linear(i, j, k);
+                    if let Some(p) = prev {
+                        assert_eq!(idx, p + 1);
+                    }
+                    prev = Some(idx);
+                }
+            }
+        }
     }
 
     #[test]
