@@ -1,0 +1,85 @@
+//! Admission-time makespan bound for whole experiments.
+//!
+//! The scheduler daemon (`hetsched serve`) ranks queued jobs under its
+//! shortest-predicted-first policy without running them. The prediction is
+//! the classic two-resource lower bound: a run can finish no earlier than
+//! its compute bound (total work over aggregate speed, the makespan a
+//! perfectly balanced allocation would reach) and no earlier than its
+//! communication bound (the kernel's input-volume lower bound over the
+//! master's outbound bandwidth). Both terms are plain numbers, so the hook
+//! stays free of any dependency on the simulator or the config types —
+//! callers feed it whatever platform/kernel quantities they already have.
+
+/// Lower bound on the makespan of a run that must compute `total_tasks`
+/// unit tasks on workers of aggregate speed `total_speed`, after shipping
+/// at least `volume_lb` blocks over a master link of bandwidth `master_bw`
+/// (`None` = unpriced/infinite network, which drops the communication
+/// term).
+///
+/// Returns `max(total_tasks / total_speed, volume_lb / master_bw)`.
+///
+/// # Panics
+///
+/// If `total_speed` is not positive, or any argument is negative or
+/// non-finite.
+pub fn makespan_bound(
+    total_tasks: f64,
+    total_speed: f64,
+    volume_lb: f64,
+    master_bw: Option<f64>,
+) -> f64 {
+    assert!(
+        total_tasks.is_finite() && total_tasks >= 0.0,
+        "task count must be non-negative and finite"
+    );
+    assert!(
+        total_speed.is_finite() && total_speed > 0.0,
+        "aggregate speed must be positive and finite"
+    );
+    assert!(
+        volume_lb.is_finite() && volume_lb >= 0.0,
+        "volume lower bound must be non-negative and finite"
+    );
+    let compute = total_tasks / total_speed;
+    match master_bw {
+        Some(bw) => {
+            assert!(
+                bw.is_finite() && bw > 0.0,
+                "master bandwidth must be positive and finite"
+            );
+            compute.max(volume_lb / bw)
+        }
+        None => compute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_dominates_without_a_link() {
+        assert_eq!(makespan_bound(100.0, 20.0, 1e9, None), 5.0);
+    }
+
+    #[test]
+    fn slower_link_flips_the_binding_constraint() {
+        // Compute bound 5.0; comm bound 200/100 = 2.0 stays under it...
+        assert_eq!(makespan_bound(100.0, 20.0, 200.0, Some(100.0)), 5.0);
+        // ...until the link slows down: 200/10 = 20.0 dominates.
+        assert_eq!(makespan_bound(100.0, 20.0, 200.0, Some(10.0)), 20.0);
+    }
+
+    #[test]
+    fn monotone_in_problem_size() {
+        let small = makespan_bound(100.0, 20.0, 40.0, Some(8.0));
+        let large = makespan_bound(400.0, 20.0, 80.0, Some(8.0));
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregate speed")]
+    fn zero_speed_rejected() {
+        let _ = makespan_bound(1.0, 0.0, 0.0, None);
+    }
+}

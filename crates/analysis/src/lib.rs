@@ -55,6 +55,7 @@
 //!   series use; both flavours agree to `O(1/p)`.
 
 pub mod beta_table;
+pub mod bound;
 pub mod homogeneous;
 pub mod matmul;
 pub mod ode;
@@ -62,6 +63,7 @@ pub mod optimize;
 pub mod outer;
 
 pub use beta_table::{BetaTable, TableKernel};
+pub use bound::makespan_bound;
 pub use homogeneous::{beta_homogeneous_matmul, beta_homogeneous_outer};
 pub use matmul::MatmulAnalysis;
 pub use optimize::minimize_unimodal;

@@ -33,6 +33,11 @@ pub fn run(argv: Vec<String>) -> Result<String, String> {
         "partition" => partition_cmd(&args),
         "dag" => dag_cmd(&args),
         "figures" => figures_cmd(&args),
+        "serve" => crate::serve_cmd::serve_cmd(&args),
+        "submit" => crate::serve_cmd::submit_cmd(&args),
+        "status" => crate::serve_cmd::status_cmd(&args),
+        "logs" => crate::serve_cmd::logs_cmd(&args),
+        "drain" => crate::serve_cmd::drain_cmd(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -55,11 +60,13 @@ COMMANDS
              --scenario unif.1|unif.2|set.3|set.5|dyn.5|dyn.20
              --speeds S1,S2,…                (fixed platform; overrides --p)
              --fail K@T,…                    (worker K dies at time T; tasks re-allocated)
+             --fail-exp K@MEAN,…             (worker K dies at an Exp(MEAN)-drawn time, seeded per run)
              --straggler K@F,…               (worker K permanently F× slower)
              --net infinite|one-port|multiport (infinite)
              --bandwidth B                   (master link, blocks/unit time; required unless infinite)
              --worker-bw B|B1,B2,…           (worker caps, multiport only; a list is per-worker)
              --latency L                     (per-worker link latency, priced models only)
+             --price-returns                 (price C-block write-back on the master link; priced flat nets only)
              --topology flat|tree (flat)     (tree = hierarchical multi-master sharding)
              --submasters K (2)              (sub-masters under --topology tree)
              --trace-out PATH                (write the first trial's event trace)
@@ -81,6 +88,20 @@ COMMANDS
              --trace-out PATH --trace-format jsonl|chrome --probe-every N
              --probe-delta --trace-buffer N
              (trace one representative run alongside the figures)
+  serve      run the scheduler daemon: durable job queue over a Unix socket,
+             drained via `hetsched drain`
+             --socket PATH (hetsched.sock)   --log PATH (hetsched-events.jsonl)
+             --results-dir DIR (hetsched-results)
+             --policy fifo|spf|fair (fifo)   --workers N (2)
+             --lease-ttl SECS (300)          --max-retries N (2)
+  submit     queue a job on a running daemon; the spec is positional
+             `key=value` tokens mirroring the simulate flags, plus
+             name=… group=… (fair-share group)
+             e.g. `hetsched submit n=64 p=16 net=one-port bandwidth=4`
+             --socket PATH (hetsched.sock)
+  status     queue depth + per-job state     --socket PATH
+  logs       tail the daemon's event log     --socket PATH --tail N (20)
+  drain      finish queued jobs, then shut the daemon down  --socket PATH
   help       this text
 "
     .to_string()
@@ -145,6 +166,14 @@ fn parse_failures(args: &Args) -> Result<FailureModel, String> {
             return Err(format!("--fail: failure time must be ≥ 0, got {time}"));
         }
         failures = failures.fail_at(ProcId(worker as u32), time);
+    }
+    for (worker, mean) in parse_worker_value_list(args, "fail-exp")? {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(format!(
+                "--fail-exp: mean failure time must be > 0, got {mean}"
+            ));
+        }
+        failures = failures.fail_exponential(ProcId(worker as u32), mean);
     }
     for (worker, factor) in parse_worker_value_list(args, "straggler")? {
         if !factor.is_finite() || factor < 1.0 {
@@ -367,11 +396,13 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         "scenario",
         "speeds",
         "fail",
+        "fail-exp",
         "straggler",
         "net",
         "bandwidth",
         "worker-bw",
         "latency",
+        "price-returns",
         "topology",
         "submasters",
         "trace-out",
@@ -413,13 +444,15 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
     cfg.network = network;
     cfg.link_latency = latency;
     cfg.link_bandwidths = per_worker_bw;
+    cfg.price_returns = args.switch("price-returns");
     cfg.topology = parse_topology(args)?;
     cfg.validate()?;
     let trace = parse_trace_flags(args)?;
     if trace.is_some() && !cfg.topology.is_flat() {
         return Err(
-            "--trace-out is not supported under --topology tree yet (event \
-             recording only covers the flat engine)"
+            "--trace-out is not supported under --topology tree yet: event \
+             recording only covers the flat engine (tracked in ROADMAP.md, \
+             \"Deepen the hierarchy\" — threading the Recorder through run_tree)"
                 .into(),
         );
     }
@@ -499,6 +532,15 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
             sum.transfer_wait.mean()
         )
         .map_err(wfmt)?;
+        if cfg.price_returns {
+            writeln!(
+                out,
+                "returned C blocks        : {:.0} (write-back priced on the master link; \
+                 not counted in shipped blocks)",
+                sum.returned_blocks.mean()
+            )
+            .map_err(wfmt)?;
+        }
         // The one-line diagnosis the sweep in EXPERIMENTS.md elaborates on:
         // a saturated master link means volume, not speed, sets the
         // makespan.
@@ -512,6 +554,15 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
             "near the crossover between comm-bound and compute-bound"
         };
         writeln!(out, "regime                   : {regime}").map_err(wfmt)?;
+        if cfg.price_returns {
+            writeln!(
+                out,
+                "                           (utilization includes C-block write-back: the \
+                 link saturates — and the comm-bound regime onsets — at lower input volume \
+                 than input-only pricing suggests)"
+            )
+            .map_err(wfmt)?;
+        }
     }
     if let Some(req) = trace {
         out.push_str(&write_trace_file(&cfg, seed, &req)?);

@@ -4,6 +4,7 @@
 
 mod args;
 mod commands;
+mod serve_cmd;
 
 use std::io::Write as _;
 

@@ -1,0 +1,184 @@
+//! Service-mode subcommands: `serve` runs the daemon, `submit`/`status`/
+//! `logs`/`drain` talk to one over its Unix socket.
+//!
+//! Job specs are whitespace-separated `key=value` tokens (see
+//! [`hetsched_core::parse_job_spec`]) rather than `--flag value` pairs, so
+//! a whole experiment rides in one positional string:
+//! `hetsched submit n=64 p=16 net=one-port bandwidth=4`.
+
+use crate::args::Args;
+use hetsched_serve::client;
+use hetsched_serve::proto::{f64_field, str_field, u64_field};
+use hetsched_serve::{serve, Policy, ServeOpts};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn wfmt(e: std::fmt::Error) -> String {
+    format!("internal: failed to format command output: {e}")
+}
+
+fn socket_path(args: &Args) -> PathBuf {
+    PathBuf::from(args.get("socket").unwrap_or("hetsched.sock"))
+}
+
+/// Sends one request and unwraps the `ok` envelope into `Ok(reply)` /
+/// `Err(error message)`.
+fn ask(socket: &Path, payload: &str) -> Result<String, String> {
+    let reply = client::request(socket, payload).map_err(|e| {
+        format!(
+            "cannot reach daemon at {:?}: {e} (is `hetsched serve` running?)",
+            socket.display()
+        )
+    })?;
+    if reply.contains(r#""ok":true"#) {
+        Ok(reply)
+    } else {
+        Err(str_field(&reply, "error").unwrap_or_else(|| format!("daemon refused: {reply}")))
+    }
+}
+
+pub fn serve_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&[
+        "socket",
+        "log",
+        "results-dir",
+        "policy",
+        "workers",
+        "lease-ttl",
+        "max-retries",
+    ])?;
+    let policy =
+        Policy::parse(args.get("policy").unwrap_or("fifo")).map_err(|e| format!("--{e}"))?;
+    let workers: usize = args.get_or("workers", 2)?;
+    if workers == 0 {
+        return Err("--workers: need at least 1 worker, got 0".into());
+    }
+    let lease_ttl: f64 = args.get_or("lease-ttl", 300.0)?;
+    if !lease_ttl.is_finite() || lease_ttl <= 0.0 {
+        return Err(format!("--lease-ttl: must be > 0 seconds, got {lease_ttl}"));
+    }
+    let opts = ServeOpts {
+        socket: socket_path(args),
+        log: PathBuf::from(args.get("log").unwrap_or("hetsched-events.jsonl")),
+        results_dir: PathBuf::from(args.get("results-dir").unwrap_or("hetsched-results")),
+        policy,
+        workers,
+        lease_ttl: Duration::from_secs_f64(lease_ttl),
+        max_retries: args.get_or("max-retries", 2)?,
+    };
+    let socket = opts.socket.clone();
+    serve(opts).map_err(|e| format!("serve: {e}"))?;
+    Ok(format!(
+        "daemon drained and shut down (socket {} removed)\n",
+        socket.display()
+    ))
+}
+
+pub fn submit_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["socket"])?;
+    let spec = args.positionals()[1..].join(" ");
+    if spec.is_empty() {
+        return Err(
+            "submit needs a job spec: hetsched submit [--socket PATH] key=value … \
+             (e.g. `hetsched submit n=64 p=16 trials=5`)"
+                .into(),
+        );
+    }
+    // Parse locally first: a malformed spec should fail fast with the
+    // same message whether or not a daemon is listening.
+    hetsched_core::parse_job_spec(&spec)?;
+    let socket = socket_path(args);
+    let payload = format!(
+        r#"{{"cmd":"submit","spec":"{}"}}"#,
+        hetsched_core::provenance::json_escape(&spec)
+    );
+    let reply = ask(&socket, &payload)?;
+    let job = u64_field(&reply, "job").ok_or("daemon reply missing job id")?;
+    let predicted = f64_field(&reply, "predicted").unwrap_or(f64::NAN);
+    Ok(format!(
+        "submitted job {job} (predicted makespan bound {predicted:.3})\n"
+    ))
+}
+
+pub fn status_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["socket"])?;
+    let reply = ask(&socket_path(args), r#"{"cmd":"status"}"#)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "policy {}, draining: {}",
+        str_field(&reply, "policy").unwrap_or_default(),
+        reply.contains(r#""draining":true"#),
+    )
+    .map_err(wfmt)?;
+    writeln!(
+        out,
+        "queued {}  leased {}  done {}  failed {}",
+        u64_field(&reply, "queued").unwrap_or(0),
+        u64_field(&reply, "leased").unwrap_or(0),
+        u64_field(&reply, "done").unwrap_or(0),
+        u64_field(&reply, "failed").unwrap_or(0),
+    )
+    .map_err(wfmt)?;
+    for job in job_objects(&reply) {
+        let id = u64_field(job, "job").unwrap_or(0);
+        let name = str_field(job, "name").unwrap_or_default();
+        let state = str_field(job, "state").unwrap_or_default();
+        write!(out, "job {id:>3}  {name:<12} {state:<7}").map_err(wfmt)?;
+        if let Some(makespan) = f64_field(job, "makespan_mean") {
+            write!(out, "  makespan {makespan:.3}").map_err(wfmt)?;
+        }
+        if let Some(error) = str_field(job, "error") {
+            write!(out, "  error: {error}").map_err(wfmt)?;
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Splits the `"jobs":[{…},{…}]` array of a status reply into its flat
+/// per-job objects. The objects contain no nested braces, so scanning
+/// for `},{` outside strings reduces to a plain split.
+fn job_objects(reply: &str) -> Vec<&str> {
+    let Some(start) = reply.find(r#""jobs":["#) else {
+        return Vec::new();
+    };
+    let body = &reply[start + r#""jobs":["#.len()..];
+    let Some(end) = body.rfind(']') else {
+        return Vec::new();
+    };
+    let body = &body[..end];
+    if body.is_empty() {
+        return Vec::new();
+    }
+    body.split("},{").collect()
+}
+
+pub fn logs_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["socket", "tail"])?;
+    let tail: u64 = args.get_or("tail", 20)?;
+    let reply = ask(
+        &socket_path(args),
+        &format!(r#"{{"cmd":"logs","tail":{tail}}}"#),
+    )?;
+    let text = str_field(&reply, "text").unwrap_or_default();
+    let total = u64_field(&reply, "total").unwrap_or(0);
+    let shown = u64_field(&reply, "shown").unwrap_or(0);
+    let mut out = format!("event log: showing {shown} of {total} events\n");
+    if !text.is_empty() {
+        out.push_str(&text);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+pub fn drain_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["socket"])?;
+    let reply = ask(&socket_path(args), r#"{"cmd":"drain"}"#)?;
+    Ok(format!(
+        "drained: {} done, {} failed; daemon shut down\n",
+        u64_field(&reply, "done").unwrap_or(0),
+        u64_field(&reply, "failed").unwrap_or(0),
+    ))
+}

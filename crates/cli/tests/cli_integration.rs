@@ -4,7 +4,9 @@
 //! Cargo exposes the binary path via `CARGO_BIN_EXE_hetsched`, so these run
 //! under a plain `cargo test` with no extra tooling.
 
-use std::process::{Command, Output};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output};
+use std::time::{Duration, Instant};
 
 fn hetsched(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_hetsched"))
@@ -27,11 +29,27 @@ fn help_lists_every_subcommand_and_flag_group() {
     assert!(out.status.success(), "help must exit 0: {}", stderr(&out));
     let text = stdout(&out);
 
-    for cmd in ["simulate", "analyze", "partition", "dag", "figures", "help"] {
+    for cmd in [
+        "simulate",
+        "analyze",
+        "partition",
+        "dag",
+        "figures",
+        "serve",
+        "submit",
+        "status",
+        "logs",
+        "drain",
+        "help",
+    ] {
         assert!(text.contains(cmd), "help must list `{cmd}`:\n{text}");
     }
     for flag in [
         "--kernel",
+        "--fail-exp",
+        "--price-returns",
+        "--socket",
+        "--lease-ttl",
         "--n",
         "--p",
         "--strategy",
@@ -124,6 +142,263 @@ fn invalid_fail_spec_is_a_clean_error() {
         assert!(err.contains("error:"), "`--fail {spec}`: {err}");
         assert!(!err.contains("panicked"), "`--fail {spec}` panicked: {err}");
     }
+}
+
+#[test]
+fn tree_topology_rejects_trace_out_cleanly() {
+    let out = hetsched(&[
+        "simulate",
+        "--n",
+        "12",
+        "--p",
+        "4",
+        "--topology",
+        "tree",
+        "--trace-out",
+        "/tmp/never-written.jsonl",
+    ]);
+    assert!(!out.status.success(), "tree + trace must be rejected");
+    let err = stderr(&out);
+    assert!(
+        err.contains("not supported under --topology tree"),
+        "must say what is unsupported: {err}"
+    );
+    assert!(
+        err.contains("ROADMAP") && err.contains("run_tree"),
+        "must name the tracked follow-up: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Service mode: daemon + client subcommands over the Unix socket.
+
+/// A scratch directory plus the daemon flags pointing into it.
+struct ServeDir {
+    dir: PathBuf,
+}
+
+impl ServeDir {
+    fn new(name: &str) -> ServeDir {
+        let dir = std::env::temp_dir().join(format!("hetsched-cli-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ServeDir { dir }
+    }
+
+    fn socket(&self) -> PathBuf {
+        self.dir.join("daemon.sock")
+    }
+
+    fn log(&self) -> PathBuf {
+        self.dir.join("events.jsonl")
+    }
+
+    fn results(&self) -> PathBuf {
+        self.dir.join("results")
+    }
+
+    /// Spawns `hetsched serve` pointed at this directory and waits for
+    /// the socket to appear (the daemon's readiness signal).
+    fn spawn_daemon(&self, workers: &str) -> Child {
+        let child = Command::new(env!("CARGO_BIN_EXE_hetsched"))
+            .args([
+                "serve",
+                "--socket",
+                self.socket().to_str().unwrap(),
+                "--log",
+                self.log().to_str().unwrap(),
+                "--results-dir",
+                self.results().to_str().unwrap(),
+                "--workers",
+                workers,
+            ])
+            .spawn()
+            .expect("spawn daemon");
+        wait_until("daemon socket", || self.socket().exists());
+        child
+    }
+
+    fn client(&self, args: &[&str]) -> Output {
+        let mut argv = args.to_vec();
+        let socket = self.socket();
+        argv.push("--socket");
+        argv.push(socket.to_str().unwrap());
+        hetsched(&argv)
+    }
+}
+
+impl Drop for ServeDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn wait_for_exit(mut child: Child, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("timed out waiting for {what} to exit");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[test]
+fn serve_round_trip_submit_status_logs_drain() {
+    let dir = ServeDir::new("roundtrip");
+    let daemon = dir.spawn_daemon("2");
+
+    let out = dir.client(&["submit", "n=16", "p=4", "trials=2", "seed=3", "name=alpha"]);
+    assert!(out.status.success(), "submit: {}", stderr(&out));
+    assert!(stdout(&out).contains("submitted job 1"), "{}", stdout(&out));
+
+    let out = dir.client(&[
+        "submit",
+        "n=24",
+        "p=4",
+        "trials=2",
+        "seed=4",
+        "name=beta",
+        "strategy=random",
+    ]);
+    assert!(out.status.success(), "submit: {}", stderr(&out));
+    assert!(stdout(&out).contains("submitted job 2"), "{}", stdout(&out));
+
+    // A malformed spec is refused client-side with a clean error.
+    let out = dir.client(&["submit", "warp=9"]);
+    assert!(!out.status.success(), "bad spec must be rejected");
+    assert!(!stderr(&out).contains("panicked"), "{}", stderr(&out));
+
+    let out = dir.client(&["status"]);
+    assert!(out.status.success(), "status: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("alpha") && text.contains("beta"), "{text}");
+
+    // Drain blocks until both jobs are terminal, then stops the daemon.
+    let out = dir.client(&["drain"]);
+    assert!(out.status.success(), "drain: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("2 done, 0 failed"),
+        "{}",
+        stdout(&out)
+    );
+    wait_for_exit(daemon, "drained daemon");
+
+    // The event log reconciles with the emitted result manifests.
+    let log = std::fs::read_to_string(dir.log()).expect("event log");
+    assert_eq!(log.matches(r#""event":"done""#).count(), 2, "{log}");
+    assert!(log.trim_end().ends_with(r#"{"event":"drained"}"#), "{log}");
+    for id in [1, 2] {
+        let manifest = dir.results().join(format!("job-{id}.json"));
+        assert!(manifest.exists(), "missing {}", manifest.display());
+    }
+    assert!(!dir.socket().exists(), "socket removed on clean shutdown");
+}
+
+/// Reads the per-job result manifests a drained campaign left behind.
+fn manifests(results: &Path, jobs: u64) -> Vec<Vec<u8>> {
+    (1..=jobs)
+        .map(|id| {
+            let path = results.join(format!("job-{id}.json"));
+            std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+        })
+        .collect()
+}
+
+const RECOVERY_JOBS: &[&[&str]] = &[
+    &["submit", "n=16", "p=4", "trials=2", "seed=21", "name=quick"],
+    &[
+        "submit",
+        "n=48",
+        "p=8",
+        "trials=30",
+        "seed=22",
+        "name=heavy",
+    ],
+    &["submit", "n=32", "p=8", "trials=10", "seed=23", "name=tail"],
+];
+
+#[test]
+fn crash_recovery_replays_to_identical_results() {
+    // Baseline: the same three jobs on an uninterrupted single-worker
+    // daemon. FIFO + one worker makes the execution order deterministic.
+    let baseline = ServeDir::new("recovery-baseline");
+    let daemon = baseline.spawn_daemon("1");
+    for job in RECOVERY_JOBS {
+        let out = baseline.client(job);
+        assert!(out.status.success(), "baseline submit: {}", stderr(&out));
+    }
+    let out = baseline.client(&["drain"]);
+    assert!(out.status.success(), "baseline drain: {}", stderr(&out));
+    wait_for_exit(daemon, "baseline daemon");
+    let expected = manifests(&baseline.results(), 3);
+
+    // Crash run: same jobs, but the daemon is SIGKILLed as soon as the
+    // first manifest lands — mid-campaign, with work still queued.
+    let crashed = ServeDir::new("recovery-crash");
+    let mut daemon = crashed.spawn_daemon("1");
+    for job in RECOVERY_JOBS {
+        let out = crashed.client(job);
+        assert!(out.status.success(), "crash-run submit: {}", stderr(&out));
+    }
+    wait_until("first manifest", || {
+        crashed.results().join("job-1.json").exists()
+    });
+    daemon.kill().expect("kill daemon");
+    let _ = daemon.wait();
+    // SIGKILL leaves the socket file behind; remove it so the restarted
+    // daemon's freshly-bound socket is what the readiness wait sees.
+    let _ = std::fs::remove_file(crashed.socket());
+
+    // Restart over the same log + results dir: replay re-queues whatever
+    // was interrupted, re-runs it deterministically, and drains to the
+    // same final state.
+    let daemon = crashed.spawn_daemon("1");
+    let out = crashed.client(&["drain"]);
+    assert!(out.status.success(), "recovered drain: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("3 done, 0 failed"),
+        "{}",
+        stdout(&out)
+    );
+    wait_for_exit(daemon, "recovered daemon");
+
+    let recovered = manifests(&crashed.results(), 3);
+    for (i, (a, b)) in expected.iter().zip(&recovered).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "job {} manifest differs between uninterrupted and recovered runs",
+            i + 1
+        );
+    }
+    let log = std::fs::read_to_string(crashed.log()).expect("event log");
+    assert_eq!(
+        log.matches(r#""event":"daemon_start""#).count(),
+        2,
+        "one start, one restart: {log}"
+    );
+    assert_eq!(
+        log.matches(r#""event":"done""#).count(),
+        3,
+        "every job reaches done exactly once across both lives: {log}"
+    );
 }
 
 #[test]

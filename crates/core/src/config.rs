@@ -130,6 +130,11 @@ pub struct ExperimentConfig {
     /// ([`hetsched_sim::run_tree`]), with a single sub-master being
     /// bit-for-bit identical to flat.
     pub topology: Topology,
+    /// Charge each batch's result write-back (one C block per task) on the
+    /// master link, contending with input transfers. Requires a priced
+    /// network model; `false` (the default) keeps the return path free and
+    /// every existing run bit for bit.
+    pub price_returns: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -146,6 +151,7 @@ impl Default for ExperimentConfig {
             link_latency: 0.0,
             link_bandwidths: None,
             topology: Topology::Flat,
+            price_returns: false,
         }
     }
 }
@@ -209,12 +215,28 @@ impl ExperimentConfig {
                 return Err("per-worker link bandwidths must be positive and finite".into());
             }
         }
-        if !self.failures.failures().is_empty() && self.strategy == Strategy::Static {
+        if (!self.failures.failures().is_empty() || self.failures.has_stochastic())
+            && self.strategy == Strategy::Static
+        {
             return Err(
                 "Static partitioning fixes the allocation up front and cannot \
                  re-allocate tasks lost to a worker failure"
                     .into(),
             );
+        }
+        if self.price_returns {
+            if self.network.is_infinite() {
+                return Err(
+                    "return-path pricing needs a priced network model (transfers \
+                     are free under the infinite network)"
+                        .into(),
+                );
+            }
+            if !self.topology.is_flat() {
+                return Err("return-path pricing is flat-only for now: the tree engine \
+                     does not route write-backs over the root link yet"
+                    .into());
+            }
         }
         self.topology.validate(self.processors)?;
         if !self.topology.is_flat() && self.strategy == Strategy::Static {
@@ -331,6 +353,48 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_ok());
+
+        // Stochastic fail-stops validate like fixed ones.
+        let cfg = ExperimentConfig {
+            failures: FailureModel::none().fail_exponential(ProcId(3), 10.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+        let cfg = ExperimentConfig {
+            failures: FailureModel::none().fail_exponential(ProcId(25), 10.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "exp worker index out of range");
+        let cfg = ExperimentConfig {
+            strategy: Strategy::Static,
+            failures: FailureModel::none().fail_exponential(ProcId(3), 10.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "static cannot absorb exp failures");
+    }
+
+    #[test]
+    fn return_pricing_validated() {
+        let cfg = ExperimentConfig {
+            price_returns: true,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "needs a priced network");
+
+        let cfg = ExperimentConfig {
+            price_returns: true,
+            network: NetworkModel::OnePort { master_bw: 50.0 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+
+        let cfg = ExperimentConfig {
+            price_returns: true,
+            network: NetworkModel::OnePort { master_bw: 50.0 },
+            topology: Topology::Tree { submasters: 2 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "flat-only for now");
     }
 
     #[test]

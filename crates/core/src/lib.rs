@@ -18,7 +18,9 @@
 //!   recorder attached, rendered as JSONL or Chrome-trace artifacts;
 //! * [`provenance`] — the manifests embedded in every artifact (seed,
 //!   config, threads, build);
-//! * [`series`] — the figure data model and its CSV rendering.
+//! * [`series`] — the figure data model and its CSV rendering;
+//! * [`spec`] — one-line `key=value` job specs, the wire format of the
+//!   scheduler daemon (`hetsched serve`).
 //!
 //! Everything is deterministic given the master seed: platform draws,
 //! scheduler decisions and trial parallelism all derive independent
@@ -32,6 +34,7 @@ pub mod provenance;
 pub mod runner;
 pub mod series;
 pub mod shard;
+pub mod spec;
 
 pub use config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
 pub use hetsched_net::NetworkModel;
@@ -46,3 +49,4 @@ pub use runner::{
 };
 pub use series::{FigureData, Point, Series};
 pub use shard::{plan_shards, ShardLayout};
+pub use spec::{parse_job_spec, JobRequest};

@@ -4,9 +4,8 @@ use crate::config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
 use crate::shard::{plan_shards, ShardLayout};
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_matmul::{DynamicMatrix, DynamicMatrix2Phases, RandomMatrix, SortedMatrix};
-use hetsched_net::NetworkModel;
 use hetsched_outer::{DynamicOuter, DynamicOuter2Phases, RandomOuter, SortedOuter};
-use hetsched_platform::{FailureModel, Platform, SpeedModel};
+use hetsched_platform::Platform;
 use hetsched_sim::{
     run_tree, Recorder, Scheduler, ShardSpec, SimReport, StreamingSink, Topology, TreeOutcome,
 };
@@ -18,6 +17,7 @@ use rand::rngs::StdRng;
 /// independent for a given trial seed.
 const STREAM_PLATFORM: u64 = 0x11;
 const STREAM_RUN: u64 = 0x22;
+const STREAM_FAILURES: u64 = 0x33;
 
 /// Outcome of a single seeded run.
 #[derive(Clone, Debug)]
@@ -56,6 +56,10 @@ pub struct RunResult {
     /// Blocks shipped over root → sub-master links (0 on the flat topology
     /// and for a single-sub-master tree; included in `total_blocks`).
     pub tier_blocks: u64,
+    /// Result (C-block) write-back volume priced on the master link (0
+    /// unless [`ExperimentConfig::price_returns`] is set; not included in
+    /// `total_blocks`).
+    pub returned_blocks: u64,
     /// The platform the run used (drawn or fixed).
     pub platform: Platform,
 }
@@ -79,6 +83,9 @@ pub struct TrialSummary {
     pub transfer_wait: OnlineStats,
     /// Master-link utilization across trials.
     pub link_utilization: OnlineStats,
+    /// Result write-back volume across trials (zero unless return-path
+    /// pricing is enabled).
+    pub returned_blocks: OnlineStats,
     /// Number of trials.
     pub trials: usize,
 }
@@ -120,18 +127,18 @@ pub fn run_once(cfg: &ExperimentConfig, seed: u64) -> RunResult {
 /// allocation).
 fn drive<S: Scheduler, K: StreamingSink>(
     platform: &Platform,
-    model: SpeedModel,
+    cfg: &ExperimentConfig,
     sched: S,
-    failures: &FailureModel,
-    network: NetworkModel,
     rng: &mut StdRng,
     rec: &mut Option<&mut Recorder<K>>,
 ) -> (SimReport, S) {
+    let eng = hetsched_sim::Engine::new(platform, cfg.speed_model, sched)
+        .with_failures(&cfg.failures)
+        .with_network(cfg.network)
+        .with_return_pricing(cfg.price_returns);
     match rec.as_deref_mut() {
-        Some(r) => {
-            hetsched_sim::run_configured_recorded(platform, model, sched, failures, network, rng, r)
-        }
-        None => hetsched_sim::run_configured(platform, model, sched, failures, network, rng),
+        Some(r) => eng.run_recorded(rng, r),
+        None => eng.run(rng),
     }
 }
 
@@ -141,6 +148,19 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
     mut rec: Option<&mut Recorder<K>>,
 ) -> RunResult {
     cfg.validate().expect("invalid experiment config");
+    // Stochastic fail-stop entries draw their fixed times from a dedicated
+    // per-trial stream before any engine sees the scenario; fixed-only
+    // scenarios skip the draw entirely, so existing runs stay bit-identical.
+    let resolved_cfg;
+    let cfg = if cfg.failures.has_stochastic() {
+        resolved_cfg = ExperimentConfig {
+            failures: cfg.failures.resolve(&mut rng_for(seed, STREAM_FAILURES)),
+            ..cfg.clone()
+        };
+        &resolved_cfg
+    } else {
+        cfg
+    };
     let mut platform = platform_for(cfg, seed);
     if cfg.link_latency > 0.0 {
         platform = platform.with_uniform_link_latency(cfg.link_latency);
@@ -189,48 +209,22 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
     // its concrete scheduler and harvests strategy-specific accounting.
     let (report, phase_split) = match (cfg.kernel, cfg.strategy) {
         (Kernel::Outer { n }, Strategy::Random) => {
-            let (r, _) = drive(
-                &platform,
-                cfg.speed_model,
-                RandomOuter::new(n, p),
-                &cfg.failures,
-                cfg.network,
-                &mut rng,
-                &mut rec,
-            );
+            let (r, _) = drive(&platform, cfg, RandomOuter::new(n, p), &mut rng, &mut rec);
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Sorted) => {
-            let (r, _) = drive(
-                &platform,
-                cfg.speed_model,
-                SortedOuter::new(n, p),
-                &cfg.failures,
-                cfg.network,
-                &mut rng,
-                &mut rec,
-            );
+            let (r, _) = drive(&platform, cfg, SortedOuter::new(n, p), &mut rng, &mut rec);
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Dynamic) => {
-            let (r, _) = drive(
-                &platform,
-                cfg.speed_model,
-                DynamicOuter::new(n, p),
-                &cfg.failures,
-                cfg.network,
-                &mut rng,
-                &mut rec,
-            );
+            let (r, _) = drive(&platform, cfg, DynamicOuter::new(n, p), &mut rng, &mut rec);
             (r, None)
         }
         (Kernel::Outer { n }, Strategy::Static) => {
             let (r, _) = drive(
                 &platform,
-                cfg.speed_model,
+                cfg,
                 hetsched_partition::StaticOuter::new(n, &platform),
-                &cfg.failures,
-                cfg.network,
                 &mut rng,
                 &mut rec,
             );
@@ -247,15 +241,7 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
                 (_, Some(b)) => DynamicOuter2Phases::with_beta(n, p, b),
                 _ => unreachable!("β resolved above for non-fraction choices"),
             };
-            let (r, s) = drive(
-                &platform,
-                cfg.speed_model,
-                sched,
-                &cfg.failures,
-                cfg.network,
-                &mut rng,
-                &mut rec,
-            );
+            let (r, s) = drive(&platform, cfg, sched, &mut rng, &mut rec);
             let split = (
                 s.phase1_blocks(),
                 s.phase2_blocks(),
@@ -265,39 +251,15 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
             (r, Some(split))
         }
         (Kernel::Matmul { n }, Strategy::Random) => {
-            let (r, _) = drive(
-                &platform,
-                cfg.speed_model,
-                RandomMatrix::new(n, p),
-                &cfg.failures,
-                cfg.network,
-                &mut rng,
-                &mut rec,
-            );
+            let (r, _) = drive(&platform, cfg, RandomMatrix::new(n, p), &mut rng, &mut rec);
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::Sorted) => {
-            let (r, _) = drive(
-                &platform,
-                cfg.speed_model,
-                SortedMatrix::new(n, p),
-                &cfg.failures,
-                cfg.network,
-                &mut rng,
-                &mut rec,
-            );
+            let (r, _) = drive(&platform, cfg, SortedMatrix::new(n, p), &mut rng, &mut rec);
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::Dynamic) => {
-            let (r, _) = drive(
-                &platform,
-                cfg.speed_model,
-                DynamicMatrix::new(n, p),
-                &cfg.failures,
-                cfg.network,
-                &mut rng,
-                &mut rec,
-            );
+            let (r, _) = drive(&platform, cfg, DynamicMatrix::new(n, p), &mut rng, &mut rec);
             (r, None)
         }
         (Kernel::Matmul { n }, Strategy::TwoPhase(choice)) => {
@@ -308,15 +270,7 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
                 (_, Some(b)) => DynamicMatrix2Phases::with_beta(n, p, b),
                 _ => unreachable!("β resolved above for non-fraction choices"),
             };
-            let (r, s) = drive(
-                &platform,
-                cfg.speed_model,
-                sched,
-                &cfg.failures,
-                cfg.network,
-                &mut rng,
-                &mut rec,
-            );
+            let (r, s) = drive(&platform, cfg, sched, &mut rng, &mut rec);
             let split = (
                 s.phase1_blocks(),
                 s.phase2_blocks(),
@@ -355,6 +309,7 @@ fn finish(
         max_queue_depth: report.max_queue_depth,
         wasted_blocks: report.wasted_blocks,
         tier_blocks: report.tier_blocks,
+        returned_blocks: report.returned_blocks,
         platform,
     }
 }
@@ -586,6 +541,7 @@ pub fn summarize_runs(results: &[RunResult]) -> TrialSummary {
         reshipped_blocks: OnlineStats::new(),
         transfer_wait: OnlineStats::new(),
         link_utilization: OnlineStats::new(),
+        returned_blocks: OnlineStats::new(),
         trials: results.len(),
     };
     for r in results {
@@ -594,6 +550,7 @@ pub fn summarize_runs(results: &[RunResult]) -> TrialSummary {
         summary.makespan.push(r.makespan);
         summary.lost_tasks.push(r.lost_tasks as f64);
         summary.reshipped_blocks.push(r.reshipped_blocks as f64);
+        summary.returned_blocks.push(r.returned_blocks as f64);
         summary
             .transfer_wait
             .push(r.transfer_wait_per_proc.iter().sum());

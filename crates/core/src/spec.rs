@@ -1,0 +1,355 @@
+//! Textual job specs: one-line `key=value` experiment descriptions.
+//!
+//! The scheduler daemon (`hetsched serve`) accepts jobs over a socket, so a
+//! job must travel as plain text and replay byte-identically from the event
+//! log. A spec is a whitespace-separated list of `key=value` tokens
+//! mirroring the `simulate` command's flags:
+//!
+//! ```text
+//! kernel=outer n=60 p=12 strategy=dynamic trials=3 seed=42 \
+//!     net=one-port bandwidth=25 name=burst-a group=team-1
+//! ```
+//!
+//! Parsing is strict — unknown or duplicate keys are errors — and total: a
+//! spec string alone determines the [`ExperimentConfig`], trial count and
+//! seed, which is what makes log replay deterministic.
+
+use crate::config::{BetaChoice, ExperimentConfig, Kernel, Strategy};
+use hetsched_net::NetworkModel;
+use hetsched_platform::{FailureModel, Platform, ProcId, Scenario};
+use hetsched_sim::Topology;
+
+/// Every key a job spec may carry.
+const KNOWN_KEYS: &[&str] = &[
+    "kernel",
+    "n",
+    "p",
+    "strategy",
+    "beta",
+    "trials",
+    "seed",
+    "scenario",
+    "speeds",
+    "fail",
+    "straggler",
+    "fail-exp",
+    "net",
+    "bandwidth",
+    "worker-bw",
+    "latency",
+    "topology",
+    "submasters",
+    "price-returns",
+    "name",
+    "group",
+];
+
+/// A fully parsed job request: what to run, how often, under which seed.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// The experiment to run.
+    pub cfg: ExperimentConfig,
+    /// Number of independent trials (≥ 1).
+    pub trials: usize,
+    /// Master seed of the trial campaign.
+    pub seed: u64,
+    /// Human-readable job label (defaults to `"job"`).
+    pub name: String,
+    /// Fair-share accounting group (defaults to `"default"`).
+    pub group: String,
+}
+
+/// Parses a `key=value` job spec into a validated [`JobRequest`].
+pub fn parse_job_spec(spec: &str) -> Result<JobRequest, String> {
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    for token in spec.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or(format!("spec token {token:?} is not key=value"))?;
+        if value.is_empty() {
+            return Err(format!("spec key {key:?} has an empty value"));
+        }
+        if !KNOWN_KEYS.contains(&key) {
+            return Err(format!(
+                "unknown spec key {key:?} (known: {})",
+                KNOWN_KEYS.join(", ")
+            ));
+        }
+        if pairs.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate spec key {key:?}"));
+        }
+        pairs.push((key, value));
+    }
+    let get = |key: &str| pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+
+    let n: usize = parse_num(get("n"), 100, "n")?;
+    let kernel = match get("kernel").unwrap_or("outer") {
+        "outer" => Kernel::Outer { n },
+        "matmul" => Kernel::Matmul { n },
+        other => return Err(format!("kernel: expected outer|matmul, got {other:?}")),
+    };
+    let beta_choice = match get("beta").unwrap_or("analytic") {
+        "analytic" => BetaChoice::Analytic,
+        "homogeneous" | "hom" => BetaChoice::Homogeneous,
+        v => BetaChoice::Fixed(
+            v.parse()
+                .map_err(|_| format!("beta: expected analytic|homogeneous|FLOAT, got {v:?}"))?,
+        ),
+    };
+    let strategy = match get("strategy").unwrap_or("two-phase") {
+        "random" => Strategy::Random,
+        "sorted" => Strategy::Sorted,
+        "dynamic" => Strategy::Dynamic,
+        "two-phase" | "2phase" | "two_phase" => Strategy::TwoPhase(beta_choice),
+        "static" => Strategy::Static,
+        other => {
+            return Err(format!(
+                "strategy: expected random|sorted|dynamic|two-phase|static, got {other:?}"
+            ))
+        }
+    };
+    let trials: usize = parse_num(get("trials"), 1, "trials")?;
+    if trials == 0 {
+        return Err("trials: need at least 1 trial, got 0".into());
+    }
+    let seed: u64 = parse_num(get("seed"), 0xC0FFEE, "seed")?;
+
+    let mut cfg = ExperimentConfig {
+        kernel,
+        strategy,
+        processors: parse_num(get("p"), 20, "p")?,
+        ..Default::default()
+    };
+    if let Some(name) = get("scenario") {
+        let sc = Scenario::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or(format!("scenario: unknown scenario {name:?}"))?;
+        cfg.distribution = sc.distribution();
+        cfg.speed_model = sc.speed_model();
+    }
+    if let Some(list) = get("speeds") {
+        let speeds = parse_f64_list(list, "speeds")?;
+        cfg.processors = speeds.len();
+        cfg.platform = Some(Platform::from_speeds(speeds));
+    }
+    let mut failures = FailureModel::none();
+    for (worker, time) in parse_worker_value_list(get("fail"), "fail")? {
+        if !time.is_finite() || time < 0.0 {
+            return Err(format!("fail: failure time must be ≥ 0, got {time}"));
+        }
+        failures = failures.fail_at(ProcId(worker as u32), time);
+    }
+    for (worker, factor) in parse_worker_value_list(get("straggler"), "straggler")? {
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(format!("straggler: factor must be ≥ 1, got {factor}"));
+        }
+        failures = failures.slow_down(ProcId(worker as u32), factor);
+    }
+    for (worker, mean) in parse_worker_value_list(get("fail-exp"), "fail-exp")? {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(format!("fail-exp: mean must be > 0, got {mean}"));
+        }
+        failures = failures.fail_exponential(ProcId(worker as u32), mean);
+    }
+    cfg.failures = failures;
+
+    let bandwidth: Option<f64> = match get("bandwidth") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("bandwidth: bad number {v:?}"))?,
+        ),
+        None => None,
+    };
+    let worker_bws = match get("worker-bw") {
+        Some(list) => Some(parse_f64_list(list, "worker-bw")?),
+        None => None,
+    };
+    let (worker_bw, per_worker): (Option<f64>, Option<Vec<f64>>) = match worker_bws {
+        None => (None, None),
+        Some(bws) if bws.len() == 1 => (Some(bws[0]), None),
+        Some(bws) => {
+            if bws.iter().any(|b| !b.is_finite() || *b <= 0.0) {
+                return Err("worker-bw: bandwidths must be positive and finite".into());
+            }
+            let max = bws.iter().cloned().fold(f64::MIN, f64::max);
+            (Some(max), Some(bws))
+        }
+    };
+    let latency: f64 = match get("latency") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("latency: bad number {v:?}"))?,
+        None => 0.0,
+    };
+    cfg.network = match get("net").unwrap_or("infinite") {
+        "infinite" => {
+            if bandwidth.is_some() || worker_bw.is_some() || latency != 0.0 {
+                return Err("bandwidth/worker-bw/latency only apply to priced models; \
+                     pass net=one-port or net=multiport"
+                    .into());
+            }
+            NetworkModel::Infinite
+        }
+        "one-port" | "oneport" | "1port" => {
+            if worker_bw.is_some() {
+                return Err("worker-bw only applies to net=multiport".into());
+            }
+            NetworkModel::OnePort {
+                master_bw: bandwidth.ok_or("net=one-port needs bandwidth=B")?,
+            }
+        }
+        "multiport" => NetworkModel::BoundedMultiport {
+            master_bw: bandwidth.ok_or("net=multiport needs bandwidth=B")?,
+            worker_bw: worker_bw.ok_or("net=multiport needs worker-bw=B")?,
+        },
+        other => {
+            return Err(format!(
+                "net: expected infinite|one-port|multiport, got {other:?}"
+            ))
+        }
+    };
+    cfg.link_latency = latency;
+    cfg.link_bandwidths = per_worker;
+    cfg.topology = match get("topology").unwrap_or("flat") {
+        "flat" => {
+            if get("submasters").is_some() {
+                return Err("submasters only applies to topology=tree".into());
+            }
+            Topology::Flat
+        }
+        "tree" => Topology::Tree {
+            submasters: parse_num(get("submasters"), 2, "submasters")?,
+        },
+        other => return Err(format!("topology: expected flat|tree, got {other:?}")),
+    };
+    cfg.price_returns = match get("price-returns") {
+        None => false,
+        Some("true") | Some("1") => true,
+        Some("false") | Some("0") => false,
+        Some(other) => return Err(format!("price-returns: expected true|false, got {other:?}")),
+    };
+    cfg.validate()?;
+
+    Ok(JobRequest {
+        cfg,
+        trials,
+        seed,
+        name: get("name").unwrap_or("job").to_string(),
+        group: get("group").unwrap_or("default").to_string(),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(v: Option<&str>, default: T, key: &str) -> Result<T, String> {
+    match v {
+        Some(s) => s.parse().map_err(|_| format!("{key}: bad number {s:?}")),
+        None => Ok(default),
+    }
+}
+
+fn parse_f64_list(list: &str, key: &str) -> Result<Vec<f64>, String> {
+    let vals: Result<Vec<f64>, String> = list
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("{key}: bad number {s:?}"))
+        })
+        .collect();
+    let vals = vals?;
+    if vals.is_empty() {
+        return Err(format!("{key}: empty list"));
+    }
+    Ok(vals)
+}
+
+fn parse_worker_value_list(v: Option<&str>, key: &str) -> Result<Vec<(usize, f64)>, String> {
+    let Some(spec) = v else {
+        return Ok(Vec::new());
+    };
+    spec.split(',')
+        .map(|item| {
+            let (w, val) = item
+                .trim()
+                .split_once('@')
+                .ok_or(format!("{key}: expected WORKER@VALUE, got {item:?}"))?;
+            let worker: usize = w
+                .parse()
+                .map_err(|_| format!("{key}: bad worker index {w:?}"))?;
+            let value: f64 = val
+                .parse()
+                .map_err(|_| format!("{key}: bad value {val:?}"))?;
+            Ok((worker, value))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_default_config() {
+        let req = parse_job_spec("").unwrap();
+        assert_eq!(
+            format!("{:?}", req.cfg),
+            format!("{:?}", ExperimentConfig::default())
+        );
+        assert_eq!(req.trials, 1);
+        assert_eq!(req.seed, 0xC0FFEE);
+        assert_eq!(req.name, "job");
+        assert_eq!(req.group, "default");
+    }
+
+    #[test]
+    fn full_spec_round_trips() {
+        let req = parse_job_spec(
+            "kernel=matmul n=12 p=6 strategy=dynamic trials=3 seed=9 \
+             net=one-port bandwidth=25 latency=0.5 name=burst group=alpha",
+        )
+        .unwrap();
+        assert_eq!(req.cfg.kernel, Kernel::Matmul { n: 12 });
+        assert_eq!(req.cfg.strategy, Strategy::Dynamic);
+        assert_eq!(req.cfg.processors, 6);
+        assert_eq!(req.cfg.network, NetworkModel::OnePort { master_bw: 25.0 });
+        assert_eq!(req.cfg.link_latency, 0.5);
+        assert_eq!(req.trials, 3);
+        assert_eq!(req.seed, 9);
+        assert_eq!(req.name, "burst");
+        assert_eq!(req.group, "alpha");
+    }
+
+    #[test]
+    fn failures_and_returns_parse() {
+        let req = parse_job_spec(
+            "p=8 fail=1@5.0 straggler=2@2.0 fail-exp=3@12.5 \
+             net=one-port bandwidth=10 price-returns=true",
+        )
+        .unwrap();
+        assert_eq!(req.cfg.failures.failures(), &[(ProcId(1), 5.0)]);
+        assert_eq!(req.cfg.failures.stragglers(), &[(ProcId(2), 2.0)]);
+        assert_eq!(req.cfg.failures.exp_failures(), &[(ProcId(3), 12.5)]);
+        assert!(req.cfg.price_returns);
+    }
+
+    #[test]
+    fn bad_specs_are_clean_errors() {
+        assert!(parse_job_spec("nonsense").is_err(), "not key=value");
+        assert!(parse_job_spec("frobnicate=1").is_err(), "unknown key");
+        assert!(parse_job_spec("n=10 n=20").is_err(), "duplicate key");
+        assert!(parse_job_spec("trials=0").is_err(), "zero trials");
+        assert!(parse_job_spec("net=one-port").is_err(), "missing bandwidth");
+        assert!(
+            parse_job_spec("price-returns=true").is_err(),
+            "returns need a priced network"
+        );
+        assert!(parse_job_spec("fail-exp=0@-1").is_err(), "bad mean");
+    }
+
+    #[test]
+    fn speeds_override_processor_count() {
+        let req = parse_job_spec("speeds=3,2,1").unwrap();
+        assert_eq!(req.cfg.processors, 3);
+        assert!(req.cfg.platform.is_some());
+    }
+}

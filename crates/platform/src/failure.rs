@@ -14,6 +14,13 @@
 //! scenario is reproducible by construction. The seeded helper
 //! [`FailureModel::random_failures`] derives a scenario from a caller-provided
 //! RNG for sweep experiments.
+//!
+//! Besides fixed failure times, a scenario may carry *stochastic* fail-stop
+//! entries ([`FailureModel::fail_exponential`]): the failure time is drawn
+//! from an exponential distribution with a given mean when the model is
+//! [resolved](FailureModel::resolve) against a seeded RNG at run start. The
+//! engines only ever see resolved (fixed-time) models, so determinism is
+//! preserved: same seed, same drawn times, same run.
 
 use crate::processor::ProcId;
 use rand::Rng;
@@ -30,6 +37,10 @@ pub struct FailureModel {
     /// `(worker, factor)`: the worker's speed is divided by `factor ≥ 1`
     /// from the start of the run.
     stragglers: Vec<(ProcId, f64)>,
+    /// `(worker, mean)`: the worker fails at a time drawn from an
+    /// exponential distribution with the given mean, once
+    /// [resolved](Self::resolve) against a seeded RNG.
+    exp_failures: Vec<(ProcId, f64)>,
 }
 
 impl FailureModel {
@@ -40,7 +51,7 @@ impl FailureModel {
 
     /// `true` when the scenario injects nothing.
     pub fn is_none(&self) -> bool {
-        self.failures.is_empty() && self.stragglers.is_empty()
+        self.failures.is_empty() && self.stragglers.is_empty() && self.exp_failures.is_empty()
     }
 
     /// Adds a fail-stop failure of `worker` at simulated `time`.
@@ -55,6 +66,50 @@ impl FailureModel {
         assert!(factor >= 1.0, "straggler factor must be ≥ 1");
         self.stragglers.push((worker, factor));
         self
+    }
+
+    /// Adds a stochastic fail-stop of `worker`: the failure time is drawn
+    /// from an exponential distribution with mean `mean` when the model is
+    /// [resolved](Self::resolve).
+    pub fn fail_exponential(mut self, worker: ProcId, mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite"
+        );
+        self.exp_failures.push((worker, mean));
+        self
+    }
+
+    /// `true` when the scenario carries stochastic entries that still need a
+    /// [`resolve`](Self::resolve) pass before an engine can consume it.
+    pub fn has_stochastic(&self) -> bool {
+        !self.exp_failures.is_empty()
+    }
+
+    /// All stochastic `(worker, mean)` entries, in insertion order.
+    pub fn exp_failures(&self) -> &[(ProcId, f64)] {
+        &self.exp_failures
+    }
+
+    /// Draws a fixed failure time for every stochastic entry (inverse-CDF
+    /// sampling of the exponential: `t = −mean·ln(1−u)`), returning a model
+    /// with only fixed-time entries. Deterministic for a given RNG state;
+    /// when there is nothing stochastic the RNG is not touched and the model
+    /// is returned unchanged, so fixed-only scenarios stay bit-identical.
+    pub fn resolve<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        if self.exp_failures.is_empty() {
+            return self.clone();
+        }
+        let mut resolved = Self {
+            failures: self.failures.clone(),
+            stragglers: self.stragglers.clone(),
+            exp_failures: Vec::new(),
+        };
+        for &(k, mean) in &self.exp_failures {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            resolved.failures.push((k, -mean * (1.0 - u).ln()));
+        }
+        resolved
     }
 
     /// A seeded scenario failing `count` distinct workers (out of `p`) at
@@ -132,7 +187,26 @@ impl FailureModel {
                 ));
             }
         }
-        let mut failing: Vec<usize> = self.failures.iter().map(|(k, _)| k.idx()).collect();
+        for &(k, mean) in &self.exp_failures {
+            if k.idx() >= p {
+                return Err(format!(
+                    "exponential failure names worker {} but p = {p}",
+                    k.idx()
+                ));
+            }
+            if !mean.is_finite() || mean <= 0.0 {
+                return Err(format!(
+                    "exponential failure mean {mean} for worker {} must be positive",
+                    k.idx()
+                ));
+            }
+        }
+        let mut failing: Vec<usize> = self
+            .failures
+            .iter()
+            .chain(self.exp_failures.iter())
+            .map(|(k, _)| k.idx())
+            .collect();
         failing.sort_unstable();
         failing.dedup();
         if failing.len() >= p {
@@ -200,5 +274,64 @@ mod tests {
     #[should_panic(expected = "straggler factor")]
     fn slow_down_rejects_speedups() {
         let _ = FailureModel::none().slow_down(ProcId(0), 0.5);
+    }
+
+    #[test]
+    fn exponential_entries_resolve_deterministically() {
+        let m = FailureModel::none()
+            .fail_exponential(ProcId(1), 20.0)
+            .fail_exponential(ProcId(3), 5.0);
+        assert!(!m.is_none());
+        assert!(m.has_stochastic());
+        assert_eq!(m.fail_time(ProcId(1)), None, "unresolved until drawn");
+
+        let a = m.resolve(&mut rng_for(9, 0x33));
+        let b = m.resolve(&mut rng_for(9, 0x33));
+        assert_eq!(a, b, "same seed, same drawn times");
+        assert!(!a.has_stochastic());
+        assert_eq!(a.failures().len(), 2);
+        let t1 = a.fail_time(ProcId(1)).unwrap();
+        let t3 = a.fail_time(ProcId(3)).unwrap();
+        assert!(t1.is_finite() && t1 >= 0.0);
+        assert!(t3.is_finite() && t3 >= 0.0);
+
+        let c = m.resolve(&mut rng_for(10, 0x33));
+        assert_ne!(a, c, "different seed, different draw");
+    }
+
+    #[test]
+    fn resolve_without_stochastic_entries_leaves_rng_untouched() {
+        let fixed = FailureModel::none().fail_at(ProcId(0), 4.0);
+        let mut rng = rng_for(3, 0x33);
+        let resolved = fixed.resolve(&mut rng);
+        assert_eq!(resolved, fixed);
+        let mut fresh = rng_for(3, 0x33);
+        assert_eq!(
+            rng.gen_range(0..u64::MAX),
+            fresh.gen_range(0..u64::MAX),
+            "rng state untouched by a no-op resolve"
+        );
+    }
+
+    #[test]
+    fn validate_covers_exponential_entries() {
+        let oob = FailureModel::none().fail_exponential(ProcId(7), 10.0);
+        assert!(oob.validate(4).is_err());
+        let ok = FailureModel::none().fail_exponential(ProcId(1), 10.0);
+        assert!(ok.validate(4).is_ok());
+        let all_dead = FailureModel::none()
+            .fail_at(ProcId(0), 1.0)
+            .fail_exponential(ProcId(1), 10.0);
+        assert!(
+            all_dead.validate(2).is_err(),
+            "exp entries count as failing"
+        );
+        assert!(all_dead.validate(3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean")]
+    fn fail_exponential_rejects_nonpositive_mean() {
+        let _ = FailureModel::none().fail_exponential(ProcId(0), 0.0);
     }
 }

@@ -1,0 +1,256 @@
+//! Batch-admission experiments: what order should a shared worker pool
+//! run a burst of heterogeneous jobs in?
+//!
+//! The daemon's admission policies are replayed here in *virtual* time:
+//! every job arrives at t = 0, `slots` identical workers pull jobs one at
+//! a time, and a job's service time is its own simulated makespan (so the
+//! per-job data-aware scheduling result feeds the batch-level question).
+//! Policies only reorder the queue — total work is fixed — so batch
+//! makespan moves little, while waiting time is where shortest-
+//! predicted-first earns its keep, exactly as classic scheduling theory
+//! predicts.
+
+use crate::job::predict_makespan;
+use crate::table::Policy;
+use hetsched_core::parse_job_spec;
+use hetsched_core::runner::run_once;
+
+/// One job in a batch: its spec plus the two numbers admission cares
+/// about — the admission-time prediction (what the policy sees) and the
+/// simulated service time (what actually happens).
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// Display name (from the spec's `name=`).
+    pub name: String,
+    /// Fair-share group (from the spec's `group=`).
+    pub group: String,
+    /// Admission-time makespan bound — the SPF key.
+    pub predicted: f64,
+    /// Simulated makespan of the job itself, in simulation time units.
+    pub service_time: f64,
+}
+
+/// Batch-level metrics for one policy.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// When the last job finishes.
+    pub makespan: f64,
+    /// Mean time jobs spend queued before starting.
+    pub mean_wait: f64,
+    /// Mean completion time (wait + service) — the flow-time objective.
+    pub mean_flow: f64,
+    /// Job indices in the order the policy started them.
+    pub order: Vec<usize>,
+}
+
+/// List-schedules `jobs` (all arriving at t = 0) onto `slots` identical
+/// workers under `policy`, in virtual time. Deterministic: ties break by
+/// submission index, mirroring [`crate::table::JobTable::pick`].
+pub fn simulate_admission(jobs: &[BatchJob], slots: usize, policy: Policy) -> BatchOutcome {
+    assert!(slots > 0, "a batch needs at least one slot");
+    let mut free_at = vec![0.0f64; slots];
+    let mut remaining: Vec<usize> = (0..jobs.len()).collect();
+    let mut served_per_group: Vec<(String, usize)> = Vec::new();
+    let mut order = Vec::with_capacity(jobs.len());
+    let mut makespan = 0.0f64;
+    let mut total_wait = 0.0f64;
+    let mut total_flow = 0.0f64;
+
+    while !remaining.is_empty() {
+        // The next slot to free up takes the next admitted job.
+        let slot = (0..slots)
+            .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
+            .expect("slots > 0");
+        let pos = match policy {
+            Policy::Fifo => 0,
+            Policy::Spf => remaining
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    jobs[a]
+                        .predicted
+                        .total_cmp(&jobs[b].predicted)
+                        .then(a.cmp(&b))
+                })
+                .map(|(pos, _)| pos)
+                .expect("non-empty"),
+            Policy::Fair => remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &i)| {
+                    let served = served_per_group
+                        .iter()
+                        .find(|(g, _)| *g == jobs[i].group)
+                        .map(|(_, n)| *n)
+                        .unwrap_or(0);
+                    (served, jobs[i].group.clone(), i)
+                })
+                .map(|(pos, _)| pos)
+                .expect("non-empty"),
+        };
+        let idx = remaining.remove(pos);
+        let start = free_at[slot];
+        let finish = start + jobs[idx].service_time;
+        free_at[slot] = finish;
+        makespan = makespan.max(finish);
+        total_wait += start;
+        total_flow += finish;
+        match served_per_group
+            .iter_mut()
+            .find(|(g, _)| *g == jobs[idx].group)
+        {
+            Some((_, n)) => *n += 1,
+            None => served_per_group.push((jobs[idx].group.clone(), 1)),
+        }
+        order.push(idx);
+    }
+
+    let n = jobs.len().max(1) as f64;
+    BatchOutcome {
+        makespan,
+        mean_wait: total_wait / n,
+        mean_flow: total_flow / n,
+        order,
+    }
+}
+
+/// The burst the batch-admission experiment submits: mixed problem sizes
+/// and strategies over one heterogeneous platform behind a one-port
+/// master link, in two fair-share groups. Service times come from
+/// simulating each job once with its own trial-0 seed, so the whole
+/// batch is deterministic in `seed`.
+pub fn burst_jobs(seed: u64) -> Vec<BatchJob> {
+    // Submission order deliberately interleaves long and short jobs —
+    // a burst that happens to arrive shortest-first would make FIFO
+    // indistinguishable from shortest-predicted-first.
+    let specs = [
+        (
+            "large-rnd",
+            "b",
+            "n=48 p=8 scenario=set.5 net=one-port bandwidth=4 strategy=random",
+        ),
+        (
+            "small-dyn",
+            "a",
+            "n=16 p=8 scenario=set.5 net=one-port bandwidth=4",
+        ),
+        (
+            "choked-dyn",
+            "a",
+            "n=32 p=8 scenario=set.5 net=one-port bandwidth=1",
+        ),
+        (
+            "mid-rnd",
+            "b",
+            "n=32 p=8 scenario=set.5 net=one-port bandwidth=4 strategy=random",
+        ),
+        (
+            "large-dyn",
+            "b",
+            "n=48 p=8 scenario=set.5 net=one-port bandwidth=4",
+        ),
+        (
+            "small-rnd",
+            "a",
+            "n=16 p=8 scenario=set.5 net=one-port bandwidth=4 strategy=random",
+        ),
+        (
+            "wide-dyn",
+            "b",
+            "n=32 p=16 scenario=set.5 net=one-port bandwidth=4",
+        ),
+        (
+            "mid-dyn",
+            "a",
+            "n=32 p=8 scenario=set.5 net=one-port bandwidth=4",
+        ),
+    ];
+    specs
+        .iter()
+        .map(|(name, group, body)| {
+            let spec = format!("{body} seed={seed} name={name} group={group}");
+            let req = parse_job_spec(&spec).expect("burst specs parse");
+            let predicted = predict_makespan(&req);
+            let service_time = run_once(&req.cfg, req.seed).makespan;
+            BatchJob {
+                name: (*name).to_string(),
+                group: (*group).to_string(),
+                predicted,
+                service_time,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_jobs() -> Vec<BatchJob> {
+        // Predictions deliberately rank the same as service times.
+        [(4.0, "a"), (1.0, "a"), (3.0, "b"), (2.0, "b")]
+            .iter()
+            .enumerate()
+            .map(|(i, (t, g))| BatchJob {
+                name: format!("j{i}"),
+                group: (*g).to_string(),
+                predicted: *t,
+                service_time: *t,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_preserves_submission_order() {
+        let out = simulate_admission(&toy_jobs(), 1, Policy::Fifo);
+        assert_eq!(out.order, vec![0, 1, 2, 3]);
+        assert_eq!(out.makespan, 10.0);
+    }
+
+    #[test]
+    fn spf_minimizes_mean_flow_on_one_slot() {
+        let jobs = toy_jobs();
+        let fifo = simulate_admission(&jobs, 1, Policy::Fifo);
+        let spf = simulate_admission(&jobs, 1, Policy::Spf);
+        assert_eq!(spf.order, vec![1, 3, 2, 0], "shortest first");
+        assert!(spf.mean_flow < fifo.mean_flow, "SPT optimality");
+        assert_eq!(
+            spf.makespan, fifo.makespan,
+            "same work, same single-slot makespan"
+        );
+    }
+
+    #[test]
+    fn fair_alternates_between_groups() {
+        let out = simulate_admission(&toy_jobs(), 1, Policy::Fair);
+        let groups: Vec<&str> = out
+            .order
+            .iter()
+            .map(|&i| if i < 2 { "a" } else { "b" })
+            .collect();
+        assert_eq!(groups, vec!["a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn more_slots_never_lengthen_the_batch() {
+        let jobs = toy_jobs();
+        let one = simulate_admission(&jobs, 1, Policy::Fifo);
+        let two = simulate_admission(&jobs, 2, Policy::Fifo);
+        assert!(two.makespan <= one.makespan);
+        assert!(two.mean_wait <= one.mean_wait);
+    }
+
+    #[test]
+    fn burst_is_deterministic_and_heterogeneous() {
+        let a = burst_jobs(7);
+        let b = burst_jobs(7);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.predicted, y.predicted);
+            assert_eq!(x.service_time, y.service_time);
+        }
+        let min = a.iter().map(|j| j.service_time).fold(f64::MAX, f64::min);
+        let max = a.iter().map(|j| j.service_time).fold(0.0, f64::max);
+        assert!(max > 1.5 * min, "burst mixes short and long jobs");
+    }
+}

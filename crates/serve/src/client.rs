@@ -1,0 +1,38 @@
+//! Client side of the socket protocol: one request, one reply.
+
+use crate::proto::{read_frame, write_frame};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Connects to the daemon at `socket`, sends one JSON request frame and
+/// returns the reply payload. Each call is its own connection — requests
+/// are small and the daemon accepts serially, so connection reuse buys
+/// nothing.
+pub fn request(socket: &Path, payload: &str) -> io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, payload)?;
+    read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection without replying",
+        )
+    })
+}
+
+/// Like [`request`], retrying the connect while the daemon is still
+/// binding its socket. Gives up after `timeout`.
+pub fn request_with_retry(
+    socket: &Path,
+    payload: &str,
+    timeout: std::time::Duration,
+) -> io::Result<String> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        match request(socket, payload) {
+            Ok(reply) => return Ok(reply),
+            Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+        }
+    }
+}

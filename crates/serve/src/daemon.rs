@@ -1,0 +1,538 @@
+//! The daemon: replay, bind, lease, run, drain.
+//!
+//! One thread accepts connections on a Unix socket (serially — requests
+//! are short), `workers` threads execute leased jobs, and a monitor
+//! thread sweeps expired leases. All of them share a [`JobTable`] plus
+//! the open [`EventLog`] under one mutex, with a condvar for "queue
+//! changed" wake-ups.
+//!
+//! Durability contract: every transition is logged (and flushed) when it
+//! happens, except that a job's result manifest is written to
+//! `results_dir` *before* its `done` event — so a crash in the gap
+//! re-runs the job on recovery and, simulations being deterministic per
+//! `(spec, seed)`, rewrites byte-identical results. The socket file's
+//! existence is the readiness signal: it appears only after recovery
+//! replay finished and the listener is bound.
+
+use crate::job::{predict_makespan, JobId, JobOutcome, JobState};
+use crate::log::{replay, EventLog};
+use crate::proto::{read_frame, str_field, u64_field, write_frame};
+use crate::table::{JobTable, Policy};
+use hetsched_core::provenance::{json_escape, manifest_json};
+use hetsched_core::runner::run_trials_with_threads;
+use hetsched_core::{parse_job_spec, JobRequest};
+use std::fs;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything `hetsched serve` needs to run.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Unix socket path; created on bind, removed on clean shutdown.
+    pub socket: PathBuf,
+    /// Event-log path; appended to, replayed on start.
+    pub log: PathBuf,
+    /// Directory for per-job result manifests (`job-<id>.json`).
+    pub results_dir: PathBuf,
+    /// Admission policy for the shared worker pool.
+    pub policy: Policy,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// How long a worker may hold a job before it is presumed stuck.
+    pub lease_ttl: Duration,
+    /// Requeues a job survives before it is failed outright.
+    pub max_retries: u32,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            socket: PathBuf::from("hetsched.sock"),
+            log: PathBuf::from("hetsched-events.jsonl"),
+            results_dir: PathBuf::from("hetsched-results"),
+            policy: Policy::Fifo,
+            workers: 2,
+            lease_ttl: Duration::from_secs(300),
+            max_retries: 2,
+        }
+    }
+}
+
+/// State shared by the accept loop, the workers and the monitor.
+struct Shared {
+    table: JobTable,
+    log: EventLog,
+    draining: bool,
+    shutdown: bool,
+}
+
+struct State {
+    shared: Mutex<Shared>,
+    cond: Condvar,
+    opts: ServeOpts,
+}
+
+/// Runs the daemon until a client drains it. Blocks the calling thread.
+pub fn serve(opts: ServeOpts) -> io::Result<()> {
+    fs::create_dir_all(&opts.results_dir)?;
+
+    // Recovery replay happens before the socket exists, so clients never
+    // observe a half-recovered queue.
+    let mut table = JobTable::new();
+    let mut recovered = 0usize;
+    for mut job in replay(&opts.log)? {
+        let interrupted = !job.state.is_terminal();
+        let req = match parse_job_spec(&job.spec) {
+            Ok(req) => req,
+            // Validated at submission; only version drift gets here.
+            Err(e) => {
+                job.state = JobState::Failed;
+                job.error = Some(format!("spec no longer parses after recovery: {e}"));
+                parse_job_spec("").expect("default spec parses")
+            }
+        };
+        table.restore(req, job);
+        if interrupted {
+            recovered += 1;
+        }
+    }
+    let mut log = EventLog::open(&opts.log)?;
+    log.daemon_start(opts.policy.name(), opts.workers, recovered)?;
+
+    // A leftover socket file from a crashed daemon would make bind fail.
+    match fs::remove_file(&opts.socket) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let listener = UnixListener::bind(&opts.socket)?;
+
+    let state = Arc::new(State {
+        shared: Mutex::new(Shared {
+            table,
+            log,
+            draining: false,
+            shutdown: false,
+        }),
+        cond: Condvar::new(),
+        opts: opts.clone(),
+    });
+
+    let mut threads = Vec::new();
+    for _ in 0..opts.workers.max(1) {
+        let st = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || worker_loop(&st)));
+    }
+    {
+        let st = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || monitor_loop(&st)));
+    }
+
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                if handle_connection(stream, &state).is_break() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+
+    {
+        let mut sh = state.shared.lock().expect("daemon lock");
+        sh.shutdown = true;
+        state.cond.notify_all();
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let _ = fs::remove_file(&opts.socket);
+    Ok(())
+}
+
+/// Worker: pick under the policy, lease, run outside the lock, settle.
+fn worker_loop(state: &State) {
+    loop {
+        let (id, epoch, req) = {
+            let mut sh = state.shared.lock().expect("daemon lock");
+            loop {
+                if sh.shutdown {
+                    return;
+                }
+                if let Some(id) = sh.table.pick(state.opts.policy) {
+                    let deadline = Instant::now() + state.opts.lease_ttl;
+                    let epoch = sh.table.lease(id, deadline);
+                    let _ = sh.log.leased(id);
+                    let req = sh.table.get(id).expect("just leased").req.clone();
+                    break (id, epoch, req);
+                }
+                sh = state
+                    .cond
+                    .wait_timeout(sh, Duration::from_millis(200))
+                    .expect("daemon lock")
+                    .0;
+            }
+        };
+
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            run_trials_with_threads(&req.cfg, req.trials, req.seed, Some(1))
+        }));
+        match run {
+            Ok(summary) => {
+                let outcome = JobOutcome {
+                    makespan_mean: summary.makespan.mean(),
+                    total_blocks_mean: summary.total_blocks.mean(),
+                    normalized_comm_mean: summary.normalized_comm.mean(),
+                };
+                // Manifest first, `done` event second: a crash between the
+                // two re-runs the job and rewrites identical bytes.
+                let manifest = job_manifest(id, &req, &outcome);
+                let path = state.opts.results_dir.join(format!("job-{id}.json"));
+                let wrote = fs::write(&path, manifest).is_ok();
+                let mut sh = state.shared.lock().expect("daemon lock");
+                if !wrote {
+                    if sh
+                        .table
+                        .fail(id, epoch, "could not write result manifest".into())
+                    {
+                        let _ = sh.log.failed(id, "could not write result manifest");
+                    }
+                } else if sh.table.complete(id, epoch, outcome.clone()) {
+                    let _ = sh.log.done(id, &outcome);
+                }
+                state.cond.notify_all();
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                let mut sh = state.shared.lock().expect("daemon lock");
+                if sh.table.fail(id, epoch, msg.clone()) {
+                    let _ = sh.log.failed(id, &msg);
+                }
+                state.cond.notify_all();
+            }
+        }
+    }
+}
+
+/// Monitor: sweep expired leases at a cadence well under the TTL.
+fn monitor_loop(state: &State) {
+    let sweep = (state.opts.lease_ttl / 4).max(Duration::from_millis(50));
+    let mut sh = state.shared.lock().expect("daemon lock");
+    loop {
+        if sh.shutdown {
+            return;
+        }
+        let (requeued, failed) = sh
+            .table
+            .expire_leases(Instant::now(), state.opts.max_retries);
+        for id in requeued {
+            let retries = sh.table.get(id).map(|j| j.retries).unwrap_or(0);
+            let _ = sh.log.lease_expired(id);
+            let _ = sh.log.requeued(id, retries);
+            state.cond.notify_all();
+        }
+        for id in failed {
+            let error = sh
+                .table
+                .get(id)
+                .and_then(|j| j.error.clone())
+                .unwrap_or_else(|| "lease expired".into());
+            let _ = sh.log.lease_expired(id);
+            let _ = sh.log.failed(id, &error);
+            state.cond.notify_all();
+        }
+        sh = state.cond.wait_timeout(sh, sweep).expect("daemon lock").0;
+    }
+}
+
+/// Serves one client connection. `Break` means a drain completed and the
+/// accept loop should stop.
+fn handle_connection(mut stream: UnixStream, state: &State) -> std::ops::ControlFlow<()> {
+    while let Ok(Some(request)) = read_frame(&mut stream) {
+        let cmd = str_field(&request, "cmd").unwrap_or_default();
+        let reply = match cmd.as_str() {
+            "ping" => r#"{"ok":true}"#.to_string(),
+            "submit" => handle_submit(&request, state),
+            "status" => handle_status(state),
+            "logs" => handle_logs(&request, state),
+            "drain" => {
+                let reply = handle_drain(state);
+                let _ = write_frame(&mut stream, &reply);
+                return std::ops::ControlFlow::Break(());
+            }
+            other => format!(
+                r#"{{"ok":false,"error":"unknown command \"{}\""}}"#,
+                json_escape(other)
+            ),
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            break;
+        }
+    }
+    std::ops::ControlFlow::Continue(())
+}
+
+fn handle_submit(request: &str, state: &State) -> String {
+    let Some(spec) = str_field(request, "spec") else {
+        return r#"{"ok":false,"error":"submit needs a \"spec\" field"}"#.into();
+    };
+    let req = match parse_job_spec(&spec) {
+        Ok(req) => req,
+        Err(e) => {
+            return format!(r#"{{"ok":false,"error":"{}"}}"#, json_escape(&e));
+        }
+    };
+    let predicted = predict_makespan(&req);
+    let mut sh = state.shared.lock().expect("daemon lock");
+    if sh.draining {
+        return r#"{"ok":false,"error":"daemon is draining; not accepting jobs"}"#.into();
+    }
+    let id = sh.table.submit(spec.clone(), req, predicted);
+    if let Err(e) = sh.log.submitted(id, &spec, predicted) {
+        // Un-logged jobs would vanish on recovery; refuse instead.
+        return format!(
+            r#"{{"ok":false,"error":"event log write failed: {}"}}"#,
+            json_escape(&e.to_string())
+        );
+    }
+    state.cond.notify_all();
+    format!(r#"{{"ok":true,"job":{id},"predicted":{predicted}}}"#)
+}
+
+fn handle_status(state: &State) -> String {
+    let sh = state.shared.lock().expect("daemon lock");
+    let mut jobs = String::new();
+    for job in sh.table.jobs() {
+        if !jobs.is_empty() {
+            jobs.push(',');
+        }
+        jobs.push_str(&format!(
+            r#"{{"job":{},"name":"{}","group":"{}","state":"{}","retries":{},"predicted":{}"#,
+            job.id,
+            json_escape(&job.req.name),
+            json_escape(&job.req.group),
+            job.state.name(),
+            job.retries,
+            job.predicted,
+        ));
+        if let Some(outcome) = &job.outcome {
+            jobs.push_str(&format!(
+                r#","makespan_mean":{},"total_blocks_mean":{},"normalized_comm_mean":{}"#,
+                outcome.makespan_mean, outcome.total_blocks_mean, outcome.normalized_comm_mean
+            ));
+        }
+        if let Some(error) = &job.error {
+            jobs.push_str(&format!(r#","error":"{}""#, json_escape(error)));
+        }
+        jobs.push('}');
+    }
+    format!(
+        r#"{{"ok":true,"policy":"{}","draining":{},"queued":{},"leased":{},"done":{},"failed":{},"jobs":[{}]}}"#,
+        state.opts.policy.name(),
+        sh.draining,
+        sh.table.count(JobState::Queued),
+        sh.table.count(JobState::Leased),
+        sh.table.count(JobState::Done),
+        sh.table.count(JobState::Failed),
+        jobs,
+    )
+}
+
+fn handle_logs(request: &str, state: &State) -> String {
+    let tail = u64_field(request, "tail").unwrap_or(20).min(10_000) as usize;
+    // Hold the lock while reading so no event lands mid-read.
+    let _sh = state.shared.lock().expect("daemon lock");
+    let text = fs::read_to_string(&state.opts.log).unwrap_or_default();
+    let lines: Vec<&str> = text.lines().collect();
+    let start = lines.len().saturating_sub(tail);
+    let shown = &lines[start..];
+    format!(
+        r#"{{"ok":true,"total":{},"shown":{},"text":"{}"}}"#,
+        lines.len(),
+        shown.len(),
+        json_escape(&shown.join("\n")),
+    )
+}
+
+fn handle_drain(state: &State) -> String {
+    let mut sh = state.shared.lock().expect("daemon lock");
+    sh.draining = true;
+    state.cond.notify_all();
+    while !sh.table.all_terminal() {
+        sh = state
+            .cond
+            .wait_timeout(sh, Duration::from_millis(200))
+            .expect("daemon lock")
+            .0;
+    }
+    let _ = sh.log.drained();
+    format!(
+        r#"{{"ok":true,"done":{},"failed":{}}}"#,
+        sh.table.count(JobState::Done),
+        sh.table.count(JobState::Failed),
+    )
+}
+
+/// The per-job result manifest: the shared provenance header plus the
+/// job's identity and summary means. Deterministic per `(spec, seed)` —
+/// the crash-recovery test relies on byte identity across re-runs.
+fn job_manifest(id: JobId, req: &JobRequest, outcome: &JobOutcome) -> String {
+    manifest_json(
+        &req.cfg,
+        req.seed,
+        1,
+        &[
+            ("job", id.to_string()),
+            ("name", format!("\"{}\"", json_escape(&req.name))),
+            ("group", format!("\"{}\"", json_escape(&req.group))),
+            ("trials", req.trials.to_string()),
+            ("makespan_mean", outcome.makespan_mean.to_string()),
+            ("total_blocks_mean", outcome.total_blocks_mean.to_string()),
+            (
+                "normalized_comm_mean",
+                outcome.normalized_comm_mean.to_string(),
+            ),
+        ],
+    )
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("job panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("job panicked: {s}")
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hetsched-daemon-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn opts_in(dir: &std::path::Path) -> ServeOpts {
+        ServeOpts {
+            socket: dir.join("sock"),
+            log: dir.join("events.jsonl"),
+            results_dir: dir.join("results"),
+            policy: Policy::Fifo,
+            workers: 2,
+            lease_ttl: Duration::from_secs(60),
+            max_retries: 1,
+        }
+    }
+
+    fn wait_for_socket(path: &std::path::Path) {
+        for _ in 0..200 {
+            if path.exists() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        panic!("daemon never bound {}", path.display());
+    }
+
+    #[test]
+    fn daemon_runs_jobs_and_drains_in_process() {
+        let dir = scratch("roundtrip");
+        let opts = opts_in(&dir);
+        let socket = opts.socket.clone();
+        let handle = std::thread::spawn(move || serve(opts));
+        wait_for_socket(&socket);
+
+        let a = client::request(
+            &socket,
+            r#"{"cmd":"submit","spec":"n=16 p=4 trials=2 seed=9"}"#,
+        )
+        .unwrap();
+        assert_eq!(u64_field(&a, "job"), Some(1), "reply: {a}");
+        let b = client::request(
+            &socket,
+            r#"{"cmd":"submit","spec":"n=16 p=4 trials=2 seed=9 strategy=random name=\"rnd\""}"#,
+        )
+        .unwrap();
+        assert_eq!(u64_field(&b, "job"), Some(2), "reply: {b}");
+
+        let bad = client::request(&socket, r#"{"cmd":"submit","spec":"nope=1"}"#).unwrap();
+        assert!(bad.contains(r#""ok":false"#), "reply: {bad}");
+
+        let drained = client::request(&socket, r#"{"cmd":"drain"}"#).unwrap();
+        assert_eq!(u64_field(&drained, "done"), Some(2), "reply: {drained}");
+        handle.join().unwrap().unwrap();
+
+        assert!(dir.join("results/job-1.json").exists());
+        assert!(dir.join("results/job-2.json").exists());
+        assert!(!socket.exists(), "socket removed on clean shutdown");
+        let log = fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert_eq!(log.matches(r#""event":"done""#).count(), 2);
+        assert!(log.ends_with("{\"event\":\"drained\"}\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_replay_requeues_interrupted_jobs() {
+        let dir = scratch("recovery");
+        let opts = opts_in(&dir);
+        // Forge the log a crashed daemon would leave: job 1 done, job 2
+        // leased (interrupted), job 3 still queued.
+        fs::write(
+            &opts.log,
+            concat!(
+                r#"{"event":"daemon_start","policy":"fifo","workers":2,"recovered":0}"#,
+                "\n",
+                r#"{"event":"submitted","job":1,"spec":"n=16 p=4 trials=1 seed=5","predicted":10}"#,
+                "\n",
+                r#"{"event":"submitted","job":2,"spec":"n=16 p=4 trials=1 seed=6","predicted":10}"#,
+                "\n",
+                r#"{"event":"submitted","job":3,"spec":"n=16 p=4 trials=1 seed=7","predicted":10}"#,
+                "\n",
+                r#"{"event":"leased","job":1}"#,
+                "\n",
+                r#"{"event":"done","job":1,"makespan_mean":4.5,"total_blocks_mean":64,"normalized_comm_mean":1.2}"#,
+                "\n",
+                r#"{"event":"leased","job":2}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        let socket = opts.socket.clone();
+        let handle = std::thread::spawn(move || serve(opts));
+        wait_for_socket(&socket);
+
+        let status = client::request(&socket, r#"{"cmd":"status"}"#).unwrap();
+        assert!(
+            status.contains(r#""job":1,"name":"job","group":"default","state":"done""#),
+            "terminal job survives replay: {status}"
+        );
+        let drained = client::request(&socket, r#"{"cmd":"drain"}"#).unwrap();
+        assert_eq!(u64_field(&drained, "done"), Some(3), "reply: {drained}");
+        handle.join().unwrap().unwrap();
+
+        let log = fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert!(
+            log.contains(r#""event":"daemon_start","policy":"fifo","workers":2,"recovered":2"#),
+            "jobs 2 and 3 count as recovered: {log}"
+        );
+        assert!(dir.join("results/job-2.json").exists());
+        assert!(dir.join("results/job-3.json").exists());
+        assert!(
+            !dir.join("results/job-1.json").exists(),
+            "already-done jobs are not re-run"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,123 @@
+//! Jobs: what the daemon queues, leases and runs.
+
+use hetsched_core::runner::{platform_for, trial_seed};
+use hetsched_core::JobRequest;
+
+/// Monotonic job identifier, assigned at submission (starting from 1) and
+/// stable across crash recovery (replay re-assigns the same ids in
+/// submission order).
+pub type JobId = u64;
+
+/// Lifecycle of a job. `Queued → Leased → Done | Failed`, with lease
+/// expiry sending a job back to `Queued` (bounded by the retry budget).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker; eligible for admission.
+    Queued,
+    /// Held by a worker under a lease; not eligible until the lease expires.
+    Leased,
+    /// Finished; outcome recorded.
+    Done,
+    /// Gave up: the run errored, or the retry budget ran out.
+    Failed,
+}
+
+impl JobState {
+    /// Stable lower-case name, used in the event log and status replies.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Leased => "leased",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// `true` for states no transition leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// Summary of a finished trial campaign, carried by `Done` jobs. The
+/// fields are exactly what the result manifest and the `done` log event
+/// record, so crash recovery can compare them bit for bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutcome {
+    /// Mean makespan over the job's trials.
+    pub makespan_mean: f64,
+    /// Mean total blocks shipped over the job's trials.
+    pub total_blocks_mean: f64,
+    /// Mean normalized communication over the job's trials.
+    pub normalized_comm_mean: f64,
+}
+
+/// One queued experiment.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Identifier (1-based submission order).
+    pub id: JobId,
+    /// The raw spec string, exactly as submitted — the durable form.
+    pub spec: String,
+    /// The parsed request (config, trials, seed, name, group).
+    pub req: JobRequest,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Times this job's lease expired and it went back to the queue.
+    pub retries: u32,
+    /// Bumped on every lease; the holder must present the matching epoch
+    /// to settle the job, so a stale holder cannot clobber a re-lease.
+    pub lease_epoch: u32,
+    /// Admission-time makespan bound (shortest-predicted-first key).
+    pub predicted: f64,
+    /// Outcome, once `Done`; error message, once `Failed`.
+    pub outcome: Option<JobOutcome>,
+    /// Failure reason, once `Failed`.
+    pub error: Option<String>,
+}
+
+/// Admission-time makespan bound for a request: the two-resource lower
+/// bound ([`hetsched_analysis::makespan_bound`]) evaluated on exactly the
+/// platform trial 0 will draw, so the prediction is deterministic per
+/// `(spec, seed)` and never runs the simulation.
+pub fn predict_makespan(req: &JobRequest) -> f64 {
+    let platform = platform_for(&req.cfg, trial_seed(req.seed, 0));
+    hetsched_analysis::makespan_bound(
+        req.cfg.kernel.total_tasks() as f64,
+        platform.total_speed(),
+        req.cfg.kernel.lower_bound(&platform),
+        req.cfg.network.master_bw(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::parse_job_spec;
+
+    #[test]
+    fn prediction_is_deterministic_and_size_monotone() {
+        let small = parse_job_spec("kernel=outer n=20 p=4 seed=7").unwrap();
+        let large = parse_job_spec("kernel=outer n=80 p=4 seed=7").unwrap();
+        let a = predict_makespan(&small);
+        let b = predict_makespan(&small);
+        assert_eq!(a, b, "same spec, same prediction");
+        assert!(predict_makespan(&large) > a, "more tasks, larger bound");
+    }
+
+    #[test]
+    fn slow_links_raise_the_prediction() {
+        let free = parse_job_spec("n=40 p=4 seed=3").unwrap();
+        let choked = parse_job_spec("n=40 p=4 seed=3 net=one-port bandwidth=0.5").unwrap();
+        assert!(predict_makespan(&choked) > predict_makespan(&free));
+    }
+
+    #[test]
+    fn states_classify_terminality() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Leased.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert_eq!(JobState::Leased.name(), "leased");
+    }
+}

@@ -1,0 +1,32 @@
+//! `hetsched-serve`: the long-running scheduler daemon.
+//!
+//! Turns the one-shot simulator into a service: a daemon owns a durable
+//! job queue (jobs are `key=value` experiment specs, parsed by
+//! [`hetsched_core::parse_job_spec`]), leases them to a shared worker
+//! pool under an admission [`Policy`], and journals every state
+//! transition to an append-only JSONL [`EventLog`] that doubles as the
+//! crash-recovery source of truth. Clients speak a length-prefixed JSON
+//! protocol over a Unix socket ([`proto`], [`client`]).
+//!
+//! Modules:
+//! - [`proto`] — framing + minimal JSON field readers
+//! - [`job`] — job states, outcomes and the admission-time prediction
+//! - [`table`] — in-memory queue, policies, leases (pure state)
+//! - [`log`] — durable event log and deterministic replay
+//! - [`daemon`] — the serve loop: replay, bind, lease, run, drain
+//! - [`client`] — one-request-one-reply socket helper
+//! - [`batch`] — virtual-time batch-admission experiments
+
+pub mod batch;
+pub mod client;
+pub mod daemon;
+pub mod job;
+pub mod log;
+pub mod proto;
+pub mod table;
+
+pub use batch::{burst_jobs, simulate_admission, BatchJob, BatchOutcome};
+pub use daemon::{serve, ServeOpts};
+pub use job::{predict_makespan, Job, JobId, JobOutcome, JobState};
+pub use log::{replay, EventLog, ReplayedJob};
+pub use table::{JobTable, Policy};

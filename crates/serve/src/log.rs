@@ -1,0 +1,297 @@
+//! The durable event log: append-only JSONL, one state transition per
+//! line, doubling as the crash-recovery journal.
+//!
+//! Every transition the daemon makes is appended (and flushed) before the
+//! daemon acts on it, except `done`/`failed`, which are appended *after*
+//! the result manifest hits disk — so a crash between the two re-runs the
+//! job deterministically and rewrites an identical manifest. On restart,
+//! [`replay`] folds the log back into per-job records: terminal jobs keep
+//! their recorded state, everything else goes back on the queue in
+//! original submission order. A torn final line (the daemon died
+//! mid-write) is skipped, not fatal.
+
+use crate::job::{JobId, JobOutcome, JobState};
+use crate::proto::{f64_field, str_field, u64_field};
+use hetsched_core::provenance::json_escape;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Append-only writer for the event log.
+#[derive(Debug)]
+pub struct EventLog {
+    file: File,
+}
+
+impl EventLog {
+    /// Opens `path` for appending, creating it if absent.
+    pub fn open(path: &Path) -> io::Result<EventLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog { file })
+    }
+
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+
+    /// Daemon came up (fresh or after recovery).
+    pub fn daemon_start(
+        &mut self,
+        policy: &str,
+        workers: usize,
+        recovered: usize,
+    ) -> io::Result<()> {
+        self.append(&format!(
+            r#"{{"event":"daemon_start","policy":"{policy}","workers":{workers},"recovered":{recovered}}}"#
+        ))
+    }
+
+    /// A job entered the queue.
+    pub fn submitted(&mut self, id: JobId, spec: &str, predicted: f64) -> io::Result<()> {
+        self.append(&format!(
+            r#"{{"event":"submitted","job":{id},"spec":"{}","predicted":{predicted}}}"#,
+            json_escape(spec)
+        ))
+    }
+
+    /// A worker took the job under a lease.
+    pub fn leased(&mut self, id: JobId) -> io::Result<()> {
+        self.append(&format!(r#"{{"event":"leased","job":{id}}}"#))
+    }
+
+    /// The job finished; its manifest is already on disk.
+    pub fn done(&mut self, id: JobId, outcome: &JobOutcome) -> io::Result<()> {
+        self.append(&format!(
+            r#"{{"event":"done","job":{id},"makespan_mean":{},"total_blocks_mean":{},"normalized_comm_mean":{}}}"#,
+            outcome.makespan_mean, outcome.total_blocks_mean, outcome.normalized_comm_mean
+        ))
+    }
+
+    /// The job gave up for good.
+    pub fn failed(&mut self, id: JobId, error: &str) -> io::Result<()> {
+        self.append(&format!(
+            r#"{{"event":"failed","job":{id},"error":"{}"}}"#,
+            json_escape(error)
+        ))
+    }
+
+    /// A lease timed out.
+    pub fn lease_expired(&mut self, id: JobId) -> io::Result<()> {
+        self.append(&format!(r#"{{"event":"lease_expired","job":{id}}}"#))
+    }
+
+    /// The job went back on the queue after a lease expiry.
+    pub fn requeued(&mut self, id: JobId, retries: u32) -> io::Result<()> {
+        self.append(&format!(
+            r#"{{"event":"requeued","job":{id},"retries":{retries}}}"#
+        ))
+    }
+
+    /// The daemon drained: every job terminal, shutting down.
+    pub fn drained(&mut self) -> io::Result<()> {
+        self.append(r#"{"event":"drained"}"#)
+    }
+}
+
+/// A job's state as reconstructed from the log.
+#[derive(Clone, Debug)]
+pub struct ReplayedJob {
+    /// The spec string exactly as submitted.
+    pub spec: String,
+    /// Admission-time prediction recorded at submission.
+    pub predicted: f64,
+    /// Last state the log witnessed.
+    pub state: JobState,
+    /// Requeue count the log witnessed.
+    pub retries: u32,
+    /// Outcome, when the last state is `Done`.
+    pub outcome: Option<JobOutcome>,
+    /// Error, when the last state is `Failed`.
+    pub error: Option<String>,
+}
+
+/// Replays the event log at `path` into per-job records, in submission
+/// order (index `i` is job id `i + 1`). Missing file means a fresh
+/// daemon: empty vec. Unparsable lines — including a torn final line from
+/// a crash mid-append — are skipped.
+pub fn replay(path: &Path) -> io::Result<Vec<ReplayedJob>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut jobs: Vec<ReplayedJob> = Vec::new();
+    for line in BufReader::new(file).split(b'\n') {
+        let line = line?;
+        let Ok(line) = String::from_utf8(line) else {
+            continue;
+        };
+        let Some(event) = str_field(&line, "event") else {
+            continue;
+        };
+        match event.as_str() {
+            "submitted" => {
+                let (Some(id), Some(spec), Some(predicted)) = (
+                    u64_field(&line, "job"),
+                    str_field(&line, "spec"),
+                    f64_field(&line, "predicted"),
+                ) else {
+                    continue;
+                };
+                // Ids are assigned in submission order; a gap or repeat
+                // means a torn log, so only the expected next id counts.
+                if id != jobs.len() as u64 + 1 {
+                    continue;
+                }
+                jobs.push(ReplayedJob {
+                    spec,
+                    predicted,
+                    state: JobState::Queued,
+                    retries: 0,
+                    outcome: None,
+                    error: None,
+                });
+            }
+            "leased" | "done" | "failed" | "requeued" => {
+                let Some(job) = u64_field(&line, "job")
+                    .and_then(|id| jobs.get_mut(id.checked_sub(1)? as usize))
+                else {
+                    continue;
+                };
+                match event.as_str() {
+                    "leased" => job.state = JobState::Leased,
+                    "done" => {
+                        let (Some(mk), Some(tb), Some(nc)) = (
+                            f64_field(&line, "makespan_mean"),
+                            f64_field(&line, "total_blocks_mean"),
+                            f64_field(&line, "normalized_comm_mean"),
+                        ) else {
+                            continue;
+                        };
+                        job.state = JobState::Done;
+                        job.outcome = Some(JobOutcome {
+                            makespan_mean: mk,
+                            total_blocks_mean: tb,
+                            normalized_comm_mean: nc,
+                        });
+                    }
+                    "failed" => {
+                        job.state = JobState::Failed;
+                        job.error = str_field(&line, "error");
+                    }
+                    "requeued" => {
+                        job.state = JobState::Queued;
+                        job.retries = u64_field(&line, "retries").unwrap_or(0) as u32;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            // daemon_start / lease_expired / drained carry no per-job
+            // state beyond what the transitions above already record.
+            _ => {}
+        }
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hetsched-log-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("events.jsonl")
+    }
+
+    #[test]
+    fn log_round_trips_through_replay() {
+        let path = tmp("roundtrip");
+        let _ = fs::remove_file(&path);
+        {
+            let mut log = EventLog::open(&path).unwrap();
+            log.daemon_start("fifo", 2, 0).unwrap();
+            log.submitted(1, "n=10 name=\"a\"", 4.5).unwrap();
+            log.submitted(2, "n=20", 9.0).unwrap();
+            log.submitted(3, "n=30", 13.5).unwrap();
+            log.leased(1).unwrap();
+            log.done(
+                1,
+                &JobOutcome {
+                    makespan_mean: 4.25,
+                    total_blocks_mean: 100.0,
+                    normalized_comm_mean: 1.5,
+                },
+            )
+            .unwrap();
+            log.leased(2).unwrap();
+            log.lease_expired(2).unwrap();
+            log.requeued(2, 1).unwrap();
+            log.leased(3).unwrap();
+            log.failed(3, "panic: \"boom\"").unwrap();
+        }
+        let jobs = replay(&path).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].state, JobState::Done);
+        assert_eq!(jobs[0].spec, "n=10 name=\"a\"");
+        assert_eq!(jobs[0].outcome.as_ref().unwrap().makespan_mean, 4.25);
+        assert_eq!(jobs[1].state, JobState::Queued, "requeued after expiry");
+        assert_eq!(jobs[1].retries, 1);
+        assert_eq!(jobs[2].state, JobState::Failed);
+        assert_eq!(jobs[2].error.as_deref(), Some("panic: \"boom\""));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_log_is_a_fresh_start() {
+        let path = tmp("missing");
+        let _ = fs::remove_file(&path);
+        assert!(replay(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let path = tmp("torn");
+        let _ = fs::remove_file(&path);
+        {
+            let mut log = EventLog::open(&path).unwrap();
+            log.submitted(1, "n=10", 4.5).unwrap();
+            log.leased(1).unwrap();
+        }
+        // Simulate a crash mid-append: a partial `done` line without the
+        // trailing fields or newline.
+        let mut raw = fs::read(&path).unwrap();
+        raw.extend(br#"{"event":"done","job":1,"makespan_me"#);
+        fs::write(&path, raw).unwrap();
+        let jobs = replay(&path).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(
+            jobs[0].state,
+            JobState::Leased,
+            "torn done line ignored; job replays as interrupted"
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_ignores_ids_that_break_submission_order() {
+        let path = tmp("order");
+        let _ = fs::remove_file(&path);
+        fs::write(
+            &path,
+            concat!(
+                r#"{"event":"submitted","job":1,"spec":"n=10","predicted":1.0}"#,
+                "\n",
+                r#"{"event":"submitted","job":5,"spec":"n=20","predicted":2.0}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        let jobs = replay(&path).unwrap();
+        assert_eq!(jobs.len(), 1, "out-of-order id dropped");
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,167 @@
+//! The wire protocol: length-prefixed JSON frames and a minimal JSON
+//! field reader.
+//!
+//! Every message — request or reply — is one UTF-8 JSON object, prefixed
+//! by its byte length as a big-endian `u32`. The framing keeps the stream
+//! trivially parseable without a streaming JSON reader; the payloads are
+//! small, flat objects assembled by hand (the workspace vendors no JSON
+//! crate, matching the provenance manifests).
+//!
+//! The field reader ([`str_field`], [`u64_field`], [`f64_field`]) is
+//! deliberately minimal: it handles exactly the flat single-line objects
+//! this crate writes (no nesting except ignored sub-objects, `\"`-escaped
+//! strings). That is enough for the daemon's event-log replay and the
+//! client's replies, without pretending to be a general JSON parser.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame's payload, to fail fast on corrupt prefixes.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes `payload` as one length-prefixed frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF before the length
+/// prefix (the peer hung up between messages).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Finds the raw value slice after `"key":` in a flat JSON object, or
+/// `None` when the key is absent.
+fn raw_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let mut from = 0;
+    loop {
+        let at = json[from..].find(&needle)? + from;
+        // Reject matches inside string values: the byte before must be
+        // `{` or `,` (object position), possibly after whitespace.
+        let before = json[..at].trim_end();
+        if before.ends_with('{') || before.ends_with(',') || before.is_empty() {
+            let rest = json[at + needle.len()..].trim_start();
+            return Some(rest);
+        }
+        from = at + needle.len();
+    }
+}
+
+/// Reads a string field, undoing the escapes [`json_escape`] produces
+/// (`\"`, `\\`, `\n`, `\r`, `\t`, `\u00XX`).
+///
+/// [`json_escape`]: hetsched_core::provenance::json_escape
+pub fn str_field(json: &str, key: &str) -> Option<String> {
+    let rest = raw_value(json, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+/// Reads an unsigned integer field.
+pub fn u64_field(json: &str, key: &str) -> Option<u64> {
+    let rest = raw_value(json, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Reads a floating-point field (accepts integer literals too).
+pub fn f64_field(json: &str, key: &str) -> Option<f64> {
+    let rest = raw_value(json, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::provenance::json_escape;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, r#"{"cmd":"status"}"#).unwrap();
+        write_frame(&mut buf, r#"{"ok":true}"#).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), r#"{"cmd":"status"}"#);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), r#"{"ok":true}"#);
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frames_rejected() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend((MAX_FRAME + 1).to_be_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn fields_extract_and_unescape() {
+        let spec = "n=10 p=4 name=\"quoted\"";
+        let line = format!(
+            r#"{{"event":"submitted","job":7,"spec":"{}","predicted":12.5}}"#,
+            json_escape(spec)
+        );
+        assert_eq!(str_field(&line, "event").unwrap(), "submitted");
+        assert_eq!(str_field(&line, "spec").unwrap(), spec);
+        assert_eq!(u64_field(&line, "job"), Some(7));
+        assert_eq!(f64_field(&line, "predicted"), Some(12.5));
+        assert_eq!(str_field(&line, "missing"), None);
+    }
+
+    #[test]
+    fn key_lookalikes_inside_strings_are_skipped() {
+        let line = r#"{"note":"fake \"job\": 9 here","job":3}"#;
+        assert_eq!(u64_field(line, "job"), Some(3));
+    }
+}

@@ -1,0 +1,398 @@
+//! The in-memory job table: queue order, admission policies and leases.
+//!
+//! The table is pure state — no I/O, no clock of its own (callers pass
+//! `Instant`s in) — so every transition is unit-testable without a daemon.
+//! The daemon wraps it in a mutex and mirrors each transition to the event
+//! log.
+
+use crate::job::{Job, JobId, JobOutcome, JobState};
+use crate::log::ReplayedJob;
+use hetsched_core::JobRequest;
+use std::time::Instant;
+
+/// Which queued job a freed worker takes next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict submission order.
+    Fifo,
+    /// Shortest predicted makespan first (ties: submission order). The
+    /// prediction is the admission-time bound of
+    /// [`crate::job::predict_makespan`].
+    Spf,
+    /// Fair share across submission groups: the group with the fewest
+    /// jobs started so far goes first (ties: lexicographic group name),
+    /// FIFO within the group.
+    Fair,
+}
+
+impl Policy {
+    /// Parses a policy name as the CLI and the protocol spell it.
+    pub fn parse(name: &str) -> Result<Policy, String> {
+        match name {
+            "fifo" => Ok(Policy::Fifo),
+            "spf" | "shortest" => Ok(Policy::Spf),
+            "fair" | "fair-share" => Ok(Policy::Fair),
+            other => Err(format!("policy: expected fifo|spf|fair, got {other:?}")),
+        }
+    }
+
+    /// Stable name, used in logs and status replies.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::Spf => "spf",
+            Policy::Fair => "fair",
+        }
+    }
+}
+
+/// A live lease: which job, and when it times out.
+#[derive(Clone, Copy, Debug)]
+struct Lease {
+    job: JobId,
+    deadline: Instant,
+}
+
+/// Jobs in submission order plus the lease table.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: Vec<Job>,
+    leases: Vec<Lease>,
+}
+
+impl JobTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a job in `Queued` state and returns its id (1-based
+    /// submission order).
+    pub fn submit(&mut self, spec: String, req: JobRequest, predicted: f64) -> JobId {
+        let id = self.jobs.len() as JobId + 1;
+        self.jobs.push(Job {
+            id,
+            spec,
+            req,
+            state: JobState::Queued,
+            retries: 0,
+            lease_epoch: 0,
+            predicted,
+            outcome: None,
+            error: None,
+        });
+        id
+    }
+
+    /// All jobs, in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The job with `id`, if any.
+    pub fn get(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(id.checked_sub(1)? as usize)
+    }
+
+    fn get_mut(&mut self, id: JobId) -> Option<&mut Job> {
+        self.jobs.get_mut(id.checked_sub(1)? as usize)
+    }
+
+    /// Number of jobs in `state`.
+    pub fn count(&self, state: JobState) -> usize {
+        self.jobs.iter().filter(|j| j.state == state).count()
+    }
+
+    /// `true` once every job reached a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        self.jobs.iter().all(|j| j.state.is_terminal())
+    }
+
+    /// Jobs a group has taken off the queue so far (leased or finished) —
+    /// the fair-share "service received" counter.
+    fn served(&self, group: &str) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.req.group == group && j.state != JobState::Queued)
+            .count()
+    }
+
+    /// The next job `policy` admits, without leasing it. `None` when
+    /// nothing is queued.
+    pub fn pick(&self, policy: Policy) -> Option<JobId> {
+        let queued = self.jobs.iter().filter(|j| j.state == JobState::Queued);
+        match policy {
+            Policy::Fifo => queued.map(|j| j.id).next(),
+            Policy::Spf => queued
+                .min_by(|a, b| {
+                    a.predicted
+                        .partial_cmp(&b.predicted)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|j| j.id),
+            Policy::Fair => queued
+                .min_by_key(|j| (self.served(&j.req.group), j.req.group.clone(), j.id))
+                .map(|j| j.id),
+        }
+    }
+
+    /// Leases `id` until `deadline` and returns the lease epoch the
+    /// holder must present to settle the job. Panics if the job is not
+    /// queued — the daemon picks and leases under one lock.
+    pub fn lease(&mut self, id: JobId, deadline: Instant) -> u32 {
+        let job = self.get_mut(id).expect("leasing unknown job");
+        assert_eq!(job.state, JobState::Queued, "leasing a non-queued job");
+        job.state = JobState::Leased;
+        job.lease_epoch += 1;
+        let epoch = job.lease_epoch;
+        self.leases.push(Lease { job: id, deadline });
+        epoch
+    }
+
+    /// Completes `id` with `outcome`. Returns `false` (a no-op) when
+    /// `epoch` is stale — the lease expired and the job was requeued or
+    /// re-leased while the holder was still running it.
+    pub fn complete(&mut self, id: JobId, epoch: u32, outcome: JobOutcome) -> bool {
+        let job = self.get_mut(id).expect("completing unknown job");
+        if job.state != JobState::Leased || job.lease_epoch != epoch {
+            return false;
+        }
+        job.state = JobState::Done;
+        job.outcome = Some(outcome);
+        self.leases.retain(|l| l.job != id);
+        true
+    }
+
+    /// Fails `id` permanently with a reason. Same stale-epoch contract as
+    /// [`JobTable::complete`].
+    pub fn fail(&mut self, id: JobId, epoch: u32, error: String) -> bool {
+        let job = self.get_mut(id).expect("failing unknown job");
+        if job.state != JobState::Leased || job.lease_epoch != epoch {
+            return false;
+        }
+        job.state = JobState::Failed;
+        job.error = Some(error);
+        self.leases.retain(|l| l.job != id);
+        true
+    }
+
+    /// Expires every lease whose deadline passed: the job goes back to
+    /// `Queued` (one more retry), or to `Failed` once it has burned
+    /// `max_retries` requeues. Returns `(requeued, failed)` ids, in lease
+    /// order, for the caller to log.
+    pub fn expire_leases(&mut self, now: Instant, max_retries: u32) -> (Vec<JobId>, Vec<JobId>) {
+        let expired: Vec<JobId> = self
+            .leases
+            .iter()
+            .filter(|l| l.deadline <= now)
+            .map(|l| l.job)
+            .collect();
+        let mut requeued = Vec::new();
+        let mut failed = Vec::new();
+        for id in expired {
+            self.leases.retain(|l| l.job != id);
+            let max = max_retries;
+            let job = self.get_mut(id).expect("expiring unknown job");
+            if job.state != JobState::Leased {
+                continue;
+            }
+            if job.retries >= max {
+                job.state = JobState::Failed;
+                job.error = Some(format!("lease expired {} times", job.retries + 1));
+                failed.push(id);
+            } else {
+                job.retries += 1;
+                job.state = JobState::Queued;
+                requeued.push(id);
+            }
+        }
+        (requeued, failed)
+    }
+
+    /// Restores a job from the event log during crash recovery. Terminal
+    /// jobs keep their state; anything that was queued, leased or running
+    /// when the daemon died is re-queued, in original submission order.
+    pub fn restore(&mut self, req: JobRequest, from_log: ReplayedJob) -> JobId {
+        let id = self.submit(from_log.spec, req, from_log.predicted);
+        let job = self.get_mut(id).expect("just submitted");
+        job.retries = from_log.retries;
+        match from_log.state {
+            JobState::Done => {
+                job.state = JobState::Done;
+                job.outcome = from_log.outcome;
+            }
+            JobState::Failed => {
+                job.state = JobState::Failed;
+                job.error = from_log.error;
+            }
+            // Queued or leased at the moment of the crash: back on the
+            // queue, in original submission order.
+            JobState::Queued | JobState::Leased => job.state = JobState::Queued,
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::parse_job_spec;
+    use std::time::Duration;
+
+    fn table_with(specs: &[(&str, f64)]) -> JobTable {
+        let mut t = JobTable::new();
+        for (spec, predicted) in specs {
+            let req = parse_job_spec(spec).unwrap();
+            t.submit(spec.to_string(), req, *predicted);
+        }
+        t
+    }
+
+    #[test]
+    fn fifo_respects_submission_order() {
+        let t = table_with(&[("n=10", 5.0), ("n=20", 1.0), ("n=30", 3.0)]);
+        assert_eq!(t.pick(Policy::Fifo), Some(1));
+    }
+
+    #[test]
+    fn spf_takes_the_shortest_prediction_with_stable_ties() {
+        let t = table_with(&[("n=10", 5.0), ("n=20", 1.0), ("n=30", 1.0)]);
+        assert_eq!(t.pick(Policy::Spf), Some(2), "ties break by id");
+    }
+
+    #[test]
+    fn fair_rotates_across_groups() {
+        let mut t = table_with(&[
+            ("n=10 group=a", 1.0),
+            ("n=10 group=a", 1.0),
+            ("n=10 group=b", 9.0),
+        ]);
+        let first = t.pick(Policy::Fair).unwrap();
+        assert_eq!(first, 1, "nobody served yet: ties break by group name");
+        t.lease(first, Instant::now() + Duration::from_secs(60));
+        assert_eq!(
+            t.pick(Policy::Fair),
+            Some(3),
+            "group a already holds a lease, so b goes next"
+        );
+    }
+
+    #[test]
+    fn lease_complete_fail_transitions() {
+        let mut t = table_with(&[("n=10", 1.0), ("n=20", 2.0)]);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let e1 = t.lease(1, deadline);
+        assert_eq!(t.count(JobState::Queued), 1);
+        assert_eq!(t.count(JobState::Leased), 1);
+        assert!(t.complete(
+            1,
+            e1,
+            JobOutcome {
+                makespan_mean: 1.0,
+                total_blocks_mean: 2.0,
+                normalized_comm_mean: 1.1,
+            },
+        ));
+        assert_eq!(t.get(1).unwrap().state, JobState::Done);
+        let e2 = t.lease(2, deadline);
+        assert!(t.fail(2, e2, "boom".into()));
+        assert_eq!(t.get(2).unwrap().state, JobState::Failed);
+        assert!(t.all_terminal());
+    }
+
+    #[test]
+    fn stale_epochs_cannot_settle_a_release() {
+        let mut t = table_with(&[("n=10", 1.0)]);
+        let past = Instant::now();
+        let stale = t.lease(1, past);
+        t.expire_leases(past + Duration::from_millis(1), 5);
+        let fresh = t.lease(1, past + Duration::from_secs(60));
+        assert!(!t.complete(
+            1,
+            stale,
+            JobOutcome {
+                makespan_mean: 0.0,
+                total_blocks_mean: 0.0,
+                normalized_comm_mean: 0.0,
+            },
+        ));
+        assert!(!t.fail(1, stale, "late".into()));
+        assert_eq!(
+            t.get(1).unwrap().state,
+            JobState::Leased,
+            "new lease intact"
+        );
+        assert!(t.complete(
+            1,
+            fresh,
+            JobOutcome {
+                makespan_mean: 1.0,
+                total_blocks_mean: 2.0,
+                normalized_comm_mean: 1.1,
+            },
+        ));
+    }
+
+    #[test]
+    fn expired_leases_requeue_then_fail() {
+        let mut t = table_with(&[("n=10", 1.0)]);
+        let past = Instant::now();
+        t.lease(1, past);
+        let (requeued, failed) = t.expire_leases(past + Duration::from_millis(1), 1);
+        assert_eq!((requeued, failed), (vec![1], vec![]));
+        assert_eq!(t.get(1).unwrap().state, JobState::Queued);
+        assert_eq!(t.get(1).unwrap().retries, 1);
+
+        t.lease(1, past);
+        let (requeued, failed) = t.expire_leases(past + Duration::from_millis(1), 1);
+        assert_eq!(
+            (requeued, failed),
+            (vec![], vec![1]),
+            "retry budget exhausted"
+        );
+        assert_eq!(t.get(1).unwrap().state, JobState::Failed);
+    }
+
+    #[test]
+    fn live_leases_survive_an_expiry_sweep() {
+        let mut t = table_with(&[("n=10", 1.0)]);
+        let now = Instant::now();
+        t.lease(1, now + Duration::from_secs(300));
+        let (requeued, failed) = t.expire_leases(now, 2);
+        assert!(requeued.is_empty() && failed.is_empty());
+        assert_eq!(t.get(1).unwrap().state, JobState::Leased);
+    }
+
+    #[test]
+    fn restore_requeues_interrupted_jobs_in_order() {
+        let replayed = |state, retries, outcome| ReplayedJob {
+            spec: "n=10".into(),
+            predicted: 1.0,
+            state,
+            retries,
+            outcome,
+            error: None,
+        };
+        let mut t = JobTable::new();
+        let req = parse_job_spec("n=10").unwrap();
+        t.restore(
+            req.clone(),
+            replayed(
+                JobState::Done,
+                0,
+                Some(JobOutcome {
+                    makespan_mean: 3.0,
+                    total_blocks_mean: 4.0,
+                    normalized_comm_mean: 1.2,
+                }),
+            ),
+        );
+        t.restore(req.clone(), replayed(JobState::Leased, 0, None));
+        t.restore(req, replayed(JobState::Queued, 1, None));
+        assert_eq!(t.get(1).unwrap().state, JobState::Done);
+        assert_eq!(t.get(2).unwrap().state, JobState::Queued, "lease dropped");
+        assert_eq!(t.get(3).unwrap().retries, 1);
+        assert_eq!(t.pick(Policy::Fifo), Some(2), "submission order preserved");
+    }
+}

@@ -43,6 +43,12 @@ pub struct SimReport {
     /// [`total_blocks`](Self::total_blocks) but not in the per-worker
     /// ledger.
     pub tier_blocks: u64,
+    /// Result (C-block) volume written back to the master over the priced
+    /// link. Zero unless return-path pricing is enabled
+    /// ([`Engine::with_return_pricing`]); kept out of
+    /// [`total_blocks`](Self::total_blocks) so the input-traffic lower-bound
+    /// comparison stays meaningful.
+    pub returned_blocks: u64,
 }
 
 impl SimReport {
@@ -63,6 +69,7 @@ pub struct Engine<'a, S: Scheduler> {
     pub(crate) makespan: f64,
     pub(crate) failures: FailureModel,
     pub(crate) network: NetworkModel,
+    pub(crate) price_returns: bool,
 }
 
 impl<'a, S: Scheduler> Engine<'a, S> {
@@ -78,6 +85,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             makespan: 0.0,
             failures: FailureModel::none(),
             network: NetworkModel::Infinite,
+            price_returns: false,
         }
     }
 
@@ -95,6 +103,18 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         self
     }
 
+    /// Also charges each completed batch's result write-back (one C block
+    /// per task, the coarse uniform-block model the input path already uses)
+    /// on the master link. Returns contend with input transfers for the same
+    /// channels, so enabling this raises link utilization and can extend the
+    /// makespan to the arrival of the last write-back. Off by default —
+    /// existing runs stay bit-identical — and a no-op under
+    /// [`NetworkModel::Infinite`], where all transfers are free anyway.
+    pub fn with_return_pricing(mut self, price_returns: bool) -> Self {
+        self.price_returns = price_returns;
+        self
+    }
+
     /// Injects a fault scenario. Stragglers degrade their worker's speed
     /// immediately; fail-stop failures are discovered when the dying batch
     /// would have finished. With [`FailureModel::none`] the engine takes no
@@ -108,6 +128,11 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         failures
             .validate(self.platform.len())
             .expect("invalid failure scenario for this platform");
+        assert!(
+            !failures.has_stochastic(),
+            "stochastic failure entries must be resolved (FailureModel::resolve) \
+             before the engine consumes the scenario"
+        );
         for &(k, factor) in failures.stragglers() {
             self.speeds.slow_down(k, factor);
         }
@@ -364,6 +389,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 max_queue_depth: 0,
                 wasted_blocks: 0,
                 tier_blocks: 0,
+                returned_blocks: 0,
             },
             self.scheduler,
             (),

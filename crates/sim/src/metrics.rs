@@ -19,7 +19,11 @@ use hetsched_platform::ProcId;
 ///   the master link (zero under the infinite network);
 /// * `wasted`: blocks the master transferred (or was transferring) to this
 ///   worker that were never computed on because the worker failed —
-///   bandwidth spent on a corpse.
+///   bandwidth spent on a corpse;
+/// * `returned`: result (C-block) volume the worker wrote back to the
+///   master, priced on the shared link when return-path pricing is enabled
+///   (kept separate from `blocks`, which counts input traffic only, so the
+///   lower-bound comparison stays meaningful).
 #[derive(Clone, Debug)]
 pub struct CommLedger {
     blocks: Vec<u64>,
@@ -30,6 +34,7 @@ pub struct CommLedger {
     reshipped: Vec<u64>,
     wait: Vec<f64>,
     wasted: Vec<u64>,
+    returned: Vec<u64>,
 }
 
 impl CommLedger {
@@ -44,6 +49,7 @@ impl CommLedger {
             reshipped: vec![0; p],
             wait: vec![0.0; p],
             wasted: vec![0; p],
+            returned: vec![0; p],
         }
     }
 
@@ -75,6 +81,11 @@ impl CommLedger {
     /// computed on because the worker failed.
     pub fn record_wasted(&mut self, k: ProcId, blocks: u64) {
         self.wasted[k.idx()] += blocks;
+    }
+
+    /// Records `blocks` of result volume written back by worker `k`.
+    pub fn record_returned(&mut self, k: ProcId, blocks: u64) {
+        self.returned[k.idx()] += blocks;
     }
 
     /// Total blocks shipped by the master.
@@ -149,6 +160,16 @@ impl CommLedger {
         self.wasted.iter().sum()
     }
 
+    /// Result volume written back by worker `k`.
+    pub fn returned_blocks(&self, k: ProcId) -> u64 {
+        self.returned[k.idx()]
+    }
+
+    /// Total write-back volume across all workers.
+    pub fn total_returned_blocks(&self) -> u64 {
+        self.returned.iter().sum()
+    }
+
     /// Merges a sub-ledger into this one, mapping the sub-ledger's worker
     /// `j` onto this ledger's worker `offset + j`. Used by the hierarchical
     /// tree topology to fold per-shard ledgers (indexed over the shard's
@@ -169,6 +190,7 @@ impl CommLedger {
             self.reshipped[offset + j] += other.reshipped[j];
             self.wait[offset + j] += other.wait[j];
             self.wasted[offset + j] += other.wasted[j];
+            self.returned[offset + j] += other.returned[j];
         }
     }
 
@@ -200,6 +222,11 @@ impl CommLedger {
     /// Per-worker wasted-block counts.
     pub fn wasted_per_proc(&self) -> &[u64] {
         &self.wasted
+    }
+
+    /// Per-worker write-back volumes.
+    pub fn returned_per_proc(&self) -> &[u64] {
+        &self.returned
     }
 }
 
@@ -254,9 +281,11 @@ mod tests {
         shard.record(ProcId(1), 6, 3, 2.0);
         shard.record_lost(ProcId(1), 2);
         shard.record_wait(ProcId(0), 0.25);
+        shard.record_returned(ProcId(1), 4);
 
         global.absorb_at(1, &shard);
         assert_eq!(global.tasks_per_proc(), &[0, 5, 6, 0, 0]);
+        assert_eq!(global.returned_per_proc(), &[0, 0, 4, 0, 0]);
         assert_eq!(global.blocks_per_proc(), &[0, 3, 3, 0, 0]);
         assert_eq!(global.lost_per_proc(), &[0, 0, 2, 0, 0]);
         assert_eq!(global.wait_per_proc(), &[0.0, 0.25, 0.0, 0.0, 0.0]);
@@ -279,6 +308,12 @@ mod tests {
         l.record_wait(ProcId(0), 1.5);
         l.record_wait(ProcId(0), 0.5);
         l.record_wasted(ProcId(1), 8);
+        l.record_returned(ProcId(0), 6);
+        l.record_returned(ProcId(0), 1);
+        assert_eq!(l.returned_blocks(ProcId(0)), 7);
+        assert_eq!(l.returned_blocks(ProcId(1)), 0);
+        assert_eq!(l.total_returned_blocks(), 7);
+        assert_eq!(l.returned_per_proc(), &[7, 0]);
         assert_eq!(l.transfer_wait(ProcId(0)), 2.0);
         assert_eq!(l.transfer_wait(ProcId(1)), 0.0);
         assert_eq!(l.total_transfer_wait(), 2.0);

@@ -279,6 +279,9 @@ struct RunState {
     /// Batch arrived while the worker was still computing.
     ready: SlotCol,
     computing: Vec<bool>,
+    /// Task count of the batch each worker is computing, consumed by the
+    /// `Done` event when return-path pricing charges the write-back.
+    done_tasks: Vec<u32>,
     /// When the worker last went idle; `start − idle_since` is its
     /// transfer wait.
     idle_since: Vec<f64>,
@@ -357,6 +360,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
             pending: SlotCol::new(p),
             ready: SlotCol::new(p),
             computing: vec![false; p],
+            done_tasks: vec![0; p],
             idle_since: vec![0.0; p],
             lost_ids: HashSet::new(),
             arena: IdArena::default(),
@@ -464,6 +468,17 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                     if st.dead[i] {
                         continue;
                     }
+                    if self.price_returns && st.done_tasks[i] > 0 {
+                        // Write the finished batch's results (one C block
+                        // per task) back over the same master channels the
+                        // input path uses, so returns contend with sends.
+                        // Priced here — at the batch's finish time — to keep
+                        // channel bookings monotonic in event time.
+                        let returned = st.done_tasks[i] as u64;
+                        let ret = st.net.send(k, returned, now);
+                        self.ledger.record_returned(k, returned);
+                        self.makespan = self.makespan.max(ret.arrival);
+                    }
                     st.computing[i] = false;
                     st.idle_since[i] = now;
                     if let Some((tasks, blocks, span)) = st.ready.take(i) {
@@ -507,6 +522,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
         let wasted_blocks = self.ledger.total_wasted_blocks();
         let link_utilization = st.net.utilization(self.makespan);
         let max_queue_depth = st.net.max_queue_depth();
+        let returned_blocks = self.ledger.total_returned_blocks();
         (
             SimReport {
                 ledger: self.ledger,
@@ -518,6 +534,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 max_queue_depth,
                 wasted_blocks,
                 tier_blocks: 0,
+                returned_blocks,
             },
             self.scheduler,
             (),
@@ -711,6 +728,7 @@ impl<'a, S: Scheduler> Engine<'a, S> {
                 }
                 self.makespan = self.makespan.max(finish);
                 st.computing[i] = true;
+                st.done_tasks[i] = tasks;
                 st.q.push(finish, DONE, k);
                 // The batch is fully accounted; its arena slot frees up.
                 st.arena.release(span);

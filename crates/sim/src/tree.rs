@@ -193,6 +193,7 @@ pub fn run_tree<S: Scheduler>(
     link_utilization = link_utilization.max(tier.utilization(makespan));
     max_queue_depth = max_queue_depth.max(tier.max_queue_depth());
     let total_blocks = ledger.total_blocks() + tier_blocks;
+    let ledger_returned = ledger.total_returned_blocks();
 
     (
         TreeOutcome {
@@ -206,6 +207,7 @@ pub fn run_tree<S: Scheduler>(
                 max_queue_depth,
                 wasted_blocks,
                 tier_blocks,
+                returned_blocks: ledger_returned,
             },
             shard_starts,
             shard_makespans,
