@@ -133,7 +133,7 @@ fn main() {
     for (i, r) in hierarchy.iter().enumerate() {
         let comma = if i + 1 == hierarchy.len() { "" } else { "," };
         json.push_str(&format!(
-            "    {{ \"p\": {}, \"n\": {}, \"submasters\": {}, \"flat_makespan\": {:.4}, \"tree_makespan\": {:.4}, \"tree_over_flat\": {:.4}, \"flat_blocks\": {}, \"tree_blocks\": {}, \"tier_blocks\": {}, \"flat_sec\": {:.3}, \"tree_sec\": {:.3} }}{comma}\n",
+            "    {{ \"p\": {}, \"n\": {}, \"submasters\": {}, \"flat_makespan\": {:.4}, \"tree_makespan\": {:.4}, \"tree_over_flat\": {:.4}, \"flat_blocks\": {}, \"tree_blocks\": {}, \"tier_blocks\": {}, \"flat_sec\": {:.3}, \"tree_sec\": {:.3}, \"tree_threads\": {}, \"tree_mt_makespan\": {:.4}, \"tree_mt_sec\": {:.3} }}{comma}\n",
             r.p,
             r.n,
             r.submasters,
@@ -145,6 +145,9 @@ fn main() {
             r.tier_blocks,
             r.flat_sec,
             r.tree_sec,
+            r.tree_threads,
+            r.tree_mt_makespan,
+            r.tree_mt_sec,
         ));
     }
     json.push_str("  ],\n");
@@ -349,6 +352,10 @@ struct HierarchyRow {
     tier_blocks: u64,
     flat_sec: f64,
     tree_sec: f64,
+    /// Shard threads of the multi-threaded tree run (`tree_mt_*` columns).
+    tree_threads: usize,
+    tree_mt_makespan: f64,
+    tree_mt_sec: f64,
 }
 
 /// Hierarchy-vs-flat makespan sweep over the worker count: the same
@@ -396,15 +403,35 @@ fn hierarchy_sweep(scale: &str) -> Vec<HierarchyRow> {
             let start = Instant::now();
             let tree = hetsched_core::run_trials(&tree_cfg, TRIALS, SEED);
             let tree_sec = start.elapsed().as_secs_f64();
+            // The same tree workload with the shards fanned across threads
+            // (serial trial sweep, so the two thread pools do not stack).
+            // Results are bit-identical to the serial tree run; only the
+            // wall time moves — that delta is what this column records.
+            const TREE_THREADS: usize = 2;
+            let tree_mt_cfg = ExperimentConfig {
+                tree_threads: Some(TREE_THREADS),
+                ..tree_cfg.clone()
+            };
+            let start = Instant::now();
+            let tree_mt =
+                hetsched_core::run_trials_with_threads(&tree_mt_cfg, TRIALS, SEED, Some(1));
+            let tree_mt_sec = start.elapsed().as_secs_f64();
+            assert_eq!(
+                tree_mt.makespan.mean().to_bits(),
+                tree.makespan.mean().to_bits(),
+                "threaded tree run must be bit-identical"
+            );
             // Tier volume is deterministic given the platform draw; one
             // run of the first trial's seed recovers it for the record.
             let tier = run_once(&tree_cfg, hetsched_core::runner::trial_seed(SEED, 0)).tier_blocks;
             eprintln!(
-                "[hierarchy p={p} n={n} k={submasters}: flat {:.2} vs tree {:.2} ({:.3}s + {:.3}s)]",
+                "[hierarchy p={p} n={n} k={submasters}: flat {:.2} vs tree {:.2} \
+                 ({:.3}s + {:.3}s + {:.3}s @{TREE_THREADS}t)]",
                 flat.makespan.mean(),
                 tree.makespan.mean(),
                 flat_sec,
-                tree_sec
+                tree_sec,
+                tree_mt_sec
             );
             HierarchyRow {
                 p,
@@ -417,6 +444,9 @@ fn hierarchy_sweep(scale: &str) -> Vec<HierarchyRow> {
                 tier_blocks: tier,
                 flat_sec,
                 tree_sec,
+                tree_threads: TREE_THREADS,
+                tree_mt_makespan: tree_mt.makespan.mean(),
+                tree_mt_sec,
             }
         })
         .collect()

@@ -4,8 +4,8 @@
 use crate::args::Args;
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_core::{
-    render_trace, run_trials, stream_trace, BetaChoice, ExperimentConfig, Kernel, Strategy,
-    Topology, TraceFormat,
+    render_trace, run_trials_with_threads, stream_trace, BetaChoice, ExperimentConfig, Kernel,
+    Strategy, Topology, TraceFormat,
 };
 use hetsched_dag::{cholesky_graph, qr_graph, simulate, Policy};
 use hetsched_net::NetworkModel;
@@ -69,6 +69,7 @@ COMMANDS
              --price-returns                 (price C-block write-back on the master link; priced flat nets only)
              --topology flat|tree (flat)     (tree = hierarchical multi-master sharding)
              --submasters K (2)              (sub-masters under --topology tree)
+             --threads T                     (run the tree shards on T threads; bit-identical for any T)
              --trace-out PATH                (write the first trial's event trace)
              --trace-format jsonl|chrome     (jsonl; chrome loads in Perfetto)
              --probe-every N                 (sample engine state every N allocations)
@@ -261,9 +262,13 @@ fn parse_topology(args: &Args) -> Result<Topology, String> {
             }
             Ok(Topology::Flat)
         }
-        "tree" => Ok(Topology::Tree {
-            submasters: args.get_or("submasters", 2)?,
-        }),
+        "tree" => {
+            let submasters: usize = args.get_or("submasters", 2)?;
+            if submasters == 0 {
+                return Err("--submasters: need at least 1 sub-master, got 0".into());
+            }
+            Ok(Topology::Tree { submasters })
+        }
         other => Err(format!("--topology: expected flat|tree, got {other:?}")),
     }
 }
@@ -405,6 +410,7 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         "price-returns",
         "topology",
         "submasters",
+        "threads",
         "trace-out",
         "trace-format",
         "probe-every",
@@ -446,18 +452,46 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
     cfg.link_bandwidths = per_worker_bw;
     cfg.price_returns = args.switch("price-returns");
     cfg.topology = parse_topology(args)?;
+    cfg.tree_threads = match args.get("threads") {
+        Some(v) => {
+            let t: usize = v
+                .parse()
+                .map_err(|_| format!("--threads: bad count {v:?}"))?;
+            if t == 0 {
+                return Err("--threads: need at least 1 shard thread, got 0".into());
+            }
+            if cfg.topology.is_flat() {
+                return Err("--threads only applies to --topology tree: it fans the \
+                     shard engines across threads (flat trial sweeps are \
+                     already parallel)"
+                    .into());
+            }
+            Some(t)
+        }
+        None => None,
+    };
     cfg.validate()?;
     let trace = parse_trace_flags(args)?;
-    if trace.is_some() && !cfg.topology.is_flat() {
-        return Err(
-            "--trace-out is not supported under --topology tree yet: event \
-             recording only covers the flat engine (tracked in ROADMAP.md, \
-             \"Deepen the hierarchy\" — threading the Recorder through run_tree)"
-                .into(),
-        );
+    if let Some(req) = &trace {
+        if req.probe.is_enabled() && cfg.topology.submasters() > 1 {
+            return Err(
+                "--probe-every is not supported with multiple sub-masters: a \
+                 probe sample is a per-worker snapshot of one engine, and \
+                 samples from shards of different widths do not merge; drop \
+                 --probe-every to record the merged event trace"
+                    .into(),
+            );
+        }
     }
 
-    let sum = run_trials(&cfg, trials, seed);
+    // With explicit shard threads the trial sweep runs serially — the
+    // parallelism budget goes to the shards, not multiplied on top of it.
+    let sweep_threads = if cfg.tree_threads.is_some() {
+        Some(1)
+    } else {
+        None
+    };
+    let sum = run_trials_with_threads(&cfg, trials, seed, sweep_threads);
     let mut out = String::new();
     writeln!(
         out,
@@ -470,11 +504,13 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
     )
     .map_err(wfmt)?;
     if let Topology::Tree { submasters } = cfg.topology {
-        writeln!(
-            out,
+        let mut line = format!(
             "topology                 : tree, {submasters} sub-masters (column-partitioned shards)"
-        )
-        .map_err(wfmt)?;
+        );
+        if let Some(t) = cfg.tree_threads {
+            write!(line, ", {t} shard threads").map_err(wfmt)?;
+        }
+        writeln!(out, "{line}").map_err(wfmt)?;
     }
     writeln!(
         out,
@@ -929,11 +965,74 @@ mod tests {
             run_str("simulate --strategy static --topology tree --submasters 2").is_err(),
             "static is flat-only"
         );
+        let err = run_str("simulate --p 4 --topology tree --submasters 0").unwrap_err();
+        assert!(err.contains("--submasters"), "{err}");
+        // Probes are per-engine snapshots and do not merge across shards.
         let err = run_str(
-            "simulate --n 20 --p 4 --topology tree --submasters 2 --trace-out /tmp/x.jsonl",
+            "simulate --n 20 --p 4 --topology tree --submasters 2 \
+             --trace-out /tmp/x.jsonl --probe-every 8",
         )
         .unwrap_err();
-        assert!(err.contains("not supported under --topology tree"), "{err}");
+        assert!(err.contains("sub-masters"), "{err}");
+        // A failure scenario that wipes out one whole shard is a clean
+        // error, not an engine panic deep inside the run.
+        let err = run_str(
+            "simulate --n 20 --p 4 --topology tree --submasters 2 \
+             --fail 0@0.0,1@0.0 --trials 1",
+        )
+        .unwrap_err();
+        assert!(err.contains("survivor"), "{err}");
+    }
+
+    #[test]
+    fn tree_shard_threads_flag() {
+        // Bit-identical across thread counts: same summary line for 1/2/4.
+        let base = "simulate --n 24 --p 6 --strategy dynamic --trials 2 --topology tree \
+                    --submasters 3 --seed 11";
+        let serial = run_str(base).unwrap();
+        for t in [1, 2, 4] {
+            let out = run_str(&format!("{base} --threads {t}")).unwrap();
+            assert!(out.contains("tree, 3 sub-masters"), "{out}");
+            assert!(out.contains(&format!("{t} shard threads")), "{out}");
+            let pick = |s: &str| {
+                s.lines()
+                    .filter(|l| l.contains("normalized communication") || l.contains("makespan"))
+                    .map(String::from)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(pick(&out), pick(&serial), "threads {t}");
+        }
+
+        assert!(
+            run_str("simulate --n 24 --p 6 --trials 2 --threads 2").is_err(),
+            "--threads needs --topology tree"
+        );
+        let err = run_str(&format!("{base} --threads 0")).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn tree_trace_out_writes_merged_trace() {
+        let dir = std::env::temp_dir().join("hetsched-cli-tree-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.jsonl");
+        let path_s = path.to_str().unwrap();
+        let base = format!(
+            "simulate --n 24 --p 6 --strategy dynamic --trials 1 --seed 3 \
+             --topology tree --submasters 3 --trace-out {path_s}"
+        );
+        let out = run_str(&base).unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.lines().count() > 10, "trace has events");
+        // The merged trace is identical whatever the shard thread count.
+        let body_mt = {
+            let out = run_str(&format!("{base} --threads 2")).unwrap();
+            assert!(out.contains("trace written"), "{out}");
+            std::fs::read_to_string(&path).unwrap()
+        };
+        assert_eq!(body, body_mt, "trace bytes differ across --threads");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -145,7 +145,34 @@ fn invalid_fail_spec_is_a_clean_error() {
 }
 
 #[test]
-fn tree_topology_rejects_trace_out_cleanly() {
+fn tree_topology_traces_and_probes_reject_cleanly() {
+    // Tree tracing is supported: the merged shard trace lands on disk.
+    let path = std::env::temp_dir().join(format!(
+        "hetsched-cli-{}-tree-trace.jsonl",
+        std::process::id()
+    ));
+    let path_s = path.to_str().unwrap();
+    let out = hetsched(&[
+        "simulate",
+        "--n",
+        "12",
+        "--p",
+        "4",
+        "--trials",
+        "1",
+        "--topology",
+        "tree",
+        "--trace-out",
+        path_s,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("trace written"), "{}", stdout(&out));
+    let meta = std::fs::metadata(&path).expect("trace file written");
+    assert!(meta.len() > 0, "trace file is empty");
+    std::fs::remove_file(&path).ok();
+
+    // Probes stay flat-only under multiple sub-masters: per-worker probe
+    // snapshots of differently-sized shard engines do not merge.
     let out = hetsched(&[
         "simulate",
         "--n",
@@ -156,16 +183,59 @@ fn tree_topology_rejects_trace_out_cleanly() {
         "tree",
         "--trace-out",
         "/tmp/never-written.jsonl",
+        "--probe-every",
+        "8",
     ]);
-    assert!(!out.status.success(), "tree + trace must be rejected");
+    assert!(!out.status.success(), "tree + probes must be rejected");
+    let err = stderr(&out);
+    assert!(err.contains("sub-masters"), "must say why: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn bad_submasters_and_doomed_shards_are_clean_errors() {
+    for submasters in ["0", "9"] {
+        let out = hetsched(&[
+            "simulate",
+            "--n",
+            "12",
+            "--p",
+            "4",
+            "--topology",
+            "tree",
+            "--submasters",
+            submasters,
+        ]);
+        assert!(
+            !out.status.success(),
+            "--submasters {submasters} on p=4 must be rejected"
+        );
+        let err = stderr(&out);
+        assert!(err.contains("error:"), "expected error prefix: {err}");
+        assert!(!err.contains("panicked"), "must not panic: {err}");
+    }
+
+    // Killing every worker of shard 0 (workers 0..2 of a 2-shard split)
+    // used to trip the engine's survivor assert mid-run; now it is a
+    // clean up-front error.
+    let out = hetsched(&[
+        "simulate",
+        "--n",
+        "12",
+        "--p",
+        "4",
+        "--topology",
+        "tree",
+        "--submasters",
+        "2",
+        "--fail",
+        "0@0.0,1@0.0",
+    ]);
+    assert!(!out.status.success(), "doomed shard must be rejected");
     let err = stderr(&out);
     assert!(
-        err.contains("not supported under --topology tree"),
-        "must say what is unsupported: {err}"
-    );
-    assert!(
-        err.contains("ROADMAP") && err.contains("run_tree"),
-        "must name the tracked follow-up: {err}"
+        err.contains("survivor"),
+        "must explain the shard rule: {err}"
     );
     assert!(!err.contains("panicked"), "must not panic: {err}");
 }

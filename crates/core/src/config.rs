@@ -135,6 +135,12 @@ pub struct ExperimentConfig {
     /// network model; `false` (the default) keeps the return path free and
     /// every existing run bit for bit.
     pub price_returns: bool,
+    /// Worker threads for the tree shard engines (ignored under
+    /// [`Topology::Flat`]). `None` (the default) runs shards serially —
+    /// the right choice inside an already-parallel trial sweep. Results
+    /// are bit-identical for every value; see
+    /// [`hetsched_sim::TreeOpts::threads`].
+    pub tree_threads: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -152,6 +158,7 @@ impl Default for ExperimentConfig {
             link_bandwidths: None,
             topology: Topology::Flat,
             price_returns: false,
+            tree_threads: None,
         }
     }
 }
@@ -239,6 +246,41 @@ impl ExperimentConfig {
             }
         }
         self.topology.validate(self.processors)?;
+        if let Some(0) = self.tree_threads {
+            return Err("tree shard threads must be at least 1 (or unset for serial)".into());
+        }
+        // Each tree shard runs its own flat engine, and a flat engine needs
+        // a survivor: a scenario that kills every worker of one shard would
+        // trip the engine's own assert deep inside the run. The shard
+        // slices depend only on p and the sub-master count, so we can check
+        // here, before any engine spins up.
+        let submasters = self.topology.submasters();
+        if submasters > 1 {
+            let p = self.processors;
+            let base = p / submasters;
+            let extra = p % submasters;
+            let mut start = 0usize;
+            for j in 0..submasters {
+                let len = base + usize::from(j < extra);
+                let range = start..start + len;
+                let doomed = |k: usize| {
+                    self.failures.failures().iter().any(|&(w, _)| w.idx() == k)
+                        || self
+                            .failures
+                            .exp_failures()
+                            .iter()
+                            .any(|&(w, _)| w.idx() == k)
+                };
+                if range.clone().all(doomed) {
+                    return Err(format!(
+                        "failure scenario kills every worker of tree shard {j} \
+                         (workers {}..{}): each shard needs a survivor",
+                        range.start, range.end
+                    ));
+                }
+                start += len;
+            }
+        }
         if !self.topology.is_flat() && self.strategy == Strategy::Static {
             return Err(
                 "Static partitioning is flat-only: the tree topology already \
@@ -423,6 +465,75 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_err(), "static is flat-only");
+    }
+
+    #[test]
+    fn tree_threads_validated() {
+        let cfg = ExperimentConfig {
+            topology: Topology::Tree { submasters: 4 },
+            tree_threads: Some(2),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+
+        let cfg = ExperimentConfig {
+            topology: Topology::Tree { submasters: 4 },
+            tree_threads: Some(0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "zero threads rejected");
+    }
+
+    #[test]
+    fn shard_killing_failure_scenarios_rejected() {
+        use hetsched_platform::ProcId;
+        // p = 4, 2 sub-masters → shards {0,1} and {2,3}. Killing both
+        // workers of shard 0 must be rejected up front, not panic later.
+        let cfg = ExperimentConfig {
+            processors: 4,
+            topology: Topology::Tree { submasters: 2 },
+            failures: FailureModel::none()
+                .fail_at(ProcId(0), 0.0)
+                .fail_at(ProcId(1), 0.0),
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("shard 0"), "got: {err}");
+        assert!(err.contains("survivor"), "got: {err}");
+
+        // Same deaths spread across shards: each shard keeps a survivor.
+        let cfg = ExperimentConfig {
+            processors: 4,
+            topology: Topology::Tree { submasters: 2 },
+            failures: FailureModel::none()
+                .fail_at(ProcId(0), 0.0)
+                .fail_at(ProcId(2), 0.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+
+        // Stochastic fail-stops count as potential deaths too.
+        let cfg = ExperimentConfig {
+            processors: 4,
+            topology: Topology::Tree { submasters: 2 },
+            failures: FailureModel::none()
+                .fail_exponential(ProcId(2), 5.0)
+                .fail_exponential(ProcId(3), 5.0),
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("shard 1"), "got: {err}");
+
+        // The same scenario on a flat topology stays valid (flat-level
+        // survivor checking already lives in FailureModel::validate).
+        let cfg = ExperimentConfig {
+            processors: 4,
+            failures: FailureModel::none()
+                .fail_at(ProcId(0), 0.0)
+                .fail_at(ProcId(1), 0.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -7,7 +7,8 @@ use hetsched_matmul::{DynamicMatrix, DynamicMatrix2Phases, RandomMatrix, SortedM
 use hetsched_outer::{DynamicOuter, DynamicOuter2Phases, RandomOuter, SortedOuter};
 use hetsched_platform::Platform;
 use hetsched_sim::{
-    run_tree, Recorder, Scheduler, ShardSpec, SimReport, StreamingSink, Topology, TreeOutcome,
+    run_tree_with, Recorder, Scheduler, ShardSpec, SimReport, StreamingSink, Topology, TreeOpts,
+    TreeOutcome,
 };
 use hetsched_util::rng::{derive_seed, rng_for};
 use hetsched_util::OnlineStats;
@@ -197,11 +198,8 @@ pub(crate) fn run_once_impl<K: StreamingSink>(
     // identical to the flat dispatch below (same platform borrow, same
     // RNG stream, no tier transfers).
     if let Topology::Tree { submasters } = cfg.topology {
-        assert!(
-            rec.is_none(),
-            "event recording is not supported under the tree topology yet"
-        );
-        let (report, phase_split) = run_tree_impl(cfg, &platform, submasters, seed, beta_used);
+        let (report, phase_split) =
+            run_tree_impl(cfg, &platform, submasters, seed, beta_used, &mut rec);
         return finish(cfg, report, phase_split, beta_used, lb, platform);
     }
 
@@ -339,11 +337,12 @@ fn tree_input_blocks(kernel: Kernel, s: &ShardLayout) -> u64 {
 /// single shard the RNG is the flat run stream (`rng_for(seed,
 /// STREAM_RUN)`), pinning bit-identity with the flat engine; with several,
 /// shard `j` gets its own derived stream.
-fn run_tree_strategy<S: Scheduler>(
+fn run_tree_strategy<S: Scheduler + Send, K: StreamingSink>(
     cfg: &ExperimentConfig,
     platform: &Platform,
     plan: &[ShardLayout],
     seed: u64,
+    rec: &mut Option<&mut Recorder<K>>,
     make: impl Fn(&ShardLayout) -> S,
 ) -> (TreeOutcome, Vec<S>) {
     let single = plan.len() == 1;
@@ -362,47 +361,52 @@ fn run_tree_strategy<S: Scheduler>(
             },
         })
         .collect();
-    run_tree(
+    run_tree_with(
         platform,
         cfg.speed_model,
         &cfg.failures,
         cfg.network,
         shards,
+        TreeOpts {
+            threads: cfg.tree_threads,
+        },
+        rec.as_deref_mut(),
     )
 }
 
 /// Tree-topology dispatch on (kernel, strategy): plans the top-level split
 /// and runs one rectangular shard scheduler per sub-master.
-fn run_tree_impl(
+fn run_tree_impl<K: StreamingSink>(
     cfg: &ExperimentConfig,
     platform: &Platform,
     submasters: usize,
     seed: u64,
     beta_used: Option<f64>,
+    rec: &mut Option<&mut Recorder<K>>,
 ) -> (SimReport, Option<(u64, u64, usize, usize)>) {
     let plan = plan_shards(platform, submasters, cfg.kernel.n());
     match (cfg.kernel, cfg.strategy) {
         (Kernel::Outer { .. }, Strategy::Random) => {
-            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, rec, |s| {
                 RandomOuter::rect(s.rows(), s.cols(), s.len)
             });
             (o.report, None)
         }
         (Kernel::Outer { .. }, Strategy::Sorted) => {
-            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, rec, |s| {
                 SortedOuter::rect(s.rows(), s.cols(), s.len)
             });
             (o.report, None)
         }
         (Kernel::Outer { .. }, Strategy::Dynamic) => {
-            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, rec, |s| {
                 DynamicOuter::rect(s.rows(), s.cols(), s.len)
             });
             (o.report, None)
         }
         (Kernel::Outer { .. }, Strategy::TwoPhase(choice)) => {
-            let (o, scheds) =
-                run_tree_strategy(cfg, platform, &plan, seed, |s| match (choice, beta_used) {
+            let (o, scheds) = run_tree_strategy(cfg, platform, &plan, seed, rec, |s| {
+                match (choice, beta_used) {
                     (BetaChoice::Phase1Fraction(f), _) => {
                         DynamicOuter2Phases::rect_with_phase1_fraction(s.rows(), s.cols(), s.len, f)
                     }
@@ -410,7 +414,8 @@ fn run_tree_impl(
                         DynamicOuter2Phases::rect_with_beta(s.rows(), s.cols(), s.len, b)
                     }
                     _ => unreachable!("β resolved above for non-fraction choices"),
-                });
+                }
+            });
             (
                 o.report,
                 Some(merge_phase_split(scheds.iter().map(|s| {
@@ -424,26 +429,26 @@ fn run_tree_impl(
             )
         }
         (Kernel::Matmul { n }, Strategy::Random) => {
-            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, rec, |s| {
                 RandomMatrix::rect(s.rows(), s.cols(), n, s.len)
             });
             (o.report, None)
         }
         (Kernel::Matmul { n }, Strategy::Sorted) => {
-            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, rec, |s| {
                 SortedMatrix::rect(s.rows(), s.cols(), n, s.len)
             });
             (o.report, None)
         }
         (Kernel::Matmul { n }, Strategy::Dynamic) => {
-            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, |s| {
+            let (o, _) = run_tree_strategy(cfg, platform, &plan, seed, rec, |s| {
                 DynamicMatrix::rect(s.rows(), s.cols(), n, s.len)
             });
             (o.report, None)
         }
         (Kernel::Matmul { n }, Strategy::TwoPhase(choice)) => {
-            let (o, scheds) =
-                run_tree_strategy(cfg, platform, &plan, seed, |s| match (choice, beta_used) {
+            let (o, scheds) = run_tree_strategy(cfg, platform, &plan, seed, rec, |s| {
+                match (choice, beta_used) {
                     (BetaChoice::Phase1Fraction(f), _) => {
                         DynamicMatrix2Phases::rect_with_phase1_fraction(
                             s.rows(),
@@ -457,7 +462,8 @@ fn run_tree_impl(
                         DynamicMatrix2Phases::rect_with_beta(s.rows(), s.cols(), n, s.len, b)
                     }
                     _ => unreachable!("β resolved above for non-fraction choices"),
-                });
+                }
+            });
             (
                 o.report,
                 Some(merge_phase_split(scheds.iter().map(|s| {

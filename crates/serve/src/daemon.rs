@@ -26,7 +26,7 @@ use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Everything `hetsched serve` needs to run.
@@ -74,6 +74,48 @@ struct State {
     shared: Mutex<Shared>,
     cond: Condvar,
     opts: ServeOpts,
+}
+
+/// Locks the shared state, recovering from mutex poisoning.
+///
+/// A poisoned lock means some thread panicked while holding it — e.g. a
+/// table invariant tripped between a worker's lease and its settle path.
+/// The shared state is transition-logged and never left half-updated
+/// across a call boundary, so crashing the whole daemon (the old
+/// `.expect("daemon lock")` behaviour) threw away a consistent queue.
+/// Instead: clear the poison so later locks return `Ok`, append a
+/// `lock_poisoned` audit event, and keep serving. Any job the panicking
+/// thread held is settled by the lease monitor when its lease expires
+/// (requeued, then failed after `max_retries`).
+fn lock_shared<'a>(state: &'a State, context: &str) -> MutexGuard<'a, Shared> {
+    match state.shared.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            state.shared.clear_poison();
+            let mut guard = poisoned.into_inner();
+            let _ = guard.log.lock_poisoned(context);
+            guard
+        }
+    }
+}
+
+/// [`Condvar::wait_timeout`] on the shared state, with the same poison
+/// recovery as [`lock_shared`].
+fn wait_shared<'a>(
+    state: &'a State,
+    guard: MutexGuard<'a, Shared>,
+    timeout: Duration,
+    context: &str,
+) -> MutexGuard<'a, Shared> {
+    match state.cond.wait_timeout(guard, timeout) {
+        Ok((guard, _)) => guard,
+        Err(poisoned) => {
+            state.shared.clear_poison();
+            let mut guard = poisoned.into_inner().0;
+            let _ = guard.log.lock_poisoned(context);
+            guard
+        }
+    }
 }
 
 /// Runs the daemon until a client drains it. Blocks the calling thread.
@@ -144,7 +186,7 @@ pub fn serve(opts: ServeOpts) -> io::Result<()> {
     }
 
     {
-        let mut sh = state.shared.lock().expect("daemon lock");
+        let mut sh = lock_shared(&state, "shutdown");
         sh.shutdown = true;
         state.cond.notify_all();
     }
@@ -159,7 +201,7 @@ pub fn serve(opts: ServeOpts) -> io::Result<()> {
 fn worker_loop(state: &State) {
     loop {
         let (id, epoch, req) = {
-            let mut sh = state.shared.lock().expect("daemon lock");
+            let mut sh = lock_shared(state, "worker pick");
             loop {
                 if sh.shutdown {
                     return;
@@ -171,11 +213,7 @@ fn worker_loop(state: &State) {
                     let req = sh.table.get(id).expect("just leased").req.clone();
                     break (id, epoch, req);
                 }
-                sh = state
-                    .cond
-                    .wait_timeout(sh, Duration::from_millis(200))
-                    .expect("daemon lock")
-                    .0;
+                sh = wait_shared(state, sh, Duration::from_millis(200), "worker wait");
             }
         };
 
@@ -194,7 +232,7 @@ fn worker_loop(state: &State) {
                 let manifest = job_manifest(id, &req, &outcome);
                 let path = state.opts.results_dir.join(format!("job-{id}.json"));
                 let wrote = fs::write(&path, manifest).is_ok();
-                let mut sh = state.shared.lock().expect("daemon lock");
+                let mut sh = lock_shared(state, "worker settle");
                 if !wrote {
                     if sh
                         .table
@@ -209,7 +247,7 @@ fn worker_loop(state: &State) {
             }
             Err(panic) => {
                 let msg = panic_message(&panic);
-                let mut sh = state.shared.lock().expect("daemon lock");
+                let mut sh = lock_shared(state, "worker settle (panicked job)");
                 if sh.table.fail(id, epoch, msg.clone()) {
                     let _ = sh.log.failed(id, &msg);
                 }
@@ -222,7 +260,7 @@ fn worker_loop(state: &State) {
 /// Monitor: sweep expired leases at a cadence well under the TTL.
 fn monitor_loop(state: &State) {
     let sweep = (state.opts.lease_ttl / 4).max(Duration::from_millis(50));
-    let mut sh = state.shared.lock().expect("daemon lock");
+    let mut sh = lock_shared(state, "monitor sweep");
     loop {
         if sh.shutdown {
             return;
@@ -246,7 +284,7 @@ fn monitor_loop(state: &State) {
             let _ = sh.log.failed(id, &error);
             state.cond.notify_all();
         }
-        sh = state.cond.wait_timeout(sh, sweep).expect("daemon lock").0;
+        sh = wait_shared(state, sh, sweep, "monitor wait");
     }
 }
 
@@ -288,7 +326,7 @@ fn handle_submit(request: &str, state: &State) -> String {
         }
     };
     let predicted = predict_makespan(&req);
-    let mut sh = state.shared.lock().expect("daemon lock");
+    let mut sh = lock_shared(state, "submit");
     if sh.draining {
         return r#"{"ok":false,"error":"daemon is draining; not accepting jobs"}"#.into();
     }
@@ -305,7 +343,7 @@ fn handle_submit(request: &str, state: &State) -> String {
 }
 
 fn handle_status(state: &State) -> String {
-    let sh = state.shared.lock().expect("daemon lock");
+    let sh = lock_shared(state, "status");
     let mut jobs = String::new();
     for job in sh.table.jobs() {
         if !jobs.is_empty() {
@@ -346,7 +384,7 @@ fn handle_status(state: &State) -> String {
 fn handle_logs(request: &str, state: &State) -> String {
     let tail = u64_field(request, "tail").unwrap_or(20).min(10_000) as usize;
     // Hold the lock while reading so no event lands mid-read.
-    let _sh = state.shared.lock().expect("daemon lock");
+    let _sh = lock_shared(state, "logs");
     let text = fs::read_to_string(&state.opts.log).unwrap_or_default();
     let lines: Vec<&str> = text.lines().collect();
     let start = lines.len().saturating_sub(tail);
@@ -360,15 +398,11 @@ fn handle_logs(request: &str, state: &State) -> String {
 }
 
 fn handle_drain(state: &State) -> String {
-    let mut sh = state.shared.lock().expect("daemon lock");
+    let mut sh = lock_shared(state, "drain");
     sh.draining = true;
     state.cond.notify_all();
     while !sh.table.all_terminal() {
-        sh = state
-            .cond
-            .wait_timeout(sh, Duration::from_millis(200))
-            .expect("daemon lock")
-            .0;
+        sh = wait_shared(state, sh, Duration::from_millis(200), "drain wait");
     }
     let _ = sh.log.drained();
     format!(
@@ -480,6 +514,58 @@ mod tests {
         let log = fs::read_to_string(dir.join("events.jsonl")).unwrap();
         assert_eq!(log.matches(r#""event":"done""#).count(), 2);
         assert!(log.ends_with("{\"event\":\"drained\"}\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_fatal() {
+        let dir = scratch("poison");
+        let opts = opts_in(&dir);
+        let state = Arc::new(State {
+            shared: Mutex::new(Shared {
+                table: JobTable::new(),
+                log: EventLog::open(&opts.log).unwrap(),
+                draining: false,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            opts,
+        });
+
+        // Poison the mutex the way a panicking thread would: panic while
+        // holding the guard.
+        let st = Arc::clone(&state);
+        let _ = std::thread::spawn(move || {
+            let _guard = st.shared.lock().unwrap();
+            panic!("boom while holding the daemon lock");
+        })
+        .join();
+        assert!(state.shared.is_poisoned(), "setup: lock must be poisoned");
+
+        // Request handlers keep working on the recovered state instead of
+        // crashing the daemon.
+        let status = handle_status(&state);
+        assert!(status.contains(r#""ok":true"#), "status: {status}");
+        let submit = handle_submit(
+            r#"{"cmd":"submit","spec":"n=16 p=4 trials=1 seed=3"}"#,
+            &state,
+        );
+        assert!(submit.contains(r#""ok":true"#), "submit: {submit}");
+
+        // The poison was cleared (one incident, one recovery) and the
+        // event log carries the audit trail.
+        assert!(!state.shared.is_poisoned(), "poison cleared after recovery");
+        let log = fs::read_to_string(&state.opts.log).unwrap();
+        assert_eq!(
+            log.matches(r#""event":"lock_poisoned""#).count(),
+            1,
+            "exactly one audit event: {log}"
+        );
+        assert!(log.contains(r#""context":"status""#), "{log}");
+        assert!(
+            log.contains(r#""event":"submitted""#),
+            "daemon kept serving: {log}"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

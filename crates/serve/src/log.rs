@@ -93,6 +93,17 @@ impl EventLog {
     pub fn drained(&mut self) -> io::Result<()> {
         self.append(r#"{"event":"drained"}"#)
     }
+
+    /// A thread panicked while holding the daemon lock; the daemon
+    /// recovered the poisoned mutex and kept serving. Carries no per-job
+    /// state — replay ignores it — but leaves an audit trail of the
+    /// incident.
+    pub fn lock_poisoned(&mut self, context: &str) -> io::Result<()> {
+        self.append(&format!(
+            r#"{{"event":"lock_poisoned","context":"{}"}}"#,
+            json_escape(context)
+        ))
+    }
 }
 
 /// A job's state as reconstructed from the log.

@@ -73,4 +73,4 @@ pub use scheduler::{Allocation, Scheduler};
 pub use sink::{ChromeStream, JsonlStream, NullSink, StreamingSink};
 pub use topology::Topology;
 pub use trace::{EventKind, Trace, TraceEvent};
-pub use tree::{run_tree, ShardSpec, TreeOutcome};
+pub use tree::{run_tree, run_tree_with, ShardSpec, TreeOpts, TreeOutcome};

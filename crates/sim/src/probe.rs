@@ -579,6 +579,16 @@ impl<K: StreamingSink> Recorder<K> {
         }
     }
 
+    /// Feeds pre-built events (a merged tree-shard trace) through the
+    /// normal event path, so streaming sinks see the usual chunked
+    /// flushes. Probe cadence does not advance: the events were already
+    /// recorded (or deliberately not sampled) by the engine that ran them.
+    pub(crate) fn absorb_events(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
+        for ev in events {
+            self.push_event(ev);
+        }
+    }
+
     /// Records one event and, for allocation events, advances the probe
     /// cadence (sampling the run state if a cadence point was reached).
     pub(crate) fn observe<S: Scheduler>(

@@ -1,0 +1,86 @@
+//! Parallel tree-shard execution must be bit-for-bit independent of the
+//! thread count: shards are conservative logical processes whose only
+//! coupling — the root tier's input shipment — is resolved before any
+//! shard runs, and shard reports and traces merge in shard order, never
+//! completion order. These tests pin that contract end to end through
+//! `ExperimentConfig::tree_threads`, including the rendered trace bytes.
+
+use hetsched::core::{
+    render_trace, run_once, ExperimentConfig, Kernel, RunResult, Strategy, Topology, TraceFormat,
+};
+use hetsched::net::NetworkModel;
+use hetsched::sim::ProbeConfig;
+
+const SEED: u64 = 0xC0FFEE;
+
+fn tree_cfg(tree_threads: Option<usize>) -> ExperimentConfig {
+    ExperimentConfig {
+        kernel: Kernel::Outer { n: 36 },
+        strategy: Strategy::Dynamic,
+        processors: 9,
+        topology: Topology::Tree { submasters: 3 },
+        network: NetworkModel::OnePort { master_bw: 200.0 },
+        tree_threads,
+        ..Default::default()
+    }
+}
+
+fn assert_runs_identical(label: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.total_blocks, b.total_blocks, "{label}: total_blocks");
+    assert_eq!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "{label}: makespan"
+    );
+    assert_eq!(
+        a.link_utilization.to_bits(),
+        b.link_utilization.to_bits(),
+        "{label}: link_utilization"
+    );
+    assert_eq!(
+        a.tasks_per_proc, b.tasks_per_proc,
+        "{label}: tasks_per_proc"
+    );
+    assert_eq!(
+        a.blocks_per_proc, b.blocks_per_proc,
+        "{label}: blocks_per_proc"
+    );
+    assert_eq!(a.tier_blocks, b.tier_blocks, "{label}: tier_blocks");
+}
+
+/// A tree run's report is identical whether the shards run serially on
+/// the caller's thread (`None`), on one thread, or fanned across several.
+#[test]
+fn tree_runs_are_thread_count_independent() {
+    let serial = run_once(&tree_cfg(None), SEED);
+    for threads in [1usize, 2, 4] {
+        let parallel = run_once(&tree_cfg(Some(threads)), SEED);
+        assert_runs_identical(&format!("threads={threads}"), &serial, &parallel);
+    }
+}
+
+/// The merged shard trace — shifted onto the global clock, re-indexed to
+/// global worker ids — renders to byte-identical JSONL for every shard
+/// thread count.
+#[test]
+fn tree_traces_are_byte_identical_across_thread_counts() {
+    let golden = render_trace(
+        &tree_cfg(None),
+        SEED,
+        ProbeConfig::disabled(),
+        TraceFormat::Jsonl,
+    );
+    assert!(
+        golden.lines().count() > 10,
+        "tree trace carries the shard events"
+    );
+    for threads in [1usize, 2, 4] {
+        let again = render_trace(
+            &tree_cfg(Some(threads)),
+            SEED,
+            ProbeConfig::disabled(),
+            TraceFormat::Jsonl,
+        );
+        assert_eq!(golden, again, "JSONL trace differs at threads={threads}");
+    }
+}
