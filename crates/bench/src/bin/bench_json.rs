@@ -73,6 +73,7 @@ fn main() {
     }
 
     let date = today_utc();
+    let store = store_bench();
     let (events_per_sec, probed_per_sec, buffered_per_sec) = engine_throughputs();
     let mem = trace_memory();
     let (ledger_cfg, ledger_seed, ledger) = ledger_aggregates();
@@ -122,6 +123,18 @@ fn main() {
     json.push_str(&format!(
         "  \"trace_memory\": {{ \"events\": {}, \"buffered_peak_bytes\": {}, \"streamed_peak_bytes\": {}, \"stream_chunk_events\": {} }},\n",
         mem.events, mem.buffered_peak_bytes, mem.streamed_peak_bytes, STREAM_CHUNK
+    ));
+    json.push_str(&format!(
+        "  \"store_ingest\": {{ \"rows\": {}, \"rows_per_sec\": {:.0}, \"disk_bytes\": {}, \"jsonl_bytes\": {}, \"jsonl_over_disk\": {:.2} }},\n",
+        store.rows,
+        store.rows as f64 / store.ingest_sec,
+        store.disk_bytes,
+        store.jsonl_bytes,
+        store.jsonl_bytes as f64 / store.disk_bytes as f64,
+    ));
+    json.push_str(&format!(
+        "  \"store_query\": {{ \"rows\": {}, \"group_by_sec\": {:.4}, \"filter_sec\": {:.4} }},\n",
+        store.rows, store.group_by_sec, store.filter_sec,
     ));
     json.push_str("  \"fig5_threads_sweep_sec\": {\n");
     for (i, (threads, secs)) in fig5_sweep.iter().enumerate() {
@@ -272,6 +285,154 @@ fn engine_throughputs() -> (f64, f64, f64) {
     }
     let reqs = (n * n) as f64;
     (reqs / best[0], reqs / best[1], reqs / best[2])
+}
+
+struct StoreBench {
+    rows: usize,
+    ingest_sec: f64,
+    disk_bytes: u64,
+    jsonl_bytes: u64,
+    group_by_sec: f64,
+    filter_sec: f64,
+}
+
+/// Warehouse throughput on a synthetic million-row probe campaign:
+/// 50 runs × 1 000 samples × 20 workers, ingested one batch per run the
+/// way `simulate --store` appends, then scanned two ways — a full
+/// group-by over every row and a pruned point lookup that zone maps and
+/// chunk dictionaries should keep from touching most segments. The
+/// `jsonl_bytes` column is what the same campaign would occupy as sparse
+/// JSONL (one object per row, defaulted fields omitted), the format the
+/// store replaces.
+fn store_bench() -> StoreBench {
+    use hetsched_store::{build_query, run_query, Row, Store, COLUMNS};
+    const RUNS: usize = 50;
+    const SAMPLES: usize = 1_000;
+    const WORKERS: usize = 20;
+
+    let dir = std::env::temp_dir().join(format!("hetsched-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("open bench store");
+
+    // Deterministic synthetic probe series: shapes and magnitudes of a
+    // real campaign without paying for 50 actual simulations.
+    let mut runs: Vec<Vec<Row>> = Vec::with_capacity(RUNS);
+    for run in 0..RUNS {
+        let mut rows = Vec::with_capacity(SAMPLES * WORKERS);
+        let run_id = format!("run-{run}");
+        let config = format!(
+            "{:016x}",
+            0x9E3779B97F4A7C15u64.wrapping_mul(run as u64 + 1)
+        );
+        for s in 0..SAMPLES {
+            for w in 0..WORKERS {
+                let mut r = Row::new("synthetic", &run_id, "probe", &config);
+                r.strategy = "DynamicOuter2Phases".to_string();
+                r.metric = "sample".to_string();
+                r.seed = run as u64;
+                r.worker = w as i64;
+                r.t = s as f64 * 0.25;
+                r.events = (s * 131) as u64;
+                r.remaining = (SAMPLES - s) as u64 * 17;
+                r.blocks = ((s * 7 + w * 3) % 97) as u64;
+                r.tasks = ((s * 11 + w) % 89) as u64;
+                r.useful = ((s + w) % 100) as f64 / 100.0;
+                r.link_busy = (s % 50) as f64 / 50.0;
+                r.queue_depth = ((s + w * 5) % 13) as u64;
+                r.beta = 3.0;
+                rows.push(r);
+            }
+        }
+        runs.push(rows);
+    }
+    let rows_total: usize = runs.iter().map(Vec::len).sum();
+
+    // Sparse-JSONL equivalent: bytes the same rows would take one JSON
+    // object per line, defaulted fields (empty strings, NaN) left out.
+    let jsonl_bytes: u64 = runs
+        .iter()
+        .flatten()
+        .map(|row| {
+            let mut len = 2u64; // "{" + "}"
+            let mut first = true;
+            for (i, (name, _)) in COLUMNS.iter().enumerate() {
+                let v = row.get(i);
+                let rendered = v.render_json();
+                if rendered == "null" || rendered == "\"\"" {
+                    continue;
+                }
+                if !first {
+                    len += 1; // ","
+                }
+                first = false;
+                len += name.len() as u64 + 3 + rendered.len() as u64; // "name":value
+            }
+            len + 1 // "\n"
+        })
+        .sum();
+
+    let start = Instant::now();
+    for rows in runs {
+        let mut batch = store.batch();
+        batch.push_all(rows);
+        batch.commit().expect("commit bench batch");
+    }
+    let ingest_sec = start.elapsed().as_secs_f64();
+
+    let disk_bytes: u64 = store
+        .segment_paths()
+        .expect("list segments")
+        .iter()
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+
+    // Best-of-3, same rationale as `engine_throughputs`: noise only adds.
+    let group_by = build_query(
+        None,
+        Some("kind=probe"),
+        Some("run"),
+        Some("count,mean(useful),max(blocks)"),
+        None,
+    )
+    .expect("group-by query");
+    let filter = build_query(
+        Some("t,blocks,tasks"),
+        Some("run=run-25,worker=7,blocks>90"),
+        None,
+        None,
+        None,
+    )
+    .expect("filter query");
+    let mut group_by_sec = f64::INFINITY;
+    let mut filter_sec = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let res = run_query(&store, &group_by).expect("run group-by");
+        group_by_sec = group_by_sec.min(start.elapsed().as_secs_f64());
+        assert_eq!(res.rows.len(), RUNS, "one group per run");
+        std::hint::black_box(&res);
+        let start = Instant::now();
+        let res = run_query(&store, &filter).expect("run filter");
+        filter_sec = filter_sec.min(start.elapsed().as_secs_f64());
+        assert!(!res.rows.is_empty(), "point lookup finds its run");
+        std::hint::black_box(&res);
+    }
+    eprintln!(
+        "[store: {rows_total} rows ingested in {ingest_sec:.2}s ({:.0} rows/s), \
+         {disk_bytes} B on disk vs {jsonl_bytes} B as JSONL ({:.2}x), \
+         group-by {group_by_sec:.3}s, filter {filter_sec:.3}s]",
+        rows_total as f64 / ingest_sec,
+        jsonl_bytes as f64 / disk_bytes as f64,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    StoreBench {
+        rows: rows_total,
+        ingest_sec,
+        disk_bytes,
+        jsonl_bytes,
+        group_by_sec,
+        filter_sec,
+    }
 }
 
 struct TraceMemory {

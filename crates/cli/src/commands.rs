@@ -4,7 +4,7 @@
 use crate::args::Args;
 use hetsched_analysis::{MatmulAnalysis, OuterAnalysis};
 use hetsched_core::{
-    render_trace, run_trials_with_threads, stream_trace, BetaChoice, ExperimentConfig, Kernel,
+    render_trace, run_trials_collected, stream_trace, BetaChoice, ExperimentConfig, Kernel,
     Strategy, Topology, TraceFormat,
 };
 use hetsched_dag::{cholesky_graph, qr_graph, simulate, Policy};
@@ -38,6 +38,9 @@ pub fn run(argv: Vec<String>) -> Result<String, String> {
         "status" => crate::serve_cmd::status_cmd(&args),
         "logs" => crate::serve_cmd::logs_cmd(&args),
         "drain" => crate::serve_cmd::drain_cmd(&args),
+        "query" => crate::store_cmd::query_cmd(&args),
+        "stats" => crate::store_cmd::stats_cmd(&args),
+        "ingest" => crate::store_cmd::ingest_cmd(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -75,6 +78,8 @@ COMMANDS
              --probe-every N                 (sample engine state every N allocations)
              --probe-delta                   (store probe counters as u32 deltas)
              --trace-buffer N                (stream the trace in N-event chunks; bounds memory)
+             --store DIR                     (ingest summary/report/probe rows into a trace-analytics store)
+             --campaign NAME (default)       (campaign key for --store)
   analyze    query the analytic model (β*, threshold, ratio landscape)
              --kernel outer|matmul (outer)   --n BLOCKS (100)
              --p WORKERS (20)                --speeds S1,S2,…
@@ -89,12 +94,16 @@ COMMANDS
              --trace-out PATH --trace-format jsonl|chrome --probe-every N
              --probe-delta --trace-buffer N
              (trace one representative run alongside the figures)
+             --store DIR --campaign NAME (figures)
+             (ingest every generated figure point into a trace-analytics store)
   serve      run the scheduler daemon: durable job queue over a Unix socket,
              drained via `hetsched drain`
              --socket PATH (hetsched.sock)   --log PATH (hetsched-events.jsonl)
              --results-dir DIR (hetsched-results)
              --policy fifo|spf|fair (fifo)   --workers N (2)
              --lease-ttl SECS (300)          --max-retries N (2)
+             --store DIR                     (ingest each completed job's report into a
+                                              trace-analytics store; replay-safe)
   submit     queue a job on a running daemon; the spec is positional
              `key=value` tokens mirroring the simulate flags, plus
              name=… group=… (fair-share group)
@@ -103,6 +112,21 @@ COMMANDS
   status     queue depth + per-job state     --socket PATH
   logs       tail the daemon's event log     --socket PATH --tail N (20)
   drain      finish queued jobs, then shut the daemon down  --socket PATH
+  query      scan a trace-analytics store (columnar, written by --store)
+             --store DIR (required)          --select col1,col2,…
+             --where \"kind=report,metric=makespan,value>=1\"  (= != < <= > >=)
+             --group-by strategy             --agg count,mean(value),p95(value)
+             --format csv|jsonl (csv)        --limit N
+             columns: campaign run kind strategy metric series config seed
+                      worker events remaining blocks tasks queue_depth
+                      t value sigma useful link_busy beta
+  stats      canned campaign summaries over a store: per-strategy makespan
+             distribution, link utilization vs β, probe-overhead trend
+             --store DIR (required)
+  ingest     append artifact files to a store; the type is detected from the
+             content: JSONL trace, figure CSV, serve event log, BENCH_*.json
+             --store DIR (required)          --campaign NAME (default)
+             positional: one or more files
   help       this text
 "
     .to_string()
@@ -284,9 +308,16 @@ struct TraceRequest {
 }
 
 /// Parses `--trace-out`/`--trace-format`/`--probe-every`/`--probe-delta`/
-/// `--trace-buffer`. Returns `None` when no trace was requested; the
-/// companion flags are only legal alongside `--trace-out`.
-fn parse_trace_flags(args: &Args) -> Result<Option<TraceRequest>, String> {
+/// `--trace-buffer`. Returns the trace request (`None` when no trace was
+/// requested) plus the parsed probe cadence. `--trace-format` and
+/// `--trace-buffer` are only legal alongside `--trace-out`; the probe
+/// flags additionally make sense with `--store` (probe rows land in the
+/// warehouse even when no trace file is written), which the caller
+/// signals via `probe_without_trace_ok`.
+fn parse_trace_flags(
+    args: &Args,
+    probe_without_trace_ok: bool,
+) -> Result<(Option<TraceRequest>, ProbeConfig), String> {
     let format = match args.get("trace-format") {
         Some(v) => TraceFormat::parse(v).map_err(|e| format!("--trace-format: {e}"))?,
         None => TraceFormat::Jsonl,
@@ -319,25 +350,32 @@ fn parse_trace_flags(args: &Args) -> Result<Option<TraceRequest>, String> {
         None => None,
     };
     match args.get("trace-out") {
-        Some(path) => Ok(Some(TraceRequest {
-            path: path.to_string(),
-            format,
+        Some(path) => Ok((
+            Some(TraceRequest {
+                path: path.to_string(),
+                format,
+                probe,
+                buffer,
+            }),
             probe,
-            buffer,
-        })),
+        )),
         None => {
-            if args.get("trace-format").is_some()
-                || args.get("probe-every").is_some()
-                || args.switch("probe-delta")
-                || args.get("trace-buffer").is_some()
-            {
+            if args.get("trace-format").is_some() || args.get("trace-buffer").is_some() {
                 return Err(
-                    "--trace-format/--probe-every/--probe-delta/--trace-buffer only apply \
-                     together with --trace-out PATH"
+                    "--trace-format/--trace-buffer only apply together with --trace-out PATH"
                         .into(),
                 );
             }
-            Ok(None)
+            if !probe_without_trace_ok
+                && (args.get("probe-every").is_some() || args.switch("probe-delta"))
+            {
+                return Err(
+                    "--probe-every/--probe-delta only apply together with --trace-out PATH \
+                     (or --store DIR, which ingests the probe series)"
+                        .into(),
+                );
+            }
+            Ok((None, probe))
         }
     }
 }
@@ -416,6 +454,8 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         "probe-every",
         "probe-delta",
         "trace-buffer",
+        "store",
+        "campaign",
     ])?;
     let n: usize = args.get_or("n", 100)?;
     let kernel = match args.get("kernel").unwrap_or("outer") {
@@ -471,17 +511,22 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
         None => None,
     };
     cfg.validate()?;
-    let trace = parse_trace_flags(args)?;
-    if let Some(req) = &trace {
-        if req.probe.is_enabled() && cfg.topology.submasters() > 1 {
-            return Err(
-                "--probe-every is not supported with multiple sub-masters: a \
-                 probe sample is a per-worker snapshot of one engine, and \
-                 samples from shards of different widths do not merge; drop \
-                 --probe-every to record the merged event trace"
-                    .into(),
-            );
-        }
+    if args.get("campaign").is_some() && args.get("store").is_none() {
+        return Err("--campaign only applies together with --store DIR".into());
+    }
+    let (trace, probe) = parse_trace_flags(args, args.get("store").is_some())?;
+    // Probes are flat-only: whether headed for a trace file or the store,
+    // a probe sample snapshots ONE engine's per-worker state, and samples
+    // from shards of different widths do not merge.
+    if probe.is_enabled() && cfg.topology.submasters() > 1 {
+        return Err(
+            "--probe-every is not supported with multiple sub-masters: a probe \
+             sample is a per-worker snapshot of one engine, and samples from \
+             shards of different widths do not merge (merging columnar probe \
+             series across differently-sized shard engines is an open ROADMAP \
+             follow-up); drop --probe-every to record the merged event trace"
+                .into(),
+        );
     }
 
     // With explicit shard threads the trial sweep runs serially — the
@@ -491,7 +536,7 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
     } else {
         None
     };
-    let sum = run_trials_with_threads(&cfg, trials, seed, sweep_threads);
+    let (results, sum) = run_trials_collected(&cfg, trials, seed, sweep_threads);
     let mut out = String::new();
     writeln!(
         out,
@@ -602,6 +647,12 @@ fn simulate_cmd(args: &Args) -> Result<String, String> {
     }
     if let Some(req) = trace {
         out.push_str(&write_trace_file(&cfg, seed, &req)?);
+    }
+    if let Some(dir) = args.get("store") {
+        let campaign = args.get("campaign").unwrap_or("default");
+        out.push_str(&crate::store_cmd::simulate_store_ingest(
+            dir, campaign, &cfg, seed, trials, &results, &sum, probe,
+        )?);
     }
     Ok(out)
 }
@@ -779,6 +830,8 @@ fn figures_cmd(args: &Args) -> Result<String, String> {
         "probe-every",
         "probe-delta",
         "trace-buffer",
+        "store",
+        "campaign",
     ])?;
     let mut opts = hetsched_core::figures::FigOpts::paper();
     if args.switch("quick") {
@@ -789,19 +842,32 @@ fn figures_cmd(args: &Args) -> Result<String, String> {
         return Err("--trials: need at least 1 trial, got 0".into());
     }
     opts.seed = args.get_or("seed", opts.seed)?;
-    let trace = parse_trace_flags(args)?;
+    if args.get("campaign").is_some() && args.get("store").is_none() {
+        return Err("--campaign only applies together with --store DIR".into());
+    }
+    let (trace, _probe) = parse_trace_flags(args, false)?;
 
     let ids: Vec<&String> = args.positionals().iter().skip(1).collect();
     if ids.is_empty() {
         return Err("figures: give at least one id (fig1 … fig11, extA … extG)".into());
     }
     let mut out = String::new();
+    let mut csvs = Vec::new();
     for id in ids {
         let fig = hetsched_core::figures::by_id(id, &opts)
             .or_else(|| hetsched_core::extensions::by_id(id, &opts))
             .ok_or(format!("unknown figure id {id:?} (fig3 is a schematic)"))?;
         out.push_str(&fig.to_table());
         out.push('\n');
+        if args.get("store").is_some() {
+            csvs.push(fig.to_csv());
+        }
+    }
+    if let Some(dir) = args.get("store") {
+        let campaign = args.get("campaign").unwrap_or("figures");
+        out.push_str(&crate::store_cmd::figures_store_ingest(
+            dir, campaign, &csvs,
+        )?);
     }
     if let Some(req) = trace {
         // One representative run of the paper's default experiment at the
@@ -1244,5 +1310,130 @@ mod tests {
     fn unknown_flags_are_rejected() {
         assert!(run_str("simulate --bogus 3").is_err());
         assert!(run_str("analyze --whatever yes").is_err());
+    }
+
+    #[test]
+    fn simulate_store_round_trip_and_dedupe() {
+        let dir = std::env::temp_dir().join("hetsched-cli-store-sim");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = format!(
+            "simulate --n 24 --p 4 --trials 2 --seed 11 --probe-every 8 --store {} --campaign unit",
+            dir.display()
+        );
+        let out = run_str(&base).unwrap();
+        assert!(out.contains("ingested"), "{out}");
+        // Replaying the exact same run must skip, not duplicate.
+        let again = run_str(&base).unwrap();
+        assert!(again.contains("skipping"), "{again}");
+
+        let q = format!(
+            "query --store {} --where kind=report,metric=makespan --group-by strategy --agg count,mean(value)",
+            dir.display()
+        );
+        let res = run_str(&q).unwrap();
+        assert!(res.contains("DynamicOuter2Phases"), "{res}");
+        assert!(res.contains(",2,"), "two trials expected: {res}");
+        // Probe samples landed too.
+        let probes = run_str(&format!(
+            "query --store {} --where kind=probe --agg count",
+            dir.display()
+        ))
+        .unwrap();
+        let n: u64 = probes.lines().nth(1).unwrap().parse().unwrap();
+        assert!(n > 0, "{probes}");
+        let stats = run_str(&format!("stats --store {}", dir.display())).unwrap();
+        assert!(stats.contains("makespan"), "{stats}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn figures_store_ingests_points() {
+        let dir = std::env::temp_dir().join("hetsched-cli-store-fig");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_str(&format!(
+            "figures fig6 --quick --trials 1 --seed 5 --store {} --campaign figs",
+            dir.display()
+        ))
+        .unwrap();
+        assert!(out.contains("figure row(s)"), "{out}");
+        let res = run_str(&format!(
+            "query --store {} --where kind=figure --select series,t,value --limit 3",
+            dir.display()
+        ))
+        .unwrap();
+        assert!(res.lines().count() >= 2, "{res}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn campaign_requires_store() {
+        let err = run_str("simulate --n 20 --p 4 --campaign lone").unwrap_err();
+        assert!(err.contains("--store"), "{err}");
+        let err = run_str("figures fig1 --quick --campaign lone").unwrap_err();
+        assert!(err.contains("--store"), "{err}");
+    }
+
+    #[test]
+    fn query_errors_are_contextful() {
+        let dir = std::env::temp_dir().join("hetsched-cli-store-err");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_str(&format!(
+            "simulate --n 20 --p 4 --trials 1 --store {}",
+            dir.display()
+        ))
+        .unwrap();
+        let err = run_str(&format!(
+            "query --store {} --select nosuchcol",
+            dir.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown column"), "{err}");
+        let err = run_str(&format!(
+            "query --store {} --where kind~probe",
+            dir.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("malformed predicate"), "{err}");
+        assert!(run_str("query").is_err());
+        assert!(run_str("stats").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_detects_artifact_shapes() {
+        let dir = std::env::temp_dir().join("hetsched-cli-store-ing");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run.jsonl");
+        run_str(&format!(
+            "simulate --n 24 --p 4 --trials 1 --seed 9 --probe-every 8 --trace-out {} --trace-format jsonl",
+            trace.display()
+        ))
+        .unwrap();
+        let store = dir.join("store");
+        let out = run_str(&format!(
+            "ingest --store {} --campaign reingest {}",
+            store.display(),
+            trace.display()
+        ))
+        .unwrap();
+        assert!(out.contains("trace row(s)"), "{out}");
+        // Same file again: content-addressed segments make this idempotent.
+        run_str(&format!(
+            "ingest --store {} --campaign reingest {}",
+            store.display(),
+            trace.display()
+        ))
+        .unwrap();
+        let count = run_str(&format!(
+            "query --store {} --where kind=probe --agg count",
+            store.display()
+        ))
+        .unwrap();
+        let n1: u64 = count.lines().nth(1).unwrap().parse().unwrap();
+        assert!(n1 > 0);
+        let err = run_str(&format!("ingest --store {}", store.display())).unwrap_err();
+        assert!(err.contains("at least one file"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -5,6 +5,7 @@
 mod args;
 mod commands;
 mod serve_cmd;
+mod store_cmd;
 
 use std::io::Write as _;
 

@@ -47,6 +47,7 @@ pub fn serve_cmd(args: &Args) -> Result<String, String> {
         "workers",
         "lease-ttl",
         "max-retries",
+        "store",
     ])?;
     let policy =
         Policy::parse(args.get("policy").unwrap_or("fifo")).map_err(|e| format!("--{e}"))?;
@@ -66,6 +67,7 @@ pub fn serve_cmd(args: &Args) -> Result<String, String> {
         workers,
         lease_ttl: Duration::from_secs_f64(lease_ttl),
         max_retries: args.get_or("max-retries", 2)?,
+        store: args.get("store").map(PathBuf::from),
     };
     let socket = opts.socket.clone();
     serve(opts).map_err(|e| format!("serve: {e}"))?;

@@ -1,0 +1,156 @@
+//! `hetsched query` / `stats` / `ingest` — the trace-analytics warehouse
+//! commands — plus the `--store` ingest hooks `simulate` and `figures`
+//! call after a run.
+
+use crate::args::Args;
+use hetsched_core::{ExperimentConfig, RunResult, TrialSummary};
+use hetsched_sim::ProbeConfig;
+use hetsched_store::{
+    build_query, figure_csv_rows, probe_rows, report_rows, rows_for_text, run_query, sim_run_id,
+    stats_report, summary_rows, RunKey, Store,
+};
+use std::path::Path;
+
+fn open_store(args: &Args, cmd: &str) -> Result<Store, String> {
+    let dir = args.get("store").ok_or(format!(
+        "{cmd} needs --store DIR (a trace-analytics store directory)"
+    ))?;
+    Store::open(Path::new(dir)).map_err(|e| format!("--store: cannot open {dir:?}: {e}"))
+}
+
+/// `hetsched query --store DIR [--select …] [--where …] [--group-by …]
+/// [--agg …] [--format csv|jsonl] [--limit N]`.
+pub fn query_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&[
+        "store", "select", "where", "group-by", "agg", "format", "limit",
+    ])?;
+    let store = open_store(args, "query")?;
+    let limit: Option<usize> = match args.get("limit") {
+        Some(v) => Some(v.parse().map_err(|_| format!("--limit: bad count {v:?}"))?),
+        None => None,
+    };
+    let q = build_query(
+        args.get("select"),
+        args.get("where"),
+        args.get("group-by"),
+        args.get("agg"),
+        limit,
+    )?;
+    let res = run_query(&store, &q)?;
+    match args.get("format").unwrap_or("csv") {
+        "csv" => Ok(res.to_csv()),
+        "jsonl" => Ok(res.to_jsonl()),
+        other => Err(format!("--format: expected csv|jsonl, got {other:?}")),
+    }
+}
+
+/// `hetsched stats --store DIR` — the canned campaign summaries.
+pub fn stats_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["store"])?;
+    let store = open_store(args, "stats")?;
+    stats_report(&store)
+}
+
+/// `hetsched ingest --store DIR [--campaign NAME] FILE…` — append
+/// artifact files (type detected by shape) to a store.
+pub fn ingest_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["store", "campaign"])?;
+    let store = open_store(args, "ingest")?;
+    let campaign = args.get("campaign").unwrap_or("default");
+    let files: Vec<&String> = args.positionals().iter().skip(1).collect();
+    if files.is_empty() {
+        return Err(
+            "ingest needs at least one file (a JSONL trace, figure CSV, serve event log, \
+             or BENCH_*.json)"
+                .into(),
+        );
+    }
+    let mut out = String::new();
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("ingest: cannot read {file:?}: {e}"))?;
+        let (rows, kind) =
+            rows_for_text(campaign, &text).map_err(|e| format!("ingest {file:?}: {e}"))?;
+        let count = rows.len();
+        let mut batch = store.batch();
+        batch.push_all(rows);
+        batch.commit()?;
+        out.push_str(&format!(
+            "ingested {file}: {count} {kind} row(s) into {} (campaign {campaign})\n",
+            store.dir().display()
+        ));
+    }
+    Ok(out)
+}
+
+/// The `simulate --store` hook: summary + per-trial report rows, plus a
+/// probed observation of the first trial when a probe cadence was given.
+/// Replay-safe: an already-ingested `(campaign, run, config)` key skips
+/// cleanly instead of appending duplicates.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_store_ingest(
+    dir: &str,
+    campaign: &str,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    trials: usize,
+    results: &[RunResult],
+    sum: &TrialSummary,
+    probe: ProbeConfig,
+) -> Result<String, String> {
+    let store =
+        Store::open(Path::new(dir)).map_err(|e| format!("--store: cannot open {dir:?}: {e}"))?;
+    let run_id = sim_run_id(seed, trials);
+    let key = RunKey::new(campaign, &run_id, seed, cfg);
+    if store.contains_run(&key.campaign, &key.run, &key.config)? {
+        return Ok(format!(
+            "store                    : {run_id} already ingested (campaign {campaign}, \
+             config {}); skipping\n",
+            key.config
+        ));
+    }
+    let strategy = cfg.strategy.label(cfg.kernel);
+    let mut batch = store.batch();
+    batch.push_all(summary_rows(&key, strategy, sum));
+    for (i, r) in results.iter().enumerate() {
+        let trial_seed = hetsched_core::runner::trial_seed(seed, i);
+        batch.push_all(report_rows(&key, strategy, i, trial_seed, r));
+    }
+    if probe.is_enabled() {
+        let obs = hetsched_core::run_once_observed(
+            cfg,
+            hetsched_core::runner::trial_seed(seed, 0),
+            probe,
+        );
+        let beta = results
+            .first()
+            .and_then(|r| r.beta_used)
+            .unwrap_or(f64::NAN);
+        batch.push_all(probe_rows(&key, strategy, beta, &obs.probes));
+    }
+    let count = batch.len();
+    batch.commit()?;
+    Ok(format!(
+        "store                    : ingested {count} row(s) into {dir} \
+         (campaign {campaign}, run {run_id}, config {})\n",
+        key.config
+    ))
+}
+
+/// The `figures --store` hook: every generated figure's CSV becomes
+/// per-point rows. Identical re-runs are idempotent (content-addressed
+/// segments).
+pub fn figures_store_ingest(dir: &str, campaign: &str, csvs: &[String]) -> Result<String, String> {
+    let store =
+        Store::open(Path::new(dir)).map_err(|e| format!("--store: cannot open {dir:?}: {e}"))?;
+    let mut batch = store.batch();
+    for csv in csvs {
+        batch.push_all(figure_csv_rows(campaign, csv)?);
+    }
+    let count = batch.len();
+    batch.commit()?;
+    Ok(format!(
+        "store: ingested {count} figure row(s) from {} figure(s) into {dir} (campaign {campaign})\n",
+        csvs.len()
+    ))
+}

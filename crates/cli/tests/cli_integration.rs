@@ -40,11 +40,20 @@ fn help_lists_every_subcommand_and_flag_group() {
         "status",
         "logs",
         "drain",
+        "query",
+        "stats",
+        "ingest",
         "help",
     ] {
         assert!(text.contains(cmd), "help must list `{cmd}`:\n{text}");
     }
     for flag in [
+        "--store",
+        "--campaign",
+        "--select",
+        "--where",
+        "--group-by",
+        "--agg",
         "--kernel",
         "--fail-exp",
         "--price-returns",
@@ -469,6 +478,184 @@ fn crash_recovery_replays_to_identical_results() {
         3,
         "every job reaches done exactly once across both lives: {log}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Trace-analytics warehouse: query / stats / ingest against a real store.
+
+/// A scratch directory holding a store populated by one probed
+/// `simulate --store` run.
+fn populated_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hetsched-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = hetsched(&[
+        "simulate",
+        "--n",
+        "24",
+        "--p",
+        "4",
+        "--trials",
+        "2",
+        "--seed",
+        "17",
+        "--probe-every",
+        "8",
+        "--store",
+        dir.to_str().unwrap(),
+        "--campaign",
+        "itest",
+    ]);
+    assert!(out.status.success(), "populate: {}", stderr(&out));
+    assert!(stdout(&out).contains("ingested"), "{}", stdout(&out));
+    dir
+}
+
+#[test]
+fn store_query_and_stats_over_a_simulated_campaign() {
+    let dir = populated_store("store-query");
+    let store = dir.to_str().unwrap();
+
+    let query = [
+        "query",
+        "--store",
+        store,
+        "--where",
+        "kind=report,metric=makespan",
+        "--group-by",
+        "strategy",
+        "--agg",
+        "count,mean(value),p50(value)",
+    ];
+    let out = hetsched(&query);
+    assert!(out.status.success(), "query: {}", stderr(&out));
+    let first = stdout(&out);
+    assert!(first.contains("DynamicOuter2Phases"), "{first}");
+    assert!(
+        first.starts_with("strategy,count,mean(value),p50(value)"),
+        "{first}"
+    );
+
+    // Golden byte-stability: the same query twice gives identical bytes.
+    let again = hetsched(&query);
+    assert!(again.status.success(), "repeat query: {}", stderr(&again));
+    assert_eq!(first, stdout(&again), "query output must be byte-stable");
+
+    // JSONL rendering of the same result is also available.
+    let mut jsonl = query.to_vec();
+    jsonl.extend_from_slice(&["--format", "jsonl"]);
+    let out = hetsched(&jsonl);
+    assert!(out.status.success(), "jsonl query: {}", stderr(&out));
+    assert!(stdout(&out).contains(r#""strategy":"#), "{}", stdout(&out));
+
+    // The canned summaries see the same campaign.
+    let out = hetsched(&["stats", "--store", store]);
+    assert!(out.status.success(), "stats: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("makespan"), "{text}");
+    assert!(!text.contains("store is empty"), "{text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_rejects_unknown_columns_and_malformed_predicates() {
+    let dir = populated_store("store-errors");
+    let store = dir.to_str().unwrap();
+
+    let out = hetsched(&["query", "--store", store, "--select", "flavour"]);
+    assert!(!out.status.success(), "unknown column must be rejected");
+    let err = stderr(&out);
+    assert!(err.contains("unknown column"), "{err}");
+    assert!(err.contains("flavour"), "must name the column: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+
+    let out = hetsched(&["query", "--store", store, "--where", "kind~probe"]);
+    assert!(
+        !out.status.success(),
+        "malformed predicate must be rejected"
+    );
+    let err = stderr(&out);
+    assert!(err.contains("malformed predicate"), "{err}");
+    assert!(err.contains("kind~probe"), "must quote the input: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+
+    let out = hetsched(&["query", "--store", store, "--agg", "median(value)"]);
+    assert!(!out.status.success(), "unknown aggregate must be rejected");
+    assert!(!stderr(&out).contains("panicked"), "{}", stderr(&out));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_store_exits_cleanly() {
+    let dir = std::env::temp_dir().join(format!("hetsched-cli-{}-store-empty", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.to_str().unwrap();
+
+    let out = hetsched(&["query", "--store", store, "--select", "campaign,run"]);
+    assert!(out.status.success(), "empty query: {}", stderr(&out));
+    assert_eq!(stdout(&out), "campaign,run\n", "header only, no rows");
+
+    let out = hetsched(&["stats", "--store", store]);
+    assert!(out.status.success(), "empty stats: {}", stderr(&out));
+    assert!(stdout(&out).contains("store is empty"), "{}", stdout(&out));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ingest_round_trips_a_trace_file() {
+    let dir = std::env::temp_dir().join(format!("hetsched-cli-{}-store-trace", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("run.jsonl");
+    let store = dir.join("store");
+
+    let out = hetsched(&[
+        "simulate",
+        "--n",
+        "24",
+        "--p",
+        "4",
+        "--trials",
+        "1",
+        "--seed",
+        "5",
+        "--probe-every",
+        "8",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--trace-format",
+        "jsonl",
+    ]);
+    assert!(out.status.success(), "trace run: {}", stderr(&out));
+
+    let out = hetsched(&[
+        "ingest",
+        "--store",
+        store.to_str().unwrap(),
+        "--campaign",
+        "replayed",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "ingest: {}", stderr(&out));
+    assert!(stdout(&out).contains("trace row(s)"), "{}", stdout(&out));
+
+    let out = hetsched(&[
+        "query",
+        "--store",
+        store.to_str().unwrap(),
+        "--where",
+        "kind=probe",
+        "--agg",
+        "count",
+    ]);
+    assert!(out.status.success(), "count query: {}", stderr(&out));
+    let text = stdout(&out);
+    let n: u64 = text.lines().nth(1).unwrap_or("0").parse().unwrap();
+    assert!(n > 0, "probe samples must survive the round trip: {text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

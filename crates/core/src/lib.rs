@@ -42,10 +42,10 @@ pub use hetsched_sim::Topology;
 pub use observe::{
     render_trace, run_once_observed, stream_trace, ObservedRun, StreamedRun, TraceFormat,
 };
-pub use provenance::{figure_manifest_json, manifest_json};
+pub use provenance::{config_json, figure_manifest_json, manifest_json};
 pub use runner::{
-    parallel_map, run_once, run_trials, run_trials_with_threads, summarize_runs, RunResult,
-    TrialSummary,
+    parallel_map, run_once, run_trials, run_trials_collected, run_trials_with_threads,
+    summarize_runs, RunResult, TrialSummary,
 };
 pub use series::{FigureData, Point, Series};
 pub use shard::{plan_shards, ShardLayout};

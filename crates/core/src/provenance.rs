@@ -10,7 +10,7 @@
 //! `BENCH_*.json`) and written as `<artifact>.manifest.json` sidecars next
 //! to CSV files, which have nowhere to put structured metadata.
 
-use crate::config::{ExperimentConfig, Kernel};
+use crate::config::{ExperimentConfig, Kernel, Strategy};
 use crate::figures::FigOpts;
 
 /// Escapes `s` for inclusion inside a JSON string literal (quotes,
@@ -63,30 +63,59 @@ pub fn manifest_json(
     threads: usize,
     extra: &[(&str, String)],
 ) -> String {
-    let kernel = match cfg.kernel {
-        Kernel::Outer { .. } => "outer",
-        Kernel::Matmul { .. } => "matmul",
-    };
     let mut s = format!(
-        "{{{},\"seed\":{},\"threads\":{},\"config\":{{\"kernel\":\"{}\",\"n\":{},\"strategy\":\"{}\",\"processors\":{},\"distribution\":\"{}\",\"speed_model\":\"{}\",\"network\":\"{}\",\"link_latency\":{},\"failures\":\"{}\"}}",
+        "{{{},\"seed\":{},\"threads\":{},\"config\":{}",
         tool_fields(),
         seed,
         threads,
-        kernel,
-        cfg.kernel.n(),
-        cfg.strategy.label(cfg.kernel),
-        cfg.processors,
-        json_escape(&format!("{:?}", cfg.distribution)),
-        json_escape(&format!("{:?}", cfg.speed_model)),
-        json_escape(&format!("{:?}", cfg.network)),
-        cfg.link_latency,
-        json_escape(&format!("{:?}", cfg.failures)),
+        config_json(cfg),
     );
     for (k, v) in extra {
         s.push_str(&format!(",\"{}\":{}", json_escape(k), v));
     }
     s.push('}');
     s
+}
+
+/// The `"config"` object of [`manifest_json`] on its own: the full
+/// [`ExperimentConfig`] as a one-line JSON object, seed- and
+/// build-independent. Two configs render identically exactly when every
+/// field the runner consults matches, which is what makes this string the
+/// natural input for a config hash (the trace-analytics store keys runs
+/// by it).
+pub fn config_json(cfg: &ExperimentConfig) -> String {
+    let kernel = match cfg.kernel {
+        Kernel::Outer { .. } => "outer",
+        Kernel::Matmul { .. } => "matmul",
+    };
+    // The label alone would collapse every two-phase β choice onto one
+    // key — `--beta 1` and `--beta 4` are different experiments, so the
+    // β mode rides in a separate field.
+    let beta_mode = match cfg.strategy {
+        Strategy::TwoPhase(choice) => format!("\"{}\"", json_escape(&format!("{choice:?}"))),
+        _ => "null".to_string(),
+    };
+    // `tree_threads` is deliberately omitted: shard threading is
+    // bit-identical for every value, so it must not split a config key.
+    format!(
+        "{{\"kernel\":\"{}\",\"n\":{},\"strategy\":\"{}\",\"beta_mode\":{},\"processors\":{},\"distribution\":\"{}\",\"speed_model\":\"{}\",\"network\":\"{}\",\"link_latency\":{},\"failures\":\"{}\",\"topology\":\"{}\",\"price_returns\":{},\"link_bandwidths\":{}}}",
+        kernel,
+        cfg.kernel.n(),
+        cfg.strategy.label(cfg.kernel),
+        beta_mode,
+        cfg.processors,
+        json_escape(&format!("{:?}", cfg.distribution)),
+        json_escape(&format!("{:?}", cfg.speed_model)),
+        json_escape(&format!("{:?}", cfg.network)),
+        cfg.link_latency,
+        json_escape(&format!("{:?}", cfg.failures)),
+        json_escape(&format!("{:?}", cfg.topology)),
+        cfg.price_returns,
+        match &cfg.link_bandwidths {
+            Some(bws) => format!("\"{}\"", json_escape(&format!("{bws:?}"))),
+            None => "null".to_string(),
+        },
+    )
 }
 
 /// One-line JSON manifest for a figure artifact: the figure id plus the

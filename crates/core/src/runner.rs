@@ -584,12 +584,26 @@ pub fn run_trials_with_threads(
     seed: u64,
     threads: Option<usize>,
 ) -> TrialSummary {
+    run_trials_collected(cfg, trials, seed, threads).1
+}
+
+/// [`run_trials_with_threads`] keeping the per-trial results alongside the
+/// summary — the trace-analytics store ingests one row set per trial, and
+/// the summary printed next to it must be computed from exactly the same
+/// runs.
+pub fn run_trials_collected(
+    cfg: &ExperimentConfig,
+    trials: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> (Vec<RunResult>, TrialSummary) {
     assert!(trials > 0, "need at least one trial");
     let idx: Vec<usize> = (0..trials).collect();
     let results = parallel_map(&idx, threads, |i, _| {
         run_once(cfg, derive_seed(seed, i as u64))
     });
-    summarize_runs(&results)
+    let summary = summarize_runs(&results);
+    (results, summary)
 }
 
 #[cfg(test)]

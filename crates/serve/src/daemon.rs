@@ -46,6 +46,11 @@ pub struct ServeOpts {
     pub lease_ttl: Duration,
     /// Requeues a job survives before it is failed outright.
     pub max_retries: u32,
+    /// Trace-analytics store directory: when set, every completed job's
+    /// summary report is appended there (campaign `serve`, run
+    /// `job-<id>`), replay-safe via the store's `(campaign, run,
+    /// config)` dedupe.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServeOpts {
@@ -58,6 +63,7 @@ impl Default for ServeOpts {
             workers: 2,
             lease_ttl: Duration::from_secs(300),
             max_retries: 2,
+            store: None,
         }
     }
 }
@@ -227,11 +233,19 @@ fn worker_loop(state: &State) {
                     total_blocks_mean: summary.total_blocks.mean(),
                     normalized_comm_mean: summary.normalized_comm.mean(),
                 };
-                // Manifest first, `done` event second: a crash between the
-                // two re-runs the job and rewrites identical bytes.
+                // Manifest first, then store ingest, `done` event last: a
+                // crash anywhere in between re-runs the job on recovery and,
+                // runs being deterministic, rewrites identical manifest
+                // bytes — and the store's `(campaign, run, config)` dedupe
+                // makes the re-ingest a no-op instead of a duplicate.
                 let manifest = job_manifest(id, &req, &outcome);
                 let path = state.opts.results_dir.join(format!("job-{id}.json"));
                 let wrote = fs::write(&path, manifest).is_ok();
+                let store_err = if wrote {
+                    store_ingest(&state.opts, id, &req, &summary).err()
+                } else {
+                    None
+                };
                 let mut sh = lock_shared(state, "worker settle");
                 if !wrote {
                     if sh
@@ -239,6 +253,11 @@ fn worker_loop(state: &State) {
                         .fail(id, epoch, "could not write result manifest".into())
                     {
                         let _ = sh.log.failed(id, "could not write result manifest");
+                    }
+                } else if let Some(e) = store_err {
+                    let msg = format!("store ingest failed: {e}");
+                    if sh.table.fail(id, epoch, msg.clone()) {
+                        let _ = sh.log.failed(id, &msg);
                     }
                 } else if sh.table.complete(id, epoch, outcome.clone()) {
                     let _ = sh.log.done(id, &outcome);
@@ -412,6 +431,33 @@ fn handle_drain(state: &State) -> String {
     )
 }
 
+/// Appends a completed job's summary report to the daemon's trace store
+/// (when one is configured). Replay-safe: recovery re-runs a job whose
+/// `done` event never landed, and the `(campaign, run, config)` key of
+/// the earlier ingest makes the second one skip instead of duplicating.
+fn store_ingest(
+    opts: &ServeOpts,
+    id: JobId,
+    req: &JobRequest,
+    summary: &hetsched_core::TrialSummary,
+) -> Result<(), String> {
+    let Some(dir) = &opts.store else {
+        return Ok(());
+    };
+    let store = hetsched_store::Store::open(dir)
+        .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+    let run = format!("job-{id}");
+    let key = hetsched_store::RunKey::new("serve", &run, req.seed, &req.cfg);
+    if store.contains_run(&key.campaign, &key.run, &key.config)? {
+        return Ok(());
+    }
+    let strategy = req.cfg.strategy.label(req.cfg.kernel);
+    let mut batch = store.batch();
+    batch.push_all(hetsched_store::summary_rows(&key, strategy, summary));
+    batch.commit()?;
+    Ok(())
+}
+
 /// The per-job result manifest: the shared provenance header plus the
 /// job's identity and summary means. Deterministic per `(spec, seed)` —
 /// the crash-recovery test relies on byte identity across re-runs.
@@ -467,6 +513,7 @@ mod tests {
             workers: 2,
             lease_ttl: Duration::from_secs(60),
             max_retries: 1,
+            store: None,
         }
     }
 
@@ -514,6 +561,39 @@ mod tests {
         let log = fs::read_to_string(dir.join("events.jsonl")).unwrap();
         assert_eq!(log.matches(r#""event":"done""#).count(), 2);
         assert!(log.ends_with("{\"event\":\"drained\"}\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn completed_jobs_land_in_the_store_once() {
+        let dir = scratch("store");
+        let mut opts = opts_in(&dir);
+        opts.store = Some(dir.join("store"));
+        let socket = opts.socket.clone();
+        let serve_opts = opts.clone();
+        let handle = std::thread::spawn(move || serve(serve_opts));
+        wait_for_socket(&socket);
+
+        let spec = "n=16 p=4 trials=2 seed=9";
+        let reply =
+            client::request(&socket, &format!(r#"{{"cmd":"submit","spec":"{spec}"}}"#)).unwrap();
+        assert_eq!(u64_field(&reply, "job"), Some(1), "reply: {reply}");
+        let drained = client::request(&socket, r#"{"cmd":"drain"}"#).unwrap();
+        assert_eq!(u64_field(&drained, "done"), Some(1), "reply: {drained}");
+        handle.join().unwrap().unwrap();
+
+        let store = hetsched_store::Store::open(&dir.join("store")).unwrap();
+        assert!(store.total_rows().unwrap() > 0, "summary rows ingested");
+        let req = parse_job_spec(spec).unwrap();
+        let config = hetsched_store::config_hash(&req.cfg);
+        assert!(store.contains_run("serve", "job-1", &config).unwrap());
+
+        // Recovery replay-safety: re-ingesting the same completed job (as a
+        // crash between ingest and the `done` event would) is a no-op.
+        let segments = store.segment_paths().unwrap().len();
+        let summary = run_trials_with_threads(&req.cfg, req.trials, req.seed, Some(1));
+        store_ingest(&opts, 1, &req, &summary).unwrap();
+        assert_eq!(store.segment_paths().unwrap().len(), segments);
         fs::remove_dir_all(&dir).unwrap();
     }
 

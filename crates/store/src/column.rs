@@ -1,0 +1,301 @@
+//! Column chunk encodings.
+//!
+//! Each chunk holds one column's values for a contiguous slice of rows:
+//!
+//! * **Str** — chunk-local dictionary (varint count, then varint-length
+//!   prefixed UTF-8 entries in first-appearance order), followed by the
+//!   row count and zigzag-delta varints of dictionary indices. Campaign,
+//!   run and metric names repeat across thousands of rows, so the indices
+//!   delta to zero almost everywhere.
+//! * **U64 / I64** — row count, then zigzag varints of wrapping deltas
+//!   between consecutive values (first value deltas against 0). This is
+//!   the cumulative-counter layout borrowed from the probe machinery.
+//! * **F64** — row count, then raw little-endian IEEE bits per value.
+//!   Floats round-trip *exactly*, which the golden round-trip test pins.
+//!
+//! Numeric chunks also carry a min/max zone map (NaN excluded) in the
+//! segment footer so predicate scans can skip chunks wholesale; string
+//! chunks are pruned by a dictionary-membership pre-pass that decodes
+//! only the dict header.
+
+use crate::varint::{get_varint, put_varint, unzigzag, zigzag};
+
+/// Decoded values of one chunk of one column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    Str(Vec<String>),
+    U64(Vec<u64>),
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Str(v) => v.len(),
+            ColumnData::U64(v) => v.len(),
+            ColumnData::I64(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn value(&self, i: usize) -> crate::schema::Value {
+        match self {
+            ColumnData::Str(v) => crate::schema::Value::Str(v[i].clone()),
+            ColumnData::U64(v) => crate::schema::Value::U64(v[i]),
+            ColumnData::I64(v) => crate::schema::Value::I64(v[i]),
+            ColumnData::F64(v) => crate::schema::Value::F64(v[i]),
+        }
+    }
+}
+
+/// Min/max over a chunk's numeric values, NaN excluded. `None` when the
+/// chunk has no finite values (all-NaN float chunks keep no zone map and
+/// are never pruned).
+pub fn zone_of(values: impl Iterator<Item = f64>) -> Option<(f64, f64)> {
+    let mut zone: Option<(f64, f64)> = None;
+    for v in values {
+        if v.is_nan() {
+            continue;
+        }
+        zone = Some(match zone {
+            None => (v, v),
+            Some((lo, hi)) => (lo.min(v), hi.max(v)),
+        });
+    }
+    zone
+}
+
+pub fn encode_str(values: &[String]) -> Vec<u8> {
+    let mut dict: Vec<&str> = Vec::new();
+    let mut index_of = std::collections::HashMap::new();
+    let mut indices = Vec::with_capacity(values.len());
+    for v in values {
+        let idx = *index_of.entry(v.as_str()).or_insert_with(|| {
+            dict.push(v.as_str());
+            dict.len() - 1
+        });
+        indices.push(idx as i64);
+    }
+    let mut out = Vec::new();
+    put_varint(&mut out, dict.len() as u64);
+    for entry in &dict {
+        put_varint(&mut out, entry.len() as u64);
+        out.extend_from_slice(entry.as_bytes());
+    }
+    put_varint(&mut out, values.len() as u64);
+    let mut prev = 0i64;
+    for idx in indices {
+        put_varint(&mut out, zigzag(idx.wrapping_sub(prev)));
+        prev = idx;
+    }
+    out
+}
+
+pub fn decode_str(buf: &[u8]) -> Result<Vec<String>, String> {
+    let mut pos = 0;
+    let (dict, rows) = decode_str_dict(buf, &mut pos)?;
+    let mut out = Vec::with_capacity(rows);
+    let mut prev = 0i64;
+    for _ in 0..rows {
+        let delta = unzigzag(get_varint(buf, &mut pos)?);
+        let idx = prev.wrapping_add(delta);
+        prev = idx;
+        let entry = usize::try_from(idx)
+            .ok()
+            .and_then(|i| dict.get(i))
+            .ok_or_else(|| format!("string chunk index {idx} out of dictionary range"))?;
+        out.push(entry.clone());
+    }
+    Ok(out)
+}
+
+/// Decodes only the dictionary header of a string chunk; used both by
+/// [`decode_str`] and by the Eq-predicate membership pre-pass.
+fn decode_str_dict(buf: &[u8], pos: &mut usize) -> Result<(Vec<String>, usize), String> {
+    let dict_n = get_varint(buf, pos)? as usize;
+    let mut dict = Vec::with_capacity(dict_n);
+    for _ in 0..dict_n {
+        let len = get_varint(buf, pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| "truncated string chunk dictionary".to_string())?;
+        let entry = std::str::from_utf8(&buf[*pos..end])
+            .map_err(|e| format!("non-UTF-8 dictionary entry: {e}"))?;
+        dict.push(entry.to_string());
+        *pos = end;
+    }
+    let rows = get_varint(buf, pos)? as usize;
+    Ok((dict, rows))
+}
+
+/// True when `needle` appears in the chunk's dictionary — i.e. an
+/// `col = needle` predicate can possibly match a row here. Reads only
+/// the dictionary, not the row indices.
+pub fn str_chunk_contains(buf: &[u8], needle: &str) -> Result<bool, String> {
+    let mut pos = 0;
+    let (dict, _) = decode_str_dict(buf, &mut pos)?;
+    Ok(dict.iter().any(|e| e == needle))
+}
+
+pub fn encode_u64(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, values.len() as u64);
+    let mut prev = 0u64;
+    for &v in values {
+        put_varint(&mut out, zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+    out
+}
+
+pub fn decode_u64(buf: &[u8]) -> Result<Vec<u64>, String> {
+    let mut pos = 0;
+    let rows = get_varint(buf, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(rows);
+    let mut prev = 0u64;
+    for _ in 0..rows {
+        let delta = unzigzag(get_varint(buf, &mut pos)?);
+        prev = prev.wrapping_add(delta as u64);
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+pub fn encode_i64(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, values.len() as u64);
+    let mut prev = 0i64;
+    for &v in values {
+        put_varint(&mut out, zigzag(v.wrapping_sub(prev)));
+        prev = v;
+    }
+    out
+}
+
+pub fn decode_i64(buf: &[u8]) -> Result<Vec<i64>, String> {
+    let mut pos = 0;
+    let rows = get_varint(buf, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(rows);
+    let mut prev = 0i64;
+    for _ in 0..rows {
+        prev = prev.wrapping_add(unzigzag(get_varint(buf, &mut pos)?));
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+pub fn encode_f64(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, values.len() as u64);
+    for &v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+pub fn decode_f64(buf: &[u8]) -> Result<Vec<f64>, String> {
+    let mut pos = 0;
+    let rows = get_varint(buf, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let end = pos
+            .checked_add(8)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| "truncated f64 chunk".to_string())?;
+        let mut bits = [0u8; 8];
+        bits.copy_from_slice(&buf[pos..end]);
+        out.push(f64::from_bits(u64::from_le_bytes(bits)));
+        pos = end;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_round_trip_and_dict_sharing() {
+        let values: Vec<String> = ["probe", "probe", "report", "probe", "", "report"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let buf = encode_str(&values);
+        assert_eq!(decode_str(&buf).unwrap(), values);
+        // Dictionary holds 3 distinct entries, so repeats cost ~1 byte each.
+        assert!(
+            buf.len() < 40,
+            "dict encoding too large: {} bytes",
+            buf.len()
+        );
+        assert!(str_chunk_contains(&buf, "report").unwrap());
+        assert!(!str_chunk_contains(&buf, "figure").unwrap());
+    }
+
+    #[test]
+    fn u64_round_trip_including_decreasing() {
+        let values = [0u64, 1, 1, 100, 50, u64::MAX, 3];
+        let buf = encode_u64(&values);
+        assert_eq!(decode_u64(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn u64_monotone_counters_compress() {
+        // Cumulative counters advancing by small steps: ~1 byte per row.
+        let values: Vec<u64> = (0..1000u64).map(|i| 5_000_000 + i * 3).collect();
+        let buf = encode_u64(&values);
+        assert!(buf.len() < 1100, "{} bytes for 1000 counters", buf.len());
+        assert_eq!(decode_u64(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        let values = [-1i64, -1, 0, 7, i64::MIN, i64::MAX, -1];
+        let buf = encode_i64(&values);
+        assert_eq!(decode_i64(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        let values = [
+            0.0f64,
+            -0.0,
+            1.0 / 3.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            1e308,
+        ];
+        let buf = encode_f64(&values);
+        let back = decode_f64(&buf).unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn zone_ignores_nan_and_handles_all_nan() {
+        assert_eq!(
+            zone_of([1.0, f64::NAN, -2.0, 5.0].into_iter()),
+            Some((-2.0, 5.0))
+        );
+        assert_eq!(zone_of([f64::NAN, f64::NAN].into_iter()), None);
+        assert_eq!(zone_of(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn truncated_chunks_error_cleanly() {
+        let buf = encode_str(&["abc".to_string()]);
+        assert!(decode_str(&buf[..buf.len() - 1]).is_err());
+        let fbuf = encode_f64(&[1.0, 2.0]);
+        assert!(decode_f64(&fbuf[..fbuf.len() - 1]).is_err());
+    }
+}

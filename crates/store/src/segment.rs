@@ -1,0 +1,464 @@
+//! Segment files: the on-disk unit of the warehouse.
+//!
+//! One segment holds one ingest batch, laid out column-major:
+//!
+//! ```text
+//! "HSCS"                                      4-byte magic
+//! chunk 0: col 0 bytes, col 1 bytes, …        encoded per column.rs
+//! chunk 1: …                                  (65 536 rows per chunk)
+//! footer                                       varint-encoded, see below
+//! footer length                                u64 little-endian
+//! "HSCF"                                      4-byte trailing magic
+//! ```
+//!
+//! The footer carries the column index (names + types, validated against
+//! the compiled-in schema on open), per-chunk row counts and per-column
+//! byte ranges, min/max zone maps for numeric columns, the batch's run
+//! keys (for ingest dedupe without scanning rows), and the total row
+//! count. Readers parse the footer, then decode only the chunk/column
+//! ranges a query actually touches.
+
+use std::path::Path;
+
+use crate::column::{
+    decode_f64, decode_i64, decode_str, decode_u64, encode_f64, encode_i64, encode_str, encode_u64,
+    zone_of, ColumnData,
+};
+use crate::schema::{ColumnType, Row, Value, COLUMNS};
+use crate::varint::{get_varint, put_varint};
+
+/// Rows per chunk. Large enough to amortize dictionaries, small enough
+/// that zone maps prune usefully within big batches.
+pub const CHUNK_ROWS: usize = 65_536;
+
+const MAGIC_HEAD: &[u8; 4] = b"HSCS";
+const MAGIC_TAIL: &[u8; 4] = b"HSCF";
+
+/// Byte range + zone map of one column within one chunk.
+#[derive(Clone, Debug)]
+pub struct ChunkColMeta {
+    pub offset: usize,
+    pub len: usize,
+    /// `(min, max)` over finite values; `None` for strings and all-NaN
+    /// chunks.
+    pub zone: Option<(f64, f64)>,
+}
+
+/// Per-chunk footer entry.
+#[derive(Clone, Debug)]
+pub struct ChunkMeta {
+    pub rows: usize,
+    pub cols: Vec<ChunkColMeta>,
+}
+
+/// Parsed segment footer.
+#[derive(Clone, Debug)]
+pub struct SegmentMeta {
+    pub chunks: Vec<ChunkMeta>,
+    /// `campaign \u{1f} run \u{1f} config` strings, one per ingested run.
+    pub run_keys: Vec<String>,
+    pub total_rows: usize,
+}
+
+/// Encodes `rows` (plus the batch's run keys) into segment-file bytes.
+pub fn encode_segment(rows: &[Row], run_keys: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_HEAD);
+    let mut chunks = Vec::new();
+    for chunk_rows in rows.chunks(CHUNK_ROWS) {
+        let mut cols = Vec::with_capacity(COLUMNS.len());
+        for (col_idx, (_, ty)) in COLUMNS.iter().enumerate() {
+            let offset = out.len();
+            let zone = match ty {
+                ColumnType::Str => {
+                    let values: Vec<String> = chunk_rows
+                        .iter()
+                        .map(|r| match r.get(col_idx) {
+                            Value::Str(s) => s,
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    out.extend_from_slice(&encode_str(&values));
+                    None
+                }
+                ColumnType::U64 => {
+                    let values: Vec<u64> = chunk_rows
+                        .iter()
+                        .map(|r| match r.get(col_idx) {
+                            Value::U64(v) => v,
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    out.extend_from_slice(&encode_u64(&values));
+                    zone_of(values.iter().map(|&v| v as f64))
+                }
+                ColumnType::I64 => {
+                    let values: Vec<i64> = chunk_rows
+                        .iter()
+                        .map(|r| match r.get(col_idx) {
+                            Value::I64(v) => v,
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    out.extend_from_slice(&encode_i64(&values));
+                    zone_of(values.iter().map(|&v| v as f64))
+                }
+                ColumnType::F64 => {
+                    let values: Vec<f64> = chunk_rows
+                        .iter()
+                        .map(|r| match r.get(col_idx) {
+                            Value::F64(v) => v,
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    out.extend_from_slice(&encode_f64(&values));
+                    zone_of(values.iter().copied())
+                }
+            };
+            cols.push(ChunkColMeta {
+                offset,
+                len: out.len() - offset,
+                zone,
+            });
+        }
+        chunks.push(ChunkMeta {
+            rows: chunk_rows.len(),
+            cols,
+        });
+    }
+
+    let mut footer = Vec::new();
+    put_varint(&mut footer, COLUMNS.len() as u64);
+    for (name, ty) in COLUMNS {
+        put_varint(&mut footer, name.len() as u64);
+        footer.extend_from_slice(name.as_bytes());
+        footer.push(match ty {
+            ColumnType::Str => 0,
+            ColumnType::U64 => 1,
+            ColumnType::I64 => 2,
+            ColumnType::F64 => 3,
+        });
+    }
+    put_varint(&mut footer, chunks.len() as u64);
+    for chunk in &chunks {
+        put_varint(&mut footer, chunk.rows as u64);
+        for col in &chunk.cols {
+            put_varint(&mut footer, col.offset as u64);
+            put_varint(&mut footer, col.len as u64);
+            match col.zone {
+                Some((lo, hi)) => {
+                    footer.push(1);
+                    footer.extend_from_slice(&lo.to_bits().to_le_bytes());
+                    footer.extend_from_slice(&hi.to_bits().to_le_bytes());
+                }
+                None => footer.push(0),
+            }
+        }
+    }
+    put_varint(&mut footer, run_keys.len() as u64);
+    for key in run_keys {
+        put_varint(&mut footer, key.len() as u64);
+        footer.extend_from_slice(key.as_bytes());
+    }
+    put_varint(&mut footer, rows.len() as u64);
+
+    let footer_len = footer.len() as u64;
+    out.extend_from_slice(&footer);
+    out.extend_from_slice(&footer_len.to_le_bytes());
+    out.extend_from_slice(MAGIC_TAIL);
+    out
+}
+
+/// An open segment: the full file in memory plus its parsed footer.
+/// Chunk columns are decoded on demand.
+#[derive(Debug)]
+pub struct Segment {
+    data: Vec<u8>,
+    pub meta: SegmentMeta,
+    pub path: std::path::PathBuf,
+}
+
+impl Segment {
+    pub fn open(path: &Path) -> Result<Segment, String> {
+        let data = std::fs::read(path)
+            .map_err(|e| format!("cannot read segment {}: {e}", path.display()))?;
+        let meta =
+            parse_footer(&data).map_err(|e| format!("corrupt segment {}: {e}", path.display()))?;
+        Ok(Segment {
+            data,
+            meta,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Parses only the footer of a segment file — enough for run-key
+    /// dedupe checks without decoding any rows.
+    pub fn read_meta(path: &Path) -> Result<SegmentMeta, String> {
+        // Segments are small enough that reading the file once beats
+        // seek bookkeeping; the row data is simply never decoded.
+        let data = std::fs::read(path)
+            .map_err(|e| format!("cannot read segment {}: {e}", path.display()))?;
+        parse_footer(&data).map_err(|e| format!("corrupt segment {}: {e}", path.display()))
+    }
+
+    /// Raw bytes of column `col_idx` in chunk `chunk_idx`.
+    pub fn chunk_col_bytes(&self, chunk_idx: usize, col_idx: usize) -> Result<&[u8], String> {
+        let col = &self.meta.chunks[chunk_idx].cols[col_idx];
+        self.data
+            .get(col.offset..col.offset + col.len)
+            .ok_or_else(|| "chunk byte range out of file bounds".to_string())
+    }
+
+    /// Decodes column `col_idx` of chunk `chunk_idx`.
+    pub fn read_chunk_column(
+        &self,
+        chunk_idx: usize,
+        col_idx: usize,
+    ) -> Result<ColumnData, String> {
+        let bytes = self.chunk_col_bytes(chunk_idx, col_idx)?;
+        let data = match COLUMNS[col_idx].1 {
+            ColumnType::Str => ColumnData::Str(decode_str(bytes)?),
+            ColumnType::U64 => ColumnData::U64(decode_u64(bytes)?),
+            ColumnType::I64 => ColumnData::I64(decode_i64(bytes)?),
+            ColumnType::F64 => ColumnData::F64(decode_f64(bytes)?),
+        };
+        if data.len() != self.meta.chunks[chunk_idx].rows {
+            return Err(format!(
+                "chunk {chunk_idx} column {} decoded {} rows, footer says {}",
+                COLUMNS[col_idx].0,
+                data.len(),
+                self.meta.chunks[chunk_idx].rows
+            ));
+        }
+        Ok(data)
+    }
+}
+
+fn parse_footer(data: &[u8]) -> Result<SegmentMeta, String> {
+    if data.len() < MAGIC_HEAD.len() + 8 + MAGIC_TAIL.len() {
+        return Err("file shorter than magic + footer trailer".to_string());
+    }
+    if &data[..4] != MAGIC_HEAD {
+        return Err("bad header magic (not an hsc segment)".to_string());
+    }
+    if &data[data.len() - 4..] != MAGIC_TAIL {
+        return Err("bad trailing magic (truncated write?)".to_string());
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&data[data.len() - 12..data.len() - 4]);
+    let footer_len = u64::from_le_bytes(len_bytes) as usize;
+    let footer_end = data.len() - 12;
+    let footer_start = footer_end
+        .checked_sub(footer_len)
+        .ok_or_else(|| "footer length exceeds file size".to_string())?;
+    let footer = &data[footer_start..footer_end];
+
+    let mut pos = 0;
+    let ncols = get_varint(footer, &mut pos)? as usize;
+    if ncols != COLUMNS.len() {
+        return Err(format!(
+            "segment has {ncols} columns, this build expects {}",
+            COLUMNS.len()
+        ));
+    }
+    for (name, ty) in COLUMNS {
+        let len = get_varint(footer, &mut pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= footer.len())
+            .ok_or_else(|| "truncated column name".to_string())?;
+        let got = std::str::from_utf8(&footer[pos..end])
+            .map_err(|e| format!("non-UTF-8 column name: {e}"))?;
+        pos = end;
+        let ty_byte = *footer
+            .get(pos)
+            .ok_or_else(|| "truncated column type".to_string())?;
+        pos += 1;
+        let want_ty = match ty {
+            ColumnType::Str => 0,
+            ColumnType::U64 => 1,
+            ColumnType::I64 => 2,
+            ColumnType::F64 => 3,
+        };
+        if got != *name || ty_byte != want_ty {
+            return Err(format!(
+                "column mismatch: segment has {got:?}/type {ty_byte}, schema wants {name:?}"
+            ));
+        }
+    }
+
+    let nchunks = get_varint(footer, &mut pos)? as usize;
+    let mut chunks = Vec::with_capacity(nchunks);
+    let mut total = 0usize;
+    for _ in 0..nchunks {
+        let rows = get_varint(footer, &mut pos)? as usize;
+        total += rows;
+        let mut cols = Vec::with_capacity(COLUMNS.len());
+        for _ in COLUMNS {
+            let offset = get_varint(footer, &mut pos)? as usize;
+            let len = get_varint(footer, &mut pos)? as usize;
+            let has_zone = *footer
+                .get(pos)
+                .ok_or_else(|| "truncated zone flag".to_string())?;
+            pos += 1;
+            let zone = if has_zone == 1 {
+                let end = pos
+                    .checked_add(16)
+                    .filter(|&e| e <= footer.len())
+                    .ok_or_else(|| "truncated zone map".to_string())?;
+                let mut lo = [0u8; 8];
+                let mut hi = [0u8; 8];
+                lo.copy_from_slice(&footer[pos..pos + 8]);
+                hi.copy_from_slice(&footer[pos + 8..end]);
+                pos = end;
+                Some((
+                    f64::from_bits(u64::from_le_bytes(lo)),
+                    f64::from_bits(u64::from_le_bytes(hi)),
+                ))
+            } else {
+                None
+            };
+            cols.push(ChunkColMeta { offset, len, zone });
+        }
+        chunks.push(ChunkMeta { rows, cols });
+    }
+
+    let nkeys = get_varint(footer, &mut pos)? as usize;
+    let mut run_keys = Vec::with_capacity(nkeys);
+    for _ in 0..nkeys {
+        let len = get_varint(footer, &mut pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= footer.len())
+            .ok_or_else(|| "truncated run key".to_string())?;
+        run_keys.push(
+            std::str::from_utf8(&footer[pos..end])
+                .map_err(|e| format!("non-UTF-8 run key: {e}"))?
+                .to_string(),
+        );
+        pos = end;
+    }
+    let total_rows = get_varint(footer, &mut pos)? as usize;
+    if total_rows != total {
+        return Err(format!(
+            "footer total {total_rows} != sum of chunk rows {total}"
+        ));
+    }
+    Ok(SegmentMeta {
+        chunks,
+        run_keys,
+        total_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                let mut r = Row::new("camp", "run-1", "probe", "deadbeefdeadbeef");
+                r.seed = 42 + i as u64;
+                r.worker = (i % 4) as i64;
+                r.events = (i * 10) as u64;
+                r.t = i as f64 * 0.5;
+                r.value = if i % 7 == 0 { f64::NAN } else { i as f64 };
+                r.metric = if i % 2 == 0 {
+                    "sample".into()
+                } else {
+                    "other".into()
+                };
+                r
+            })
+            .collect()
+    }
+
+    fn write_tmp(bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hsc-seg-test-{}-{}",
+            std::process::id(),
+            bytes.len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.hsc");
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn segment_round_trips_rows_and_keys() {
+        let rows = sample_rows(100);
+        let keys = vec!["camp\u{1f}run-1\u{1f}deadbeefdeadbeef".to_string()];
+        let bytes = encode_segment(&rows, &keys);
+        let path = write_tmp(&bytes);
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.meta.total_rows, 100);
+        assert_eq!(seg.meta.chunks.len(), 1);
+        assert_eq!(seg.meta.run_keys, keys);
+        for col_idx in 0..COLUMNS.len() {
+            let data = seg.read_chunk_column(0, col_idx).unwrap();
+            assert_eq!(data.len(), 100);
+            for (i, row) in rows.iter().enumerate() {
+                let want = row.get(col_idx);
+                let got = data.value(i);
+                match (&want, &got) {
+                    (Value::F64(a), Value::F64(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                    _ => assert_eq!(want, got, "col {col_idx} row {i}"),
+                }
+            }
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn multi_chunk_segments_split_at_chunk_rows() {
+        let rows = sample_rows(CHUNK_ROWS + 10);
+        let bytes = encode_segment(&rows, &[]);
+        let path = write_tmp(&bytes);
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.meta.chunks.len(), 2);
+        assert_eq!(seg.meta.chunks[0].rows, CHUNK_ROWS);
+        assert_eq!(seg.meta.chunks[1].rows, 10);
+        assert_eq!(seg.meta.total_rows, CHUNK_ROWS + 10);
+        let t = seg.read_chunk_column(1, 14).unwrap();
+        assert_eq!(t.value(9), Value::F64((CHUNK_ROWS + 9) as f64 * 0.5));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn zone_maps_cover_numeric_columns() {
+        let rows = sample_rows(50);
+        let bytes = encode_segment(&rows, &[]);
+        let path = write_tmp(&bytes);
+        let seg = Segment::open(&path).unwrap();
+        let chunk = &seg.meta.chunks[0];
+        // seed column: 42..=91.
+        assert_eq!(chunk.cols[7].zone, Some((42.0, 91.0)));
+        // strings carry no zone.
+        assert_eq!(chunk.cols[0].zone, None);
+        // value column: NaNs excluded, min is 1.0 (i=0 is NaN).
+        let (lo, hi) = chunk.cols[15].zone.unwrap();
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 48.0);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corrupt_files_error_cleanly() {
+        let rows = sample_rows(5);
+        let bytes = encode_segment(&rows, &[]);
+        // Truncated file.
+        let path = write_tmp(&bytes[..bytes.len() - 3]);
+        let err = Segment::open(&path).unwrap_err();
+        assert!(err.contains("corrupt segment"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+        // Wrong magic.
+        let mut garbled = bytes.clone();
+        garbled[0] = b'X';
+        let path = write_tmp(&garbled);
+        let err = Segment::open(&path).unwrap_err();
+        assert!(err.contains("not an hsc segment"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -1,0 +1,149 @@
+//! Canned summaries over a store: the `hetsched stats` report.
+//!
+//! Three questions a campaign owner keeps asking, pre-compiled to
+//! queries so the answers are one command away:
+//!
+//! 1. **Per-strategy makespan distribution** — count / mean / min / p50 /
+//!    p95 / max of `kind=report, metric=makespan`, grouped by strategy.
+//! 2. **Utilization vs β** — mean master-link utilization of
+//!    `kind=report, metric=link_utilization`, grouped by the β each trial
+//!    used (rows without a β, i.e. non-two-phase runs, are excluded by
+//!    the `beta>=0` predicate since NaN matches no predicate).
+//! 3. **Probe-overhead trend** — mean `probe_overhead_pct` from ingested
+//!    `BENCH_*.json` snapshots, grouped by snapshot date; dates sort
+//!    lexicographically = chronologically.
+
+use crate::query::{build_query, run_query};
+use crate::store::Store;
+
+struct Section {
+    title: &'static str,
+    where_: &'static str,
+    group_by: &'static str,
+    agg: &'static str,
+    empty_hint: &'static str,
+}
+
+const SECTIONS: &[Section] = &[
+    Section {
+        title: "makespan by strategy (kind=report, metric=makespan)",
+        where_: "kind=report,metric=makespan",
+        group_by: "strategy",
+        agg: "count,mean(value),min(value),p50(value),p95(value),max(value)",
+        empty_hint: "no report rows — run `hetsched simulate --store <dir>`",
+    },
+    Section {
+        title: "link utilization vs beta (kind=report, metric=link_utilization)",
+        where_: "kind=report,metric=link_utilization,beta>=0,value>0",
+        group_by: "beta",
+        agg: "count,mean(value),min(value),max(value)",
+        empty_hint: "no networked two-phase rows — simulate with --beta ... --net one-port",
+    },
+    Section {
+        title: "probe overhead trend (kind=bench, metric=probe_overhead_pct)",
+        where_: "kind=bench,metric=probe_overhead_pct",
+        group_by: "series",
+        agg: "count,mean(value)",
+        empty_hint: "no bench rows — `hetsched ingest --store <dir> BENCH_<date>.json`",
+    },
+];
+
+/// Renders the full stats report. An empty store is not an error: the
+/// report says so and exits cleanly.
+pub fn stats_report(store: &Store) -> Result<String, String> {
+    let segments = store
+        .segment_paths()
+        .map_err(|e| format!("cannot list store {}: {e}", store.dir().display()))?;
+    let total = store.total_rows()?;
+    let mut out = format!(
+        "store {}: {} segment(s), {} row(s)\n",
+        store.dir().display(),
+        segments.len(),
+        total
+    );
+    if segments.is_empty() {
+        out.push_str(
+            "store is empty — ingest runs with `simulate --store`, `figures --store`, \
+             `serve --store`, or `hetsched ingest`\n",
+        );
+        return Ok(out);
+    }
+    for section in SECTIONS {
+        out.push('\n');
+        out.push_str("## ");
+        out.push_str(section.title);
+        out.push('\n');
+        let q = build_query(
+            None,
+            Some(section.where_),
+            Some(section.group_by),
+            Some(section.agg),
+            None,
+        )?;
+        let res = run_query(store, &q)?;
+        if res.rows.is_empty() {
+            out.push('(');
+            out.push_str(section.empty_hint);
+            out.push_str(")\n");
+        } else {
+            out.push_str(&res.to_csv());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Row;
+
+    #[test]
+    fn empty_store_reports_cleanly() {
+        let dir = std::env::temp_dir().join(format!("hsc-stats-empty-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).unwrap();
+        let report = stats_report(&store).unwrap();
+        assert!(report.contains("0 segment(s)"), "{report}");
+        assert!(report.contains("store is empty"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn populated_store_fills_sections() {
+        let dir = std::env::temp_dir().join(format!("hsc-stats-full-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).unwrap();
+        let mut b = store.batch();
+        for (strategy, makespan, beta, util) in [
+            ("Dynamic", 10.0, f64::NAN, 0.0),
+            ("DynamicOuter2Phases", 8.0, 0.3, 0.7),
+            ("DynamicOuter2Phases", 9.0, 0.3, 0.8),
+        ] {
+            let mut r = Row::new("c", "r", "report", "cfg");
+            r.strategy = strategy.to_string();
+            r.metric = "makespan".to_string();
+            r.value = makespan;
+            r.beta = beta;
+            b.push(r.clone());
+            r.metric = "link_utilization".to_string();
+            r.value = util;
+            b.push(r);
+        }
+        let mut bench = Row::new("c", "bench-2026-08-08", "bench", "cfgb");
+        bench.metric = "probe_overhead_pct".to_string();
+        bench.series = "2026-08-08".to_string();
+        bench.value = 3.5;
+        b.push(bench);
+        b.commit().unwrap();
+
+        let report = stats_report(&store).unwrap();
+        assert!(report.contains("## makespan by strategy"), "{report}");
+        assert!(report.contains("DynamicOuter2Phases,2,8.5"), "{report}");
+        // The utilization section groups by beta and excludes the NaN-β
+        // Dynamic row.
+        assert!(report.contains("0.3,2,0.75"), "{report}");
+        assert!(!report.contains("Dynamic,1,0"), "{report}");
+        assert!(report.contains("2026-08-08,1,3.5"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,249 @@
+//! The store directory: a flat set of immutable segment files.
+//!
+//! A store is just a directory of `seg-<hash>.hsc` files. Segment names
+//! are content-addressed (FNV-1a over the encoded bytes), so re-ingesting
+//! identical data rewrites the same file — idempotent by construction —
+//! and two daemon workers committing concurrently can never clobber each
+//! other's distinct batches. Writes go through a temp file + rename so a
+//! crash mid-write leaves no half segment behind. Dedupe above the byte
+//! level uses the run keys recorded in every footer: `contains_run` scans
+//! footers only, never row data.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::schema::Row;
+use crate::segment::{encode_segment, Segment};
+
+/// 64-bit FNV-1a — the store's only hash. Used for segment names and for
+/// config hashes (see [`crate::ingest::config_hash`]).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The footer run-key string for `(campaign, run, config)`. Unit
+/// separators keep the three parts unambiguous whatever they contain.
+pub fn run_key(campaign: &str, run: &str, config: &str) -> String {
+    format!("{campaign}\u{1f}{run}\u{1f}{config}")
+}
+
+/// An open store directory.
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if absent) the store at `dir`.
+    pub fn open(dir: &Path) -> io::Result<Store> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Paths of every segment file, sorted by name for deterministic scan
+    /// order.
+    pub fn segment_paths(&self) -> io::Result<Vec<PathBuf>> {
+        let mut paths = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("seg-") && name.ends_with(".hsc") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        Ok(paths)
+    }
+
+    /// Opens every segment.
+    pub fn segments(&self) -> Result<Vec<Segment>, String> {
+        let paths = self
+            .segment_paths()
+            .map_err(|e| format!("cannot list store {}: {e}", self.dir.display()))?;
+        paths.iter().map(|p| Segment::open(p)).collect()
+    }
+
+    /// Sum of row counts across all segment footers.
+    pub fn total_rows(&self) -> Result<usize, String> {
+        let paths = self
+            .segment_paths()
+            .map_err(|e| format!("cannot list store {}: {e}", self.dir.display()))?;
+        let mut total = 0;
+        for p in &paths {
+            total += Segment::read_meta(p)?.total_rows;
+        }
+        Ok(total)
+    }
+
+    /// True when some segment already holds rows for this run key. Reads
+    /// footers only — this is the replay-safe dedupe check used by
+    /// `hetsched serve --store` and `simulate --store`.
+    pub fn contains_run(&self, campaign: &str, run: &str, config: &str) -> Result<bool, String> {
+        let key = run_key(campaign, run, config);
+        let paths = self
+            .segment_paths()
+            .map_err(|e| format!("cannot list store {}: {e}", self.dir.display()))?;
+        for p in &paths {
+            if Segment::read_meta(p)?.run_keys.contains(&key) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Starts an ingest batch; commit writes one segment.
+    pub fn batch(&self) -> IngestBatch<'_> {
+        IngestBatch {
+            store: self,
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// Rows accumulated for one segment. Run keys are derived from the rows'
+/// own `(campaign, run, config)` columns at commit time, so a batch can
+/// never claim a run it holds no rows for.
+pub struct IngestBatch<'a> {
+    store: &'a Store,
+    rows: Vec<Row>,
+}
+
+impl IngestBatch<'_> {
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    pub fn push_all(&mut self, rows: impl IntoIterator<Item = Row>) {
+        self.rows.extend(rows);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Writes the batch as one segment; returns its path, or `None` for
+    /// an empty batch (nothing is written).
+    pub fn commit(self) -> Result<Option<PathBuf>, String> {
+        if self.rows.is_empty() {
+            return Ok(None);
+        }
+        let keys: BTreeSet<String> = self
+            .rows
+            .iter()
+            .map(|r| run_key(&r.campaign, &r.run, &r.config))
+            .collect();
+        let keys: Vec<String> = keys.into_iter().collect();
+        let bytes = encode_segment(&self.rows, &keys);
+        let name = format!("seg-{:016x}.hsc", fnv1a64(&bytes));
+        let final_path = self.store.dir.join(&name);
+        let tmp_path = self
+            .store
+            .dir
+            .join(format!(".tmp-{name}-{}", std::process::id()));
+        std::fs::write(&tmp_path, &bytes)
+            .map_err(|e| format!("cannot write segment {}: {e}", tmp_path.display()))?;
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| format!("cannot commit segment {}: {e}", final_path.display()))?;
+        Ok(Some(final_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hsc-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn row(campaign: &str, run: &str, v: f64) -> Row {
+        let mut r = Row::new(campaign, run, "report", "0123456789abcdef");
+        r.metric = "makespan".into();
+        r.value = v;
+        r
+    }
+
+    #[test]
+    fn batch_commit_and_dedupe() {
+        let dir = scratch("dedupe");
+        let store = Store::open(&dir).unwrap();
+        assert!(!store.contains_run("c", "r1", "0123456789abcdef").unwrap());
+
+        let mut b = store.batch();
+        b.push(row("c", "r1", 1.0));
+        b.push(row("c", "r1", 2.0));
+        let path = b.commit().unwrap().unwrap();
+        assert!(path.exists());
+
+        assert!(store.contains_run("c", "r1", "0123456789abcdef").unwrap());
+        assert!(!store.contains_run("c", "r2", "0123456789abcdef").unwrap());
+        assert!(!store.contains_run("c", "r1", "ffff").unwrap());
+        assert_eq!(store.total_rows().unwrap(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identical_batches_are_idempotent() {
+        let dir = scratch("idem");
+        let store = Store::open(&dir).unwrap();
+        for _ in 0..3 {
+            let mut b = store.batch();
+            b.push(row("c", "r1", 1.5));
+            b.commit().unwrap();
+        }
+        // Content-addressed name: three identical commits, one segment.
+        assert_eq!(store.segment_paths().unwrap().len(), 1);
+        assert_eq!(store.total_rows().unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_writes_nothing() {
+        let dir = scratch("empty");
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.batch().commit().unwrap(), None);
+        assert!(store.segment_paths().unwrap().is_empty());
+        assert_eq!(store.total_rows().unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distinct_batches_accumulate() {
+        let dir = scratch("accum");
+        let store = Store::open(&dir).unwrap();
+        let mut b = store.batch();
+        b.push(row("c", "r1", 1.0));
+        b.commit().unwrap();
+        let mut b = store.batch();
+        b.push(row("c", "r2", 2.0));
+        b.commit().unwrap();
+        assert_eq!(store.segment_paths().unwrap().len(), 2);
+        assert_eq!(store.total_rows().unwrap(), 2);
+        assert!(store.contains_run("c", "r2", "0123456789abcdef").unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so segment names stay stable across builds.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

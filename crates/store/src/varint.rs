@@ -1,0 +1,103 @@
+//! LEB128 varints and zigzag mapping — the integer wire format of every
+//! column chunk.
+//!
+//! Cumulative counters (blocks, tasks, events) are stored as deltas
+//! between consecutive rows, echoing the `ProbeConfig` delta machinery in
+//! `hetsched-sim`: within one run the deltas are small and often zero, so
+//! zigzag + LEB128 collapses most of them to a single byte.
+
+/// Maps a signed delta onto the unsigned varint space so small negatives
+/// stay short: 0, -1, 1, -2, … → 0, 1, 2, 3, …
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, high bit = more).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one varint at `*pos`, advancing it. Errors on truncation or a
+/// varint longer than 10 bytes (more than 64 payload bits).
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| format!("truncated varint at byte {}", *pos))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(format!("varint overflows 64 bits at byte {}", *pos));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+}

@@ -88,4 +88,5 @@ pub use hetsched_outer as outer;
 pub use hetsched_partition as partition;
 pub use hetsched_platform as platform;
 pub use hetsched_sim as sim;
+pub use hetsched_store as store;
 pub use hetsched_util as util;

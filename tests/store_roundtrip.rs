@@ -1,0 +1,207 @@
+//! Golden round-trip fidelity for the trace-analytics warehouse: a probed
+//! run ingested into a store and queried back must reproduce the original
+//! `ProbeSeries` samples and `RunResult` metrics exactly — f64 values
+//! bit-for-bit, since columns store raw IEEE-754 bits, not decimal text.
+
+use hetsched::core::runner::trial_seed;
+use hetsched::core::{
+    run_once_observed, run_trials_collected, ExperimentConfig, Kernel, NetworkModel, Strategy,
+};
+use hetsched::sim::ProbeConfig;
+use hetsched::store::{
+    build_query, probe_rows, report_rows, run_query, sim_run_id, summary_rows, RunKey, Store, Value,
+};
+
+const SEED: u64 = 0xC0FFEE;
+const TRIALS: usize = 3;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        kernel: Kernel::Outer { n: 32 },
+        strategy: Strategy::Dynamic,
+        processors: 6,
+        network: NetworkModel::OnePort { master_bw: 50.0 },
+        ..Default::default()
+    }
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hetsched-roundtrip-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Ingests one probed run the way `simulate --store` does and returns
+/// the store plus the in-memory originals to compare against.
+fn ingest(
+    dir: &std::path::Path,
+) -> (
+    Store,
+    Vec<hetsched::core::RunResult>,
+    hetsched::sim::ProbeSeries,
+) {
+    let cfg = cfg();
+    let (results, summary) = run_trials_collected(&cfg, TRIALS, SEED, Some(1));
+    let probe = ProbeConfig::by_events(8);
+    let obs = run_once_observed(&cfg, trial_seed(SEED, 0), probe);
+
+    let store = Store::open(dir).unwrap();
+    let run_id = sim_run_id(SEED, TRIALS);
+    let key = RunKey::new("golden", &run_id, SEED, &cfg);
+    let strategy = cfg.strategy.label(cfg.kernel);
+    let mut batch = store.batch();
+    batch.push_all(summary_rows(&key, strategy, &summary));
+    for (i, r) in results.iter().enumerate() {
+        batch.push_all(report_rows(&key, strategy, i, trial_seed(SEED, i), r));
+    }
+    let beta = results
+        .first()
+        .and_then(|r| r.beta_used)
+        .unwrap_or(f64::NAN);
+    batch.push_all(probe_rows(&key, strategy, beta, &obs.probes));
+    batch.commit().unwrap();
+    (store, results, obs.probes)
+}
+
+fn f64_of(v: &Value) -> f64 {
+    match v.as_f64() {
+        Some(x) => x,
+        None => panic!("expected a numeric value, got {v:?}"),
+    }
+}
+
+#[test]
+fn probed_run_round_trips_bit_exactly() {
+    let dir = scratch("golden");
+    let (store, results, probes) = ingest(&dir);
+
+    // Every probe sample comes back: one row per (sample, worker), in
+    // (t, worker) order, with every per-worker field bit-identical.
+    let q = build_query(
+        Some("t,worker,blocks,tasks,useful,link_busy,queue_depth,remaining,events"),
+        Some("kind=probe"),
+        None,
+        None,
+        None,
+    )
+    .unwrap();
+    let res = run_query(&store, &q).unwrap();
+    let workers = probes.workers();
+    assert_eq!(
+        res.rows.len(),
+        probes.len() * workers,
+        "row per (sample, worker)"
+    );
+    let mut rows = res.rows.clone();
+    rows.sort_by(|a, b| {
+        f64_of(&a[0])
+            .total_cmp(&f64_of(&b[0]))
+            .then(f64_of(&a[1]).total_cmp(&f64_of(&b[1])))
+    });
+    for (si, s) in probes.iter().enumerate() {
+        for w in 0..workers {
+            let row = &rows[si * workers + w];
+            assert_eq!(
+                f64_of(&row[0]).to_bits(),
+                s.time.to_bits(),
+                "t of sample {si}"
+            );
+            assert_eq!(f64_of(&row[1]) as usize, w);
+            assert_eq!(f64_of(&row[2]) as u64, s.blocks_per_proc[w]);
+            assert_eq!(f64_of(&row[3]) as u64, s.tasks_per_proc[w]);
+            assert_eq!(
+                f64_of(&row[4]).to_bits(),
+                s.useful_fraction[w].to_bits(),
+                "useful fraction of sample {si} worker {w}"
+            );
+            assert_eq!(f64_of(&row[5]).to_bits(), s.link_busy.to_bits());
+            assert_eq!(f64_of(&row[6]) as usize, s.queue_depth);
+            assert_eq!(f64_of(&row[7]) as usize, s.remaining);
+            assert_eq!(f64_of(&row[8]) as u64, s.events);
+        }
+    }
+
+    // Every trial's report metrics come back bit-exactly, keyed by the
+    // trial index stored in `t`.
+    for (metric, pick) in [
+        (
+            "makespan",
+            (|r: &hetsched::core::RunResult| r.makespan) as fn(&hetsched::core::RunResult) -> f64,
+        ),
+        ("normalized_comm", |r| r.normalized_comm),
+        ("lower_bound", |r| r.lower_bound),
+        ("link_utilization", |r| r.link_utilization),
+    ] {
+        let q = build_query(
+            Some("t,value"),
+            Some(&format!("kind=report,metric={metric}")),
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        let res = run_query(&store, &q).unwrap();
+        assert_eq!(res.rows.len(), TRIALS, "{metric}: one row per trial");
+        for row in &res.rows {
+            let trial = f64_of(&row[0]) as usize;
+            assert_eq!(
+                f64_of(&row[1]).to_bits(),
+                pick(&results[trial]).to_bits(),
+                "{metric} of trial {trial}"
+            );
+        }
+    }
+
+    // Aggregates agree with the originals: mean(makespan) over the
+    // ingested report rows equals the arithmetic mean of the trials.
+    let q = build_query(
+        None,
+        Some("kind=report,metric=makespan"),
+        None,
+        Some("mean(value),count"),
+        None,
+    )
+    .unwrap();
+    let res = run_query(&store, &q).unwrap();
+    let mean = results.iter().map(|r| r.makespan).sum::<f64>() / TRIALS as f64;
+    assert_eq!(f64_of(&res.rows[0][1]) as usize, TRIALS);
+    assert!((f64_of(&res.rows[0][0]) - mean).abs() < 1e-12);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reingesting_the_same_run_is_byte_stable() {
+    let dir_a = scratch("stable-a");
+    let dir_b = scratch("stable-b");
+    let (store_a, _, _) = ingest(&dir_a);
+    let (store_b, _, _) = ingest(&dir_b);
+
+    // Identical runs produce identical content-addressed segments …
+    let names = |s: &Store| -> Vec<String> {
+        s.segment_paths()
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect()
+    };
+    assert_eq!(names(&store_a), names(&store_b));
+
+    // … and identical query output, byte for byte.
+    let q = build_query(
+        None,
+        Some("kind=report"),
+        Some("metric"),
+        Some("count,mean(value),min(value),max(value)"),
+        None,
+    )
+    .unwrap();
+    let csv_a = run_query(&store_a, &q).unwrap().to_csv();
+    let csv_b = run_query(&store_b, &q).unwrap().to_csv();
+    assert_eq!(csv_a, csv_b);
+    assert!(!csv_a.is_empty());
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
