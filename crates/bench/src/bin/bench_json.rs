@@ -136,6 +136,29 @@ fn main() {
         "  \"store_query\": {{ \"rows\": {}, \"group_by_sec\": {:.4}, \"filter_sec\": {:.4} }},\n",
         store.rows, store.group_by_sec, store.filter_sec,
     ));
+    json.push_str(&format!(
+        "  \"store_query_mt\": {{ \"rows\": {}, \"group_by_sec\": {{ {} }}, \"speedup\": {:.2} }},\n",
+        store.rows,
+        store
+            .mt_query_sec
+            .iter()
+            .map(|(t, s)| format!("\"{t}\": {s:.4}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        store.mt_query_sec[0].1 / store.mt_query_sec.last().expect("mt sweep").1,
+    ));
+    json.push_str(&format!(
+        "  \"store_compact\": {{ \"segments_before\": {}, \"segments_after\": {}, \"compact_sec\": {:.4}, \"group_by_sec_by_segments\": {{ \"{}\": {:.4}, \"{}\": {:.4}, \"{}\": {:.4} }} }},\n",
+        store.segments_before,
+        store.segments_after,
+        store.compact_sec,
+        store.frag_segments,
+        store.frag_group_by_sec,
+        store.segments_before,
+        store.group_by_sec,
+        store.segments_after,
+        store.compacted_group_by_sec,
+    ));
     json.push_str("  \"fig5_threads_sweep_sec\": {\n");
     for (i, (threads, secs)) in fig5_sweep.iter().enumerate() {
         let comma = if i + 1 == fig5_sweep.len() { "" } else { "," };
@@ -294,6 +317,19 @@ struct StoreBench {
     jsonl_bytes: u64,
     group_by_sec: f64,
     filter_sec: f64,
+    /// Parallel group-by sweep: (threads, best-of-3 seconds). Output is
+    /// asserted byte-identical to the serial scan at every entry.
+    mt_query_sec: Vec<(usize, f64)>,
+    /// Fragmented (50-segment) vs compacted layout of the same rows.
+    segments_before: usize,
+    segments_after: usize,
+    compact_sec: f64,
+    compacted_group_by_sec: f64,
+    /// Heavy-fragmentation point: the same rows split into ~1 000 tiny
+    /// segments (what a long `serve --store` campaign accretes), with
+    /// the best-of-3 group-by latency over that layout.
+    frag_segments: usize,
+    frag_group_by_sec: f64,
 }
 
 /// Warehouse throughput on a synthetic million-row probe campaign:
@@ -305,7 +341,7 @@ struct StoreBench {
 /// JSONL (one object per row, defaulted fields omitted), the format the
 /// store replaces.
 fn store_bench() -> StoreBench {
-    use hetsched_store::{build_query, run_query, Row, Store, COLUMNS};
+    use hetsched_store::{build_query, run_query, run_query_with, Row, Store, COLUMNS};
     const RUNS: usize = 50;
     const SAMPLES: usize = 1_000;
     const WORKERS: usize = 20;
@@ -315,36 +351,41 @@ fn store_bench() -> StoreBench {
     let store = Store::open(&dir).expect("open bench store");
 
     // Deterministic synthetic probe series: shapes and magnitudes of a
-    // real campaign without paying for 50 actual simulations.
-    let mut runs: Vec<Vec<Row>> = Vec::with_capacity(RUNS);
-    for run in 0..RUNS {
-        let mut rows = Vec::with_capacity(SAMPLES * WORKERS);
-        let run_id = format!("run-{run}");
-        let config = format!(
-            "{:016x}",
-            0x9E3779B97F4A7C15u64.wrapping_mul(run as u64 + 1)
-        );
-        for s in 0..SAMPLES {
-            for w in 0..WORKERS {
-                let mut r = Row::new("synthetic", &run_id, "probe", &config);
-                r.strategy = "DynamicOuter2Phases".to_string();
-                r.metric = "sample".to_string();
-                r.seed = run as u64;
-                r.worker = w as i64;
-                r.t = s as f64 * 0.25;
-                r.events = (s * 131) as u64;
-                r.remaining = (SAMPLES - s) as u64 * 17;
-                r.blocks = ((s * 7 + w * 3) % 97) as u64;
-                r.tasks = ((s * 11 + w) % 89) as u64;
-                r.useful = ((s + w) % 100) as f64 / 100.0;
-                r.link_busy = (s % 50) as f64 / 50.0;
-                r.queue_depth = ((s + w * 5) % 13) as u64;
-                r.beta = 3.0;
-                rows.push(r);
+    // real campaign without paying for 50 actual simulations. A closure
+    // so the fragmentation sweep below can rebuild identical rows.
+    let gen_runs = || {
+        let mut runs: Vec<Vec<Row>> = Vec::with_capacity(RUNS);
+        for run in 0..RUNS {
+            let mut rows = Vec::with_capacity(SAMPLES * WORKERS);
+            let run_id = format!("run-{run}");
+            let config = format!(
+                "{:016x}",
+                0x9E3779B97F4A7C15u64.wrapping_mul(run as u64 + 1)
+            );
+            for s in 0..SAMPLES {
+                for w in 0..WORKERS {
+                    let mut r = Row::new("synthetic", &run_id, "probe", &config);
+                    r.strategy = "DynamicOuter2Phases".to_string();
+                    r.metric = "sample".to_string();
+                    r.seed = run as u64;
+                    r.worker = w as i64;
+                    r.t = s as f64 * 0.25;
+                    r.events = (s * 131) as u64;
+                    r.remaining = (SAMPLES - s) as u64 * 17;
+                    r.blocks = ((s * 7 + w * 3) % 97) as u64;
+                    r.tasks = ((s * 11 + w) % 89) as u64;
+                    r.useful = ((s + w) % 100) as f64 / 100.0;
+                    r.link_busy = (s % 50) as f64 / 50.0;
+                    r.queue_depth = ((s + w * 5) % 13) as u64;
+                    r.beta = 3.0;
+                    rows.push(r);
+                }
             }
+            runs.push(rows);
         }
-        runs.push(rows);
-    }
+        runs
+    };
+    let runs = gen_runs();
     let rows_total: usize = runs.iter().map(Vec::len).sum();
 
     // Sparse-JSONL equivalent: bytes the same rows would take one JSON
@@ -407,7 +448,7 @@ fn store_bench() -> StoreBench {
     let mut filter_sec = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
-        let res = run_query(&store, &group_by).expect("run group-by");
+        let res = run_query_with(&store, &group_by, Some(1)).expect("run group-by");
         group_by_sec = group_by_sec.min(start.elapsed().as_secs_f64());
         assert_eq!(res.rows.len(), RUNS, "one group per run");
         std::hint::black_box(&res);
@@ -417,12 +458,121 @@ fn store_bench() -> StoreBench {
         assert!(!res.rows.is_empty(), "point lookup finds its run");
         std::hint::black_box(&res);
     }
+
+    // Parallel scan sweep over the same group-by. The serial CSV is the
+    // golden: the partial-state merge is (segment, chunk)-ordered, so
+    // every thread count must reproduce it byte for byte.
+    let golden = run_query_with(&store, &group_by, Some(1))
+        .expect("serial group-by")
+        .to_csv();
+    let mut mt_query_sec = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let res = run_query_with(&store, &group_by, Some(threads)).expect("mt group-by");
+            best = best.min(start.elapsed().as_secs_f64());
+            assert_eq!(
+                res.to_csv(),
+                golden,
+                "group-by output must be byte-identical at {threads} thread(s)"
+            );
+            std::hint::black_box(&res);
+        }
+        mt_query_sec.push((threads, best));
+    }
+
+    // Compaction: 50 one-run segments merge into ⌈rows/64Ki⌉ full-chunk
+    // segments. Equivalence is asserted with association-free aggregates
+    // (count/min/max/percentile are exact whatever the chunk boundaries;
+    // mean re-associates its sum when chunk cuts move, so it is compared
+    // by the timing queries only).
+    let exact = build_query(
+        None,
+        Some("kind=probe"),
+        Some("run"),
+        Some("count,min(useful),p95(useful),max(blocks)"),
+        None,
+    )
+    .expect("exact query");
+    let exact_golden = run_query(&store, &exact)
+        .expect("exact pre-compact")
+        .to_csv();
+    let segments_before = store.segment_paths().expect("list segments").len();
+    let start = Instant::now();
+    let report = store
+        .compact(hetsched_store::CHUNK_ROWS)
+        .expect("compact bench store");
+    let compact_sec = start.elapsed().as_secs_f64();
+    assert_eq!(report.segments_before, segments_before);
+    assert_eq!(
+        run_query(&store, &exact)
+            .expect("exact post-compact")
+            .to_csv(),
+        exact_golden,
+        "compaction must not change query results"
+    );
+    let mut compacted_group_by_sec = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let res = run_query_with(&store, &group_by, Some(1)).expect("compacted group-by");
+        compacted_group_by_sec = compacted_group_by_sec.min(start.elapsed().as_secs_f64());
+        assert_eq!(res.rows.len(), RUNS, "one group per run after compaction");
+        std::hint::black_box(&res);
+    }
+
+    // Fragmentation sweep, heavy end: the same million rows committed
+    // 1 000 rows at a time — the layout a long-lived `serve --store`
+    // campaign accretes (one tiny segment per job) — makes the same
+    // group-by pay ~1 000 footer reads and sub-chunk column decodes.
+    let frag_dir =
+        std::env::temp_dir().join(format!("hetsched-bench-store-frag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&frag_dir);
+    let frag_store = Store::open(&frag_dir).expect("open frag store");
+    for rows in gen_runs() {
+        for slice in rows.chunks(1_000) {
+            let mut batch = frag_store.batch();
+            batch.push_all(slice.to_vec());
+            batch.commit().expect("commit frag batch");
+        }
+    }
+    let frag_segments = frag_store
+        .segment_paths()
+        .expect("list frag segments")
+        .len();
+    let mut frag_group_by_sec = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let res = run_query_with(&frag_store, &group_by, Some(1)).expect("frag group-by");
+        frag_group_by_sec = frag_group_by_sec.min(start.elapsed().as_secs_f64());
+        // Not a byte assert: the mean's sum re-associates over the
+        // different chunk boundaries. Same groups is the invariant here.
+        assert_eq!(res.rows.len(), RUNS, "one group per run at any layout");
+        std::hint::black_box(&res);
+    }
+    let _ = std::fs::remove_dir_all(&frag_dir);
+
+    let speedup = mt_query_sec[0].1 / mt_query_sec.last().expect("sweep").1;
     eprintln!(
         "[store: {rows_total} rows ingested in {ingest_sec:.2}s ({:.0} rows/s), \
          {disk_bytes} B on disk vs {jsonl_bytes} B as JSONL ({:.2}x), \
          group-by {group_by_sec:.3}s, filter {filter_sec:.3}s]",
         rows_total as f64 / ingest_sec,
         jsonl_bytes as f64 / disk_bytes as f64,
+    );
+    eprintln!(
+        "[store mt: group-by {} — {speedup:.2}x at {} threads, byte-identical output; \
+         compact {segments_before}->{} segments in {compact_sec:.3}s, \
+         group-by {frag_group_by_sec:.3}s at {frag_segments} segs / \
+         {group_by_sec:.3}s at {segments_before} / \
+         {compacted_group_by_sec:.3}s compacted]",
+        mt_query_sec
+            .iter()
+            .map(|(t, s)| format!("{t}t {s:.3}s"))
+            .collect::<Vec<_>>()
+            .join(" / "),
+        mt_query_sec.last().expect("sweep").0,
+        report.segments_after,
     );
     let _ = std::fs::remove_dir_all(&dir);
     StoreBench {
@@ -432,6 +582,13 @@ fn store_bench() -> StoreBench {
         jsonl_bytes,
         group_by_sec,
         filter_sec,
+        mt_query_sec,
+        segments_before,
+        segments_after: report.segments_after,
+        compact_sec,
+        compacted_group_by_sec,
+        frag_segments,
+        frag_group_by_sec,
     }
 }
 

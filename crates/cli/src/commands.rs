@@ -41,6 +41,7 @@ pub fn run(argv: Vec<String>) -> Result<String, String> {
         "query" => crate::store_cmd::query_cmd(&args),
         "stats" => crate::store_cmd::stats_cmd(&args),
         "ingest" => crate::store_cmd::ingest_cmd(&args),
+        "compact" => crate::store_cmd::compact_cmd(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -104,6 +105,8 @@ COMMANDS
              --lease-ttl SECS (300)          --max-retries N (2)
              --store DIR                     (ingest each completed job's report into a
                                               trace-analytics store; replay-safe)
+             --compact-threshold N (64)      (compact the store between jobs once N small
+                                              segments accumulate; 0 disables)
   submit     queue a job on a running daemon; the spec is positional
              `key=value` tokens mirroring the simulate flags, plus
              name=… group=… (fair-share group)
@@ -115,18 +118,24 @@ COMMANDS
   query      scan a trace-analytics store (columnar, written by --store)
              --store DIR (required)          --select col1,col2,…
              --where \"kind=report,metric=makespan,value>=1\"  (= != < <= > >=)
+             (numeric ranges: value=2..5 half-open, value=2..=5 inclusive)
              --group-by strategy             --agg count,mean(value),p95(value)
              --format csv|jsonl (csv)        --limit N
+             --threads T                     (scan chunks on T threads; output is
+                                              byte-identical for any T; default all cores)
              columns: campaign run kind strategy metric series config seed
                       worker events remaining blocks tasks queue_depth
                       t value sigma useful link_busy beta
   stats      canned campaign summaries over a store: per-strategy makespan
              distribution, link utilization vs β, probe-overhead trend
-             --store DIR (required)
+             --store DIR (required)          --threads T
   ingest     append artifact files to a store; the type is detected from the
              content: JSONL trace, figure CSV, serve event log, BENCH_*.json
              --store DIR (required)          --campaign NAME (default)
              positional: one or more files
+  compact    merge small store segments into full-chunk segments; queries and
+             replay dedupe are unchanged, only the file count drops
+             --store DIR (required)          --max-segment-rows N (65536)
   help       this text
 "
     .to_string()

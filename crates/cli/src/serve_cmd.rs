@@ -48,6 +48,7 @@ pub fn serve_cmd(args: &Args) -> Result<String, String> {
         "lease-ttl",
         "max-retries",
         "store",
+        "compact-threshold",
     ])?;
     let policy =
         Policy::parse(args.get("policy").unwrap_or("fifo")).map_err(|e| format!("--{e}"))?;
@@ -68,6 +69,7 @@ pub fn serve_cmd(args: &Args) -> Result<String, String> {
         lease_ttl: Duration::from_secs_f64(lease_ttl),
         max_retries: args.get_or("max-retries", 2)?,
         store: args.get("store").map(PathBuf::from),
+        compact_threshold: args.get_or("compact-threshold", 64)?,
     };
     let socket = opts.socket.clone();
     serve(opts).map_err(|e| format!("serve: {e}"))?;

@@ -6,8 +6,8 @@ use crate::args::Args;
 use hetsched_core::{ExperimentConfig, RunResult, TrialSummary};
 use hetsched_sim::ProbeConfig;
 use hetsched_store::{
-    build_query, figure_csv_rows, probe_rows, report_rows, rows_for_text, run_query, sim_run_id,
-    stats_report, summary_rows, RunKey, Store,
+    build_query, figure_csv_rows, probe_rows, report_rows, rows_for_text, run_query_with,
+    sim_run_id, stats_report_with, summary_rows, RunKey, Store, CHUNK_ROWS,
 };
 use std::path::Path;
 
@@ -18,11 +18,27 @@ fn open_store(args: &Args, cmd: &str) -> Result<Store, String> {
     Store::open(Path::new(dir)).map_err(|e| format!("--store: cannot open {dir:?}: {e}"))
 }
 
+/// Parses `--threads` for the scan commands: absent = all cores.
+fn parse_threads(args: &Args) -> Result<Option<usize>, String> {
+    match args.get("threads") {
+        None => Ok(None),
+        Some(v) => {
+            let t: usize = v
+                .parse()
+                .map_err(|_| format!("--threads: bad count {v:?}"))?;
+            if t == 0 {
+                return Err("--threads: must be at least 1".into());
+            }
+            Ok(Some(t))
+        }
+    }
+}
+
 /// `hetsched query --store DIR [--select …] [--where …] [--group-by …]
-/// [--agg …] [--format csv|jsonl] [--limit N]`.
+/// [--agg …] [--format csv|jsonl] [--limit N] [--threads T]`.
 pub fn query_cmd(args: &Args) -> Result<String, String> {
     args.ensure_known(&[
-        "store", "select", "where", "group-by", "agg", "format", "limit",
+        "store", "select", "where", "group-by", "agg", "format", "limit", "threads",
     ])?;
     let store = open_store(args, "query")?;
     let limit: Option<usize> = match args.get("limit") {
@@ -36,7 +52,7 @@ pub fn query_cmd(args: &Args) -> Result<String, String> {
         args.get("agg"),
         limit,
     )?;
-    let res = run_query(&store, &q)?;
+    let res = run_query_with(&store, &q, parse_threads(args)?)?;
     match args.get("format").unwrap_or("csv") {
         "csv" => Ok(res.to_csv()),
         "jsonl" => Ok(res.to_jsonl()),
@@ -44,11 +60,57 @@ pub fn query_cmd(args: &Args) -> Result<String, String> {
     }
 }
 
-/// `hetsched stats --store DIR` — the canned campaign summaries.
+/// `hetsched stats --store DIR [--threads T]` — the canned campaign
+/// summaries.
 pub fn stats_cmd(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["store"])?;
+    args.ensure_known(&["store", "threads"])?;
     let store = open_store(args, "stats")?;
-    stats_report(&store)
+    stats_report_with(&store, parse_threads(args)?)
+}
+
+/// `hetsched compact --store DIR [--max-segment-rows N]` — merge small
+/// segments (written one per job by `serve --store`, one per run by
+/// `simulate --store`) into full-chunk segments. Queries and replay
+/// dedupe see identical data; only the file count changes.
+pub fn compact_cmd(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["store", "max-segment-rows"])?;
+    let store = open_store(args, "compact")?;
+    let max_rows: usize = match args.get("max-segment-rows") {
+        Some(v) => {
+            let n = v
+                .parse()
+                .map_err(|_| format!("--max-segment-rows: bad count {v:?}"))?;
+            if n == 0 {
+                return Err("--max-segment-rows: must be at least 1".into());
+            }
+            n
+        }
+        None => CHUNK_ROWS,
+    };
+    let report = store.compact(max_rows)?;
+    let mut out = String::new();
+    if report.tmp_cleaned > 0 {
+        out.push_str(&format!(
+            "removed {} stale temp file(s) from crashed writers\n",
+            report.tmp_cleaned
+        ));
+    }
+    if report.merged == 0 {
+        out.push_str(&format!(
+            "nothing to compact: {} segment(s), none below {max_rows} rows (or only one)\n",
+            report.segments_before
+        ));
+    } else {
+        out.push_str(&format!(
+            "compacted {}: merged {} segment(s) ({} rows) — {} segment(s) before, {} after\n",
+            store.dir().display(),
+            report.merged,
+            report.rows,
+            report.segments_before,
+            report.segments_after
+        ));
+    }
+    Ok(out)
 }
 
 /// `hetsched ingest --store DIR [--campaign NAME] FILE…` — append

@@ -43,6 +43,7 @@ fn help_lists_every_subcommand_and_flag_group() {
         "query",
         "stats",
         "ingest",
+        "compact",
         "help",
     ] {
         assert!(text.contains(cmd), "help must list `{cmd}`:\n{text}");
@@ -75,6 +76,9 @@ fn help_lists_every_subcommand_and_flag_group() {
         "--latency",
         "--policy",
         "--quick",
+        "--threads",
+        "--max-segment-rows",
+        "--compact-threshold",
     ] {
         assert!(text.contains(flag), "help must list `{flag}`:\n{text}");
     }
@@ -553,6 +557,143 @@ fn store_query_and_stats_over_a_simulated_campaign() {
     let text = stdout(&out);
     assert!(text.contains("makespan"), "{text}");
     assert!(!text.contains("store is empty"), "{text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compact_merges_fragmented_store_without_changing_query_output() {
+    let dir =
+        std::env::temp_dir().join(format!("hetsched-cli-{}-store-compact", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.to_str().unwrap().to_string();
+
+    // Several small simulate runs, each committing its own segment(s).
+    for seed in ["3", "5", "7", "11"] {
+        let out = hetsched(&[
+            "simulate",
+            "--n",
+            "24",
+            "--p",
+            "4",
+            "--trials",
+            "2",
+            "--seed",
+            seed,
+            "--probe-every",
+            "8",
+            "--store",
+            &store,
+            "--campaign",
+            "frag",
+        ]);
+        assert!(out.status.success(), "seed {seed}: {}", stderr(&out));
+    }
+    let segments = |dir: &std::path::Path| -> usize {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter(|e| {
+                let name = e.as_ref().unwrap().file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("seg-") && name.ends_with(".hsc")
+            })
+            .count()
+    };
+    let before = segments(&dir);
+    assert!(
+        before >= 4,
+        "expected a fragmented store, got {before} segments"
+    );
+
+    // Golden query with association-free aggregates (count/min/max/pNN are
+    // exact whatever the chunk layout, so bytes must survive compaction).
+    let query = [
+        "query",
+        "--store",
+        store.as_str(),
+        "--where",
+        "kind=report,metric=makespan",
+        "--group-by",
+        "strategy",
+        "--agg",
+        "count,min(value),max(value),p50(value)",
+    ];
+    let out = hetsched(&query);
+    assert!(out.status.success(), "golden query: {}", stderr(&out));
+    let golden = stdout(&out);
+    assert!(golden.contains("DynamicOuter2Phases"), "{golden}");
+
+    // The same query through the parallel scanner is byte-identical.
+    for threads in ["1", "2", "8"] {
+        let mut mt = query.to_vec();
+        mt.extend_from_slice(&["--threads", threads]);
+        let out = hetsched(&mt);
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            stderr(&out)
+        );
+        assert_eq!(
+            stdout(&out),
+            golden,
+            "--threads {threads} must not change output bytes"
+        );
+    }
+
+    let out = hetsched(&["compact", "--store", &store]);
+    assert!(out.status.success(), "compact: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("compacted"), "{text}");
+    let after = segments(&dir);
+    assert!(
+        after < before,
+        "compaction must shrink the store: {before} -> {after}"
+    );
+
+    let out = hetsched(&query);
+    assert!(out.status.success(), "post-compact query: {}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        golden,
+        "compaction must not change query output"
+    );
+
+    // A second pass finds nothing left to merge.
+    let out = hetsched(&["compact", "--store", &store]);
+    assert!(out.status.success(), "re-compact: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("nothing to compact"),
+        "{}",
+        stdout(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_rejects_invalid_thread_counts_and_percentiles() {
+    let dir = populated_store("store-bad-flags");
+    let store = dir.to_str().unwrap();
+
+    let out = hetsched(&[
+        "query",
+        "--store",
+        store,
+        "--agg",
+        "count",
+        "--threads",
+        "0",
+    ]);
+    assert!(!out.status.success(), "--threads 0 must be rejected");
+    let err = stderr(&out);
+    assert!(err.contains("--threads"), "{err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+
+    let out = hetsched(&["query", "--store", store, "--agg", "p101(value)"]);
+    assert!(!out.status.success(), "p101 must be rejected");
+    let err = stderr(&out);
+    assert!(err.contains("[0, 100]"), "{err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

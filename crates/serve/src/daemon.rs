@@ -51,6 +51,11 @@ pub struct ServeOpts {
     /// `job-<id>`), replay-safe via the store's `(campaign, run,
     /// config)` dedupe.
     pub store: Option<PathBuf>,
+    /// Compact the store between jobs once this many sub-chunk segments
+    /// have accumulated (`--store` writes one small segment per completed
+    /// job, so long campaigns fragment). `0` disables the opportunistic
+    /// pass; `hetsched compact` always remains available offline.
+    pub compact_threshold: usize,
 }
 
 impl Default for ServeOpts {
@@ -64,6 +69,7 @@ impl Default for ServeOpts {
             lease_ttl: Duration::from_secs(300),
             max_retries: 2,
             store: None,
+            compact_threshold: 64,
         }
     }
 }
@@ -80,6 +86,25 @@ struct State {
     shared: Mutex<Shared>,
     cond: Condvar,
     opts: ServeOpts,
+    /// Open store handle (when `--store` is set), long-lived so the
+    /// footer cache pays off across jobs, plus a gate serializing ingest
+    /// and compaction passes against each other.
+    store: Option<StoreHandle>,
+}
+
+struct StoreHandle {
+    store: hetsched_store::Store,
+    gate: Mutex<()>,
+}
+
+impl StoreHandle {
+    /// The gate guards no data of its own (the store is internally
+    /// synchronized), so a poisoned lock is safe to take over.
+    fn enter(&self) -> MutexGuard<'_, ()> {
+        self.gate
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 }
 
 /// Locks the shared state, recovering from mutex poisoning.
@@ -159,6 +184,13 @@ pub fn serve(opts: ServeOpts) -> io::Result<()> {
     }
     let listener = UnixListener::bind(&opts.socket)?;
 
+    let store = match &opts.store {
+        Some(dir) => Some(StoreHandle {
+            store: hetsched_store::Store::open(dir)?,
+            gate: Mutex::new(()),
+        }),
+        None => None,
+    };
     let state = Arc::new(State {
         shared: Mutex::new(Shared {
             table,
@@ -168,6 +200,7 @@ pub fn serve(opts: ServeOpts) -> io::Result<()> {
         }),
         cond: Condvar::new(),
         opts: opts.clone(),
+        store,
     });
 
     let mut threads = Vec::new();
@@ -242,27 +275,42 @@ fn worker_loop(state: &State) {
                 let path = state.opts.results_dir.join(format!("job-{id}.json"));
                 let wrote = fs::write(&path, manifest).is_ok();
                 let store_err = if wrote {
-                    store_ingest(&state.opts, id, &req, &summary).err()
+                    store_ingest_job(state, id, &req, &summary).err()
                 } else {
                     None
                 };
-                let mut sh = lock_shared(state, "worker settle");
-                if !wrote {
-                    if sh
-                        .table
-                        .fail(id, epoch, "could not write result manifest".into())
-                    {
-                        let _ = sh.log.failed(id, "could not write result manifest");
+                let settled_ok = {
+                    let mut sh = lock_shared(state, "worker settle");
+                    let mut ok = false;
+                    if !wrote {
+                        if sh
+                            .table
+                            .fail(id, epoch, "could not write result manifest".into())
+                        {
+                            let _ = sh.log.failed(id, "could not write result manifest");
+                        }
+                    } else if let Some(e) = store_err {
+                        let msg = format!("store ingest failed: {e}");
+                        if sh.table.fail(id, epoch, msg.clone()) {
+                            let _ = sh.log.failed(id, &msg);
+                        }
+                    } else if sh.table.complete(id, epoch, outcome.clone()) {
+                        let _ = sh.log.done(id, &outcome);
+                        ok = true;
                     }
-                } else if let Some(e) = store_err {
-                    let msg = format!("store ingest failed: {e}");
-                    if sh.table.fail(id, epoch, msg.clone()) {
-                        let _ = sh.log.failed(id, &msg);
+                    state.cond.notify_all();
+                    ok
+                };
+                // Opportunistic compaction between jobs: one small segment
+                // lands per completed job, so long campaigns fragment. Runs
+                // outside the shared lock (only the store gate is held), so
+                // the queue keeps moving while segments merge.
+                if settled_ok {
+                    if let Err(e) = maybe_compact(state) {
+                        let mut sh = lock_shared(state, "compact");
+                        let _ = sh.log.compact_failed(&e);
                     }
-                } else if sh.table.complete(id, epoch, outcome.clone()) {
-                    let _ = sh.log.done(id, &outcome);
                 }
-                state.cond.notify_all();
             }
             Err(panic) => {
                 let msg = panic_message(&panic);
@@ -431,21 +479,16 @@ fn handle_drain(state: &State) -> String {
     )
 }
 
-/// Appends a completed job's summary report to the daemon's trace store
-/// (when one is configured). Replay-safe: recovery re-runs a job whose
-/// `done` event never landed, and the `(campaign, run, config)` key of
-/// the earlier ingest makes the second one skip instead of duplicating.
-fn store_ingest(
-    opts: &ServeOpts,
+/// Appends a completed job's summary report to an already-open store
+/// handle. Replay-safe: recovery re-runs a job whose `done` event never
+/// landed, and the `(campaign, run, config)` key of the earlier ingest
+/// makes the second one skip instead of duplicating.
+fn store_ingest_into(
+    store: &hetsched_store::Store,
     id: JobId,
     req: &JobRequest,
     summary: &hetsched_core::TrialSummary,
 ) -> Result<(), String> {
-    let Some(dir) = &opts.store else {
-        return Ok(());
-    };
-    let store = hetsched_store::Store::open(dir)
-        .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
     let run = format!("job-{id}");
     let key = hetsched_store::RunKey::new("serve", &run, req.seed, &req.cfg);
     if store.contains_run(&key.campaign, &key.run, &key.config)? {
@@ -455,6 +498,46 @@ fn store_ingest(
     let mut batch = store.batch();
     batch.push_all(hetsched_store::summary_rows(&key, strategy, summary));
     batch.commit()?;
+    Ok(())
+}
+
+/// Worker-side ingest through the daemon's long-lived handle, serialized
+/// against compaction by the store gate.
+fn store_ingest_job(
+    state: &State,
+    id: JobId,
+    req: &JobRequest,
+    summary: &hetsched_core::TrialSummary,
+) -> Result<(), String> {
+    let Some(handle) = &state.store else {
+        return Ok(());
+    };
+    let _gate = handle.enter();
+    store_ingest_into(&handle.store, id, req, summary)
+}
+
+/// Compacts the store when the small-segment count has crossed the
+/// configured threshold. Holds only the store gate — ingest and other
+/// compaction passes wait, the job queue does not. Logs a `compacted`
+/// event when segments actually merged.
+fn maybe_compact(state: &State) -> Result<(), String> {
+    let Some(handle) = &state.store else {
+        return Ok(());
+    };
+    if state.opts.compact_threshold == 0 {
+        return Ok(());
+    }
+    let _gate = handle.enter();
+    if handle.store.small_segment_count()? < state.opts.compact_threshold {
+        return Ok(());
+    }
+    let report = handle.store.compact(hetsched_store::CHUNK_ROWS)?;
+    if report.merged > 0 {
+        let mut sh = lock_shared(state, "compact");
+        let _ = sh
+            .log
+            .compacted(report.segments_before, report.segments_after, report.rows);
+    }
     Ok(())
 }
 
@@ -514,6 +597,7 @@ mod tests {
             lease_ttl: Duration::from_secs(60),
             max_retries: 1,
             store: None,
+            compact_threshold: 64,
         }
     }
 
@@ -592,8 +676,69 @@ mod tests {
         // crash between ingest and the `done` event would) is a no-op.
         let segments = store.segment_paths().unwrap().len();
         let summary = run_trials_with_threads(&req.cfg, req.trials, req.seed, Some(1));
-        store_ingest(&opts, 1, &req, &summary).unwrap();
+        let fresh = hetsched_store::Store::open(opts.store.as_ref().unwrap()).unwrap();
+        store_ingest_into(&fresh, 1, &req, &summary).unwrap();
         assert_eq!(store.segment_paths().unwrap().len(), segments);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn daemon_compacts_fragmented_store_between_jobs() {
+        let dir = scratch("compact");
+        let mut opts = opts_in(&dir);
+        opts.store = Some(dir.join("store"));
+        // Every completed job writes one small segment; with a threshold
+        // of 2 the daemon must compact at least once during this run.
+        opts.compact_threshold = 2;
+        let socket = opts.socket.clone();
+        let handle = std::thread::spawn(move || serve(opts));
+        wait_for_socket(&socket);
+
+        for seed in 1..=4u64 {
+            let reply = client::request(
+                &socket,
+                &format!(r#"{{"cmd":"submit","spec":"n=16 p=4 trials=1 seed={seed}"}}"#),
+            )
+            .unwrap();
+            assert_eq!(u64_field(&reply, "job"), Some(seed), "reply: {reply}");
+        }
+        let drained = client::request(&socket, r#"{"cmd":"drain"}"#).unwrap();
+        assert_eq!(u64_field(&drained, "done"), Some(4), "reply: {drained}");
+        handle.join().unwrap().unwrap();
+
+        let log = fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert!(
+            log.contains(r#""event":"compacted""#),
+            "threshold 2 with 4 jobs must trigger a pass: {log}"
+        );
+        assert!(!log.contains(r#""event":"compact_failed""#), "{log}");
+
+        // Compaction changed the file layout, not the data: every job's
+        // run key still dedupes and the merged store answers queries.
+        let store = hetsched_store::Store::open(&dir.join("store")).unwrap();
+        assert!(
+            store.segment_paths().unwrap().len() < 4,
+            "4 one-job segments must have merged"
+        );
+        for (job, seed) in (1..=4u64).map(|s| (s, s)) {
+            let req = parse_job_spec(&format!("n=16 p=4 trials=1 seed={seed}")).unwrap();
+            let config = hetsched_store::config_hash(&req.cfg);
+            assert!(
+                store
+                    .contains_run("serve", &format!("job-{job}"), &config)
+                    .unwrap(),
+                "job-{job} run key survives compaction"
+            );
+        }
+        let q =
+            hetsched_store::build_query(None, Some("campaign=serve"), None, Some("count"), None)
+                .unwrap();
+        let res = hetsched_store::run_query(&store, &q).unwrap();
+        assert_eq!(
+            res.rows[0][0],
+            hetsched_store::Value::F64(store.total_rows().unwrap() as f64),
+            "every ingested row is still queryable"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -610,6 +755,7 @@ mod tests {
             }),
             cond: Condvar::new(),
             opts,
+            store: None,
         });
 
         // Poison the mutex the way a panicking thread would: panic while

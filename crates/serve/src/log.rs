@@ -94,6 +94,25 @@ impl EventLog {
         self.append(r#"{"event":"drained"}"#)
     }
 
+    /// An opportunistic store-compaction pass merged small segments.
+    /// Carries no per-job state — replay ignores it — but records when
+    /// and how much the store shrank.
+    pub fn compacted(&mut self, before: usize, after: usize, rows: usize) -> io::Result<()> {
+        self.append(&format!(
+            r#"{{"event":"compacted","segments_before":{before},"segments_after":{after},"rows":{rows}}}"#
+        ))
+    }
+
+    /// A store-compaction pass failed. The store itself is unharmed (the
+    /// merged segment lands before any removal), so the daemon keeps
+    /// serving and retries at the next threshold crossing.
+    pub fn compact_failed(&mut self, error: &str) -> io::Result<()> {
+        self.append(&format!(
+            r#"{{"event":"compact_failed","error":"{}"}}"#,
+            json_escape(error)
+        ))
+    }
+
     /// A thread panicked while holding the daemon lock; the daemon
     /// recovered the poisoned mutex and kept serving. Carries no per-job
     /// state — replay ignores it — but leaves an audit trail of the

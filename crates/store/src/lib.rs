@@ -44,8 +44,8 @@ pub use ingest::{
     bench_rows, config_hash, figure_csv_rows, probe_rows, report_rows, rows_for_text,
     serve_log_rows, sim_run_id, summary_rows, trace_jsonl_rows, RunKey,
 };
-pub use query::{build_query, run_query, Query, QueryResult};
+pub use query::{build_query, run_query, run_query_with, Query, QueryResult};
 pub use schema::{column_index, ColumnType, Row, Value, COLUMNS};
 pub use segment::{Segment, SegmentMeta, CHUNK_ROWS};
-pub use stats::stats_report;
-pub use store::{fnv1a64, run_key, IngestBatch, Store};
+pub use stats::{stats_report, stats_report_with};
+pub use store::{fnv1a64, run_key, CompactReport, IngestBatch, Store};

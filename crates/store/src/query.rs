@@ -4,24 +4,40 @@
 //!
 //! * `--select campaign,metric,value` — column projection;
 //! * `--where "kind=report,metric=makespan,beta>=0"` — conjunctive
-//!   predicates (`= != < <= > >=`; strings take `=`/`!=` only);
+//!   predicates (`= != < <= > >=`; strings take `=`/`!=` only); numeric
+//!   columns also take range literals, `value=2..5` (half-open) and
+//!   `value=2..=5` (inclusive), which desugar to a `>=`/`<`(`<=`) pair;
 //! * `--group-by strategy` + `--agg count,mean(value),p95(value)` —
 //!   grouped aggregates (`count`, `mean`, `min`, `max`, `sum`, and
-//!   nearest-rank `pNN` percentiles);
+//!   nearest-rank `pNN` percentiles, 0 ≤ NN ≤ 100);
 //! * `--limit N` — output row cap.
 //!
 //! Scans prune whole chunks first: numeric predicates against the footer
 //! zone maps, string equality against the chunk dictionary (header-only
-//! decode). NaN cells match no predicate and are skipped by every
+//! decode). Surviving chunks decode their *filter* columns first, and the
+//! projected/aggregated columns only for chunks where some row matched —
+//! a chunk that zone-passes but row-fails costs one column, not all.
+//!
+//! Chunks scan in parallel ([`run_query_with`] takes a thread count;
+//! `None` means all cores). Each chunk produces a partial result —
+//! per-group `(count, sum, min, max, value-buffer)` states — and partials
+//! merge in (segment-name, chunk) order, so output is **byte-identical at
+//! any thread count**: sums associate per chunk then across chunks in one
+//! fixed order, percentile buffers concatenate in chunk order before the
+//! final sort. NaN cells match no predicate and are skipped by every
 //! aggregate except `count`, mirroring SQL NULL. Group keys sort with a
 //! total order (NaN groups last), and ungrouped scans emit rows in
 //! segment-name/chunk/row order, so output is deterministic — the golden
-//! byte-stability test in the CLI pins this.
+//! byte-stability tests in the CLI and `tests/store_parallel.rs` pin this.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
-use crate::column::str_chunk_contains;
+use hetsched_core::runner::parallel_map;
+
+use crate::column::{str_chunk_contains, ColumnData};
 use crate::schema::{column_index, ColumnType, Value, COLUMNS};
+use crate::segment::Segment;
 use crate::store::Store;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,7 +70,7 @@ pub enum AggFn {
     Min,
     Max,
     Sum,
-    /// Nearest-rank percentile, 0 < p ≤ 100.
+    /// Nearest-rank percentile, 0 ≤ p ≤ 100 (`p0` = min, `p100` = max).
     Percentile(f64),
 }
 
@@ -115,7 +131,8 @@ pub fn build_query(
     Ok(q)
 }
 
-/// Parses a comma-separated predicate list: `col op literal`.
+/// Parses a comma-separated predicate list: `col op literal`, where a
+/// numeric literal may be a range `lo..hi` / `lo..=hi` (with `=` only).
 pub fn parse_filters(spec: &str) -> Result<Vec<Filter>, String> {
     let mut filters = Vec::new();
     for clause in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
@@ -145,6 +162,53 @@ pub fn parse_filters(spec: &str) -> Result<Vec<Filter>, String> {
         let col = column_index(col_name)?;
         if lit_text.is_empty() {
             return Err(format!("malformed predicate {clause:?}: missing literal"));
+        }
+        if let Some(dots) = lit_text.find("..") {
+            // Range literal: `lo..hi` selects lo ≤ x < hi, `lo..=hi`
+            // selects lo ≤ x ≤ hi; desugars to two conjunctive filters so
+            // zone pruning applies to both bounds.
+            if COLUMNS[col].1 == ColumnType::Str {
+                return Err(format!(
+                    "predicate {clause:?}: range literals apply to numeric columns only \
+                     ({col_name:?} is a string column)"
+                ));
+            }
+            if op != CmpOp::Eq {
+                return Err(format!(
+                    "predicate {clause:?}: range literals take the form {col_name}=lo..hi or \
+                     {col_name}=lo..=hi"
+                ));
+            }
+            let lo_text = lit_text[..dots].trim();
+            let rest = &lit_text[dots + 2..];
+            let (hi_op, hi_text) = match rest.strip_prefix('=') {
+                Some(hi) => (CmpOp::Le, hi.trim()),
+                None => (CmpOp::Lt, rest.trim()),
+            };
+            let bound = |text: &str, side: &str| -> Result<f64, String> {
+                if text.is_empty() {
+                    return Err(format!(
+                        "predicate {clause:?}: range literal is missing its {side} bound \
+                         (expected lo..hi or lo..=hi)"
+                    ));
+                }
+                text.parse().map_err(|_| {
+                    format!("predicate {clause:?}: range {side} bound {text:?} is not a number")
+                })
+            };
+            let lo = bound(lo_text, "lower")?;
+            let hi = bound(hi_text, "upper")?;
+            filters.push(Filter {
+                col,
+                op: CmpOp::Ge,
+                literal: Literal::Num(lo),
+            });
+            filters.push(Filter {
+                col,
+                op: hi_op,
+                literal: Literal::Num(hi),
+            });
+            continue;
         }
         let literal = match COLUMNS[col].1 {
             ColumnType::Str => {
@@ -195,8 +259,13 @@ pub fn parse_aggs(spec: &str) -> Result<Vec<Agg>, String> {
                          or pNN)"
                     )
                 })?;
-                if !(pct > 0.0 && pct <= 100.0) {
-                    return Err(format!("percentile {fn_name:?} outside (0, 100]"));
+                // NaN must fail too, so the contains form (never true for
+                // NaN) is exactly right.
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(format!(
+                        "percentile {fn_name:?} outside [0, 100] (p0 is the minimum, p100 the \
+                         maximum)"
+                    ));
                 }
                 AggFn::Percentile(pct)
             }
@@ -358,8 +427,210 @@ fn zone_admits(zone: (f64, f64), op: CmpOp, lit: f64) -> bool {
     }
 }
 
-/// Runs `q` over every segment of `store`.
+/// One aggregate's mergeable partial state. Every scan — single- or
+/// multi-threaded — goes through these states per chunk, then merges
+/// chunk partials in (segment, chunk) order, so float associativity is
+/// fixed by the data layout, never by the thread count.
+#[derive(Clone, Debug)]
+enum AggState {
+    /// `count`: matching cells (rows, for the bare `count`).
+    Count(u64),
+    /// `mean` and `sum`: running sum plus the non-NaN cell count.
+    Sum { sum: f64, n: u64 },
+    /// `min`: NaN while empty.
+    Min(f64),
+    /// `max`: NaN while empty.
+    Max(f64),
+    /// `pNN`: the cells themselves, in scan order.
+    Values(Vec<f64>),
+}
+
+impl AggState {
+    fn new(func: AggFn) -> AggState {
+        match func {
+            AggFn::Count => AggState::Count(0),
+            AggFn::Mean | AggFn::Sum => AggState::Sum { sum: 0.0, n: 0 },
+            AggFn::Min => AggState::Min(f64::NAN),
+            AggFn::Max => AggState::Max(f64::NAN),
+            AggFn::Percentile(_) => AggState::Values(Vec::new()),
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum { sum, n } => {
+                *sum += x;
+                *n += 1;
+            }
+            AggState::Min(m) => *m = if m.is_nan() { x } else { m.min(x) },
+            AggState::Max(m) => *m = if m.is_nan() { x } else { m.max(x) },
+            AggState::Values(v) => v.push(x),
+        }
+    }
+
+    /// Folds `other` (a later chunk's partial) into `self`. Callers merge
+    /// in chunk order, which [`AggState::Values`] relies on.
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum { sum, n }, AggState::Sum { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if !b.is_nan() {
+                    *a = if a.is_nan() { b } else { a.min(b) };
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if !b.is_nan() {
+                    *a = if a.is_nan() { b } else { a.max(b) };
+                }
+            }
+            (AggState::Values(a), AggState::Values(b)) => a.extend(b),
+            _ => unreachable!("merging partials of different aggregate kinds"),
+        }
+    }
+
+    fn finish(self, func: AggFn) -> f64 {
+        match (func, self) {
+            (_, AggState::Count(n)) => n as f64,
+            (AggFn::Mean, AggState::Sum { sum, n }) => {
+                if n == 0 {
+                    f64::NAN
+                } else {
+                    sum / n as f64
+                }
+            }
+            (_, AggState::Sum { sum, .. }) => sum,
+            (_, AggState::Min(m)) | (_, AggState::Max(m)) => m,
+            (AggFn::Percentile(p), AggState::Values(mut values)) => {
+                if values.is_empty() {
+                    return f64::NAN;
+                }
+                values.sort_by(f64::total_cmp);
+                let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
+                values[rank.max(1) - 1]
+            }
+            _ => unreachable!("aggregate state does not match its function"),
+        }
+    }
+}
+
+/// One chunk's scan output: group partials when aggregating, projected
+/// rows otherwise. `None` from [`scan_chunk`] means the chunk was pruned
+/// or no row matched.
+struct ChunkScan {
+    groups: BTreeMap<Vec<Key>, Vec<AggState>>,
+    rows: Vec<Vec<Value>>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_chunk(
+    seg: &Segment,
+    chunk_idx: usize,
+    q: &Query,
+    select: &[usize],
+    filter_cols: &[usize],
+    body_cols: &[usize],
+    grouped: bool,
+) -> Result<Option<ChunkScan>, String> {
+    // Chunk pruning: numeric zones from the footer, string equality
+    // against the chunk dictionary (header-only decode).
+    for f in &q.filters {
+        let meta = &seg.meta.chunks[chunk_idx].cols[f.col];
+        match (&f.literal, meta.zone) {
+            (Literal::Num(lit), Some(zone)) if !zone_admits(zone, f.op, *lit) => {
+                return Ok(None);
+            }
+            (Literal::Str(lit), _) if f.op == CmpOp::Eq => {
+                let bytes = seg.chunk_col_bytes(chunk_idx, f.col)?;
+                if !str_chunk_contains(bytes, lit)? {
+                    return Ok(None);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let n_rows = seg.meta.chunks[chunk_idx].rows;
+    let mut cols: Vec<Option<ColumnData>> = vec![None; COLUMNS.len()];
+    for &idx in filter_cols {
+        cols[idx] = Some(seg.read_chunk_column(chunk_idx, idx)?);
+    }
+    let mut sel: Vec<usize> = Vec::new();
+    'rows: for i in 0..n_rows {
+        for f in &q.filters {
+            let v = cols[f.col].as_ref().unwrap().value(i);
+            if !matches(&v, f.op, &f.literal) {
+                continue 'rows;
+            }
+        }
+        sel.push(i);
+    }
+    if sel.is_empty() {
+        return Ok(None);
+    }
+    // Projected/aggregated columns decode only for surviving chunks.
+    for &idx in body_cols {
+        if cols[idx].is_none() {
+            cols[idx] = Some(seg.read_chunk_column(chunk_idx, idx)?);
+        }
+    }
+
+    let mut out = ChunkScan {
+        groups: BTreeMap::new(),
+        rows: Vec::new(),
+    };
+    for &i in &sel {
+        if grouped {
+            let key: Vec<Key> = q
+                .group_by
+                .iter()
+                .map(|&c| key_of(&cols[c].as_ref().unwrap().value(i)))
+                .collect();
+            let states = out
+                .groups
+                .entry(key)
+                .or_insert_with(|| q.aggs.iter().map(|a| AggState::new(a.func)).collect());
+            for (a, agg) in q.aggs.iter().enumerate() {
+                match agg.col {
+                    None => states[a].push(1.0),
+                    Some(c) => {
+                        let v = cols[c].as_ref().unwrap().value(i);
+                        if let Some(x) = v.as_f64() {
+                            if !x.is_nan() || agg.func == AggFn::Count {
+                                states[a].push(x);
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            out.rows.push(
+                select
+                    .iter()
+                    .map(|&c| cols[c].as_ref().unwrap().value(i))
+                    .collect(),
+            );
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Runs `q` over every segment of `store`, scanning chunks on all cores.
 pub fn run_query(store: &Store, q: &Query) -> Result<QueryResult, String> {
+    run_query_with(store, q, None)
+}
+
+/// Runs `q` with an explicit scan-thread count (`None` = all cores,
+/// `Some(1)` = serial). Output is byte-identical at any thread count.
+pub fn run_query_with(
+    store: &Store,
+    q: &Query,
+    threads: Option<usize>,
+) -> Result<QueryResult, String> {
     let grouped = !q.aggs.is_empty();
     let select: Vec<usize> = if grouped {
         Vec::new()
@@ -369,116 +640,85 @@ pub fn run_query(store: &Store, q: &Query) -> Result<QueryResult, String> {
         q.select.clone()
     };
 
-    // Columns the scan must decode.
-    let mut needed: Vec<usize> = Vec::new();
-    let need = |idx: usize, needed: &mut Vec<usize>| {
-        if !needed.contains(&idx) {
-            needed.push(idx);
-        }
-    };
+    // Split the needed columns into filter columns (decoded first, drive
+    // the selection) and body columns (decoded only when a row survives).
+    let mut filter_cols: Vec<usize> = Vec::new();
     for f in &q.filters {
-        need(f.col, &mut needed);
+        if !filter_cols.contains(&f.col) {
+            filter_cols.push(f.col);
+        }
     }
-    for &c in q.group_by.iter().chain(&select) {
-        need(c, &mut needed);
-    }
-    for a in &q.aggs {
-        if let Some(c) = a.col {
-            need(c, &mut needed);
+    let mut body_cols: Vec<usize> = Vec::new();
+    let agg_cols = q.aggs.iter().filter_map(|a| a.col);
+    for c in q.group_by.iter().chain(&select).copied().chain(agg_cols) {
+        if !filter_cols.contains(&c) && !body_cols.contains(&c) {
+            body_cols.push(c);
         }
     }
 
-    let mut groups: BTreeMap<Vec<Key>, Vec<Vec<f64>>> = BTreeMap::new();
-    let mut plain_rows: Vec<Vec<Value>> = Vec::new();
-    let row_budget = if grouped {
-        usize::MAX
-    } else {
-        q.limit.unwrap_or(usize::MAX)
+    let segments = store.segments()?;
+    // One work item per chunk; `segments()` sorts by name, so this order
+    // — the merge order — is a pure function of the store contents.
+    let work: Vec<(usize, usize)> = segments
+        .iter()
+        .enumerate()
+        .flat_map(|(s, seg)| (0..seg.meta.chunks.len()).map(move |c| (s, c)))
+        .collect();
+    let scan = |&(s, c): &(usize, usize)| {
+        scan_chunk(
+            &segments[s],
+            c,
+            q,
+            &select,
+            &filter_cols,
+            &body_cols,
+            grouped,
+        )
     };
-
-    'segments: for seg in store.segments()? {
-        for chunk_idx in 0..seg.meta.chunks.len() {
-            if plain_rows.len() >= row_budget {
-                break 'segments;
-            }
-            // Chunk pruning.
-            let mut skip = false;
-            for f in &q.filters {
-                let meta = &seg.meta.chunks[chunk_idx].cols[f.col];
-                match (&f.literal, meta.zone) {
-                    (Literal::Num(lit), Some(zone)) if !zone_admits(zone, f.op, *lit) => {
-                        skip = true;
-                        break;
-                    }
-                    (Literal::Str(lit), _) if f.op == CmpOp::Eq => {
-                        let bytes = seg.chunk_col_bytes(chunk_idx, f.col)?;
-                        if !str_chunk_contains(bytes, lit)? {
-                            skip = true;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            if skip {
-                continue;
-            }
-
-            let mut cols: Vec<Option<crate::column::ColumnData>> = vec![None; COLUMNS.len()];
-            for &idx in &needed {
-                cols[idx] = Some(seg.read_chunk_column(chunk_idx, idx)?);
-            }
-            let rows = seg.meta.chunks[chunk_idx].rows;
-            'rows: for i in 0..rows {
-                for f in &q.filters {
-                    let v = cols[f.col].as_ref().unwrap().value(i);
-                    if !matches(&v, f.op, &f.literal) {
-                        continue 'rows;
-                    }
-                }
-                if grouped {
-                    let key: Vec<Key> = q
-                        .group_by
-                        .iter()
-                        .map(|&c| key_of(&cols[c].as_ref().unwrap().value(i)))
-                        .collect();
-                    let samples = groups
-                        .entry(key)
-                        .or_insert_with(|| vec![Vec::new(); q.aggs.len()]);
-                    for (a, agg) in q.aggs.iter().enumerate() {
-                        match agg.col {
-                            None => samples[a].push(1.0),
-                            Some(c) => {
-                                let v = cols[c].as_ref().unwrap().value(i);
-                                if let Some(x) = v.as_f64() {
-                                    if !x.is_nan() || agg.func == AggFn::Count {
-                                        samples[a].push(x);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                } else {
-                    plain_rows.push(
-                        select
-                            .iter()
-                            .map(|&c| cols[c].as_ref().unwrap().value(i))
-                            .collect(),
-                    );
-                    if plain_rows.len() >= row_budget {
-                        break 'segments;
-                    }
-                }
-            }
-        }
-    }
 
     if !grouped {
-        let header = select.iter().map(|&c| COLUMNS[c].0.to_string()).collect();
-        return Ok(QueryResult {
-            header,
-            rows: plain_rows,
-        });
+        let header: Vec<String> = select.iter().map(|&c| COLUMNS[c].0.to_string()).collect();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        if let Some(limit) = q.limit {
+            // Serial with early exit: the parallel scan would decode every
+            // chunk to keep the first `limit` rows of the full result —
+            // same bytes, wasted work.
+            for item in &work {
+                if rows.len() >= limit {
+                    break;
+                }
+                if let Some(chunk) = scan(item)? {
+                    rows.extend(chunk.rows);
+                }
+            }
+            rows.truncate(limit);
+        } else {
+            for partial in parallel_map(&work, threads, |_, item| scan(item)) {
+                if let Some(chunk) = partial? {
+                    rows.extend(chunk.rows);
+                }
+            }
+        }
+        return Ok(QueryResult { header, rows });
+    }
+
+    let mut groups: BTreeMap<Vec<Key>, Vec<AggState>> = BTreeMap::new();
+    // Deterministic merge: partials come back in work-list order whatever
+    // the thread count (parallel_map preserves slot order).
+    for partial in parallel_map(&work, threads, |_, item| scan(item)) {
+        let Some(chunk) = partial? else { continue };
+        for (key, states) in chunk.groups {
+            match groups.entry(key) {
+                Entry::Vacant(e) => {
+                    e.insert(states);
+                }
+                Entry::Occupied(mut e) => {
+                    for (acc, state) in e.get_mut().iter_mut().zip(states) {
+                        acc.merge(state);
+                    }
+                }
+            }
+        }
     }
 
     let mut header: Vec<String> = q
@@ -489,13 +729,16 @@ pub fn run_query(store: &Store, q: &Query) -> Result<QueryResult, String> {
     header.extend(q.aggs.iter().map(|a| a.label.clone()));
     // A global aggregate over zero matching rows still reports one row.
     if q.group_by.is_empty() && groups.is_empty() {
-        groups.insert(Vec::new(), vec![Vec::new(); q.aggs.len()]);
+        groups.insert(
+            Vec::new(),
+            q.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+        );
     }
     let mut rows = Vec::with_capacity(groups.len());
-    for (key, samples) in groups {
+    for (key, states) in groups {
         let mut row: Vec<Value> = key.iter().map(key_value).collect();
-        for (agg, values) in q.aggs.iter().zip(samples) {
-            row.push(Value::F64(finish_agg(agg.func, values)));
+        for (agg, state) in q.aggs.iter().zip(states) {
+            row.push(Value::F64(state.finish(agg.func)));
         }
         rows.push(row);
     }
@@ -503,36 +746,6 @@ pub fn run_query(store: &Store, q: &Query) -> Result<QueryResult, String> {
         rows.truncate(limit);
     }
     Ok(QueryResult { header, rows })
-}
-
-fn finish_agg(func: AggFn, mut values: Vec<f64>) -> f64 {
-    match func {
-        AggFn::Count => values.len() as f64,
-        AggFn::Mean => {
-            if values.is_empty() {
-                f64::NAN
-            } else {
-                values.iter().sum::<f64>() / values.len() as f64
-            }
-        }
-        AggFn::Min => values
-            .iter()
-            .copied()
-            .fold(f64::NAN, |a, b| if a.is_nan() { b } else { a.min(b) }),
-        AggFn::Max => values
-            .iter()
-            .copied()
-            .fold(f64::NAN, |a, b| if a.is_nan() { b } else { a.max(b) }),
-        AggFn::Sum => values.iter().sum(),
-        AggFn::Percentile(p) => {
-            if values.is_empty() {
-                return f64::NAN;
-            }
-            values.sort_by(f64::total_cmp);
-            let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
-            values[rank.max(1) - 1]
-        }
-    }
 }
 
 #[cfg(test)]
@@ -573,6 +786,65 @@ mod tests {
     }
 
     #[test]
+    fn range_literals_desugar_to_bound_pairs() {
+        let f = parse_filters("value=2..5").unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].col, f[0].op), (15, CmpOp::Ge));
+        assert_eq!((f[1].col, f[1].op), (15, CmpOp::Lt));
+        assert!(matches!(f[0].literal, Literal::Num(lo) if lo == 2.0));
+        assert!(matches!(f[1].literal, Literal::Num(hi) if hi == 5.0));
+
+        let f = parse_filters("value=-2.5..=5").unwrap();
+        assert_eq!(f[1].op, CmpOp::Le);
+        assert!(matches!(f[0].literal, Literal::Num(lo) if lo == -2.5));
+
+        let err = parse_filters("kind=a..b").unwrap_err();
+        assert!(err.contains("numeric columns only"), "{err}");
+        let err = parse_filters("value>=1..5").unwrap_err();
+        assert!(err.contains("lo..hi"), "{err}");
+        let err = parse_filters("value=1..").unwrap_err();
+        assert!(err.contains("upper bound"), "{err}");
+        let err = parse_filters("value=..5").unwrap_err();
+        assert!(err.contains("lower bound"), "{err}");
+        let err = parse_filters("value=x..5").unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn range_predicates_evaluate_half_open_and_inclusive() {
+        let rows = (1..=6)
+            .map(|i| report("D", "m", i as f64, f64::NAN))
+            .collect();
+        let (store, dir) = test_store("range", rows);
+        let q = build_query(Some("value"), Some("value=2..5"), None, None, None).unwrap();
+        let res = run_query(&store, &q).unwrap();
+        assert_eq!(res.to_csv(), "value\n2\n3\n4\n");
+        let q = build_query(Some("value"), Some("value=2..=5"), None, None, None).unwrap();
+        let res = run_query(&store, &q).unwrap();
+        assert_eq!(res.to_csv(), "value\n2\n3\n4\n5\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zone_admits_each_operator() {
+        let zone = (2.0, 5.0);
+        assert!(zone_admits(zone, CmpOp::Eq, 2.0));
+        assert!(zone_admits(zone, CmpOp::Eq, 5.0));
+        assert!(!zone_admits(zone, CmpOp::Eq, 1.0));
+        assert!(!zone_admits(zone, CmpOp::Eq, 6.0));
+        assert!(zone_admits(zone, CmpOp::Ne, 3.0));
+        assert!(!zone_admits((4.0, 4.0), CmpOp::Ne, 4.0));
+        assert!(zone_admits(zone, CmpOp::Lt, 2.5));
+        assert!(!zone_admits(zone, CmpOp::Lt, 2.0));
+        assert!(zone_admits(zone, CmpOp::Le, 2.0));
+        assert!(!zone_admits(zone, CmpOp::Le, 1.9));
+        assert!(zone_admits(zone, CmpOp::Gt, 4.5));
+        assert!(!zone_admits(zone, CmpOp::Gt, 5.0));
+        assert!(zone_admits(zone, CmpOp::Ge, 5.0));
+        assert!(!zone_admits(zone, CmpOp::Ge, 5.1));
+    }
+
+    #[test]
     fn agg_parse_both_syntaxes() {
         let aggs = parse_aggs("count,mean(value),p95:t,max(beta)").unwrap();
         assert_eq!(aggs.len(), 4);
@@ -583,6 +855,27 @@ mod tests {
         assert!(parse_aggs("median(value)").is_err());
         assert!(parse_aggs("mean(kind)").is_err());
         assert!(parse_aggs("p200(value)").is_err());
+    }
+
+    #[test]
+    fn percentile_bounds_are_validated() {
+        // Endpoints are legal: p0 = min, p100 = max.
+        let (store, dir) = test_store(
+            "pbounds",
+            (1..=10)
+                .map(|i| report("D", "m", i as f64, f64::NAN))
+                .collect(),
+        );
+        let q = build_query(None, None, None, Some("p0(value),p100(value)"), None).unwrap();
+        let res = run_query(&store, &q).unwrap();
+        assert_eq!(res.rows[0][0], Value::F64(1.0));
+        assert_eq!(res.rows[0][1], Value::F64(10.0));
+        std::fs::remove_dir_all(&dir).ok();
+
+        for bad in ["p101(value)", "p-0.5(value)", "pNaN(value)"] {
+            let err = parse_aggs(bad).unwrap_err();
+            assert!(err.contains("[0, 100]"), "{bad}: {err}");
+        }
     }
 
     #[test]
@@ -639,6 +932,51 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_output_bytes() {
+        // Several segments (one per batch) so the work list has real
+        // parallel structure, with group keys interleaved across them.
+        let dir = std::env::temp_dir().join(format!("hsc-query-mt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).unwrap();
+        for s in 0..6 {
+            let mut b = store.batch();
+            for i in 0..40 {
+                let strat = if (s + i) % 2 == 0 {
+                    "Dynamic"
+                } else {
+                    "Random"
+                };
+                let mut r = report(strat, "makespan", (s * 40 + i) as f64 * 0.1, f64::NAN);
+                r.run = format!("r{s}");
+                b.push(r);
+            }
+            b.commit().unwrap();
+        }
+        let grouped = build_query(
+            None,
+            Some("metric=makespan"),
+            Some("strategy"),
+            Some("count,mean(value),sum(value),p50(value),min(value),max(value)"),
+            None,
+        )
+        .unwrap();
+        let plain = build_query(Some("run,value"), Some("value>=2"), None, None, None).unwrap();
+        for q in [&grouped, &plain] {
+            let base = run_query_with(&store, q, Some(1)).unwrap();
+            for threads in [2, 3, 8] {
+                let res = run_query_with(&store, q, Some(threads)).unwrap();
+                assert_eq!(
+                    res.to_csv(),
+                    base.to_csv(),
+                    "CSV must be byte-identical at {threads} threads"
+                );
+                assert_eq!(res.to_jsonl(), base.to_jsonl());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn nan_matches_no_predicate_and_skips_means() {
         let rows = vec![
             report("D", "m", f64::NAN, f64::NAN),
@@ -674,6 +1012,7 @@ mod tests {
         let empty = Store::open(&empty_dir).unwrap();
         let res = run_query(&empty, &q).unwrap();
         assert_eq!(res.rows[0][0], Value::F64(0.0));
+        assert_eq!(res.rows[0][1], Value::F64(0.0), "sum over nothing is 0");
         let plain = build_query(None, None, None, None, None).unwrap();
         assert!(run_query(&empty, &plain).unwrap().rows.is_empty());
         std::fs::remove_dir_all(&empty_dir).ok();

@@ -113,6 +113,64 @@ impl Row {
         }
     }
 
+    /// The inverse of per-column [`Row::get`]: rebuilds a row from one
+    /// [`Value`] per column, in [`COLUMNS`] order. Errors when a value's
+    /// type disagrees with the schema — decoded segment data can only
+    /// trip this if the file lied about its column types.
+    pub fn from_values(values: &[Value]) -> Result<Row, String> {
+        if values.len() != COLUMNS.len() {
+            return Err(format!(
+                "row has {} values, schema wants {}",
+                values.len(),
+                COLUMNS.len()
+            ));
+        }
+        let type_err = |idx: usize| {
+            format!(
+                "column {} ({:?}): value type does not match schema",
+                COLUMNS[idx].0, COLUMNS[idx].1
+            )
+        };
+        let s = |idx: usize| match &values[idx] {
+            Value::Str(v) => Ok(v.clone()),
+            _ => Err(type_err(idx)),
+        };
+        let u = |idx: usize| match values[idx] {
+            Value::U64(v) => Ok(v),
+            _ => Err(type_err(idx)),
+        };
+        let i = |idx: usize| match values[idx] {
+            Value::I64(v) => Ok(v),
+            _ => Err(type_err(idx)),
+        };
+        let f = |idx: usize| match values[idx] {
+            Value::F64(v) => Ok(v),
+            _ => Err(type_err(idx)),
+        };
+        Ok(Row {
+            campaign: s(0)?,
+            run: s(1)?,
+            kind: s(2)?,
+            strategy: s(3)?,
+            metric: s(4)?,
+            series: s(5)?,
+            config: s(6)?,
+            seed: u(7)?,
+            worker: i(8)?,
+            events: u(9)?,
+            remaining: u(10)?,
+            blocks: u(11)?,
+            tasks: u(12)?,
+            queue_depth: u(13)?,
+            t: f(14)?,
+            value: f(15)?,
+            sigma: f(16)?,
+            useful: f(17)?,
+            link_busy: f(18)?,
+            beta: f(19)?,
+        })
+    }
+
     /// The row's value in column `idx` (an index into [`COLUMNS`]).
     pub fn get(&self, idx: usize) -> Value {
         match idx {

@@ -180,25 +180,93 @@ pub struct Segment {
 
 impl Segment {
     pub fn open(path: &Path) -> Result<Segment, String> {
-        let data = std::fs::read(path)
-            .map_err(|e| format!("cannot read segment {}: {e}", path.display()))?;
+        Self::open_if_present(path)?
+            .ok_or_else(|| format!("cannot read segment {}: file not found", path.display()))
+    }
+
+    /// Like [`Segment::open`], but a missing file is `Ok(None)` instead of
+    /// an error. Readers racing a concurrent compaction (which removes
+    /// merged-away segments after writing their replacement) use this to
+    /// skip segments that vanish between the directory listing and the
+    /// read.
+    pub fn open_if_present(path: &Path) -> Result<Option<Segment>, String> {
+        let data = match std::fs::read(path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read segment {}: {e}", path.display())),
+        };
         let meta =
             parse_footer(&data).map_err(|e| format!("corrupt segment {}: {e}", path.display()))?;
-        Ok(Segment {
+        Ok(Some(Segment {
             data,
             meta,
             path: path.to_path_buf(),
-        })
+        }))
     }
 
     /// Parses only the footer of a segment file — enough for run-key
-    /// dedupe checks without decoding any rows.
+    /// dedupe checks without decoding any rows. Reads just the trailer
+    /// and footer bytes (three small reads), not the row data, so a
+    /// store of many large segments pays footer-sized I/O per file.
     pub fn read_meta(path: &Path) -> Result<SegmentMeta, String> {
-        // Segments are small enough that reading the file once beats
-        // seek bookkeeping; the row data is simply never decoded.
-        let data = std::fs::read(path)
-            .map_err(|e| format!("cannot read segment {}: {e}", path.display()))?;
-        parse_footer(&data).map_err(|e| format!("corrupt segment {}: {e}", path.display()))
+        Self::read_meta_if_present(path)?
+            .ok_or_else(|| format!("cannot read segment {}: file not found", path.display()))
+    }
+
+    /// Footer-only read with the same missing-file tolerance as
+    /// [`Segment::open_if_present`].
+    pub fn read_meta_if_present(path: &Path) -> Result<Option<SegmentMeta>, String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read segment {}: {e}", path.display())),
+        };
+        let read_err = |e| format!("cannot read segment {}: {e}", path.display());
+        let corrupt = |msg: &str| format!("corrupt segment {}: {msg}", path.display());
+        let file_len = file.metadata().map_err(read_err)?.len();
+        if (file_len as usize) < MAGIC_HEAD.len() + 8 + MAGIC_TAIL.len() {
+            return Err(corrupt("file shorter than magic + footer trailer"));
+        }
+        let mut head = [0u8; 4];
+        file.read_exact(&mut head).map_err(read_err)?;
+        if &head != MAGIC_HEAD {
+            return Err(corrupt("bad header magic (not an hsc segment)"));
+        }
+        let mut trailer = [0u8; 12];
+        file.seek(SeekFrom::End(-12)).map_err(read_err)?;
+        file.read_exact(&mut trailer).map_err(read_err)?;
+        if &trailer[8..] != MAGIC_TAIL {
+            return Err(corrupt("bad trailing magic (truncated write?)"));
+        }
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&trailer[..8]);
+        let footer_len = u64::from_le_bytes(len_bytes);
+        let footer_start = (file_len - 12)
+            .checked_sub(footer_len)
+            .ok_or_else(|| corrupt("footer length exceeds file size"))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        file.seek(SeekFrom::Start(footer_start)).map_err(read_err)?;
+        file.read_exact(&mut footer).map_err(read_err)?;
+        parse_footer_body(&footer)
+            .map(Some)
+            .map_err(|e| corrupt(&e))
+    }
+
+    /// Decodes every row of the segment, in chunk/row order — the
+    /// compaction path's source of truth when rewriting small segments.
+    pub fn rows(&self) -> Result<Vec<Row>, String> {
+        let mut out = Vec::with_capacity(self.meta.total_rows);
+        for chunk_idx in 0..self.meta.chunks.len() {
+            let cols: Vec<ColumnData> = (0..COLUMNS.len())
+                .map(|c| self.read_chunk_column(chunk_idx, c))
+                .collect::<Result<_, _>>()?;
+            for i in 0..self.meta.chunks[chunk_idx].rows {
+                let values: Vec<Value> = cols.iter().map(|c| c.value(i)).collect();
+                out.push(Row::from_values(&values)?);
+            }
+        }
+        Ok(out)
     }
 
     /// Raw bytes of column `col_idx` in chunk `chunk_idx`.
@@ -251,8 +319,12 @@ fn parse_footer(data: &[u8]) -> Result<SegmentMeta, String> {
     let footer_start = footer_end
         .checked_sub(footer_len)
         .ok_or_else(|| "footer length exceeds file size".to_string())?;
-    let footer = &data[footer_start..footer_end];
+    parse_footer_body(&data[footer_start..footer_end])
+}
 
+/// Parses the footer bytes themselves (column index, chunk table, run
+/// keys, row total) — shared by the whole-file and footer-only readers.
+fn parse_footer_body(footer: &[u8]) -> Result<SegmentMeta, String> {
     let mut pos = 0;
     let ncols = get_varint(footer, &mut pos)? as usize;
     if ncols != COLUMNS.len() {

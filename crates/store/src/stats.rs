@@ -13,7 +13,7 @@
 //!    `BENCH_*.json` snapshots, grouped by snapshot date; dates sort
 //!    lexicographically = chronologically.
 
-use crate::query::{build_query, run_query};
+use crate::query::{build_query, run_query_with};
 use crate::store::Store;
 
 struct Section {
@@ -48,9 +48,15 @@ const SECTIONS: &[Section] = &[
     },
 ];
 
-/// Renders the full stats report. An empty store is not an error: the
-/// report says so and exits cleanly.
+/// Renders the full stats report on all cores. An empty store is not an
+/// error: the report says so and exits cleanly.
 pub fn stats_report(store: &Store) -> Result<String, String> {
+    stats_report_with(store, None)
+}
+
+/// [`stats_report`] with an explicit scan-thread count (`None` = all
+/// cores). Output is identical at any thread count.
+pub fn stats_report_with(store: &Store, threads: Option<usize>) -> Result<String, String> {
     let segments = store
         .segment_paths()
         .map_err(|e| format!("cannot list store {}: {e}", store.dir().display()))?;
@@ -80,7 +86,7 @@ pub fn stats_report(store: &Store) -> Result<String, String> {
             Some(section.agg),
             None,
         )?;
-        let res = run_query(store, &q)?;
+        let res = run_query_with(store, &q, threads)?;
         if res.rows.is_empty() {
             out.push('(');
             out.push_str(section.empty_hint);

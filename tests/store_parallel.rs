@@ -1,0 +1,183 @@
+//! Parallel-query and compaction invariants over the trace-analytics
+//! store, end to end:
+//!
+//! 1. **Thread-count independence** — a grouped aggregate and a plain
+//!    projection over a multi-segment, multi-chunk store render
+//!    byte-identical CSV/JSONL at `--threads` 1, 2, and 8 (the partial
+//!    aggregate states merge in (segment, chunk) order, never in thread
+//!    completion order).
+//! 2. **Compaction equivalence** — merging a fragmented store changes the
+//!    file layout, not the data: fewer segments, identical query results,
+//!    run keys preserved for replay dedupe.
+//! 3. **Crash-mid-compact recovery** — a temp file left behind by a
+//!    crashed writer is invisible to queries and swept by the next
+//!    compaction pass.
+
+use hetsched_store::{build_query, run_query, run_query_with, Row, Store, CHUNK_ROWS};
+use std::path::{Path, PathBuf};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hsc-par-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A fragmented campaign: `batches` one-run segments of `rows_per` rows
+/// each, with interleaved strategies and full-range values so group-by,
+/// predicates, and zone pruning all have work to do.
+fn fragmented_store(dir: &Path, batches: usize, rows_per: usize) -> Store {
+    let store = Store::open(dir).unwrap();
+    for b in 0..batches {
+        let mut batch = store.batch();
+        for i in 0..rows_per {
+            let mut r = Row::new("camp", &format!("run-{b}"), "report", "cfg");
+            r.strategy = if (b + i) % 3 == 0 {
+                "Dynamic".to_string()
+            } else {
+                "Random".to_string()
+            };
+            r.metric = "makespan".to_string();
+            r.seed = b as u64;
+            r.worker = (i % 7) as i64;
+            r.blocks = ((b * 31 + i * 7) % 101) as u64;
+            r.value = (b * rows_per + i) as f64 * 0.125;
+            r.useful = ((i * 13 + b) % 100) as f64 / 100.0;
+            batch.push(r);
+        }
+        batch.commit().unwrap();
+    }
+    store
+}
+
+#[test]
+fn query_output_is_byte_identical_at_any_thread_count() {
+    let dir = scratch("threads");
+    let store = fragmented_store(&dir, 12, 200);
+    let grouped = build_query(
+        None,
+        Some("kind=report,metric=makespan"),
+        Some("strategy,worker"),
+        Some("count,mean(value),sum(useful),min(value),max(value),p50(value),p95(value)"),
+        None,
+    )
+    .unwrap();
+    let plain = build_query(
+        Some("run,worker,value"),
+        Some("value>=100,blocks<50"),
+        None,
+        None,
+        None,
+    )
+    .unwrap();
+    for (name, q) in [("grouped", &grouped), ("plain", &plain)] {
+        let base = run_query_with(&store, q, Some(1)).unwrap();
+        assert!(!base.rows.is_empty(), "{name} query must match rows");
+        for threads in [2usize, 8] {
+            let res = run_query_with(&store, q, Some(threads)).unwrap();
+            assert_eq!(
+                res.to_csv(),
+                base.to_csv(),
+                "{name} CSV must be byte-identical at {threads} threads"
+            );
+            assert_eq!(
+                res.to_jsonl(),
+                base.to_jsonl(),
+                "{name} JSONL must be byte-identical at {threads} threads"
+            );
+        }
+        // The default (all cores) is the same engine, same merge order.
+        assert_eq!(run_query(&store, q).unwrap().to_csv(), base.to_csv());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_preserves_query_results_and_run_keys() {
+    let dir = scratch("compact");
+    let store = fragmented_store(&dir, 30, 50);
+    assert_eq!(store.segment_paths().unwrap().len(), 30);
+
+    // Association-free aggregates are exact whatever the chunk layout, so
+    // byte-level equality must hold across compaction. (A mean's sum
+    // re-associates when chunk boundaries move — compare it numerically.)
+    let exact = build_query(
+        None,
+        Some("kind=report"),
+        Some("strategy"),
+        Some("count,min(value),max(value),p50(value),p95(useful)"),
+        None,
+    )
+    .unwrap();
+    let mean_q = build_query(None, None, Some("run"), Some("count,mean(value)"), None).unwrap();
+    let pre_exact = run_query(&store, &exact).unwrap();
+    let pre_mean = run_query(&store, &mean_q).unwrap();
+    let pre_rows = store.total_rows().unwrap();
+
+    let report = store.compact(CHUNK_ROWS).unwrap();
+    assert_eq!(report.merged, 30);
+    assert_eq!(report.rows, 30 * 50);
+    assert_eq!(
+        store.segment_paths().unwrap().len(),
+        1,
+        "1500 rows fit one chunk"
+    );
+    assert_eq!(store.total_rows().unwrap(), pre_rows);
+
+    let post_exact = run_query(&store, &exact).unwrap();
+    assert_eq!(
+        post_exact.to_csv(),
+        pre_exact.to_csv(),
+        "exact aggregates unchanged"
+    );
+    let post_mean = run_query(&store, &mean_q).unwrap();
+    assert_eq!(pre_mean.rows.len(), post_mean.rows.len());
+    for (pre, post) in pre_mean.rows.iter().zip(&post_mean.rows) {
+        assert_eq!(pre[0], post[0], "same groups in the same order");
+        assert_eq!(pre[1], post[1], "counts are exact");
+        let (a, b) = match (&pre[2], &post[2]) {
+            (hetsched_store::Value::F64(a), hetsched_store::Value::F64(b)) => (*a, *b),
+            other => panic!("mean cells must be floats, got {other:?}"),
+        };
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "mean {a} vs {b}");
+    }
+
+    // Replay dedupe still sees every ingested run.
+    for b in 0..30 {
+        assert!(
+            store
+                .contains_run("camp", &format!("run-{b}"), "cfg")
+                .unwrap(),
+            "run-{b} key survives compaction"
+        );
+    }
+    // A fresh handle (cold cache) agrees — the on-disk truth, not the
+    // cached footers, carries the keys.
+    let fresh = Store::open(&dir).unwrap();
+    assert!(fresh.contains_run("camp", "run-29", "cfg").unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_mid_compact_leaves_queries_intact_and_is_swept() {
+    let dir = scratch("crash");
+    let store = fragmented_store(&dir, 4, 25);
+    let q = build_query(None, None, None, Some("count"), None).unwrap();
+    let before = run_query(&store, &q).unwrap().to_csv();
+
+    // A compaction (or ingest) that died mid-write leaves its temp file;
+    // `segment_paths` only matches committed `seg-*.hsc` names, so scans
+    // never see it.
+    let stale = dir.join(".tmp-seg-0000000000000000.hsc-999999");
+    std::fs::write(&stale, b"torn half-written segment").unwrap();
+    assert_eq!(run_query(&store, &q).unwrap().to_csv(), before);
+    assert_eq!(Store::open(&dir).unwrap().total_rows().unwrap(), 100);
+
+    // The next pass sweeps the foreign-pid leftover and compacts as if
+    // the crash never happened.
+    let report = store.compact(CHUNK_ROWS).unwrap();
+    assert_eq!(report.tmp_cleaned, 1);
+    assert!(!stale.exists(), "stale temp file swept");
+    assert_eq!(report.merged, 4);
+    assert_eq!(run_query(&store, &q).unwrap().to_csv(), before);
+    std::fs::remove_dir_all(&dir).ok();
+}
